@@ -1,0 +1,31 @@
+"""Benchmark fixtures: one calibrated era system shared by all figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import measure_traffic
+from repro.core.system import build_case_study
+from repro.workload.pages import Corpus
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """A slice of the 75-page corpus, full paper page dimensions."""
+    return Corpus(n_pages=5)
+
+
+@pytest.fixture(scope="session")
+def era_system(corpus):
+    return build_case_study(corpus=corpus, calibrate=True,
+                            calibration_pages=2, era=True)
+
+
+@pytest.fixture(scope="session")
+def measured(corpus):
+    return measure_traffic(corpus, page_ids=(0, 1, 2))
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure/table block (visible with pytest -s or on failures)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")

@@ -1,0 +1,46 @@
+"""Fig. 10: computing overhead in three adaptation scenarios per environment.
+
+Panels (a) Desktop/LAN, (b) Laptop/WLAN, (c) PDA/Bluetooth with server
+compute, (d) PDA/Bluetooth with server tasks precomputed.  Paper shapes:
+Vary-sized blocking's server compute is huge everywhere (the static
+scenario); the adaptive choice flips from Bitmap to Vary in panel (d).
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import Scenario, fig10_computing_overhead
+from repro.bench.reporting import fmt_ms, render_table
+
+
+def test_fig10_computing_overhead(benchmark, era_system, measured):
+    panels = benchmark.pedantic(
+        lambda: fig10_computing_overhead(era_system, measured=measured),
+        rounds=1, iterations=1,
+    )
+    for panel, cells in panels.items():
+        rows = [
+            [
+                scenario,
+                cell["pad"],
+                fmt_ms(cell["server_comp_s"]),
+                fmt_ms(cell["client_comp_s"]),
+                fmt_ms(cell["measured_server_s"]),
+                fmt_ms(cell["measured_client_s"]),
+            ]
+            for scenario, cell in cells.items()
+        ]
+        emit(
+            f"Fig 10({panel}): computing overhead",
+            render_table(
+                "",
+                ["scenario", "PAD", "server ms (era)", "client ms (era)",
+                 "server ms (host)", "client ms (host)"],
+                rows,
+            ),
+        )
+
+    static = panels["a"][Scenario.STATIC.value]
+    assert static["pad"] == "vary"
+    assert static["server_comp_s"] > 0.5  # "huge server side computing time"
+    assert panels["c"][Scenario.ADAPTIVE.value]["pad"] == "bitmap"
+    assert panels["d"][Scenario.ADAPTIVE.value]["pad"] == "vary"  # the flip

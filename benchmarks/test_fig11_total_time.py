@@ -1,0 +1,57 @@
+"""Fig. 11(b)/(c): total time per protocol per environment.
+
+Paper shapes: with server-side computing the adaptive choices are
+Direct (Desktop/LAN), Gzip (Laptop/WLAN), Bitmap (PDA/Bluetooth); without
+server-side computing the PDA flips to Vary-sized blocking, and the
+adaptive choice always coincides with the measured-best column (the ovals
+in the paper's figure).
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import CASE_STUDY_PADS, fig11_total_time
+from repro.bench.reporting import fmt_ms, render_table
+
+
+def _render(totals, tag, label):
+    rows = [
+        [env]
+        + [fmt_ms(cols[p]) for p in CASE_STUDY_PADS]
+        + [cols["winner"]]
+        for env, cols in totals.items()
+    ]
+    emit(
+        f"Fig 11({tag}): total time (ms), {label} server-side computing",
+        render_table(
+            "", ["environment", *CASE_STUDY_PADS, "adaptive choice"], rows
+        ),
+    )
+
+
+def test_fig11b_with_server_compute(benchmark, era_system, measured):
+    totals = benchmark.pedantic(
+        lambda: fig11_total_time(
+            era_system, include_server_compute=True, measured=measured
+        ),
+        rounds=1, iterations=1,
+    )
+    _render(totals, "b", "with")
+    assert totals["Desktop/LAN"]["winner"] == "direct"
+    assert totals["Laptop/WLAN"]["winner"] == "gzip"
+    assert totals["PDA/Bluetooth"]["winner"] == "bitmap"
+
+
+def test_fig11c_without_server_compute(benchmark, era_system, measured):
+    totals = benchmark.pedantic(
+        lambda: fig11_total_time(
+            era_system, include_server_compute=False, measured=measured
+        ),
+        rounds=1, iterations=1,
+    )
+    _render(totals, "c", "without")
+    assert totals["PDA/Bluetooth"]["winner"] == "vary"  # the flip
+    assert totals["Desktop/LAN"]["winner"] == "direct"
+    assert totals["Laptop/WLAN"]["winner"] == "gzip"
+    # The adaptive choice is the argmin of the table it sits in.
+    for env, row in totals.items():
+        assert row["winner"] == min(CASE_STUDY_PADS, key=lambda p: row[p])

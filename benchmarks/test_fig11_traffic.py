@@ -1,0 +1,35 @@
+"""Fig. 11(a): bytes transferred per protocol per client environment.
+
+Paper shape: Direct sending moves the most bytes, Vary-sized blocking the
+least, Gzip and Bitmap in the middle; the same protocol moves the same
+bytes in every environment.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import (
+    CASE_STUDY_PADS,
+    fig11_bytes_transferred,
+    measure_traffic,
+)
+from repro.bench.reporting import fmt_kb, render_table
+
+
+def test_fig11a_bytes_transferred(benchmark, era_system, corpus):
+    measured = benchmark.pedantic(
+        lambda: measure_traffic(corpus, page_ids=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    table = fig11_bytes_transferred(era_system, measured=measured)
+    rows = [
+        [env] + [fmt_kb(cols[p]) for p in CASE_STUDY_PADS]
+        for env, cols in table.items()
+    ]
+    emit(
+        "Fig 11(a): KBytes transferred per protocol",
+        render_table("", ["environment", *CASE_STUDY_PADS], rows),
+    )
+    t = {p: measured[p]["traffic"] for p in CASE_STUDY_PADS}
+    assert t["direct"] > t["gzip"] > t["bitmap"] > t["vary"]
+    first = next(iter(table.values()))
+    assert all(row == first for row in table.values())

@@ -1,0 +1,52 @@
+"""Fig. 9(a): average negotiation time vs number of clients (one proxy).
+
+Paper shape: the curve stays in a relatively stable range up to 300
+clients.  The simulation's service times are *measured* from the real
+negotiation manager of the calibrated system.
+"""
+
+from conftest import emit
+
+from repro.bench.capacity import (
+    DEFAULT_CLIENT_COUNTS,
+    measure_proxy_service_times,
+    negotiation_time_experiment,
+    negotiation_time_experiment_real,
+)
+from repro.bench.reporting import render_series
+from repro.simnet.stats import Series
+
+
+def test_fig9a_negotiation_time(benchmark, era_system):
+    service = measure_proxy_service_times(era_system)
+
+    def run():
+        return negotiation_time_experiment(DEFAULT_CLIENT_COUNTS, service=service)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    ms = Series("negotiation", series.xs, [y * 1000 for y in series.ys])
+    emit(
+        "Fig 9(a): average negotiation time vs clients",
+        render_series("", [ms], "clients", "negotiation time (ms)"),
+    )
+    benchmark.extra_info["points_ms"] = dict(zip(ms.xs, ms.ys))
+    assert max(series.ys) < 3 * min(series.ys)  # flat, as in the paper
+
+
+def test_fig9a_negotiation_time_real_proxy(benchmark, era_system):
+    """Variant with the real proxy handler in the simulation loop: every
+    simulated request drives the genuine INP exchange and its wall-clock
+    handler time becomes the service time."""
+
+    def run():
+        return negotiation_time_experiment_real(
+            era_system, client_counts=(1, 50, 150, 300)
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    ms = Series(series.name, series.xs, [y * 1000 for y in series.ys])
+    emit(
+        "Fig 9(a) variant: real proxy in the loop",
+        render_series("", [ms], "clients", "negotiation time (ms)"),
+    )
+    assert max(series.ys) < 3 * min(series.ys)

@@ -1,0 +1,44 @@
+"""Fig. 9(b): average PAD retrieval time, centralized vs CDN edges.
+
+Paper shape: centralized grows rapidly with client count; the distributed
+curve stays in a small fluctuating band.  PAD size is the real wire size
+of the signed 'vary' mobile-code module.
+"""
+
+from conftest import emit
+
+from repro.bench.capacity import DEFAULT_CLIENT_COUNTS, retrieval_time_experiment
+from repro.bench.reporting import render_series
+from repro.mobilecode import Signer, generate_keypair
+from repro.protocols.padlib import build_pad_module
+from repro.simnet.stats import Series
+
+
+def real_pad_bytes() -> int:
+    module = build_pad_module("vary")
+    signer = Signer("origin", generate_keypair(768))
+    return signer.sign(module).wire_size
+
+
+def test_fig9b_retrieval_time(benchmark):
+    pad_bytes = real_pad_bytes()
+
+    def run():
+        return retrieval_time_experiment(
+            DEFAULT_CLIENT_COUNTS, pad_bytes=pad_bytes
+        )
+
+    central, dist = benchmark.pedantic(run, rounds=1, iterations=1)
+    out = [
+        Series(central.name, central.xs, [y * 1000 for y in central.ys]),
+        Series(dist.name, dist.xs, [y * 1000 for y in dist.ys]),
+    ]
+    emit(
+        f"Fig 9(b): average PAD retrieval time vs clients (PAD = {pad_bytes} B)",
+        render_series("", out, "clients", "retrieval time (ms)"),
+    )
+    # Centralized blows up with load (compare against the curve's floor:
+    # the single-client point is latency-dominated, not load-dominated).
+    assert central.ys[-1] > 4 * min(central.ys)
+    assert max(dist.ys) < 3 * min(dist.ys)      # CDN stays flat
+    assert dist.ys[-1] < central.ys[-1] / 10    # CDN wins at scale

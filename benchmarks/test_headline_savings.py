@@ -1,0 +1,44 @@
+"""The §1 headline numbers.
+
+Paper: "For some clients, the total communication overhead reduces 41%
+compared with no protocol adaptation mechanism, and 14% compared with the
+static protocol adaptation approach."
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import headline_savings
+from repro.bench.reporting import fmt_ms, render_table
+
+
+def test_headline_savings(benchmark, era_system, measured):
+    savings = benchmark.pedantic(
+        lambda: headline_savings(era_system, measured=measured),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [
+            env,
+            fmt_ms(cell["adaptive_s"]),
+            fmt_ms(cell["none_s"]),
+            fmt_ms(cell["static_s"]),
+            f"{cell['vs_none'] * 100:.0f}%",
+            f"{cell['vs_static'] * 100:.0f}%",
+        ]
+        for env, cell in savings.items()
+    ]
+    emit(
+        "Headline savings (paper: up to 41% vs none, 14% vs static)",
+        render_table(
+            "",
+            ["environment", "adaptive ms", "none ms", "static ms",
+             "vs none", "vs static"],
+            rows,
+        ),
+    )
+    pda = savings["PDA/Bluetooth"]
+    assert 0.25 <= pda["vs_none"] <= 0.60
+    assert pda["vs_static"] >= 0.10
+    for cell in savings.values():
+        assert cell["vs_none"] >= -1e-9
+        assert cell["vs_static"] >= -1e-9

@@ -1,0 +1,62 @@
+"""End-to-end session timeline per environment (Fig. 4 sequence, timed).
+
+Not a figure in the paper, but the decomposition its Eq. 3 models:
+negotiation + PAD download + adapted application session.  Also checks
+that the negotiation model's estimate tracks the composed timeline.
+"""
+
+from conftest import emit
+
+from repro.bench.reporting import fmt_ms, render_table
+from repro.bench.timeline import simulate_session_timeline
+from repro.workload.profiles import PAPER_ENVIRONMENTS
+
+
+def test_session_timeline(benchmark, era_system):
+    def run():
+        return [
+            simulate_session_timeline(era_system, env)
+            for env in PAPER_ENVIRONMENTS
+        ]
+
+    timelines = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for t in timelines:
+        rows.append(
+            [
+                t.env_label,
+                "+".join(t.pad_ids),
+                fmt_ms(t.negotiation_s),
+                fmt_ms(t.pad_retrieval_s),
+                fmt_ms(t.app_transfer_s),
+                fmt_ms(t.server_compute_s),
+                fmt_ms(t.client_compute_s),
+                fmt_ms(t.total_s),
+                fmt_ms(t.model_total_s),
+            ]
+        )
+    emit(
+        "Session timeline per environment (all ms)",
+        render_table(
+            "",
+            ["environment", "PAD", "negotiate", "PAD dl", "app xfer",
+             "srv comp", "cli comp", "TOTAL", "Eq.3 est"],
+            rows,
+        ),
+    )
+    by_env = {t.env_label: t for t in timelines}
+    # Slow links pay more everywhere.
+    assert by_env["PDA/Bluetooth"].total_s > by_env["Desktop/LAN"].total_s
+    # Negotiation stays under half of even a single page fetch — and it
+    # runs once per session/environment, so over a multi-page session its
+    # share shrinks toward zero (the paper's justification for the
+    # interactive protocol).
+    for t in timelines:
+        assert t.negotiation_s < 0.5 * t.total_s
+    # Eq. 3's estimate tracks the composed timeline's
+    # download+transfer+compute within a small factor (it omits
+    # negotiation and per-message latency by design, so fast links see
+    # the largest relative gap).
+    for t in timelines:
+        comparable = t.total_s - t.negotiation_s
+        assert 0.25 < t.model_total_s / comparable < 3.0, t.env_label

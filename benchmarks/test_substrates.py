@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the substrates (proper pytest-benchmark timing).
+
+These are the numbers DESIGN.md's era-calibration discussion rests on:
+how fast this host actually runs each operation class.
+"""
+
+import random
+
+import pytest
+
+from repro.chunking import ContentDefinedChunker, RabinFingerprint
+from repro.compression import compress, decompress
+from repro.mobilecode import generate_keypair, rsa_sign, rsa_verify
+from repro.protocols import run_exchange
+from repro.protocols.bitmap import BitmapProtocol
+from repro.protocols.gzip_pad import GzipProtocol
+from repro.protocols.vary_blocking import VaryBlockingProtocol
+
+
+@pytest.fixture(scope="module")
+def text_64k():
+    return (b"fractal protocol adaptation corpus line. " * 1600)[:65536]
+
+
+@pytest.fixture(scope="module")
+def rand_64k():
+    return random.Random(9).randbytes(65536)
+
+
+class TestCompressionThroughput:
+    def test_pure_lzss_huffman_compress(self, benchmark, text_64k):
+        blob = benchmark(compress, text_64k, backend="pure")
+        assert decompress(blob) == text_64k
+
+    def test_zlib_backend_compress(self, benchmark, text_64k):
+        blob = benchmark(compress, text_64k, backend="zlib")
+        assert decompress(blob) == text_64k
+
+    def test_pure_decompress(self, benchmark, text_64k):
+        blob = compress(text_64k, backend="pure")
+        assert benchmark(decompress, blob) == text_64k
+
+
+class TestChunkingThroughput:
+    def test_rabin_rolling(self, benchmark, rand_64k):
+        fp = RabinFingerprint()
+
+        def roll():
+            fp.reset()
+            last = 0
+            for b in rand_64k:
+                last = fp.roll(b)
+            return last
+
+        benchmark(roll)
+
+    def test_cdc_chunking(self, benchmark, rand_64k):
+        chunker = ContentDefinedChunker(mask_bits=11)
+        chunks = benchmark(chunker.chunk, rand_64k)
+        assert chunks
+
+
+class TestRsa:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return generate_keypair(768)
+
+    def test_sign(self, benchmark, key):
+        sig = benchmark(rsa_sign, key, b"module bytes" * 100)
+        assert len(sig) == key.byte_size
+
+    def test_verify(self, benchmark, key):
+        msg = b"module bytes" * 100
+        sig = rsa_sign(key, msg)
+        assert benchmark(rsa_verify, key.public, msg, sig)
+
+
+class TestProtocolEncode:
+    """Per-page encode cost of each protocol on a real version pair."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, corpus):
+        old = corpus.evolved(0, 0)
+        new = corpus.evolved(0, 1)
+        return [old.text, *old.images], [new.text, *new.images]
+
+    def _run(self, proto, pair):
+        old_parts, new_parts = pair
+        return sum(
+            run_exchange(proto, o, n).traffic_bytes
+            for o, n in zip(old_parts, new_parts)
+        )
+
+    def test_gzip_page(self, benchmark, pair):
+        benchmark(self._run, GzipProtocol(backend="zlib"), pair)
+
+    def test_bitmap_page(self, benchmark, pair):
+        benchmark(self._run, BitmapProtocol(), pair)
+
+    def test_vary_page(self, benchmark, pair):
+        benchmark.pedantic(
+            self._run, args=(VaryBlockingProtocol(), pair), rounds=2, iterations=1
+        )

@@ -1,0 +1,32 @@
+"""Fractal: mobile-code based dynamic application protocol adaptation.
+
+A full reproduction of Lufei & Shi, *Fractal: A Mobile Code Based
+Framework for Dynamic Application Protocol Adaptation in Pervasive
+Computing* (IPPS 2005).
+
+Quickstart::
+
+    from repro.core import build_case_study
+    from repro.workload import PDA_BLUETOOTH
+
+    system = build_case_study()
+    client = system.make_client(PDA_BLUETOOTH)
+    result = client.request_page("medical-web", page_id=0, new_version=1)
+    print(result.pad_ids, result.app_traffic_bytes)
+
+Subpackages:
+
+* ``repro.core``        — the Fractal framework (paper §3)
+* ``repro.protocols``   — the four case-study PADs + extensions (§4.1)
+* ``repro.mobilecode``  — packaging/sandboxing/signing mobile code (§3.5)
+* ``repro.cdn``         — origin/edge/redirector substrate (§2.2)
+* ``repro.simnet``      — discrete-event simulator, links, transports
+* ``repro.compression`` — from-scratch LZSS + Huffman
+* ``repro.chunking``    — Rabin fingerprinting, CDC, fixed blocks
+* ``repro.workload``    — the 75-page corpus and device profiles (§4.2)
+* ``repro.bench``       — experiment harness for every table/figure (§4.4)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

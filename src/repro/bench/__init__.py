@@ -1,0 +1,50 @@
+"""Experiment harness: one regenerator per table/figure in the paper."""
+
+from .capacity import (
+    DEFAULT_CLIENT_COUNTS,
+    ProxyServiceTimes,
+    measure_proxy_service_times,
+    negotiation_time_experiment,
+    negotiation_time_experiment_real,
+    retrieval_time_experiment,
+)
+from .experiments import (
+    CASE_STUDY_PADS,
+    STATIC_PAD,
+    EnvProtocolCost,
+    Scenario,
+    evaluate_environment,
+    fig10_computing_overhead,
+    fig11_bytes_transferred,
+    fig11_total_time,
+    headline_savings,
+    measure_traffic,
+    negotiated_winner,
+)
+from .reporting import fmt_kb, fmt_ms, render_series, render_table
+from .tables import table1_rows
+
+__all__ = [
+    "DEFAULT_CLIENT_COUNTS",
+    "ProxyServiceTimes",
+    "measure_proxy_service_times",
+    "negotiation_time_experiment",
+    "negotiation_time_experiment_real",
+    "retrieval_time_experiment",
+    "CASE_STUDY_PADS",
+    "STATIC_PAD",
+    "EnvProtocolCost",
+    "Scenario",
+    "evaluate_environment",
+    "fig10_computing_overhead",
+    "fig11_bytes_transferred",
+    "fig11_total_time",
+    "headline_savings",
+    "measure_traffic",
+    "negotiated_winner",
+    "fmt_kb",
+    "fmt_ms",
+    "render_series",
+    "render_table",
+    "table1_rows",
+]

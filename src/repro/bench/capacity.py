@@ -1,0 +1,279 @@
+"""System-capacity experiments (Fig. 9).
+
+Fig. 9(a): average negotiation time vs number of clients with one
+adaptation proxy — should stay flat because (i) the path search is cheap,
+(ii) the adaptation cache answers repeated environments, and (iii) each
+client negotiates once per environment/session.
+
+Fig. 9(b): average PAD retrieval time vs number of clients — a burst of
+simultaneous downloads against one centralized PAD server (time grows
+linearly with load on its shared uplink) vs the same burst spread over CDN
+edges (stays flat).
+
+Both run on the discrete-event simulator with service parameters that can
+be *measured* from the real proxy (:func:`measure_proxy_service_times`),
+so the simulated capacity curve is anchored to the implementation it
+models.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..cdn.planetlab import build_deployment
+from ..simnet.kernel import Simulator
+from ..simnet.pipe import FairSharePipe
+from ..simnet.stats import RunningStats, Series
+from ..workload.profiles import PAPER_ENVIRONMENTS
+
+__all__ = [
+    "ProxyServiceTimes",
+    "measure_proxy_service_times",
+    "negotiation_time_experiment",
+    "retrieval_time_experiment",
+    "DEFAULT_CLIENT_COUNTS",
+]
+
+DEFAULT_CLIENT_COUNTS = (1, 25, 50, 75, 100, 150, 200, 250, 300)
+
+
+@dataclass(frozen=True)
+class ProxyServiceTimes:
+    """Per-request proxy costs feeding the capacity simulation."""
+
+    cache_miss_s: float = 2.0e-3
+    cache_hit_s: float = 0.3e-3
+    rtt_s: float = 2.0e-3  # client <-> proxy network round trip
+
+
+def measure_proxy_service_times(system, *, rtt_s: float = 2.0e-3) -> ProxyServiceTimes:
+    """Measure real miss/hit negotiation service times on ``system``'s proxy.
+
+    Drives the actual negotiation manager (search + cache) directly, the
+    same code path the INP handler uses.
+    """
+    from ..core.metadata import DevMeta, NtwkMeta
+    from ..core.system import APP_ID
+
+    env = PAPER_ENVIRONMENTS[0]
+    dev = DevMeta(
+        env.device.os_type, env.device.cpu_type, env.device.cpu_mhz,
+        env.device.memory_mb,
+    )
+    ntwk = NtwkMeta(env.link.network_type.value, env.link.bandwidth_bps / 1000.0)
+    proxy = system.proxy
+    # Miss: clear by using a bandwidth value no prior entry used.
+    miss_ntwk = NtwkMeta(ntwk.network_type, ntwk.bandwidth_kbps + 0.125)
+    t0 = time.perf_counter()
+    proxy.negotiate(APP_ID, dev, miss_ntwk)
+    miss = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    proxy.negotiate(APP_ID, dev, miss_ntwk)
+    hit = time.perf_counter() - t0
+    return ProxyServiceTimes(cache_miss_s=max(miss, 1e-6),
+                             cache_hit_s=max(hit, 1e-7), rtt_s=rtt_s)
+
+
+def negotiation_time_experiment(
+    client_counts=DEFAULT_CLIENT_COUNTS,
+    *,
+    service: ProxyServiceTimes = ProxyServiceTimes(),
+    arrival_rate_hz: float = 50.0,
+    proxy_workers: int = 4,
+    n_environment_kinds: int = 6,
+    seed: int = 7,
+) -> Series:
+    """Fig. 9(a): mean negotiation time per client count.
+
+    Clients arrive Poisson at ``arrival_rate_hz``; the first client of
+    each distinct environment kind is a cache miss, later ones are hits.
+    Negotiation spans two proxy round trips (INIT and CLI_META) plus
+    queueing plus service — exactly the Fig. 4 window (INIT_REQ to
+    PAD_META_REP).
+    """
+    series = Series("negotiation")
+    for n_clients in client_counts:
+        rng = random.Random(repr((seed, n_clients)))
+        sim = Simulator()
+        proxy = sim.resource(capacity=proxy_workers, name="proxy")
+        seen_envs: set[int] = set()
+        stats = RunningStats()
+
+        def client(arrival: float, env_kind: int):
+            yield sim.timeout(arrival)
+            t_start = sim.now
+            # INIT_REQ / INIT_REP round trip.
+            yield sim.timeout(service.rtt_s)
+            # CLI_META_REP -> PAD_META_REP: queue for a proxy worker.
+            req = proxy.acquire()
+            yield req
+            if env_kind in seen_envs:
+                yield sim.timeout(service.cache_hit_s)
+            else:
+                seen_envs.add(env_kind)
+                yield sim.timeout(service.cache_miss_s)
+            proxy.release()
+            yield sim.timeout(service.rtt_s)
+            stats.add(sim.now - t_start)
+
+        t = 0.0
+        for i in range(n_clients):
+            t += rng.expovariate(arrival_rate_hz)
+            sim.process(client(t, rng.randrange(n_environment_kinds)), name=f"c{i}")
+        sim.run()
+        series.add(n_clients, stats.mean)
+    return series
+
+
+def negotiation_time_experiment_real(
+    system,
+    client_counts=(1, 50, 150, 300),
+    *,
+    arrival_rate_hz: float = 50.0,
+    proxy_workers: int = 4,
+    rtt_s: float = 2.0e-3,
+    seed: int = 13,
+) -> Series:
+    """Fig. 9(a) with the *real* proxy in the loop.
+
+    Each simulated client drives the actual two-message INP exchange
+    against ``system``'s adaptation proxy; the wall-clock time of each
+    handler call becomes that request's service time in the simulation,
+    so queueing, cache behaviour, and search cost are all the genuine
+    implementation's.  Clients cycle through the three paper environments
+    plus bandwidth jitter so both cache hits and misses occur.
+    """
+    import itertools
+
+    from ..core import inp as inp_codec
+    from ..core.inp import INPMessage, MsgType
+
+    app_id = system.appserver.app_id
+    proxy_handle = system.proxy.handle
+    env_cycle = list(PAPER_ENVIRONMENTS)
+
+    series = Series("negotiation (real proxy)")
+    counter = itertools.count()
+    for n_clients in client_counts:
+        rng = random.Random(repr((seed, n_clients)))
+        sim = Simulator()
+        workers = sim.resource(capacity=proxy_workers, name="proxy")
+        stats = RunningStats()
+
+        def negotiate_once(env, bandwidth_kbps: float) -> float:
+            """Drive the real INP exchange; returns wall service seconds."""
+            session = f"sim-{next(counter)}"
+            t0 = time.perf_counter()
+            init = INPMessage(MsgType.INIT_REQ, session, 0, {"app_id": app_id})
+            rep = inp_codec.decode(proxy_handle(inp_codec.encode(init)))
+            dev = {
+                "os_type": env.device.os_type,
+                "cpu_type": env.device.cpu_type,
+                "cpu_mhz": env.device.cpu_mhz,
+                "memory_mb": env.device.memory_mb,
+            }
+            ntwk = {
+                "network_type": env.link.network_type.value,
+                "bandwidth_kbps": bandwidth_kbps,
+            }
+            cli = rep.reply(
+                MsgType.CLI_META_REP, {"dev_meta": dev, "ntwk_meta": ntwk}
+            )
+            final = inp_codec.decode(proxy_handle(inp_codec.encode(cli)))
+            assert final.msg_type is MsgType.PAD_META_REP, final.body
+            return time.perf_counter() - t0
+
+        def client(arrival: float, env, bandwidth_kbps: float):
+            yield sim.timeout(arrival)
+            t_start = sim.now
+            yield sim.timeout(rtt_s)  # INIT round trip
+            req = workers.acquire()
+            yield req
+            service = negotiate_once(env, bandwidth_kbps)
+            yield sim.timeout(service)
+            workers.release()
+            yield sim.timeout(rtt_s)  # PAD_META_REP delivery
+            stats.add(sim.now - t_start)
+
+        t = 0.0
+        for i in range(n_clients):
+            t += rng.expovariate(arrival_rate_hz)
+            env = env_cycle[i % len(env_cycle)]
+            # Quantized bandwidth jitter: a handful of distinct values per
+            # environment, so the adaptation cache sees hits and misses.
+            bw = env.link.bandwidth_bps / 1000.0 * (1.0 + 0.01 * (i % 4))
+            sim.process(client(t, env, bw), name=f"c{i}")
+        sim.run()
+        series.add(n_clients, stats.mean)
+    return series
+
+
+def retrieval_time_experiment(
+    client_counts=DEFAULT_CLIENT_COUNTS,
+    *,
+    pad_bytes: int = 8 * 1024,
+    n_edges: int = 20,
+    server_uplink_bps: float = 10e6,
+    burst_window_s: float = 0.5,
+    wan_latency_s: float = 0.04,
+    seed: int = 11,
+) -> tuple[Series, Series]:
+    """Fig. 9(b): mean PAD retrieval time, centralized vs distributed.
+
+    A near-simultaneous burst of ``n`` clients downloads a PAD of
+    ``pad_bytes``.  Centralized: every flow shares one server uplink.
+    Distributed: clients resolve to their nearest edge on the synthetic
+    PlanetLab topology; each edge has the same uplink capacity as the
+    centralized server (the benefit is load spreading, not fatter pipes).
+    """
+    deployment = build_deployment(n_edges=n_edges, n_client_sites=24, seed=seed)
+    topo = deployment.topology
+    edge_names = [e.name for e in deployment.edges]
+
+    centralized = Series("centralized")
+    distributed = Series("distributed (CDN)")
+    for n_clients in client_counts:
+        rng = random.Random(repr((seed, n_clients)))
+        sites = [
+            deployment.client_sites[rng.randrange(len(deployment.client_sites))]
+            for _ in range(n_clients)
+        ]
+        starts = [rng.uniform(0.0, burst_window_s) for _ in range(n_clients)]
+
+        # -- centralized ---------------------------------------------------
+        sim = Simulator()
+        pipe = FairSharePipe(sim, server_uplink_bps, "origin-uplink")
+        stats = RunningStats()
+
+        def dl_central(start: float, site: str):
+            yield sim.timeout(start)
+            t0 = sim.now
+            yield sim.timeout(wan_latency_s + topo.latency_s(site, "origin"))
+            yield pipe.transfer(pad_bytes)
+            stats.add(sim.now - t0)
+
+        for start, site in zip(starts, sites):
+            sim.process(dl_central(start, site))
+        sim.run()
+        centralized.add(n_clients, stats.mean)
+
+        # -- distributed ------------------------------------------------------
+        sim = Simulator()
+        pipes = {name: FairSharePipe(sim, server_uplink_bps, name) for name in edge_names}
+        stats = RunningStats()
+
+        def dl_edge(start: float, site: str):
+            edge = topo.nearest(site, edge_names)
+            yield sim.timeout(start)
+            t0 = sim.now
+            yield sim.timeout(topo.latency_s(site, edge))
+            yield pipes[edge].transfer(pad_bytes)
+            stats.add(sim.now - t0)
+
+        for start, site in zip(starts, sites):
+            sim.process(dl_edge(start, site))
+        sim.run()
+        distributed.add(n_clients, stats.mean)
+    return centralized, distributed

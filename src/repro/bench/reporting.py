@@ -1,0 +1,47 @@
+"""Plain-text rendering for experiment results.
+
+Every figure/table regenerator ends in one of these helpers, so benchmark
+output looks like the paper's rows/series and diffs cleanly run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..simnet.stats import Series
+
+__all__ = ["render_table", "render_series", "fmt_ms", "fmt_kb"]
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}"
+
+
+def fmt_kb(nbytes: float) -> str:
+    return f"{nbytes / 1024:.1f}"
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title]
+    sep = "-+-".join("-" * w for w in widths)
+    for idx, row in enumerate(cells):
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Sequence[Series], x_label: str, y_label: str) -> str:
+    headers = [x_label] + [s.name for s in series]
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ValueError("all series must share x points for tabular rendering")
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([f"{x:g}"] + [f"{s.ys[i]:.4g}" for s in series])
+    return render_table(f"{title}  (y = {y_label})", headers, rows)

@@ -1,0 +1,211 @@
+"""Command-line harness: regenerate any table or figure of the paper.
+
+Usage::
+
+    fractal-bench table1
+    fractal-bench fig9a fig9b
+    fractal-bench fig10 fig11 headline
+    fractal-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..simnet.stats import Series
+from . import capacity, experiments, tables
+from .reporting import fmt_kb, fmt_ms, render_series, render_table
+
+__all__ = ["main"]
+
+_EXPERIMENTS = ("table1", "fig9a", "fig9b", "fig10", "fig11", "headline",
+                "timeline")
+
+
+def _build_system(era: bool = True):
+    from ..core.system import build_case_study
+
+    return build_case_study(calibrate=True, calibration_pages=2, era=era)
+
+
+def run_table1() -> str:
+    rows = tables.table1_rows()
+    return render_table(
+        "Table 1: PAD functions and implementations",
+        ["PAD name", "Function", "Implementation", "Mobile code bytes"],
+        rows,
+    )
+
+
+def run_fig9a() -> str:
+    series = capacity.negotiation_time_experiment()
+    ms = Series(series.name, series.xs, [y * 1000 for y in series.ys])
+    return render_series(
+        "Fig 9(a): average negotiation time vs clients",
+        [ms], "clients", "negotiation time (ms)",
+    )
+
+
+def run_fig9b() -> str:
+    central, dist = capacity.retrieval_time_experiment()
+    central_ms = Series(central.name, central.xs, [y * 1000 for y in central.ys])
+    dist_ms = Series(dist.name, dist.xs, [y * 1000 for y in dist.ys])
+    return render_series(
+        "Fig 9(b): average PAD retrieval time vs clients",
+        [central_ms, dist_ms], "clients", "retrieval time (ms)",
+    )
+
+
+def run_fig10(system=None) -> str:
+    system = system or _build_system()
+    panels = experiments.fig10_computing_overhead(system)
+    blocks = []
+    for panel, cells in panels.items():
+        rows = []
+        for scenario, cell in cells.items():
+            rows.append(
+                [
+                    scenario,
+                    cell["pad"],
+                    fmt_ms(cell["server_comp_s"]),
+                    fmt_ms(cell["client_comp_s"]),
+                    fmt_ms(cell["measured_server_s"]),
+                    fmt_ms(cell["measured_client_s"]),
+                ]
+            )
+        blocks.append(
+            render_table(
+                f"Fig 10({panel}): computing overhead",
+                ["scenario", "PAD", "server ms (era)", "client ms (era)",
+                 "server ms (this host)", "client ms (this host)"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def run_fig11(system=None) -> str:
+    system = system or _build_system()
+    measured = experiments.measure_traffic(system.corpus)
+    blocks = []
+    traffic = experiments.fig11_bytes_transferred(system, measured=measured)
+    rows = [
+        [env] + [fmt_kb(cols[p]) for p in experiments.CASE_STUDY_PADS]
+        for env, cols in traffic.items()
+    ]
+    blocks.append(
+        render_table(
+            "Fig 11(a): KBytes transferred per protocol",
+            ["environment", *experiments.CASE_STUDY_PADS],
+            rows,
+        )
+    )
+    for include, tag in ((True, "b"), (False, "c")):
+        totals = experiments.fig11_total_time(
+            system, include_server_compute=include, measured=measured
+        )
+        rows = []
+        for env, cols in totals.items():
+            rows.append(
+                [env]
+                + [fmt_ms(cols[p]) for p in experiments.CASE_STUDY_PADS]
+                + [cols["winner"]]
+            )
+        label = "with" if include else "without"
+        blocks.append(
+            render_table(
+                f"Fig 11({tag}): total time (ms), {label} server-side computing",
+                ["environment", *experiments.CASE_STUDY_PADS, "adaptive choice"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def run_headline(system=None) -> str:
+    system = system or _build_system()
+    savings = experiments.headline_savings(system)
+    rows = []
+    for env, cell in savings.items():
+        rows.append(
+            [
+                env,
+                fmt_ms(cell["adaptive_s"]),
+                fmt_ms(cell["none_s"]),
+                fmt_ms(cell["static_s"]),
+                f"{cell['vs_none'] * 100:.0f}%",
+                f"{cell['vs_static'] * 100:.0f}%",
+            ]
+        )
+    return render_table(
+        "Headline: total-overhead reduction (paper: 41% vs none, 14% vs static, "
+        "for some clients)",
+        ["environment", "adaptive ms", "none ms", "static ms",
+         "saving vs none", "saving vs static"],
+        rows,
+    )
+
+
+def run_timeline(system=None) -> str:
+    from ..workload.profiles import PAPER_ENVIRONMENTS
+    from .timeline import simulate_session_timeline
+
+    system = system or _build_system()
+    rows = []
+    for env in PAPER_ENVIRONMENTS:
+        t = simulate_session_timeline(system, env)
+        rows.append(
+            [
+                t.env_label,
+                "+".join(t.pad_ids),
+                fmt_ms(t.negotiation_s),
+                fmt_ms(t.pad_retrieval_s),
+                fmt_ms(t.app_transfer_s),
+                fmt_ms(t.server_compute_s),
+                fmt_ms(t.client_compute_s),
+                fmt_ms(t.total_s),
+            ]
+        )
+    return render_table(
+        "Session timeline (Fig. 4 sequence, ms)",
+        ["environment", "PAD", "negotiate", "PAD dl", "app xfer",
+         "srv comp", "cli comp", "TOTAL"],
+        rows,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fractal-bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        choices=[*_EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    args = parser.parse_args(argv)
+    wanted = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
+
+    system = None
+    outputs = []
+    for name in wanted:
+        if name in ("fig10", "fig11", "headline", "timeline") and system is None:
+            system = _build_system()
+        fn = {
+            "table1": run_table1,
+            "fig9a": run_fig9a,
+            "fig9b": run_fig9b,
+            "fig10": lambda: run_fig10(system),
+            "fig11": lambda: run_fig11(system),
+            "headline": lambda: run_headline(system),
+            "timeline": lambda: run_timeline(system),
+        }[name]
+        outputs.append(fn())
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""End-to-end session timeline: the whole Fig. 4 sequence, timed.
+
+For one client environment, decomposes a complete Fractal session into
+its phases and times each over the environment's link model:
+
+1. **Negotiation** — INIT_REQ→INIT_REP and CLI_META_REP→PAD_META_REP: the
+   *actual INP packet bytes* (captured from a real in-process run via the
+   transport meters) over the client link, plus the measured proxy
+   service time, plus proxy-side round-trip latency.
+2. **PAD retrieval** — the real signed-module bytes from the nearest CDN
+   edge over the client link.
+3. **Application session** — the real per-part request/response bytes
+   over the client link, plus era-model server and client compute.
+
+This is the number the paper's Eq. 3 estimates; comparing the two
+quantifies how well the negotiation model predicts reality (the
+``model_total_s`` field carries the Eq. 3 estimate for the same PAD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workload.profiles import ClientEnvironment
+from .capacity import measure_proxy_service_times
+from .experiments import env_meta
+
+__all__ = ["SessionTimeline", "simulate_session_timeline"]
+
+# One-way latency between a client site and the proxy/appserver domain.
+# The paper co-locates proxy and application server with the testbed
+# clients a few hops away, so this is metro-scale, not transcontinental.
+_WAN_LATENCY_S = 0.005
+
+
+@dataclass(frozen=True)
+class SessionTimeline:
+    """Phase-by-phase times for one complete session (seconds)."""
+
+    env_label: str
+    pad_ids: tuple[str, ...]
+    negotiation_s: float
+    pad_retrieval_s: float
+    app_transfer_s: float
+    server_compute_s: float
+    client_compute_s: float
+    model_total_s: float  # what Eq. 3 predicted for this path
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.negotiation_s
+            + self.pad_retrieval_s
+            + self.app_transfer_s
+            + self.server_compute_s
+            + self.client_compute_s
+        )
+
+
+def simulate_session_timeline(
+    system,
+    env: ClientEnvironment,
+    *,
+    page_id: int = 0,
+    old_version: int = 0,
+    new_version: int = 1,
+) -> SessionTimeline:
+    """Run a real session in-process, then time its bytes over ``env``'s link."""
+    link = env.link
+    client = system.make_client(env)
+    meter = system.transport.meter(client.name)
+
+    # Phase 1: negotiation — capture the real INP bytes.
+    meter.reset()
+    outcome = client.negotiate(system.appserver.app_id, force=True)
+    negotiation_bytes = meter.total_bytes
+    service = measure_proxy_service_times(system, rtt_s=0.0)
+    negotiation_s = (
+        link.transfer_time(negotiation_bytes, with_latency=False)
+        + 4 * (link.latency_s + _WAN_LATENCY_S)  # two round trips
+        + service.cache_miss_s
+    )
+
+    # Phase 2: PAD retrieval + phase 3: the adapted application session.
+    old_page = system.corpus.evolved(page_id, old_version)
+    meter.reset()
+    result = client.request_page(
+        system.appserver.app_id,
+        page_id,
+        old_parts=[old_page.text, *old_page.images],
+        old_version=old_version,
+        new_version=new_version,
+    )
+    pad_retrieval_s = (
+        link.transfer_time(result.pad_download_bytes, with_latency=False)
+        + 2 * (link.latency_s + _WAN_LATENCY_S)
+    )
+    app_transfer_s = (
+        link.transfer_time(result.app_traffic_bytes, with_latency=False)
+        + 2 * (link.latency_s + _WAN_LATENCY_S)
+    )
+
+    # Compute terms from the negotiation model (era-scaled when the
+    # system was built with era=True), summed along the negotiated path.
+    dev, ntwk = env_meta(env)
+    model = system.proxy.negotiation.model
+    pat = system.proxy.negotiation.pat(system.appserver.app_id)
+    server_s = 0.0
+    client_s = 0.0
+    model_total = 0.0
+    for meta in outcome.pads:
+        breakdown = model.breakdown(pat.resolve(meta.pad_id), dev, ntwk)
+        server_s += breakdown.server_comp_s
+        client_s += breakdown.client_comp_s
+        model_total += breakdown.total_s
+    return SessionTimeline(
+        env_label=env.label,
+        pad_ids=result.pad_ids,
+        negotiation_s=negotiation_s,
+        pad_retrieval_s=pad_retrieval_s,
+        app_transfer_s=app_transfer_s,
+        server_compute_s=server_s,
+        client_compute_s=client_s,
+        model_total_s=model_total,
+    )

@@ -1,0 +1,32 @@
+"""CDN substrate: origin + edge caches + redirection + replication."""
+
+from .cache import LRUCache
+from .edge import DEFAULT_EDGE_CACHE_BYTES, EdgeServer
+from .origin import OriginError, OriginServer
+from .planetlab import APPSERVER_SITE, ORIGIN_SITE, PROXY_SITE, Deployment, build_deployment
+from .redirector import RedirectError, Redirector
+from .replication import (
+    PopularityTracker,
+    invalidate_everywhere,
+    push_all,
+    push_popular,
+)
+
+__all__ = [
+    "LRUCache",
+    "DEFAULT_EDGE_CACHE_BYTES",
+    "EdgeServer",
+    "OriginError",
+    "OriginServer",
+    "APPSERVER_SITE",
+    "ORIGIN_SITE",
+    "PROXY_SITE",
+    "Deployment",
+    "build_deployment",
+    "RedirectError",
+    "Redirector",
+    "PopularityTracker",
+    "invalidate_everywhere",
+    "push_all",
+    "push_popular",
+]

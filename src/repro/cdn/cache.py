@@ -1,0 +1,78 @@
+"""LRU object cache used by CDN edgeservers.
+
+Capacity is in bytes (PADs have very different sizes).  Eviction is strict
+LRU; hit/miss/eviction counters feed the CDN experiments.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 1:
+            raise ValueError(f"capacity must be >= 1 byte, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._items: OrderedDict[str, bytes] = OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, key: str) -> Optional[bytes]:
+        value = self._items.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._items.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: str) -> Optional[bytes]:
+        """Look without touching recency or counters."""
+        return self._items.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        if len(value) > self.capacity_bytes:
+            raise ValueError(
+                f"object {key!r} ({len(value)} B) exceeds cache capacity "
+                f"({self.capacity_bytes} B)"
+            )
+        old = self._items.pop(key, None)
+        if old is not None:
+            self.used_bytes -= len(old)
+        self._items[key] = value
+        self.used_bytes += len(value)
+        while self.used_bytes > self.capacity_bytes:
+            evicted_key, evicted = self._items.popitem(last=False)
+            self.used_bytes -= len(evicted)
+            self.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        old = self._items.pop(key, None)
+        if old is None:
+            return False
+        self.used_bytes -= len(old)
+        return True
+
+    def clear(self) -> None:
+        self._items.clear()
+        self.used_bytes = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def keys(self) -> list[str]:
+        return list(self._items)

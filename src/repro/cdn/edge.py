@@ -1,0 +1,63 @@
+"""CDN edgeserver: cached delivery of PAD objects.
+
+On a cache miss the edge pulls from the origin (pull-through replication),
+exactly how commercial CDNs treat a Web object — the paper's point is that
+a PAD *is* a Web object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cache import LRUCache
+from .origin import OriginError, OriginServer
+
+__all__ = ["EdgeServer"]
+
+DEFAULT_EDGE_CACHE_BYTES = 16 * 1024 * 1024
+
+
+class EdgeServer:
+    def __init__(
+        self,
+        name: str,
+        origin: OriginServer,
+        cache_bytes: int = DEFAULT_EDGE_CACHE_BYTES,
+    ):
+        self.name = name
+        self.origin = origin
+        self.cache = LRUCache(cache_bytes)
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.origin_fetches = 0
+
+    def serve(self, key: str) -> bytes:
+        """Return the object, pulling through from origin on a miss."""
+        blob = self.cache.get(key)
+        if blob is None:
+            blob = self.origin.fetch(key)  # raises OriginError if unknown
+            self.origin_fetches += 1
+            self.cache.put(key, blob)
+        self.requests_served += 1
+        self.bytes_served += len(blob)
+        return blob
+
+    def preload(self, key: str) -> None:
+        """Push replication: warm the cache ahead of demand."""
+        blob = self.origin.fetch(key)
+        self.cache.put(key, blob)
+
+    def invalidate(self, key: str) -> bool:
+        """Purge a stale object (PAD upgrade path)."""
+        return self.cache.invalidate(key)
+
+    def has_cached(self, key: str) -> bool:
+        return key in self.cache
+
+    def try_serve_cached(self, key: str) -> Optional[bytes]:
+        """Serve only if cached; None otherwise (no origin traffic)."""
+        blob = self.cache.get(key)
+        if blob is not None:
+            self.requests_served += 1
+            self.bytes_served += len(blob)
+        return blob

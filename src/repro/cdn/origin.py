@@ -1,0 +1,51 @@
+"""Origin PAD server.
+
+Authoritative store of signed PAD blobs, keyed by ``pad_id/version``.  In
+the *centralized* deployment of Fig. 9(b) all clients download straight
+from here; in the CDN deployment edges pull from it on miss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["OriginServer", "OriginError"]
+
+
+class OriginError(Exception):
+    """Raised for unknown objects."""
+
+
+class OriginServer:
+    def __init__(self, name: str = "origin"):
+        self.name = name
+        self._objects: dict[str, bytes] = {}
+        self.requests_served = 0
+        self.bytes_served = 0
+
+    def publish(self, key: str, blob: bytes) -> None:
+        """Store (or replace) an object; replacement models a PAD upgrade."""
+        if not key:
+            raise OriginError("object key must be non-empty")
+        self._objects[key] = bytes(blob)
+
+    def withdraw(self, key: str) -> None:
+        self._objects.pop(key, None)
+
+    def has(self, key: str) -> bool:
+        return key in self._objects
+
+    def keys(self) -> list[str]:
+        return sorted(self._objects)
+
+    def fetch(self, key: str) -> bytes:
+        blob = self._objects.get(key)
+        if blob is None:
+            raise OriginError(f"origin has no object {key!r}")
+        self.requests_served += 1
+        self.bytes_served += len(blob)
+        return blob
+
+    def size_of(self, key: str) -> Optional[int]:
+        blob = self._objects.get(key)
+        return None if blob is None else len(blob)

@@ -1,0 +1,76 @@
+"""Synthetic PlanetLab-like deployment.
+
+The paper emulates a CDN with PlanetLab nodes.  We generate a deterministic
+wide-area node set: edges scattered over a coordinate plane (continental
+span), an origin/proxy/appserver cluster in one administrative domain (the
+paper co-locates proxy and application server), and client sites at
+configurable distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simnet.topology import Topology
+from .edge import EdgeServer
+from .origin import OriginServer
+from .redirector import Redirector
+
+__all__ = ["Deployment", "build_deployment"]
+
+ORIGIN_SITE = "origin"
+PROXY_SITE = "proxy"
+APPSERVER_SITE = "appserver"
+
+
+@dataclass
+class Deployment:
+    """Everything Fig. 9's experiments need, in one bundle."""
+
+    topology: Topology
+    origin: OriginServer
+    edges: list[EdgeServer]
+    redirector: Redirector
+    client_sites: list[str] = field(default_factory=list)
+
+
+def build_deployment(
+    *,
+    n_edges: int = 20,
+    n_client_sites: int = 12,
+    span: float = 60.0,
+    seed: int = 2005,
+    edge_cache_bytes: int = 16 * 1024 * 1024,
+) -> Deployment:
+    """Deterministic deployment: origin cluster + scattered edges + clients."""
+    if n_edges < 1:
+        raise ValueError(f"need at least one edge, got {n_edges}")
+    if n_client_sites < 1:
+        raise ValueError(f"need at least one client site, got {n_client_sites}")
+    names = (
+        [f"edge{i:02d}" for i in range(n_edges)]
+        + [f"clientsite{i:02d}" for i in range(n_client_sites)]
+    )
+    topology = Topology.random_plane(names, span=span, seed=seed)
+    # Origin/proxy/appserver share one administrative domain: one corner,
+    # tight cluster (paper: proxy "deployed in the same administration
+    # domain as the application server").
+    topology.add(ORIGIN_SITE, 0.0, 0.0)
+    topology.add(PROXY_SITE, 0.5, 0.0)
+    topology.add(APPSERVER_SITE, 0.0, 0.5)
+
+    origin = OriginServer()
+    redirector = Redirector(topology)
+    edges = []
+    for i in range(n_edges):
+        edge = EdgeServer(f"edge{i:02d}", origin, cache_bytes=edge_cache_bytes)
+        redirector.register_edge(edge)
+        edges.append(edge)
+    client_sites = [f"clientsite{i:02d}" for i in range(n_client_sites)]
+    return Deployment(
+        topology=topology,
+        origin=origin,
+        edges=edges,
+        redirector=redirector,
+        client_sites=client_sites,
+    )

@@ -1,0 +1,64 @@
+"""CDN request routing.
+
+The paper: "it is the CDN's responsibility to find the closest edgeserver
+which holds the PAD, and to redirect the request to that edgeserver."  The
+redirector resolves a client's site to the nearest edge (by topology
+latency), optionally preferring an edge that already holds the object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simnet.topology import Topology
+from .edge import EdgeServer
+
+__all__ = ["Redirector", "RedirectError"]
+
+
+class RedirectError(Exception):
+    """Raised when no edge can serve a request."""
+
+
+class Redirector:
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._edges: dict[str, EdgeServer] = {}
+
+    def register_edge(self, edge: EdgeServer) -> None:
+        if edge.name not in self.topology:
+            raise RedirectError(
+                f"edge {edge.name!r} has no site in the topology; add it first"
+            )
+        if edge.name in self._edges:
+            raise RedirectError(f"duplicate edge registration: {edge.name!r}")
+        self._edges[edge.name] = edge
+
+    def edges(self) -> list[EdgeServer]:
+        return [self._edges[n] for n in sorted(self._edges)]
+
+    def edge_names(self) -> list[str]:
+        return sorted(self._edges)
+
+    def resolve(
+        self, client_site: str, key: Optional[str] = None, *, prefer_cached: bool = True
+    ) -> EdgeServer:
+        """Pick the edge for ``client_site``.
+
+        With ``prefer_cached`` and a ``key``, edges already holding the
+        object win over strictly-nearer cold edges — the standard CDN
+        trade of locality for hit ratio.
+        """
+        if not self._edges:
+            raise RedirectError("no edges registered")
+        names = list(self._edges)
+        if prefer_cached and key is not None:
+            warm = [n for n in names if self._edges[n].has_cached(key)]
+            if warm:
+                return self._edges[self.topology.nearest(client_site, warm)]
+        return self._edges[self.topology.nearest(client_site, names)]
+
+    def fetch(self, client_site: str, key: str) -> tuple[bytes, EdgeServer]:
+        """Resolve and serve in one step; returns (blob, serving edge)."""
+        edge = self.resolve(client_site, key)
+        return edge.serve(key), edge

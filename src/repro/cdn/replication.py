@@ -1,0 +1,69 @@
+"""PAD replication policies across CDN edges.
+
+The paper deploys PADs "across the CDN edgeservers" in advance (push) and
+notes the CDN manages delivery thereafter.  Three policies are provided so
+the ablation benches can compare:
+
+* ``push_all`` — proactive full replication (the paper's setup).
+* ``push_popular`` — replicate only the top-k hottest objects.
+* pull-through — the default EdgeServer behaviour; nothing to do here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from .edge import EdgeServer
+from .origin import OriginServer
+
+__all__ = ["push_all", "push_popular", "invalidate_everywhere", "PopularityTracker"]
+
+
+def push_all(origin: OriginServer, edges: Iterable[EdgeServer]) -> int:
+    """Warm every edge with every origin object; returns objects pushed."""
+    pushed = 0
+    keys = origin.keys()
+    for edge in edges:
+        for key in keys:
+            edge.preload(key)
+            pushed += 1
+    return pushed
+
+
+class PopularityTracker:
+    """Counts per-object demand to drive ``push_popular``."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def record(self, key: str) -> None:
+        self._counts[key] += 1
+
+    def top(self, k: int) -> list[str]:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        # Deterministic: ties break on key.
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [key for key, _ in ranked[:k]]
+
+
+def push_popular(
+    origin: OriginServer,
+    edges: Iterable[EdgeServer],
+    tracker: PopularityTracker,
+    k: int,
+) -> int:
+    """Warm every edge with the ``k`` hottest objects; returns pushes."""
+    pushed = 0
+    hot = [key for key in tracker.top(k) if origin.has(key)]
+    for edge in edges:
+        for key in hot:
+            edge.preload(key)
+            pushed += 1
+    return pushed
+
+
+def invalidate_everywhere(edges: Iterable[EdgeServer], key: str) -> int:
+    """Purge a stale PAD from all edges (upgrade path); returns purges."""
+    return sum(1 for edge in edges if edge.invalidate(key))

@@ -1,0 +1,32 @@
+"""Chunking substrate: Rabin fingerprinting, content-defined and fixed chunking."""
+
+from .cdc import Chunk, ContentDefinedChunker, chunk_spans
+from .digest import DIGEST_SIZE, DigestTable, chunk_digest
+from .fixed import fixed_chunk_bytes, fixed_chunks
+from .rabin import (
+    DEFAULT_POLYNOMIAL,
+    DEFAULT_WINDOW,
+    RabinFingerprint,
+    is_irreducible,
+    polymod,
+    polymulmod,
+    polynomial_degree,
+)
+
+__all__ = [
+    "Chunk",
+    "ContentDefinedChunker",
+    "chunk_spans",
+    "DIGEST_SIZE",
+    "DigestTable",
+    "chunk_digest",
+    "fixed_chunk_bytes",
+    "fixed_chunks",
+    "DEFAULT_POLYNOMIAL",
+    "DEFAULT_WINDOW",
+    "RabinFingerprint",
+    "is_irreducible",
+    "polymod",
+    "polymulmod",
+    "polynomial_degree",
+]

@@ -1,0 +1,113 @@
+"""Content-defined chunking (LBFS-style vary-sized blocking).
+
+A position ends a chunk when the Rabin fingerprint of the preceding window
+matches ``magic`` on its low ``mask_bits`` bits, giving an expected chunk
+size of ``2**mask_bits`` bytes.  Min/max bounds suppress pathological tiny
+and runaway chunks exactly as LBFS does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .rabin import DEFAULT_POLYNOMIAL, DEFAULT_WINDOW, RabinFingerprint
+
+__all__ = ["Chunk", "ContentDefinedChunker", "chunk_spans"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A half-open span ``[offset, offset+length)`` of the source bytes."""
+
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def slice(self, data: bytes) -> bytes:
+        return data[self.offset : self.end]
+
+
+class ContentDefinedChunker:
+    """Splits byte strings at content-defined breakpoints."""
+
+    def __init__(
+        self,
+        *,
+        mask_bits: int = 13,
+        min_size: int | None = None,
+        max_size: int | None = None,
+        window: int = DEFAULT_WINDOW,
+        polynomial: int = DEFAULT_POLYNOMIAL,
+        magic: int = 0,
+    ):
+        if not 4 <= mask_bits <= 24:
+            raise ValueError(f"mask_bits must be in [4, 24], got {mask_bits}")
+        self.mask_bits = mask_bits
+        self.mask = (1 << mask_bits) - 1
+        self.magic = magic & self.mask
+        self.expected_size = 1 << mask_bits
+        self.min_size = min_size if min_size is not None else self.expected_size // 4
+        self.max_size = max_size if max_size is not None else self.expected_size * 4
+        if self.min_size < window:
+            # The window must be full before boundaries are meaningful.
+            self.min_size = window
+        if self.max_size <= self.min_size:
+            raise ValueError(
+                f"max_size ({self.max_size}) must exceed min_size ({self.min_size})"
+            )
+        self.window = window
+        self.polynomial = polynomial
+
+    def boundaries(self, data: bytes) -> Iterator[int]:
+        """Yield breakpoint positions (exclusive chunk ends) within ``data``.
+
+        The final position ``len(data)`` is always an implicit boundary and
+        is *not* yielded.
+        """
+        fp = RabinFingerprint(self.polynomial, self.window)
+        n = len(data)
+        chunk_start = 0
+        pos = 0
+        while pos < n:
+            f = fp.roll(data[pos])
+            pos += 1
+            size = pos - chunk_start
+            if size < self.min_size:
+                continue
+            if (f & self.mask) == self.magic or size >= self.max_size:
+                # Note: the fingerprint window keeps rolling across the
+                # boundary — breakpoints depend only on content, which is
+                # what makes them survive insertions/deletions elsewhere.
+                yield pos
+                chunk_start = pos
+
+    def chunk(self, data: bytes) -> list[Chunk]:
+        """Split ``data`` into chunks (empty input -> empty list)."""
+        chunks: list[Chunk] = []
+        start = 0
+        for end in self.boundaries(data):
+            chunks.append(Chunk(start, end - start))
+            start = end
+        if start < len(data):
+            chunks.append(Chunk(start, len(data) - start))
+        return chunks
+
+    def chunk_bytes(self, data: bytes) -> list[bytes]:
+        return [c.slice(data) for c in self.chunk(data)]
+
+
+def chunk_spans(chunks: list[Chunk], total: int) -> None:
+    """Validate that ``chunks`` exactly tile ``[0, total)`` (raises ValueError)."""
+    pos = 0
+    for c in chunks:
+        if c.offset != pos:
+            raise ValueError(f"gap/overlap at offset {pos}: chunk starts at {c.offset}")
+        if c.length <= 0:
+            raise ValueError(f"non-positive chunk length at offset {c.offset}")
+        pos = c.end
+    if pos != total:
+        raise ValueError(f"chunks cover {pos} bytes, expected {total}")

@@ -1,0 +1,77 @@
+"""Chunk digest tables for differencing protocols.
+
+Both differencing PADs exchange per-chunk digests: the receiver summarizes
+what it already has, the sender replies only with chunks the receiver
+lacks.  SHA-1 matches the paper's integrity primitive; a truncated form
+keeps digest-exchange traffic realistic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .cdc import Chunk
+
+__all__ = ["chunk_digest", "DigestTable", "DIGEST_SIZE"]
+
+DIGEST_SIZE = 20  # full SHA-1
+
+
+def chunk_digest(data: bytes, truncate: int = DIGEST_SIZE) -> bytes:
+    """SHA-1 of ``data``, optionally truncated (LBFS sends truncated hashes)."""
+    if not 4 <= truncate <= DIGEST_SIZE:
+        raise ValueError(f"truncate must be in [4, {DIGEST_SIZE}], got {truncate}")
+    return hashlib.sha1(data).digest()[:truncate]
+
+
+@dataclass(frozen=True)
+class DigestEntry:
+    digest: bytes
+    offset: int
+    length: int
+
+
+class DigestTable:
+    """digest -> list of chunk locations (collisions keep all locations)."""
+
+    def __init__(self, truncate: int = DIGEST_SIZE):
+        self.truncate = truncate
+        self._entries: dict[bytes, list[DigestEntry]] = {}
+        self.chunk_count = 0
+
+    @classmethod
+    def from_chunks(
+        cls, data: bytes, chunks: list[Chunk], truncate: int = DIGEST_SIZE
+    ) -> "DigestTable":
+        table = cls(truncate)
+        for c in chunks:
+            table.add(chunk_digest(c.slice(data), truncate), c.offset, c.length)
+        return table
+
+    def add(self, digest: bytes, offset: int, length: int) -> None:
+        if len(digest) != self.truncate:
+            raise ValueError(
+                f"digest length {len(digest)} != table truncation {self.truncate}"
+            )
+        self._entries.setdefault(digest, []).append(
+            DigestEntry(digest, offset, length)
+        )
+        self.chunk_count += 1
+
+    def lookup(self, digest: bytes) -> list[DigestEntry]:
+        return self._entries.get(digest, [])
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._entries
+
+    def __len__(self) -> int:
+        return self.chunk_count
+
+    def digests(self) -> list[bytes]:
+        """All distinct digests, insertion-ordered."""
+        return list(self._entries)
+
+    def wire_size(self) -> int:
+        """Bytes needed to ship this table (digest + offset/length varints ~ 8)."""
+        return self.chunk_count * (self.truncate + 8)

@@ -1,0 +1,26 @@
+"""Fixed-size chunking, the substrate of the Bitmap and rsync-style PADs."""
+
+from __future__ import annotations
+
+from .cdc import Chunk
+
+__all__ = ["fixed_chunks", "fixed_chunk_bytes"]
+
+
+def fixed_chunks(total: int, block_size: int) -> list[Chunk]:
+    """Tile ``[0, total)`` with ``block_size`` chunks (last may be short)."""
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    chunks = []
+    offset = 0
+    while offset < total:
+        length = min(block_size, total - offset)
+        chunks.append(Chunk(offset, length))
+        offset += length
+    return chunks
+
+
+def fixed_chunk_bytes(data: bytes, block_size: int) -> list[bytes]:
+    return [c.slice(data) for c in fixed_chunks(len(data), block_size)]

@@ -1,0 +1,163 @@
+"""Rabin fingerprinting by random polynomials (Rabin 1981).
+
+The breakpoint detector behind LBFS-style vary-sized blocking: a rolling
+fingerprint of the previous ``window`` bytes over GF(2)[x] modulo an
+irreducible polynomial.  When the low bits of the fingerprint match a fixed
+pattern, the position is a chunk boundary; because the fingerprint depends
+only on window content, boundaries survive insertions and deletions
+elsewhere in the file — the property the Vary-sized blocking PAD relies on.
+
+The implementation precomputes two 256-entry tables (out-table for the byte
+leaving the window, shift-table for the modular reduction) so the rolling
+update is two XORs and a shift per byte, the standard technique.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["RabinFingerprint", "DEFAULT_POLYNOMIAL", "DEFAULT_WINDOW",
+           "polynomial_degree", "polymod", "polymulmod", "is_irreducible"]
+
+# A degree-53 irreducible polynomial over GF(2) (same one LBFS ships).
+DEFAULT_POLYNOMIAL = 0x3DA3358B4DC173
+DEFAULT_WINDOW = 48  # bytes, per the paper ("the previous 48 bytes")
+
+
+def polynomial_degree(p: int) -> int:
+    """Degree of polynomial ``p`` (bit length - 1); -1 for the zero poly."""
+    return p.bit_length() - 1
+
+
+def polymod(x: int, p: int) -> int:
+    """x mod p over GF(2)."""
+    d = polynomial_degree(p)
+    while polynomial_degree(x) >= d:
+        x ^= p << (polynomial_degree(x) - d)
+    return x
+
+
+def polymulmod(a: int, b: int, p: int) -> int:
+    """(a * b) mod p over GF(2)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if polynomial_degree(a) >= polynomial_degree(p):
+            a ^= p
+    return polymod(result, p)
+
+
+def is_irreducible(p: int) -> bool:
+    """Rabin's irreducibility test for polynomials over GF(2).
+
+    ``p`` is irreducible iff x^(2^d) == x (mod p) and, for every prime
+    divisor q of d, gcd(p, x^(2^(d/q)) - x) == 1.
+    """
+    d = polynomial_degree(p)
+    if d <= 0:
+        return False
+
+    def sqmod(a: int) -> int:
+        return polymulmod(a, a, p)
+
+    def x_pow_2k(k: int) -> int:
+        a = 0b10  # the polynomial x
+        for _ in range(k):
+            a = sqmod(a)
+        return a
+
+    def gcd(a: int, b: int) -> int:
+        while b:
+            a, b = b, polymod(a, b)
+        return a
+
+    if x_pow_2k(d) != 0b10:
+        return False
+    # Prime factors of d.
+    n, factors = d, set()
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.add(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.add(n)
+    for q in factors:
+        h = x_pow_2k(d // q) ^ 0b10
+        if polynomial_degree(gcd(p, h)) > 0:
+            return False
+    return True
+
+
+class RabinFingerprint:
+    """Rolling Rabin fingerprint over a fixed-size byte window."""
+
+    def __init__(
+        self,
+        polynomial: int = DEFAULT_POLYNOMIAL,
+        window: int = DEFAULT_WINDOW,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if polynomial_degree(polynomial) < 8:
+            raise ValueError("polynomial degree must be at least 8")
+        self.polynomial = polynomial
+        self.window = window
+        self._degree = polynomial_degree(polynomial)
+        self._shift_table = self._build_shift_table()
+        self._out_table = self._build_out_table()
+        self.reset()
+
+    def _build_shift_table(self) -> list[int]:
+        # table[b] = (b << degree) mod p, folding the high byte back in.
+        return [polymod(b << self._degree, self.polynomial) for b in range(256)]
+
+    def _build_out_table(self) -> list[int]:
+        # Contribution of the byte about to age out of the window.  It was
+        # appended ``window - 1`` rolls ago and multiplied by x^8 on each
+        # roll since, so it currently contributes (b * x^(8*(window-1))).
+        # We subtract it *before* the append shifts everything again.
+        x_pow = polymod(1 << (8 * (self.window - 1)), self.polynomial)
+        return [polymulmod(b, x_pow, self.polynomial) for b in range(256)]
+
+    def reset(self) -> None:
+        self.fingerprint = 0
+        self._buf = bytearray(self.window)
+        self._pos = 0
+        self._filled = 0
+
+    def _append(self, byte: int) -> int:
+        """Fingerprint update without window removal (warm-up phase)."""
+        fp = self.fingerprint
+        top = fp >> (self._degree - 8)
+        fp = ((fp << 8) | byte) & ((1 << self._degree) - 1)
+        return fp ^ self._shift_table[top]
+
+    def roll(self, byte: int) -> int:
+        """Slide the window one byte; return the new fingerprint."""
+        if self._filled < self.window:
+            self._filled += 1
+        else:
+            old = self._buf[self._pos]
+            self.fingerprint ^= self._out_table[old]
+        self._buf[self._pos] = byte
+        self._pos = (self._pos + 1) % self.window
+        self.fingerprint = self._append(byte)
+        return self.fingerprint
+
+    def roll_bytes(self, data: bytes) -> Iterator[int]:
+        """Yield the fingerprint after each byte of ``data``."""
+        for b in data:
+            yield self.roll(b)
+
+    def fingerprint_of(self, data: bytes) -> int:
+        """One-shot fingerprint of the last ``window`` bytes of ``data``."""
+        self.reset()
+        fp = 0
+        for b in data[-self.window :]:
+            fp = self.roll(b)
+        return fp

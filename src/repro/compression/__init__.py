@@ -1,0 +1,43 @@
+"""Compression substrate: from-scratch LZSS + canonical Huffman.
+
+Public surface: :func:`compress` / :func:`decompress` (deflate-lite
+container), plus the building blocks (tokenizer, Huffman coder, checksums,
+bit I/O) for tests and for protocol authors.
+"""
+
+from .bitio import BitReader, BitWriter, BitstreamError
+from .checksums import adler32, crc32
+from .gziplike import CompressionError, compress, decompress
+from .huffman import CanonicalCode, HuffmanError, code_lengths_from_freqs
+from .lz77 import (
+    MAX_MATCH,
+    MIN_MATCH,
+    WINDOW_SIZE,
+    Literal,
+    LZError,
+    Match,
+    detokenize,
+    tokenize,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "BitstreamError",
+    "adler32",
+    "crc32",
+    "CompressionError",
+    "compress",
+    "decompress",
+    "CanonicalCode",
+    "HuffmanError",
+    "code_lengths_from_freqs",
+    "MAX_MATCH",
+    "MIN_MATCH",
+    "WINDOW_SIZE",
+    "Literal",
+    "LZError",
+    "Match",
+    "detokenize",
+    "tokenize",
+]

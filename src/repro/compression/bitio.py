@@ -1,0 +1,85 @@
+"""Bit-level I/O for the Huffman coder.
+
+LSB-first bit order (as in DEFLATE): the first bit written occupies the
+least-significant bit of the first byte.  Huffman codes are written
+MSB-of-code-first via :meth:`BitWriter.write_code` so canonical codes sort
+correctly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader", "BitstreamError"]
+
+
+class BitstreamError(Exception):
+    """Raised on reads past the end of the stream."""
+
+
+class BitWriter:
+    __slots__ = ("_buffer", "_acc", "_nbits")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write ``count`` bits of ``value``, LSB first."""
+        if count < 0:
+            raise ValueError(f"negative bit count: {count}")
+        if value < 0 or (count < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        self._acc |= value << self._nbits
+        self._nbits += count
+        while self._nbits >= 8:
+            self._buffer.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def write_code(self, code: int, length: int) -> None:
+        """Write a Huffman code of ``length`` bits, MSB of the code first."""
+        for shift in range(length - 1, -1, -1):
+            self.write_bits((code >> shift) & 1, 1)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._buffer) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padding the final partial byte) and return bytes."""
+        out = bytearray(self._buffer)
+        if self._nbits:
+            out.append(self._acc & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    __slots__ = ("_data", "_pos", "_acc", "_nbits")
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits, LSB first (inverse of write_bits)."""
+        if count < 0:
+            raise ValueError(f"negative bit count: {count}")
+        while self._nbits < count:
+            if self._pos >= len(self._data):
+                raise BitstreamError("read past end of bitstream")
+            self._acc |= self._data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        value = self._acc & ((1 << count) - 1)
+        self._acc >>= count
+        self._nbits -= count
+        return value
+
+    def read_bit(self) -> int:
+        return self.read_bits(1)
+
+    @property
+    def bits_remaining(self) -> int:
+        return (len(self._data) - self._pos) * 8 + self._nbits

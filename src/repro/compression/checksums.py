@@ -1,0 +1,62 @@
+"""From-scratch checksums used by the compression container and chunk tables.
+
+Adler-32 (as in zlib streams) and CRC-32 (IEEE 802.3 polynomial, as in gzip
+members).  Both match the stdlib `zlib` implementations bit-for-bit — the
+test suite cross-checks them — but are implemented here so the substrate has
+no opaque dependencies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["adler32", "crc32"]
+
+_ADLER_MOD = 65521  # largest prime < 2**16
+
+# Process Adler-32 in blocks: the accumulators fit comfortably in Python
+# ints, and deferring the modulo to once per block is the classic speed
+# trick (5552 is the largest n such that 255*n*(n+1)/2 + (n+1)*(MOD-1)
+# stays below 2**32).
+_ADLER_NMAX = 5552
+
+
+def adler32(data: bytes, value: int = 1) -> int:
+    """Adler-32 of ``data``, continuing from ``value`` (default fresh)."""
+    a = value & 0xFFFF
+    b = (value >> 16) & 0xFFFF
+    pos = 0
+    n = len(data)
+    while pos < n:
+        end = min(pos + _ADLER_NMAX, n)
+        for byte in data[pos:end]:
+            a += byte
+            b += a
+        a %= _ADLER_MOD
+        b %= _ADLER_MOD
+        pos = end
+    return (b << 16) | a
+
+
+def _build_crc_table() -> tuple[int, ...]:
+    poly = 0xEDB88320  # reflected IEEE polynomial
+    table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC_TABLE = _build_crc_table()
+
+
+def crc32(data: bytes, value: int = 0) -> int:
+    """CRC-32 (gzip/zip flavour) of ``data``, continuing from ``value``."""
+    crc = value ^ 0xFFFFFFFF
+    table = _CRC_TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF

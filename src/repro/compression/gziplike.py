@@ -1,0 +1,271 @@
+""""Deflate-lite" container: LZSS tokens entropy-coded with canonical Huffman.
+
+This is the Gzip PAD's wire format.  It follows DEFLATE's architecture —
+one literal/length alphabet with extra bits, one distance alphabet with
+extra bits, canonical code lengths shipped in the header — without being
+bit-compatible with RFC 1951.  A ``backend="zlib"`` fast path produces the
+same container around a real zlib stream for benchmarks where pure-Python
+coding speed is not the object of study.
+
+Container layout::
+
+    magic   4 bytes  b"FZL1"
+    flags   1 byte   bit0: 0=pure, 1=zlib payload
+    origlen varint
+    crc32   4 bytes  big-endian CRC-32 of the original data
+    payload ...
+
+An empty input is legal and produces an empty payload.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib as _zlib
+from collections import Counter
+
+from .bitio import BitReader, BitWriter
+
+# The container checksums with CRC-32.  Our from-scratch implementation in
+# .checksums is bit-identical to zlib's (the test suite proves it); the hot
+# path uses zlib's C implementation so container overhead doesn't distort
+# protocol timing measurements.
+from zlib import crc32
+from .huffman import CanonicalCode, HuffmanError
+from .lz77 import Literal, Match, Token, detokenize, tokenize
+
+__all__ = ["compress", "decompress", "CompressionError", "MAGIC"]
+
+MAGIC = b"FZL1"
+_FLAG_ZLIB = 0x01
+
+_EOB = 256  # end-of-block symbol in the literal/length alphabet
+
+# Deflate-style length codes: (base_length, extra_bits) for symbols 257..284,
+# plus symbol 285 = length 258 exactly.
+_LENGTH_TABLE: list[tuple[int, int]] = []
+
+
+def _build_length_table() -> None:
+    base = 3
+    for extra in (0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+                  3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5):
+        _LENGTH_TABLE.append((base, extra))
+        base += 1 << extra
+    _LENGTH_TABLE.append((258, 0))  # symbol 285
+
+
+_build_length_table()
+_LITLEN_ALPHABET = 257 + len(_LENGTH_TABLE)  # 286
+
+# Deflate-style distance codes: 30 codes covering 1..32768.
+_DIST_TABLE: list[tuple[int, int]] = []
+
+
+def _build_dist_table() -> None:
+    base = 1
+    extras = [0, 0, 0, 0] + [e for e in range(1, 14) for _ in (0, 1)]
+    for extra in extras:
+        _DIST_TABLE.append((base, extra))
+        base += 1 << extra
+
+
+_build_dist_table()
+_DIST_ALPHABET = len(_DIST_TABLE)  # 30
+
+
+class CompressionError(Exception):
+    """Raised on malformed containers or internal inconsistencies."""
+
+
+def _length_symbol(length: int) -> tuple[int, int, int]:
+    """(symbol, extra_value, extra_bits) for a match length."""
+    if length == 258:
+        return (257 + len(_LENGTH_TABLE) - 1, 0, 0)
+    for i in range(len(_LENGTH_TABLE) - 1, -1, -1):
+        base, extra = _LENGTH_TABLE[i]
+        if base <= length < base + (1 << extra):
+            return (257 + i, length - base, extra)
+    raise CompressionError(f"length {length} out of range")
+
+
+def _dist_symbol(distance: int) -> tuple[int, int, int]:
+    """(symbol, extra_value, extra_bits) for a match distance."""
+    for i in range(len(_DIST_TABLE) - 1, -1, -1):
+        base, extra = _DIST_TABLE[i]
+        if base <= distance < base + (1 << extra):
+            return (i, distance - base, extra)
+    raise CompressionError(f"distance {distance} out of range")
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise CompressionError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CompressionError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise CompressionError("varint too long")
+
+
+def _write_lengths(writer: BitWriter, lengths: tuple[int, ...]) -> None:
+    for l in lengths:
+        if l > 15:
+            raise CompressionError(f"code length {l} exceeds 15")
+        writer.write_bits(l, 4)
+
+
+def _read_lengths(reader: BitReader, count: int) -> tuple[int, ...]:
+    return tuple(reader.read_bits(4) for _ in range(count))
+
+
+def _encode_tokens(tokens: list[Token]) -> bytes:
+    # Pass 1: symbol statistics.
+    lit_freqs: Counter[int] = Counter()
+    dist_freqs: Counter[int] = Counter()
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            lit_freqs[tok.byte] += 1
+        else:
+            sym, _, _ = _length_symbol(tok.length)
+            lit_freqs[sym] += 1
+            dsym, _, _ = _dist_symbol(tok.distance)
+            dist_freqs[dsym] += 1
+    lit_freqs[_EOB] += 1
+    lit_code = CanonicalCode.from_freqs(dict(lit_freqs), _LITLEN_ALPHABET)
+    # The distance alphabet may be empty (no matches at all); reserve a
+    # one-symbol placeholder code so the header stays fixed-shape.
+    if dist_freqs:
+        dist_code = CanonicalCode.from_freqs(dict(dist_freqs), _DIST_ALPHABET)
+    else:
+        dist_code = CanonicalCode.from_freqs({0: 1}, _DIST_ALPHABET)
+
+    writer = BitWriter()
+    _write_lengths(writer, lit_code.lengths)
+    _write_lengths(writer, dist_code.lengths)
+
+    lit_enc = lit_code.encoder()
+    dist_enc = dist_code.encoder()
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            code, length = lit_enc[tok.byte]
+            writer.write_code(code, length)
+        else:
+            sym, extra_val, extra_bits = _length_symbol(tok.length)
+            code, length = lit_enc[sym]
+            writer.write_code(code, length)
+            if extra_bits:
+                writer.write_bits(extra_val, extra_bits)
+            dsym, dextra_val, dextra_bits = _dist_symbol(tok.distance)
+            code, length = dist_enc[dsym]
+            writer.write_code(code, length)
+            if dextra_bits:
+                writer.write_bits(dextra_val, dextra_bits)
+    code, length = lit_enc[_EOB]
+    writer.write_code(code, length)
+    return writer.getvalue()
+
+
+def _decode_tokens(payload: bytes) -> list[Token]:
+    reader = BitReader(payload)
+    try:
+        lit_code = CanonicalCode(_read_lengths(reader, _LITLEN_ALPHABET))
+        dist_code = CanonicalCode(_read_lengths(reader, _DIST_ALPHABET))
+    except HuffmanError as exc:
+        raise CompressionError(f"bad code table: {exc}") from exc
+    lit_dec = lit_code.decoder()
+    dist_dec = dist_code.decoder()
+    tokens: list[Token] = []
+    while True:
+        try:
+            sym = lit_code.decode_symbol(reader, lit_dec)
+        except HuffmanError as exc:
+            raise CompressionError(f"corrupt stream: {exc}") from exc
+        if sym == _EOB:
+            return tokens
+        if sym < 256:
+            tokens.append(Literal(sym))
+            continue
+        idx = sym - 257
+        if idx >= len(_LENGTH_TABLE):
+            raise CompressionError(f"invalid length symbol {sym}")
+        base, extra = _LENGTH_TABLE[idx]
+        length = base + (reader.read_bits(extra) if extra else 0)
+        try:
+            dsym = dist_code.decode_symbol(reader, dist_dec)
+        except HuffmanError as exc:
+            raise CompressionError(f"corrupt distance: {exc}") from exc
+        dbase, dextra = _DIST_TABLE[dsym]
+        distance = dbase + (reader.read_bits(dextra) if dextra else 0)
+        tokens.append(Match(length, distance))
+
+
+def compress(data: bytes, *, backend: str = "pure", max_chain: int = 64) -> bytes:
+    """Compress ``data`` into a deflate-lite container.
+
+    ``backend="pure"`` uses the from-scratch LZSS+Huffman pipeline;
+    ``backend="zlib"`` wraps a zlib stream in the same container (fast path
+    for large benchmark corpora).
+    """
+    if backend not in ("pure", "zlib"):
+        raise ValueError(f"unknown backend: {backend!r}")
+    header = bytearray(MAGIC)
+    header.append(_FLAG_ZLIB if backend == "zlib" else 0)
+    _write_varint(header, len(data))
+    header += struct.pack(">I", crc32(data))
+    if not data:
+        return bytes(header)
+    if backend == "zlib":
+        payload = _zlib.compress(data, 6)
+    else:
+        payload = _encode_tokens(tokenize(data, max_chain=max_chain))
+    return bytes(header) + payload
+
+
+def decompress(blob: bytes) -> bytes:
+    """Decompress a deflate-lite container, verifying length and CRC."""
+    if len(blob) < len(MAGIC) + 1:
+        raise CompressionError("container too short")
+    if blob[: len(MAGIC)] != MAGIC:
+        raise CompressionError("bad magic")
+    flags = blob[len(MAGIC)]
+    origlen, pos = _read_varint(blob, len(MAGIC) + 1)
+    if pos + 4 > len(blob):
+        raise CompressionError("truncated header")
+    (expected_crc,) = struct.unpack(">I", blob[pos : pos + 4])
+    payload = blob[pos + 4 :]
+    if origlen == 0:
+        data = b""
+    elif flags & _FLAG_ZLIB:
+        try:
+            data = _zlib.decompress(payload)
+        except _zlib.error as exc:
+            raise CompressionError(f"zlib payload corrupt: {exc}") from exc
+    else:
+        data = detokenize(_decode_tokens(payload))
+    if len(data) != origlen:
+        raise CompressionError(
+            f"length mismatch: header says {origlen}, got {len(data)}"
+        )
+    if crc32(data) != expected_crc:
+        raise CompressionError("CRC mismatch")
+    return data

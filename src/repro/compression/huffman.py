@@ -1,0 +1,184 @@
+"""Canonical Huffman coding.
+
+Builds optimal prefix codes from symbol frequencies (package-merge length
+limiting keeps every code <= ``max_bits``), converts them to canonical form
+so only the code *lengths* need shipping, and encodes/decodes symbol
+sequences against a :class:`BitWriter`/:class:`BitReader`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from .bitio import BitReader, BitWriter, BitstreamError
+
+__all__ = ["HuffmanError", "CanonicalCode", "code_lengths_from_freqs"]
+
+
+class HuffmanError(Exception):
+    """Raised for invalid code tables or corrupt streams."""
+
+
+def _tree_code_lengths(freqs: dict[int, int]) -> dict[int, int]:
+    """Unrestricted Huffman code lengths via the classic heap algorithm."""
+    heap: list[tuple[int, int, tuple[int, ...]]] = []
+    tie = 0
+    for sym, f in sorted(freqs.items()):
+        heap.append((f, tie, (sym,)))
+        tie += 1
+    heapq.heapify(heap)
+    lengths = {sym: 0 for sym in freqs}
+    if len(heap) == 1:
+        # A single distinct symbol still needs one bit on the wire.
+        only = next(iter(freqs))
+        return {only: 1}
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        for sym in s1 + s2:
+            lengths[sym] += 1
+        heapq.heappush(heap, (f1 + f2, tie, s1 + s2))
+        tie += 1
+    return lengths
+
+
+def code_lengths_from_freqs(
+    freqs: dict[int, int], max_bits: int = 15
+) -> dict[int, int]:
+    """Optimal (length-limited) code lengths for the given frequencies.
+
+    If the unrestricted Huffman tree exceeds ``max_bits``, lengths are
+    rebalanced with the standard overflow-repair used by zlib: repeatedly
+    shorten an over-long code by lengthening a shorter one, preserving the
+    Kraft inequality.
+    """
+    if not freqs:
+        raise HuffmanError("cannot build a code for an empty alphabet")
+    if any(f <= 0 for f in freqs.values()):
+        raise HuffmanError("frequencies must be positive")
+    if max_bits < 1:
+        raise HuffmanError(f"max_bits must be >= 1, got {max_bits}")
+    if len(freqs) > (1 << max_bits):
+        raise HuffmanError(
+            f"{len(freqs)} symbols cannot fit in {max_bits}-bit codes"
+        )
+    lengths = _tree_code_lengths(freqs)
+    if max(lengths.values()) <= max_bits:
+        return lengths
+
+    # Overflow repair: clamp, then fix Kraft sum K = sum(2^-len) to 1.
+    for sym in lengths:
+        if lengths[sym] > max_bits:
+            lengths[sym] = max_bits
+    # Work in units of 2^-max_bits so everything is integral.
+    kraft = sum(1 << (max_bits - l) for l in lengths.values())
+    budget = 1 << max_bits
+    # Lengthen the cheapest (least frequent) codes until the Kraft sum fits.
+    by_freq = sorted(lengths, key=lambda s: (freqs[s], s))
+    while kraft > budget:
+        for sym in by_freq:
+            if lengths[sym] < max_bits:
+                kraft -= 1 << (max_bits - lengths[sym] - 1)
+                lengths[sym] += 1
+                break
+        else:  # pragma: no cover - unreachable given the size check above
+            raise HuffmanError("cannot satisfy Kraft inequality")
+    # Tighten: shorten codes where there is slack (keeps optimality close).
+    improved = True
+    while improved:
+        improved = False
+        for sym in sorted(lengths, key=lambda s: (-freqs[s], s)):
+            if lengths[sym] > 1:
+                gain = 1 << (max_bits - lengths[sym])
+                if kraft + gain <= budget:
+                    kraft += gain
+                    lengths[sym] -= 1
+                    improved = True
+    return lengths
+
+
+@dataclass(frozen=True)
+class CanonicalCode:
+    """A canonical Huffman code over symbols ``0..alphabet_size-1``.
+
+    ``lengths[sym]`` is the code length in bits, 0 meaning the symbol does
+    not occur.  Codes are assigned in (length, symbol) order, the canonical
+    convention, so the lengths array fully determines the code.
+    """
+
+    lengths: tuple[int, ...]
+
+    @classmethod
+    def from_freqs(
+        cls, freqs: dict[int, int], alphabet_size: int, max_bits: int = 15
+    ) -> "CanonicalCode":
+        if any(not 0 <= s < alphabet_size for s in freqs):
+            raise HuffmanError("symbol outside alphabet")
+        lens = code_lengths_from_freqs(freqs, max_bits=max_bits)
+        arr = [0] * alphabet_size
+        for sym, l in lens.items():
+            arr[sym] = l
+        return cls(tuple(arr))
+
+    def __post_init__(self) -> None:
+        used = [(l, s) for s, l in enumerate(self.lengths) if l > 0]
+        if not used:
+            raise HuffmanError("code has no symbols")
+        # Kraft check: canonical assignment must not overflow.
+        max_len = max(l for l, _ in used)
+        kraft = sum(1 << (max_len - l) for l, _ in used)
+        if kraft > (1 << max_len):
+            raise HuffmanError("code lengths violate the Kraft inequality")
+
+    def _assign(self) -> dict[int, tuple[int, int]]:
+        """symbol -> (code, length), canonical order."""
+        used = sorted((l, s) for s, l in enumerate(self.lengths) if l > 0)
+        codes: dict[int, tuple[int, int]] = {}
+        code = 0
+        prev_len = used[0][0]
+        for length, sym in used:
+            code <<= length - prev_len
+            codes[sym] = (code, length)
+            code += 1
+            prev_len = length
+        return codes
+
+    def encoder(self) -> dict[int, tuple[int, int]]:
+        return self._assign()
+
+    def decoder(self) -> dict[tuple[int, int], int]:
+        """(code, length) -> symbol map for bit-at-a-time decoding."""
+        return {cl: sym for sym, cl in self._assign().items()}
+
+    # -- stream helpers ------------------------------------------------------
+
+    def encode_symbols(self, symbols: Sequence[int], writer: BitWriter) -> None:
+        enc = self.encoder()
+        for sym in symbols:
+            try:
+                code, length = enc[sym]
+            except KeyError:
+                raise HuffmanError(f"symbol {sym} has no code") from None
+            writer.write_code(code, length)
+
+    def decode_symbol(self, reader: BitReader, _dec=None) -> int:
+        dec = _dec if _dec is not None else self.decoder()
+        code = 0
+        length = 0
+        max_len = max(self.lengths)
+        while length <= max_len:
+            try:
+                code = (code << 1) | reader.read_bit()
+            except BitstreamError:
+                raise HuffmanError("bitstream ended mid-symbol") from None
+            length += 1
+            sym = dec.get((code, length))
+            if sym is not None:
+                return sym
+        raise HuffmanError("invalid Huffman code in stream")
+
+    def decode_symbols(self, reader: BitReader, count: int) -> list[int]:
+        dec = self.decoder()
+        return [self.decode_symbol(reader, dec) for _ in range(count)]

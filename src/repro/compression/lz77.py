@@ -1,0 +1,164 @@
+"""LZSS (LZ77-family) match finding and tokenization.
+
+The Gzip PAD's algorithmic core: a sliding-window dictionary coder with a
+hash-chain match finder, the same family as zlib's deflate.  Output is a
+token stream of literals and (length, distance) copies, later entropy-coded
+by the Huffman stage.
+
+Parameters mirror deflate: window up to 32 KiB, match lengths 3..258.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+__all__ = ["Literal", "Match", "Token", "tokenize", "detokenize", "LZError",
+           "MIN_MATCH", "MAX_MATCH", "WINDOW_SIZE"]
+
+MIN_MATCH = 3
+MAX_MATCH = 258
+WINDOW_SIZE = 32 * 1024
+_HASH_BITS = 15
+_HASH_SIZE = 1 << _HASH_BITS
+_HASH_MASK = _HASH_SIZE - 1
+
+
+class LZError(Exception):
+    """Raised when a token stream is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class Literal:
+    byte: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte <= 255:
+            raise LZError(f"literal out of range: {self.byte}")
+
+
+@dataclass(frozen=True)
+class Match:
+    length: int
+    distance: int
+
+    def __post_init__(self) -> None:
+        if not MIN_MATCH <= self.length <= MAX_MATCH:
+            raise LZError(f"match length out of range: {self.length}")
+        if not 1 <= self.distance <= WINDOW_SIZE:
+            raise LZError(f"match distance out of range: {self.distance}")
+
+
+Token = Union[Literal, Match]
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    return ((data[pos] << 10) ^ (data[pos + 1] << 5) ^ data[pos + 2]) & _HASH_MASK
+
+
+def tokenize(
+    data: bytes,
+    *,
+    max_chain: int = 64,
+    lazy: bool = True,
+) -> list[Token]:
+    """Greedy/lazy LZSS parse of ``data``.
+
+    ``max_chain`` bounds how many previous positions with the same 3-byte
+    hash are probed per position (the compression-vs-speed lever, like
+    deflate levels).  ``lazy`` enables one-step lazy matching: defer a match
+    if the next position offers a strictly longer one.
+    """
+    if max_chain < 1:
+        raise ValueError(f"max_chain must be >= 1, got {max_chain}")
+    n = len(data)
+    tokens: list[Token] = []
+    if n == 0:
+        return tokens
+
+    head = [-1] * _HASH_SIZE          # hash -> most recent position
+    prev = [-1] * n                   # position -> previous same-hash position
+
+    def insert(pos: int) -> None:
+        if pos + MIN_MATCH <= n:
+            h = _hash3(data, pos)
+            prev[pos] = head[h]
+            head[h] = pos
+
+    def find_match(pos: int) -> tuple[int, int]:
+        """Best (length, distance) at ``pos``, or (0, 0)."""
+        if pos + MIN_MATCH > n:
+            return (0, 0)
+        limit = min(MAX_MATCH, n - pos)
+        best_len = MIN_MATCH - 1
+        best_dist = 0
+        candidate = head[_hash3(data, pos)]
+        chain = max_chain
+        lo = pos - WINDOW_SIZE
+        while candidate >= 0 and candidate >= lo and chain > 0:
+            if candidate < pos:
+                length = 0
+                while (
+                    length < limit
+                    and data[candidate + length] == data[pos + length]
+                ):
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = pos - candidate
+                    if length >= limit:
+                        break
+            candidate = prev[candidate]
+            chain -= 1
+        if best_dist == 0:
+            return (0, 0)
+        return (best_len, best_dist)
+
+    pos = 0
+    while pos < n:
+        length, dist = find_match(pos)
+        if length >= MIN_MATCH:
+            if lazy and pos + 1 < n:
+                insert(pos)
+                nlen, ndist = find_match(pos + 1)
+                if nlen > length:
+                    # Defer: emit a literal, take the better match next loop.
+                    tokens.append(Literal(data[pos]))
+                    pos += 1
+                    continue
+                # Keep current match; positions inside it still enter the
+                # dictionary so later matches can reference them.
+                tokens.append(Match(length, dist))
+                for p in range(pos + 1, pos + length):
+                    insert(p)
+                pos += length
+                continue
+            tokens.append(Match(length, dist))
+            for p in range(pos, pos + length):
+                insert(p)
+            pos += length
+        else:
+            insert(pos)
+            tokens.append(Literal(data[pos]))
+            pos += 1
+    return tokens
+
+
+def detokenize(tokens: Iterable[Token]) -> bytes:
+    """Reconstruct the original bytes from a token stream."""
+    out = bytearray()
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            out.append(tok.byte)
+        elif isinstance(tok, Match):
+            start = len(out) - tok.distance
+            if start < 0:
+                raise LZError(
+                    f"match distance {tok.distance} exceeds output length {len(out)}"
+                )
+            # Overlapping copies (distance < length) must copy byte-by-byte.
+            for i in range(tok.length):
+                out.append(out[start + i])
+        else:
+            raise LZError(f"unknown token type: {type(tok)!r}")
+    return bytes(out)

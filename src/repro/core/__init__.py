@@ -1,0 +1,91 @@
+"""Fractal core: metadata, PAT, overhead model, search, proxy, client, server."""
+
+from .appserver import ApplicationServer, ServerStats, default_pad_overheads, pad_url, url_key
+from .calibration import HOST_CPU_MHZ, calibrate_overheads, calibrate_pad
+from .client import FractalClient, NegotiationOutcome, SessionResult
+from .errors import (
+    FractalError,
+    MetadataError,
+    NegotiationError,
+    PATError,
+    ProtocolMismatchError,
+)
+from .inp import INP_VERSION, INPMessage, MsgType
+from .inp import decode as inp_decode
+from .inp import encode as inp_encode
+from .metadata import AppMeta, DevMeta, NtwkMeta, PADMeta, PADOverhead
+from .overhead import (
+    INFEASIBLE,
+    OverheadBreakdown,
+    OverheadModel,
+    RatioMatrix,
+    STD_BANDWIDTH_KBPS,
+    STD_CPU_MHZ,
+    paper_case_study_matrices,
+)
+from .layered import build_layered_case_study
+from .pat import PAT, PATNode
+from .peer import FractalPeer
+from .proxy import AdaptationProxy, DistributionManager, NegotiationManager, ProxyStats
+from .search import SearchResult, find_adaptation_path, mark_tree
+from .system import (
+    APP_ID,
+    APPSERVER_ENDPOINT,
+    PROXY_ENDPOINT,
+    CaseStudySystem,
+    build_case_study,
+    case_study_app_meta_pads,
+)
+
+__all__ = [
+    "build_layered_case_study",
+    "FractalPeer",
+    "ApplicationServer",
+    "ServerStats",
+    "default_pad_overheads",
+    "pad_url",
+    "url_key",
+    "HOST_CPU_MHZ",
+    "calibrate_overheads",
+    "calibrate_pad",
+    "FractalClient",
+    "NegotiationOutcome",
+    "SessionResult",
+    "FractalError",
+    "MetadataError",
+    "NegotiationError",
+    "PATError",
+    "ProtocolMismatchError",
+    "INP_VERSION",
+    "INPMessage",
+    "MsgType",
+    "inp_decode",
+    "inp_encode",
+    "AppMeta",
+    "DevMeta",
+    "NtwkMeta",
+    "PADMeta",
+    "PADOverhead",
+    "INFEASIBLE",
+    "OverheadBreakdown",
+    "OverheadModel",
+    "RatioMatrix",
+    "STD_BANDWIDTH_KBPS",
+    "STD_CPU_MHZ",
+    "paper_case_study_matrices",
+    "PAT",
+    "PATNode",
+    "AdaptationProxy",
+    "DistributionManager",
+    "NegotiationManager",
+    "ProxyStats",
+    "SearchResult",
+    "find_adaptation_path",
+    "mark_tree",
+    "APP_ID",
+    "APPSERVER_ENDPOINT",
+    "PROXY_ENDPOINT",
+    "CaseStudySystem",
+    "build_case_study",
+    "case_study_app_meta_pads",
+]

@@ -1,0 +1,312 @@
+"""The application server.
+
+Responsibilities per the paper:
+
+* Hold all PADs pre-deployed (server side never downloads mobile code).
+* Sign PADs and publish them to the CDN origin; register digests/URLs with
+  the adaptation proxy's distribution manager.
+* Push ``AppMeta`` (the adaptation topology) to the proxy when it is first
+  created or later changed.
+* Serve application sessions: for an ``APP_REQ`` carrying the negotiated
+  protocol identifications, run the server half of each per-part exchange
+  against the versioned page corpus.
+
+Adaptive content is generated **reactively** (encode on demand — cheap in
+memory, pays compute per request) or **proactively** (pre-encode and cache
+— the §3.1 trade-off and the Fig. 10(d)/11(c) variant).  Proactive mode
+only applies to protocols whose response is independent of the client
+request payload; request-dependent protocols (Bitmap, Fixed) fall back to
+reactive with a cache keyed on the request digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cdn.origin import OriginServer
+from ..mobilecode import Signer
+from ..protocols import CommProtocol, build_pad_module, instantiate
+from ..protocols.stack import ProtocolStack
+from ..workload.pages import Corpus
+from . import inp
+from .errors import NegotiationError, ProtocolMismatchError
+from .inp import INPMessage, MsgType
+from .metadata import AppMeta, PADMeta, PADOverhead
+from .proxy import AdaptationProxy
+
+__all__ = ["ApplicationServer", "ServerStats", "pad_url", "url_key"]
+
+_URL_SCHEME = "cdn://"
+
+
+def pad_url(pad_id: str, version: str) -> str:
+    """The PADMeta download URL: the CDN resolves it to the closest edge."""
+    return f"{_URL_SCHEME}{pad_id}/{version}"
+
+
+def url_key(url: str) -> str:
+    """The CDN object key inside a PAD URL."""
+    if not url.startswith(_URL_SCHEME):
+        raise NegotiationError(f"unsupported PAD URL scheme: {url!r}")
+    return url[len(_URL_SCHEME) :]
+
+
+@dataclass
+class ServerStats:
+    app_requests: int = 0
+    parts_encoded: int = 0
+    precompute_hits: int = 0
+    encode_time_s: float = 0.0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+class ApplicationServer:
+    """One application (the case study's medical web server) plus its PADs."""
+
+    def __init__(
+        self,
+        app_id: str,
+        corpus: Corpus,
+        signer: Signer,
+        *,
+        proactive: bool = False,
+    ):
+        self.app_id = app_id
+        self.corpus = corpus
+        self.signer = signer
+        self.proactive = proactive
+        self.stats = ServerStats()
+        self._protocols: dict[str, CommProtocol] = {}
+        self._pad_meta: dict[str, PADMeta] = {}
+        self._pad_order: list[str] = []
+        # Proactive/response cache: (pad ids, page, oldv, newv, part, reqhash)
+        self._response_cache: dict[tuple, bytes] = {}
+
+    # -- PAD deployment ----------------------------------------------------------
+
+    def deploy_pad(self, meta: PADMeta) -> None:
+        """Pre-deploy one PAD server-side (instantiates the real protocol)."""
+        if meta.pad_id in self._pad_meta:
+            raise NegotiationError(f"PAD {meta.pad_id!r} already deployed")
+        self._pad_meta[meta.pad_id] = meta
+        self._pad_order.append(meta.pad_id)
+        if meta.alias_of is None:
+            self._protocols[meta.pad_id] = instantiate(
+                meta.resolved_id, **meta.init_kwargs
+            )
+
+    def app_meta(self) -> AppMeta:
+        return AppMeta(
+            app_id=self.app_id,
+            pads=tuple(self._pad_meta[p] for p in self._pad_order),
+        )
+
+    def publish(self, proxy: AdaptationProxy, origin: OriginServer) -> None:
+        """Push AppMeta to the proxy; sign + publish PAD blobs to the CDN.
+
+        Also registers each PAD's digest and URL with the distribution
+        manager, which inserts them into client-bound PADMeta.
+        """
+        proxy.push_app_meta(self.app_meta())
+        published: set[str] = set()
+        for pad_id in self._pad_order:
+            meta = self._pad_meta[pad_id]
+            real = meta.resolved_id
+            if real in published:
+                continue
+            published.add(real)
+            module = build_pad_module(real, **self._pad_meta.get(real, meta).init_kwargs)
+            signed = self.signer.sign(module)
+            version = module.version
+            origin.publish(url_key(pad_url(real, version)), signed.to_wire())
+            proxy.register_distribution(
+                real, module.digest(), pad_url(real, version)
+            )
+
+    def upgrade_pad(
+        self,
+        pad_id: str,
+        proxy: AdaptationProxy,
+        origin: OriginServer,
+        edges,
+        *,
+        version: str,
+    ) -> str:
+        """Publish a new version of one PAD; returns its new digest.
+
+        The upgrade path: re-package + re-sign the module, publish it to
+        the origin under a versioned key, purge the stale object from
+        every edge, register the new digest/URL with the distribution
+        manager, and invalidate the adaptation cache so subsequent
+        negotiations hand out the new metadata.  Clients holding stale
+        protocol-cache entries recover on their next download (the digest
+        check fails and they renegotiate).
+        """
+        if pad_id not in self._pad_meta:
+            raise NegotiationError(f"PAD {pad_id!r} is not deployed here")
+        old_key = None
+        for key in origin.keys():
+            if key.startswith(f"{pad_id}/"):
+                old_key = key
+        module = build_pad_module(
+            pad_id, version=version, **self._pad_meta[pad_id].init_kwargs
+        )
+        signed = self.signer.sign(module)
+        new_key = url_key(pad_url(pad_id, version))
+        origin.publish(new_key, signed.to_wire())
+        if old_key is not None and old_key != new_key:
+            origin.withdraw(old_key)
+        for edge in edges:
+            if old_key is not None:
+                edge.invalidate(old_key)
+            edge.preload(new_key)
+        proxy.register_distribution(pad_id, module.digest(), pad_url(pad_id, version))
+        proxy.distribution.invalidate_app(self.app_id)
+        return module.digest()
+
+    # -- application sessions -------------------------------------------------------
+
+    def _stack_for(self, pad_ids: list[str]) -> CommProtocol:
+        protocols = []
+        for pid in pad_ids:
+            proto = self._protocols.get(pid)
+            if proto is None:
+                raise ProtocolMismatchError(
+                    f"client negotiated PAD {pid!r} which is not deployed here"
+                )
+            protocols.append(proto)
+        if len(protocols) == 1:
+            return protocols[0]
+        return ProtocolStack(protocols)
+
+    def _page_parts(self, page_id: int, version: int) -> list[bytes]:
+        page = self.corpus.evolved(page_id, version)
+        return [page.text, *page.images]
+
+    def precompute(self, pad_ids: list[str], page_id: int, old_version: int,
+                   new_version: int) -> int:
+        """Proactively encode every part for request-independent PADs.
+
+        Returns the number of parts pre-encoded.  This is the paper's
+        proactive adaptive content: spend memory now, skip server compute
+        at request time.
+        """
+        stack = self._stack_for(pad_ids)
+        old_parts = self._page_parts(page_id, old_version) if old_version >= 0 else None
+        new_parts = self._page_parts(page_id, new_version)
+        count = 0
+        for part_idx, new in enumerate(new_parts):
+            old = old_parts[part_idx] if old_parts and part_idx < len(old_parts) else None
+            request = stack.client_request(old)
+            key = self._cache_key(pad_ids, page_id, old_version, new_version,
+                                  part_idx, request)
+            if key not in self._response_cache:
+                self._response_cache[key] = stack.server_respond(request, old, new)
+                count += 1
+        return count
+
+    @staticmethod
+    def _cache_key(pad_ids, page_id, old_version, new_version, part_idx,
+                   request: bytes) -> tuple:
+        req_hash = hashlib.sha1(request).hexdigest() if request else ""
+        return (tuple(pad_ids), page_id, old_version, new_version, part_idx, req_hash)
+
+    def serve_app_request(self, body: dict) -> dict:
+        """The server half of an APP_REQ: encode every requested part."""
+        self.stats.app_requests += 1
+        pad_ids = body.get("pad_ids")
+        page_id = body.get("page_id")
+        old_version = body.get("old_version", -1)
+        new_version = body.get("new_version")
+        part_requests = body.get("part_requests")
+        if (
+            not isinstance(pad_ids, list)
+            or not isinstance(page_id, int)
+            or not isinstance(new_version, int)
+            or not isinstance(part_requests, list)
+        ):
+            raise ProtocolMismatchError("malformed APP_REQ body")
+        stack = self._stack_for(pad_ids)
+        has_old = isinstance(old_version, int) and old_version >= 0
+        old_parts = self._page_parts(page_id, old_version) if has_old else None
+        new_parts = self._page_parts(page_id, new_version)
+        if len(part_requests) != len(new_parts):
+            raise ProtocolMismatchError(
+                f"client sent {len(part_requests)} part requests, page has "
+                f"{len(new_parts)} parts"
+            )
+        responses = []
+        for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
+            request = inp.b64d(req_b64)
+            self.stats.bytes_in += len(request)
+            old = (
+                old_parts[part_idx]
+                if old_parts and part_idx < len(old_parts)
+                else None
+            )
+            key = self._cache_key(pad_ids, page_id, old_version, new_version,
+                                  part_idx, request)
+            cached = self._response_cache.get(key)
+            if cached is not None:
+                self.stats.precompute_hits += 1
+                response = cached
+            else:
+                t0 = time.perf_counter()
+                response = stack.server_respond(request, old, new)
+                self.stats.encode_time_s += time.perf_counter() - t0
+                if self.proactive:
+                    self._response_cache[key] = response
+            self.stats.parts_encoded += 1
+            self.stats.bytes_out += len(response)
+            responses.append(inp.b64e(response))
+        return {
+            "page_id": page_id,
+            "new_version": new_version,
+            "pad_ids": pad_ids,
+            "part_responses": responses,
+        }
+
+    # -- INP transport handler ---------------------------------------------------
+
+    def handle(self, request: bytes) -> bytes:
+        try:
+            msg = inp.decode(request)
+        except Exception as exc:
+            err = INPMessage(MsgType.INP_ERROR, "unknown", 0, {"error": str(exc)})
+            return inp.encode(err)
+        if msg.msg_type is not MsgType.APP_REQ:
+            return inp.encode(
+                inp.error_reply(msg, f"appserver cannot handle {msg.msg_type.value}")
+            )
+        try:
+            body = self.serve_app_request(msg.body)
+        except (ProtocolMismatchError, NegotiationError, IndexError, ValueError) as exc:
+            return inp.encode(inp.error_reply(msg, str(exc)))
+        return inp.encode(msg.reply(MsgType.APP_REP, body))
+
+
+def default_pad_overheads() -> dict[str, PADOverhead]:
+    """Placeholder Eq.-1 vectors; calibrate_overheads() replaces them.
+
+    Values are rough per-page expectations used only until a measurement
+    pass runs (tests that don't care about absolute costs use these).
+    """
+    return {
+        "direct": PADOverhead(traffic_std_bytes=135_000, client_comp_std_s=0.0,
+                              server_comp_s=0.0),
+        "gzip": PADOverhead(traffic_std_bytes=110_000, client_comp_std_s=0.01,
+                            server_comp_s=0.005),
+        "vary": PADOverhead(traffic_std_bytes=10_000, client_comp_std_s=0.005,
+                            server_comp_s=0.2),
+        "bitmap": PADOverhead(traffic_std_bytes=14_000, client_comp_std_s=0.005,
+                              server_comp_s=0.001),
+        "fixed": PADOverhead(traffic_std_bytes=18_000, client_comp_std_s=0.05,
+                             server_comp_s=0.02),
+    }
+
+
+__all__.append("default_pad_overheads")

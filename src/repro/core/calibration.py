@@ -1,0 +1,120 @@
+"""Measuring Eq. 1's per-PAD overhead vectors on the real implementations.
+
+The paper pre-tests each PAD to fill ``PAD_traffic``, ``PAD_comp^client``
+(normalized to the 500 MHz standard processor) and ``PAD_comp^server``.
+We do the same: run each protocol over sample version pairs from the
+corpus and average.
+
+One substitution is explicit here: the benchmark host plays the role of
+the application server *and* is assumed to be a Desktop-class machine
+(:data:`HOST_CPU_MHZ` = 2000, the paper's desktop).  Client times measured
+on this host are converted to standard-processor times by the linear model
+itself (multiply by ``HOST_CPU_MHZ / STD_CPU_MHZ``), which keeps the whole
+pipeline self-consistent: scaling back to a 2000 MHz desktop returns the
+measured number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..protocols import run_exchange
+from ..protocols.padlib import PAD_SPECS, instantiate
+from ..workload.pages import Corpus
+from .metadata import PADOverhead
+from .overhead import STD_CPU_MHZ
+
+__all__ = ["HOST_CPU_MHZ", "CalibrationSample", "calibrate_pad", "calibrate_overheads"]
+
+HOST_CPU_MHZ = 2000.0  # the benchmark host stands in for the paper's desktop
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """Per-page-pair measurements for one PAD."""
+
+    pad_id: str
+    traffic_bytes: float
+    client_time_s: float
+    server_time_s: float
+
+
+def calibrate_pad(
+    pad_id: str,
+    corpus: Corpus,
+    *,
+    page_ids: Sequence[int],
+    old_version: int = 0,
+    new_version: int = 1,
+    repeats: int = 1,
+) -> tuple[PADOverhead, list[CalibrationSample]]:
+    """Measure one PAD over the given pages; returns (overhead, samples).
+
+    Traffic and times are per *page* (summed over the page's parts),
+    averaged over pages and repeats.  The minimum over repeats is used per
+    page — standard practice to suppress scheduler noise.
+    """
+    if pad_id not in PAD_SPECS:
+        raise KeyError(f"unknown PAD {pad_id!r}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    protocol = instantiate(pad_id)
+    samples: list[CalibrationSample] = []
+    for page_id in page_ids:
+        old_page = corpus.evolved(page_id, old_version)
+        new_page = corpus.evolved(page_id, new_version)
+        old_parts = [old_page.text, *old_page.images]
+        new_parts = [new_page.text, *new_page.images]
+        best: Optional[CalibrationSample] = None
+        for _ in range(repeats):
+            traffic = client_t = server_t = 0.0
+            for old, new in zip(old_parts, new_parts):
+                result = run_exchange(protocol, old, new)
+                traffic += result.traffic_bytes
+                client_t += result.client_time_s
+                server_t += result.server_time_s
+            sample = CalibrationSample(pad_id, traffic, client_t, server_t)
+            if best is None or sample.client_time_s + sample.server_time_s < (
+                best.client_time_s + best.server_time_s
+            ):
+                best = sample
+        assert best is not None
+        samples.append(best)
+    n = len(samples)
+    if n == 0:
+        raise ValueError("calibration needs at least one page")
+    mean_traffic = sum(s.traffic_bytes for s in samples) / n
+    mean_client = sum(s.client_time_s for s in samples) / n
+    mean_server = sum(s.server_time_s for s in samples) / n
+    overhead = PADOverhead(
+        traffic_std_bytes=mean_traffic,
+        client_comp_std_s=mean_client * (HOST_CPU_MHZ / STD_CPU_MHZ),
+        server_comp_s=mean_server,
+    )
+    return overhead, samples
+
+
+def calibrate_overheads(
+    corpus: Corpus,
+    pad_ids: Iterable[str] = ("direct", "gzip", "vary", "bitmap"),
+    *,
+    n_pages: int = 3,
+    old_version: int = 0,
+    new_version: int = 1,
+    repeats: int = 1,
+) -> dict[str, PADOverhead]:
+    """Calibrate several PADs on the first ``n_pages`` of the corpus."""
+    page_ids = list(range(min(n_pages, corpus.n_pages)))
+    out: dict[str, PADOverhead] = {}
+    for pad_id in pad_ids:
+        overhead, _ = calibrate_pad(
+            pad_id,
+            corpus,
+            page_ids=page_ids,
+            old_version=old_version,
+            new_version=new_version,
+            repeats=repeats,
+        )
+        out[pad_id] = overhead
+    return out

@@ -1,0 +1,320 @@
+"""The Fractal client host.
+
+Implements the client side of Fig. 4: check the local protocol cache,
+negotiate with the adaptation proxy (INIT_REQ → INIT_REP/CLI_META_REQ →
+CLI_META_REP → PAD_META_REP), download the negotiated PADs from the CDN,
+verify (digest + signature) and deploy them in the sandbox, then run the
+application session with the server using the negotiated protocol stack.
+
+The client probes its own ``DevMeta``/``NtwkMeta`` from its
+:class:`~repro.workload.profiles.ClientEnvironment`; mobility is a call to
+:meth:`set_environment`, after which the next request re-negotiates (the
+protocol cache keeps per-environment entries, so returning to a previously
+seen environment skips the proxy entirely — the paper's client cache).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..mobilecode import MobileCodeError, ModuleLoader, SignedModule, TrustStore
+from ..protocols import CommProtocol
+from ..protocols.stack import ProtocolStack
+from ..workload.profiles import ClientEnvironment
+from . import inp
+from .appserver import url_key
+from .errors import NegotiationError, ProtocolMismatchError
+from .inp import INPMessage, MsgType
+from .metadata import DevMeta, NtwkMeta, PADMeta
+
+__all__ = ["FractalClient", "SessionResult", "NegotiationOutcome"]
+
+_session_counter = itertools.count(1)
+
+Transport = Callable[[str, str, bytes], bytes]  # (src, dst, payload) -> reply
+CdnFetch = Callable[[str], bytes]  # object key -> blob
+
+
+@dataclass
+class NegotiationOutcome:
+    """What one negotiation produced, with timing for Fig. 9(a)."""
+
+    pads: tuple[PADMeta, ...]
+    negotiation_time_s: float
+    from_cache: bool
+
+
+@dataclass
+class SessionResult:
+    """One full page retrieval through the negotiated protocol."""
+
+    page_id: int
+    new_version: int
+    pad_ids: tuple[str, ...]
+    parts: list[bytes]
+    app_request_bytes: int
+    app_response_bytes: int
+    pad_download_bytes: int
+    negotiation_time_s: float
+    pad_retrieval_time_s: float
+    client_compute_s: float
+    negotiated_from_cache: bool
+
+    @property
+    def app_traffic_bytes(self) -> int:
+        return self.app_request_bytes + self.app_response_bytes
+
+    @property
+    def content(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class FractalClient:
+    def __init__(
+        self,
+        name: str,
+        environment: ClientEnvironment,
+        *,
+        transport: object,
+        proxy_endpoint: str,
+        appserver_endpoint: str,
+        cdn_fetch: CdnFetch,
+        trust_store: TrustStore,
+    ):
+        self.name = name
+        self.environment = environment
+        self._transport = transport
+        self.proxy_endpoint = proxy_endpoint
+        self.appserver_endpoint = appserver_endpoint
+        self.cdn_fetch = cdn_fetch
+        self.loader = ModuleLoader(trust_store)
+        # Protocol cache: (app_id, dev key, ntwk key) -> PADMeta tuple.
+        self._protocol_cache: dict[tuple, tuple[PADMeta, ...]] = {}
+        # Deployed stacks: same key -> live protocol instance.
+        self._stacks: dict[tuple, CommProtocol] = {}
+        self._pad_bytes: dict[str, int] = {}  # resolved pad id -> blob size
+        self.protocol_cache_hits = 0
+        self.negotiations = 0
+
+    # -- environment probing ("system calls", Fig. 4) ---------------------------
+
+    def probe_dev_meta(self) -> DevMeta:
+        dev = self.environment.device
+        return DevMeta(
+            os_type=dev.os_type,
+            cpu_type=dev.cpu_type,
+            cpu_mhz=dev.cpu_mhz,
+            memory_mb=dev.memory_mb,
+        )
+
+    def probe_ntwk_meta(self) -> NtwkMeta:
+        link = self.environment.link
+        return NtwkMeta(
+            network_type=link.network_type.value,
+            bandwidth_kbps=link.bandwidth_bps / 1000.0,
+        )
+
+    def set_environment(self, environment: ClientEnvironment) -> None:
+        """Mobility: the device moved to a different network/device combo."""
+        self.environment = environment
+
+    def _cache_key(self, app_id: str) -> tuple:
+        return (
+            app_id,
+            self.probe_dev_meta().cache_key(),
+            self.probe_ntwk_meta().cache_key(),
+        )
+
+    # -- negotiation --------------------------------------------------------------
+
+    def _rpc(self, dst: str, msg: INPMessage) -> INPMessage:
+        reply_bytes = self._transport.request(self.name, dst, inp.encode(msg))
+        reply = inp.decode(reply_bytes)
+        # INP header integrity (Fig. 4): a reply must stay in our session
+        # and advance the sequence number.  Error packets from handlers
+        # that never saw a valid header are exempt.
+        if reply.msg_type is not MsgType.INP_ERROR:
+            if reply.session_id != msg.session_id:
+                raise ProtocolMismatchError(
+                    f"reply session {reply.session_id!r} does not match "
+                    f"request session {msg.session_id!r}"
+                )
+            if reply.seq != msg.seq + 1:
+                raise ProtocolMismatchError(
+                    f"reply seq {reply.seq} is not request seq {msg.seq} + 1"
+                )
+        return reply
+
+    def negotiate(self, app_id: str, *, force: bool = False) -> NegotiationOutcome:
+        """Protocol-cache-first negotiation with the adaptation proxy."""
+        key = self._cache_key(app_id)
+        if not force:
+            cached = self._protocol_cache.get(key)
+            if cached is not None:
+                self.protocol_cache_hits += 1
+                return NegotiationOutcome(cached, 0.0, from_cache=True)
+        self.negotiations += 1
+        session_id = f"{self.name}-{next(_session_counter)}"
+        t0 = time.perf_counter()
+        init = INPMessage(MsgType.INIT_REQ, session_id, 0, {"app_id": app_id})
+        init_rep = self._rpc(self.proxy_endpoint, init).expect(MsgType.INIT_REP)
+        if "cli_meta_req" not in init_rep.body:
+            raise ProtocolMismatchError("INIT_REP did not carry CLI_META_REQ")
+        cli_meta = init_rep.reply(
+            MsgType.CLI_META_REP,
+            {
+                "dev_meta": self.probe_dev_meta().to_wire(),
+                "ntwk_meta": self.probe_ntwk_meta().to_wire(),
+            },
+        )
+        pad_rep = self._rpc(self.proxy_endpoint, cli_meta).expect(MsgType.PAD_META_REP)
+        elapsed = time.perf_counter() - t0
+        pads_wire = pad_rep.body.get("pads")
+        if not isinstance(pads_wire, list) or not pads_wire:
+            raise NegotiationError("PAD_META_REP carried no PAD metadata")
+        pads = tuple(PADMeta.from_wire(p) for p in pads_wire)
+        self._protocol_cache[key] = pads
+        return NegotiationOutcome(pads, elapsed, from_cache=False)
+
+    # -- PAD download + deployment ---------------------------------------------------
+
+    def _deploy_stack(self, key: tuple, pads: tuple[PADMeta, ...]) -> tuple[CommProtocol, int, float]:
+        """Download/verify/deploy each PAD; returns (stack, bytes, seconds)."""
+        existing = self._stacks.get(key)
+        if existing is not None:
+            return existing, 0, 0.0
+        total_bytes = 0
+        protocols: list[CommProtocol] = []
+        t0 = time.perf_counter()
+        for meta in pads:
+            if meta.url is None or meta.digest is None:
+                raise NegotiationError(
+                    f"PADMeta for {meta.pad_id!r} lacks distribution info"
+                )
+            try:
+                blob = self.cdn_fetch(url_key(meta.url))
+            except Exception as exc:
+                # Normalize CDN failures (e.g. a withdrawn object after a
+                # PAD upgrade) so the caller's single retry path handles
+                # them uniformly.
+                raise MobileCodeError(
+                    f"download of {meta.url!r} failed: {exc}"
+                ) from exc
+            total_bytes += len(blob)
+            self._pad_bytes[meta.resolved_id] = len(blob)
+            signed = SignedModule.from_wire(blob)
+            init_kwargs = dict(
+                signed.module.metadata.get("init_kwargs", {})
+            )
+            loaded = self.loader.load(
+                signed, expected_digest=meta.digest, init_kwargs=init_kwargs
+            )
+            protocols.append(loaded.instance)
+        stack: CommProtocol = (
+            protocols[0] if len(protocols) == 1 else ProtocolStack(protocols)
+        )
+        elapsed = time.perf_counter() - t0
+        self._stacks[key] = stack
+        return stack, total_bytes, elapsed
+
+    # -- the application session ---------------------------------------------------------
+
+    def request_page(
+        self,
+        app_id: str,
+        page_id: int,
+        *,
+        old_parts: Optional[list[bytes]] = None,
+        old_version: int = -1,
+        new_version: int = 1,
+        force_negotiation: bool = False,
+    ) -> SessionResult:
+        """Retrieve one page through the negotiated protocol.
+
+        ``old_parts`` is what the client already holds (None on first
+        contact); ``old_version`` tells the server which version that is.
+        """
+        outcome = self.negotiate(app_id, force=force_negotiation)
+        key = self._cache_key(app_id)
+        try:
+            stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
+        except MobileCodeError:
+            # Stale protocol-cache entry after a PAD upgrade: the CDN
+            # served a newer module than our cached digest.  Drop the
+            # cached negotiation and retry once against the proxy.
+            self._protocol_cache.pop(key, None)
+            self._stacks.pop(key, None)
+            outcome = self.negotiate(app_id, force=True)
+            stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
+        pad_ids = tuple(m.resolved_id for m in outcome.pads)
+
+        n_parts = len(old_parts) if old_parts is not None else self._probe_part_count(
+            app_id, page_id, new_version
+        )
+        t0 = time.perf_counter()
+        part_requests = []
+        for idx in range(n_parts):
+            old = old_parts[idx] if old_parts is not None else None
+            part_requests.append(inp.b64e(stack.client_request(old)))
+        t1 = time.perf_counter()
+
+        session_id = f"{self.name}-{next(_session_counter)}"
+        req = INPMessage(
+            MsgType.APP_REQ,
+            session_id,
+            0,
+            {
+                "pad_ids": list(pad_ids),
+                "page_id": page_id,
+                "old_version": old_version,
+                "new_version": new_version,
+                "part_requests": part_requests,
+            },
+        )
+        rep = self._rpc(self.appserver_endpoint, req).expect(MsgType.APP_REP)
+        responses = rep.body.get("part_responses")
+        if not isinstance(responses, list):
+            raise ProtocolMismatchError("APP_REP carried no part responses")
+
+        t2 = time.perf_counter()
+        parts: list[bytes] = []
+        req_bytes = 0
+        resp_bytes = 0
+        for idx, resp_b64 in enumerate(responses):
+            response = inp.b64d(resp_b64)
+            resp_bytes += len(response)
+            old = old_parts[idx] if old_parts is not None and idx < len(old_parts) else None
+            parts.append(stack.client_reconstruct(old, response))
+        t3 = time.perf_counter()
+        for req_b64 in part_requests:
+            req_bytes += len(inp.b64d(req_b64))
+
+        return SessionResult(
+            page_id=page_id,
+            new_version=new_version,
+            pad_ids=pad_ids,
+            parts=parts,
+            app_request_bytes=req_bytes,
+            app_response_bytes=resp_bytes,
+            pad_download_bytes=pad_bytes,
+            negotiation_time_s=outcome.negotiation_time_s,
+            pad_retrieval_time_s=retrieval_s,
+            client_compute_s=(t1 - t0) + (t3 - t2),
+            negotiated_from_cache=outcome.from_cache,
+        )
+
+    def _probe_part_count(self, app_id: str, page_id: int, version: int) -> int:
+        """First contact: the client doesn't know the page structure yet.
+
+        The corpus layout is fixed (text + images), so the client sends a
+        single empty request per expected part; the server validates the
+        count.  Real deployments would carry the count in INIT_REP — we
+        keep the paper's message set instead and default to the corpus
+        layout.
+        """
+        from ..workload.pages import IMAGES_PER_PAGE
+
+        return 1 + IMAGES_PER_PAGE

@@ -1,0 +1,123 @@
+"""Era calibration: mapping compute costs to the paper's 2005 testbed class.
+
+The negotiation model (Eq. 3) takes per-PAD overhead vectors as *inputs*
+that the paper pre-measured on its testbed — Java protocol adaptors on a
+Pentium IV application server, against 2004-era access networks.  This
+reproduction runs C-accelerated Python on modern hardware, which is one to
+two orders of magnitude faster at hashing/compression *while the simulated
+networks stay at 2004 speeds*.  Feeding raw modern compute numbers into
+Eq. 3 therefore shifts every crossover the paper reports (differencing
+protocols would win everywhere — which is, not coincidentally, why
+rsync-style sync dominates today).
+
+To reproduce the paper's *shape*, the figure benches use this module's
+**era overhead model**: per-operation-class throughput anchors for the
+paper's testbed (expressed on the standard 500 MHz processor of Eq. 1),
+from which deterministic compute costs are derived as
+``bytes_processed / throughput``.  Traffic numbers are always the real
+measured bytes from this reproduction's protocol implementations — only
+compute is era-scaled.  The anchor table below is the documented
+substitution (see DESIGN.md §2 and EXPERIMENTS.md).
+
+Anchors (MB/s on the 500 MHz standard processor, Java-era):
+
+=====================  ======  =============================================
+operation class        MB/s    used by
+=====================  ======  =============================================
+GZIP_COMPRESS          2.0     gzip server encode
+GZIP_DECOMPRESS        3.75    gzip client decode
+BLOCK_DIGEST           0.25    bitmap/fixed/vary per-chunk digesting
+CDC_FINGERPRINT        0.10    vary server-side Rabin chunking (both files)
+ROLLING_SCAN           0.45    fixed (rsync) server-side rolling scan
+=====================  ======  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .calibration import HOST_CPU_MHZ
+from .metadata import PADOverhead
+from .overhead import STD_CPU_MHZ
+
+__all__ = ["EraAnchors", "DEFAULT_ANCHORS", "era_overheads", "PAGE_BYTES"]
+
+PAGE_BYTES = 135_000  # the corpus page size the paper quotes (~135 KB)
+
+_MB = 1_000_000.0
+
+# The application server in the paper's testbed is a Pentium IV-class
+# machine; Eq. 1 measures server compute on the server itself, so anchor
+# throughputs scale up by (server MHz / standard MHz).
+_SERVER_SPEEDUP = HOST_CPU_MHZ / STD_CPU_MHZ  # 4.0
+
+
+@dataclass(frozen=True)
+class EraAnchors:
+    """Throughput anchors (bytes/s on the standard processor)."""
+
+    gzip_compress: float = 2.0 * _MB
+    gzip_decompress: float = 3.75 * _MB
+    block_digest: float = 0.25 * _MB
+    cdc_fingerprint: float = 0.10 * _MB
+    rolling_scan: float = 0.45 * _MB
+
+
+DEFAULT_ANCHORS = EraAnchors()
+
+
+def era_overheads(
+    measured: dict[str, PADOverhead],
+    *,
+    anchors: EraAnchors = DEFAULT_ANCHORS,
+    page_bytes: int = PAGE_BYTES,
+) -> dict[str, PADOverhead]:
+    """Replace compute terms of measured overheads with era-derived ones.
+
+    ``measured`` supplies the (real, deterministic) traffic bytes; each
+    protocol's compute is modeled as the bytes it processes divided by the
+    anchor throughput:
+
+    * direct — no processing.
+    * gzip   — server compresses one page; client decompresses one page.
+    * vary   — server CDC-fingerprints both versions (2 pages); client
+      applies the delta and digest-verifies/re-indexes the rebuilt page
+      (1 page at block-digest rate) to maintain its chunk cache.
+    * bitmap — server digests the new page; client digests its old blocks
+      plus the rebuilt result (1 page at block-digest rate; the digest of
+      the old version is what it uploads).
+    * fixed  — server rolling-scans the new page and digests candidate
+      windows; client digests its old blocks.
+    """
+    S = float(page_bytes)
+    compute = {
+        "direct": (0.0, 0.0),
+        "gzip": (
+            S / anchors.gzip_decompress,                      # client, std
+            S / (anchors.gzip_compress * _SERVER_SPEEDUP),    # server, on server HW
+        ),
+        "vary": (
+            S / anchors.block_digest,
+            (2.0 * S) / (anchors.cdc_fingerprint * _SERVER_SPEEDUP),
+        ),
+        "bitmap": (
+            S / anchors.block_digest,
+            S / (anchors.block_digest * _SERVER_SPEEDUP),
+        ),
+        "fixed": (
+            S / anchors.block_digest,
+            (S / anchors.rolling_scan + S / anchors.block_digest)
+            / _SERVER_SPEEDUP,
+        ),
+    }
+    out: dict[str, PADOverhead] = {}
+    for pad_id, overhead in measured.items():
+        if pad_id not in compute:
+            raise KeyError(f"no era compute model for PAD {pad_id!r}")
+        cli, srv = compute[pad_id]
+        out[pad_id] = PADOverhead(
+            traffic_std_bytes=overhead.traffic_std_bytes,
+            client_comp_std_s=cli,
+            server_comp_s=srv,
+        )
+    return out

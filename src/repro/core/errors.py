@@ -1,0 +1,31 @@
+"""Exception hierarchy for the Fractal core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "FractalError",
+    "MetadataError",
+    "PATError",
+    "NegotiationError",
+    "ProtocolMismatchError",
+]
+
+
+class FractalError(Exception):
+    """Base class for all Fractal framework errors."""
+
+
+class MetadataError(FractalError):
+    """Malformed or inconsistent metadata (Fig. 3 structures)."""
+
+
+class PATError(FractalError):
+    """Invalid protocol adaptation tree operation."""
+
+
+class NegotiationError(FractalError):
+    """The negotiation could not produce a usable adaptation path."""
+
+
+class ProtocolMismatchError(FractalError):
+    """Client and server disagree about the negotiated protocol."""

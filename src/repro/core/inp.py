@@ -1,0 +1,132 @@
+"""The Interactive Negotiation Protocol (INP), Fig. 4.
+
+Message types::
+
+    INIT_REQ           client -> proxy      application request
+    INIT_REP           proxy  -> client     ack, carries CLI_META_REQ
+    CLI_META_REQ       proxy  -> client     empty DevMeta/NtwkMeta to fill
+    CLI_META_REP       client -> proxy      filled DevMeta/NtwkMeta
+    PAD_META_REP       proxy  -> client     negotiated PADMeta list
+    PAD_DOWNLOAD_REQ   client -> CDN        PAD ID (+ URL key)
+    PAD_DOWNLOAD_REP   CDN    -> client     signed mobile-code blob
+    APP_REQ            client -> appserver  app request + negotiated PAD ids
+    APP_REP            appserver -> client  adapted content
+    INP_ERROR          any    -> any        failure report
+
+Every packet carries an INP header (protocol version, message type,
+session id, sequence number) for protocol integrity; the body is a JSON
+object, with binary fields base64-armored.  The codec is deliberately
+self-describing so it can cross the real TCP transport unchanged.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import ProtocolMismatchError
+
+__all__ = ["MsgType", "INPMessage", "encode", "decode", "b64e", "b64d", "INP_VERSION"]
+
+INP_VERSION = 1
+
+
+class MsgType(str, enum.Enum):
+    INIT_REQ = "INIT_REQ"
+    INIT_REP = "INIT_REP"
+    CLI_META_REQ = "CLI_META_REQ"
+    CLI_META_REP = "CLI_META_REP"
+    PAD_META_REP = "PAD_META_REP"
+    PAD_DOWNLOAD_REQ = "PAD_DOWNLOAD_REQ"
+    PAD_DOWNLOAD_REP = "PAD_DOWNLOAD_REP"
+    APP_REQ = "APP_REQ"
+    APP_REP = "APP_REP"
+    INP_ERROR = "INP_ERROR"
+
+
+def b64e(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def b64d(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:  # binascii.Error and friends
+        raise ProtocolMismatchError(f"invalid base64 payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class INPMessage:
+    """Header + JSON body."""
+
+    msg_type: MsgType
+    session_id: str
+    seq: int
+    body: dict = field(default_factory=dict)
+    version: int = INP_VERSION
+
+    def reply(self, msg_type: MsgType, body: dict | None = None) -> "INPMessage":
+        """A response in the same session with the next sequence number."""
+        return INPMessage(
+            msg_type=msg_type,
+            session_id=self.session_id,
+            seq=self.seq + 1,
+            body=body or {},
+        )
+
+    def expect(self, msg_type: MsgType) -> "INPMessage":
+        """Assert the message type; raises on protocol violations."""
+        if self.msg_type is MsgType.INP_ERROR:
+            raise ProtocolMismatchError(
+                f"peer reported error: {self.body.get('error', '<unspecified>')}"
+            )
+        if self.msg_type is not msg_type:
+            raise ProtocolMismatchError(
+                f"expected {msg_type.value}, got {self.msg_type.value}"
+            )
+        return self
+
+
+def encode(msg: INPMessage) -> bytes:
+    envelope = {
+        "inp": msg.version,
+        "type": msg.msg_type.value,
+        "session": msg.session_id,
+        "seq": msg.seq,
+        "body": msg.body,
+    }
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+
+
+def decode(blob: bytes) -> INPMessage:
+    try:
+        envelope = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolMismatchError(f"undecodable INP packet: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise ProtocolMismatchError("INP packet must be a JSON object")
+    version = envelope.get("inp")
+    if version != INP_VERSION:
+        raise ProtocolMismatchError(f"unsupported INP version: {version!r}")
+    try:
+        msg_type = MsgType(envelope["type"])
+    except (KeyError, ValueError) as exc:
+        raise ProtocolMismatchError(f"bad INP message type: {exc}") from exc
+    session = envelope.get("session")
+    seq = envelope.get("seq")
+    body = envelope.get("body", {})
+    if not isinstance(session, str) or not isinstance(seq, int):
+        raise ProtocolMismatchError("INP header fields malformed")
+    if not isinstance(body, dict):
+        raise ProtocolMismatchError("INP body must be an object")
+    return INPMessage(msg_type=msg_type, session_id=session, seq=seq, body=body)
+
+
+def error_reply(msg: INPMessage, text: str) -> INPMessage:
+    return msg.reply(MsgType.INP_ERROR, {"error": text})
+
+
+__all__.append("error_reply")

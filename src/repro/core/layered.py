@@ -1,0 +1,154 @@
+"""A multi-level protocol adaptation tree (the Fig. 5 shape), end to end.
+
+The case study's PAT is one level deep (Fig. 8); the framework supports
+arbitrary trees with symbolic links (Fig. 5).  This module builds a
+two-level case study that exercises exactly that:
+
+::
+
+    root ── direct
+        ├── gzip
+        ├── vary ──── plain-layer
+        │        └── gzip-layer
+        └── bitmap ── plain-layer@bitmap   (symbolic copy)
+                 └── gzip-layer@bitmap    (symbolic copy)
+
+A differencing PAD's child decides how its delta payload travels: raw
+(``plain-layer``) or compressed (``gzip-layer``).  The layer PADs under
+``bitmap`` are symbolic copies of the ones under ``vary`` — one PAD
+needed by multiple parents, kept a tree via aliases, exactly §3.4.1's
+PAD6/PAD7 example.  A negotiated two-node path deploys as a
+:class:`~repro.protocols.stack.ProtocolStack` on both sides.
+
+Cost modeling: interior differencing nodes carry their compute overhead
+and zero traffic; leaf layer nodes carry the resulting payload traffic
+(raw delta for ``plain-layer``, compressed delta for ``gzip-layer``) plus
+the layer's own compute.  Path cost = parent compute + leaf traffic, so
+the Fig. 6 search trades compression compute against delta bytes per
+client environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..compression import compress
+from ..protocols import run_exchange
+from ..protocols.padlib import build_pad_module, instantiate
+from ..workload.pages import Corpus
+from .metadata import PADMeta, PADOverhead
+from .system import CaseStudySystem, build_case_study
+
+__all__ = ["build_layered_case_study", "measure_delta_traffic"]
+
+
+def measure_delta_traffic(
+    corpus: Corpus, differencer: str, *, page_id: int = 0
+) -> tuple[float, float]:
+    """(raw delta bytes, compressed delta bytes) per page for one PAD."""
+    proto = instantiate(differencer)
+    old_page = corpus.evolved(page_id, 0)
+    new_page = corpus.evolved(page_id, 1)
+    raw = 0.0
+    compressed = 0.0
+    for old, new in zip(
+        [old_page.text, *old_page.images], [new_page.text, *new_page.images]
+    ):
+        request = proto.client_request(old)
+        response = proto.server_respond(request, old, new)
+        raw += len(request) + len(response)
+        compressed += len(request) + len(compress(response, backend="zlib"))
+    return raw, compressed
+
+
+def build_layered_case_study(
+    *,
+    corpus: Optional[Corpus] = None,
+    era: bool = True,
+    **kwargs,
+) -> CaseStudySystem:
+    """The two-level PAT system.
+
+    Starts from the flat case study (so all base PADs are published and
+    calibrated), then restructures the PAT: ``vary`` and ``bitmap``
+    become interior nodes whose children are the payload layers, with the
+    ``bitmap`` children as symbolic copies.
+    """
+    corpus = corpus or Corpus(n_pages=3)
+    system = build_case_study(corpus=corpus, era=era, calibrate=kwargs.pop(
+        "calibrate", True), calibration_pages=kwargs.pop("calibration_pages", 1),
+        **kwargs)
+    appserver = system.appserver
+    proxy = system.proxy
+
+    # Deploy the layer protocols server-side and publish their modules.
+    vary_raw, vary_gz = measure_delta_traffic(corpus, "vary")
+    bitmap_raw, bitmap_gz = measure_delta_traffic(corpus, "bitmap")
+
+    gzip_oh = system.overheads["gzip"]
+    layer_metas = [
+        PADMeta(
+            pad_id="plain-layer",
+            size_bytes=build_pad_module("plain-layer").size,
+            overhead=PADOverhead(
+                # Leaf traffic is filled per-parent below; the plain layer
+                # itself adds no compute.
+                traffic_std_bytes=vary_raw,
+                client_comp_std_s=0.0,
+                server_comp_s=0.0,
+            ),
+            parent="vary",
+        ),
+        PADMeta(
+            pad_id="gzip-layer",
+            size_bytes=build_pad_module("gzip-layer").size,
+            overhead=PADOverhead(
+                traffic_std_bytes=vary_gz,
+                # Compressing a ~10 KB delta costs ~7% of compressing a
+                # full page; scale the calibrated gzip compute.
+                client_comp_std_s=gzip_oh.client_comp_std_s * 0.1,
+                server_comp_s=gzip_oh.server_comp_s * 0.1,
+            ),
+            parent="vary",
+        ),
+        PADMeta(
+            pad_id="plain-layer@bitmap",
+            size_bytes=0,
+            overhead=PADOverhead(bitmap_raw, 0.0, 0.0),
+            parent="bitmap",
+            alias_of="plain-layer",
+        ),
+        PADMeta(
+            pad_id="gzip-layer@bitmap",
+            size_bytes=0,
+            overhead=PADOverhead(
+                bitmap_gz,
+                gzip_oh.client_comp_std_s * 0.1,
+                gzip_oh.server_comp_s * 0.1,
+            ),
+            parent="bitmap",
+            alias_of="gzip-layer",
+        ),
+    ]
+    for meta in layer_metas:
+        appserver.deploy_pad(meta)
+
+    # Interior differencing nodes keep their compute but drop their
+    # traffic term (the leaf layer now carries it).
+    new_pads = []
+    for pad in appserver.app_meta().pads:
+        if pad.pad_id in ("vary", "bitmap"):
+            pad = replace(
+                pad, overhead=replace(pad.overhead, traffic_std_bytes=0.0)
+            )
+        new_pads.append(pad)
+    appserver._pad_meta.update({p.pad_id: p for p in new_pads})
+
+    # Re-publish: rebuilds the PAT with the new topology and registers
+    # distribution info for the layer modules.
+    appserver.publish(proxy, system.deployment.origin)
+    from ..cdn import push_all
+
+    push_all(system.deployment.origin, system.deployment.edges)
+    return system

@@ -1,0 +1,254 @@
+"""The paper's metadata structures (Fig. 3) with wire serialization.
+
+* ``DevMeta``  — { OS type, CPU type, CPU speed, memory size }
+* ``NtwkMeta`` — { network type, network bandwidth }
+* ``PADMeta``  — { PAD ID, size, overhead, message digest, URL,
+                   parent link, child links }
+* ``AppMeta``  — { application ID, PADMeta... }
+
+``PADMeta.overhead`` decomposes per Eq. 1: traffic overhead normalized to
+the standard bandwidth, client computing overhead normalized to the
+standard 500 MHz processor, and server computing overhead as measured on
+the application server.  The distribution manager *hides* parent/child
+links before metadata leaves the proxy (§3.2) — ``to_client_wire``
+implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from .errors import MetadataError
+
+__all__ = ["DevMeta", "NtwkMeta", "PADOverhead", "PADMeta", "AppMeta"]
+
+
+def _require(obj: dict, key: str, kind: type) -> Any:
+    try:
+        value = obj[key]
+    except KeyError:
+        raise MetadataError(f"missing field {key!r}") from None
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind):
+        raise MetadataError(
+            f"field {key!r} must be {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class DevMeta:
+    """Client hardware identity, probed by the client (Fig. 4)."""
+
+    os_type: str
+    cpu_type: str
+    cpu_mhz: float
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_mhz <= 0:
+            raise MetadataError(f"cpu_mhz must be positive, got {self.cpu_mhz}")
+        if self.memory_mb <= 0:
+            raise MetadataError(f"memory_mb must be positive, got {self.memory_mb}")
+
+    def to_wire(self) -> dict:
+        return {
+            "os_type": self.os_type,
+            "cpu_type": self.cpu_type,
+            "cpu_mhz": self.cpu_mhz,
+            "memory_mb": self.memory_mb,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "DevMeta":
+        return cls(
+            os_type=_require(obj, "os_type", str),
+            cpu_type=_require(obj, "cpu_type", str),
+            cpu_mhz=_require(obj, "cpu_mhz", float),
+            memory_mb=_require(obj, "memory_mb", float),
+        )
+
+    def cache_key(self) -> tuple:
+        return (self.os_type, self.cpu_type, self.cpu_mhz, self.memory_mb)
+
+
+@dataclass(frozen=True)
+class NtwkMeta:
+    """Client network environment."""
+
+    network_type: str
+    bandwidth_kbps: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_kbps <= 0:
+            raise MetadataError(
+                f"bandwidth_kbps must be positive, got {self.bandwidth_kbps}"
+            )
+
+    def to_wire(self) -> dict:
+        return {
+            "network_type": self.network_type,
+            "bandwidth_kbps": self.bandwidth_kbps,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "NtwkMeta":
+        return cls(
+            network_type=_require(obj, "network_type", str),
+            bandwidth_kbps=_require(obj, "bandwidth_kbps", float),
+        )
+
+    def cache_key(self) -> tuple:
+        return (self.network_type, self.bandwidth_kbps)
+
+
+@dataclass(frozen=True)
+class PADOverhead:
+    """Eq. 1's per-PAD cost vector, all normalized to the standards.
+
+    * ``traffic_std_bytes``  — expected application traffic per request
+      (the paper normalizes against 1 MB of content over 1 Mbps).
+    * ``client_comp_std_s``  — client computing time on the 500 MHz
+      standard processor.
+    * ``server_comp_s``      — server computing time as measured on the
+      application server itself (available in advance, per §3.4.2).
+    """
+
+    traffic_std_bytes: float
+    client_comp_std_s: float
+    server_comp_s: float
+
+    def __post_init__(self) -> None:
+        for name in ("traffic_std_bytes", "client_comp_std_s", "server_comp_s"):
+            if getattr(self, name) < 0:
+                raise MetadataError(f"{name} must be non-negative")
+
+    def to_wire(self) -> dict:
+        return {
+            "traffic_std_bytes": self.traffic_std_bytes,
+            "client_comp_std_s": self.client_comp_std_s,
+            "server_comp_s": self.server_comp_s,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "PADOverhead":
+        return cls(
+            traffic_std_bytes=_require(obj, "traffic_std_bytes", float),
+            client_comp_std_s=_require(obj, "client_comp_std_s", float),
+            server_comp_s=_require(obj, "server_comp_s", float),
+        )
+
+
+@dataclass(frozen=True)
+class PADMeta:
+    """General information about one protocol adaptor.
+
+    ``parent``/``children`` build the PAT inside the negotiation manager.
+    ``alias_of`` marks a *symbolic copy*: a PAD needed by multiple parents
+    appears once per parent, each extra appearance aliasing the real node
+    (§3.4.1).  ``digest``/``url`` are filled in by the distribution manager
+    just before metadata is sent to the client.
+    """
+
+    pad_id: str
+    size_bytes: int
+    overhead: PADOverhead
+    digest: Optional[str] = None
+    url: Optional[str] = None
+    parent: Optional[str] = None
+    children: tuple[str, ...] = ()
+    alias_of: Optional[str] = None
+    min_memory_mb: float = 0.0
+    init_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.pad_id:
+            raise MetadataError("pad_id must be non-empty")
+        if self.size_bytes < 0:
+            raise MetadataError(f"size_bytes must be non-negative, got {self.size_bytes}")
+        if self.alias_of == self.pad_id:
+            raise MetadataError(f"PAD {self.pad_id!r} cannot alias itself")
+
+    def to_wire(self, *, hide_links: bool = False) -> dict:
+        obj = {
+            "pad_id": self.pad_id,
+            "size_bytes": self.size_bytes,
+            "overhead": self.overhead.to_wire(),
+            "digest": self.digest,
+            "url": self.url,
+            "min_memory_mb": self.min_memory_mb,
+            "init_kwargs": self.init_kwargs,
+        }
+        if not hide_links:
+            obj["parent"] = self.parent
+            obj["children"] = list(self.children)
+            obj["alias_of"] = self.alias_of
+        return obj
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "PADMeta":
+        children = obj.get("children") or ()
+        if not isinstance(children, (list, tuple)):
+            raise MetadataError("children must be a list")
+        return cls(
+            pad_id=_require(obj, "pad_id", str),
+            size_bytes=_require(obj, "size_bytes", int),
+            overhead=PADOverhead.from_wire(_require(obj, "overhead", dict)),
+            digest=obj.get("digest"),
+            url=obj.get("url"),
+            parent=obj.get("parent"),
+            children=tuple(children),
+            alias_of=obj.get("alias_of"),
+            min_memory_mb=float(obj.get("min_memory_mb", 0.0)),
+            init_kwargs=dict(obj.get("init_kwargs", {})),
+        )
+
+    def to_client_wire(self) -> dict:
+        """What the distribution manager actually sends (links hidden)."""
+        return self.to_wire(hide_links=True)
+
+    def with_distribution(self, digest: str, url: str) -> "PADMeta":
+        return replace(self, digest=digest, url=url)
+
+    @property
+    def resolved_id(self) -> str:
+        """The real PAD this metadata denotes (through symbolic links)."""
+        return self.alias_of or self.pad_id
+
+
+@dataclass(frozen=True)
+class AppMeta:
+    """Application ID plus the PAD set forming its adaptation topology."""
+
+    app_id: str
+    pads: tuple[PADMeta, ...]
+
+    def __post_init__(self) -> None:
+        if not self.app_id:
+            raise MetadataError("app_id must be non-empty")
+        seen = set()
+        for pad in self.pads:
+            if pad.pad_id in seen:
+                raise MetadataError(f"duplicate PAD id in AppMeta: {pad.pad_id!r}")
+            seen.add(pad.pad_id)
+
+    def to_wire(self) -> dict:
+        return {"app_id": self.app_id, "pads": [p.to_wire() for p in self.pads]}
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "AppMeta":
+        pads = obj.get("pads")
+        if not isinstance(pads, list):
+            raise MetadataError("AppMeta.pads must be a list")
+        return cls(
+            app_id=_require(obj, "app_id", str),
+            pads=tuple(PADMeta.from_wire(p) for p in pads),
+        )
+
+    def get(self, pad_id: str) -> PADMeta:
+        for pad in self.pads:
+            if pad.pad_id == pad_id:
+                return pad
+        raise MetadataError(f"AppMeta {self.app_id!r} has no PAD {pad_id!r}")

@@ -1,0 +1,195 @@
+"""The overhead estimation model (§3.4.2, Eq. 1–3).
+
+``PAD_total`` for a client combines four terms:
+
+1. **Download** — PAD size over the client's rho-degraded bandwidth.
+2. **Server computing** — measured directly on the application server.
+3. **Client computing** — the standard-processor time scaled by the linear
+   model (Std_cpu / Cli_cpu) and corrected by the normalized ratio
+   matrices ``A`` (processor type) and ``B`` (operating system).
+4. **Transmission** — the PAD's expected traffic over the client's
+   bandwidth, corrected by matrix ``R`` (network type).
+
+A ratio of ``inf`` anywhere disqualifies the PAD for that client (the
+WinMedia-on-PalmOS example).  Unknown types fall back to the *closest
+known* type when a similarity hint is registered, else to ratio 1.0 — the
+paper's "a similar type with close parameters will be chosen instead".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import MetadataError
+from .metadata import DevMeta, NtwkMeta, PADMeta
+
+__all__ = [
+    "RatioMatrix",
+    "OverheadModel",
+    "OverheadBreakdown",
+    "STD_CPU_MHZ",
+    "STD_BANDWIDTH_KBPS",
+    "INFEASIBLE",
+]
+
+STD_CPU_MHZ = 500.0          # Eq. 1: 500 MHz Pentium IV standard processor
+STD_BANDWIDTH_KBPS = 1000.0  # Eq. 1: 1 Mbps standard bandwidth
+DEFAULT_RHO = 0.8            # Eq. 3: application-level bandwidth fraction
+
+INFEASIBLE = math.inf
+
+
+class RatioMatrix:
+    """One normalized ratio matrix: rows are PADs, columns are type keys.
+
+    Missing entries default to 1.0 (the pure linear model); ``inf`` means
+    "cannot run".  ``alias`` registers close-parameter fallbacks for types
+    the matrix has never seen.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._ratios: dict[tuple[str, str], float] = {}
+        self._aliases: dict[str, str] = {}
+
+    def set(self, pad_id: str, type_key: str, ratio: float) -> None:
+        if ratio <= 0 and not math.isinf(ratio):
+            raise MetadataError(
+                f"{self.name}[{pad_id}, {type_key}] must be positive or inf, "
+                f"got {ratio}"
+            )
+        self._ratios[(pad_id, type_key)] = ratio
+
+    def set_column(self, type_key: str, ratios: dict[str, float]) -> None:
+        for pad_id, ratio in ratios.items():
+            self.set(pad_id, type_key, ratio)
+
+    def alias(self, unknown_type: str, known_type: str) -> None:
+        """Map an unseen type to its closest known neighbour."""
+        self._aliases[unknown_type] = known_type
+
+    def known_types(self) -> set[str]:
+        return {t for (_, t) in self._ratios}
+
+    def get(self, pad_id: str, type_key: str) -> float:
+        resolved = type_key
+        if (pad_id, resolved) not in self._ratios:
+            resolved = self._aliases.get(type_key, type_key)
+        return self._ratios.get((pad_id, resolved), 1.0)
+
+    def disqualify(self, pad_id: str, type_key: str) -> None:
+        self.set(pad_id, type_key, INFEASIBLE)
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Eq. 3's four terms, kept separate for reporting (Figs. 10/11)."""
+
+    download_s: float
+    server_comp_s: float
+    client_comp_s: float
+    transmission_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.download_s
+            + self.server_comp_s
+            + self.client_comp_s
+            + self.transmission_s
+        )
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.total_s)
+
+
+@dataclass
+class OverheadModel:
+    """The negotiation manager's cost oracle."""
+
+    cpu_matrix: RatioMatrix = field(default_factory=lambda: RatioMatrix("A"))
+    os_matrix: RatioMatrix = field(default_factory=lambda: RatioMatrix("B"))
+    net_matrix: RatioMatrix = field(default_factory=lambda: RatioMatrix("R"))
+    rho: float = DEFAULT_RHO
+    include_server_compute: bool = True
+    include_download: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho <= 1.0:
+            raise MetadataError(f"rho must be in (0, 1], got {self.rho}")
+
+    def _effective_bps(self, ntwk: NtwkMeta) -> float:
+        return ntwk.bandwidth_kbps * 1000.0 * self.rho
+
+    def breakdown(
+        self, pad: PADMeta, dev: DevMeta, ntwk: NtwkMeta
+    ) -> OverheadBreakdown:
+        """Eq. 3 for one PAD on one client environment."""
+        alpha = self.cpu_matrix.get(pad.resolved_id, dev.cpu_type)
+        beta = self.os_matrix.get(pad.resolved_id, dev.os_type)
+        gamma = self.net_matrix.get(pad.resolved_id, ntwk.network_type)
+
+        # Memory footprint check (extension noted in DESIGN.md: DevMeta
+        # carries memory size, so a PAD can declare a floor).
+        if pad.min_memory_mb > dev.memory_mb:
+            return OverheadBreakdown(INFEASIBLE, 0.0, 0.0, 0.0)
+
+        bps = self._effective_bps(ntwk)
+        download = (pad.size_bytes * 8.0) / bps if self.include_download else 0.0
+
+        server = pad.overhead.server_comp_s if self.include_server_compute else 0.0
+
+        cpu_scale = STD_CPU_MHZ / dev.cpu_mhz
+        client = alpha * beta * cpu_scale * pad.overhead.client_comp_std_s
+
+        transmission = gamma * (pad.overhead.traffic_std_bytes * 8.0) / bps
+
+        return OverheadBreakdown(
+            download_s=download,
+            server_comp_s=server,
+            client_comp_s=client,
+            transmission_s=transmission,
+        )
+
+    def total_overhead(
+        self, pad: PADMeta, dev: DevMeta, ntwk: NtwkMeta
+    ) -> float:
+        return self.breakdown(pad, dev, ntwk).total_s
+
+    def without_server_compute(self) -> "OverheadModel":
+        """The Fig. 10(d)/11(c) variant: server work precomputed away."""
+        return OverheadModel(
+            cpu_matrix=self.cpu_matrix,
+            os_matrix=self.os_matrix,
+            net_matrix=self.net_matrix,
+            rho=self.rho,
+            include_server_compute=False,
+            include_download=self.include_download,
+        )
+
+
+def paper_case_study_matrices() -> tuple[RatioMatrix, RatioMatrix, RatioMatrix]:
+    """Eq. 4–6: the case study's A, B, R matrices.
+
+    A: gzip/vary/bitmap run 1.1x slower per-MHz on the PXA 255 ("P")
+    than on the Pentium IVs ("D", "L"); everything else is 1.
+    """
+    a = RatioMatrix("A")
+    for pad_id in ("gzip", "vary", "bitmap", "fixed"):
+        a.set(pad_id, "PXA255", 1.1)
+        a.set(pad_id, "PentiumIV", 1.0)
+    b = RatioMatrix("B")
+    for pad_id in ("direct", "gzip", "vary", "bitmap", "fixed"):
+        b.set(pad_id, "WinCE4.2", 1.0)
+        b.set(pad_id, "FedoraCore2", 1.0)
+    r = RatioMatrix("R")
+    for pad_id in ("direct", "gzip", "vary", "bitmap", "fixed"):
+        for net in ("LAN", "WLAN", "Bluetooth"):
+            r.set(pad_id, net, 1.0)
+    return a, b, r
+
+
+__all__.append("paper_case_study_matrices")

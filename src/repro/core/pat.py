@@ -1,0 +1,225 @@
+"""Protocol Adaptation Tree (PAT), §3.4.1.
+
+Each node is a protocol adaptor; a child is an auxiliary component of its
+parent, and running a parent requires exactly one of its children.  A
+complete application protocol is therefore a root→leaf path, and the
+number of possible protocols equals the number of leaves.
+
+PADs needed by multiple parents appear as *symbolic copies* (``alias_of``
+in :class:`~repro.core.metadata.PADMeta`), keeping the structure a tree.
+The tree is built from the ``AppMeta`` the application server pushes, and
+supports the extension operations the paper calls out: adding a new leaf
+PAD, and inserting a PAD in the middle of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .errors import PATError
+from .metadata import AppMeta, PADMeta
+
+__all__ = ["PATNode", "PAT"]
+
+ROOT_ID = "__root__"
+
+
+@dataclass
+class PATNode:
+    """One tree position.  ``meta`` is None only for the virtual root."""
+
+    pad_id: str
+    meta: Optional[PADMeta]
+    parent: Optional[str] = None
+    children: list[str] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.pad_id == ROOT_ID
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def resolved_id(self) -> str:
+        if self.meta is None:
+            raise PATError("the virtual root has no PAD identity")
+        return self.meta.resolved_id
+
+
+class PAT:
+    """The negotiation manager's protocol adaptation topology."""
+
+    def __init__(self, app_id: str):
+        self.app_id = app_id
+        self._nodes: dict[str, PATNode] = {
+            ROOT_ID: PATNode(pad_id=ROOT_ID, meta=None)
+        }
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_app_meta(cls, app_meta: AppMeta) -> "PAT":
+        """Build the tree from parent/child links in the pushed metadata."""
+        pat = cls(app_meta.app_id)
+        # First materialize all nodes, then wire children in declared order.
+        for pad in app_meta.pads:
+            if pad.pad_id in pat._nodes:
+                raise PATError(f"duplicate PAD id {pad.pad_id!r}")
+            parent = pad.parent or ROOT_ID
+            pat._nodes[pad.pad_id] = PATNode(
+                pad_id=pad.pad_id, meta=pad, parent=parent
+            )
+        for pad in app_meta.pads:
+            parent = pad.parent or ROOT_ID
+            if parent not in pat._nodes:
+                raise PATError(
+                    f"PAD {pad.pad_id!r} names unknown parent {parent!r}"
+                )
+            pat._nodes[parent].children.append(pad.pad_id)
+        pat._validate()
+        return pat
+
+    def _validate(self) -> None:
+        # Every alias must reference a real (non-alias) node, and the
+        # structure must be a tree rooted at ROOT_ID (no cycles, all
+        # reachable).
+        for node in self._nodes.values():
+            meta = node.meta
+            if meta is not None and meta.alias_of is not None:
+                target = self._nodes.get(meta.alias_of)
+                if target is None:
+                    raise PATError(
+                        f"symbolic PAD {meta.pad_id!r} aliases unknown "
+                        f"{meta.alias_of!r}"
+                    )
+                if target.meta is not None and target.meta.alias_of is not None:
+                    raise PATError(
+                        f"alias chain {meta.pad_id!r} -> {meta.alias_of!r}; "
+                        "aliases must point at real PADs"
+                    )
+        seen: set[str] = set()
+        stack = [ROOT_ID]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                raise PATError(f"cycle through node {nid!r}")
+            seen.add(nid)
+            stack.extend(self._nodes[nid].children)
+        unreachable = set(self._nodes) - seen
+        if unreachable:
+            raise PATError(f"unreachable PAT nodes: {sorted(unreachable)}")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def root(self) -> PATNode:
+        return self._nodes[ROOT_ID]
+
+    def node(self, pad_id: str) -> PATNode:
+        try:
+            return self._nodes[pad_id]
+        except KeyError:
+            raise PATError(f"no PAT node {pad_id!r}") from None
+
+    def __contains__(self, pad_id: str) -> bool:
+        return pad_id in self._nodes
+
+    def __len__(self) -> int:
+        """Number of PAD nodes (the virtual root does not count)."""
+        return len(self._nodes) - 1
+
+    def nodes(self) -> list[PATNode]:
+        return [n for n in self._nodes.values() if not n.is_root]
+
+    def leaves(self) -> list[PATNode]:
+        return [n for n in self.nodes() if n.is_leaf]
+
+    def resolve(self, pad_id: str) -> PADMeta:
+        """Metadata of the *real* PAD behind ``pad_id`` (through aliases)."""
+        node = self.node(pad_id)
+        if node.meta is None:
+            raise PATError("the virtual root has no metadata")
+        if node.meta.alias_of is not None:
+            return self.resolve(node.meta.alias_of)
+        return node.meta
+
+    def paths(self) -> Iterator[list[PATNode]]:
+        """All root→leaf paths (root excluded), depth-first, child order."""
+
+        def walk(nid: str, prefix: list[PATNode]) -> Iterator[list[PATNode]]:
+            node = self._nodes[nid]
+            here = prefix if node.is_root else prefix + [node]
+            if node.is_leaf and not node.is_root:
+                yield here
+                return
+            for child in node.children:
+                yield from walk(child, here)
+
+        yield from walk(ROOT_ID, [])
+
+    def path_count(self) -> int:
+        """Equals the number of leaves (the paper's graph-theory aside)."""
+        return len(self.leaves())
+
+    # -- extension operations (§3.4.1: "flexible enough to extend") ------------
+
+    def add_pad(self, meta: PADMeta) -> None:
+        """Add a new PAD as a child of ``meta.parent`` (default: root)."""
+        if meta.pad_id in self._nodes:
+            raise PATError(f"PAD {meta.pad_id!r} already in the tree")
+        parent = meta.parent or ROOT_ID
+        if parent not in self._nodes:
+            raise PATError(f"unknown parent {parent!r}")
+        self._nodes[meta.pad_id] = PATNode(
+            pad_id=meta.pad_id, meta=meta, parent=parent
+        )
+        self._nodes[parent].children.append(meta.pad_id)
+        self._validate()
+
+    def insert_between(self, meta: PADMeta, child_ids: list[str]) -> None:
+        """Insert a PAD in the *middle* of the tree.
+
+        The new node becomes a child of ``meta.parent`` and adopts
+        ``child_ids`` (which must currently share that same parent) as its
+        children — "adding a new PAD in the middle, instead of the leaf".
+        """
+        if meta.pad_id in self._nodes:
+            raise PATError(f"PAD {meta.pad_id!r} already in the tree")
+        parent_id = meta.parent or ROOT_ID
+        parent = self.node(parent_id) if parent_id != ROOT_ID else self.root
+        for cid in child_ids:
+            if cid not in parent.children:
+                raise PATError(
+                    f"{cid!r} is not currently a child of {parent_id!r}"
+                )
+        node = PATNode(pad_id=meta.pad_id, meta=meta, parent=parent_id)
+        self._nodes[meta.pad_id] = node
+        for cid in child_ids:
+            parent.children.remove(cid)
+            self._nodes[cid].parent = meta.pad_id
+            node.children.append(cid)
+        parent.children.append(meta.pad_id)
+        self._validate()
+
+    def remove_pad(self, pad_id: str) -> None:
+        """Remove a leaf PAD (interior removal would orphan children)."""
+        node = self.node(pad_id)
+        if node.is_root:
+            raise PATError("cannot remove the virtual root")
+        if not node.is_leaf:
+            raise PATError(f"PAD {pad_id!r} has children; remove them first")
+        aliased_by = [
+            n.pad_id
+            for n in self.nodes()
+            if n.meta is not None and n.meta.alias_of == pad_id
+        ]
+        if aliased_by:
+            raise PATError(
+                f"PAD {pad_id!r} is aliased by {aliased_by}; remove aliases first"
+            )
+        assert node.parent is not None
+        self._nodes[node.parent].children.remove(pad_id)
+        del self._nodes[pad_id]

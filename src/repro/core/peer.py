@@ -1,0 +1,100 @@
+"""Peer-to-peer Fractal (§3.1: "it is straightforward to support the
+peer-to-peer model").
+
+A :class:`FractalPeer` is one host playing both roles: it serves its own
+versioned content like an application server *and* retrieves content from
+other peers like a client.  All peers negotiate through the same
+adaptation proxy and pull PADs from the same CDN — the Fractal
+infrastructure is symmetric; only the application endpoints multiply.
+
+Each peer binds its serving half at the endpoint ``peer:<name>``; another
+peer's client half addresses it there.  The negotiated protocol still
+comes from the proxy, keyed by the *requesting* peer's environment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mobilecode import Signer, TrustStore
+from ..workload.pages import Corpus
+from ..workload.profiles import ClientEnvironment
+from .appserver import ApplicationServer
+from .client import FractalClient, SessionResult
+
+__all__ = ["FractalPeer"]
+
+
+class FractalPeer:
+    def __init__(
+        self,
+        name: str,
+        environment: ClientEnvironment,
+        corpus: Corpus,
+        *,
+        transport,
+        proxy_endpoint: str,
+        cdn_fetch,
+        trust_store: TrustStore,
+        signer: Signer,
+        app_id: str,
+        proactive: bool = False,
+    ):
+        self.name = name
+        self.app_id = app_id
+        self.endpoint = f"peer:{name}"
+        # Serving half: an application server over this peer's corpus.
+        self.server = ApplicationServer(app_id, corpus, signer, proactive=proactive)
+        # Requesting half: a client whose appserver endpoint is chosen
+        # per-request (any peer can be the content source).
+        self._client = FractalClient(
+            name,
+            environment,
+            transport=transport,
+            proxy_endpoint=proxy_endpoint,
+            appserver_endpoint=self.endpoint,  # placeholder; set per request
+            cdn_fetch=cdn_fetch,
+            trust_store=trust_store,
+        )
+        self._transport = transport
+        transport.bind(self.endpoint, self.server.handle)
+
+    # -- server half -----------------------------------------------------------
+
+    def deploy_pads_like(self, reference: ApplicationServer) -> None:
+        """Mirror another server's PAD deployment (peers share the PAT)."""
+        for meta in reference.app_meta().pads:
+            self.server.deploy_pad(meta)
+
+    @property
+    def corpus(self) -> Corpus:
+        return self.server.corpus
+
+    # -- client half -------------------------------------------------------------
+
+    def set_environment(self, environment: ClientEnvironment) -> None:
+        self._client.set_environment(environment)
+
+    def fetch_from(
+        self,
+        other: "FractalPeer",
+        page_id: int,
+        *,
+        old_parts: Optional[list[bytes]] = None,
+        old_version: int = -1,
+        new_version: int = 0,
+    ) -> SessionResult:
+        """Retrieve a page from another peer via the negotiated protocol."""
+        if other is self:
+            raise ValueError("a peer does not fetch from itself")
+        self._client.appserver_endpoint = other.endpoint
+        return self._client.request_page(
+            self.app_id,
+            page_id,
+            old_parts=old_parts,
+            old_version=old_version,
+            new_version=new_version,
+        )
+
+    def close(self) -> None:
+        self._transport.unbind(self.endpoint)

@@ -1,0 +1,249 @@
+"""The adaptation proxy (§3.2): negotiation manager + distribution manager.
+
+The proxy is deployed in the application server's administrative domain.
+The **negotiation manager** keeps one PAT per application (built from the
+``AppMeta`` the server pushes) and runs the adaptation path search.  The
+**distribution manager** keeps the adaptation cache::
+
+    { DevMeta, Application ID, NtwkMeta }  =>  { PADMeta_1, ..., PADMeta_n }
+
+inserts message digests and download URLs into outgoing ``PADMeta``, hides
+parent/child links, and handles the network side of the reply.
+
+The proxy exposes ``handle(request_bytes) -> response_bytes`` so it binds
+to any transport (in-process, simulated, or TCP).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from . import inp
+from .errors import FractalError, NegotiationError
+from .inp import INPMessage, MsgType
+from .metadata import AppMeta, DevMeta, NtwkMeta, PADMeta
+from .overhead import OverheadModel
+from .pat import PAT
+from .search import SearchResult, find_adaptation_path
+
+__all__ = ["AdaptationProxy", "NegotiationManager", "DistributionManager", "ProxyStats"]
+
+
+@dataclass
+class ProxyStats:
+    negotiations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    errors: int = 0
+    total_search_time_s: float = 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class NegotiationManager:
+    """Holds PATs and runs the path search."""
+
+    def __init__(self, model: OverheadModel):
+        self.model = model
+        self._pats: dict[str, PAT] = {}
+
+    def push_app_meta(self, app_meta: AppMeta) -> PAT:
+        """(Re)build the PAT when the topology is created or changed."""
+        pat = PAT.from_app_meta(app_meta)
+        self._pats[app_meta.app_id] = pat
+        return pat
+
+    def pat(self, app_id: str) -> PAT:
+        try:
+            return self._pats[app_id]
+        except KeyError:
+            raise NegotiationError(f"no application registered: {app_id!r}") from None
+
+    def app_ids(self) -> list[str]:
+        return sorted(self._pats)
+
+    def negotiate(
+        self, app_id: str, dev: DevMeta, ntwk: NtwkMeta
+    ) -> SearchResult:
+        return find_adaptation_path(self.pat(app_id), self.model, dev, ntwk)
+
+
+class DistributionManager:
+    """Adaptation cache + PADMeta post-processing (digest/URL, link hiding).
+
+    The cache is bounded (strict LRU on ``max_entries``): client metadata
+    is attacker-controlled input, and an unbounded mapping keyed on it
+    would let one scanning client exhaust proxy memory.
+    """
+
+    DEFAULT_MAX_ENTRIES = 4096
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise NegotiationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        # (dev key, app id, ntwk key) -> finished client-ready PADMeta list
+        self._cache: OrderedDict[tuple, tuple[PADMeta, ...]] = OrderedDict()
+        self.cache_evictions = 0
+        # Distribution info registered by the application server.
+        self._digests: dict[str, str] = {}
+        self._urls: dict[str, str] = {}
+
+    def register_distribution(self, pad_id: str, digest: str, url: str) -> None:
+        self._digests[pad_id] = digest
+        self._urls[pad_id] = url
+
+    def cache_key(self, dev: DevMeta, app_id: str, ntwk: NtwkMeta) -> tuple:
+        return (dev.cache_key(), app_id, ntwk.cache_key())
+
+    def lookup(
+        self, dev: DevMeta, app_id: str, ntwk: NtwkMeta
+    ) -> Optional[tuple[PADMeta, ...]]:
+        key = self.cache_key(dev, app_id, ntwk)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+        return hit
+
+    def finish(
+        self, dev: DevMeta, app_id: str, ntwk: NtwkMeta, path: tuple[PADMeta, ...]
+    ) -> tuple[PADMeta, ...]:
+        """Insert digest/URL, update the cache, return client-ready metas.
+
+        Symbolic copies are collapsed to their real PADs here: aliases
+        exist only to keep the PAT a tree, and "exposure to the client is
+        unnecessary" (§3.2) — the client downloads the real module.
+        """
+        finished = []
+        for meta in path:
+            real_id = meta.resolved_id
+            digest = self._digests.get(real_id)
+            url = self._urls.get(real_id)
+            if digest is None or url is None:
+                raise NegotiationError(
+                    f"PAD {real_id!r} has no registered distribution info"
+                )
+            if meta.alias_of is not None:
+                meta = replace(meta, pad_id=real_id, alias_of=None)
+            finished.append(meta.with_distribution(digest, url))
+        result = tuple(finished)
+        key = self.cache_key(dev, app_id, ntwk)
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self.cache_evictions += 1
+        return result
+
+    def invalidate_app(self, app_id: str) -> int:
+        """Drop cache entries for one application (topology changed)."""
+        stale = [k for k in self._cache if k[1] == app_id]
+        for k in stale:
+            del self._cache[k]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class AdaptationProxy:
+    """The complete proxy: a transport handler speaking INP."""
+
+    def __init__(self, model: OverheadModel, name: str = "proxy"):
+        self.name = name
+        self.negotiation = NegotiationManager(model)
+        self.distribution = DistributionManager()
+        self.stats = ProxyStats()
+        # Pending sessions: session id -> app_id from INIT_REQ.
+        self._sessions: dict[str, str] = {}
+
+    # -- server-side registration ---------------------------------------------
+
+    def push_app_meta(self, app_meta: AppMeta) -> None:
+        self.negotiation.push_app_meta(app_meta)
+        self.distribution.invalidate_app(app_meta.app_id)
+
+    def register_distribution(self, pad_id: str, digest: str, url: str) -> None:
+        self.distribution.register_distribution(pad_id, digest, url)
+
+    # -- the negotiation core ---------------------------------------------------
+
+    def negotiate(
+        self, app_id: str, dev: DevMeta, ntwk: NtwkMeta
+    ) -> tuple[PADMeta, ...]:
+        """Cache-first negotiation; returns client-ready PADMeta."""
+        self.stats.negotiations += 1
+        cached = self.distribution.lookup(dev, app_id, ntwk)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        t0 = time.perf_counter()
+        result = self.negotiation.negotiate(app_id, dev, ntwk)
+        self.stats.total_search_time_s += time.perf_counter() - t0
+        return self.distribution.finish(dev, app_id, ntwk, result.path)
+
+    # -- INP transport handler ----------------------------------------------------
+
+    def handle(self, request: bytes) -> bytes:
+        """One INP request/response step."""
+        try:
+            msg = inp.decode(request)
+        except Exception as exc:  # malformed packet: no session to reply into
+            self.stats.errors += 1
+            err = INPMessage(MsgType.INP_ERROR, "unknown", 0, {"error": str(exc)})
+            return inp.encode(err)
+        try:
+            reply = self._dispatch(msg)
+        except (FractalError, KeyError, ValueError) as exc:
+            self.stats.errors += 1
+            reply = inp.error_reply(msg, str(exc))
+        return inp.encode(reply)
+
+    def _dispatch(self, msg: INPMessage) -> INPMessage:
+        if msg.msg_type is MsgType.INIT_REQ:
+            app_id = msg.body.get("app_id")
+            if not isinstance(app_id, str):
+                raise NegotiationError("INIT_REQ missing app_id")
+            # Validate early so the client learns about unknown apps now.
+            self.negotiation.pat(app_id)
+            self._sessions[msg.session_id] = app_id
+            # INIT_REP acknowledges and carries CLI_META_REQ: empty
+            # DevMeta/NtwkMeta shapes for the client to fill (Fig. 4).
+            return msg.reply(
+                MsgType.INIT_REP,
+                {
+                    "cli_meta_req": {
+                        "dev_meta": {
+                            "os_type": "",
+                            "cpu_type": "",
+                            "cpu_mhz": 0,
+                            "memory_mb": 0,
+                        },
+                        "ntwk_meta": {"network_type": "", "bandwidth_kbps": 0},
+                    }
+                },
+            )
+        if msg.msg_type is MsgType.CLI_META_REP:
+            app_id = self._sessions.get(msg.session_id)
+            if app_id is None:
+                raise NegotiationError(
+                    f"CLI_META_REP for unknown session {msg.session_id!r}"
+                )
+            dev = DevMeta.from_wire(msg.body.get("dev_meta", {}))
+            ntwk = NtwkMeta.from_wire(msg.body.get("ntwk_meta", {}))
+            metas = self.negotiate(app_id, dev, ntwk)
+            del self._sessions[msg.session_id]
+            return msg.reply(
+                MsgType.PAD_META_REP,
+                {"pads": [m.to_client_wire() for m in metas]},
+            )
+        raise NegotiationError(
+            f"proxy cannot handle message type {msg.msg_type.value}"
+        )

@@ -1,0 +1,98 @@
+"""The adaptation path search algorithm (§3.4.2, Fig. 6).
+
+Step 1 marks every PAT node with its estimated total overhead (Eq. 3);
+step 2 walks every root→leaf path depth-first and keeps the one with the
+least overhead sum.  Infinite marks (disqualified PADs) poison any path
+through them.  Ties break on the lexicographically smallest PAD-id
+sequence so negotiation results are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import NegotiationError
+from .metadata import DevMeta, NtwkMeta, PADMeta
+from .overhead import OverheadBreakdown, OverheadModel
+from .pat import PAT, PATNode
+
+__all__ = ["SearchResult", "mark_tree", "find_adaptation_path"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """The negotiated protocol: the winning path and its cost."""
+
+    path: tuple[PADMeta, ...]
+    total_overhead_s: float
+    marks: dict  # pad_id -> OverheadBreakdown, for reporting
+    paths_examined: int
+
+    @property
+    def pad_ids(self) -> tuple[str, ...]:
+        return tuple(p.pad_id for p in self.path)
+
+    @property
+    def resolved_ids(self) -> tuple[str, ...]:
+        return tuple(p.resolved_id for p in self.path)
+
+
+def mark_tree(
+    pat: PAT, model: OverheadModel, dev: DevMeta, ntwk: NtwkMeta
+) -> dict[str, OverheadBreakdown]:
+    """Step 1: total overhead per node (aliases share their target's mark)."""
+    marks: dict[str, OverheadBreakdown] = {}
+    for node in pat.nodes():
+        meta = pat.resolve(node.pad_id)
+        if meta.pad_id not in marks:
+            marks[meta.pad_id] = model.breakdown(meta, dev, ntwk)
+        if node.pad_id != meta.pad_id:
+            marks[node.pad_id] = marks[meta.pad_id]
+    return marks
+
+
+def find_adaptation_path(
+    pat: PAT, model: OverheadModel, dev: DevMeta, ntwk: NtwkMeta
+) -> SearchResult:
+    """Steps 1+2: the least-total-overhead root→leaf path.
+
+    Raises :class:`NegotiationError` when every path is infeasible for
+    this client environment.
+    """
+    marks = mark_tree(pat, model, dev, ntwk)
+    best_cost = math.inf
+    best_ids: tuple[str, ...] | None = None
+    best_path: tuple[PATNode, ...] | None = None
+    examined = 0
+    for path in pat.paths():
+        examined += 1
+        cost = 0.0
+        for node in path:
+            cost += marks[node.pad_id].total_s
+            if math.isinf(cost):
+                break
+        if math.isinf(cost):
+            continue
+        ids = tuple(n.pad_id for n in path)
+        if cost < best_cost or (cost == best_cost and (best_ids is None or ids < best_ids)):
+            best_cost = cost
+            best_ids = ids
+            best_path = tuple(path)
+    if best_path is None:
+        raise NegotiationError(
+            f"no feasible adaptation path for cpu={dev.cpu_type!r} "
+            f"os={dev.os_type!r} network={ntwk.network_type!r}"
+        )
+    # Keep the tree-position metadata (a symbolic copy stays visible in
+    # pad_ids); resolved_ids collapses aliases to the real PADs.
+    metas = tuple(
+        n.meta if n.meta is not None else pat.resolve(n.pad_id)
+        for n in best_path
+    )
+    return SearchResult(
+        path=metas,
+        total_overhead_s=best_cost,
+        marks=marks,
+        paths_examined=examined,
+    )

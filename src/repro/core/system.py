@@ -1,0 +1,169 @@
+"""End-to-end system assembly: the Fig. 1 architecture in one call.
+
+:func:`build_case_study` wires the whole paper testbed together —
+application server + adaptation proxy (same administrative domain), CDN
+origin + edges with PADs pushed, trust relationships, and a factory for
+clients at arbitrary sites/environments — over any transport with the
+``bind``/``request`` interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..cdn import Deployment, build_deployment, push_all
+from ..mobilecode import Signer, TrustStore, generate_keypair
+from ..protocols.padlib import PAD_SPECS
+from ..simnet.transport import InProcessTransport
+from ..workload.pages import Corpus
+from ..workload.profiles import ClientEnvironment
+from .appserver import ApplicationServer, default_pad_overheads
+from .calibration import calibrate_overheads
+from .client import FractalClient
+from .era import era_overheads
+from .metadata import PADMeta, PADOverhead
+from .overhead import OverheadModel, paper_case_study_matrices
+from .proxy import AdaptationProxy
+
+__all__ = ["CaseStudySystem", "build_case_study", "case_study_app_meta_pads"]
+
+APP_ID = "medical-web"
+PROXY_ENDPOINT = "proxy"
+APPSERVER_ENDPOINT = "appserver"
+SIGNER_NAME = "appserver-signer"
+_RSA_BITS = 768  # plenty for a simulation; keygen stays fast
+
+
+def case_study_app_meta_pads(
+    overheads: dict[str, PADOverhead],
+    pad_ids: Iterable[str] = ("direct", "gzip", "vary", "bitmap"),
+) -> list[PADMeta]:
+    """The one-level PAT of Fig. 8: every PAD a child of the root."""
+    pads = []
+    for pad_id in pad_ids:
+        spec = PAD_SPECS[pad_id]
+        from ..protocols.padlib import build_pad_module
+
+        module = build_pad_module(pad_id)
+        pads.append(
+            PADMeta(
+                pad_id=pad_id,
+                size_bytes=module.size,
+                overhead=overheads[pad_id],
+                init_kwargs=dict(spec.init_kwargs),
+            )
+        )
+    return pads
+
+
+@dataclass
+class CaseStudySystem:
+    """Everything Fig. 1 shows, live and wired."""
+
+    corpus: Corpus
+    appserver: ApplicationServer
+    proxy: AdaptationProxy
+    deployment: Deployment
+    transport: InProcessTransport
+    trust_store: TrustStore
+    overheads: dict[str, PADOverhead]
+    clients: list[FractalClient] = field(default_factory=list)
+    _client_counter: int = 0
+
+    def make_client(
+        self,
+        environment: ClientEnvironment,
+        *,
+        site: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> FractalClient:
+        """A new client host at ``site`` (defaults round-robin over sites)."""
+        sites = self.deployment.client_sites
+        if site is None:
+            site = sites[self._client_counter % len(sites)]
+        if name is None:
+            name = f"client{self._client_counter:03d}"
+        self._client_counter += 1
+        redirector = self.deployment.redirector
+
+        def cdn_fetch(key: str, _site=site) -> bytes:
+            blob, _edge = redirector.fetch(_site, key)
+            return blob
+
+        client = FractalClient(
+            name,
+            environment,
+            transport=self.transport,
+            proxy_endpoint=PROXY_ENDPOINT,
+            appserver_endpoint=APPSERVER_ENDPOINT,
+            cdn_fetch=cdn_fetch,
+            trust_store=self.trust_store,
+        )
+        self.clients.append(client)
+        return client
+
+
+def build_case_study(
+    *,
+    corpus: Optional[Corpus] = None,
+    pad_ids: Iterable[str] = ("direct", "gzip", "vary", "bitmap"),
+    calibrate: bool = False,
+    calibration_pages: int = 2,
+    era: bool = False,
+    proactive: bool = False,
+    n_edges: int = 20,
+    rho: float = 0.8,
+    seed: int = 2005,
+) -> CaseStudySystem:
+    """Assemble the full case-study system.
+
+    ``calibrate=True`` measures real PAD overheads on this host (slower;
+    the capacity/figure benches use it); ``False`` uses representative
+    defaults (fast; most tests use it).  ``era=True`` additionally
+    replaces the compute terms with the era-calibrated model (see
+    :mod:`repro.core.era`), which the figure reproductions use so
+    negotiation crossovers land where the paper's 2005 testbed put them.
+    """
+    pad_ids = tuple(pad_ids)
+    corpus = corpus or Corpus()
+    key = generate_keypair(_RSA_BITS)
+    signer = Signer(SIGNER_NAME, key)
+    trust_store = TrustStore()
+    trust_store.trust(SIGNER_NAME, key.public)
+
+    if calibrate:
+        overheads = calibrate_overheads(
+            corpus, pad_ids, n_pages=calibration_pages
+        )
+    else:
+        defaults = default_pad_overheads()
+        overheads = {p: defaults[p] for p in pad_ids}
+    if era:
+        overheads = era_overheads(overheads)
+
+    appserver = ApplicationServer(APP_ID, corpus, signer, proactive=proactive)
+    for meta in case_study_app_meta_pads(overheads, pad_ids):
+        appserver.deploy_pad(meta)
+
+    a, b, r = paper_case_study_matrices()
+    model = OverheadModel(cpu_matrix=a, os_matrix=b, net_matrix=r, rho=rho)
+    proxy = AdaptationProxy(model)
+
+    deployment = build_deployment(n_edges=n_edges, seed=seed)
+    appserver.publish(proxy, deployment.origin)
+    push_all(deployment.origin, deployment.edges)
+
+    transport = InProcessTransport()
+    transport.bind(PROXY_ENDPOINT, proxy.handle)
+    transport.bind(APPSERVER_ENDPOINT, appserver.handle)
+
+    return CaseStudySystem(
+        corpus=corpus,
+        appserver=appserver,
+        proxy=proxy,
+        deployment=deployment,
+        transport=transport,
+        trust_store=trust_store,
+        overheads=overheads,
+    )

@@ -1,0 +1,32 @@
+"""Mobile code substrate: packaging, sandboxing, signing, and loading PADs."""
+
+from .loader import LoadedModule, ModuleLoader
+from .module import MobileCodeError, MobileCodeModule
+from .rsa import PrivateKey, PublicKey, RSAError, generate_keypair
+from .rsa import sign as rsa_sign
+from .rsa import verify as rsa_verify
+from .sha1 import Sha1, sha1_hexdigest
+from .sandbox import DEFAULT_ALLOWED_IMPORTS, Sandbox, SandboxViolation
+from .signing import SignedModule, Signer, SigningError, TrustStore
+
+__all__ = [
+    "Sha1",
+    "sha1_hexdigest",
+    "LoadedModule",
+    "ModuleLoader",
+    "MobileCodeError",
+    "MobileCodeModule",
+    "PrivateKey",
+    "PublicKey",
+    "RSAError",
+    "generate_keypair",
+    "rsa_sign",
+    "rsa_verify",
+    "DEFAULT_ALLOWED_IMPORTS",
+    "Sandbox",
+    "SandboxViolation",
+    "SignedModule",
+    "Signer",
+    "SigningError",
+    "TrustStore",
+]

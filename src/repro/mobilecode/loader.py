@@ -1,0 +1,86 @@
+"""Loading and instantiating verified mobile-code modules.
+
+The full client-side pipeline the paper describes: verify the SHA-1 digest
+from ``PADMeta``, verify the code signature against the trust list, exec
+the source in the sandbox, and hand back an instance of the module's entry
+point.  Each step raises a distinct exception type so callers (and tests)
+can tell tampering from mistrust from plain bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .module import MobileCodeError, MobileCodeModule
+from .sandbox import Sandbox, SandboxViolation
+from .signing import SignedModule, SigningError, TrustStore
+
+__all__ = ["LoadedModule", "ModuleLoader"]
+
+
+@dataclass
+class LoadedModule:
+    """A deployed PAD: the module, its namespace, and its entry instance."""
+
+    module: MobileCodeModule
+    namespace: dict[str, Any]
+    instance: Any
+
+
+class ModuleLoader:
+    """Verifies and deploys mobile code on the client."""
+
+    def __init__(
+        self,
+        trust_store: TrustStore,
+        sandbox: Optional[Sandbox] = None,
+        *,
+        require_signature: bool = True,
+    ):
+        self.trust_store = trust_store
+        self.sandbox = sandbox or Sandbox()
+        self.require_signature = require_signature
+        self.loaded: dict[str, LoadedModule] = {}
+
+    def load(
+        self,
+        signed: SignedModule,
+        *,
+        expected_digest: Optional[str] = None,
+        init_args: tuple = (),
+        init_kwargs: Optional[dict] = None,
+    ) -> LoadedModule:
+        """Verify and deploy; returns the live entry-point instance.
+
+        ``expected_digest`` is the SHA-1 from the negotiated ``PADMeta`` —
+        pass it whenever available so a CDN serving stale or tampered bytes
+        is caught before any code runs.
+        """
+        if self.require_signature:
+            module = self.trust_store.verify(signed)
+        else:
+            module = signed.module
+        if expected_digest is not None:
+            module.verify_digest(expected_digest)
+        namespace = self.sandbox.execute(module.source, f"<pad:{module.name}>")
+        entry = namespace.get(module.entry_point)
+        if entry is None:
+            raise MobileCodeError(
+                f"module {module.name!r} does not define entry point "
+                f"{module.entry_point!r}"
+            )
+        if not callable(entry):
+            raise MobileCodeError(
+                f"entry point {module.entry_point!r} of {module.name!r} is not callable"
+            )
+        instance = entry(*init_args, **(init_kwargs or {}))
+        loaded = LoadedModule(module=module, namespace=namespace, instance=instance)
+        self.loaded[module.name] = loaded
+        return loaded
+
+    def unload(self, name: str) -> None:
+        self.loaded.pop(name, None)
+
+    def get(self, name: str) -> Optional[LoadedModule]:
+        return self.loaded.get(name)

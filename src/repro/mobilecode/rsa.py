@@ -1,0 +1,153 @@
+"""From-scratch RSA for code signing.
+
+Key generation with Miller–Rabin primality testing, deterministic
+PKCS#1-v1.5-style signing of SHA-256 digests.  This exists so the code-
+signing path (paper §3.5) has a real asymmetric primitive without any
+external crypto dependency.  Obviously not constant-time; it secures a
+simulation, not production traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+__all__ = ["RSAError", "PublicKey", "PrivateKey", "generate_keypair", "sign", "verify"]
+
+# Deterministic prefix identifying the digest algorithm (like the DER
+# DigestInfo in PKCS#1 v1.5, simplified to a fixed tag).
+_DIGEST_TAG = b"FRACTAL-SHA256:"
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59,
+                 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113]
+
+
+class RSAError(Exception):
+    """Raised for malformed keys or signatures."""
+
+
+def _is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller–Rabin with ``rounds`` random bases (error < 4^-rounds)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int) -> int:
+    while True:
+        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    n: int
+    e: int
+
+    @property
+    def byte_size(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def to_wire(self) -> dict:
+        return {"n": hex(self.n), "e": self.e}
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "PublicKey":
+        try:
+            return cls(n=int(obj["n"], 16), e=int(obj["e"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RSAError(f"malformed public key: {exc}") from exc
+
+    def fingerprint(self) -> str:
+        """Stable short identifier for trust stores."""
+        blob = f"{self.n:x}:{self.e:x}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> PublicKey:
+        return PublicKey(self.n, self.e)
+
+    @property
+    def byte_size(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+
+def generate_keypair(bits: int = 1024, e: int = 65537) -> PrivateKey:
+    """Generate an RSA keypair with an n of roughly ``bits`` bits."""
+    if bits < 512:
+        raise RSAError(f"modulus too small for signing: {bits} bits")
+    while True:
+        p = _random_prime(bits // 2)
+        q = _random_prime(bits - bits // 2)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue  # e not invertible mod phi; rare, retry
+        return PrivateKey(n=n, e=e, d=d)
+
+
+def _encode_digest(digest: bytes, size: int) -> int:
+    """Pad TAG||digest to ``size`` bytes: 0x00 0x01 FF..FF 0x00 payload."""
+    payload = _DIGEST_TAG + digest
+    pad_len = size - len(payload) - 3
+    if pad_len < 8:
+        raise RSAError("modulus too small for digest encoding")
+    block = b"\x00\x01" + b"\xff" * pad_len + b"\x00" + payload
+    return int.from_bytes(block, "big")
+
+
+def sign(key: PrivateKey, message: bytes) -> bytes:
+    """Sign SHA-256(message); returns a signature of key.byte_size bytes."""
+    digest = hashlib.sha256(message).digest()
+    m = _encode_digest(digest, key.byte_size)
+    sig = pow(m, key.d, key.n)
+    return sig.to_bytes(key.byte_size, "big")
+
+
+def verify(key: PublicKey, message: bytes, signature: bytes) -> bool:
+    """True iff ``signature`` is a valid signature of ``message``."""
+    if len(signature) != key.byte_size:
+        return False
+    sig = int.from_bytes(signature, "big")
+    if sig >= key.n:
+        return False
+    digest = hashlib.sha256(message).digest()
+    try:
+        expected = _encode_digest(digest, key.byte_size)
+    except RSAError:
+        return False
+    return pow(sig, key.e, key.n) == expected

@@ -1,0 +1,94 @@
+"""From-scratch SHA-1 (FIPS 180-1), the paper's message-digest primitive.
+
+``PADMeta``'s "message digest is computed using the SHA-1 function" [10].
+The hot paths use :mod:`hashlib`'s C implementation; this pure-Python one
+exists so the substrate is self-contained and auditable, and the test
+suite proves the two identical bit-for-bit.  It also supports streaming
+(``update``/``hexdigest``) with the same API shape as hashlib.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["Sha1", "sha1_hexdigest"]
+
+_CHUNK = 64  # bytes per block
+
+
+def _rol(value: int, count: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << count) | (value >> (32 - count))) & 0xFFFFFFFF
+
+
+class Sha1:
+    """Streaming SHA-1 with hashlib-like update()/digest()/hexdigest()."""
+
+    digest_size = 20
+    block_size = _CHUNK
+
+    def __init__(self, data: bytes = b""):
+        self._h = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+        self._buffer = b""
+        self._length = 0  # total message bytes
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        self._length += len(data)
+        buffer = self._buffer + data
+        offset = 0
+        while offset + _CHUNK <= len(buffer):
+            self._compress(buffer[offset : offset + _CHUNK])
+            offset += _CHUNK
+        self._buffer = buffer[offset:]
+
+    def _compress(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for i in range(16, 80):
+            w.append(_rol(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = self._h
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            a, b, c, d, e = (
+                (_rol(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF,
+                a,
+                _rol(b, 30),
+                c,
+                d,
+            )
+        self._h = tuple(
+            (x + y) & 0xFFFFFFFF for x, y in zip(self._h, (a, b, c, d, e))
+        )
+
+    def digest(self) -> bytes:
+        # Pad a copy so digest() can be called mid-stream like hashlib.
+        clone = Sha1()
+        clone._h = self._h
+        clone._length = self._length
+        clone._buffer = self._buffer
+        bit_length = clone._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - clone._length) % 64)
+        tail = clone._buffer + padding + struct.pack(">Q", bit_length)
+        for offset in range(0, len(tail), _CHUNK):
+            clone._compress(tail[offset : offset + _CHUNK])
+        return struct.pack(">5I", *clone._h)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def sha1_hexdigest(data: bytes) -> str:
+    """One-shot convenience matching ``hashlib.sha1(data).hexdigest()``."""
+    return Sha1(data).hexdigest()

@@ -1,0 +1,110 @@
+"""Code signing and trust management for mobile code.
+
+The paper's second security mechanism (§3.5): the client manages a list of
+entities it trusts, and verifies each PAD was signed by one of them.  A
+:class:`SignedModule` bundles a module's canonical bytes with the signer's
+identity and an RSA signature; a :class:`TrustStore` maps signer names to
+public keys.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .module import MobileCodeError, MobileCodeModule
+from .rsa import PrivateKey, PublicKey, sign as rsa_sign, verify as rsa_verify
+
+__all__ = ["SigningError", "SignedModule", "Signer", "TrustStore"]
+
+
+class SigningError(Exception):
+    """Raised for untrusted signers or invalid signatures."""
+
+
+@dataclass(frozen=True)
+class SignedModule:
+    """A mobile-code module plus its provenance."""
+
+    module: MobileCodeModule
+    signer: str
+    signature: bytes
+
+    def to_wire(self) -> bytes:
+        envelope = {
+            "signer": self.signer,
+            "signature": self.signature.hex(),
+            "module": self.module.canonical_bytes().decode("utf-8"),
+        }
+        return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+
+    @classmethod
+    def from_wire(cls, blob: bytes) -> "SignedModule":
+        try:
+            envelope = json.loads(blob.decode("utf-8"))
+            signer = envelope["signer"]
+            signature = bytes.fromhex(envelope["signature"])
+            module = MobileCodeModule.from_canonical_bytes(
+                envelope["module"].encode("utf-8")
+            )
+        except (KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
+            raise MobileCodeError(f"malformed signed module: {exc}") from exc
+        return cls(module=module, signer=signer, signature=signature)
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_wire())
+
+
+class Signer:
+    """An entity (the application server) that signs the PADs it publishes."""
+
+    def __init__(self, name: str, private_key: PrivateKey):
+        if not name:
+            raise SigningError("signer name must be non-empty")
+        self.name = name
+        self._key = private_key
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._key.public
+
+    def sign(self, module: MobileCodeModule) -> SignedModule:
+        signature = rsa_sign(self._key, module.canonical_bytes())
+        return SignedModule(module=module, signer=self.name, signature=signature)
+
+
+class TrustStore:
+    """The client's list of trusted entities (paper §3.5)."""
+
+    def __init__(self) -> None:
+        self._keys: dict[str, PublicKey] = {}
+
+    def trust(self, name: str, key: PublicKey) -> None:
+        existing = self._keys.get(name)
+        if existing is not None and existing != key:
+            raise SigningError(
+                f"refusing to silently replace key for {name!r}; revoke first"
+            )
+        self._keys[name] = key
+
+    def revoke(self, name: str) -> None:
+        self._keys.pop(name, None)
+
+    def is_trusted(self, name: str) -> bool:
+        return name in self._keys
+
+    def trusted_names(self) -> list[str]:
+        return sorted(self._keys)
+
+    def verify(self, signed: SignedModule) -> MobileCodeModule:
+        """Return the module iff its signer is trusted and the signature holds."""
+        key = self._keys.get(signed.signer)
+        if key is None:
+            raise SigningError(f"signer {signed.signer!r} is not in the trust list")
+        if not rsa_verify(key, signed.module.canonical_bytes(), signed.signature):
+            raise SigningError(
+                f"invalid signature on module {signed.module.name!r} "
+                f"from {signed.signer!r}"
+            )
+        return signed.module

@@ -1,0 +1,46 @@
+"""Case-study communication-optimization protocols, packaged as PADs."""
+
+from .base import (
+    CommProtocol,
+    DeltaOp,
+    ExchangeResult,
+    ProtocolError,
+    apply_delta,
+    decode_delta,
+    encode_delta,
+    run_exchange,
+)
+from .bitmap import BitmapProtocol
+from .content import ImageDownscaleProtocol, TextOnlyProtocol
+from .direct import DirectProtocol
+from .fixed_blocking import FixedBlockingProtocol, RollingChecksum, rolling_checksum
+from .gzip_pad import GzipProtocol
+from .padlib import PAD_SPECS, PAD_VERSION, PadSpec, build_pad_module, instantiate
+from .stack import ProtocolStack
+from .vary_blocking import VaryBlockingProtocol
+
+__all__ = [
+    "CommProtocol",
+    "DeltaOp",
+    "ExchangeResult",
+    "ProtocolError",
+    "apply_delta",
+    "decode_delta",
+    "encode_delta",
+    "run_exchange",
+    "BitmapProtocol",
+    "ImageDownscaleProtocol",
+    "TextOnlyProtocol",
+    "DirectProtocol",
+    "FixedBlockingProtocol",
+    "RollingChecksum",
+    "rolling_checksum",
+    "GzipProtocol",
+    "PAD_SPECS",
+    "PAD_VERSION",
+    "PadSpec",
+    "build_pad_module",
+    "instantiate",
+    "ProtocolStack",
+    "VaryBlockingProtocol",
+]

@@ -1,0 +1,231 @@
+"""Communication-optimization protocol interface.
+
+All four case-study PADs (plus the rsync-style extension) implement one
+three-phase exchange per resource (a page part — the text or one image):
+
+1. ``client_request(old)``  — uplink payload describing what the client has
+   (empty for protocols that don't need it).
+2. ``server_respond(request, old, new)`` — downlink payload encoding the
+   new version (possibly as a delta against ``old``).
+3. ``client_reconstruct(old, response)`` — rebuild the new version.
+
+Traffic for the exchange is ``len(request) + len(response)``; compute is
+measured around phases 2 (server) and 1+3 (client).  The module also
+provides the shared copy/data **delta encoding** used by the differencing
+protocols, and :class:`ExchangeResult` accounting.
+
+This module is importable from inside the mobile-code sandbox — PAD source
+shipped over the wire subclasses :class:`CommProtocol`.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "ProtocolError",
+    "CommProtocol",
+    "ExchangeResult",
+    "run_exchange",
+    "DeltaOp",
+    "encode_delta",
+    "decode_delta",
+    "apply_delta",
+]
+
+
+class ProtocolError(Exception):
+    """Raised for malformed payloads or reconstruction failures."""
+
+
+class CommProtocol:
+    """Base class; subclasses override the three phases.
+
+    ``name`` doubles as the PAD identifier in the negotiation layer.
+    """
+
+    name: str = "abstract"
+
+    def client_request(self, old: Optional[bytes]) -> bytes:
+        """Uplink payload (default: nothing)."""
+        return b""
+
+    def server_respond(
+        self, request: bytes, old: Optional[bytes], new: bytes
+    ) -> bytes:
+        raise NotImplementedError
+
+    def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
+        raise NotImplementedError
+
+
+@dataclass
+class ExchangeResult:
+    """Accounting for one resource exchange."""
+
+    protocol: str
+    request_bytes: int
+    response_bytes: int
+    original_bytes: int
+    client_time_s: float
+    server_time_s: float
+    data: bytes
+
+    @property
+    def traffic_bytes(self) -> int:
+        return self.request_bytes + self.response_bytes
+
+    @property
+    def savings_ratio(self) -> float:
+        """Fraction of the direct-send traffic avoided (can be negative)."""
+        if self.original_bytes == 0:
+            return 0.0
+        return 1.0 - self.traffic_bytes / self.original_bytes
+
+
+def run_exchange(
+    protocol: CommProtocol,
+    old: Optional[bytes],
+    new: bytes,
+    *,
+    precomputed_response: Optional[bytes] = None,
+    verify: Optional[bool] = None,
+) -> ExchangeResult:
+    """Run the three phases, timing each side and verifying correctness.
+
+    ``precomputed_response`` models the paper's *proactive* adaptive
+    content: the server already holds the encoded response, so server
+    compute time is zero at request time.
+
+    ``verify`` controls the reconstruct-exactly check.  It defaults to
+    the protocol's contract: lossless protocols must reproduce ``new``
+    byte-for-byte; content-adaptation PADs (``protocol.lossy`` is True)
+    intentionally deliver transformed content and skip the check.
+    """
+    t0 = time.perf_counter()
+    request = protocol.client_request(old)
+    t1 = time.perf_counter()
+    if precomputed_response is None:
+        response = protocol.server_respond(request, old, new)
+        t2 = time.perf_counter()
+        server_time = t2 - t1
+    else:
+        response = precomputed_response
+        server_time = 0.0
+        t2 = time.perf_counter()
+    rebuilt = protocol.client_reconstruct(old, response)
+    t3 = time.perf_counter()
+    if verify is None:
+        verify = not getattr(protocol, "lossy", False)
+    if verify and rebuilt != new:
+        raise ProtocolError(
+            f"protocol {protocol.name!r} failed to reconstruct the new version "
+            f"({len(rebuilt)} vs {len(new)} bytes)"
+        )
+    return ExchangeResult(
+        protocol=protocol.name,
+        request_bytes=len(request),
+        response_bytes=len(response),
+        original_bytes=len(new),
+        client_time_s=(t1 - t0) + (t3 - t2),
+        server_time_s=server_time,
+        data=rebuilt,
+    )
+
+
+# -- shared delta encoding ----------------------------------------------------
+#
+# A delta is a sequence of ops over the old version:
+#   COPY  (op 0x01): u32 offset, u32 length   -> copy old[offset:offset+length]
+#   DATA  (op 0x02): u32 length, raw bytes    -> literal insertion
+# terminated by END (op 0x00).  u32s are little-endian.
+
+_OP_END = 0x00
+_OP_COPY = 0x01
+_OP_DATA = 0x02
+_U32 = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One delta instruction; ``data`` is None for COPY ops."""
+
+    offset: int = 0
+    length: int = 0
+    data: Optional[bytes] = None
+
+    @property
+    def is_copy(self) -> bool:
+        return self.data is None
+
+
+def encode_delta(ops: list[DeltaOp]) -> bytes:
+    out = bytearray()
+    for op in ops:
+        if op.is_copy:
+            if op.length <= 0 or op.offset < 0:
+                raise ProtocolError(f"invalid COPY op: {op}")
+            out.append(_OP_COPY)
+            out += _U32.pack(op.offset)
+            out += _U32.pack(op.length)
+        else:
+            assert op.data is not None
+            if not op.data:
+                raise ProtocolError("empty DATA op")
+            out.append(_OP_DATA)
+            out += _U32.pack(len(op.data))
+            out += op.data
+    out.append(_OP_END)
+    return bytes(out)
+
+
+def decode_delta(blob: bytes) -> list[DeltaOp]:
+    ops: list[DeltaOp] = []
+    pos = 0
+    n = len(blob)
+    while True:
+        if pos >= n:
+            raise ProtocolError("delta missing END op")
+        opcode = blob[pos]
+        pos += 1
+        if opcode == _OP_END:
+            if pos != n:
+                raise ProtocolError(f"{n - pos} trailing bytes after END op")
+            return ops
+        if opcode == _OP_COPY:
+            if pos + 8 > n:
+                raise ProtocolError("truncated COPY op")
+            (offset,) = _U32.unpack_from(blob, pos)
+            (length,) = _U32.unpack_from(blob, pos + 4)
+            pos += 8
+            ops.append(DeltaOp(offset=offset, length=length))
+        elif opcode == _OP_DATA:
+            if pos + 4 > n:
+                raise ProtocolError("truncated DATA header")
+            (length,) = _U32.unpack_from(blob, pos)
+            pos += 4
+            if pos + length > n:
+                raise ProtocolError("truncated DATA payload")
+            ops.append(DeltaOp(data=blob[pos : pos + length]))
+            pos += length
+        else:
+            raise ProtocolError(f"unknown delta opcode {opcode:#x}")
+
+
+def apply_delta(old: bytes, ops: list[DeltaOp]) -> bytes:
+    out = bytearray()
+    for op in ops:
+        if op.is_copy:
+            if op.offset + op.length > len(old):
+                raise ProtocolError(
+                    f"COPY [{op.offset}, {op.offset + op.length}) exceeds old "
+                    f"version of {len(old)} bytes"
+                )
+            out += old[op.offset : op.offset + op.length]
+        else:
+            assert op.data is not None
+            out += op.data
+    return bytes(out)

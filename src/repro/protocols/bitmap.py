@@ -1,0 +1,107 @@
+"""Bitmap PAD: fixed-size block differencing ([29], paper §4.1).
+
+"Files are updated by dividing both files into fix-sized chunks.  The
+client sends digests of each chunk to the server, and the server responds
+only with new data chunks."  The response carries a literal *bitmap* (one
+bit per client block: 1 = replaced), the new total length, and the data of
+every block that changed — which is why it excels on in-place image
+updates (DICOM/BMP) and pays nothing to compute.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..chunking import chunk_digest, fixed_chunk_bytes
+from .base import CommProtocol, ProtocolError
+
+__all__ = ["BitmapProtocol"]
+
+_DIGEST_TRUNCATE = 16
+_HDR = struct.Struct("<IIH")  # new_length, n_client_blocks, block_size_kib
+
+
+class BitmapProtocol(CommProtocol):
+    name = "bitmap"
+
+    def __init__(self, block_size: int = 4096):
+        if block_size < 64 or block_size % 64:
+            raise ValueError(f"block_size must be a multiple of 64 >= 64, got {block_size}")
+        self.block_size = block_size
+
+    # -- phase 1: client uploads digests of its old blocks -------------------
+
+    def client_request(self, old: Optional[bytes]) -> bytes:
+        if old is None:
+            return b""
+        digests = [
+            chunk_digest(b, _DIGEST_TRUNCATE)
+            for b in fixed_chunk_bytes(old, self.block_size)
+        ]
+        return b"".join(digests)
+
+    # -- phase 2: server replies with bitmap + changed blocks ----------------
+
+    def server_respond(
+        self, request: bytes, old: Optional[bytes], new: bytes
+    ) -> bytes:
+        if len(request) % _DIGEST_TRUNCATE:
+            raise ProtocolError("digest upload is not a whole number of digests")
+        client_digests = [
+            request[i : i + _DIGEST_TRUNCATE]
+            for i in range(0, len(request), _DIGEST_TRUNCATE)
+        ]
+        new_blocks = fixed_chunk_bytes(new, self.block_size)
+        n = len(new_blocks)
+        bitmap = bytearray((n + 7) // 8)
+        changed: list[bytes] = []
+        for i, block in enumerate(new_blocks):
+            same = (
+                i < len(client_digests)
+                and chunk_digest(block, _DIGEST_TRUNCATE) == client_digests[i]
+            )
+            if not same:
+                bitmap[i // 8] |= 1 << (i % 8)
+                changed.append(block)
+        header = _HDR.pack(len(new), n, self.block_size // 64)
+        return header + bytes(bitmap) + b"".join(changed)
+
+    # -- phase 3: client rebuilds ---------------------------------------------
+
+    def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
+        if len(response) < _HDR.size:
+            raise ProtocolError("bitmap response too short")
+        new_length, n_blocks, bs_kib = _HDR.unpack_from(response)
+        block_size = bs_kib * 64
+        if block_size != self.block_size:
+            raise ProtocolError(
+                f"server used block size {block_size}, client expected {self.block_size}"
+            )
+        pos = _HDR.size
+        bitmap_len = (n_blocks + 7) // 8
+        if pos + bitmap_len > len(response):
+            raise ProtocolError("truncated bitmap")
+        bitmap = response[pos : pos + bitmap_len]
+        pos += bitmap_len
+        old_blocks = fixed_chunk_bytes(old or b"", block_size)
+        out = bytearray()
+        for i in range(n_blocks):
+            replaced = bitmap[i // 8] & (1 << (i % 8))
+            if replaced:
+                length = min(block_size, new_length - len(out))
+                if pos + length > len(response):
+                    raise ProtocolError("truncated changed-block data")
+                out += response[pos : pos + length]
+                pos += length
+            else:
+                if i >= len(old_blocks):
+                    raise ProtocolError(f"block {i} marked unchanged but client has no such block")
+                out += old_blocks[i]
+        if pos != len(response):
+            raise ProtocolError(f"{len(response) - pos} trailing bytes in bitmap response")
+        if len(out) != new_length:
+            raise ProtocolError(
+                f"rebuilt {len(out)} bytes, header promised {new_length}"
+            )
+        return bytes(out)

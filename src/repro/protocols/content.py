@@ -1,0 +1,91 @@
+"""Content-adaptation PADs (the paper's §5 generalization).
+
+"Fractal provides a general framework for other adaptation functionality
+as well by extending the PAD into other adaptation functions, e.g.
+content adaptation."  These PADs transform the content itself instead of
+(or in addition to) optimizing its transport: a small-screen device
+receives downscaled images; a text-only device receives no images at all.
+
+Content adaptation is *lossy*, so these protocols don't satisfy the
+reconstruct-exactly contract — :func:`~repro.protocols.base.run_exchange`
+must be called with ``verify=False`` (the session layer does this for
+PADs whose ``lossy`` attribute is True).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..workload.images import SyntheticImage, decode_image
+from .base import CommProtocol, ProtocolError
+
+__all__ = ["ImageDownscaleProtocol", "TextOnlyProtocol"]
+
+
+class ImageDownscaleProtocol(CommProtocol):
+    """Ship images at a fraction of their resolution.
+
+    Works on the corpus's image parts; non-image parts (text) pass
+    through unchanged.  Downscaling by ``factor`` keeps every
+    ``factor``-th row and column, cutting image bytes by ~factor².
+    """
+
+    name = "downscale"
+    lossy = True
+
+    def __init__(self, factor: int = 2):
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.factor = factor
+
+    def server_respond(
+        self, request: bytes, old: Optional[bytes], new: bytes
+    ) -> bytes:
+        try:
+            image = decode_image(new)
+        except ValueError:
+            return b"T" + new  # not an image: tag and pass through
+        pixels = image.pixels[:: self.factor, :: self.factor]
+        # numpy slicing keeps a view; the encoder needs it contiguous.
+        blob = SyntheticImage(pixels.copy()).encode()
+        return b"I" + struct.pack("<H", self.factor) + blob
+
+    def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
+        if not response:
+            raise ProtocolError("empty downscale response")
+        tag, body = response[:1], response[1:]
+        if tag == b"T":
+            return body
+        if tag == b"I":
+            if len(body) < 2:
+                raise ProtocolError("truncated downscale header")
+            # The factor is informational (a real client would upsample
+            # for display); the adapted image *is* the content now.
+            return body[2:]
+        raise ProtocolError(f"unknown downscale tag {tag!r}")
+
+
+class TextOnlyProtocol(CommProtocol):
+    """Strip images entirely: the paper's cell-phone-class adaptation."""
+
+    name = "textonly"
+    lossy = True
+
+    def server_respond(
+        self, request: bytes, old: Optional[bytes], new: bytes
+    ) -> bytes:
+        try:
+            decode_image(new)
+        except ValueError:
+            return b"T" + new  # text part survives
+        return b"X"  # image part dropped
+
+    def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
+        if not response:
+            raise ProtocolError("empty textonly response")
+        if response[:1] == b"T":
+            return response[1:]
+        if response == b"X":
+            return b""
+        raise ProtocolError("malformed textonly response")

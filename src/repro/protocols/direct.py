@@ -1,0 +1,23 @@
+"""Direct sending: no optimization — the baseline of every comparison."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CommProtocol
+
+__all__ = ["DirectProtocol"]
+
+
+class DirectProtocol(CommProtocol):
+    """Ship the new version verbatim; ignore whatever the client has."""
+
+    name = "direct"
+
+    def server_respond(
+        self, request: bytes, old: Optional[bytes], new: bytes
+    ) -> bytes:
+        return new
+
+    def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
+        return response

@@ -1,0 +1,152 @@
+"""Fix-sized blocking (rsync-style) PAD — the related-work extension.
+
+Rsync's algorithm [Tridgell & Mackerras 1996], as the paper describes it:
+the client sends per-block signatures of its old version (a weak rolling
+checksum plus a strong digest); the server slides a window over the *new*
+version, and wherever the rolling checksum matches a client block it
+confirms with the strong digest and emits a COPY of the client's block;
+everything else ships as literal DATA.  Unlike Bitmap, matches are found
+at any byte offset, so it tolerates shifts — at the cost of the rolling
+scan on the server.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..chunking import chunk_digest, fixed_chunk_bytes
+from .base import (
+    CommProtocol,
+    DeltaOp,
+    ProtocolError,
+    apply_delta,
+    decode_delta,
+    encode_delta,
+)
+
+__all__ = ["FixedBlockingProtocol", "rolling_checksum", "RollingChecksum"]
+
+_DIGEST_TRUNCATE = 12
+_SIG = struct.Struct("<I")  # weak checksum per block, then digest bytes
+_MOD = 1 << 16
+
+
+def rolling_checksum(block: bytes) -> int:
+    """rsync's weak checksum: a = sum(b), b = sum((L-i)*b_i), both mod 2^16."""
+    a = 0
+    b = 0
+    n = len(block)
+    for i, byte in enumerate(block):
+        a += byte
+        b += (n - i) * byte
+    return (a % _MOD) | ((b % _MOD) << 16)
+
+
+class RollingChecksum:
+    """Incrementally rolled weak checksum over a fixed-size window."""
+
+    __slots__ = ("size", "a", "b")
+
+    def __init__(self, block: bytes):
+        self.size = len(block)
+        self.a = sum(block) % _MOD
+        self.b = sum((self.size - i) * byte for i, byte in enumerate(block)) % _MOD
+
+    def roll(self, out_byte: int, in_byte: int) -> int:
+        self.a = (self.a - out_byte + in_byte) % _MOD
+        self.b = (self.b - self.size * out_byte + self.a) % _MOD
+        return self.value
+
+    @property
+    def value(self) -> int:
+        return self.a | (self.b << 16)
+
+
+class FixedBlockingProtocol(CommProtocol):
+    name = "fixed"
+
+    def __init__(self, block_size: int = 2048):
+        if block_size < 16:
+            raise ValueError(f"block_size must be >= 16, got {block_size}")
+        self.block_size = block_size
+
+    # -- phase 1: client signatures -------------------------------------------
+
+    def client_request(self, old: Optional[bytes]) -> bytes:
+        if old is None:
+            return b""
+        out = bytearray()
+        for block in fixed_chunk_bytes(old, self.block_size):
+            out += _SIG.pack(rolling_checksum(block))
+            out += chunk_digest(block, _DIGEST_TRUNCATE)
+        return bytes(out)
+
+    def _parse_signatures(self, request: bytes) -> dict[int, list[tuple[bytes, int]]]:
+        """weak -> [(strong, block_index)], preserving order."""
+        entry = _SIG.size + _DIGEST_TRUNCATE
+        if len(request) % entry:
+            raise ProtocolError("signature upload has a partial entry")
+        table: dict[int, list[tuple[bytes, int]]] = {}
+        for idx in range(len(request) // entry):
+            pos = idx * entry
+            (weak,) = _SIG.unpack_from(request, pos)
+            strong = request[pos + _SIG.size : pos + entry]
+            table.setdefault(weak, []).append((strong, idx))
+        return table
+
+    # -- phase 2: server scan --------------------------------------------------
+
+    def server_respond(
+        self, request: bytes, old: Optional[bytes], new: bytes
+    ) -> bytes:
+        if not request:
+            return encode_delta([DeltaOp(data=new)] if new else [])
+        table = self._parse_signatures(request)
+        bs = self.block_size
+        n = len(new)
+        ops: list[DeltaOp] = []
+        pending = bytearray()
+
+        def flush() -> None:
+            if pending:
+                ops.append(DeltaOp(data=bytes(pending)))
+                pending.clear()
+
+        pos = 0
+        roller: Optional[RollingChecksum] = None
+        while pos + bs <= n:
+            if roller is None:
+                roller = RollingChecksum(new[pos : pos + bs])
+                weak = roller.value
+            candidates = table.get(weak)
+            matched_idx = None
+            if candidates:
+                strong = chunk_digest(new[pos : pos + bs], _DIGEST_TRUNCATE)
+                for cand_strong, idx in candidates:
+                    if cand_strong == strong:
+                        matched_idx = idx
+                        break
+            if matched_idx is not None:
+                flush()
+                ops.append(DeltaOp(offset=matched_idx * bs, length=bs))
+                pos += bs
+                roller = None
+            else:
+                pending.append(new[pos])
+                if pos + bs < n:
+                    weak = roller.roll(new[pos], new[pos + bs])
+                pos += 1
+        pending += new[pos:]
+        flush()
+        return encode_delta(ops)
+
+    # -- phase 3: client rebuild ------------------------------------------------
+
+    def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
+        ops = decode_delta(response)
+        if old is None:
+            if any(op.is_copy for op in ops):
+                raise ProtocolError("COPY op without an old version")
+            return b"".join(op.data or b"" for op in ops)
+        return apply_delta(old, ops)

@@ -1,0 +1,37 @@
+"""Gzip PAD: whole-resource compression (LZ77-family), per the paper §4.1.
+
+The algorithmic core is the deflate-lite substrate.  ``backend`` picks
+between the from-scratch pure-Python pipeline (used in correctness and
+property tests) and the zlib fast path (used in timing benchmarks, where
+the paper's Java gzip was similarly native-speed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compression import CompressionError, compress, decompress
+from .base import CommProtocol, ProtocolError
+
+__all__ = ["GzipProtocol"]
+
+
+class GzipProtocol(CommProtocol):
+    name = "gzip"
+
+    def __init__(self, backend: str = "zlib", max_chain: int = 64):
+        if backend not in ("pure", "zlib"):
+            raise ValueError(f"unknown backend: {backend!r}")
+        self.backend = backend
+        self.max_chain = max_chain
+
+    def server_respond(
+        self, request: bytes, old: Optional[bytes], new: bytes
+    ) -> bytes:
+        return compress(new, backend=self.backend, max_chain=self.max_chain)
+
+    def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
+        try:
+            return decompress(response)
+        except CompressionError as exc:
+            raise ProtocolError(f"gzip payload corrupt: {exc}") from exc

@@ -1,0 +1,44 @@
+"""Protocol composition for multi-PAD adaptation paths.
+
+A PAT path can contain several PADs (e.g. a differencing PAD whose delta
+is then compressed).  :class:`ProtocolStack` composes them: the *first*
+protocol is innermost (it sees the real old/new resource versions); each
+subsequent layer transforms the previous layer's response payload as an
+opaque byte string (old=None).  Client-side reconstruction unwraps in
+reverse order.  The stack itself satisfies the :class:`CommProtocol`
+interface, so sessions never care whether one or five PADs negotiated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import CommProtocol, ProtocolError
+
+__all__ = ["ProtocolStack"]
+
+
+class ProtocolStack(CommProtocol):
+    def __init__(self, protocols: Sequence[CommProtocol]):
+        if not protocols:
+            raise ProtocolError("protocol stack must contain at least one protocol")
+        self.protocols = list(protocols)
+        self.name = "+".join(p.name for p in self.protocols)
+
+    def client_request(self, old: Optional[bytes]) -> bytes:
+        # Only the innermost protocol sees the client's old version.
+        return self.protocols[0].client_request(old)
+
+    def server_respond(
+        self, request: bytes, old: Optional[bytes], new: bytes
+    ) -> bytes:
+        payload = self.protocols[0].server_respond(request, old, new)
+        for layer in self.protocols[1:]:
+            payload = layer.server_respond(b"", None, payload)
+        return payload
+
+    def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
+        payload = response
+        for layer in reversed(self.protocols[1:]):
+            payload = layer.client_reconstruct(None, payload)
+        return self.protocols[0].client_reconstruct(old, payload)

@@ -1,0 +1,50 @@
+"""Network simulation substrate.
+
+Discrete-event kernel, link models, latency topology, and three
+interchangeable message transports (in-process, simulated, real TCP).
+"""
+
+from .kernel import (
+    AcquireRequest,
+    Interrupt,
+    Process,
+    Resource,
+    SimError,
+    SimEvent,
+    Simulator,
+    Store,
+    Timeout,
+)
+from .pipe import FairSharePipe
+from .link import DEFAULT_RHO, LINK_PRESETS, LinkSpec, NetworkType, kbps, mbps
+from .stats import RunningStats, Series, percentile
+from .topology import HostSite, Topology
+from .transport import InProcessTransport, SimChannel, TrafficMeter, TransportError
+
+__all__ = [
+    "FairSharePipe",
+    "AcquireRequest",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimError",
+    "SimEvent",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "DEFAULT_RHO",
+    "LINK_PRESETS",
+    "LinkSpec",
+    "NetworkType",
+    "kbps",
+    "mbps",
+    "RunningStats",
+    "Series",
+    "percentile",
+    "HostSite",
+    "Topology",
+    "InProcessTransport",
+    "SimChannel",
+    "TrafficMeter",
+    "TransportError",
+]

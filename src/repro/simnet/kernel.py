@@ -1,0 +1,417 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based discrete-event simulator in the
+spirit of SimPy, sized for Fractal's capacity experiments (Fig. 9).  A
+*process* is a Python generator that yields :class:`Timeout`,
+:class:`AcquireRequest`, or other :class:`SimEvent` objects; the simulator
+advances virtual time only, so a 300-client negotiation experiment runs in
+milliseconds of wall time and is exactly reproducible.
+
+Design notes (per the HPC guides: make it work, make it testable, then make
+it fast): the event queue is a binary heap keyed on ``(time, seq)`` where
+``seq`` is a monotonically increasing tiebreaker — two events scheduled for
+the same instant always fire in schedule order, which makes every experiment
+deterministic without any reliance on hash ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimError",
+    "Interrupt",
+    "SimEvent",
+    "Timeout",
+    "AcquireRequest",
+    "Process",
+    "Resource",
+    "Store",
+    "Simulator",
+]
+
+
+class SimError(Exception):
+    """Base class for simulation errors."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimEvent:
+    """An occurrence at a point in simulated time.
+
+    Processes wait on events by ``yield``-ing them.  An event may succeed
+    with a ``value`` (delivered as the result of the ``yield``) or fail with
+    an exception (raised inside the waiting process).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["SimEvent"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self.triggered = False  # scheduled to fire
+        self.processed = False  # callbacks have run
+
+    @property
+    def value(self) -> Any:
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Schedule this event to fire successfully at the current time."""
+        if self.triggered:
+            raise SimError("event already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._schedule(self.sim.now, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Schedule this event to fire by raising ``exc`` in waiters."""
+        if self.triggered:
+            raise SimError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self.sim._schedule(self.sim.now, self)
+        return self
+
+
+class Timeout(SimEvent):
+    """Fires after a fixed delay of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        sim._schedule(sim.now + delay, self)
+
+
+class Process(SimEvent):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event that fires when the generator returns
+    (successfully, with the generator's return value) or raises (failing
+    waiters with the same exception).
+    """
+
+    __slots__ = ("gen", "name", "_target", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {type(gen)!r}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[SimEvent] = None
+        self._alive = True
+        # Bootstrap: resume the generator at the current instant.
+        boot = SimEvent(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        twice before it resumes keeps only the first cause.
+        """
+        if not self._alive:
+            raise SimError(f"cannot interrupt dead process {self.name!r}")
+        target = self._target
+        if target is not None and not target.triggered:
+            # Detach from whatever we were waiting for.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            if isinstance(target, AcquireRequest):
+                target.cancel()
+        kick = SimEvent(self.sim)
+        kick._exc = Interrupt(cause)
+        kick.triggered = True
+        kick.callbacks.append(self._resume)
+        self.sim._schedule(self.sim.now, kick)
+        self._target = None
+
+    def _resume(self, event: SimEvent) -> None:
+        if not self._alive:
+            return
+        self._target = None
+        try:
+            if event._exc is not None:
+                exc = event._exc
+                if isinstance(exc, Interrupt):
+                    nxt = self.gen.throw(exc)
+                else:
+                    nxt = self.gen.throw(type(exc), exc)
+            else:
+                nxt = self.gen.send(event._value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._alive = False
+            if not self.callbacks and not isinstance(exc, SimError):
+                # Nobody is waiting: surface the crash instead of losing it.
+                self._alive = False
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(nxt, SimEvent):
+            self._alive = False
+            err = SimError(
+                f"process {self.name!r} yielded {nxt!r}; processes must yield SimEvent"
+            )
+            self.fail(err)
+            return
+        if nxt.processed:
+            self._alive = False
+            self.fail(SimError("cannot wait on an already-processed event"))
+            return
+        self._target = nxt
+        nxt.callbacks.append(self._resume)
+
+
+class AcquireRequest(SimEvent):
+    """Pending request for one slot of a :class:`Resource`."""
+
+    __slots__ = ("resource", "_cancelled")
+
+    def __init__(self, sim: "Simulator", resource: "Resource"):
+        super().__init__(sim)
+        self.resource = resource
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw the request (used when the waiter is interrupted)."""
+        self._cancelled = True
+        if self.triggered and not self.processed:
+            # Slot was granted but never consumed; give it back.
+            self.resource.release()
+
+
+class Resource:
+    """A server with ``capacity`` identical slots and a FIFO wait queue.
+
+    Models the adaptation proxy and the centralized PAD server: clients
+    acquire a slot, hold it for a service time, and release it.  Utilization
+    and queueing statistics are tracked for the capacity experiments.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: deque[AcquireRequest] = deque()
+        # Statistics.
+        self.total_acquires = 0
+        self.peak_queue_len = 0
+        self._busy_area = 0.0  # integral of in_use over time
+        self._last_change = sim.now
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_area += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def utilization(self) -> float:
+        """Average busy fraction per slot since simulation start."""
+        self._account()
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_area / (elapsed * self.capacity)
+
+    def acquire(self) -> AcquireRequest:
+        req = AcquireRequest(self.sim, self)
+        self._account()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.total_acquires += 1
+            req.succeed()
+        else:
+            self._waiters.append(req)
+            self.peak_queue_len = max(self.peak_queue_len, len(self._waiters))
+        return req
+
+    def release(self) -> None:
+        self._account()
+        while self._waiters:
+            nxt = self._waiters.popleft()
+            if nxt._cancelled:
+                continue
+            self.total_acquires += 1
+            nxt.succeed()
+            return
+        if self.in_use <= 0:
+            raise SimError(f"release() on idle resource {self.name!r}")
+        self.in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO message store (mailbox) for inter-process messages."""
+
+    def __init__(self, sim: "Simulator", name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> SimEvent:
+        ev = SimEvent(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    event: SimEvent = field(compare=False)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, at: float, event: SimEvent) -> None:
+        if at < self.now:
+            raise SimError(f"cannot schedule in the past ({at} < {self.now})")
+        heapq.heappush(self._queue, _QueueEntry(at, next(self._seq), event))
+
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        return Resource(self, capacity, name)
+
+    def store(self, name: str = "store") -> Store:
+        return Store(self, name)
+
+    def all_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        """Event that fires once every event in ``events`` has fired."""
+        events = list(events)
+        done = self.event()
+        remaining = len(events)
+        results: list[Any] = [None] * remaining
+        if remaining == 0:
+            done.succeed([])
+            return done
+        state = {"remaining": remaining}
+
+        def make_cb(i: int):
+            def cb(ev: SimEvent) -> None:
+                if done.triggered:
+                    return
+                if ev._exc is not None:
+                    done.fail(ev._exc)
+                    return
+                results[i] = ev._value
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    done.succeed(results)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            if ev.processed:
+                cb = make_cb(i)
+                cb(ev)
+            else:
+                ev.callbacks.append(make_cb(i))
+        return done
+
+    # -- running ------------------------------------------------------------
+
+    def step(self) -> None:
+        entry = heapq.heappop(self._queue)
+        self.now = entry.time
+        event = entry.event
+        event.processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        self.events_processed += 1
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Convenience: run ``gen`` as a process to completion, return its value."""
+        proc = self.process(gen, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimError(f"process {proc.name!r} deadlocked (queue drained)")
+        return proc.value

@@ -1,0 +1,103 @@
+"""Fair-share (processor-sharing) pipe for concurrent transfers.
+
+The Fig. 9(b) experiment needs the defining behaviour of a centralized PAD
+server: N simultaneous downloads share one uplink, so per-client time
+grows with N, while CDN edges each see only N/edges of the load.  This
+models a link as a processor-sharing server: at any instant every active
+transfer progresses at ``capacity / n_active``.  Event-driven: rates are
+recomputed only when a transfer starts or finishes, which keeps the whole
+300-client experiment at O(transfers²) events worst case and exactly
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .kernel import SimEvent, Simulator
+
+__all__ = ["FairSharePipe"]
+
+# A flow with less than half a bit outstanding is complete; using a
+# half-bit floor also keeps completion timers strictly positive.
+_DONE_BITS = 0.5
+
+
+@dataclass
+class _Flow:
+    remaining_bits: float
+    done: SimEvent
+    started_at: float
+
+
+class FairSharePipe:
+    """A shared link where active transfers split bandwidth equally."""
+
+    def __init__(self, sim: Simulator, capacity_bps: float, name: str = "pipe"):
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        self.sim = sim
+        self.capacity_bps = capacity_bps
+        self.name = name
+        self._flows: list[_Flow] = []
+        self._last_update = 0.0
+        self._next_completion: Optional[SimEvent] = None
+        self.transfers_completed = 0
+        self.peak_concurrency = 0
+
+    @property
+    def active(self) -> int:
+        return len(self._flows)
+
+    def _drain_progress(self) -> None:
+        """Apply progress accrued since the last rate change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._flows:
+            return
+        rate = self.capacity_bps / len(self._flows)
+        for flow in self._flows:
+            flow.remaining_bits -= rate * elapsed
+
+    def _schedule_next(self) -> None:
+        """(Re)arm the completion timer for the flow that finishes first."""
+        self._next_completion = None
+        if not self._flows:
+            return
+        rate = self.capacity_bps / len(self._flows)
+        soonest = min(f.remaining_bits for f in self._flows)
+        # Never schedule a zero-length step: below half a bit a flow is
+        # done, and a sub-ulp delay would stall simulated time forever.
+        delay = max(soonest, _DONE_BITS) / rate
+        timer = self.sim.timeout(delay)
+        self._next_completion = timer
+        timer.callbacks.append(self._on_completion_timer)
+
+    def _on_completion_timer(self, event: SimEvent) -> None:
+        if event is not self._next_completion:
+            return  # superseded by a newer rate change
+        self._drain_progress()
+        finished = [f for f in self._flows if f.remaining_bits <= _DONE_BITS]
+        self._flows = [f for f in self._flows if f.remaining_bits > _DONE_BITS]
+        for flow in finished:
+            self.transfers_completed += 1
+            flow.done.succeed(self.sim.now - flow.started_at)
+        self._schedule_next()
+
+    def transfer(self, size_bytes: int) -> SimEvent:
+        """Start a transfer now; the returned event fires with its duration."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        self._drain_progress()
+        done = self.sim.event()
+        if size_bytes == 0:
+            done.succeed(0.0)
+            return done
+        self._flows.append(
+            _Flow(remaining_bits=size_bytes * 8.0, done=done, started_at=self.sim.now)
+        )
+        self.peak_concurrency = max(self.peak_concurrency, len(self._flows))
+        self._schedule_next()
+        return done

@@ -1,0 +1,182 @@
+"""Real TCP loopback transport.
+
+The negotiation protocol is byte-framed, so running it over actual sockets
+costs nothing extra and proves the codec survives a real network stack.
+Frames are ``[4-byte big-endian length][payload]``.  One server thread per
+endpoint; requests are served sequentially per connection, which is all the
+integration tests need.
+
+This module deliberately has no dependency on the rest of the package: it
+moves bytes, nothing more.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Callable, Optional
+
+from .transport import TrafficMeter, TransportError
+
+__all__ = ["TcpEndpoint", "TcpTransport", "send_frame", "recv_frame"]
+
+_LEN = struct.Struct(">I")
+MAX_FRAME = 64 * 1024 * 1024  # sanity bound; PADs and pages are far smaller
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    if len(payload) > MAX_FRAME:
+        raise TransportError(f"frame too large: {len(payload)} bytes")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise TransportError(f"incoming frame too large: {length} bytes")
+    return _recv_exact(sock, length)
+
+
+class TcpEndpoint:
+    """A request/response server on 127.0.0.1 with an ephemeral port."""
+
+    def __init__(self, name: str, handler: Callable[[bytes], bytes]):
+        self.name = name
+        self.handler = handler
+        self.meter = TrafficMeter()
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen(16)
+        # Set the accept timeout before the thread starts so close() can
+        # never race the thread's first socket operation.
+        self._server.settimeout(0.1)
+        self.address: tuple[str, int] = self._server.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, name=f"tcp-endpoint-{name}", daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        workers: list[threading.Thread] = []
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            worker = threading.Thread(
+                target=self._serve_conn, args=(conn,), daemon=True
+            )
+            worker.start()
+            workers.append(worker)
+        for w in workers:
+            w.join(timeout=1.0)
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        with conn:
+            conn.settimeout(5.0)
+            while not self._stop.is_set():
+                try:
+                    request = recv_frame(conn)
+                except (TransportError, socket.timeout, OSError):
+                    return
+                self.meter.record_receive(len(request))
+                try:
+                    response = self.handler(request)
+                except Exception as exc:  # noqa: BLE001 - report to caller
+                    response = b"\x00ERR " + str(exc).encode("utf-8", "replace")
+                else:
+                    response = b"\x01" + response
+                self.meter.record_send(len(response))
+                try:
+                    send_frame(conn, response)
+                except OSError:
+                    return
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=2.0)
+
+
+class TcpTransport:
+    """Transport facade matching :class:`InProcessTransport`'s interface.
+
+    Endpoints live in the same process but all traffic crosses the kernel's
+    loopback TCP stack.
+    """
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, TcpEndpoint] = {}
+        self.meters: dict[str, TrafficMeter] = {}
+        self._lock = threading.Lock()
+
+    def bind(self, endpoint: str, handler: Callable[[bytes], bytes]) -> None:
+        with self._lock:
+            if endpoint in self._endpoints:
+                raise TransportError(f"endpoint already bound: {endpoint!r}")
+            self._endpoints[endpoint] = TcpEndpoint(endpoint, handler)
+            self.meters.setdefault(endpoint, TrafficMeter())
+
+    def unbind(self, endpoint: str) -> None:
+        with self._lock:
+            ep = self._endpoints.pop(endpoint, None)
+        if ep is not None:
+            ep.close()
+
+    def endpoints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._endpoints)
+
+    def meter(self, endpoint: str) -> TrafficMeter:
+        return self.meters.setdefault(endpoint, TrafficMeter())
+
+    def request(self, src: str, dst: str, payload: bytes) -> bytes:
+        with self._lock:
+            ep = self._endpoints.get(dst)
+        if ep is None:
+            raise TransportError(f"no handler bound for endpoint {dst!r}")
+        self.meter(src).record_send(len(payload))
+        with socket.create_connection(ep.address, timeout=5.0) as sock:
+            send_frame(sock, payload)
+            framed = recv_frame(sock)
+        if not framed:
+            raise TransportError("empty response frame")
+        status, body = framed[0], framed[1:]
+        self.meter(src).record_receive(len(framed))
+        if status != 1:
+            raise TransportError(body.decode("utf-8", "replace"))
+        return body
+
+    def close(self) -> None:
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+            self._endpoints.clear()
+        for ep in endpoints:
+            ep.close()
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,116 @@
+"""Lightweight statistics accumulators for simulation experiments.
+
+The capacity experiments (Fig. 9) report average negotiation/retrieval time
+per client-count point; these helpers keep the arithmetic in one audited
+place.  Implemented with Welford's online algorithm so a million samples
+cost O(1) memory and no catastrophic cancellation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["RunningStats", "Series", "percentile"]
+
+
+class RunningStats:
+    """Online mean/variance/min/max accumulator (Welford)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel-friendly reduction)."""
+        out = RunningStats()
+        n = self.count + other.count
+        if n == 0:
+            return out
+        delta = other._mean - self._mean
+        out.count = n
+        out._mean = self._mean + delta * (other.count / n)
+        out._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        out.minimum = min(self.minimum, other.minimum)
+        out.maximum = max(self.maximum, other.maximum)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.6g}, "
+            f"stdev={self.stdev:.6g})"
+        )
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    pos = (q / 100.0) * (len(data) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    # a + frac*(b-a) is exact when a == b (the weighted-sum form can be
+    # off by one ulp, which breaks the min<=p<=max invariant).
+    return data[lo] + frac * (data[hi] - data[lo])
+
+
+@dataclass
+class Series:
+    """An (x, y) result series, as printed for each figure."""
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.xs, self.ys))

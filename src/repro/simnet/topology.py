@@ -1,0 +1,133 @@
+"""Latency topology: where hosts sit relative to each other.
+
+The CDN substrate needs a notion of "closest edgeserver" (the paper
+delegates edge selection to the CDN).  We embed hosts in a 2-D coordinate
+plane — the standard synthetic-PlanetLab trick — and derive pairwise
+latencies from Euclidean distance plus a per-host access penalty.  A
+`networkx` graph view is exposed for experiments that want routing or
+visualisation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import networkx as nx
+
+__all__ = ["HostSite", "Topology"]
+
+# Speed-of-light-ish propagation: ~1 ms of one-way latency per coordinate
+# unit.  Coordinates are laid out so that continental spans are ~60 units.
+_MS_PER_UNIT = 1.0
+
+
+@dataclass(frozen=True)
+class HostSite:
+    """A named host pinned at a plane coordinate.
+
+    ``access_latency_s`` models the last-mile penalty added to every path
+    that starts or ends at this host (e.g. a Bluetooth hop).
+    """
+
+    name: str
+    x: float
+    y: float
+    access_latency_s: float = 0.0
+
+    def distance_to(self, other: "HostSite") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class Topology:
+    """A collection of sites with derived pairwise latencies."""
+
+    def __init__(self) -> None:
+        self._sites: dict[str, HostSite] = {}
+
+    def add_site(self, site: HostSite) -> None:
+        if site.name in self._sites:
+            raise ValueError(f"duplicate site name: {site.name!r}")
+        self._sites[site.name] = site
+
+    def add(
+        self, name: str, x: float, y: float, access_latency_s: float = 0.0
+    ) -> HostSite:
+        site = HostSite(name, x, y, access_latency_s)
+        self.add_site(site)
+        return site
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sites
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def sites(self) -> list[HostSite]:
+        return list(self._sites.values())
+
+    def get(self, name: str) -> HostSite:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise KeyError(f"unknown site: {name!r}") from None
+
+    def latency_s(self, a: str, b: str) -> float:
+        """One-way latency between two sites."""
+        sa, sb = self.get(a), self.get(b)
+        if a == b:
+            return sa.access_latency_s
+        prop = sa.distance_to(sb) * _MS_PER_UNIT / 1000.0
+        return prop + sa.access_latency_s + sb.access_latency_s
+
+    def nearest(self, origin: str, candidates: Iterable[str]) -> str:
+        """The candidate site with least latency from ``origin``.
+
+        Ties break on name so selection is deterministic.
+        """
+        best: Optional[tuple[float, str]] = None
+        for cand in candidates:
+            key = (self.latency_s(origin, cand), cand)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            raise ValueError("nearest() requires at least one candidate")
+        return best[1]
+
+    def ranked(self, origin: str, candidates: Iterable[str]) -> list[str]:
+        """Candidates sorted by latency from ``origin`` (then by name)."""
+        return [
+            name
+            for _, name in sorted(
+                (self.latency_s(origin, c), c) for c in candidates
+            )
+        ]
+
+    def graph(self) -> nx.Graph:
+        """Complete `networkx` graph with ``latency_s`` edge attributes."""
+        g = nx.Graph()
+        names = list(self._sites)
+        for name in names:
+            site = self._sites[name]
+            g.add_node(name, x=site.x, y=site.y)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                g.add_edge(a, b, latency_s=self.latency_s(a, b))
+        return g
+
+    @classmethod
+    def random_plane(
+        cls,
+        names: Iterable[str],
+        *,
+        span: float = 60.0,
+        seed: int = 2005,
+    ) -> "Topology":
+        """Scatter ``names`` uniformly over a ``span`` x ``span`` plane."""
+        rng = random.Random(seed)
+        topo = cls()
+        for name in names:
+            topo.add(name, rng.uniform(0.0, span), rng.uniform(0.0, span))
+        return topo

@@ -1,0 +1,142 @@
+"""Message transports.
+
+Fractal components (client, adaptation proxy, application server, CDN
+servers) exchange framed byte messages.  Three interchangeable transports
+implement the same tiny interface so the framework code is oblivious to
+whether it runs in-process (unit tests), on the discrete-event simulator
+(capacity experiments), or over real TCP loopback sockets (integration
+tests, per the repro hint that Python networking is easy):
+
+* :class:`InProcessTransport` — synchronous function call, zero latency,
+  but still counts bytes so traffic experiments work.
+* :class:`SimChannel` — byte-accurate latency/bandwidth on the simulator.
+* ``repro.simnet.realnet.TcpTransport`` — length-prefixed frames over TCP.
+
+Handlers are registered per *endpoint name*; a request is
+``(dst, payload) -> response payload``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from .kernel import Simulator
+from .link import LinkSpec
+
+__all__ = ["TransportError", "TrafficMeter", "InProcessTransport", "SimChannel"]
+
+Handler = Callable[[bytes], bytes]
+
+
+class TransportError(Exception):
+    """Raised for unknown endpoints or framing failures."""
+
+
+@dataclass
+class TrafficMeter:
+    """Byte/message counters, the ground truth for Fig. 11(a)."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+
+    def record_send(self, n: int) -> None:
+        self.bytes_sent += n
+        self.messages_sent += 1
+
+    def record_receive(self, n: int) -> None:
+        self.bytes_received += n
+        self.messages_received += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def reset(self) -> None:
+        self.bytes_sent = self.bytes_received = 0
+        self.messages_sent = self.messages_received = 0
+
+
+class InProcessTransport:
+    """Direct-call transport: request() invokes the handler synchronously."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, Handler] = {}
+        self.meters: dict[str, TrafficMeter] = {}
+
+    def bind(self, endpoint: str, handler: Handler) -> None:
+        if endpoint in self._handlers:
+            raise TransportError(f"endpoint already bound: {endpoint!r}")
+        self._handlers[endpoint] = handler
+        self.meters.setdefault(endpoint, TrafficMeter())
+
+    def unbind(self, endpoint: str) -> None:
+        self._handlers.pop(endpoint, None)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def meter(self, endpoint: str) -> TrafficMeter:
+        return self.meters.setdefault(endpoint, TrafficMeter())
+
+    def request(self, src: str, dst: str, payload: bytes) -> bytes:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise TransportError(f"no handler bound for endpoint {dst!r}")
+        self.meter(src).record_send(len(payload))
+        self.meter(dst).record_receive(len(payload))
+        response = handler(payload)
+        if not isinstance(response, (bytes, bytearray)):
+            raise TransportError(
+                f"handler for {dst!r} returned {type(response)!r}, expected bytes"
+            )
+        response = bytes(response)
+        self.meter(dst).record_send(len(response))
+        self.meter(src).record_receive(len(response))
+        return response
+
+
+class SimChannel:
+    """A request/response channel across one link on the simulator.
+
+    ``round_trip`` yields a process-friendly generator: serialize request
+    up, propagate, invoke handler (optionally holding a service
+    :class:`~repro.simnet.kernel.Resource` for a service time), serialize
+    response back.
+    """
+
+    def __init__(self, sim: Simulator, link: LinkSpec):
+        self.sim = sim
+        self.link = link
+        self.meter = TrafficMeter()
+
+    def transfer(self, size_bytes: int) -> Generator:
+        """Process: occupy the link while ``size_bytes`` serialize."""
+        self.meter.record_send(size_bytes)
+        yield self.sim.timeout(self.link.transfer_time(size_bytes))
+
+    def round_trip(
+        self,
+        request_bytes: int,
+        response_bytes: int,
+        *,
+        service_time: float = 0.0,
+        bandwidth_share: float = 1.0,
+    ) -> Generator:
+        """Process: request up, optional service delay, response down.
+
+        ``bandwidth_share`` in (0, 1] splits the link among concurrent
+        users (the centralized PAD server in Fig. 9(b) divides its uplink
+        across all simultaneous downloaders).
+        """
+        if not 0.0 < bandwidth_share <= 1.0:
+            raise ValueError(f"bandwidth_share must be in (0,1], got {bandwidth_share}")
+        link = self.link if bandwidth_share == 1.0 else self.link.scaled(bandwidth_share)
+        self.meter.record_send(request_bytes)
+        yield self.sim.timeout(link.transfer_time(request_bytes))
+        if service_time > 0.0:
+            yield self.sim.timeout(service_time)
+        self.meter.record_receive(response_bytes)
+        yield self.sim.timeout(link.transfer_time(response_bytes))

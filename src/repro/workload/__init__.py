@@ -1,0 +1,50 @@
+"""Workload substrate: the paper's 75-page corpus and client environments."""
+
+from .images import SyntheticImage, decode_image, evolve_image, generate_image
+from .pages import (
+    IMAGE_BYTES,
+    IMAGES_PER_PAGE,
+    PAGE_COUNT,
+    TEXT_BYTES,
+    Corpus,
+    WebPage,
+)
+from .profiles import (
+    DESKTOP,
+    DESKTOP_LAN,
+    LAPTOP,
+    LAPTOP_WLAN,
+    PAPER_ENVIRONMENTS,
+    PDA,
+    PDA_BLUETOOTH,
+    STD_BANDWIDTH_KBPS,
+    STD_CPU_MHZ,
+    ClientEnvironment,
+    DeviceProfile,
+)
+from .text import TextGenerator
+
+__all__ = [
+    "SyntheticImage",
+    "decode_image",
+    "evolve_image",
+    "generate_image",
+    "IMAGE_BYTES",
+    "IMAGES_PER_PAGE",
+    "PAGE_COUNT",
+    "TEXT_BYTES",
+    "Corpus",
+    "WebPage",
+    "DESKTOP",
+    "DESKTOP_LAN",
+    "LAPTOP",
+    "LAPTOP_WLAN",
+    "PAPER_ENVIRONMENTS",
+    "PDA",
+    "PDA_BLUETOOTH",
+    "STD_BANDWIDTH_KBPS",
+    "STD_CPU_MHZ",
+    "ClientEnvironment",
+    "DeviceProfile",
+    "TextGenerator",
+]

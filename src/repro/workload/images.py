@@ -1,0 +1,125 @@
+"""Synthetic medical-style images with localized edits.
+
+The paper's application server holds "four images of different 3D views"
+per page — DICOM/BMP-family medical imagery [29].  We synthesize grayscale
+images as a BMP-like container (fixed 54-byte header + row-major 8-bit
+pixels): smooth anatomical gradients plus seeded texture, so they compress
+partially (like real scans) and *evolve* by rewriting a small rectangular
+region (the surgical-view update), which is exactly the change pattern
+that favours Bitmap-style fixed-block differencing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["SyntheticImage", "generate_image", "evolve_image", "decode_image"]
+
+_HEADER = struct.Struct("<2sIHHIIiiHHIIiiII")
+_MAGIC = b"FB"  # "Fractal Bitmap", BMP-like but self-describing
+HEADER_SIZE = _HEADER.size
+
+
+class SyntheticImage:
+    """A decoded image: header fields + numpy pixel array (uint8, HxW)."""
+
+    def __init__(self, pixels: np.ndarray):
+        if pixels.dtype != np.uint8 or pixels.ndim != 2:
+            raise ValueError("pixels must be a 2-D uint8 array")
+        self.pixels = pixels
+
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    def encode(self) -> bytes:
+        header = _HEADER.pack(
+            _MAGIC,
+            HEADER_SIZE + self.pixels.size,  # total file size
+            0,
+            0,
+            HEADER_SIZE,  # pixel data offset
+            40,  # info header size (BMP convention)
+            self.width,
+            self.height,
+            1,  # planes
+            8,  # bits per pixel
+            0,  # no compression
+            self.pixels.size,
+            2835,
+            2835,
+            256,
+            0,
+        )
+        return header + self.pixels.tobytes()
+
+
+def decode_image(blob: bytes) -> SyntheticImage:
+    if len(blob) < HEADER_SIZE:
+        raise ValueError("image blob too short for header")
+    fields = _HEADER.unpack_from(blob)
+    if fields[0] != _MAGIC:
+        raise ValueError(f"bad image magic: {fields[0]!r}")
+    width, height = fields[6], fields[7]
+    expected = HEADER_SIZE + width * height
+    if len(blob) != expected:
+        raise ValueError(f"image size mismatch: {len(blob)} != {expected}")
+    pixels = np.frombuffer(blob, dtype=np.uint8, offset=HEADER_SIZE).reshape(
+        height, width
+    )
+    return SyntheticImage(pixels.copy())
+
+
+def generate_image(approx_bytes: int, seed: int = 0) -> bytes:
+    """A synthetic scan of roughly ``approx_bytes``.
+
+    Composition: radial anatomical gradient + low-frequency banding +
+    seeded speckle.  The speckle keeps entropy realistic (scans don't
+    compress to nothing); the structure keeps it away from pure noise.
+    """
+    if approx_bytes <= HEADER_SIZE:
+        raise ValueError(f"approx_bytes must exceed header size, got {approx_bytes}")
+    side = max(16, int(round((approx_bytes - HEADER_SIZE) ** 0.5)))
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:side, 0:side].astype(np.float64)
+    cx, cy = side * 0.55, side * 0.45
+    r = np.hypot(x - cx, y - cy) / side
+    base = 200.0 * np.exp(-3.0 * r * r)  # bright anatomical core
+    bands = 18.0 * np.sin(x * 0.08) * np.cos(y * 0.05)
+    # Sparse, quantized speckle: ~35% of pixels carry noise in 4-gray-level
+    # steps.  Real 8-bit scans have smooth regions and compress roughly
+    # 1.4x lossless; this lands the corpus near that (pure white noise
+    # would make every coder look useless).
+    speckle = np.round(rng.normal(0.0, 1.2, size=(side, side))) * 4.0
+    speckle *= rng.random(size=(side, side)) < 0.35
+    pixels = np.clip(base + bands + speckle, 0, 255).astype(np.uint8)
+    return SyntheticImage(pixels).encode()
+
+
+def evolve_image(blob: bytes, *, seed: int = 0, region_frac: float = 0.15) -> bytes:
+    """New version with one rewritten horizontal band of rows.
+
+    ``region_frac`` is the edited fraction of image rows.  A full-width
+    band keeps the changed bytes *contiguous* in the row-major encoding,
+    matching how the paper's 3-D medical views update (a re-rendered slab
+    replaces a contiguous byte range) while the rest stays byte-identical.
+    """
+    if not 0.0 < region_frac <= 1.0:
+        raise ValueError(f"region_frac must be in (0, 1], got {region_frac}")
+    img = decode_image(blob)
+    rng = np.random.default_rng((seed, 0xF))
+    h, _w = img.pixels.shape
+    rh = max(1, int(h * region_frac))
+    top = int(rng.integers(0, max(1, h - rh)))
+    pixels = img.pixels.copy()
+    band = pixels[top : top + rh, :].astype(np.float64)
+    # Brighten + re-speckle the band: new tissue view.
+    band = np.clip(band * 0.8 + rng.normal(30.0, 12.0, band.shape), 0, 255)
+    pixels[top : top + rh, :] = band.astype(np.uint8)
+    return SyntheticImage(pixels).encode()

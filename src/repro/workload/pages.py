@@ -1,0 +1,158 @@
+"""The paper's Web corpus: 75 pages of ~135 KB (5 KB text + four ~32.5 KB images).
+
+A :class:`WebPage` serializes text and images into one byte stream with a
+tiny part-table header, and evolves into new versions by editing the text
+and one or more image regions.  The :class:`Corpus` builds the full 75-page
+set deterministically.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .images import evolve_image, generate_image
+from .text import TextGenerator
+
+__all__ = ["WebPage", "Corpus", "PAGE_COUNT", "TEXT_BYTES", "IMAGE_BYTES", "IMAGES_PER_PAGE"]
+
+PAGE_COUNT = 75
+TEXT_BYTES = 5 * 1024
+IMAGES_PER_PAGE = 4
+IMAGE_BYTES = 32_500  # four of these ~= 130 KB, per the paper
+
+_PART_HEADER = struct.Struct("<4sI")
+_MAGIC = b"FPG1"
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One versioned page: text part + image parts."""
+
+    page_id: int
+    version: int
+    text: bytes
+    images: tuple[bytes, ...]
+
+    def encode(self) -> bytes:
+        """Flatten to the byte stream the protocols actually move."""
+        parts = [self.text, *self.images]
+        out = bytearray(_PART_HEADER.pack(_MAGIC, len(parts)))
+        for part in parts:
+            out += struct.pack("<I", len(part))
+        for part in parts:
+            out += part
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, page_id: int, version: int, blob: bytes) -> "WebPage":
+        if len(blob) < _PART_HEADER.size:
+            raise ValueError("page blob too short")
+        magic, n_parts = _PART_HEADER.unpack_from(blob)
+        if magic != _MAGIC:
+            raise ValueError(f"bad page magic: {magic!r}")
+        pos = _PART_HEADER.size
+        lengths = []
+        for _ in range(n_parts):
+            (length,) = struct.unpack_from("<I", blob, pos)
+            lengths.append(length)
+            pos += 4
+        parts = []
+        for length in lengths:
+            parts.append(blob[pos : pos + length])
+            pos += length
+        if pos != len(blob):
+            raise ValueError("trailing bytes after page parts")
+        if not parts:
+            raise ValueError("page has no parts")
+        return cls(page_id, version, parts[0], tuple(parts[1:]))
+
+    @property
+    def size(self) -> int:
+        return len(self.encode())
+
+
+class Corpus:
+    """Deterministic 75-page corpus with on-demand version evolution.
+
+    ``page(i)`` returns version 0; ``evolved(i, v)`` returns version ``v``
+    where each step edits the text (churn) and one image region.  Pages are
+    cached so repeated access during benchmarks is cheap.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_pages: int = PAGE_COUNT,
+        text_bytes: int = TEXT_BYTES,
+        image_bytes: int = IMAGE_BYTES,
+        images_per_page: int = IMAGES_PER_PAGE,
+        seed: int = 2005,
+        text_churn: float = 0.08,
+        image_region_frac: float = 0.15,
+    ):
+        if n_pages < 1:
+            raise ValueError(f"corpus needs at least one page, got {n_pages}")
+        self.n_pages = n_pages
+        self.text_bytes = text_bytes
+        self.image_bytes = image_bytes
+        self.images_per_page = images_per_page
+        self.seed = seed
+        self.text_churn = text_churn
+        self.image_region_frac = image_region_frac
+        self._textgen = TextGenerator(seed)
+        self._cache: dict[tuple[int, int], WebPage] = {}
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self.n_pages:
+            raise IndexError(f"page_id {page_id} outside [0, {self.n_pages})")
+
+    def page(self, page_id: int) -> WebPage:
+        """Version 0 of a page."""
+        self._check_page_id(page_id)
+        key = (page_id, 0)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        text = self._textgen.generate(self.text_bytes, seed=(self.seed, page_id, 0))
+        images = tuple(
+            generate_image(self.image_bytes, seed=hash((self.seed, page_id, i)) & 0x7FFFFFFF)
+            for i in range(self.images_per_page)
+        )
+        page = WebPage(page_id, 0, text, images)
+        self._cache[key] = page
+        return page
+
+    def evolved(self, page_id: int, version: int) -> WebPage:
+        """Version ``version`` (>= 0) of a page, evolving step by step."""
+        self._check_page_id(page_id)
+        if version < 0:
+            raise ValueError(f"version must be >= 0, got {version}")
+        key = (page_id, version)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if version == 0:
+            return self.page(page_id)
+        prev = self.evolved(page_id, version - 1)
+        step_seed = hash((self.seed, page_id, version)) & 0x7FFFFFFF
+        text = self._textgen.evolve(prev.text, seed=step_seed, churn=self.text_churn)
+        images = list(prev.images)
+        # One image view changes per version step (a rotated 3-D view).
+        idx = step_seed % len(images)
+        images[idx] = evolve_image(
+            images[idx], seed=step_seed, region_frac=self.image_region_frac
+        )
+        page = WebPage(page_id, version, text, tuple(images))
+        self._cache[key] = page
+        return page
+
+    def version_pair(self, page_id: int, old: int = 0, new: int = 1) -> tuple[bytes, bytes]:
+        """(old_bytes, new_bytes) for differencing experiments."""
+        if old > new:
+            raise ValueError(f"old version {old} after new version {new}")
+        return self.evolved(page_id, old).encode(), self.evolved(page_id, new).encode()
+
+    def average_page_size(self, sample: int = 5) -> float:
+        sample = min(sample, self.n_pages)
+        return sum(self.page(i).size for i in range(sample)) / sample

@@ -1,0 +1,87 @@
+"""Client device and environment profiles (the paper's Fig. 7 testbed).
+
+Three client hosts — Desktop (P4 2.0 GHz, Fedora Core 2, LAN), Laptop
+(P4 3.06 GHz, Fedora Core 2, 802.11b WLAN), and Pocket PC PDA (Intel
+PXA 255 @ 400 MHz, WinCE 4.2, Bluetooth) — plus the reference host the
+linear model normalizes against (Eq. 1: 500 MHz "Std_cpu").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simnet.link import LINK_PRESETS, LinkSpec, NetworkType
+
+__all__ = [
+    "DeviceProfile",
+    "ClientEnvironment",
+    "STD_CPU_MHZ",
+    "STD_BANDWIDTH_KBPS",
+    "DESKTOP",
+    "LAPTOP",
+    "PDA",
+    "DESKTOP_LAN",
+    "LAPTOP_WLAN",
+    "PDA_BLUETOOTH",
+    "PAPER_ENVIRONMENTS",
+]
+
+STD_CPU_MHZ = 500.0       # paper: "500MHz Pentium IV" standard processor
+STD_BANDWIDTH_KBPS = 1000.0  # paper: 1 Mbps standard bandwidth
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Hardware/OS identity — the content of ``DevMeta``."""
+
+    name: str
+    os_type: str       # key into the B matrix
+    cpu_type: str      # key into the A matrix
+    cpu_mhz: float
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_mhz <= 0:
+            raise ValueError(f"cpu_mhz must be positive, got {self.cpu_mhz}")
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
+
+    @property
+    def cpu_scale(self) -> float:
+        """Linear-model slowdown vs the standard processor (>1 = slower)."""
+        return STD_CPU_MHZ / self.cpu_mhz
+
+
+@dataclass(frozen=True)
+class ClientEnvironment:
+    """A device on a network — one x-axis point of Figs. 10/11."""
+
+    label: str
+    device: DeviceProfile
+    link: LinkSpec
+
+    @property
+    def network_type(self) -> NetworkType:
+        return self.link.network_type
+
+
+DESKTOP = DeviceProfile(
+    name="Desktop", os_type="FedoraCore2", cpu_type="PentiumIV",
+    cpu_mhz=2000.0, memory_mb=512.0,
+)
+LAPTOP = DeviceProfile(
+    name="Laptop", os_type="FedoraCore2", cpu_type="PentiumIV",
+    cpu_mhz=3060.0, memory_mb=512.0,
+)
+PDA = DeviceProfile(
+    name="PDA", os_type="WinCE4.2", cpu_type="PXA255",
+    cpu_mhz=400.0, memory_mb=64.0,
+)
+
+DESKTOP_LAN = ClientEnvironment("Desktop/LAN", DESKTOP, LINK_PRESETS[NetworkType.LAN])
+LAPTOP_WLAN = ClientEnvironment("Laptop/WLAN", LAPTOP, LINK_PRESETS[NetworkType.WLAN])
+PDA_BLUETOOTH = ClientEnvironment(
+    "PDA/Bluetooth", PDA, LINK_PRESETS[NetworkType.BLUETOOTH]
+)
+
+PAPER_ENVIRONMENTS = (DESKTOP_LAN, LAPTOP_WLAN, PDA_BLUETOOTH)

@@ -1,0 +1,112 @@
+"""Unit tests for the experiment drivers (cheap, default-overhead system)."""
+
+import pytest
+
+from repro.bench.capacity import ProxyServiceTimes, measure_proxy_service_times
+from repro.bench.experiments import (
+    CASE_STUDY_PADS,
+    Scenario,
+    env_meta,
+    evaluate_environment,
+    fig11_bytes_transferred,
+    fig11_total_time,
+    headline_savings,
+    measure_traffic,
+    negotiated_winner,
+)
+from repro.workload.profiles import DESKTOP_LAN, PAPER_ENVIRONMENTS
+
+
+@pytest.fixture(scope="module")
+def measured(session_system):
+    return measure_traffic(session_system.corpus, page_ids=(0,))
+
+
+class TestMeasureTraffic:
+    def test_deterministic(self, session_system):
+        a = measure_traffic(session_system.corpus, ("direct",), page_ids=(0,))
+        b = measure_traffic(session_system.corpus, ("direct",), page_ids=(0,))
+        assert a["direct"]["traffic"] == b["direct"]["traffic"]
+
+    def test_direct_equals_page_size(self, session_system, measured):
+        page = session_system.corpus.evolved(0, 1)
+        expected = len(page.text) + sum(len(i) for i in page.images)
+        assert measured["direct"]["traffic"] == expected
+
+    def test_all_case_study_pads_covered(self, measured):
+        assert set(measured) == set(CASE_STUDY_PADS)
+        for stats in measured.values():
+            assert {"traffic", "server_s", "client_s"} <= set(stats)
+
+
+class TestEnvMeta:
+    def test_env_meta_mirrors_profile(self):
+        dev, ntwk = env_meta(DESKTOP_LAN)
+        assert dev.cpu_mhz == 2000.0
+        assert ntwk.network_type == "LAN"
+        assert ntwk.bandwidth_kbps == pytest.approx(100_000.0)
+
+
+class TestEvaluateEnvironment:
+    def test_every_pad_costed(self, session_system, measured):
+        costs = evaluate_environment(session_system, DESKTOP_LAN, measured=measured)
+        assert set(costs) == set(CASE_STUDY_PADS)
+        for cost in costs.values():
+            assert cost.total_s > 0 or cost.pad_id == "direct"
+
+    def test_breakdown_sums_to_total(self, session_system, measured):
+        costs = evaluate_environment(session_system, DESKTOP_LAN, measured=measured)
+        for cost in costs.values():
+            b = cost.breakdown
+            assert cost.total_s == pytest.approx(
+                b.download_s + b.server_comp_s + b.client_comp_s + b.transmission_s
+            )
+
+    def test_server_compute_toggle(self, session_system, measured):
+        with_srv = evaluate_environment(
+            session_system, DESKTOP_LAN, measured=measured,
+            include_server_compute=True,
+        )
+        without = evaluate_environment(
+            session_system, DESKTOP_LAN, measured=measured,
+            include_server_compute=False,
+        )
+        assert without["vary"].total_s < with_srv["vary"].total_s
+
+
+class TestScenarioPlumbing:
+    def test_winner_is_a_case_study_pad(self, session_system):
+        for env in PAPER_ENVIRONMENTS:
+            assert negotiated_winner(session_system, env) in CASE_STUDY_PADS
+
+    def test_fig11a_environment_invariance(self, session_system, measured):
+        table = fig11_bytes_transferred(session_system, measured=measured)
+        rows = list(table.values())
+        assert all(r == rows[0] for r in rows)
+
+    def test_fig11_winner_consistency(self, session_system, measured):
+        totals = fig11_total_time(
+            session_system, include_server_compute=True, measured=measured
+        )
+        for row in totals.values():
+            assert row["winner"] == min(CASE_STUDY_PADS, key=lambda p: row[p])
+
+    def test_headline_fields(self, session_system, measured):
+        out = headline_savings(session_system, measured=measured)
+        for cell in out.values():
+            assert {"adaptive_s", "none_s", "static_s", "vs_none",
+                    "vs_static"} <= set(cell)
+            assert cell["vs_none"] <= 1.0
+
+    def test_scenario_enum_values(self):
+        assert {s.value for s in Scenario} == {
+            "no-adaptation", "fixed-adaptation", "adaptive-adaptation",
+        }
+
+
+class TestProxyServiceMeasurement:
+    def test_measured_times_positive_and_ordered(self, session_system):
+        service = measure_proxy_service_times(session_system)
+        assert service.cache_miss_s > 0
+        assert service.cache_hit_s > 0
+        assert isinstance(service, ProxyServiceTimes)

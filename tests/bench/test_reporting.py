@@ -1,0 +1,50 @@
+"""Reporting helper tests."""
+
+import pytest
+
+from repro.bench.reporting import fmt_kb, fmt_ms, render_series, render_table
+from repro.simnet.stats import Series
+
+
+class TestFormatters:
+    def test_fmt_ms(self):
+        assert fmt_ms(0.1234) == "123.4"
+        assert fmt_ms(0.0) == "0.0"
+
+    def test_fmt_kb(self):
+        assert fmt_kb(2048) == "2.0"
+        assert fmt_kb(1536) == "1.5"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        out = render_table("Title", ["col", "longer"], [["a", "b"], ["cc", "dd"]])
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert "col" in lines[1] and "longer" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # All data rows align to header width.
+        assert len(lines[3]) == len(lines[1])
+
+    def test_non_string_cells_coerced(self):
+        out = render_table("t", ["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+    def test_empty_rows(self):
+        out = render_table("t", ["a"], [])
+        assert out.splitlines()[0] == "t"
+
+
+class TestRenderSeries:
+    def test_multi_series(self):
+        s1 = Series("one", [1, 2], [10.0, 20.0])
+        s2 = Series("two", [1, 2], [1.5, 2.5])
+        out = render_series("T", [s1, s2], "x", "y")
+        assert "one" in out and "two" in out
+        assert "10" in out and "2.5" in out
+
+    def test_mismatched_x_rejected(self):
+        s1 = Series("one", [1, 2], [1.0, 2.0])
+        s2 = Series("two", [1, 3], [1.0, 2.0])
+        with pytest.raises(ValueError, match="share x points"):
+            render_series("T", [s1, s2], "x", "y")

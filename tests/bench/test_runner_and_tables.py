@@ -1,0 +1,46 @@
+"""CLI runner and Table 1 generator tests."""
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.tables import table1_rows
+
+
+class TestTable1:
+    def test_paper_pads_default(self):
+        rows = table1_rows()
+        assert len(rows) == 4
+        assert rows[2][0] == "Vary-sized blocking"
+        assert rows[2][1] == "Differencing files using Fingerprint"
+
+    def test_extension_pad_available(self):
+        rows = table1_rows(("direct", "fixed"))
+        assert rows[1][0].startswith("Fix-sized blocking")
+
+    def test_sizes_are_real_module_sizes(self):
+        from repro.protocols.padlib import build_pad_module
+
+        rows = table1_rows(("gzip",))
+        assert rows[0][3] == build_pad_module("gzip").size
+
+
+class TestRunnerCli:
+    def test_table1_command(self, capsys):
+        assert runner.main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Vary-sized blocking" in out
+
+    def test_fig9a_command(self, capsys):
+        assert runner.main(["fig9a"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 9(a)" in out
+        assert "300" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["fig99"])
+
+    def test_requires_at_least_one_experiment(self):
+        with pytest.raises(SystemExit):
+            runner.main([])

@@ -1,0 +1,87 @@
+"""LRU cache tests."""
+
+import pytest
+
+from repro.cdn.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        c = LRUCache(100)
+        c.put("a", b"12345")
+        assert c.get("a") == b"12345"
+
+    def test_miss_returns_none(self):
+        c = LRUCache(100)
+        assert c.get("ghost") is None
+
+    def test_eviction_in_lru_order(self):
+        c = LRUCache(10)
+        c.put("a", b"1234")
+        c.put("b", b"1234")
+        c.get("a")  # refresh a
+        c.put("c", b"1234")  # evicts b, the least recent
+        assert "b" not in c
+        assert "a" in c and "c" in c
+
+    def test_byte_accounting(self):
+        c = LRUCache(100)
+        c.put("a", b"123")
+        c.put("b", b"4567")
+        assert c.used_bytes == 7
+        c.put("a", b"1")  # replacement shrinks usage
+        assert c.used_bytes == 5
+
+    def test_eviction_counter(self):
+        c = LRUCache(4)
+        c.put("a", b"1234")
+        c.put("b", b"1234")
+        assert c.evictions == 1
+
+    def test_oversized_object_rejected(self):
+        c = LRUCache(4)
+        with pytest.raises(ValueError, match="exceeds cache capacity"):
+            c.put("big", b"12345")
+
+    def test_hit_miss_counters(self):
+        c = LRUCache(100)
+        c.put("a", b"x")
+        c.get("a")
+        c.get("a")
+        c.get("nope")
+        assert c.hits == 2 and c.misses == 1
+        assert c.hit_ratio == pytest.approx(2 / 3)
+
+    def test_peek_does_not_touch_stats_or_recency(self):
+        c = LRUCache(8)
+        c.put("a", b"1234")
+        c.put("b", b"1234")
+        c.peek("a")
+        c.put("c", b"1234")  # should evict a (peek didn't refresh it)
+        assert "a" not in c
+        assert c.hits == 0 and c.misses == 0
+
+    def test_invalidate(self):
+        c = LRUCache(100)
+        c.put("a", b"123")
+        assert c.invalidate("a")
+        assert not c.invalidate("a")
+        assert c.used_bytes == 0
+
+    def test_clear(self):
+        c = LRUCache(100)
+        c.put("a", b"1")
+        c.put("b", b"2")
+        c.clear()
+        assert len(c) == 0 and c.used_bytes == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_keys_order(self):
+        c = LRUCache(100)
+        c.put("a", b"1")
+        c.put("b", b"2")
+        c.get("a")
+        assert c.keys() == ["b", "a"]  # recency order, oldest first

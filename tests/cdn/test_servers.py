@@ -1,0 +1,196 @@
+"""Origin / edge / redirector / replication tests."""
+
+import pytest
+
+from repro.cdn.edge import EdgeServer
+from repro.cdn.origin import OriginError, OriginServer
+from repro.cdn.planetlab import build_deployment
+from repro.cdn.redirector import RedirectError, Redirector
+from repro.cdn.replication import (
+    PopularityTracker,
+    invalidate_everywhere,
+    push_all,
+    push_popular,
+)
+from repro.simnet.topology import Topology
+
+
+@pytest.fixture()
+def origin():
+    o = OriginServer()
+    o.publish("pad/1", b"pad-one-bytes")
+    o.publish("pad/2", b"pad-two-bytes!")
+    return o
+
+
+class TestOrigin:
+    def test_publish_fetch(self, origin):
+        assert origin.fetch("pad/1") == b"pad-one-bytes"
+        assert origin.requests_served == 1
+        assert origin.bytes_served == 13
+
+    def test_fetch_unknown_raises(self, origin):
+        with pytest.raises(OriginError):
+            origin.fetch("nope")
+
+    def test_republish_replaces(self, origin):
+        origin.publish("pad/1", b"v2")
+        assert origin.fetch("pad/1") == b"v2"
+
+    def test_withdraw(self, origin):
+        origin.withdraw("pad/1")
+        assert not origin.has("pad/1")
+
+    def test_empty_key_rejected(self, origin):
+        with pytest.raises(OriginError):
+            origin.publish("", b"x")
+
+    def test_keys_sorted(self, origin):
+        assert origin.keys() == ["pad/1", "pad/2"]
+
+    def test_size_of(self, origin):
+        assert origin.size_of("pad/1") == 13
+        assert origin.size_of("nope") is None
+
+
+class TestEdge:
+    def test_pull_through_on_miss(self, origin):
+        edge = EdgeServer("e0", origin)
+        assert edge.serve("pad/1") == b"pad-one-bytes"
+        assert edge.origin_fetches == 1
+        # Second request hits the cache: no new origin fetch.
+        edge.serve("pad/1")
+        assert edge.origin_fetches == 1
+        assert edge.requests_served == 2
+
+    def test_preload_warms_cache(self, origin):
+        edge = EdgeServer("e0", origin)
+        edge.preload("pad/2")
+        assert edge.has_cached("pad/2")
+        edge.serve("pad/2")
+        assert edge.origin_fetches == 0
+
+    def test_try_serve_cached(self, origin):
+        edge = EdgeServer("e0", origin)
+        assert edge.try_serve_cached("pad/1") is None
+        edge.preload("pad/1")
+        assert edge.try_serve_cached("pad/1") == b"pad-one-bytes"
+
+    def test_invalidate_then_refetch(self, origin):
+        edge = EdgeServer("e0", origin)
+        edge.serve("pad/1")
+        origin.publish("pad/1", b"upgraded")
+        assert edge.invalidate("pad/1")
+        assert edge.serve("pad/1") == b"upgraded"
+
+    def test_unknown_object_propagates(self, origin):
+        edge = EdgeServer("e0", origin)
+        with pytest.raises(OriginError):
+            edge.serve("missing")
+
+
+class TestRedirector:
+    def _build(self, origin):
+        topo = Topology()
+        topo.add("client", 0.0, 0.0)
+        topo.add("near", 1.0, 0.0)
+        topo.add("far", 50.0, 0.0)
+        r = Redirector(topo)
+        near = EdgeServer("near", origin)
+        far = EdgeServer("far", origin)
+        r.register_edge(near)
+        r.register_edge(far)
+        return r, near, far
+
+    def test_resolves_nearest(self, origin):
+        r, near, _far = self._build(origin)
+        assert r.resolve("client") is near
+
+    def test_prefers_cached_copy(self, origin):
+        r, _near, far = self._build(origin)
+        far.preload("pad/1")
+        assert r.resolve("client", "pad/1") is far
+        # Without prefer_cached, locality wins.
+        assert r.resolve("client", "pad/1", prefer_cached=False).name == "near"
+
+    def test_fetch_returns_blob_and_edge(self, origin):
+        r, near, _ = self._build(origin)
+        blob, edge = r.fetch("client", "pad/2")
+        assert blob == b"pad-two-bytes!"
+        assert edge is near
+
+    def test_no_edges_raises(self, origin):
+        r = Redirector(Topology())
+        with pytest.raises(RedirectError):
+            r.resolve("anywhere")
+
+    def test_edge_must_be_in_topology(self, origin):
+        r = Redirector(Topology())
+        with pytest.raises(RedirectError, match="no site"):
+            r.register_edge(EdgeServer("ghost", origin))
+
+    def test_duplicate_edge_rejected(self, origin):
+        r, near, _ = self._build(origin)
+        with pytest.raises(RedirectError, match="duplicate"):
+            r.register_edge(near)
+
+
+class TestReplication:
+    def test_push_all(self, origin):
+        edges = [EdgeServer(f"e{i}", origin) for i in range(3)]
+        pushed = push_all(origin, edges)
+        assert pushed == 6  # 2 objects x 3 edges
+        assert all(e.has_cached("pad/1") and e.has_cached("pad/2") for e in edges)
+
+    def test_popularity_tracker_top(self):
+        t = PopularityTracker()
+        for key, n in (("a", 3), ("b", 5), ("c", 1)):
+            for _ in range(n):
+                t.record(key)
+        assert t.top(2) == ["b", "a"]
+
+    def test_popularity_tie_breaks_on_key(self):
+        t = PopularityTracker()
+        t.record("z")
+        t.record("a")
+        assert t.top(2) == ["a", "z"]
+
+    def test_top_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PopularityTracker().top(-1)
+
+    def test_push_popular_only_hot_objects(self, origin):
+        edges = [EdgeServer("e0", origin)]
+        tracker = PopularityTracker()
+        tracker.record("pad/2")
+        pushed = push_popular(origin, edges, tracker, k=1)
+        assert pushed == 1
+        assert edges[0].has_cached("pad/2")
+        assert not edges[0].has_cached("pad/1")
+
+    def test_invalidate_everywhere(self, origin):
+        edges = [EdgeServer(f"e{i}", origin) for i in range(3)]
+        push_all(origin, edges)
+        purged = invalidate_everywhere(edges, "pad/1")
+        assert purged == 3
+        assert all(not e.has_cached("pad/1") for e in edges)
+
+
+class TestDeployment:
+    def test_build_shape(self):
+        d = build_deployment(n_edges=5, n_client_sites=4)
+        assert len(d.edges) == 5
+        assert len(d.client_sites) == 4
+        assert "origin" in d.topology and "proxy" in d.topology
+
+    def test_deterministic(self):
+        d1 = build_deployment(seed=3)
+        d2 = build_deployment(seed=3)
+        for a, b in zip(d1.topology.sites(), d2.topology.sites()):
+            assert (a.name, a.x, a.y) == (b.name, b.x, b.y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_deployment(n_edges=0)
+        with pytest.raises(ValueError):
+            build_deployment(n_client_sites=0)

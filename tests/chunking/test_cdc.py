@@ -1,0 +1,122 @@
+"""Content-defined chunking tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.cdc import Chunk, ContentDefinedChunker, chunk_spans
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random.Random(1).randbytes(60_000)
+
+
+@pytest.fixture(scope="module")
+def chunker():
+    return ContentDefinedChunker(mask_bits=10)
+
+
+class TestChunk:
+    def test_span_properties(self):
+        c = Chunk(10, 5)
+        assert c.end == 15
+        assert c.slice(bytes(range(20))) == bytes(range(10, 15))
+
+
+class TestChunking:
+    def test_empty_input(self, chunker):
+        assert chunker.chunk(b"") == []
+
+    def test_chunks_tile_input(self, chunker, data):
+        chunks = chunker.chunk(data)
+        chunk_spans(chunks, len(data))  # raises on gap/overlap
+
+    def test_chunk_bytes_reassemble(self, chunker, data):
+        assert b"".join(chunker.chunk_bytes(data)) == data
+
+    def test_size_bounds_respected(self, chunker, data):
+        chunks = chunker.chunk(data)
+        for c in chunks[:-1]:  # final chunk may be short
+            assert chunker.min_size <= c.length <= chunker.max_size
+
+    def test_average_size_near_expected(self, chunker, data):
+        chunks = chunker.chunk(data)
+        avg = len(data) / len(chunks)
+        assert 0.5 * chunker.expected_size < avg < 3.0 * chunker.expected_size
+
+    def test_deterministic(self, chunker, data):
+        assert chunker.chunk(data) == chunker.chunk(data)
+
+    def test_insertion_shifts_boundaries_locally_only(self, chunker, data):
+        """The LBFS property the Vary PAD depends on."""
+        edited = data[:30_000] + b"INSERTED-BYTES!!" + data[30_000:]
+        before = set(chunker.boundaries(data))
+        after = set(chunker.boundaries(edited))
+        pre = {b for b in before if b <= 29_000}
+        post = {b + 16 for b in before if b > 30_100}
+        assert pre <= after
+        survived = len(post & after) / max(1, len(post))
+        assert survived > 0.9
+
+    def test_deletion_preserves_downstream_boundaries(self, chunker, data):
+        edited = data[:20_000] + data[20_050:]
+        before = set(chunker.boundaries(data))
+        after = set(chunker.boundaries(edited))
+        post = {b - 50 for b in before if b > 21_000}
+        assert len(post & after) / max(1, len(post)) > 0.9
+
+    def test_constant_data_cut_at_max_size(self):
+        ch = ContentDefinedChunker(mask_bits=8, magic=1)
+        chunks = ch.chunk(b"\x00" * 10_000)
+        for c in chunks[:-1]:
+            assert c.length == ch.max_size
+
+    def test_mask_bits_validation(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(mask_bits=3)
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(mask_bits=25)
+
+    def test_min_ge_max_rejected(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(mask_bits=10, min_size=4096, max_size=4096)
+
+    def test_min_size_floored_at_window(self):
+        ch = ContentDefinedChunker(mask_bits=10, min_size=8, window=48)
+        assert ch.min_size == 48
+
+
+class TestChunkSpansValidator:
+    def test_detects_gap(self):
+        with pytest.raises(ValueError, match="gap"):
+            chunk_spans([Chunk(0, 5), Chunk(6, 4)], 10)
+
+    def test_detects_short_coverage(self):
+        with pytest.raises(ValueError, match="cover"):
+            chunk_spans([Chunk(0, 5)], 10)
+
+    def test_detects_empty_chunk(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            chunk_spans([Chunk(0, 0)], 0)
+
+
+class TestProperties:
+    @given(st.binary(max_size=30_000))
+    @settings(max_examples=15, deadline=None)
+    def test_tiling_property(self, blob):
+        ch = ContentDefinedChunker(mask_bits=8)
+        chunks = ch.chunk(blob)
+        if blob:
+            chunk_spans(chunks, len(blob))
+        else:
+            assert chunks == []
+
+    @given(st.binary(min_size=2000, max_size=10_000), st.binary(max_size=64),
+           st.integers(0, 1999))
+    @settings(max_examples=15, deadline=None)
+    def test_reassembly_after_insertion(self, blob, insertion, pos):
+        ch = ContentDefinedChunker(mask_bits=8)
+        edited = blob[:pos] + insertion + blob[pos:]
+        assert b"".join(ch.chunk_bytes(edited)) == edited

@@ -1,0 +1,96 @@
+"""Fixed chunking and digest-table tests."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.cdc import Chunk
+from repro.chunking.digest import DIGEST_SIZE, DigestTable, chunk_digest
+from repro.chunking.fixed import fixed_chunk_bytes, fixed_chunks
+
+
+class TestFixedChunks:
+    def test_exact_division(self):
+        chunks = fixed_chunks(100, 25)
+        assert [c.length for c in chunks] == [25, 25, 25, 25]
+
+    def test_short_tail(self):
+        chunks = fixed_chunks(10, 4)
+        assert [c.length for c in chunks] == [4, 4, 2]
+
+    def test_empty(self):
+        assert fixed_chunks(0, 8) == []
+
+    def test_block_smaller_than_one(self):
+        with pytest.raises(ValueError):
+            fixed_chunks(10, 0)
+
+    def test_negative_total(self):
+        with pytest.raises(ValueError):
+            fixed_chunks(-1, 8)
+
+    def test_bytes_reassemble(self):
+        data = bytes(range(256)) * 3
+        assert b"".join(fixed_chunk_bytes(data, 100)) == data
+
+    @given(st.integers(0, 5000), st.integers(1, 512))
+    @settings(max_examples=50, deadline=None)
+    def test_tiling_property(self, total, block):
+        chunks = fixed_chunks(total, block)
+        pos = 0
+        for c in chunks:
+            assert c.offset == pos
+            pos = c.end
+        assert pos == total
+
+
+class TestChunkDigest:
+    def test_full_sha1(self):
+        data = b"digest me"
+        assert chunk_digest(data) == hashlib.sha1(data).digest()
+
+    def test_truncation(self):
+        assert len(chunk_digest(b"x", truncate=8)) == 8
+
+    def test_truncation_bounds(self):
+        with pytest.raises(ValueError):
+            chunk_digest(b"x", truncate=3)
+        with pytest.raises(ValueError):
+            chunk_digest(b"x", truncate=DIGEST_SIZE + 1)
+
+
+class TestDigestTable:
+    def test_from_chunks_and_lookup(self):
+        data = b"aaaabbbbccccaaaa"
+        chunks = fixed_chunks(len(data), 4)
+        table = DigestTable.from_chunks(data, chunks)
+        hits = table.lookup(chunk_digest(b"aaaa"))
+        assert [h.offset for h in hits] == [0, 12]  # both 'aaaa' blocks
+
+    def test_miss_returns_empty(self):
+        table = DigestTable()
+        assert table.lookup(b"\x00" * DIGEST_SIZE) == []
+
+    def test_contains_and_len(self):
+        table = DigestTable(truncate=8)
+        table.add(chunk_digest(b"block", 8), 0, 5)
+        assert chunk_digest(b"block", 8) in table
+        assert len(table) == 1
+
+    def test_wrong_digest_length_rejected(self):
+        table = DigestTable(truncate=8)
+        with pytest.raises(ValueError):
+            table.add(b"\x00" * 20, 0, 5)
+
+    def test_wire_size_scales_with_chunks(self):
+        data = bytes(100)
+        table = DigestTable.from_chunks(data, fixed_chunks(100, 10), truncate=8)
+        assert table.wire_size() == 10 * (8 + 8)
+
+    def test_digests_insertion_ordered(self):
+        table = DigestTable(truncate=8)
+        d1, d2 = chunk_digest(b"one", 8), chunk_digest(b"two", 8)
+        table.add(d1, 0, 3)
+        table.add(d2, 3, 3)
+        assert table.digests() == [d1, d2]

@@ -1,0 +1,127 @@
+"""Rabin fingerprinting tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.rabin import (
+    DEFAULT_POLYNOMIAL,
+    RabinFingerprint,
+    is_irreducible,
+    polymod,
+    polymulmod,
+    polynomial_degree,
+)
+
+
+class TestPolynomialArithmetic:
+    def test_degree(self):
+        assert polynomial_degree(0b1) == 0
+        assert polynomial_degree(0b1000) == 3
+        assert polynomial_degree(0) == -1
+
+    def test_polymod_basics(self):
+        # x^3 mod (x^3 + x + 1) = x + 1
+        assert polymod(0b1000, 0b1011) == 0b011
+
+    def test_polymod_identity_below_degree(self):
+        assert polymod(0b101, 0b1011) == 0b101
+
+    def test_polymod_of_modulus_is_zero(self):
+        assert polymod(DEFAULT_POLYNOMIAL, DEFAULT_POLYNOMIAL) == 0
+
+    def test_polymulmod_commutative(self):
+        p = 0b1011
+        for a in range(8):
+            for b in range(8):
+                assert polymulmod(a, b, p) == polymulmod(b, a, p)
+
+    def test_polymulmod_distributes_over_xor(self):
+        p = DEFAULT_POLYNOMIAL
+        rng = random.Random(1)
+        for _ in range(20):
+            a, b, c = (rng.getrandbits(50) for _ in range(3))
+            left = polymulmod(a, b ^ c, p)
+            right = polymulmod(a, b, p) ^ polymulmod(a, c, p)
+            assert left == right
+
+
+class TestIrreducibility:
+    def test_default_polynomial_is_irreducible(self):
+        assert is_irreducible(DEFAULT_POLYNOMIAL)
+
+    def test_known_irreducibles(self):
+        for p in (0b111, 0b1011, 0b1101, 0b10011):  # classic small ones
+            assert is_irreducible(p), bin(p)
+
+    def test_known_reducibles(self):
+        # x^2 + x = x(x+1); x^4+x^2+1 = (x^2+x+1)^2
+        for p in (0b110, 0b10101):
+            assert not is_irreducible(p), bin(p)
+
+    def test_degree_zero_not_irreducible(self):
+        assert not is_irreducible(0b1)
+
+
+class TestRollingFingerprint:
+    def test_matches_direct_computation(self):
+        rng = random.Random(3)
+        data = rng.randbytes(400)
+        fp = RabinFingerprint(window=48)
+        for i, b in enumerate(data):
+            rolled = fp.roll(b)
+            window = data[max(0, i - 47) : i + 1]
+            direct = 0
+            for byte in window:
+                direct = polymod((direct << 8) | byte, fp.polynomial)
+            assert rolled == direct, f"divergence at byte {i}"
+
+    def test_fingerprint_depends_only_on_window(self):
+        rng = random.Random(4)
+        window = rng.randbytes(48)
+        fp = RabinFingerprint()
+        a = fp.fingerprint_of(rng.randbytes(333) + window)
+        b = fp.fingerprint_of(rng.randbytes(77) + window)
+        assert a == b
+
+    def test_different_windows_differ(self):
+        fp = RabinFingerprint()
+        rng = random.Random(5)
+        values = {fp.fingerprint_of(rng.randbytes(48)) for _ in range(50)}
+        assert len(values) == 50  # 2^53 space; collisions would be a bug
+
+    def test_low_bits_are_well_distributed(self):
+        rng = random.Random(6)
+        data = rng.randbytes(50_000)
+        fp = RabinFingerprint()
+        hits = sum(
+            1
+            for i, f in enumerate(fp.roll_bytes(data))
+            if i >= 48 and (f & 0x3FF) == 0
+        )
+        expected = (len(data) - 48) / 1024
+        assert 0.4 * expected < hits < 2.5 * expected
+
+    def test_reset_clears_state(self):
+        fp = RabinFingerprint()
+        fp.roll_bytes(b"some bytes to pollute state")
+        fp.reset()
+        a = [fp.roll(b) for b in b"abc"]
+        fp2 = RabinFingerprint()
+        b = [fp2.roll(x) for x in b"abc"]
+        assert a == b
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            RabinFingerprint(window=0)
+
+    def test_polynomial_degree_validation(self):
+        with pytest.raises(ValueError):
+            RabinFingerprint(polynomial=0b1011)  # degree 3 < 8
+
+    @given(st.binary(min_size=48, max_size=48), st.binary(max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_window_purity_property(self, window, prefix):
+        fp = RabinFingerprint()
+        assert fp.fingerprint_of(prefix + window) == fp.fingerprint_of(window)

@@ -1,0 +1,80 @@
+"""Bit-level I/O tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter, BitstreamError
+
+
+class TestBitWriter:
+    def test_lsb_first_packing(self):
+        w = BitWriter()
+        w.write_bits(1, 1)  # bit 0
+        w.write_bits(0, 1)  # bit 1
+        w.write_bits(1, 1)  # bit 2
+        assert w.getvalue() == bytes([0b101])
+
+    def test_multibyte_value(self):
+        w = BitWriter()
+        w.write_bits(0x1234, 16)
+        assert w.getvalue() == bytes([0x34, 0x12])
+
+    def test_partial_byte_zero_padded(self):
+        w = BitWriter()
+        w.write_bits(0b11, 2)
+        assert w.getvalue() == bytes([0b11])
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_bit_length_tracks(self):
+        w = BitWriter()
+        w.write_bits(0, 5)
+        assert w.bit_length == 5
+        w.write_bits(0, 5)
+        assert w.bit_length == 10
+
+    def test_write_code_msb_first(self):
+        w = BitWriter()
+        w.write_code(0b110, 3)  # 1 then 1 then 0
+        r = BitReader(w.getvalue())
+        assert [r.read_bit() for _ in range(3)] == [1, 1, 0]
+
+
+class TestBitReader:
+    def test_roundtrip_simple(self):
+        w = BitWriter()
+        w.write_bits(0b10110, 5)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(5) == 0b10110
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\x01")
+        r.read_bits(8)
+        with pytest.raises(BitstreamError):
+            r.read_bit()
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        assert r.bits_remaining == 16
+        r.read_bits(3)
+        assert r.bits_remaining == 13
+
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16)),
+                    min_size=1, max_size=100))
+    def test_roundtrip_property(self, fields):
+        w = BitWriter()
+        clipped = []
+        for value, count in fields:
+            value &= (1 << count) - 1
+            clipped.append((value, count))
+            w.write_bits(value, count)
+        r = BitReader(w.getvalue())
+        for value, count in clipped:
+            assert r.read_bits(count) == value

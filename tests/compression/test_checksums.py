@@ -1,0 +1,56 @@
+"""From-scratch checksums must match zlib bit-for-bit."""
+
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.checksums import adler32, crc32
+
+
+class TestAdler32:
+    def test_empty(self):
+        assert adler32(b"") == 1 == zlib.adler32(b"")
+
+    def test_known_value(self):
+        # "Wikipedia" is the canonical worked example.
+        assert adler32(b"Wikipedia") == 0x11E60398
+
+    def test_matches_zlib_on_text(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 100
+        assert adler32(data) == zlib.adler32(data)
+
+    def test_block_boundary(self):
+        # Cross the 5552-byte deferred-modulo block boundary.
+        data = bytes(i % 251 for i in range(20_000))
+        assert adler32(data) == zlib.adler32(data)
+
+    def test_incremental_matches_one_shot(self):
+        data = b"abcdefgh" * 500
+        running = 1
+        for i in range(0, len(data), 777):
+            running = adler32(data[i : i + 777], running)
+        assert running == adler32(data)
+
+    @given(st.binary(max_size=4096))
+    def test_matches_zlib_property(self, data):
+        assert adler32(data) == zlib.adler32(data)
+
+
+class TestCrc32:
+    def test_empty(self):
+        assert crc32(b"") == 0 == zlib.crc32(b"")
+
+    def test_known_value(self):
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_incremental_matches_one_shot(self):
+        data = bytes(range(256)) * 10
+        running = 0
+        for i in range(0, len(data), 100):
+            running = crc32(data[i : i + 100], running)
+        assert running == crc32(data)
+
+    @given(st.binary(max_size=4096))
+    def test_matches_zlib_property(self, data):
+        assert crc32(data) == zlib.crc32(data)

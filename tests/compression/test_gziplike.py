@@ -1,0 +1,102 @@
+"""Deflate-lite container tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.gziplike import (
+    MAGIC,
+    CompressionError,
+    compress,
+    decompress,
+)
+
+
+class TestContainer:
+    def test_roundtrip_text(self):
+        data = b"hello compression world " * 100
+        assert decompress(compress(data)) == data
+
+    def test_roundtrip_empty(self):
+        assert decompress(compress(b"")) == b""
+
+    def test_roundtrip_single_byte(self):
+        assert decompress(compress(b"x")) == b"x"
+
+    def test_zlib_backend_roundtrip(self):
+        data = bytes(range(256)) * 64
+        blob = compress(data, backend="zlib")
+        assert decompress(blob) == data
+
+    def test_backends_interchangeable_on_decode(self):
+        data = b"shared container format " * 50
+        assert decompress(compress(data, backend="pure")) == decompress(
+            compress(data, backend="zlib")
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            compress(b"x", backend="lzma")
+
+    def test_compresses_repetitive_data(self):
+        data = b"abcdef" * 2000
+        assert len(compress(data)) < len(data) / 5
+
+    def test_incompressible_data_expands_bounded(self):
+        import random
+
+        data = random.Random(0).randbytes(4096)
+        blob = compress(data)
+        # Huffman headers cost ~160 bytes; growth must stay small.
+        assert len(blob) < len(data) * 1.15
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self):
+        blob = bytearray(compress(b"data"))
+        blob[0] ^= 0xFF
+        with pytest.raises(CompressionError, match="magic"):
+            decompress(bytes(blob))
+
+    def test_truncated_container(self):
+        with pytest.raises(CompressionError):
+            decompress(MAGIC)
+
+    def test_crc_mismatch_detected(self):
+        data = b"the payload that will be corrupted" * 20
+        blob = bytearray(compress(data))
+        blob[-1] ^= 0x01
+        with pytest.raises(CompressionError):
+            decompress(bytes(blob))
+
+    def test_zlib_payload_corruption_detected(self):
+        blob = bytearray(compress(b"z" * 500, backend="zlib"))
+        blob[20] ^= 0xFF
+        with pytest.raises(CompressionError):
+            decompress(bytes(blob))
+
+    def test_length_field_mismatch_detected(self):
+        data = b"abc" * 100
+        blob = bytearray(compress(data))
+        # The varint length sits right after magic+flags; nudge it.
+        blob[len(MAGIC) + 1] ^= 0x01
+        with pytest.raises(CompressionError):
+            decompress(bytes(blob))
+
+
+class TestRoundtripProperties:
+    @given(st.binary(max_size=4000))
+    @settings(max_examples=30, deadline=None)
+    def test_pure_roundtrip(self, data):
+        assert decompress(compress(data)) == data
+
+    @given(st.binary(max_size=20_000))
+    @settings(max_examples=20, deadline=None)
+    def test_zlib_roundtrip(self, data):
+        assert decompress(compress(data, backend="zlib")) == data
+
+    @given(st.text(alphabet="abcdefgh \n", max_size=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_low_entropy_always_shrinks(self, text):
+        data = text.encode()
+        if len(data) > 500:
+            assert len(compress(data)) < len(data)

@@ -1,0 +1,130 @@
+"""Canonical Huffman tests."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.huffman import (
+    CanonicalCode,
+    HuffmanError,
+    code_lengths_from_freqs,
+)
+
+
+class TestCodeLengths:
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(HuffmanError):
+            code_lengths_from_freqs({})
+
+    def test_nonpositive_freq_rejected(self):
+        with pytest.raises(HuffmanError):
+            code_lengths_from_freqs({0: 0})
+
+    def test_single_symbol_gets_one_bit(self):
+        assert code_lengths_from_freqs({7: 100}) == {7: 1}
+
+    def test_two_symbols(self):
+        lens = code_lengths_from_freqs({0: 10, 1: 1})
+        assert lens == {0: 1, 1: 1}
+
+    def test_skewed_freqs_give_shorter_codes_to_common_symbols(self):
+        lens = code_lengths_from_freqs({0: 1000, 1: 10, 2: 10, 3: 1})
+        assert lens[0] < lens[3]
+
+    def test_kraft_inequality_holds(self):
+        freqs = {i: (i + 1) ** 2 for i in range(40)}
+        lens = code_lengths_from_freqs(freqs)
+        assert sum(2.0 ** -l for l in lens.values()) <= 1.0 + 1e-12
+
+    def test_length_limit_enforced(self):
+        # Fibonacci-ish frequencies force deep unrestricted trees.
+        freqs = {}
+        a, b = 1, 1
+        for i in range(30):
+            freqs[i] = a
+            a, b = b, a + b
+        lens = code_lengths_from_freqs(freqs, max_bits=10)
+        assert max(lens.values()) <= 10
+        assert sum(2.0 ** -l for l in lens.values()) <= 1.0 + 1e-12
+
+    def test_too_many_symbols_for_limit_rejected(self):
+        with pytest.raises(HuffmanError):
+            code_lengths_from_freqs({i: 1 for i in range(5)}, max_bits=2)
+
+    def test_optimality_against_entropy(self):
+        """Average code length within one bit of entropy (Huffman bound)."""
+        import math
+
+        freqs = {i: 100 // (i + 1) for i in range(20)}
+        total = sum(freqs.values())
+        lens = code_lengths_from_freqs(freqs)
+        avg = sum(freqs[s] * l for s, l in lens.items()) / total
+        entropy = -sum(
+            (f / total) * math.log2(f / total) for f in freqs.values()
+        )
+        assert entropy <= avg <= entropy + 1.0
+
+
+class TestCanonicalCode:
+    def test_roundtrip_symbols(self):
+        freqs = collections.Counter(b"abracadabra alakazam")
+        code = CanonicalCode.from_freqs(dict(freqs), 256)
+        w = BitWriter()
+        data = list(b"abracadabra alakazam")
+        code.encode_symbols(data, w)
+        r = BitReader(w.getvalue())
+        assert code.decode_symbols(r, len(data)) == data
+
+    def test_lengths_fully_determine_code(self):
+        freqs = {0: 5, 1: 3, 2: 2, 3: 1}
+        c1 = CanonicalCode.from_freqs(freqs, 4)
+        c2 = CanonicalCode(c1.lengths)
+        assert c1.encoder() == c2.encoder()
+
+    def test_canonical_assignment_is_sorted(self):
+        code = CanonicalCode((2, 1, 3, 3))
+        enc = code.encoder()
+        # Shorter codes numerically precede longer ones when left-aligned.
+        assert enc[1] == (0, 1)
+        assert enc[0] == (0b10, 2)
+        assert enc[2] == (0b110, 3)
+        assert enc[3] == (0b111, 3)
+
+    def test_kraft_violation_rejected(self):
+        with pytest.raises(HuffmanError):
+            CanonicalCode((1, 1, 1))
+
+    def test_no_symbols_rejected(self):
+        with pytest.raises(HuffmanError):
+            CanonicalCode((0, 0, 0))
+
+    def test_unknown_symbol_rejected_on_encode(self):
+        code = CanonicalCode.from_freqs({0: 1, 1: 1}, 4)
+        with pytest.raises(HuffmanError):
+            code.encode_symbols([3], BitWriter())
+
+    def test_truncated_stream_raises(self):
+        code = CanonicalCode.from_freqs({0: 3, 1: 2, 2: 1}, 4)
+        w = BitWriter()
+        code.encode_symbols([2], w)
+        blob = w.getvalue()
+        r = BitReader(b"")
+        with pytest.raises(HuffmanError):
+            code.decode_symbol(r)
+
+    def test_symbol_outside_alphabet_rejected(self):
+        with pytest.raises(HuffmanError):
+            CanonicalCode.from_freqs({9: 1}, 4)
+
+    @given(st.dictionaries(st.integers(0, 63), st.integers(1, 1000),
+                           min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, freqs):
+        code = CanonicalCode.from_freqs(freqs, 64)
+        symbols = [s for s, f in freqs.items() for _ in range(min(f, 5))]
+        w = BitWriter()
+        code.encode_symbols(symbols, w)
+        r = BitReader(w.getvalue())
+        assert code.decode_symbols(r, len(symbols)) == symbols

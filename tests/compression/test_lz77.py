@@ -1,0 +1,120 @@
+"""LZSS tokenizer tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.lz77 import (
+    MAX_MATCH,
+    MIN_MATCH,
+    WINDOW_SIZE,
+    Literal,
+    LZError,
+    Match,
+    detokenize,
+    tokenize,
+)
+
+
+class TestTokens:
+    def test_literal_range_enforced(self):
+        with pytest.raises(LZError):
+            Literal(256)
+
+    def test_match_length_bounds(self):
+        with pytest.raises(LZError):
+            Match(MIN_MATCH - 1, 1)
+        with pytest.raises(LZError):
+            Match(MAX_MATCH + 1, 1)
+
+    def test_match_distance_bounds(self):
+        with pytest.raises(LZError):
+            Match(4, 0)
+        with pytest.raises(LZError):
+            Match(4, WINDOW_SIZE + 1)
+
+
+class TestTokenize:
+    def test_empty_input(self):
+        assert tokenize(b"") == []
+
+    def test_all_literals_for_unique_bytes(self):
+        data = bytes(range(64))
+        tokens = tokenize(data)
+        assert all(isinstance(t, Literal) for t in tokens)
+        assert detokenize(tokens) == data
+
+    def test_repetition_produces_matches(self):
+        data = b"abcabcabcabcabcabc"
+        tokens = tokenize(data)
+        assert any(isinstance(t, Match) for t in tokens)
+        assert detokenize(tokens) == data
+
+    def test_run_of_single_byte_uses_overlapping_match(self):
+        data = b"a" * 300
+        tokens = tokenize(data)
+        # One literal then overlapping matches (distance 1).
+        assert isinstance(tokens[0], Literal)
+        matches = [t for t in tokens if isinstance(t, Match)]
+        assert matches and all(m.distance == 1 for m in matches)
+        assert detokenize(tokens) == data
+
+    def test_compression_on_text(self):
+        data = (b"the quick brown fox. " * 150)
+        tokens = tokenize(data)
+        # Token count should be far below input length for repetitive text.
+        assert len(tokens) < len(data) / 4
+        assert detokenize(tokens) == data
+
+    def test_lazy_beats_or_ties_greedy_on_text(self):
+        data = b"abcde_bcdef_abcdef" * 50
+        lazy = tokenize(data, lazy=True)
+        greedy = tokenize(data, lazy=False)
+        assert detokenize(lazy) == detokenize(greedy) == data
+        assert len(lazy) <= len(greedy) + 2  # lazy should not be worse
+
+    def test_max_chain_validated(self):
+        with pytest.raises(ValueError):
+            tokenize(b"abc", max_chain=0)
+
+    def test_deterministic(self):
+        rng = random.Random(5)
+        data = bytes(rng.randrange(8) for _ in range(3000))
+        assert tokenize(data) == tokenize(data)
+
+
+class TestDetokenize:
+    def test_rejects_distance_beyond_output(self):
+        with pytest.raises(LZError):
+            detokenize([Match(3, 5)])
+
+    def test_rejects_unknown_token(self):
+        with pytest.raises(LZError):
+            detokenize(["bogus"])
+
+
+class TestRoundtripProperties:
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_arbitrary_bytes(self, data):
+        assert detokenize(tokenize(data)) == data
+
+    @given(st.binary(min_size=1, max_size=40), st.integers(2, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_repeated_pattern(self, pattern, reps):
+        data = pattern * reps
+        assert detokenize(tokenize(data)) == data
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_reference_window_constraint(self, data):
+        """Every match must copy from within the sliding window."""
+        pos = 0
+        for tok in tokenize(data):
+            if isinstance(tok, Match):
+                assert tok.distance <= pos
+                pos += tok.length
+            else:
+                pos += 1
+        assert pos == len(data)

@@ -1,0 +1,38 @@
+"""Shared fixtures.
+
+Session-scoped heavyweights (corpus, assembled systems) are built once;
+tests that mutate state build their own throwaway instances instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import build_case_study
+from repro.workload.pages import Corpus
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> Corpus:
+    """Three pages, full paper dimensions, deterministic."""
+    return Corpus(n_pages=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> Corpus:
+    """Two small pages for tests that only need structure, not scale."""
+    return Corpus(n_pages=2, text_bytes=800, image_bytes=4000, images_per_page=2)
+
+
+@pytest.fixture(scope="session")
+def session_system(small_corpus):
+    """A read-mostly case-study system with default overheads."""
+    return build_case_study(corpus=small_corpus, calibrate=False)
+
+
+@pytest.fixture(scope="session")
+def era_system(small_corpus):
+    """Calibrated + era-scaled system: what the figure benches use."""
+    return build_case_study(
+        corpus=small_corpus, calibrate=True, calibration_pages=1, era=True
+    )

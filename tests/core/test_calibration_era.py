@@ -1,0 +1,87 @@
+"""Calibration and era-model tests."""
+
+import pytest
+
+from repro.core.calibration import HOST_CPU_MHZ, calibrate_overheads, calibrate_pad
+from repro.core.era import DEFAULT_ANCHORS, EraAnchors, era_overheads
+from repro.core.metadata import PADOverhead
+from repro.core.overhead import STD_CPU_MHZ
+
+
+class TestCalibration:
+    def test_calibrate_direct_is_free(self, small_corpus):
+        overhead, samples = calibrate_pad("direct", small_corpus, page_ids=[0])
+        assert overhead.server_comp_s < 1e-3  # timer noise only
+        assert overhead.traffic_std_bytes > 100_000  # whole page moves
+        assert len(samples) == 1
+
+    def test_calibrate_differs_by_protocol(self, small_corpus):
+        overheads = calibrate_overheads(
+            small_corpus, ("direct", "vary"), n_pages=1
+        )
+        assert overheads["vary"].traffic_std_bytes < (
+            overheads["direct"].traffic_std_bytes / 5
+        )
+        assert overheads["vary"].server_comp_s > overheads["direct"].server_comp_s
+
+    def test_client_time_normalized_to_standard_processor(self, small_corpus):
+        overhead, samples = calibrate_pad("gzip", small_corpus, page_ids=[0])
+        measured = samples[0].client_time_s
+        assert overhead.client_comp_std_s == pytest.approx(
+            measured * HOST_CPU_MHZ / STD_CPU_MHZ
+        )
+
+    def test_unknown_pad_rejected(self, small_corpus):
+        with pytest.raises(KeyError):
+            calibrate_pad("quantum", small_corpus, page_ids=[0])
+
+    def test_repeats_validated(self, small_corpus):
+        with pytest.raises(ValueError):
+            calibrate_pad("direct", small_corpus, page_ids=[0], repeats=0)
+
+    def test_no_pages_rejected(self, small_corpus):
+        with pytest.raises(ValueError):
+            calibrate_pad("direct", small_corpus, page_ids=[])
+
+
+class TestEraModel:
+    def _measured(self):
+        return {
+            "direct": PADOverhead(135_000, 0.0, 0.0),
+            "gzip": PADOverhead(88_000, 0.001, 0.004),
+            "vary": PADOverhead(9_500, 0.001, 0.2),
+            "bitmap": PADOverhead(14_000, 0.001, 0.0003),
+        }
+
+    def test_traffic_preserved_exactly(self):
+        era = era_overheads(self._measured())
+        for pad, measured in self._measured().items():
+            assert era[pad].traffic_std_bytes == measured.traffic_std_bytes
+
+    def test_compute_replaced_with_anchor_derived(self):
+        era = era_overheads(self._measured())
+        assert era["direct"].client_comp_std_s == 0.0
+        # gzip client: one page at 3.75 MB/s.
+        assert era["gzip"].client_comp_std_s == pytest.approx(135_000 / 3.75e6)
+        # vary server: two pages at 0.1 MB/s on a 4x-standard server.
+        assert era["vary"].server_comp_s == pytest.approx(270_000 / (0.1e6 * 4))
+
+    def test_vary_server_compute_dominates(self):
+        """The paper's headline Fig. 10 observation."""
+        era = era_overheads(self._measured())
+        assert era["vary"].server_comp_s > 5 * era["gzip"].server_comp_s
+        assert era["vary"].server_comp_s > 4 * era["bitmap"].server_comp_s
+
+    def test_custom_anchors(self):
+        anchors = EraAnchors(gzip_compress=1e6)
+        era = era_overheads(self._measured(), anchors=anchors)
+        assert era["gzip"].server_comp_s == pytest.approx(135_000 / (1e6 * 4))
+
+    def test_unknown_pad_rejected(self):
+        with pytest.raises(KeyError):
+            era_overheads({"quantum": PADOverhead(1, 0, 0)})
+
+    def test_default_anchors_ordering(self):
+        a = DEFAULT_ANCHORS
+        # Decompression faster than compression; CDC slowest of all.
+        assert a.gzip_decompress > a.gzip_compress > a.block_digest > a.cdc_fingerprint

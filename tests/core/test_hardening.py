@@ -1,0 +1,94 @@
+"""Hardening tests: bounded adaptation cache and INP header integrity."""
+
+import pytest
+
+from repro.core import inp
+from repro.core.errors import NegotiationError, ProtocolMismatchError
+from repro.core.inp import INPMessage, MsgType
+from repro.core.metadata import AppMeta, DevMeta, NtwkMeta, PADMeta, PADOverhead
+from repro.core.overhead import OverheadModel
+from repro.core.proxy import AdaptationProxy, DistributionManager
+from repro.core.system import APP_ID, build_case_study
+from repro.workload.profiles import DESKTOP_LAN
+
+DEV = DevMeta("FedoraCore2", "PentiumIV", 2000.0, 512.0)
+
+
+def make_proxy(max_entries=None):
+    proxy = AdaptationProxy(OverheadModel())
+    if max_entries is not None:
+        proxy.distribution = DistributionManager(max_entries=max_entries)
+    pad = PADMeta("only", 10, PADOverhead(0, 0.01, 0))
+    proxy.push_app_meta(AppMeta("app", (pad,)))
+    proxy.register_distribution("only", "a" * 40, "cdn://only/1")
+    return proxy
+
+
+class TestBoundedAdaptationCache:
+    def test_eviction_at_capacity(self):
+        proxy = make_proxy(max_entries=3)
+        for kbps in range(1, 6):
+            proxy.negotiate("app", DEV, NtwkMeta("LAN", float(kbps)))
+        assert len(proxy.distribution) == 3
+        assert proxy.distribution.cache_evictions == 2
+
+    def test_lru_order_protects_hot_entries(self):
+        proxy = make_proxy(max_entries=2)
+        hot = NtwkMeta("LAN", 1.0)
+        cold = NtwkMeta("LAN", 2.0)
+        proxy.negotiate("app", DEV, hot)
+        proxy.negotiate("app", DEV, cold)
+        proxy.negotiate("app", DEV, hot)  # refresh hot
+        proxy.negotiate("app", DEV, NtwkMeta("LAN", 3.0))  # evicts cold
+        misses = proxy.stats.cache_misses
+        proxy.negotiate("app", DEV, hot)
+        assert proxy.stats.cache_misses == misses  # hot still cached
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(NegotiationError):
+            DistributionManager(max_entries=0)
+
+    def test_scanning_client_cannot_grow_cache_unboundedly(self):
+        proxy = make_proxy(max_entries=16)
+        for kbps in range(1, 200):
+            proxy.negotiate("app", DEV, NtwkMeta("LAN", float(kbps)))
+        assert len(proxy.distribution) == 16
+
+
+class TestInpHeaderIntegrity:
+    @pytest.fixture()
+    def system(self, small_corpus):
+        return build_case_study(corpus=small_corpus, calibrate=False)
+
+    def test_wrong_session_in_reply_rejected(self, system):
+        client = system.make_client(DESKTOP_LAN)
+
+        def hijacking(payload: bytes) -> bytes:
+            msg = inp.decode(payload)
+            reply = INPMessage(MsgType.INIT_REP, "someone-else", msg.seq + 1,
+                               {"cli_meta_req": {}})
+            return inp.encode(reply)
+
+        system.transport.unbind("proxy")
+        system.transport.bind("proxy", hijacking)
+        with pytest.raises(ProtocolMismatchError, match="session"):
+            client.negotiate(APP_ID)
+
+    def test_non_incrementing_seq_rejected(self, system):
+        client = system.make_client(DESKTOP_LAN)
+
+        def replaying(payload: bytes) -> bytes:
+            msg = inp.decode(payload)
+            reply = INPMessage(MsgType.INIT_REP, msg.session_id, msg.seq,
+                               {"cli_meta_req": {}})
+            return inp.encode(reply)
+
+        system.transport.unbind("proxy")
+        system.transport.bind("proxy", replaying)
+        with pytest.raises(ProtocolMismatchError, match="seq"):
+            client.negotiate(APP_ID)
+
+    def test_honest_exchange_still_passes(self, system):
+        client = system.make_client(DESKTOP_LAN)
+        outcome = client.negotiate(APP_ID)
+        assert outcome.pads

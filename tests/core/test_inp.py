@@ -1,0 +1,99 @@
+"""Interactive Negotiation Protocol codec tests."""
+
+import pytest
+
+from repro.core.errors import ProtocolMismatchError
+from repro.core.inp import (
+    INP_VERSION,
+    INPMessage,
+    MsgType,
+    b64d,
+    b64e,
+    decode,
+    encode,
+    error_reply,
+)
+
+
+@pytest.fixture()
+def msg():
+    return INPMessage(MsgType.INIT_REQ, "sess-1", 0, {"app_id": "demo"})
+
+
+class TestCodec:
+    def test_roundtrip(self, msg):
+        assert decode(encode(msg)) == msg
+
+    def test_all_message_types_roundtrip(self):
+        for mt in MsgType:
+            m = INPMessage(mt, "s", 3, {"k": [1, 2]})
+            assert decode(encode(m)).msg_type is mt
+
+    def test_header_fields_preserved(self, msg):
+        back = decode(encode(msg))
+        assert back.session_id == "sess-1"
+        assert back.seq == 0
+        assert back.version == INP_VERSION
+
+    def test_undecodable_packet(self):
+        with pytest.raises(ProtocolMismatchError, match="undecodable"):
+            decode(b"\xff\xfe")
+
+    def test_non_object_packet(self):
+        with pytest.raises(ProtocolMismatchError):
+            decode(b"[1,2,3]")
+
+    def test_wrong_version_rejected(self, msg):
+        blob = encode(msg).replace(b'"inp":1', b'"inp":9')
+        with pytest.raises(ProtocolMismatchError, match="version"):
+            decode(blob)
+
+    def test_unknown_type_rejected(self, msg):
+        blob = encode(msg).replace(b"INIT_REQ", b"BOGUS_MSG")
+        with pytest.raises(ProtocolMismatchError, match="message type"):
+            decode(blob)
+
+    def test_malformed_header_rejected(self, msg):
+        blob = encode(msg).replace(b'"seq":0', b'"seq":"zero"')
+        with pytest.raises(ProtocolMismatchError, match="header"):
+            decode(blob)
+
+    def test_malformed_body_rejected(self, msg):
+        blob = encode(msg).replace(b'"body":{"app_id":"demo"}', b'"body":[]')
+        with pytest.raises(ProtocolMismatchError, match="body"):
+            decode(blob)
+
+
+class TestMessageHelpers:
+    def test_reply_increments_seq_same_session(self, msg):
+        rep = msg.reply(MsgType.INIT_REP, {"ok": True})
+        assert rep.session_id == msg.session_id
+        assert rep.seq == msg.seq + 1
+        assert rep.msg_type is MsgType.INIT_REP
+
+    def test_expect_passes_matching_type(self, msg):
+        assert msg.expect(MsgType.INIT_REQ) is msg
+
+    def test_expect_raises_on_mismatch(self, msg):
+        with pytest.raises(ProtocolMismatchError, match="expected"):
+            msg.expect(MsgType.APP_REP)
+
+    def test_expect_surfaces_peer_error(self, msg):
+        err = error_reply(msg, "negotiation exploded")
+        with pytest.raises(ProtocolMismatchError, match="negotiation exploded"):
+            err.expect(MsgType.INIT_REP)
+
+    def test_error_reply_carries_text(self, msg):
+        err = error_reply(msg, "boom")
+        assert err.msg_type is MsgType.INP_ERROR
+        assert err.body["error"] == "boom"
+
+
+class TestBase64:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert b64d(b64e(data)) == data
+
+    def test_invalid_base64_rejected(self):
+        with pytest.raises(ProtocolMismatchError):
+            b64d("!!!not-base64!!!")

@@ -1,0 +1,135 @@
+"""Metadata (Fig. 3) tests."""
+
+import pytest
+
+from repro.core.errors import MetadataError
+from repro.core.metadata import AppMeta, DevMeta, NtwkMeta, PADMeta, PADOverhead
+
+
+@pytest.fixture()
+def overhead():
+    return PADOverhead(traffic_std_bytes=1000, client_comp_std_s=0.1, server_comp_s=0.2)
+
+
+@pytest.fixture()
+def pad(overhead):
+    return PADMeta(
+        pad_id="gzip", size_bytes=4096, overhead=overhead,
+        parent=None, children=("child1",),
+    )
+
+
+class TestDevMeta:
+    def test_wire_roundtrip(self):
+        dev = DevMeta("FedoraCore2", "PentiumIV", 2000.0, 512.0)
+        assert DevMeta.from_wire(dev.to_wire()) == dev
+
+    def test_int_speeds_coerced(self):
+        dev = DevMeta.from_wire(
+            {"os_type": "a", "cpu_type": "b", "cpu_mhz": 400, "memory_mb": 64}
+        )
+        assert dev.cpu_mhz == 400.0
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(MetadataError, match="missing field"):
+            DevMeta.from_wire({"os_type": "a"})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(MetadataError):
+            DevMeta.from_wire(
+                {"os_type": 1, "cpu_type": "b", "cpu_mhz": 1.0, "memory_mb": 1.0}
+            )
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(MetadataError):
+            DevMeta("os", "cpu", 0.0, 64.0)
+        with pytest.raises(MetadataError):
+            DevMeta("os", "cpu", 100.0, -1.0)
+
+    def test_cache_key_is_hashable_and_stable(self):
+        dev = DevMeta("os", "cpu", 100.0, 64.0)
+        assert dev.cache_key() == DevMeta("os", "cpu", 100.0, 64.0).cache_key()
+        hash(dev.cache_key())
+
+
+class TestNtwkMeta:
+    def test_wire_roundtrip(self):
+        ntwk = NtwkMeta("Bluetooth", 723.0)
+        assert NtwkMeta.from_wire(ntwk.to_wire()) == ntwk
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(MetadataError):
+            NtwkMeta("LAN", 0.0)
+
+
+class TestPADOverhead:
+    def test_wire_roundtrip(self, overhead):
+        assert PADOverhead.from_wire(overhead.to_wire()) == overhead
+
+    def test_negative_rejected(self):
+        with pytest.raises(MetadataError):
+            PADOverhead(-1, 0, 0)
+
+
+class TestPADMeta:
+    def test_wire_roundtrip(self, pad):
+        assert PADMeta.from_wire(pad.to_wire()) == pad
+
+    def test_client_wire_hides_links(self, pad):
+        wire = pad.to_client_wire()
+        assert "parent" not in wire
+        assert "children" not in wire
+        assert "alias_of" not in wire
+        # ...but keeps the distribution fields.
+        assert "digest" in wire and "url" in wire
+
+    def test_from_client_wire_has_no_links(self, pad):
+        restored = PADMeta.from_wire(pad.to_client_wire())
+        assert restored.parent is None
+        assert restored.children == ()
+
+    def test_with_distribution(self, pad):
+        finished = pad.with_distribution("ab" * 20, "cdn://gzip/1.0")
+        assert finished.digest == "ab" * 20
+        assert finished.url == "cdn://gzip/1.0"
+        assert pad.digest is None  # original untouched
+
+    def test_resolved_id_through_alias(self, overhead):
+        alias = PADMeta("gzip@2", 0, overhead, alias_of="gzip")
+        assert alias.resolved_id == "gzip"
+
+    def test_self_alias_rejected(self, overhead):
+        with pytest.raises(MetadataError):
+            PADMeta("x", 0, overhead, alias_of="x")
+
+    def test_empty_id_rejected(self, overhead):
+        with pytest.raises(MetadataError):
+            PADMeta("", 0, overhead)
+
+    def test_negative_size_rejected(self, overhead):
+        with pytest.raises(MetadataError):
+            PADMeta("x", -1, overhead)
+
+
+class TestAppMeta:
+    def test_wire_roundtrip(self, pad):
+        app = AppMeta("medical-web", (pad,))
+        assert AppMeta.from_wire(app.to_wire()) == app
+
+    def test_duplicate_pad_rejected(self, pad):
+        with pytest.raises(MetadataError, match="duplicate"):
+            AppMeta("app", (pad, pad))
+
+    def test_get(self, pad):
+        app = AppMeta("app", (pad,))
+        assert app.get("gzip") is pad
+        with pytest.raises(MetadataError):
+            app.get("nope")
+
+    def test_empty_app_id_rejected(self, pad):
+        with pytest.raises(MetadataError):
+            AppMeta("", (pad,))
+
+    def test_malformed_pads_rejected(self):
+        with pytest.raises(MetadataError):
+            AppMeta.from_wire({"app_id": "a", "pads": "not-a-list"})

@@ -1,0 +1,218 @@
+"""Overhead model (Eq. 1-7) and adaptation path search (Fig. 6) tests."""
+
+import math
+
+import pytest
+
+from repro.core.errors import MetadataError, NegotiationError
+from repro.core.metadata import AppMeta, DevMeta, NtwkMeta, PADMeta, PADOverhead
+from repro.core.overhead import (
+    INFEASIBLE,
+    OverheadModel,
+    RatioMatrix,
+    STD_CPU_MHZ,
+    paper_case_study_matrices,
+)
+from repro.core.pat import PAT
+from repro.core.search import find_adaptation_path, mark_tree
+
+DEV = DevMeta("FedoraCore2", "PentiumIV", 2000.0, 512.0)
+PDA_DEV = DevMeta("WinCE4.2", "PXA255", 400.0, 64.0)
+NTWK = NtwkMeta("LAN", 100_000.0)  # 100 Mbps in kbps
+SLOW = NtwkMeta("Bluetooth", 723.0)
+
+
+def pad(pad_id, *, size=8000, traffic=100_000.0, cli=0.1, srv=0.05,
+        parent=None, alias_of=None, min_mem=0.0):
+    return PADMeta(
+        pad_id=pad_id, size_bytes=size,
+        overhead=PADOverhead(traffic, cli, srv),
+        parent=parent, alias_of=alias_of, min_memory_mb=min_mem,
+    )
+
+
+class TestRatioMatrix:
+    def test_default_ratio_is_one(self):
+        m = RatioMatrix("A")
+        assert m.get("gzip", "anything") == 1.0
+
+    def test_set_and_get(self):
+        m = RatioMatrix("A")
+        m.set("gzip", "PXA255", 1.1)
+        assert m.get("gzip", "PXA255") == 1.1
+
+    def test_infinity_disqualifies(self):
+        m = RatioMatrix("B")
+        m.disqualify("winmedia", "PalmOS")
+        assert math.isinf(m.get("winmedia", "PalmOS"))
+
+    def test_alias_fallback_for_unknown_type(self):
+        """'a similar type with close parameters will be chosen instead'."""
+        m = RatioMatrix("A")
+        m.set("gzip", "PXA255", 1.1)
+        m.alias("PXA270", "PXA255")
+        assert m.get("gzip", "PXA270") == 1.1
+
+    def test_exact_entry_beats_alias(self):
+        m = RatioMatrix("A")
+        m.set("gzip", "PXA255", 1.1)
+        m.set("gzip", "PXA270", 1.05)
+        m.alias("PXA270", "PXA255")
+        assert m.get("gzip", "PXA270") == 1.05
+
+    def test_nonpositive_ratio_rejected(self):
+        with pytest.raises(MetadataError):
+            RatioMatrix("A").set("x", "y", 0.0)
+
+    def test_set_column(self):
+        m = RatioMatrix("B")
+        m.set_column("WinCE", {"a": 1.0, "b": INFEASIBLE})
+        assert m.get("a", "WinCE") == 1.0
+        assert math.isinf(m.get("b", "WinCE"))
+
+
+class TestOverheadModel:
+    def test_breakdown_terms(self):
+        model = OverheadModel(rho=0.8)
+        p = pad("x", size=8000, traffic=100_000, cli=0.1, srv=0.05)
+        b = model.breakdown(p, DEV, NTWK)
+        eff_bps = 100_000_000 * 0.8
+        assert b.download_s == pytest.approx(8000 * 8 / eff_bps)
+        assert b.server_comp_s == 0.05
+        # Linear model: std 500 MHz time scaled to 2 GHz = /4.
+        assert b.client_comp_s == pytest.approx(0.1 * STD_CPU_MHZ / 2000.0)
+        assert b.transmission_s == pytest.approx(100_000 * 8 / eff_bps)
+        assert b.total_s == pytest.approx(
+            b.download_s + b.server_comp_s + b.client_comp_s + b.transmission_s
+        )
+
+    def test_slower_network_costs_more(self):
+        model = OverheadModel()
+        p = pad("x")
+        assert model.total_overhead(p, DEV, SLOW) > model.total_overhead(p, DEV, NTWK)
+
+    def test_slower_cpu_raises_client_term(self):
+        model = OverheadModel()
+        p = pad("x")
+        fast = model.breakdown(p, DEV, NTWK)
+        slow = model.breakdown(p, PDA_DEV, NTWK)
+        assert slow.client_comp_s > fast.client_comp_s
+        assert slow.server_comp_s == fast.server_comp_s  # server unaffected
+
+    def test_ratio_matrices_applied_multiplicatively(self):
+        a = RatioMatrix("A")
+        a.set("x", "PXA255", 2.0)
+        b = RatioMatrix("B")
+        b.set("x", "WinCE4.2", 3.0)
+        model = OverheadModel(cpu_matrix=a, os_matrix=b)
+        plain = OverheadModel()
+        withm = model.breakdown(pad("x"), PDA_DEV, NTWK).client_comp_s
+        without = plain.breakdown(pad("x"), PDA_DEV, NTWK).client_comp_s
+        assert withm == pytest.approx(6.0 * without)
+
+    def test_infinity_ratio_makes_infeasible(self):
+        b = RatioMatrix("B")
+        b.disqualify("x", "WinCE4.2")
+        model = OverheadModel(os_matrix=b)
+        assert math.isinf(model.total_overhead(pad("x"), PDA_DEV, NTWK))
+
+    def test_memory_floor_disqualifies(self):
+        model = OverheadModel()
+        assert math.isinf(
+            model.total_overhead(pad("x", min_mem=128.0), PDA_DEV, NTWK)
+        )
+
+    def test_without_server_compute_variant(self):
+        model = OverheadModel()
+        variant = model.without_server_compute()
+        p = pad("x", srv=10.0)
+        assert variant.total_overhead(p, DEV, NTWK) == pytest.approx(
+            model.total_overhead(p, DEV, NTWK) - 10.0
+        )
+
+    def test_rho_validation(self):
+        with pytest.raises(MetadataError):
+            OverheadModel(rho=0.0)
+
+    def test_network_matrix_scales_transmission(self):
+        r = RatioMatrix("R")
+        r.set("x", "Bluetooth", 2.0)
+        model = OverheadModel(net_matrix=r)
+        plain = OverheadModel()
+        assert model.breakdown(pad("x"), DEV, SLOW).transmission_s == pytest.approx(
+            2.0 * plain.breakdown(pad("x"), DEV, SLOW).transmission_s
+        )
+
+    def test_paper_matrices_shape(self):
+        a, b, r = paper_case_study_matrices()
+        assert a.get("gzip", "PXA255") == 1.1
+        assert a.get("direct", "PXA255") == 1.0
+        assert b.get("vary", "WinCE4.2") == 1.0
+        assert r.get("bitmap", "Bluetooth") == 1.0
+
+
+class TestPathSearch:
+    def _fig5_pat(self):
+        """Fig. 5 with marks contrived so pad2->pad7 wins (cost 9 vs 14)."""
+        app = AppMeta(
+            "demo",
+            (
+                pad("pad1", traffic=0, cli=8 * 4, srv=0, size=0),   # mark 8
+                pad("pad2", traffic=0, cli=4 * 4, srv=0, size=0),   # mark 4
+                pad("pad3", traffic=0, cli=100 * 4, srv=0, size=0),
+                pad("pad4", parent="pad1", traffic=0, cli=6 * 4, srv=0, size=0),
+                pad("pad5", parent="pad1", traffic=0, cli=9 * 4, srv=0, size=0),
+                pad("pad6", parent="pad1", alias_of="pad7",
+                    traffic=0, cli=0, srv=0, size=0),
+                pad("pad7", parent="pad2", traffic=0, cli=5 * 4, srv=0, size=0),
+                pad("pad8", parent="pad2", traffic=0, cli=7 * 4, srv=0, size=0),
+            ),
+        )
+        return PAT.from_app_meta(app)
+
+    def test_fig6_example_path(self):
+        pat = self._fig5_pat()
+        result = find_adaptation_path(pat, OverheadModel(), DEV, NTWK)
+        assert result.pad_ids == ("pad2", "pad7")
+        assert result.total_overhead_s == pytest.approx(9.0)
+        assert result.paths_examined == 6
+
+    def test_alias_shares_targets_mark(self):
+        pat = self._fig5_pat()
+        marks = mark_tree(pat, OverheadModel(), DEV, NTWK)
+        assert marks["pad6"].total_s == marks["pad7"].total_s
+
+    def test_infeasible_node_poisons_its_paths(self):
+        pat = self._fig5_pat()
+        b = RatioMatrix("B")
+        b.disqualify("pad2", "FedoraCore2")
+        result = find_adaptation_path(pat, OverheadModel(os_matrix=b), DEV, NTWK)
+        # pad2's subtree is out; pad1->pad4 (8+6=14) wins... but pad6
+        # aliases pad7 (mark 5) giving pad1->pad6 = 13.
+        assert result.pad_ids == ("pad1", "pad6")
+        assert result.resolved_ids == ("pad1", "pad7")
+
+    def test_all_paths_infeasible_raises(self):
+        pat = self._fig5_pat()
+        b = RatioMatrix("B")
+        for pid in ("pad1", "pad2", "pad3"):
+            b.disqualify(pid, "FedoraCore2")
+        with pytest.raises(NegotiationError, match="no feasible"):
+            find_adaptation_path(pat, OverheadModel(os_matrix=b), DEV, NTWK)
+
+    def test_tie_breaks_deterministically(self):
+        app = AppMeta(
+            "t",
+            (pad("b", traffic=0, cli=4, srv=0, size=0),
+             pad("a", traffic=0, cli=4, srv=0, size=0)),
+        )
+        pat = PAT.from_app_meta(app)
+        result = find_adaptation_path(pat, OverheadModel(), DEV, NTWK)
+        assert result.pad_ids == ("a",)
+
+    def test_search_result_carries_marks(self):
+        pat = self._fig5_pat()
+        result = find_adaptation_path(pat, OverheadModel(), DEV, NTWK)
+        assert set(marks_id for marks_id in result.marks) >= {
+            "pad1", "pad2", "pad7"
+        }

@@ -1,0 +1,148 @@
+"""Protocol Adaptation Tree tests, including the Fig. 5 example shape."""
+
+import pytest
+
+from repro.core.errors import PATError
+from repro.core.metadata import AppMeta, PADMeta, PADOverhead
+from repro.core.pat import PAT
+
+
+def oh(traffic=1000.0, cli=0.01, srv=0.01):
+    return PADOverhead(traffic_std_bytes=traffic, client_comp_std_s=cli,
+                       server_comp_s=srv)
+
+
+def pad(pad_id, parent=None, alias_of=None, **kw):
+    return PADMeta(pad_id=pad_id, size_bytes=100, overhead=oh(**kw),
+                   parent=parent, alias_of=alias_of)
+
+
+@pytest.fixture()
+def fig5_pat():
+    """The paper's Fig. 5: three top PADs; PAD1 has children 4,5,6;
+    PAD2 has 7,8; PAD6 is a symbolic link to PAD7."""
+    app = AppMeta(
+        "demo",
+        (
+            pad("pad1"), pad("pad2"), pad("pad3"),
+            pad("pad4", parent="pad1"), pad("pad5", parent="pad1"),
+            pad("pad6", parent="pad1", alias_of="pad7"),
+            pad("pad7", parent="pad2"), pad("pad8", parent="pad2"),
+        ),
+    )
+    return PAT.from_app_meta(app)
+
+
+class TestConstruction:
+    def test_fig5_shape(self, fig5_pat):
+        assert len(fig5_pat) == 8
+        assert [n.pad_id for n in fig5_pat.root.children and
+                [fig5_pat.node(c) for c in fig5_pat.root.children]] == [
+            "pad1", "pad2", "pad3"
+        ]
+
+    def test_path_count_equals_leaf_count(self, fig5_pat):
+        # Leaves: pad4, pad5, pad6, pad7, pad8, pad3 -> 6 paths.
+        assert fig5_pat.path_count() == 6
+        assert len(list(fig5_pat.paths())) == 6
+
+    def test_paths_are_root_to_leaf(self, fig5_pat):
+        paths = [[n.pad_id for n in p] for p in fig5_pat.paths()]
+        assert ["pad1", "pad4"] in paths
+        assert ["pad2", "pad7"] in paths
+        assert ["pad3"] in paths
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(PATError, match="unknown parent"):
+            PAT.from_app_meta(AppMeta("a", (pad("x", parent="ghost"),)))
+
+    def test_alias_to_unknown_rejected(self):
+        with pytest.raises(PATError, match="aliases unknown"):
+            PAT.from_app_meta(AppMeta("a", (pad("x", alias_of="ghost"),)))
+
+    def test_alias_chain_rejected(self):
+        app = AppMeta(
+            "a",
+            (pad("real"), pad("link1", alias_of="real"),
+             pad("link2", alias_of="link1")),
+        )
+        with pytest.raises(PATError, match="alias chain"):
+            PAT.from_app_meta(app)
+
+    def test_cycle_rejected(self):
+        app = AppMeta("a", (pad("x", parent="y"), pad("y", parent="x")))
+        with pytest.raises(PATError):
+            PAT.from_app_meta(app)
+
+
+class TestQueries:
+    def test_resolve_through_symbolic_link(self, fig5_pat):
+        assert fig5_pat.resolve("pad6").pad_id == "pad7"
+        assert fig5_pat.resolve("pad7").pad_id == "pad7"
+
+    def test_node_lookup_unknown(self, fig5_pat):
+        with pytest.raises(PATError):
+            fig5_pat.node("nope")
+
+    def test_contains(self, fig5_pat):
+        assert "pad1" in fig5_pat and "nope" not in fig5_pat
+
+    def test_leaves(self, fig5_pat):
+        leaf_ids = {n.pad_id for n in fig5_pat.leaves()}
+        assert leaf_ids == {"pad3", "pad4", "pad5", "pad6", "pad7", "pad8"}
+
+    def test_root_has_no_identity(self, fig5_pat):
+        with pytest.raises(PATError):
+            _ = fig5_pat.root.resolved_id
+
+
+class TestExtension:
+    def test_add_leaf_pad(self, fig5_pat):
+        fig5_pat.add_pad(pad("pad9", parent="pad3"))
+        assert fig5_pat.path_count() == 6  # pad3 stopped being a leaf
+        assert fig5_pat.node("pad3").children == ["pad9"]
+
+    def test_add_top_level_pad_increases_paths(self, fig5_pat):
+        before = fig5_pat.path_count()
+        fig5_pat.add_pad(pad("pad10"))
+        assert fig5_pat.path_count() == before + 1
+
+    def test_add_duplicate_rejected(self, fig5_pat):
+        with pytest.raises(PATError, match="already"):
+            fig5_pat.add_pad(pad("pad1"))
+
+    def test_insert_between_mid_tree(self, fig5_pat):
+        """The paper's 'adding a new PAD in the middle' operation."""
+        fig5_pat.insert_between(pad("shim", parent="pad1"), ["pad4", "pad5"])
+        assert fig5_pat.node("pad1").children == ["pad6", "shim"]
+        assert fig5_pat.node("shim").children == ["pad4", "pad5"]
+        assert fig5_pat.node("pad4").parent == "shim"
+        # Paths now route through the shim.
+        paths = [[n.pad_id for n in p] for p in fig5_pat.paths()]
+        assert ["pad1", "shim", "pad4"] in paths
+
+    def test_insert_between_requires_current_children(self, fig5_pat):
+        with pytest.raises(PATError, match="not currently a child"):
+            fig5_pat.insert_between(pad("shim", parent="pad1"), ["pad7"])
+
+    def test_remove_leaf(self, fig5_pat):
+        fig5_pat.remove_pad("pad8")
+        assert "pad8" not in fig5_pat
+        assert fig5_pat.path_count() == 5
+
+    def test_remove_interior_rejected(self, fig5_pat):
+        with pytest.raises(PATError, match="has children"):
+            fig5_pat.remove_pad("pad1")
+
+    def test_remove_alias_target_rejected(self, fig5_pat):
+        with pytest.raises(PATError, match="aliased by"):
+            fig5_pat.remove_pad("pad7")
+
+    def test_remove_alias_then_target(self, fig5_pat):
+        fig5_pat.remove_pad("pad6")
+        fig5_pat.remove_pad("pad7")
+        assert fig5_pat.path_count() == 4
+
+    def test_remove_root_rejected(self, fig5_pat):
+        with pytest.raises(PATError):
+            fig5_pat.remove_pad("__root__")

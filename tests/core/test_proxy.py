@@ -1,0 +1,138 @@
+"""Adaptation proxy tests: negotiation manager, distribution manager, INP handler."""
+
+import pytest
+
+from repro.core import inp
+from repro.core.errors import NegotiationError
+from repro.core.inp import INPMessage, MsgType
+from repro.core.metadata import AppMeta, DevMeta, NtwkMeta, PADMeta, PADOverhead
+from repro.core.overhead import OverheadModel
+from repro.core.proxy import AdaptationProxy
+
+DEV = DevMeta("FedoraCore2", "PentiumIV", 2000.0, 512.0)
+NTWK = NtwkMeta("LAN", 100_000.0)
+
+
+def pad(pad_id, cli):
+    return PADMeta(
+        pad_id=pad_id, size_bytes=100,
+        overhead=PADOverhead(traffic_std_bytes=0, client_comp_std_s=cli,
+                             server_comp_s=0),
+    )
+
+
+@pytest.fixture()
+def proxy():
+    p = AdaptationProxy(OverheadModel())
+    p.push_app_meta(AppMeta("app", (pad("cheap", 0.01), pad("dear", 1.0))))
+    p.register_distribution("cheap", "c" * 40, "cdn://cheap/1")
+    p.register_distribution("dear", "d" * 40, "cdn://dear/1")
+    return p
+
+
+class TestNegotiation:
+    def test_negotiate_picks_cheapest(self, proxy):
+        metas = proxy.negotiate("app", DEV, NTWK)
+        assert [m.pad_id for m in metas] == ["cheap"]
+
+    def test_distribution_info_inserted(self, proxy):
+        (meta,) = proxy.negotiate("app", DEV, NTWK)
+        assert meta.digest == "c" * 40
+        assert meta.url == "cdn://cheap/1"
+
+    def test_cache_hit_on_repeat(self, proxy):
+        proxy.negotiate("app", DEV, NTWK)
+        proxy.negotiate("app", DEV, NTWK)
+        assert proxy.stats.cache_hits == 1
+        assert proxy.stats.cache_misses == 1
+        assert proxy.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_different_env_misses_cache(self, proxy):
+        proxy.negotiate("app", DEV, NTWK)
+        proxy.negotiate("app", DEV, NtwkMeta("WLAN", 11_000.0))
+        assert proxy.stats.cache_misses == 2
+
+    def test_unknown_app_rejected(self, proxy):
+        with pytest.raises(NegotiationError, match="no application"):
+            proxy.negotiate("ghost", DEV, NTWK)
+
+    def test_missing_distribution_info_rejected(self):
+        p = AdaptationProxy(OverheadModel())
+        p.push_app_meta(AppMeta("app", (pad("orphan", 0.01),)))
+        with pytest.raises(NegotiationError, match="distribution info"):
+            p.negotiate("app", DEV, NTWK)
+
+    def test_app_meta_push_invalidates_cache(self, proxy):
+        proxy.negotiate("app", DEV, NTWK)
+        # Re-push with 'cheap' removed; stale cache must not resurrect it.
+        proxy.push_app_meta(AppMeta("app", (pad("dear", 1.0),)))
+        metas = proxy.negotiate("app", DEV, NTWK)
+        assert [m.pad_id for m in metas] == ["dear"]
+        assert proxy.stats.cache_misses == 2
+
+
+class TestINPHandler:
+    def _negotiate_via_inp(self, proxy, session="s1"):
+        init = INPMessage(MsgType.INIT_REQ, session, 0, {"app_id": "app"})
+        rep = inp.decode(proxy.handle(inp.encode(init)))
+        rep.expect(MsgType.INIT_REP)
+        assert "cli_meta_req" in rep.body
+        cli = rep.reply(
+            MsgType.CLI_META_REP,
+            {"dev_meta": DEV.to_wire(), "ntwk_meta": NTWK.to_wire()},
+        )
+        return inp.decode(proxy.handle(inp.encode(cli)))
+
+    def test_full_inp_exchange(self, proxy):
+        final = self._negotiate_via_inp(proxy)
+        final.expect(MsgType.PAD_META_REP)
+        pads = final.body["pads"]
+        assert pads[0]["pad_id"] == "cheap"
+        # Links hidden on the wire (the distribution manager's job).
+        assert "parent" not in pads[0] and "children" not in pads[0]
+
+    def test_init_rep_carries_empty_meta_shapes(self, proxy):
+        init = INPMessage(MsgType.INIT_REQ, "s2", 0, {"app_id": "app"})
+        rep = inp.decode(proxy.handle(inp.encode(init)))
+        shapes = rep.body["cli_meta_req"]
+        assert shapes["dev_meta"]["cpu_mhz"] == 0
+        assert shapes["ntwk_meta"]["network_type"] == ""
+
+    def test_unknown_app_reported_at_init(self, proxy):
+        init = INPMessage(MsgType.INIT_REQ, "s3", 0, {"app_id": "ghost"})
+        rep = inp.decode(proxy.handle(inp.encode(init)))
+        assert rep.msg_type is MsgType.INP_ERROR
+        assert proxy.stats.errors == 1
+
+    def test_meta_rep_without_session_rejected(self, proxy):
+        cli = INPMessage(
+            MsgType.CLI_META_REP, "never-initialized", 1,
+            {"dev_meta": DEV.to_wire(), "ntwk_meta": NTWK.to_wire()},
+        )
+        rep = inp.decode(proxy.handle(inp.encode(cli)))
+        assert rep.msg_type is MsgType.INP_ERROR
+
+    def test_session_is_single_use(self, proxy):
+        self._negotiate_via_inp(proxy, session="s4")
+        cli = INPMessage(
+            MsgType.CLI_META_REP, "s4", 2,
+            {"dev_meta": DEV.to_wire(), "ntwk_meta": NTWK.to_wire()},
+        )
+        rep = inp.decode(proxy.handle(inp.encode(cli)))
+        assert rep.msg_type is MsgType.INP_ERROR
+
+    def test_malformed_packet_answered_with_error(self, proxy):
+        rep = inp.decode(proxy.handle(b"not inp at all"))
+        assert rep.msg_type is MsgType.INP_ERROR
+
+    def test_unsupported_type_answered_with_error(self, proxy):
+        msg = INPMessage(MsgType.APP_REQ, "s5", 0, {})
+        rep = inp.decode(proxy.handle(inp.encode(msg)))
+        assert rep.msg_type is MsgType.INP_ERROR
+
+    def test_malformed_dev_meta_answered_with_error(self, proxy):
+        init = INPMessage(MsgType.INIT_REQ, "s6", 0, {"app_id": "app"})
+        proxy.handle(inp.encode(init))
+        cli = INPMessage(MsgType.CLI_META_REP, "s6", 1, {"dev_meta": {}})
+        rep = inp.decode(proxy.handle(inp.encode(cli)))
+        assert rep.msg_type is MsgType.INP_ERROR

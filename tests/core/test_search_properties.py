@@ -1,0 +1,94 @@
+"""Property tests: the Fig. 6 search against a brute-force oracle on
+randomly generated PATs."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import NegotiationError
+from repro.core.metadata import AppMeta, DevMeta, NtwkMeta, PADMeta, PADOverhead
+from repro.core.overhead import OverheadModel
+from repro.core.pat import PAT
+from repro.core.search import find_adaptation_path, mark_tree
+
+DEV = DevMeta("FedoraCore2", "PentiumIV", 2000.0, 512.0)
+NTWK = NtwkMeta("LAN", 100_000.0)
+MODEL = OverheadModel()
+
+
+@st.composite
+def random_pat(draw):
+    """A random tree of 1..12 PADs (each node's parent precedes it)."""
+    n = draw(st.integers(1, 12))
+    pads = []
+    for i in range(n):
+        parent = None
+        if i > 0 and draw(st.booleans()):
+            parent = f"p{draw(st.integers(0, i - 1))}"
+        # Cost enters via client compute on the std processor; x4 makes
+        # the desktop-scaled mark equal the drawn integer.
+        cost = draw(st.integers(0, 50))
+        pads.append(
+            PADMeta(
+                pad_id=f"p{i}",
+                size_bytes=0,
+                overhead=PADOverhead(0.0, cost * 4.0, 0.0),
+                parent=parent,
+            )
+        )
+    return PAT.from_app_meta(AppMeta("prop", tuple(pads)))
+
+
+class TestSearchProperties:
+    @given(random_pat())
+    @settings(max_examples=60, deadline=None)
+    def test_path_count_equals_leaf_count(self, pat):
+        assert pat.path_count() == len(pat.leaves())
+        assert len(list(pat.paths())) == pat.path_count()
+
+    @given(random_pat())
+    @settings(max_examples=60, deadline=None)
+    def test_every_path_is_root_to_leaf(self, pat):
+        for path in pat.paths():
+            assert path, "paths must be non-empty"
+            # First node hangs off the root; each next node is a child of
+            # the previous; the last is a leaf.
+            assert pat.node(path[0].pad_id).parent == "__root__"
+            for a, b in zip(path, path[1:]):
+                assert b.pad_id in pat.node(a.pad_id).children
+            assert pat.node(path[-1].pad_id).is_leaf
+
+    @given(random_pat())
+    @settings(max_examples=60, deadline=None)
+    def test_search_matches_brute_force(self, pat):
+        marks = mark_tree(pat, MODEL, DEV, NTWK)
+        brute = min(
+            sum(marks[n.pad_id].total_s for n in path)
+            for path in pat.paths()
+        )
+        result = find_adaptation_path(pat, MODEL, DEV, NTWK)
+        assert result.total_overhead_s == brute
+        # And the reported path really sums to the reported cost.
+        assert sum(
+            marks[p].total_s for p in result.pad_ids
+        ) == result.total_overhead_s
+
+    @given(random_pat(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_disqualifying_the_winner_changes_or_kills_the_result(
+        self, pat, data
+    ):
+        result = find_adaptation_path(pat, MODEL, DEV, NTWK)
+        # Poison every node of the winning path via the OS matrix.
+        from repro.core.overhead import RatioMatrix
+
+        b = RatioMatrix("B")
+        for pad_id in result.pad_ids:
+            b.disqualify(pad_id, DEV.os_type)
+        poisoned = OverheadModel(os_matrix=b)
+        try:
+            new_result = find_adaptation_path(pat, poisoned, DEV, NTWK)
+        except NegotiationError:
+            return  # every path went through the winner: acceptable
+        assert set(new_result.pad_ids).isdisjoint(set(result.pad_ids))
+        assert math.isfinite(new_result.total_overhead_s)

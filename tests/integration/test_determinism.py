@@ -1,0 +1,60 @@
+"""Reproducibility: two independently assembled systems agree on
+everything the figures report."""
+
+import pytest
+
+from repro.bench.capacity import (
+    negotiation_time_experiment,
+    retrieval_time_experiment,
+)
+from repro.bench.experiments import measure_traffic, negotiated_winner
+from repro.core.era import era_overheads
+from repro.core.system import build_case_study
+from repro.workload.pages import Corpus
+from repro.workload.profiles import PAPER_ENVIRONMENTS
+
+
+class TestDeterminism:
+    def test_measured_traffic_identical_across_builds(self):
+        a = measure_traffic(Corpus(n_pages=2), page_ids=(0,))
+        b = measure_traffic(Corpus(n_pages=2), page_ids=(0,))
+        for pad in a:
+            assert a[pad]["traffic"] == b[pad]["traffic"]
+
+    def test_era_winners_identical_across_builds(self):
+        winners = []
+        for _ in range(2):
+            corpus = Corpus(n_pages=1)
+            system = build_case_study(
+                corpus=corpus, calibrate=True, calibration_pages=1, era=True
+            )
+            winners.append(
+                tuple(negotiated_winner(system, env) for env in PAPER_ENVIRONMENTS)
+            )
+        assert winners[0] == winners[1] == ("direct", "gzip", "bitmap")
+
+    def test_era_overheads_do_not_depend_on_wallclock(self):
+        """Two calibration passes measure different wall times, but the
+        era model must wash that out of the compute terms."""
+        corpus = Corpus(n_pages=1)
+        from repro.core.calibration import calibrate_overheads
+
+        a = era_overheads(calibrate_overheads(corpus, n_pages=1))
+        b = era_overheads(calibrate_overheads(corpus, n_pages=1))
+        for pad in a:
+            assert a[pad] == b[pad]
+
+    def test_capacity_experiments_reproducible(self):
+        s1 = negotiation_time_experiment(client_counts=(50, 200))
+        s2 = negotiation_time_experiment(client_counts=(50, 200))
+        assert s1.ys == s2.ys
+        c1, d1 = retrieval_time_experiment(client_counts=(100,))
+        c2, d2 = retrieval_time_experiment(client_counts=(100,))
+        assert c1.ys == c2.ys and d1.ys == d2.ys
+
+    def test_signed_module_digest_stable_across_processes(self):
+        """The PAD digest in PADMeta must be a pure function of the
+        source, or CDN-cached modules would spuriously fail verification."""
+        from repro.protocols.padlib import build_pad_module
+
+        assert build_pad_module("vary").digest() == build_pad_module("vary").digest()

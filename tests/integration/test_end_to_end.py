@@ -1,0 +1,84 @@
+"""Full-system integration tests over the in-process transport."""
+
+import pytest
+
+from repro.core.system import APP_ID, build_case_study
+from repro.workload.profiles import PAPER_ENVIRONMENTS
+
+
+@pytest.fixture(scope="module")
+def system(small_corpus):
+    return build_case_study(corpus=small_corpus, calibrate=False)
+
+
+def parts_of(corpus, page_id, version):
+    page = corpus.evolved(page_id, version)
+    return [page.text, *page.images]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("env", PAPER_ENVIRONMENTS, ids=lambda e: e.label)
+    def test_every_paper_environment_round_trips(self, system, env):
+        client = system.make_client(env)
+        old = parts_of(system.corpus, 0, 0)
+        result = client.request_page(
+            APP_ID, 0, old_parts=old, old_version=0, new_version=1
+        )
+        assert result.parts == parts_of(system.corpus, 0, 1)
+
+    def test_negotiation_traverses_full_inp_sequence(self, system):
+        client = system.make_client(PAPER_ENVIRONMENTS[0])
+        outcome = client.negotiate(APP_ID, force=True)
+        assert not outcome.from_cache
+        assert outcome.negotiation_time_s > 0
+        assert all(m.url and m.digest for m in outcome.pads)
+
+    def test_pad_blobs_come_from_cdn_edges(self, system):
+        served_before = sum(e.requests_served for e in system.deployment.edges)
+        client = system.make_client(PAPER_ENVIRONMENTS[1])
+        client.request_page(APP_ID, 0, new_version=0)
+        served_after = sum(e.requests_served for e in system.deployment.edges)
+        assert served_after > served_before
+
+    def test_tampered_cdn_object_is_rejected(self, small_corpus):
+        system = build_case_study(corpus=small_corpus, calibrate=False)
+        # Corrupt the blob at the origin and purge edge caches so the
+        # tampered copy is what clients receive.
+        origin = system.deployment.origin
+        key = next(k for k in origin.keys())
+        original = origin.fetch(key)
+        origin.publish(key, original[:-30] + b"x" * 30)
+        for edge in system.deployment.edges:
+            edge.invalidate(key)
+
+        from repro.mobilecode import MobileCodeError, SigningError
+
+        client = system.make_client(PAPER_ENVIRONMENTS[0])
+        pad_id = key.split("/")[0]
+        # Force the client to deploy exactly that PAD.
+        outcome = client.negotiate(APP_ID)
+        if pad_id not in {m.resolved_id for m in outcome.pads}:
+            pytest.skip("negotiated path does not include the tampered PAD")
+        with pytest.raises((MobileCodeError, SigningError, Exception)):
+            client.request_page(APP_ID, 0, new_version=0)
+
+    def test_many_clients_share_one_system(self, system):
+        for env in PAPER_ENVIRONMENTS:
+            for _ in range(3):
+                client = system.make_client(env)
+                result = client.request_page(APP_ID, 1, new_version=0)
+                assert result.parts == parts_of(system.corpus, 1, 0)
+        # Adaptation cache served the repeats.
+        assert system.proxy.stats.cache_hits >= 6
+
+    def test_version_chain_convergence(self, system):
+        """Following v0->v1->v2 by delta equals downloading v2 directly."""
+        client = system.make_client(PAPER_ENVIRONMENTS[2])
+        parts = parts_of(system.corpus, 2, 0)
+        for version in (1, 2):
+            result = client.request_page(
+                APP_ID, 2, old_parts=parts, old_version=version - 1,
+                new_version=version,
+            )
+            parts = result.parts
+        assert parts == parts_of(system.corpus, 2, 2)

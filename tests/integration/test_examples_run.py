@@ -1,0 +1,33 @@
+"""Every example script must run to completion (they are living docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = pathlib.Path(__file__).parents[2] / "examples" / script
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout}\n"
+        f"--- stderr ---\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_example_inventory():
+    """The README promises at least these runnable examples."""
+    assert {"quickstart.py", "medical_imaging.py", "mobile_handoff.py",
+            "custom_pad.py", "content_adaptation.py"} <= set(EXAMPLES)

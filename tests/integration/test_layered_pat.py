@@ -1,0 +1,88 @@
+"""Multi-level PAT end to end: negotiation over the Fig. 5 shape,
+symbolic copies, and two-PAD stack deployment through mobile code."""
+
+import pytest
+
+from repro.core.layered import build_layered_case_study, measure_delta_traffic
+from repro.core.system import APP_ID
+from repro.workload.profiles import DESKTOP_LAN, PDA_BLUETOOTH
+
+
+@pytest.fixture(scope="module")
+def layered(small_corpus):
+    return build_layered_case_study(corpus=small_corpus)
+
+
+def parts_of(corpus, page_id, version):
+    page = corpus.evolved(page_id, version)
+    return [page.text, *page.images]
+
+
+class TestLayeredTopology:
+    def test_tree_shape(self, layered):
+        pat = layered.proxy.negotiation.pat(APP_ID)
+        assert pat.node("vary").children == ["plain-layer", "gzip-layer"]
+        assert pat.node("bitmap").children == [
+            "plain-layer@bitmap", "gzip-layer@bitmap",
+        ]
+        # Leaves: direct, gzip, and the four layer positions.
+        assert pat.path_count() == 6
+
+    def test_symbolic_copies_resolve(self, layered):
+        pat = layered.proxy.negotiation.pat(APP_ID)
+        assert pat.resolve("gzip-layer@bitmap").pad_id == "gzip-layer"
+        assert pat.resolve("plain-layer@bitmap").pad_id == "plain-layer"
+
+    def test_interior_nodes_carry_no_traffic(self, layered):
+        pat = layered.proxy.negotiation.pat(APP_ID)
+        assert pat.resolve("vary").overhead.traffic_std_bytes == 0.0
+        assert pat.resolve("bitmap").overhead.traffic_std_bytes == 0.0
+
+    def test_delta_compression_measurement(self, small_corpus):
+        raw, compressed = measure_delta_traffic(small_corpus, "vary")
+        assert 0 < compressed < raw
+
+
+class TestLayeredNegotiation:
+    def test_slow_network_negotiates_two_pad_path(self, layered):
+        client = layered.make_client(PDA_BLUETOOTH)
+        outcome = client.negotiate(APP_ID)
+        resolved = [m.resolved_id for m in outcome.pads]
+        # On Bluetooth the winning path is a differencing PAD plus a
+        # payload layer (two nodes deep).
+        assert len(resolved) == 2
+        assert resolved[0] in ("vary", "bitmap")
+        assert resolved[1] in ("plain-layer", "gzip-layer")
+
+    def test_fast_network_stays_single_pad(self, layered):
+        client = layered.make_client(DESKTOP_LAN)
+        outcome = client.negotiate(APP_ID)
+        assert [m.resolved_id for m in outcome.pads] == ["direct"]
+
+    def test_two_pad_session_round_trips(self, layered):
+        client = layered.make_client(PDA_BLUETOOTH)
+        old = parts_of(layered.corpus, 0, 0)
+        result = client.request_page(
+            APP_ID, 0, old_parts=old, old_version=0, new_version=1
+        )
+        assert result.parts == parts_of(layered.corpus, 0, 1)
+        assert len(result.pad_ids) == 2
+
+    def test_two_modules_downloaded_and_loaded(self, layered):
+        client = layered.make_client(PDA_BLUETOOTH)
+        client.request_page(APP_ID, 1, new_version=0)
+        loaded = set(client.loader.loaded)
+        assert len(loaded) == 2
+        assert loaded & {"vary", "bitmap"}
+        assert loaded & {"plain-layer", "gzip-layer"}
+
+    def test_stacked_traffic_not_worse_than_flat_differencer(
+        self, layered, small_corpus
+    ):
+        client = layered.make_client(PDA_BLUETOOTH)
+        old = parts_of(small_corpus, 0, 0)
+        result = client.request_page(
+            APP_ID, 0, old_parts=old, old_version=0, new_version=1
+        )
+        raw, _ = measure_delta_traffic(small_corpus, result.pad_ids[0])
+        assert result.app_traffic_bytes <= raw * 1.02  # layer never hurts

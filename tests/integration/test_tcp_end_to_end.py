@@ -1,0 +1,66 @@
+"""The same negotiation + session flow over real TCP loopback sockets."""
+
+import pytest
+
+from repro.core.system import (
+    APP_ID,
+    APPSERVER_ENDPOINT,
+    PROXY_ENDPOINT,
+    build_case_study,
+)
+from repro.core.client import FractalClient
+from repro.simnet.realnet import TcpTransport
+from repro.workload.profiles import DESKTOP_LAN, PDA_BLUETOOTH
+
+
+@pytest.fixture(scope="module")
+def tcp_system(small_corpus):
+    system = build_case_study(corpus=small_corpus, calibrate=False)
+    tcp = TcpTransport()
+    tcp.bind(PROXY_ENDPOINT, system.proxy.handle)
+    tcp.bind(APPSERVER_ENDPOINT, system.appserver.handle)
+    yield system, tcp
+    tcp.close()
+
+
+def make_tcp_client(system, tcp, env, name):
+    redirector = system.deployment.redirector
+    site = system.deployment.client_sites[0]
+    return FractalClient(
+        name,
+        env,
+        transport=tcp,
+        proxy_endpoint=PROXY_ENDPOINT,
+        appserver_endpoint=APPSERVER_ENDPOINT,
+        cdn_fetch=lambda key: redirector.fetch(site, key)[0],
+        trust_store=system.trust_store,
+    )
+
+
+class TestTcpEndToEnd:
+    def test_negotiation_over_sockets(self, tcp_system):
+        system, tcp = tcp_system
+        client = make_tcp_client(system, tcp, DESKTOP_LAN, "tcp-cli-1")
+        outcome = client.negotiate(APP_ID)
+        assert outcome.pads
+        assert outcome.negotiation_time_s > 0
+
+    def test_full_session_over_sockets(self, tcp_system):
+        system, tcp = tcp_system
+        client = make_tcp_client(system, tcp, PDA_BLUETOOTH, "tcp-cli-2")
+        old_page = system.corpus.evolved(0, 0)
+        result = client.request_page(
+            APP_ID, 0,
+            old_parts=[old_page.text, *old_page.images],
+            old_version=0, new_version=1,
+        )
+        new_page = system.corpus.evolved(0, 1)
+        assert result.parts == [new_page.text, *new_page.images]
+
+    def test_inp_errors_cross_the_socket(self, tcp_system):
+        system, tcp = tcp_system
+        client = make_tcp_client(system, tcp, DESKTOP_LAN, "tcp-cli-3")
+        from repro.core.errors import ProtocolMismatchError
+
+        with pytest.raises(ProtocolMismatchError):
+            client.negotiate("no-such-application")

@@ -1,0 +1,145 @@
+"""PAD upgrade workflow and peer-to-peer model tests."""
+
+import pytest
+
+from repro.core.errors import NegotiationError
+from repro.core.peer import FractalPeer
+from repro.core.system import APP_ID, PROXY_ENDPOINT, build_case_study
+from repro.workload.pages import Corpus
+from repro.workload.profiles import DESKTOP_LAN, LAPTOP_WLAN, PDA_BLUETOOTH
+
+
+@pytest.fixture()
+def system(small_corpus):
+    return build_case_study(corpus=small_corpus, calibrate=False)
+
+
+class TestPadUpgrade:
+    def _upgrade(self, system, pad_id="gzip", version="2.0"):
+        return system.appserver.upgrade_pad(
+            pad_id,
+            system.proxy,
+            system.deployment.origin,
+            system.deployment.edges,
+            version=version,
+        )
+
+    def test_new_version_published_old_withdrawn(self, system):
+        self._upgrade(system)
+        keys = system.deployment.origin.keys()
+        assert "gzip/2.0" in keys
+        assert "gzip/1.0" not in keys
+
+    def test_edges_warmed_with_new_version(self, system):
+        self._upgrade(system)
+        assert all(
+            e.has_cached("gzip/2.0") and not e.has_cached("gzip/1.0")
+            for e in system.deployment.edges
+        )
+
+    def test_negotiation_hands_out_new_digest(self, system):
+        client = system.make_client(LAPTOP_WLAN)
+        before = {
+            m.resolved_id: m.digest for m in client.negotiate(APP_ID).pads
+        }
+        new_digest = self._upgrade(system)
+        client2 = system.make_client(LAPTOP_WLAN)
+        after = {
+            m.resolved_id: m.digest for m in client2.negotiate(APP_ID).pads
+        }
+        if "gzip" in after:
+            assert after["gzip"] == new_digest
+            assert after["gzip"] != before.get("gzip")
+
+    def test_adaptation_cache_invalidated(self, system):
+        client = system.make_client(LAPTOP_WLAN)
+        client.negotiate(APP_ID)
+        misses = system.proxy.stats.cache_misses
+        self._upgrade(system)
+        client2 = system.make_client(LAPTOP_WLAN)
+        client2.negotiate(APP_ID)
+        assert system.proxy.stats.cache_misses == misses + 1
+
+    def test_stale_client_recovers_transparently(self, system):
+        """A client that negotiated before the upgrade must still work:
+        the digest check fails on the stale metadata and the client
+        renegotiates once."""
+        client = system.make_client(PDA_BLUETOOTH)
+        outcome = client.negotiate(APP_ID)
+        pad_id = outcome.pads[-1].resolved_id
+        self._upgrade(system, pad_id=pad_id, version="3.1")
+        result = client.request_page(APP_ID, 0, new_version=0)
+        page = system.corpus.evolved(0, 0)
+        assert result.parts == [page.text, *page.images]
+        assert not result.negotiated_from_cache  # it had to renegotiate
+
+    def test_unknown_pad_rejected(self, system):
+        with pytest.raises(NegotiationError):
+            self._upgrade(system, pad_id="quantum")
+
+
+class TestPeerToPeer:
+    @pytest.fixture()
+    def peers(self, system):
+        def make_peer(name, env, corpus):
+            site = system.deployment.client_sites[0]
+            redirector = system.deployment.redirector
+            peer = FractalPeer(
+                name,
+                env,
+                corpus,
+                transport=system.transport,
+                proxy_endpoint=PROXY_ENDPOINT,
+                cdn_fetch=lambda key: redirector.fetch(site, key)[0],
+                trust_store=system.trust_store,
+                signer=system.appserver.signer,
+                app_id=APP_ID,
+            )
+            peer.deploy_pads_like(system.appserver)
+            return peer
+
+        # Two peers with *distinct* corpora (different seeds).
+        alice = make_peer("alice", DESKTOP_LAN, Corpus(n_pages=2, seed=11))
+        bob = make_peer("bob", PDA_BLUETOOTH, Corpus(n_pages=2, seed=22))
+        yield alice, bob
+        alice.close()
+        bob.close()
+
+    def test_peer_fetches_from_peer(self, peers):
+        alice, bob = peers
+        result = alice.fetch_from(bob, 0, new_version=0)
+        page = bob.corpus.evolved(0, 0)
+        assert result.parts == [page.text, *page.images]
+
+    def test_symmetric_exchange(self, peers):
+        alice, bob = peers
+        a_from_b = alice.fetch_from(bob, 1, new_version=0)
+        b_from_a = bob.fetch_from(alice, 1, new_version=0)
+        assert a_from_b.parts != b_from_a.parts  # distinct corpora
+        assert b_from_a.parts == [
+            alice.corpus.evolved(1, 0).text, *alice.corpus.evolved(1, 0).images
+        ]
+
+    def test_negotiation_keyed_by_requesting_peer(self, system, peers):
+        """Each peer's negotiation is keyed by its *own* environment: the
+        adaptation cache gains one distinct entry per requesting peer."""
+        alice, bob = peers
+        before = len(system.proxy.distribution)
+        alice.fetch_from(bob, 0, new_version=0)
+        bob.fetch_from(alice, 0, new_version=0)
+        assert len(system.proxy.distribution) == before + 2
+
+    def test_differential_sync_between_peers(self, peers):
+        alice, bob = peers
+        old = bob.corpus.evolved(0, 0)
+        old_parts = [old.text, *old.images]
+        result = alice.fetch_from(
+            bob, 0, old_parts=old_parts, old_version=0, new_version=1
+        )
+        new = bob.corpus.evolved(0, 1)
+        assert result.parts == [new.text, *new.images]
+
+    def test_self_fetch_rejected(self, peers):
+        alice, _ = peers
+        with pytest.raises(ValueError):
+            alice.fetch_from(alice, 0)

@@ -1,0 +1,84 @@
+"""Module loader pipeline tests: verify -> sandbox -> instantiate."""
+
+import pytest
+
+from repro.mobilecode.loader import ModuleLoader
+from repro.mobilecode.module import MobileCodeError, MobileCodeModule
+from repro.mobilecode.rsa import generate_keypair
+from repro.mobilecode.sandbox import SandboxViolation
+from repro.mobilecode.signing import Signer, SigningError, TrustStore
+
+SOURCE = """
+class Adder:
+    def __init__(self, base=0):
+        self.base = base
+    def add(self, x):
+        return self.base + x
+"""
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(768)
+
+
+@pytest.fixture(scope="module")
+def signer(keypair):
+    return Signer("publisher", keypair)
+
+
+@pytest.fixture()
+def loader(keypair):
+    store = TrustStore()
+    store.trust("publisher", keypair.public)
+    return ModuleLoader(store)
+
+
+def make_signed(signer, source=SOURCE, entry="Adder", name="adder"):
+    return signer.sign(
+        MobileCodeModule(name=name, version="1", source=source, entry_point=entry)
+    )
+
+
+class TestLoader:
+    def test_load_and_instantiate(self, loader, signer):
+        loaded = loader.load(make_signed(signer), init_kwargs={"base": 10})
+        assert loaded.instance.add(5) == 15
+
+    def test_expected_digest_checked(self, loader, signer):
+        signed = make_signed(signer)
+        loader.load(signed, expected_digest=signed.module.digest())
+        with pytest.raises(MobileCodeError, match="digest mismatch"):
+            loader.load(signed, expected_digest="f" * 40)
+
+    def test_missing_entry_point(self, loader, signer):
+        signed = make_signed(signer, entry="Nonexistent")
+        with pytest.raises(MobileCodeError, match="does not define"):
+            loader.load(signed)
+
+    def test_non_callable_entry_point(self, loader, signer):
+        signed = make_signed(signer, source="Entry = 42\n", entry="Entry")
+        with pytest.raises(MobileCodeError, match="not callable"):
+            loader.load(signed)
+
+    def test_untrusted_signer_blocked(self, loader):
+        stranger = Signer("stranger", generate_keypair(768))
+        with pytest.raises(SigningError):
+            loader.load(make_signed(stranger))
+
+    def test_signature_can_be_waived_explicitly(self, keypair):
+        loader = ModuleLoader(TrustStore(), require_signature=False)
+        stranger = Signer("stranger", generate_keypair(768))
+        loaded = loader.load(make_signed(stranger))
+        assert loaded.instance.add(1) == 1
+
+    def test_sandbox_violation_stops_load(self, loader, signer):
+        signed = make_signed(signer, source="import os\n", entry="str")
+        with pytest.raises(SandboxViolation):
+            loader.load(signed)
+
+    def test_loaded_registry(self, loader, signer):
+        loader.load(make_signed(signer))
+        assert loader.get("adder") is not None
+        loader.unload("adder")
+        assert loader.get("adder") is None

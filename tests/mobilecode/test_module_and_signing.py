@@ -1,0 +1,156 @@
+"""Mobile-code module packaging and signing tests."""
+
+import pytest
+
+from repro.mobilecode.module import MobileCodeError, MobileCodeModule
+from repro.mobilecode.rsa import generate_keypair
+from repro.mobilecode.signing import SignedModule, Signer, SigningError, TrustStore
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(768)
+
+
+@pytest.fixture()
+def module():
+    return MobileCodeModule(
+        name="demo",
+        version="1.2",
+        source="class Entry:\n    def run(self):\n        return 42\n",
+        entry_point="Entry",
+        capabilities=("math",),
+        metadata={"note": "test"},
+    )
+
+
+class TestMobileCodeModule:
+    def test_canonical_roundtrip(self, module):
+        blob = module.canonical_bytes()
+        restored = MobileCodeModule.from_canonical_bytes(blob)
+        assert restored == module
+
+    def test_canonical_is_deterministic(self, module):
+        assert module.canonical_bytes() == module.canonical_bytes()
+
+    def test_digest_is_sha1_hex(self, module):
+        digest = module.digest()
+        assert len(digest) == 40
+        assert int(digest, 16) >= 0
+
+    def test_digest_changes_with_source(self, module):
+        other = MobileCodeModule(
+            name=module.name, version=module.version,
+            source=module.source + "# changed", entry_point=module.entry_point,
+        )
+        assert other.digest() != module.digest()
+
+    def test_verify_digest_accepts_match(self, module):
+        module.verify_digest(module.digest().upper())  # case-insensitive
+
+    def test_verify_digest_rejects_mismatch(self, module):
+        with pytest.raises(MobileCodeError, match="digest mismatch"):
+            module.verify_digest("0" * 40)
+
+    def test_size_matches_canonical(self, module):
+        assert module.size == len(module.canonical_bytes())
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(MobileCodeError):
+            MobileCodeModule(name="", version="1", source="", entry_point="E")
+        with pytest.raises(MobileCodeError):
+            MobileCodeModule(name="a/b", version="1", source="", entry_point="E")
+
+    def test_invalid_entry_point_rejected(self):
+        with pytest.raises(MobileCodeError):
+            MobileCodeModule(name="m", version="1", source="", entry_point="not valid")
+
+    def test_undecodable_blob_rejected(self):
+        with pytest.raises(MobileCodeError):
+            MobileCodeModule.from_canonical_bytes(b"\xff\xfe not json")
+
+    def test_wrong_wire_version_rejected(self, module):
+        import json
+
+        payload = json.loads(module.canonical_bytes())
+        payload["wire_version"] = 99
+        with pytest.raises(MobileCodeError, match="wire version"):
+            MobileCodeModule.from_canonical_bytes(json.dumps(payload).encode())
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip(self, keypair, module):
+        signer = Signer("origin", keypair)
+        signed = signer.sign(module)
+        store = TrustStore()
+        store.trust("origin", keypair.public)
+        assert store.verify(signed) == module
+
+    def test_wire_roundtrip(self, keypair, module):
+        signed = Signer("origin", keypair).sign(module)
+        restored = SignedModule.from_wire(signed.to_wire())
+        assert restored.module == module
+        assert restored.signature == signed.signature
+
+    def test_untrusted_signer_rejected(self, keypair, module):
+        signed = Signer("stranger", keypair).sign(module)
+        with pytest.raises(SigningError, match="not in the trust list"):
+            TrustStore().verify(signed)
+
+    def test_tampered_module_rejected(self, keypair, module):
+        signed = Signer("origin", keypair).sign(module)
+        tampered = SignedModule(
+            module=MobileCodeModule(
+                name=module.name, version=module.version,
+                source=module.source + "#", entry_point=module.entry_point,
+            ),
+            signer=signed.signer,
+            signature=signed.signature,
+        )
+        store = TrustStore()
+        store.trust("origin", keypair.public)
+        with pytest.raises(SigningError, match="invalid signature"):
+            store.verify(tampered)
+
+    def test_forged_signer_name_rejected(self, keypair, module):
+        """Mallory signs with her key but claims to be 'origin'."""
+        mallory = generate_keypair(768)
+        forged = SignedModule(
+            module=module,
+            signer="origin",
+            signature=Signer("x", mallory).sign(module).signature,
+        )
+        store = TrustStore()
+        store.trust("origin", keypair.public)
+        with pytest.raises(SigningError, match="invalid signature"):
+            store.verify(forged)
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(MobileCodeError):
+            SignedModule.from_wire(b"garbage")
+
+    def test_empty_signer_name_rejected(self, keypair):
+        with pytest.raises(SigningError):
+            Signer("", keypair)
+
+
+class TestTrustStore:
+    def test_trust_and_revoke(self, keypair):
+        store = TrustStore()
+        store.trust("a", keypair.public)
+        assert store.is_trusted("a")
+        store.revoke("a")
+        assert not store.is_trusted("a")
+
+    def test_silent_key_replacement_refused(self, keypair):
+        store = TrustStore()
+        store.trust("a", keypair.public)
+        other = generate_keypair(768)
+        with pytest.raises(SigningError, match="revoke first"):
+            store.trust("a", other.public)
+
+    def test_same_key_retrust_is_noop(self, keypair):
+        store = TrustStore()
+        store.trust("a", keypair.public)
+        store.trust("a", keypair.public)  # no error
+        assert store.trusted_names() == ["a"]

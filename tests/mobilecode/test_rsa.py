@@ -1,0 +1,105 @@
+"""From-scratch RSA tests."""
+
+import pytest
+
+from repro.mobilecode.rsa import (
+    PrivateKey,
+    PublicKey,
+    RSAError,
+    _is_probable_prime,
+    generate_keypair,
+    sign,
+    verify,
+)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_keypair(768)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 97, 101, 65537):
+            assert _is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 91, 561, 65535):
+            assert not _is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that Miller-Rabin must catch.
+        for n in (561, 1105, 1729, 2465, 6601):
+            assert not _is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        assert _is_probable_prime(2**127 - 1)  # Mersenne
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, key):
+        assert 760 <= key.n.bit_length() <= 768
+
+    def test_ed_inverse(self, key):
+        # d*e == 1 mod phi implies m^(ed) == m mod n for random m.
+        m = 0xDEADBEEF
+        assert pow(pow(m, key.e, key.n), key.d, key.n) == m
+
+    def test_too_small_rejected(self):
+        with pytest.raises(RSAError):
+            generate_keypair(128)
+
+    def test_public_derivation(self, key):
+        pub = key.public
+        assert pub.n == key.n and pub.e == key.e
+
+
+class TestSignVerify:
+    def test_roundtrip(self, key):
+        sig = sign(key, b"mobile code module")
+        assert verify(key.public, b"mobile code module", sig)
+
+    def test_signature_length(self, key):
+        assert len(sign(key, b"x")) == key.byte_size
+
+    def test_wrong_message_fails(self, key):
+        sig = sign(key, b"original")
+        assert not verify(key.public, b"tampered", sig)
+
+    def test_bitflipped_signature_fails(self, key):
+        sig = bytearray(sign(key, b"msg"))
+        sig[5] ^= 0x01
+        assert not verify(key.public, b"msg", bytes(sig))
+
+    def test_wrong_key_fails(self, key):
+        other = generate_keypair(768)
+        sig = sign(key, b"msg")
+        assert not verify(other.public, b"msg", sig)
+
+    def test_wrong_length_signature_rejected(self, key):
+        assert not verify(key.public, b"msg", b"\x00" * 10)
+
+    def test_oversized_signature_value_rejected(self, key):
+        sig = (key.n + 1).to_bytes(key.byte_size, "big")
+        assert not verify(key.public, b"msg", sig)
+
+    def test_empty_message_signable(self, key):
+        sig = sign(key, b"")
+        assert verify(key.public, b"", sig)
+
+
+class TestWireFormat:
+    def test_public_key_roundtrip(self, key):
+        wire = key.public.to_wire()
+        assert PublicKey.from_wire(wire) == key.public
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(RSAError):
+            PublicKey.from_wire({"n": "zz", "e": 3})
+        with pytest.raises(RSAError):
+            PublicKey.from_wire({})
+
+    def test_fingerprint_stable_and_short(self, key):
+        fp1 = key.public.fingerprint()
+        fp2 = key.public.fingerprint()
+        assert fp1 == fp2 and len(fp1) == 16

@@ -1,0 +1,90 @@
+"""Sandbox confinement tests."""
+
+import pytest
+
+from repro.mobilecode.sandbox import DEFAULT_ALLOWED_IMPORTS, Sandbox, SandboxViolation
+
+
+@pytest.fixture()
+def sandbox():
+    return Sandbox()
+
+
+class TestExecution:
+    def test_basic_class_definition(self, sandbox):
+        ns = sandbox.execute("class Foo:\n    value = 7\n")
+        assert ns["Foo"].value == 7
+
+    def test_allowed_import_works(self, sandbox):
+        ns = sandbox.execute("import math\nresult = math.sqrt(16)\n")
+        assert ns["result"] == 4.0
+
+    def test_dotted_plain_import_binds_top_package(self, sandbox):
+        ns = sandbox.execute(
+            "import repro.protocols.base\nproto = repro.protocols.base.CommProtocol\n"
+        )
+        from repro.protocols.base import CommProtocol
+
+        assert ns["proto"] is CommProtocol
+
+    def test_from_import_works(self, sandbox):
+        ns = sandbox.execute("from hashlib import sha1\nd = sha1(b'x').hexdigest()\n")
+        assert len(ns["d"]) == 40
+
+    def test_safe_builtins_available(self, sandbox):
+        ns = sandbox.execute("total = sum(range(10))\nkinds = sorted({1, 3, 2})\n")
+        assert ns["total"] == 45
+        assert ns["kinds"] == [1, 2, 3]
+
+    def test_module_exceptions_propagate(self, sandbox):
+        with pytest.raises(ZeroDivisionError):
+            sandbox.execute("x = 1 / 0\n")
+
+    def test_import_log_records(self, sandbox):
+        sandbox.execute("import math\nimport struct\n")
+        assert sandbox.import_log == ["math", "struct"]
+
+
+class TestConfinement:
+    @pytest.mark.parametrize("module", ["os", "sys", "subprocess", "socket",
+                                        "shutil", "pathlib", "importlib"])
+    def test_dangerous_imports_blocked(self, sandbox, module):
+        with pytest.raises(SandboxViolation, match="not permitted"):
+            sandbox.execute(f"import {module}\n")
+
+    def test_relative_import_blocked(self, sandbox):
+        code = compile("from . import x", "<t>", "exec")
+        ns = {"__builtins__": sandbox._build_builtins(), "__package__": "repro"}
+        with pytest.raises(SandboxViolation, match="relative"):
+            exec(code, ns)
+
+    @pytest.mark.parametrize("builtin", ["open", "eval", "exec", "compile",
+                                          "input", "globals", "getattr",
+                                          "setattr", "vars", "breakpoint"])
+    def test_dangerous_builtins_stubbed(self, sandbox, builtin):
+        with pytest.raises(SandboxViolation, match="not available"):
+            sandbox.execute(f"{builtin}()")
+
+    def test_open_unavailable_even_with_args(self, sandbox):
+        with pytest.raises(SandboxViolation):
+            sandbox.execute("open('/etc/passwd')\n")
+
+    def test_custom_allowlist_restricts_further(self):
+        strict = Sandbox(allowed_imports=frozenset({"math"}))
+        strict.execute("import math\n")
+        with pytest.raises(SandboxViolation):
+            strict.execute("import hashlib\n")
+
+    def test_extra_globals_injected(self):
+        sb = Sandbox(extra_globals={"CONFIG": {"level": 3}})
+        ns = sb.execute("value = CONFIG['level']\n")
+        assert ns["value"] == 3
+
+    def test_default_allowlist_is_frozen(self):
+        assert isinstance(DEFAULT_ALLOWED_IMPORTS, frozenset)
+        assert "os" not in DEFAULT_ALLOWED_IMPORTS
+
+    def test_namespaces_are_isolated_between_executions(self, sandbox):
+        sandbox.execute("leak = 'secret'\n")
+        ns = sandbox.execute("found = 'leak' in dir()\n")
+        assert ns["found"] is False

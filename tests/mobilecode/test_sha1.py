@@ -1,0 +1,66 @@
+"""From-scratch SHA-1 must match hashlib bit-for-bit."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mobilecode.sha1 import Sha1, sha1_hexdigest
+
+
+class TestSha1:
+    def test_empty(self):
+        assert sha1_hexdigest(b"") == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+    def test_fips_vector_abc(self):
+        assert sha1_hexdigest(b"abc") == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_fips_vector_long(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha1_hexdigest(msg) == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    def test_million_a(self):
+        h = Sha1()
+        for _ in range(1000):
+            h.update(b"a" * 1000)
+        assert h.hexdigest() == "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+
+    def test_matches_hashlib_on_block_boundaries(self):
+        for n in (0, 1, 55, 56, 63, 64, 65, 119, 120, 128, 1000):
+            data = bytes(i % 251 for i in range(n))
+            assert sha1_hexdigest(data) == hashlib.sha1(data).hexdigest(), n
+
+    def test_streaming_matches_one_shot(self):
+        data = bytes(range(256)) * 7
+        h = Sha1()
+        for i in range(0, len(data), 37):
+            h.update(data[i : i + 37])
+        assert h.hexdigest() == sha1_hexdigest(data)
+
+    def test_digest_is_reentrant(self):
+        h = Sha1(b"part one ")
+        first = h.hexdigest()
+        assert h.hexdigest() == first  # no state consumed
+        h.update(b"part two")
+        assert h.hexdigest() == sha1_hexdigest(b"part one part two")
+
+    def test_api_shape(self):
+        h = Sha1()
+        assert h.digest_size == 20
+        assert h.block_size == 64
+        assert len(h.digest()) == 20
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_hashlib_property(self, data):
+        assert sha1_hexdigest(data) == hashlib.sha1(data).hexdigest()
+
+    @given(st.lists(st.binary(max_size=200), max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_property(self, pieces):
+        h = Sha1()
+        ref = hashlib.sha1()
+        for piece in pieces:
+            h.update(piece)
+            ref.update(piece)
+        assert h.hexdigest() == ref.hexdigest()

@@ -1,0 +1,86 @@
+"""Content-adaptation PAD tests (the §5 extension)."""
+
+import pytest
+
+from repro.protocols.base import ProtocolError, run_exchange
+from repro.protocols.content import ImageDownscaleProtocol, TextOnlyProtocol
+from repro.protocols.stack import ProtocolStack
+from repro.protocols.gzip_pad import GzipProtocol
+from repro.workload.images import decode_image, generate_image
+
+
+@pytest.fixture(scope="module")
+def image():
+    return generate_image(32_500, seed=3)
+
+
+class TestImageDownscale:
+    def test_downscale_shrinks_by_factor_squared(self, image):
+        proto = ImageDownscaleProtocol(factor=2)
+        result = run_exchange(proto, None, image)
+        adapted = decode_image(result.data)
+        original = decode_image(image)
+        assert adapted.width == (original.width + 1) // 2
+        assert adapted.height == (original.height + 1) // 2
+        assert result.traffic_bytes < len(image) / 3
+
+    def test_factor_one_is_identity_on_pixels(self, image):
+        proto = ImageDownscaleProtocol(factor=1)
+        result = run_exchange(proto, None, image, verify=False)
+        assert decode_image(result.data).pixels.shape == decode_image(image).pixels.shape
+
+    def test_text_passes_through_unchanged(self):
+        proto = ImageDownscaleProtocol(factor=4)
+        text = b"report text, not an image" * 20
+        result = run_exchange(proto, None, text)
+        assert result.data == text
+
+    def test_lossy_flag_skips_verification(self, image):
+        proto = ImageDownscaleProtocol(factor=2)
+        # Would raise ProtocolError if the exactness check ran.
+        result = run_exchange(proto, None, image)
+        assert result.data != image
+
+    def test_explicit_verify_true_catches_loss(self, image):
+        proto = ImageDownscaleProtocol(factor=2)
+        with pytest.raises(ProtocolError, match="failed to reconstruct"):
+            run_exchange(proto, None, image, verify=True)
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            ImageDownscaleProtocol(factor=0)
+
+    def test_malformed_response_rejected(self):
+        proto = ImageDownscaleProtocol()
+        with pytest.raises(ProtocolError):
+            proto.client_reconstruct(None, b"")
+        with pytest.raises(ProtocolError):
+            proto.client_reconstruct(None, b"Zjunk")
+
+    def test_composes_with_compression_layer(self, image):
+        stack = ProtocolStack([ImageDownscaleProtocol(factor=2), GzipProtocol()])
+        stack.lossy = True
+        result = run_exchange(stack, None, image)
+        assert decode_image(result.data).width < decode_image(image).width
+
+
+class TestTextOnly:
+    def test_images_dropped(self, image):
+        proto = TextOnlyProtocol()
+        result = run_exchange(proto, None, image)
+        assert result.data == b""
+        assert result.traffic_bytes <= 1
+
+    def test_text_kept(self):
+        proto = TextOnlyProtocol()
+        text = b"the prose survives"
+        assert run_exchange(proto, None, text).data == text
+
+    def test_page_level_savings(self, small_corpus):
+        proto = TextOnlyProtocol()
+        page = small_corpus.page(0)
+        total = sum(
+            run_exchange(proto, None, part).traffic_bytes
+            for part in [page.text, *page.images]
+        )
+        assert total < len(page.text) * 1.1  # ~only the text moved

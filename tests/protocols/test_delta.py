@@ -1,0 +1,84 @@
+"""Shared delta encoding tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.base import (
+    DeltaOp,
+    ProtocolError,
+    apply_delta,
+    decode_delta,
+    encode_delta,
+)
+
+
+class TestDeltaCodec:
+    def test_empty_delta(self):
+        blob = encode_delta([])
+        assert decode_delta(blob) == []
+
+    def test_copy_and_data_roundtrip(self):
+        ops = [DeltaOp(offset=3, length=5), DeltaOp(data=b"inserted")]
+        assert decode_delta(encode_delta(ops)) == ops
+
+    def test_apply_copy(self):
+        old = b"0123456789"
+        assert apply_delta(old, [DeltaOp(offset=2, length=4)]) == b"2345"
+
+    def test_apply_mixed(self):
+        old = b"hello world"
+        ops = [
+            DeltaOp(offset=0, length=6),
+            DeltaOp(data=b"fractal"),
+        ]
+        assert apply_delta(old, ops) == b"hello fractal"
+
+    def test_copy_beyond_old_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds old version"):
+            apply_delta(b"abc", [DeltaOp(offset=1, length=5)])
+
+    def test_invalid_copy_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_delta([DeltaOp(offset=0, length=0)])
+        with pytest.raises(ProtocolError):
+            encode_delta([DeltaOp(offset=-1, length=1)])
+
+    def test_empty_data_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_delta([DeltaOp(data=b"")])
+
+    def test_missing_end_rejected(self):
+        blob = encode_delta([DeltaOp(data=b"x")])
+        with pytest.raises(ProtocolError, match="END"):
+            decode_delta(blob[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_delta([DeltaOp(data=b"x")])
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_delta(blob + b"junk")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ProtocolError, match="opcode"):
+            decode_delta(b"\x7f\x00")
+
+    def test_truncated_copy_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated COPY"):
+            decode_delta(b"\x01\x00\x00")
+
+    def test_truncated_data_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated DATA payload"):
+            decode_delta(b"\x02\x10\x00\x00\x00abc")
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(DeltaOp, offset=st.integers(0, 100),
+                          length=st.integers(1, 50)),
+                st.builds(DeltaOp, data=st.binary(min_size=1, max_size=64)),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_codec_roundtrip_property(self, ops):
+        assert decode_delta(encode_delta(ops)) == ops

@@ -1,0 +1,245 @@
+"""Tests for the five communication-optimization protocols.
+
+Shared behavioural contract first (parameterized over every protocol),
+then protocol-specific behaviours and failure cases.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.base import ProtocolError, run_exchange
+from repro.protocols.bitmap import BitmapProtocol
+from repro.protocols.direct import DirectProtocol
+from repro.protocols.fixed_blocking import (
+    FixedBlockingProtocol,
+    RollingChecksum,
+    rolling_checksum,
+)
+from repro.protocols.gzip_pad import GzipProtocol
+from repro.protocols.vary_blocking import VaryBlockingProtocol
+
+ALL_PROTOCOLS = [
+    DirectProtocol,
+    lambda: GzipProtocol(backend="pure"),
+    lambda: GzipProtocol(backend="zlib"),
+    VaryBlockingProtocol,
+    BitmapProtocol,
+    FixedBlockingProtocol,
+]
+IDS = ["direct", "gzip-pure", "gzip-zlib", "vary", "bitmap", "fixed"]
+
+
+def exchange(protocol, old, new):
+    """Drive all three phases manually and return the rebuilt content."""
+    request = protocol.client_request(old)
+    response = protocol.server_respond(request, old, new)
+    return protocol.client_reconstruct(old, response)
+
+
+@pytest.fixture(scope="module")
+def version_pair(small_corpus):
+    old = small_corpus.evolved(0, 0)
+    new = small_corpus.evolved(0, 1)
+    return [old.text, *old.images], [new.text, *new.images]
+
+
+@pytest.mark.parametrize("factory", ALL_PROTOCOLS, ids=IDS)
+class TestProtocolContract:
+    def test_reconstructs_exactly(self, factory, version_pair):
+        protocol = factory()
+        old_parts, new_parts = version_pair
+        for old, new in zip(old_parts, new_parts):
+            assert exchange(protocol, old, new) == new
+
+    def test_first_contact_without_old_version(self, factory):
+        protocol = factory()
+        new = b"brand new content" * 50
+        assert exchange(protocol, None, new) == new
+
+    def test_empty_new_content(self, factory):
+        protocol = factory()
+        assert exchange(protocol, b"previous stuff", b"") == b""
+
+    def test_identical_versions(self, factory):
+        protocol = factory()
+        data = random.Random(0).randbytes(20_000)
+        assert exchange(protocol, data, data) == data
+
+    def test_run_exchange_accounting(self, factory):
+        protocol = factory()
+        old = b"x" * 5000
+        new = b"x" * 2500 + b"y" * 2500
+        result = run_exchange(protocol, old, new)
+        assert result.data == new
+        assert result.traffic_bytes == result.request_bytes + result.response_bytes
+        assert result.original_bytes == 5000
+        assert result.client_time_s >= 0 and result.server_time_s >= 0
+
+    def test_precomputed_response_path(self, factory):
+        """Proactive mode: the cached response must decode identically."""
+        protocol = factory()
+        old, new = b"a" * 4000, b"a" * 2000 + b"b" * 2000
+        request = protocol.client_request(old)
+        canned = protocol.server_respond(request, old, new)
+        result = run_exchange(protocol, old, new, precomputed_response=canned)
+        assert result.data == new
+        assert result.server_time_s == 0.0
+
+
+class TestDifferencingEfficiency:
+    """The Fig. 11(a) ordering on realistic page edits."""
+
+    def test_ordering_on_version_pair(self, version_pair):
+        old_parts, new_parts = version_pair
+        totals = {}
+        for name, proto in (
+            ("direct", DirectProtocol()),
+            ("gzip", GzipProtocol(backend="zlib")),
+            ("vary", VaryBlockingProtocol()),
+            ("bitmap", BitmapProtocol()),
+        ):
+            totals[name] = sum(
+                run_exchange(proto, o, n).traffic_bytes
+                for o, n in zip(old_parts, new_parts)
+            )
+        assert totals["direct"] > totals["gzip"] > totals["bitmap"] > totals["vary"]
+
+    def test_identical_image_costs_near_nothing_for_differencers(self, small_corpus):
+        image = small_corpus.page(0).images[0]
+        for proto in (VaryBlockingProtocol(), BitmapProtocol()):
+            result = run_exchange(proto, image, image)
+            assert result.traffic_bytes < len(image) * 0.05
+
+    def test_vary_tolerates_insertions_better_than_bitmap(self):
+        rng = random.Random(2)
+        old = rng.randbytes(40_000)
+        new = old[:100] + b"INSERT" * 4 + old[100:]  # shifts everything
+        vary = run_exchange(VaryBlockingProtocol(), old, new).traffic_bytes
+        bitmap = run_exchange(BitmapProtocol(), old, new).traffic_bytes
+        assert vary < bitmap / 3
+
+    def test_fixed_rsync_also_tolerates_shifts(self):
+        rng = random.Random(3)
+        old = rng.randbytes(40_000)
+        new = old[:500] + b"shifted!" + old[500:]
+        fixed = run_exchange(FixedBlockingProtocol(), old, new).traffic_bytes
+        assert fixed < len(new) / 3
+
+
+class TestGzip:
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            GzipProtocol(backend="bogus")
+
+    def test_corrupt_payload_raises_protocol_error(self):
+        proto = GzipProtocol()
+        payload = bytearray(proto.server_respond(b"", None, b"data" * 100))
+        payload[-1] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            proto.client_reconstruct(None, bytes(payload))
+
+    def test_compresses_text(self):
+        text = b"compressible prose " * 500
+        result = run_exchange(GzipProtocol(backend="pure"), None, text)
+        assert result.traffic_bytes < len(text) / 3
+
+
+class TestVary:
+    def test_delta_has_copies_for_common_content(self):
+        rng = random.Random(4)
+        old = rng.randbytes(30_000)
+        new = old[:15_000] + rng.randbytes(200) + old[15_000:]
+        from repro.protocols.base import decode_delta
+
+        proto = VaryBlockingProtocol()
+        ops = decode_delta(proto.server_respond(b"", old, new))
+        assert any(op.is_copy for op in ops)
+
+    def test_copy_without_old_rejected(self):
+        from repro.protocols.base import DeltaOp, encode_delta
+
+        proto = VaryBlockingProtocol()
+        bad = encode_delta([DeltaOp(offset=0, length=4)])
+        with pytest.raises(ProtocolError, match="COPY op without"):
+            proto.client_reconstruct(None, bad)
+
+
+class TestBitmap:
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            BitmapProtocol(block_size=100)  # not a multiple of 64
+        with pytest.raises(ValueError):
+            BitmapProtocol(block_size=0)
+
+    def test_request_is_digest_multiple(self):
+        proto = BitmapProtocol(block_size=1024)
+        req = proto.client_request(b"z" * 5000)
+        assert len(req) % 16 == 0
+        assert len(req) // 16 == 5  # ceil(5000/1024)
+
+    def test_mismatched_block_size_detected(self):
+        server = BitmapProtocol(block_size=4096)
+        client = BitmapProtocol(block_size=2048)
+        old = b"q" * 10_000
+        response = server.server_respond(server.client_request(old), old, old)
+        with pytest.raises(ProtocolError, match="block size"):
+            client.client_reconstruct(old, response)
+
+    def test_truncated_response_detected(self):
+        proto = BitmapProtocol()
+        old, new = b"a" * 9000, b"b" * 9000
+        response = proto.server_respond(proto.client_request(old), old, new)
+        with pytest.raises(ProtocolError):
+            proto.client_reconstruct(old, response[:-100])
+
+    def test_growing_and_shrinking_files(self):
+        proto = BitmapProtocol(block_size=1024)
+        old = b"e" * 8000
+        for new in (b"e" * 12_000, b"e" * 3000, b"f" * 100):
+            assert exchange(proto, old, new) == new
+
+    def test_corrupt_digest_upload_rejected(self):
+        proto = BitmapProtocol()
+        with pytest.raises(ProtocolError, match="whole number"):
+            proto.server_respond(b"\x01\x02\x03", b"old", b"new")
+
+
+class TestFixedBlocking:
+    def test_rolling_checksum_matches_batch(self):
+        rng = random.Random(5)
+        data = rng.randbytes(3000)
+        bs = 512
+        roller = RollingChecksum(data[:bs])
+        assert roller.value == rolling_checksum(data[:bs])
+        for pos in range(1, 200):
+            roller.roll(data[pos - 1], data[pos + bs - 1])
+            assert roller.value == rolling_checksum(data[pos : pos + bs]), pos
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            FixedBlockingProtocol(block_size=8)
+
+    def test_partial_signature_rejected(self):
+        proto = FixedBlockingProtocol()
+        with pytest.raises(ProtocolError, match="partial entry"):
+            proto.server_respond(b"\x00" * 7, b"old", b"new")
+
+    @given(st.binary(max_size=6000), st.binary(max_size=6000))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, old, new):
+        proto = FixedBlockingProtocol(block_size=256)
+        assert exchange(proto, old, new) == new
+
+
+class TestPropertyRoundtrips:
+    @given(st.binary(max_size=8000), st.binary(max_size=8000))
+    @settings(max_examples=20, deadline=None)
+    def test_vary_roundtrip(self, old, new):
+        assert exchange(VaryBlockingProtocol(), old, new) == new
+
+    @given(st.binary(max_size=8000), st.binary(max_size=8000))
+    @settings(max_examples=20, deadline=None)
+    def test_bitmap_roundtrip(self, old, new):
+        assert exchange(BitmapProtocol(block_size=512), old, new) == new

@@ -1,0 +1,394 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simnet.kernel import (
+    Interrupt,
+    Resource,
+    SimError,
+    Simulator,
+    Store,
+)
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestTimeout:
+    def test_advances_time(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 5.0
+
+    def test_zero_delay_is_legal(self, sim):
+        def proc():
+            yield sim.timeout(0.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimError):
+            sim.timeout(-1.0)
+
+    def test_timeout_carries_value(self, sim):
+        def proc():
+            value = yield sim.timeout(1.0, value="payload")
+            return value
+
+        assert sim.run_process(proc()) == "payload"
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self, sim):
+        def proc():
+            yield sim.timeout(10.0)
+
+        sim.process(proc())
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_run_until_then_resume(self, sim):
+        done = []
+
+        def proc():
+            yield sim.timeout(10.0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=4.0)
+        assert not done
+        sim.run()
+        assert done == [10.0]
+
+    def test_deadlock_detected(self, sim):
+        def proc():
+            yield sim.event()  # never triggered
+
+        with pytest.raises(SimError, match="deadlock"):
+            sim.run_process(proc())
+
+    def test_events_processed_counter(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.run_process(proc())
+        assert sim.events_processed >= 3  # bootstrap + 2 timeouts
+
+
+class TestProcess:
+    def test_return_value_propagates(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return 42
+
+        def parent():
+            value = yield sim.process(child())
+            return value
+
+        assert sim.run_process(parent()) == 42
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise ValueError("child failed")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                return str(exc)
+
+        assert sim.run_process(parent()) == "child failed"
+
+    def test_unwaited_crash_surfaces(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unobserved")
+
+        sim.process(child())
+        with pytest.raises(RuntimeError, match="unobserved"):
+            sim.run()
+
+    def test_yielding_non_event_fails(self, sim):
+        def proc():
+            yield 42
+
+        def parent():
+            try:
+                yield sim.process(proc())
+            except SimError as exc:
+                return "caught" in "caught" and str(exc)
+
+        result = sim.run_process(parent())
+        assert "must yield SimEvent" in result
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_interrupt_wakes_sleeper(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+
+        def interrupter(target):
+            yield sim.timeout(3.0)
+            target.interrupt(cause="wake up")
+
+        target = sim.process(sleeper())
+        sim.process(interrupter(target))
+        sim.run()
+        assert log == [(3.0, "wake up")]
+
+    def test_interrupt_dead_process_errors(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimError):
+            proc.interrupt()
+
+    def test_is_alive_lifecycle(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self, sim):
+        active = []
+        peak = []
+
+        def worker():
+            req = res.acquire()
+            yield req
+            active.append(1)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.pop()
+            res.release()
+
+        res = sim.resource(capacity=2)
+        for _ in range(6):
+            sim.process(worker())
+        sim.run()
+        assert max(peak) == 2
+        assert sim.now == 3.0  # 6 jobs / 2 slots * 1s
+
+    def test_fifo_ordering(self, sim):
+        order = []
+
+        def worker(tag):
+            req = res.acquire()
+            yield req
+            order.append(tag)
+            yield sim.timeout(1.0)
+            res.release()
+
+        res = sim.resource(capacity=1)
+        for tag in range(5):
+            sim.process(worker(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_release_idle_raises(self, sim):
+        res = sim.resource(capacity=1)
+        with pytest.raises(SimError):
+            res.release()
+
+    def test_bad_capacity_rejected(self, sim):
+        with pytest.raises(SimError):
+            Resource(sim, capacity=0)
+
+    def test_utilization_tracks_busy_time(self, sim):
+        def worker():
+            req = res.acquire()
+            yield req
+            yield sim.timeout(2.0)
+            res.release()
+            yield sim.timeout(2.0)  # idle tail
+
+        res = sim.resource(capacity=1)
+        sim.process(worker())
+        sim.run()
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_interrupted_waiter_does_not_hold_slot(self, sim):
+        """A queued waiter that is interrupted must not leak the slot."""
+        got = []
+
+        def holder():
+            req = res.acquire()
+            yield req
+            yield sim.timeout(5.0)
+            res.release()
+
+        def waiter():
+            req = res.acquire()
+            try:
+                yield req
+            except Interrupt:
+                return
+            got.append("waiter ran")
+            res.release()
+
+        def late():
+            yield sim.timeout(6.0)
+            req = res.acquire()
+            yield req
+            got.append("late ran")
+            res.release()
+
+        def interrupter(target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        res = sim.resource(capacity=1)
+        sim.process(holder())
+        w = sim.process(waiter())
+        sim.process(interrupter(w))
+        sim.process(late())
+        sim.run()
+        assert got == ["late ran"]
+        assert res.in_use == 0
+
+    def test_queue_stats(self, sim):
+        def worker():
+            req = res.acquire()
+            yield req
+            yield sim.timeout(1.0)
+            res.release()
+
+        res = sim.resource(capacity=1)
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        assert res.total_acquires == 4
+        assert res.peak_queue_len == 3
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = sim.store()
+        store.put("x")
+
+        def proc():
+            item = yield store.get()
+            return item
+
+        assert sim.run_process(proc()) == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        def consumer():
+            item = yield store.get()
+            return (sim.now, item)
+
+        def producer():
+            yield sim.timeout(5.0)
+            store.put("late")
+
+        store = sim.store()
+        sim.process(producer())
+        assert sim.run_process(consumer()) == (5.0, "late")
+
+    def test_fifo_item_order(self, sim):
+        store = sim.store()
+        for i in range(3):
+            store.put(i)
+
+        def proc():
+            out = []
+            for _ in range(3):
+                out.append((yield store.get()))
+            return out
+
+        assert sim.run_process(proc()) == [0, 1, 2]
+
+    def test_len(self, sim):
+        store = sim.store()
+        assert len(store) == 0
+        store.put(1)
+        assert len(store) == 1
+
+
+class TestAllOf:
+    def test_waits_for_all(self, sim):
+        def child(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def parent():
+            procs = [sim.process(child(d, d)) for d in (3.0, 1.0, 2.0)]
+            results = yield sim.all_of(procs)
+            return (sim.now, results)
+
+        now, results = sim.run_process(parent())
+        assert now == 3.0
+        assert results == [3.0, 1.0, 2.0]
+
+    def test_empty_fires_immediately(self, sim):
+        def parent():
+            results = yield sim.all_of([])
+            return results
+
+        assert sim.run_process(parent()) == []
+
+    def test_failure_propagates(self, sim):
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            try:
+                yield sim.all_of([sim.process(bad())])
+            except ValueError:
+                return "failed"
+
+        assert sim.run_process(parent()) == "failed"
+
+
+class TestEvent:
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_value_raises_stored_exception(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("stored"))
+        sim.run()
+        with pytest.raises(ValueError, match="stored"):
+            _ = ev.value

@@ -1,0 +1,94 @@
+"""Link model tests."""
+
+import pytest
+
+from repro.simnet.link import (
+    DEFAULT_RHO,
+    LINK_PRESETS,
+    LinkSpec,
+    NetworkType,
+    kbps,
+    mbps,
+)
+
+
+class TestConversions:
+    def test_kbps(self):
+        assert kbps(56) == 56_000
+
+    def test_mbps(self):
+        assert mbps(11) == 11_000_000
+
+
+class TestNetworkType:
+    def test_parse_case_insensitive(self):
+        assert NetworkType.parse("bluetooth") is NetworkType.BLUETOOTH
+        assert NetworkType.parse(" LAN ") is NetworkType.LAN
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            NetworkType.parse("carrier-pigeon")
+
+    def test_every_type_has_a_preset(self):
+        for member in NetworkType:
+            assert member in LINK_PRESETS
+
+
+class TestLinkSpec:
+    def test_effective_bandwidth_applies_rho(self):
+        link = LinkSpec(NetworkType.LAN, mbps(100), 0.001, rho=0.8)
+        assert link.effective_bandwidth_bps == pytest.approx(80e6)
+        assert link.effective_bandwidth_kbps == pytest.approx(80_000)
+
+    def test_transfer_time_serialization_plus_latency(self):
+        link = LinkSpec(NetworkType.WLAN, mbps(8), 0.010, rho=1.0)
+        # 1 MB at 8 Mbps = 1 second, plus 10 ms latency.
+        assert link.transfer_time(1_000_000) == pytest.approx(1.010)
+
+    def test_transfer_time_without_latency(self):
+        link = LinkSpec(NetworkType.WLAN, mbps(8), 0.010, rho=1.0)
+        assert link.transfer_time(1_000_000, with_latency=False) == pytest.approx(1.0)
+
+    def test_transfer_zero_bytes_is_just_latency(self):
+        link = LINK_PRESETS[NetworkType.BLUETOOTH]
+        assert link.transfer_time(0) == pytest.approx(link.latency_s)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LINK_PRESETS[NetworkType.LAN].transfer_time(-1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(NetworkType.LAN, 0.0, 0.001)
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(NetworkType.LAN, mbps(1), 0.001, rho=0.0)
+        with pytest.raises(ValueError):
+            LinkSpec(NetworkType.LAN, mbps(1), 0.001, rho=1.5)
+
+    def test_with_rho_returns_new_spec(self):
+        base = LINK_PRESETS[NetworkType.WLAN]
+        changed = base.with_rho(0.6)
+        assert changed.rho == 0.6
+        assert base.rho == DEFAULT_RHO  # original untouched
+
+    def test_scaled_divides_bandwidth(self):
+        base = LINK_PRESETS[NetworkType.LAN]
+        half = base.scaled(0.5)
+        assert half.bandwidth_bps == pytest.approx(base.bandwidth_bps / 2)
+        assert base.transfer_time(10_000) < half.transfer_time(10_000)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LINK_PRESETS[NetworkType.LAN].scaled(0.0)
+
+    def test_presets_are_ordered_sensibly(self):
+        """LAN > WLAN > Bluetooth > Dialup, the paper's environment ladder."""
+        bw = {t: LINK_PRESETS[t].bandwidth_bps for t in NetworkType}
+        assert (
+            bw[NetworkType.LAN]
+            > bw[NetworkType.WLAN]
+            > bw[NetworkType.BLUETOOTH]
+            > bw[NetworkType.DIALUP]
+        )

@@ -1,0 +1,92 @@
+"""Fair-share (processor-sharing) pipe tests."""
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.pipe import FairSharePipe
+
+
+def run_transfers(capacity_bps, jobs):
+    """jobs: [(start_s, size_bytes)] -> {index: completion_time}."""
+    sim = Simulator()
+    pipe = FairSharePipe(sim, capacity_bps)
+    done = {}
+
+    def client(i, start, size):
+        yield sim.timeout(start)
+        yield pipe.transfer(size)
+        done[i] = sim.now
+
+    for i, (start, size) in enumerate(jobs):
+        sim.process(client(i, start, size))
+    sim.run()
+    return done, pipe
+
+
+class TestFairSharePipe:
+    def test_single_flow_full_rate(self):
+        done, _ = run_transfers(8000.0, [(0.0, 1000)])  # 1000 B at 1000 B/s
+        assert done[0] == pytest.approx(1.0)
+
+    def test_two_simultaneous_flows_halve_rate(self):
+        done, _ = run_transfers(8000.0, [(0.0, 1000), (0.0, 1000)])
+        assert done[0] == pytest.approx(2.0)
+        assert done[1] == pytest.approx(2.0)
+
+    def test_staggered_arrival_processor_sharing(self):
+        # Classic PS: flow 0 runs alone 0.5s, shares 1s, finishes at 1.5;
+        # flow 1 shares 1s then runs alone 0.5s, finishes at 2.0.
+        done, _ = run_transfers(8000.0, [(0.0, 1000), (0.5, 1000)])
+        assert done[0] == pytest.approx(1.5)
+        assert done[1] == pytest.approx(2.0)
+
+    def test_short_flow_departs_early_speeding_long_flow(self):
+        done, _ = run_transfers(8000.0, [(0.0, 2000), (0.0, 500)])
+        # Shared until short flow done at t=1.0 (500B at 500B/s);
+        # long flow then has 1500B left at 1000B/s -> 2.5s total.
+        assert done[1] == pytest.approx(1.0)
+        assert done[0] == pytest.approx(2.5)
+
+    def test_mean_time_scales_linearly_with_burst_size(self):
+        """The centralized-PAD-server effect behind Fig. 9(b)."""
+        means = []
+        for n in (10, 20, 40):
+            done, _ = run_transfers(8000.0, [(0.0, 1000)] * n)
+            means.append(sum(done.values()) / n)
+        assert means[1] == pytest.approx(2 * means[0], rel=0.05)
+        assert means[2] == pytest.approx(4 * means[0], rel=0.05)
+
+    def test_zero_byte_transfer_completes_immediately(self):
+        done, _ = run_transfers(8000.0, [(0.0, 0)])
+        assert done[0] == 0.0
+
+    def test_negative_size_rejected(self):
+        sim = Simulator()
+        pipe = FairSharePipe(sim, 1000.0)
+        with pytest.raises(ValueError):
+            pipe.transfer(-1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FairSharePipe(Simulator(), 0.0)
+
+    def test_counters(self):
+        done, pipe = run_transfers(8000.0, [(0.0, 100), (0.0, 100), (0.0, 100)])
+        assert pipe.transfers_completed == 3
+        assert pipe.peak_concurrency == 3
+        assert pipe.active == 0
+
+    def test_transfer_event_carries_duration(self):
+        sim = Simulator()
+        pipe = FairSharePipe(sim, 8000.0)
+
+        def proc():
+            duration = yield pipe.transfer(1000)
+            return duration
+
+        assert sim.run_process(proc()) == pytest.approx(1.0)
+
+    def test_many_tiny_flows_terminate(self):
+        """Regression: float residue must not stall simulated time."""
+        done, _ = run_transfers(1e9, [(i * 1e-7, 7) for i in range(200)])
+        assert len(done) == 200

@@ -1,0 +1,72 @@
+"""TCP loopback transport tests (real sockets)."""
+
+import threading
+
+import pytest
+
+from repro.simnet.realnet import TcpTransport
+from repro.simnet.transport import TransportError
+
+
+@pytest.fixture()
+def transport():
+    t = TcpTransport()
+    yield t
+    t.close()
+
+
+class TestTcpTransport:
+    def test_request_response(self, transport):
+        transport.bind("echo", lambda p: b"re:" + p)
+        assert transport.request("cli", "echo", b"hello") == b"re:hello"
+
+    def test_large_frame(self, transport):
+        transport.bind("big", lambda p: p * 2)
+        payload = bytes(range(256)) * 2048  # 512 KiB
+        assert transport.request("cli", "big", payload) == payload * 2
+
+    def test_handler_exception_surfaces_as_transport_error(self, transport):
+        def boom(_p):
+            raise RuntimeError("server-side failure")
+
+        transport.bind("boom", boom)
+        with pytest.raises(TransportError, match="server-side failure"):
+            transport.request("cli", "boom", b"")
+
+    def test_unknown_endpoint(self, transport):
+        with pytest.raises(TransportError, match="no handler"):
+            transport.request("cli", "ghost", b"")
+
+    def test_unbind_stops_service(self, transport):
+        transport.bind("tmp", lambda p: p)
+        transport.unbind("tmp")
+        with pytest.raises(TransportError):
+            transport.request("cli", "tmp", b"")
+
+    def test_concurrent_clients(self, transport):
+        transport.bind("sum", lambda p: bytes([sum(p) % 256]))
+        results = {}
+
+        def worker(i):
+            results[i] = transport.request(f"cli{i}", "sum", bytes([i, i]))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(8):
+            assert results[i] == bytes([(2 * i) % 256])
+
+    def test_meters_count_frames(self, transport):
+        transport.bind("svc", lambda p: b"xyz")
+        transport.request("cli", "svc", b"ab")
+        assert transport.meter("cli").bytes_sent == 2
+        # Response meter includes the 1-byte status prefix.
+        assert transport.meter("cli").bytes_received == 4
+
+    def test_context_manager_closes(self):
+        with TcpTransport() as t:
+            t.bind("svc", lambda p: p)
+            assert t.request("c", "svc", b"ok") == b"ok"
+        assert t.endpoints() == []

@@ -1,0 +1,98 @@
+"""RunningStats / percentile / Series tests, including hypothesis checks."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.stats import RunningStats, Series, percentile
+
+
+class TestRunningStats:
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(RunningStats().mean)
+
+    def test_single_sample(self):
+        s = RunningStats()
+        s.add(3.5)
+        assert s.mean == 3.5
+        assert s.variance == 0.0
+        assert s.minimum == s.maximum == 3.5
+
+    def test_matches_statistics_module(self):
+        data = [1.5, 2.0, 2.5, 10.0, -3.0, 0.25]
+        s = RunningStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(statistics.mean(data))
+        assert s.variance == pytest.approx(statistics.variance(data))
+        assert s.stdev == pytest.approx(statistics.stdev(data))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_welford_agrees_with_naive(self, data):
+        s = RunningStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(statistics.fmean(data), abs=1e-6)
+        assert s.variance == pytest.approx(statistics.variance(data), abs=1e-3)
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, a, b):
+        sa, sb, sc = RunningStats(), RunningStats(), RunningStats()
+        sa.extend(a)
+        sb.extend(b)
+        sc.extend(a + b)
+        merged = sa.merge(sb)
+        assert merged.count == sc.count
+        assert merged.mean == pytest.approx(sc.mean, abs=1e-6)
+        assert merged.variance == pytest.approx(sc.variance, abs=1e-3)
+        assert merged.minimum == sc.minimum
+        assert merged.maximum == sc.maximum
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        merged = a.merge(RunningStats())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_single_element(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=60))
+    def test_bounded_by_min_max(self, data):
+        for q in (0, 25, 50, 75, 100):
+            p = percentile(data, q)
+            assert min(data) <= p <= max(data)
+
+
+class TestSeries:
+    def test_add_and_rows(self):
+        s = Series("demo")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert len(s) == 2
+        assert s.rows() == [(1, 10.0), (2, 20.0)]

@@ -1,0 +1,88 @@
+"""Topology tests."""
+
+import pytest
+
+from repro.simnet.topology import HostSite, Topology
+
+
+@pytest.fixture()
+def topo():
+    t = Topology()
+    t.add("a", 0.0, 0.0)
+    t.add("b", 3.0, 4.0)          # 5 units from a
+    t.add("c", 30.0, 40.0)        # 50 units from a
+    t.add("slow", 1.0, 0.0, access_latency_s=0.050)
+    return t
+
+
+class TestTopology:
+    def test_latency_is_distance_scaled(self, topo):
+        # 5 units at 1 ms/unit.
+        assert topo.latency_s("a", "b") == pytest.approx(0.005)
+
+    def test_latency_symmetric(self, topo):
+        assert topo.latency_s("a", "c") == pytest.approx(topo.latency_s("c", "a"))
+
+    def test_access_latency_added_on_both_ends(self, topo):
+        base = topo.latency_s("a", "b")
+        with_access = topo.latency_s("a", "slow")
+        assert with_access == pytest.approx(0.001 + 0.050)
+        assert with_access > base
+
+    def test_self_latency_is_access_only(self, topo):
+        assert topo.latency_s("a", "a") == 0.0
+        assert topo.latency_s("slow", "slow") == pytest.approx(0.050)
+
+    def test_nearest(self, topo):
+        assert topo.nearest("a", ["b", "c"]) == "b"
+
+    def test_nearest_tie_breaks_on_name(self):
+        t = Topology()
+        t.add("origin", 0.0, 0.0)
+        t.add("zeta", 1.0, 0.0)
+        t.add("alpha", -1.0, 0.0)
+        assert t.nearest("origin", ["zeta", "alpha"]) == "alpha"
+
+    def test_nearest_no_candidates_raises(self, topo):
+        with pytest.raises(ValueError):
+            topo.nearest("a", [])
+
+    def test_ranked_order(self, topo):
+        # slow's 50 ms access penalty pushes it behind c (50 units away).
+        assert topo.ranked("a", ["c", "b", "slow"]) == ["b", "c", "slow"]
+
+    def test_duplicate_site_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.add("a", 9.0, 9.0)
+
+    def test_unknown_site_raises(self, topo):
+        with pytest.raises(KeyError):
+            topo.latency_s("a", "nowhere")
+
+    def test_graph_view_edges_carry_latency(self, topo):
+        g = topo.graph()
+        assert g.number_of_nodes() == 4
+        assert g["a"]["b"]["latency_s"] == pytest.approx(0.005)
+
+    def test_random_plane_deterministic(self):
+        names = [f"n{i}" for i in range(10)]
+        t1 = Topology.random_plane(names, seed=42)
+        t2 = Topology.random_plane(names, seed=42)
+        for n in names:
+            assert t1.get(n).x == t2.get(n).x
+            assert t1.get(n).y == t2.get(n).y
+
+    def test_random_plane_seed_changes_layout(self):
+        names = [f"n{i}" for i in range(10)]
+        t1 = Topology.random_plane(names, seed=1)
+        t2 = Topology.random_plane(names, seed=2)
+        assert any(t1.get(n).x != t2.get(n).x for n in names)
+
+    def test_contains_and_len(self, topo):
+        assert "a" in topo and "nowhere" not in topo
+        assert len(topo) == 4
+
+    def test_hostsite_distance(self):
+        a = HostSite("a", 0.0, 0.0)
+        b = HostSite("b", 3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)

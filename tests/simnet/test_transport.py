@@ -1,0 +1,120 @@
+"""In-process transport and SimChannel tests."""
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import LinkSpec, NetworkType, mbps
+from repro.simnet.transport import InProcessTransport, SimChannel, TransportError
+
+
+class TestInProcessTransport:
+    def test_request_response(self):
+        t = InProcessTransport()
+        t.bind("echo", lambda payload: b"re:" + payload)
+        assert t.request("cli", "echo", b"hello") == b"re:hello"
+
+    def test_unknown_endpoint(self):
+        t = InProcessTransport()
+        with pytest.raises(TransportError, match="no handler"):
+            t.request("cli", "ghost", b"x")
+
+    def test_double_bind_rejected(self):
+        t = InProcessTransport()
+        t.bind("svc", lambda p: p)
+        with pytest.raises(TransportError, match="already bound"):
+            t.bind("svc", lambda p: p)
+
+    def test_unbind_then_rebind(self):
+        t = InProcessTransport()
+        t.bind("svc", lambda p: b"v1")
+        t.unbind("svc")
+        t.bind("svc", lambda p: b"v2")
+        assert t.request("cli", "svc", b"") == b"v2"
+
+    def test_non_bytes_response_rejected(self):
+        t = InProcessTransport()
+        t.bind("bad", lambda p: "a string")
+        with pytest.raises(TransportError, match="expected bytes"):
+            t.request("cli", "bad", b"")
+
+    def test_bytearray_response_accepted(self):
+        t = InProcessTransport()
+        t.bind("ba", lambda p: bytearray(b"ok"))
+        assert t.request("cli", "ba", b"") == b"ok"
+
+    def test_traffic_metering_both_sides(self):
+        t = InProcessTransport()
+        t.bind("svc", lambda p: b"12345")
+        t.request("cli", "svc", b"123")
+        assert t.meter("cli").bytes_sent == 3
+        assert t.meter("cli").bytes_received == 5
+        assert t.meter("svc").bytes_received == 3
+        assert t.meter("svc").bytes_sent == 5
+        assert t.meter("cli").total_bytes == 8
+
+    def test_meter_reset(self):
+        t = InProcessTransport()
+        t.bind("svc", lambda p: b"")
+        t.request("cli", "svc", b"abc")
+        t.meter("cli").reset()
+        assert t.meter("cli").total_bytes == 0
+
+    def test_endpoints_listing(self):
+        t = InProcessTransport()
+        t.bind("b", lambda p: p)
+        t.bind("a", lambda p: p)
+        assert t.endpoints() == ["a", "b"]
+
+
+class TestSimChannel:
+    def _link(self):
+        return LinkSpec(NetworkType.LAN, mbps(8), 0.010, rho=1.0)
+
+    def test_transfer_takes_link_time(self):
+        sim = Simulator()
+        chan = SimChannel(sim, self._link())
+
+        def proc():
+            yield from chan.transfer(1_000_000)  # 1s at 8Mbps + 10ms
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(1.010)
+
+    def test_round_trip_includes_service(self):
+        sim = Simulator()
+        chan = SimChannel(sim, self._link())
+
+        def proc():
+            yield from chan.round_trip(1000, 1000, service_time=0.5)
+            return sim.now
+
+        expected = 2 * (1000 * 8 / 8e6 + 0.010) + 0.5
+        assert sim.run_process(proc()) == pytest.approx(expected)
+
+    def test_bandwidth_share_slows_transfer(self):
+        sim = Simulator()
+        chan = SimChannel(sim, self._link())
+
+        def proc():
+            yield from chan.round_trip(0, 8_000_000, bandwidth_share=0.5)
+            return sim.now
+
+        # 8 MB at 4 Mbps = 16s plus two latencies.
+        assert sim.run_process(proc()) == pytest.approx(16.020)
+
+    def test_invalid_share_rejected(self):
+        sim = Simulator()
+        chan = SimChannel(sim, self._link())
+        with pytest.raises(ValueError):
+            list(chan.round_trip(1, 1, bandwidth_share=0.0))
+
+    def test_meter_counts(self):
+        sim = Simulator()
+        chan = SimChannel(sim, self._link())
+
+        def proc():
+            yield from chan.round_trip(100, 200)
+
+        sim.run_process(proc())
+        assert chan.meter.bytes_sent == 100
+        assert chan.meter.bytes_received == 200

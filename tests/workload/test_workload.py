@@ -1,0 +1,191 @@
+"""Workload substrate tests: text, images, pages, profiles."""
+
+import zlib
+
+import pytest
+
+from repro.workload.images import (
+    HEADER_SIZE,
+    SyntheticImage,
+    decode_image,
+    evolve_image,
+    generate_image,
+)
+from repro.workload.pages import Corpus, WebPage
+from repro.workload.profiles import (
+    DESKTOP,
+    LAPTOP,
+    PAPER_ENVIRONMENTS,
+    PDA,
+    STD_CPU_MHZ,
+    DeviceProfile,
+)
+from repro.workload.text import TextGenerator
+
+
+class TestTextGenerator:
+    def test_size_at_least_requested(self):
+        gen = TextGenerator(seed=1)
+        text = gen.generate(5000)
+        assert len(text) >= 5000
+
+    def test_deterministic(self):
+        assert TextGenerator(1).generate(1000, seed=7) == TextGenerator(1).generate(
+            1000, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        gen = TextGenerator(1)
+        assert gen.generate(1000, seed=1) != gen.generate(1000, seed=2)
+
+    def test_ascii_prose(self):
+        text = TextGenerator(1).generate(500)
+        text.decode("ascii")  # must not raise
+        assert b". " in text
+
+    def test_compressibility_like_prose(self):
+        text = TextGenerator(1).generate(20_000)
+        ratio = len(zlib.compress(text)) / len(text)
+        assert ratio < 0.45  # natural-language-ish redundancy
+
+    def test_evolve_changes_bounded_fraction(self):
+        gen = TextGenerator(1)
+        text = gen.generate(10_000)
+        evolved = gen.evolve(text, seed=3, churn=0.08)
+        old_sentences = set(text.decode().split(". "))
+        new_sentences = evolved.decode().split(". ")
+        changed = sum(1 for s in new_sentences if s not in old_sentences)
+        assert 0 < changed < len(new_sentences) * 0.3
+
+    def test_evolve_zero_churn_is_identity(self):
+        gen = TextGenerator(1)
+        text = gen.generate(2000)
+        assert gen.evolve(text, churn=0.0) == text
+
+    def test_churn_validation(self):
+        gen = TextGenerator(1)
+        with pytest.raises(ValueError):
+            gen.evolve(b"a. b", churn=1.5)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            TextGenerator(1).generate(0)
+
+
+class TestImages:
+    def test_roundtrip_encode_decode(self):
+        blob = generate_image(10_000, seed=1)
+        img = decode_image(blob)
+        assert img.encode() == blob
+
+    def test_size_near_requested(self):
+        blob = generate_image(32_500, seed=1)
+        assert abs(len(blob) - 32_500) < 1500
+
+    def test_deterministic(self):
+        assert generate_image(8000, seed=5) == generate_image(8000, seed=5)
+
+    def test_compresses_partially(self):
+        blob = generate_image(32_500, seed=1)
+        ratio = len(zlib.compress(blob)) / len(blob)
+        assert 0.3 < ratio < 0.9  # structured but not trivial
+
+    def test_evolve_changes_contiguous_band(self):
+        blob = generate_image(32_500, seed=1)
+        evolved = evolve_image(blob, seed=2, region_frac=0.15)
+        assert len(evolved) == len(blob)
+        diff_positions = [i for i, (a, b) in enumerate(zip(blob, evolved)) if a != b]
+        assert diff_positions, "evolution must change something"
+        changed_frac = len(diff_positions) / len(blob)
+        assert changed_frac < 0.25
+        # Contiguity: the changed span is one band (plus header immunity).
+        span = diff_positions[-1] - diff_positions[0] + 1
+        assert len(diff_positions) > 0.5 * span
+
+    def test_evolve_region_validation(self):
+        blob = generate_image(8000, seed=1)
+        with pytest.raises(ValueError):
+            evolve_image(blob, region_frac=0.0)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_image(b"not an image")
+        with pytest.raises(ValueError):
+            decode_image(generate_image(8000, seed=1)[: HEADER_SIZE + 10])
+
+    def test_pixels_validation(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            SyntheticImage(np.zeros((4, 4), dtype=np.float64))
+
+
+class TestCorpus:
+    def test_paper_dimensions(self, small_corpus):
+        page = small_corpus.page(0)
+        assert len(page.images) == 4
+        assert 4_500 <= len(page.text) <= 7_000
+        assert 125_000 <= page.size <= 145_000  # ~135 KB
+
+    def test_page_roundtrip(self, small_corpus):
+        page = small_corpus.page(1)
+        blob = page.encode()
+        back = WebPage.decode(1, 0, blob)
+        assert back.text == page.text and back.images == page.images
+
+    def test_decode_rejects_corruption(self, small_corpus):
+        blob = bytearray(small_corpus.page(0).encode())
+        blob[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            WebPage.decode(0, 0, bytes(blob))
+
+    def test_decode_rejects_trailing_bytes(self, small_corpus):
+        blob = small_corpus.page(0).encode() + b"extra"
+        with pytest.raises(ValueError, match="trailing"):
+            WebPage.decode(0, 0, blob)
+
+    def test_versions_mostly_overlap(self, small_corpus):
+        old, new = small_corpus.version_pair(0)
+        # The images are largely untouched between versions.
+        matches = sum(1 for a, b in zip(old[-50_000:], new[-50_000:]) if a == b)
+        assert matches > 25_000
+
+    def test_version_chain_cached_and_deterministic(self):
+        c1 = Corpus(n_pages=1, text_bytes=500, image_bytes=3000)
+        c2 = Corpus(n_pages=1, text_bytes=500, image_bytes=3000)
+        assert c1.evolved(0, 3).encode() == c2.evolved(0, 3).encode()
+
+    def test_page_id_bounds(self, small_corpus):
+        with pytest.raises(IndexError):
+            small_corpus.page(99)
+        with pytest.raises(ValueError):
+            small_corpus.evolved(0, -1)
+
+    def test_version_pair_ordering(self, small_corpus):
+        with pytest.raises(ValueError):
+            small_corpus.version_pair(0, old=2, new=1)
+
+    def test_average_page_size(self, small_corpus):
+        assert 120_000 < small_corpus.average_page_size(2) < 150_000
+
+
+class TestProfiles:
+    def test_paper_devices(self):
+        assert DESKTOP.cpu_mhz == 2000.0
+        assert LAPTOP.cpu_mhz == 3060.0
+        assert PDA.cpu_mhz == 400.0
+        assert PDA.os_type == "WinCE4.2"
+
+    def test_cpu_scale_linear_model(self):
+        assert DESKTOP.cpu_scale == pytest.approx(STD_CPU_MHZ / 2000.0)
+        assert PDA.cpu_scale > 1.0  # slower than the standard processor
+
+    def test_three_paper_environments(self):
+        labels = [e.label for e in PAPER_ENVIRONMENTS]
+        assert labels == ["Desktop/LAN", "Laptop/WLAN", "PDA/Bluetooth"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("x", "os", "cpu", cpu_mhz=0, memory_mb=1)
+        with pytest.raises(ValueError):
+            DeviceProfile("x", "os", "cpu", cpu_mhz=1, memory_mb=0)
