@@ -2,6 +2,13 @@
 
 Every figure/table regenerator ends in one of these helpers, so benchmark
 output looks like the paper's rows/series and diffs cleanly run-to-run.
+
+Telemetry-backed renderers: :func:`render_trace_stages` turns a
+:meth:`repro.telemetry.Tracer.export` JSON dict into the Fig.-11-style
+per-stage breakdown table, and :func:`render_metrics_counters` tabulates
+a :meth:`repro.telemetry.MetricsRegistry.snapshot`.  Both consume plain
+JSON-ready dicts, so a snapshot written by one run can be rendered by
+another.
 """
 
 from __future__ import annotations
@@ -9,8 +16,16 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..simnet.stats import Series
+from ..telemetry import stage_rows
 
-__all__ = ["render_table", "render_series", "fmt_ms", "fmt_kb"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_trace_stages",
+    "render_metrics_counters",
+    "fmt_ms",
+    "fmt_kb",
+]
 
 
 def fmt_ms(seconds: float) -> str:
@@ -33,6 +48,46 @@ def render_table(
         if idx == 0:
             lines.append(sep)
     return "\n".join(lines)
+
+
+def render_trace_stages(
+    export: dict, title: str = "Per-stage time breakdown (measured spans)"
+) -> str:
+    """Fig.-11-style stage table from a tracer JSON export.
+
+    ``export`` is the dict form of :meth:`repro.telemetry.Tracer.export`
+    (parsed back from JSON or taken live); every retained span is
+    aggregated by stage name and sorted by total time.
+    """
+    rows = []
+    for row in stage_rows(export):
+        rows.append(
+            [
+                row["stage"],
+                row["count"],
+                fmt_ms(row["total_s"]),
+                fmt_ms(row["mean_s"]),
+                f"{row['share'] * 100:.0f}%",
+            ]
+        )
+    return render_table(
+        title, ["stage", "count", "total ms", "mean ms", "% of session"], rows
+    )
+
+
+def render_metrics_counters(
+    snapshot: dict, title: str = "Metrics registry counters"
+) -> str:
+    """Counter/gauge table from a :meth:`MetricsRegistry.snapshot` dict."""
+    rows = [
+        [name, f"{value:g}"]
+        for name, value in sorted(snapshot.get("counters", {}).items())
+    ]
+    rows += [
+        [name, f"{value:g}"]
+        for name, value in sorted(snapshot.get("gauges", {}).items())
+    ]
+    return render_table(title, ["metric", "value"], rows)
 
 
 def render_series(title: str, series: Sequence[Series], x_label: str, y_label: str) -> str:

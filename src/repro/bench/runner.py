@@ -11,16 +11,24 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..simnet.stats import Series
 from . import capacity, experiments, tables
-from .reporting import fmt_kb, fmt_ms, render_series, render_table
+from .reporting import (
+    fmt_kb,
+    fmt_ms,
+    render_metrics_counters,
+    render_series,
+    render_table,
+    render_trace_stages,
+)
 
 __all__ = ["main"]
 
 _EXPERIMENTS = ("table1", "fig9a", "fig9b", "fig10", "fig11", "headline",
-                "timeline")
+                "timeline", "stages")
 
 
 def _build_system(era: bool = True):
@@ -175,6 +183,39 @@ def run_timeline(system=None) -> str:
     )
 
 
+def run_stages(system=None) -> str:
+    """Per-stage breakdown of real sessions, from the telemetry subsystem.
+
+    Runs one full negotiation+retrieval session per paper environment,
+    then renders the tracer's *JSON export* (round-tripped through
+    ``json`` to prove the on-disk form suffices) as the Fig.-11-style
+    stage table, plus the registry counter snapshot.
+    """
+    from ..workload.profiles import PAPER_ENVIRONMENTS
+
+    system = system or _build_system()
+    system.telemetry.tracer.clear()
+    for env in PAPER_ENVIRONMENTS:
+        client = system.make_client(env)
+        old = system.corpus.evolved(0, 0)
+        client.request_page(
+            system.appserver.app_id,
+            0,
+            old_parts=[old.text, *old.images],
+            old_version=0,
+            new_version=1,
+        )
+    export = json.loads(system.telemetry.tracer.to_json())
+    blocks = [
+        render_trace_stages(
+            export,
+            "Per-stage session breakdown (measured spans, all paper environments)",
+        ),
+        render_metrics_counters(system.telemetry.registry.snapshot()),
+    ]
+    return "\n\n".join(blocks)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="fractal-bench",
@@ -191,7 +232,7 @@ def main(argv=None) -> int:
     system = None
     outputs = []
     for name in wanted:
-        if name in ("fig10", "fig11", "headline", "timeline") and system is None:
+        if name in ("fig10", "fig11", "headline", "timeline", "stages") and system is None:
             system = _build_system()
         fn = {
             "table1": run_table1,
@@ -201,6 +242,7 @@ def main(argv=None) -> int:
             "fig11": lambda: run_fig11(system),
             "headline": lambda: run_headline(system),
             "timeline": lambda: run_timeline(system),
+            "stages": lambda: run_stages(system),
         }[name]
         outputs.append(fn())
     print("\n\n".join(outputs))

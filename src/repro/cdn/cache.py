@@ -2,6 +2,17 @@
 
 Capacity is in bytes (PADs have very different sizes).  Eviction is strict
 LRU; hit/miss/eviction counters feed the CDN experiments.
+
+Counter epochs are explicit: :meth:`clear` drops the *contents* only and
+deliberately preserves ``hits``/``misses``/``evictions`` (they describe
+traffic history, not occupancy); :meth:`reset_stats` starts a fresh
+counting epoch.  Bench code that reuses one cache across runs must call
+``reset_stats()`` between runs or ``hit_ratio`` silently mixes epochs —
+the exact bug this split fixes.
+
+When a :class:`~repro.telemetry.MetricsRegistry` is supplied, every
+hit/miss/eviction is also mirrored into the shared ``cdn.cache.*``
+counters (aggregated across all caches wired to that registry).
 """
 
 from __future__ import annotations
@@ -9,19 +20,31 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..telemetry import MetricsRegistry
+
 __all__ = ["LRUCache"]
 
 
 class LRUCache:
-    def __init__(self, capacity_bytes: int):
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         if capacity_bytes < 1:
             raise ValueError(f"capacity must be >= 1 byte, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
+        self._registry = registry
         self._items: OrderedDict[str, bytes] = OrderedDict()
         self.used_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._registry is not None:
+            self._registry.counter(name).inc(amount)
 
     def __contains__(self, key: str) -> bool:
         return key in self._items
@@ -33,9 +56,11 @@ class LRUCache:
         value = self._items.get(key)
         if value is None:
             self.misses += 1
+            self._count("cdn.cache.misses")
             return None
         self._items.move_to_end(key)
         self.hits += 1
+        self._count("cdn.cache.hits")
         return value
 
     def peek(self, key: str) -> Optional[bytes]:
@@ -57,6 +82,7 @@ class LRUCache:
             evicted_key, evicted = self._items.popitem(last=False)
             self.used_bytes -= len(evicted)
             self.evictions += 1
+            self._count("cdn.cache.evictions")
 
     def invalidate(self, key: str) -> bool:
         old = self._items.pop(key, None)
@@ -66,8 +92,20 @@ class LRUCache:
         return True
 
     def clear(self) -> None:
+        """Drop every cached object.  Counters are *preserved*.
+
+        ``hits``/``misses``/``evictions`` describe traffic served so far,
+        not current occupancy; use :meth:`reset_stats` to start a fresh
+        counting epoch (e.g. between bench runs).
+        """
         self._items.clear()
         self.used_bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters without touching contents."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     @property
     def hit_ratio(self) -> float:

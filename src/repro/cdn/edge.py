@@ -3,12 +3,17 @@
 On a cache miss the edge pulls from the origin (pull-through replication),
 exactly how commercial CDNs treat a Web object — the paper's point is that
 a PAD *is* a Web object.
+
+With a shared :class:`~repro.telemetry.MetricsRegistry`, every edge
+reports into the aggregate ``cdn.edge.*`` counters (requests, bytes
+served, origin fetches) while per-edge numbers stay on the instance.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..telemetry import MetricsRegistry
 from .cache import LRUCache
 from .origin import OriginError, OriginServer
 
@@ -23,13 +28,23 @@ class EdgeServer:
         name: str,
         origin: OriginServer,
         cache_bytes: int = DEFAULT_EDGE_CACHE_BYTES,
+        *,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.name = name
         self.origin = origin
-        self.cache = LRUCache(cache_bytes)
+        self._registry = registry
+        self.cache = LRUCache(cache_bytes, registry=registry)
         self.requests_served = 0
         self.bytes_served = 0
         self.origin_fetches = 0
+
+    def _record_served(self, nbytes: int) -> None:
+        self.requests_served += 1
+        self.bytes_served += nbytes
+        if self._registry is not None:
+            self._registry.counter("cdn.edge.requests").inc()
+            self._registry.counter("cdn.edge.bytes_served").inc(nbytes)
 
     def serve(self, key: str) -> bytes:
         """Return the object, pulling through from origin on a miss."""
@@ -37,9 +52,10 @@ class EdgeServer:
         if blob is None:
             blob = self.origin.fetch(key)  # raises OriginError if unknown
             self.origin_fetches += 1
+            if self._registry is not None:
+                self._registry.counter("cdn.edge.origin_fetches").inc()
             self.cache.put(key, blob)
-        self.requests_served += 1
-        self.bytes_served += len(blob)
+        self._record_served(len(blob))
         return blob
 
     def preload(self, key: str) -> None:
@@ -58,6 +74,5 @@ class EdgeServer:
         """Serve only if cached; None otherwise (no origin traffic)."""
         blob = self.cache.get(key)
         if blob is not None:
-            self.requests_served += 1
-            self.bytes_served += len(blob)
+            self._record_served(len(blob))
         return blob

@@ -41,6 +41,7 @@ def build_deployment(
     span: float = 60.0,
     seed: int = 2005,
     edge_cache_bytes: int = 16 * 1024 * 1024,
+    registry=None,
 ) -> Deployment:
     """Deterministic deployment: origin cluster + scattered edges + clients."""
     if n_edges < 1:
@@ -63,7 +64,9 @@ def build_deployment(
     redirector = Redirector(topology)
     edges = []
     for i in range(n_edges):
-        edge = EdgeServer(f"edge{i:02d}", origin, cache_bytes=edge_cache_bytes)
+        edge = EdgeServer(
+            f"edge{i:02d}", origin, cache_bytes=edge_cache_bytes, registry=registry
+        )
         redirector.register_edge(edge)
         edges.append(edge)
     client_sites = [f"clientsite{i:02d}" for i in range(n_client_sites)]

@@ -22,14 +22,13 @@ reactive with a cache keyed on the request digest.
 from __future__ import annotations
 
 import hashlib
-import time
-from dataclasses import dataclass, field
 from typing import Optional
 
 from ..cdn.origin import OriginServer
 from ..mobilecode import Signer
 from ..protocols import CommProtocol, build_pad_module, instantiate
 from ..protocols.stack import ProtocolStack
+from ..telemetry import MetricsRegistry, Telemetry
 from ..workload.pages import Corpus
 from . import inp
 from .errors import NegotiationError, ProtocolMismatchError
@@ -54,14 +53,37 @@ def url_key(url: str) -> str:
     return url[len(_URL_SCHEME) :]
 
 
-@dataclass
 class ServerStats:
-    app_requests: int = 0
-    parts_encoded: int = 0
-    precompute_hits: int = 0
-    encode_time_s: float = 0.0
-    bytes_in: int = 0
-    bytes_out: int = 0
+    """Read-only attribute view over the server's registry metrics."""
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+
+    @property
+    def app_requests(self) -> int:
+        return self._registry.counter("appserver.requests").value
+
+    @property
+    def parts_encoded(self) -> int:
+        return self._registry.counter("appserver.parts_encoded").value
+
+    @property
+    def precompute_hits(self) -> int:
+        return self._registry.counter("appserver.precompute_hits").value
+
+    @property
+    def encode_time_s(self) -> float:
+        return self._registry.histogram("appserver.encode_seconds").total
+
+    @property
+    def bytes_in(self) -> int:
+        return self._registry.counter("appserver.bytes_in").value
+
+    @property
+    def bytes_out(self) -> int:
+        return self._registry.counter("appserver.bytes_out").value
 
 
 class ApplicationServer:
@@ -74,12 +96,14 @@ class ApplicationServer:
         signer: Signer,
         *,
         proactive: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.app_id = app_id
         self.corpus = corpus
         self.signer = signer
         self.proactive = proactive
-        self.stats = ServerStats()
+        self.telemetry = telemetry or Telemetry()
+        self.stats = ServerStats(self.telemetry.registry)
         self._protocols: dict[str, CommProtocol] = {}
         self._pad_meta: dict[str, PADMeta] = {}
         self._pad_order: list[str] = []
@@ -217,7 +241,8 @@ class ApplicationServer:
 
     def serve_app_request(self, body: dict) -> dict:
         """The server half of an APP_REQ: encode every requested part."""
-        self.stats.app_requests += 1
+        registry = self.telemetry.registry
+        registry.counter("appserver.requests").inc()
         pad_ids = body.get("pad_ids")
         page_id = body.get("page_id")
         old_version = body.get("old_version", -1)
@@ -240,29 +265,29 @@ class ApplicationServer:
                 f"{len(new_parts)} parts"
             )
         responses = []
-        for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
-            request = inp.b64d(req_b64)
-            self.stats.bytes_in += len(request)
-            old = (
-                old_parts[part_idx]
-                if old_parts and part_idx < len(old_parts)
-                else None
-            )
-            key = self._cache_key(pad_ids, page_id, old_version, new_version,
-                                  part_idx, request)
-            cached = self._response_cache.get(key)
-            if cached is not None:
-                self.stats.precompute_hits += 1
-                response = cached
-            else:
-                t0 = time.perf_counter()
-                response = stack.server_respond(request, old, new)
-                self.stats.encode_time_s += time.perf_counter() - t0
-                if self.proactive:
-                    self._response_cache[key] = response
-            self.stats.parts_encoded += 1
-            self.stats.bytes_out += len(response)
-            responses.append(inp.b64e(response))
+        with self.telemetry.tracer.span("server.encode", app=self.app_id):
+            for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
+                request = inp.b64d(req_b64)
+                registry.counter("appserver.bytes_in").inc(len(request))
+                old = (
+                    old_parts[part_idx]
+                    if old_parts and part_idx < len(old_parts)
+                    else None
+                )
+                key = self._cache_key(pad_ids, page_id, old_version, new_version,
+                                      part_idx, request)
+                cached = self._response_cache.get(key)
+                if cached is not None:
+                    registry.counter("appserver.precompute_hits").inc()
+                    response = cached
+                else:
+                    with registry.timer("appserver.encode_seconds"):
+                        response = stack.server_respond(request, old, new)
+                    if self.proactive:
+                        self._response_cache[key] = response
+                registry.counter("appserver.parts_encoded").inc()
+                registry.counter("appserver.bytes_out").inc(len(response))
+                responses.append(inp.b64e(response))
         return {
             "page_id": page_id,
             "new_version": new_version,

@@ -11,18 +11,25 @@ The client probes its own ``DevMeta``/``NtwkMeta`` from its
 :meth:`set_environment`, after which the next request re-negotiates (the
 protocol cache keeps per-environment entries, so returning to a previously
 seen environment skips the proxy entirely — the paper's client cache).
+
+Observability: each :meth:`request_page` call records a ``session`` span
+tree on the client's tracer — ``negotiate``, ``pad_retrieval`` (with
+per-PAD ``retrieve → verify → deploy`` children), ``client.encode``,
+``app_exchange``, ``client.reconstruct`` — and the timing fields of
+:class:`SessionResult` are read straight off those spans, so the bench
+figures and the JSON trace export can never disagree.
 """
 
 from __future__ import annotations
 
 import itertools
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..mobilecode import MobileCodeError, ModuleLoader, SignedModule, TrustStore
 from ..protocols import CommProtocol
 from ..protocols.stack import ProtocolStack
+from ..telemetry import Telemetry
 from ..workload.profiles import ClientEnvironment
 from . import inp
 from .appserver import url_key
@@ -83,6 +90,7 @@ class FractalClient:
         appserver_endpoint: str,
         cdn_fetch: CdnFetch,
         trust_store: TrustStore,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.name = name
         self.environment = environment
@@ -91,13 +99,20 @@ class FractalClient:
         self.appserver_endpoint = appserver_endpoint
         self.cdn_fetch = cdn_fetch
         self.loader = ModuleLoader(trust_store)
+        self.telemetry = telemetry or Telemetry()
         # Protocol cache: (app_id, dev key, ntwk key) -> PADMeta tuple.
         self._protocol_cache: dict[tuple, tuple[PADMeta, ...]] = {}
         # Deployed stacks: same key -> live protocol instance.
         self._stacks: dict[tuple, CommProtocol] = {}
         self._pad_bytes: dict[str, int] = {}  # resolved pad id -> blob size
-        self.protocol_cache_hits = 0
-        self.negotiations = 0
+
+    @property
+    def protocol_cache_hits(self) -> int:
+        return self.telemetry.registry.counter("client.protocol_cache.hits").value
+
+    @property
+    def negotiations(self) -> int:
+        return self.telemetry.registry.counter("client.negotiations").value
 
     # -- environment probing ("system calls", Fig. 4) ---------------------------
 
@@ -150,34 +165,38 @@ class FractalClient:
 
     def negotiate(self, app_id: str, *, force: bool = False) -> NegotiationOutcome:
         """Protocol-cache-first negotiation with the adaptation proxy."""
+        registry = self.telemetry.registry
         key = self._cache_key(app_id)
         if not force:
             cached = self._protocol_cache.get(key)
             if cached is not None:
-                self.protocol_cache_hits += 1
+                registry.counter("client.protocol_cache.hits").inc()
                 return NegotiationOutcome(cached, 0.0, from_cache=True)
-        self.negotiations += 1
+        registry.counter("client.negotiations").inc()
         session_id = f"{self.name}-{next(_session_counter)}"
-        t0 = time.perf_counter()
-        init = INPMessage(MsgType.INIT_REQ, session_id, 0, {"app_id": app_id})
-        init_rep = self._rpc(self.proxy_endpoint, init).expect(MsgType.INIT_REP)
-        if "cli_meta_req" not in init_rep.body:
-            raise ProtocolMismatchError("INIT_REP did not carry CLI_META_REQ")
-        cli_meta = init_rep.reply(
-            MsgType.CLI_META_REP,
-            {
-                "dev_meta": self.probe_dev_meta().to_wire(),
-                "ntwk_meta": self.probe_ntwk_meta().to_wire(),
-            },
-        )
-        pad_rep = self._rpc(self.proxy_endpoint, cli_meta).expect(MsgType.PAD_META_REP)
-        elapsed = time.perf_counter() - t0
-        pads_wire = pad_rep.body.get("pads")
-        if not isinstance(pads_wire, list) or not pads_wire:
-            raise NegotiationError("PAD_META_REP carried no PAD metadata")
-        pads = tuple(PADMeta.from_wire(p) for p in pads_wire)
-        self._protocol_cache[key] = pads
-        return NegotiationOutcome(pads, elapsed, from_cache=False)
+        with self.telemetry.tracer.span(
+            "negotiate", trace=session_id, client=self.name, app=app_id
+        ) as span:
+            init = INPMessage(MsgType.INIT_REQ, session_id, 0, {"app_id": app_id})
+            init_rep = self._rpc(self.proxy_endpoint, init).expect(MsgType.INIT_REP)
+            if "cli_meta_req" not in init_rep.body:
+                raise ProtocolMismatchError("INIT_REP did not carry CLI_META_REQ")
+            cli_meta = init_rep.reply(
+                MsgType.CLI_META_REP,
+                {
+                    "dev_meta": self.probe_dev_meta().to_wire(),
+                    "ntwk_meta": self.probe_ntwk_meta().to_wire(),
+                },
+            )
+            pad_rep = self._rpc(self.proxy_endpoint, cli_meta).expect(
+                MsgType.PAD_META_REP
+            )
+            pads_wire = pad_rep.body.get("pads")
+            if not isinstance(pads_wire, list) or not pads_wire:
+                raise NegotiationError("PAD_META_REP carried no PAD metadata")
+            pads = tuple(PADMeta.from_wire(p) for p in pads_wire)
+            self._protocol_cache[key] = pads
+        return NegotiationOutcome(pads, span.duration_s, from_cache=False)
 
     # -- PAD download + deployment ---------------------------------------------------
 
@@ -186,39 +205,41 @@ class FractalClient:
         existing = self._stacks.get(key)
         if existing is not None:
             return existing, 0, 0.0
+        registry = self.telemetry.registry
+        tracer = self.telemetry.tracer
         total_bytes = 0
         protocols: list[CommProtocol] = []
-        t0 = time.perf_counter()
-        for meta in pads:
-            if meta.url is None or meta.digest is None:
-                raise NegotiationError(
-                    f"PADMeta for {meta.pad_id!r} lacks distribution info"
-                )
-            try:
-                blob = self.cdn_fetch(url_key(meta.url))
-            except Exception as exc:
-                # Normalize CDN failures (e.g. a withdrawn object after a
-                # PAD upgrade) so the caller's single retry path handles
-                # them uniformly.
-                raise MobileCodeError(
-                    f"download of {meta.url!r} failed: {exc}"
-                ) from exc
-            total_bytes += len(blob)
-            self._pad_bytes[meta.resolved_id] = len(blob)
-            signed = SignedModule.from_wire(blob)
-            init_kwargs = dict(
-                signed.module.metadata.get("init_kwargs", {})
+        with tracer.span("pad_retrieval", client=self.name) as retrieval_span:
+            for meta in pads:
+                if meta.url is None or meta.digest is None:
+                    raise NegotiationError(
+                        f"PADMeta for {meta.pad_id!r} lacks distribution info"
+                    )
+                with tracer.span("retrieve", pad=meta.resolved_id):
+                    try:
+                        blob = self.cdn_fetch(url_key(meta.url))
+                    except Exception as exc:
+                        # Normalize CDN failures (e.g. a withdrawn object
+                        # after a PAD upgrade) so the caller's single retry
+                        # path handles them uniformly.
+                        raise MobileCodeError(
+                            f"download of {meta.url!r} failed: {exc}"
+                        ) from exc
+                total_bytes += len(blob)
+                self._pad_bytes[meta.resolved_id] = len(blob)
+                registry.counter("client.pad_download_bytes").inc(len(blob))
+                with tracer.span("verify", pad=meta.resolved_id):
+                    signed = SignedModule.from_wire(blob)
+                    module = self.loader.verify(signed, expected_digest=meta.digest)
+                with tracer.span("deploy", pad=meta.resolved_id):
+                    init_kwargs = dict(module.metadata.get("init_kwargs", {}))
+                    loaded = self.loader.deploy(module, init_kwargs=init_kwargs)
+                protocols.append(loaded.instance)
+            stack: CommProtocol = (
+                protocols[0] if len(protocols) == 1 else ProtocolStack(protocols)
             )
-            loaded = self.loader.load(
-                signed, expected_digest=meta.digest, init_kwargs=init_kwargs
-            )
-            protocols.append(loaded.instance)
-        stack: CommProtocol = (
-            protocols[0] if len(protocols) == 1 else ProtocolStack(protocols)
-        )
-        elapsed = time.perf_counter() - t0
         self._stacks[key] = stack
-        return stack, total_bytes, elapsed
+        return stack, total_bytes, retrieval_span.duration_s
 
     # -- the application session ---------------------------------------------------------
 
@@ -237,60 +258,73 @@ class FractalClient:
         ``old_parts`` is what the client already holds (None on first
         contact); ``old_version`` tells the server which version that is.
         """
-        outcome = self.negotiate(app_id, force=force_negotiation)
-        key = self._cache_key(app_id)
-        try:
-            stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
-        except MobileCodeError:
-            # Stale protocol-cache entry after a PAD upgrade: the CDN
-            # served a newer module than our cached digest.  Drop the
-            # cached negotiation and retry once against the proxy.
-            self._protocol_cache.pop(key, None)
-            self._stacks.pop(key, None)
-            outcome = self.negotiate(app_id, force=True)
-            stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
-        pad_ids = tuple(m.resolved_id for m in outcome.pads)
+        tracer = self.telemetry.tracer
+        trace_id = f"{self.name}-p{next(_session_counter)}"
+        with tracer.span(
+            "session", trace=trace_id, client=self.name, app=app_id, page=page_id
+        ):
+            outcome = self.negotiate(app_id, force=force_negotiation)
+            key = self._cache_key(app_id)
+            try:
+                stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
+            except MobileCodeError:
+                # Stale protocol-cache entry after a PAD upgrade: the CDN
+                # served a newer module than our cached digest.  Drop the
+                # cached negotiation and retry once against the proxy.
+                self._protocol_cache.pop(key, None)
+                self._stacks.pop(key, None)
+                outcome = self.negotiate(app_id, force=True)
+                stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
+            pad_ids = tuple(m.resolved_id for m in outcome.pads)
 
-        n_parts = len(old_parts) if old_parts is not None else self._probe_part_count(
-            app_id, page_id, new_version
-        )
-        t0 = time.perf_counter()
-        part_requests = []
-        for idx in range(n_parts):
-            old = old_parts[idx] if old_parts is not None else None
-            part_requests.append(inp.b64e(stack.client_request(old)))
-        t1 = time.perf_counter()
+            n_parts = (
+                len(old_parts)
+                if old_parts is not None
+                else self._probe_part_count(app_id, page_id, new_version)
+            )
+            part_requests = []
+            with tracer.span("client.encode") as encode_span:
+                for idx in range(n_parts):
+                    old = old_parts[idx] if old_parts is not None else None
+                    part_requests.append(inp.b64e(stack.client_request(old)))
 
-        session_id = f"{self.name}-{next(_session_counter)}"
-        req = INPMessage(
-            MsgType.APP_REQ,
-            session_id,
-            0,
-            {
-                "pad_ids": list(pad_ids),
-                "page_id": page_id,
-                "old_version": old_version,
-                "new_version": new_version,
-                "part_requests": part_requests,
-            },
-        )
-        rep = self._rpc(self.appserver_endpoint, req).expect(MsgType.APP_REP)
-        responses = rep.body.get("part_responses")
-        if not isinstance(responses, list):
-            raise ProtocolMismatchError("APP_REP carried no part responses")
+            session_id = f"{self.name}-{next(_session_counter)}"
+            req = INPMessage(
+                MsgType.APP_REQ,
+                session_id,
+                0,
+                {
+                    "pad_ids": list(pad_ids),
+                    "page_id": page_id,
+                    "old_version": old_version,
+                    "new_version": new_version,
+                    "part_requests": part_requests,
+                },
+            )
+            with tracer.span("app_exchange"):
+                rep = self._rpc(self.appserver_endpoint, req).expect(MsgType.APP_REP)
+            responses = rep.body.get("part_responses")
+            if not isinstance(responses, list):
+                raise ProtocolMismatchError("APP_REP carried no part responses")
 
-        t2 = time.perf_counter()
-        parts: list[bytes] = []
-        req_bytes = 0
-        resp_bytes = 0
-        for idx, resp_b64 in enumerate(responses):
-            response = inp.b64d(resp_b64)
-            resp_bytes += len(response)
-            old = old_parts[idx] if old_parts is not None and idx < len(old_parts) else None
-            parts.append(stack.client_reconstruct(old, response))
-        t3 = time.perf_counter()
-        for req_b64 in part_requests:
-            req_bytes += len(inp.b64d(req_b64))
+            parts: list[bytes] = []
+            req_bytes = 0
+            resp_bytes = 0
+            with tracer.span("client.reconstruct") as reconstruct_span:
+                for idx, resp_b64 in enumerate(responses):
+                    response = inp.b64d(resp_b64)
+                    resp_bytes += len(response)
+                    old = (
+                        old_parts[idx]
+                        if old_parts is not None and idx < len(old_parts)
+                        else None
+                    )
+                    parts.append(stack.client_reconstruct(old, response))
+            for req_b64 in part_requests:
+                req_bytes += len(inp.b64d(req_b64))
+            registry = self.telemetry.registry
+            registry.counter("client.app_request_bytes").inc(req_bytes)
+            registry.counter("client.app_response_bytes").inc(resp_bytes)
 
         return SessionResult(
             page_id=page_id,
@@ -302,7 +336,7 @@ class FractalClient:
             pad_download_bytes=pad_bytes,
             negotiation_time_s=outcome.negotiation_time_s,
             pad_retrieval_time_s=retrieval_s,
-            client_compute_s=(t1 - t0) + (t3 - t2),
+            client_compute_s=encode_span.duration_s + reconstruct_span.duration_s,
             negotiated_from_cache=outcome.from_cache,
         )
 

@@ -12,15 +12,22 @@ parent/child links, and handles the network side of the reply.
 
 The proxy exposes ``handle(request_bytes) -> response_bytes`` so it binds
 to any transport (in-process, simulated, or TCP).
+
+Observability: every counter lives in the proxy's
+:class:`~repro.telemetry.MetricsRegistry` (``proxy.*`` names) and each
+negotiation records a ``proxy.negotiate → proxy.search → proxy.finish``
+span chain on the tracer, keyed by the INP session id when the request
+came in over the wire.  :class:`ProxyStats` survives as a thin read-only
+view over the registry so existing callers keep their attribute API.
 """
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from typing import Optional
 
+from ..telemetry import MetricsRegistry, Telemetry
 from . import inp
 from .errors import FractalError, NegotiationError
 from .inp import INPMessage, MsgType
@@ -32,13 +39,41 @@ from .search import SearchResult, find_adaptation_path
 __all__ = ["AdaptationProxy", "NegotiationManager", "DistributionManager", "ProxyStats"]
 
 
-@dataclass
 class ProxyStats:
-    negotiations: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    errors: int = 0
-    total_search_time_s: float = 0.0
+    """Read-only attribute view over the proxy's registry metrics.
+
+    Kept for API compatibility with the pre-telemetry dataclass: all
+    writes go through the registry, this only reads.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+
+    @property
+    def negotiations(self) -> int:
+        return self._registry.counter("proxy.negotiations").value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._registry.counter("proxy.cache.hits").value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._registry.counter("proxy.cache.misses").value
+
+    @property
+    def errors(self) -> int:
+        return self._registry.counter("proxy.errors").value
+
+    @property
+    def sessions_dropped(self) -> int:
+        return self._registry.counter("proxy.sessions.dropped").value
+
+    @property
+    def total_search_time_s(self) -> float:
+        return self._registry.histogram("proxy.search_seconds").total
 
     @property
     def hit_ratio(self) -> float:
@@ -80,24 +115,57 @@ class DistributionManager:
     The cache is bounded (strict LRU on ``max_entries``): client metadata
     is attacker-controlled input, and an unbounded mapping keyed on it
     would let one scanning client exhaust proxy memory.
+
+    Re-registering a PAD's distribution info (a new code version) drops
+    every cached entry whose path contains that PAD, so the next
+    negotiation hands out the new digest/URL instead of a stale tuple.
     """
 
     DEFAULT_MAX_ENTRIES = 4096
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_entries < 1:
             raise NegotiationError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self._registry = registry
         # (dev key, app id, ntwk key) -> finished client-ready PADMeta list
         self._cache: OrderedDict[tuple, tuple[PADMeta, ...]] = OrderedDict()
         self.cache_evictions = 0
+        self.cache_invalidations = 0
         # Distribution info registered by the application server.
         self._digests: dict[str, str] = {}
         self._urls: dict[str, str] = {}
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._registry is not None and amount:
+            self._registry.counter(name).inc(amount)
+
     def register_distribution(self, pad_id: str, digest: str, url: str) -> None:
+        changed = (self._digests.get(pad_id), self._urls.get(pad_id)) != (digest, url)
         self._digests[pad_id] = digest
         self._urls[pad_id] = url
+        if changed:
+            # Cached finished tuples embed the old digest/URL; serving
+            # them after a re-registration would hand clients a PAD the
+            # CDN no longer stores (or worse, the wrong code version).
+            self.invalidate_pad(pad_id)
+
+    def invalidate_pad(self, pad_id: str) -> int:
+        """Drop cache entries whose adaptation path contains ``pad_id``."""
+        stale = [
+            key
+            for key, metas in self._cache.items()
+            if any(m.resolved_id == pad_id for m in metas)
+        ]
+        for key in stale:
+            del self._cache[key]
+        self.cache_invalidations += len(stale)
+        self._count("proxy.dist.invalidations", len(stale))
+        return len(stale)
 
     def cache_key(self, dev: DevMeta, app_id: str, ntwk: NtwkMeta) -> tuple:
         return (dev.cache_key(), app_id, ntwk.cache_key())
@@ -139,6 +207,7 @@ class DistributionManager:
         while len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
             self.cache_evictions += 1
+            self._count("proxy.dist.evictions")
         return result
 
     def invalidate_app(self, app_id: str) -> int:
@@ -146,6 +215,8 @@ class DistributionManager:
         stale = [k for k in self._cache if k[1] == app_id]
         for k in stale:
             del self._cache[k]
+        self.cache_invalidations += len(stale)
+        self._count("proxy.dist.invalidations", len(stale))
         return len(stale)
 
     def __len__(self) -> int:
@@ -153,15 +224,35 @@ class DistributionManager:
 
 
 class AdaptationProxy:
-    """The complete proxy: a transport handler speaking INP."""
+    """The complete proxy: a transport handler speaking INP.
 
-    def __init__(self, model: OverheadModel, name: str = "proxy"):
+    ``max_sessions`` bounds the pending-session table: a client that
+    sends ``INIT_REQ`` and never follows with ``CLI_META_REP`` would
+    otherwise leak its entry forever.  Overflow drops the oldest pending
+    session (LRU, mirroring the distribution cache) and counts the drop
+    under ``proxy.sessions.dropped``.
+    """
+
+    DEFAULT_MAX_SESSIONS = 1024
+
+    def __init__(
+        self,
+        model: OverheadModel,
+        name: str = "proxy",
+        *,
+        telemetry: Optional[Telemetry] = None,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+    ):
+        if max_sessions < 1:
+            raise NegotiationError(f"max_sessions must be >= 1, got {max_sessions}")
         self.name = name
+        self.telemetry = telemetry or Telemetry()
+        self.max_sessions = max_sessions
         self.negotiation = NegotiationManager(model)
-        self.distribution = DistributionManager()
-        self.stats = ProxyStats()
-        # Pending sessions: session id -> app_id from INIT_REQ.
-        self._sessions: dict[str, str] = {}
+        self.distribution = DistributionManager(registry=self.telemetry.registry)
+        self.stats = ProxyStats(self.telemetry.registry)
+        # Pending sessions: session id -> app_id from INIT_REQ, LRU-bounded.
+        self._sessions: OrderedDict[str, str] = OrderedDict()
 
     # -- server-side registration ---------------------------------------------
 
@@ -175,19 +266,34 @@ class AdaptationProxy:
     # -- the negotiation core ---------------------------------------------------
 
     def negotiate(
-        self, app_id: str, dev: DevMeta, ntwk: NtwkMeta
+        self,
+        app_id: str,
+        dev: DevMeta,
+        ntwk: NtwkMeta,
+        *,
+        session_id: Optional[str] = None,
     ) -> tuple[PADMeta, ...]:
-        """Cache-first negotiation; returns client-ready PADMeta."""
-        self.stats.negotiations += 1
-        cached = self.distribution.lookup(dev, app_id, ntwk)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached
-        self.stats.cache_misses += 1
-        t0 = time.perf_counter()
-        result = self.negotiation.negotiate(app_id, dev, ntwk)
-        self.stats.total_search_time_s += time.perf_counter() - t0
-        return self.distribution.finish(dev, app_id, ntwk, result.path)
+        """Cache-first negotiation; returns client-ready PADMeta.
+
+        ``session_id`` (the INP session, when the call came over the
+        wire) keys the trace so the span tree lines up with the client's.
+        """
+        registry = self.telemetry.registry
+        tracer = self.telemetry.tracer
+        registry.counter("proxy.negotiations").inc()
+        with tracer.span("proxy.negotiate", trace=session_id, app=app_id) as span:
+            cached = self.distribution.lookup(dev, app_id, ntwk)
+            if cached is not None:
+                registry.counter("proxy.cache.hits").inc()
+                span.tag(cache="hit")
+                return cached
+            registry.counter("proxy.cache.misses").inc()
+            span.tag(cache="miss")
+            with tracer.span("proxy.search"):
+                with registry.timer("proxy.search_seconds"):
+                    result = self.negotiation.negotiate(app_id, dev, ntwk)
+            with tracer.span("proxy.finish"):
+                return self.distribution.finish(dev, app_id, ntwk, result.path)
 
     # -- INP transport handler ----------------------------------------------------
 
@@ -196,15 +302,23 @@ class AdaptationProxy:
         try:
             msg = inp.decode(request)
         except Exception as exc:  # malformed packet: no session to reply into
-            self.stats.errors += 1
+            self.telemetry.registry.counter("proxy.errors").inc()
             err = INPMessage(MsgType.INP_ERROR, "unknown", 0, {"error": str(exc)})
             return inp.encode(err)
         try:
             reply = self._dispatch(msg)
         except (FractalError, KeyError, ValueError) as exc:
-            self.stats.errors += 1
+            self.telemetry.registry.counter("proxy.errors").inc()
             reply = inp.error_reply(msg, str(exc))
         return inp.encode(reply)
+
+    def _remember_session(self, session_id: str, app_id: str) -> None:
+        self._sessions[session_id] = app_id
+        self._sessions.move_to_end(session_id)
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.telemetry.registry.counter("proxy.sessions.dropped").inc()
+        self.telemetry.registry.gauge("proxy.sessions.open").set(len(self._sessions))
 
     def _dispatch(self, msg: INPMessage) -> INPMessage:
         if msg.msg_type is MsgType.INIT_REQ:
@@ -213,7 +327,7 @@ class AdaptationProxy:
                 raise NegotiationError("INIT_REQ missing app_id")
             # Validate early so the client learns about unknown apps now.
             self.negotiation.pat(app_id)
-            self._sessions[msg.session_id] = app_id
+            self._remember_session(msg.session_id, app_id)
             # INIT_REP acknowledges and carries CLI_META_REQ: empty
             # DevMeta/NtwkMeta shapes for the client to fill (Fig. 4).
             return msg.reply(
@@ -238,8 +352,11 @@ class AdaptationProxy:
                 )
             dev = DevMeta.from_wire(msg.body.get("dev_meta", {}))
             ntwk = NtwkMeta.from_wire(msg.body.get("ntwk_meta", {}))
-            metas = self.negotiate(app_id, dev, ntwk)
+            metas = self.negotiate(app_id, dev, ntwk, session_id=msg.session_id)
             del self._sessions[msg.session_id]
+            self.telemetry.registry.gauge("proxy.sessions.open").set(
+                len(self._sessions)
+            )
             return msg.reply(
                 MsgType.PAD_META_REP,
                 {"pads": [m.to_client_wire() for m in metas]},
@@ -247,3 +364,7 @@ class AdaptationProxy:
         raise NegotiationError(
             f"proxy cannot handle message type {msg.msg_type.value}"
         )
+
+    @property
+    def pending_sessions(self) -> int:
+        return len(self._sessions)

@@ -16,6 +16,7 @@ from ..cdn import Deployment, build_deployment, push_all
 from ..mobilecode import Signer, TrustStore, generate_keypair
 from ..protocols.padlib import PAD_SPECS
 from ..simnet.transport import InProcessTransport
+from ..telemetry import Telemetry
 from ..workload.pages import Corpus
 from ..workload.profiles import ClientEnvironment
 from .appserver import ApplicationServer, default_pad_overheads
@@ -68,6 +69,7 @@ class CaseStudySystem:
     transport: InProcessTransport
     trust_store: TrustStore
     overheads: dict[str, PADOverhead]
+    telemetry: Telemetry = field(default_factory=Telemetry)
     clients: list[FractalClient] = field(default_factory=list)
     _client_counter: int = 0
 
@@ -99,6 +101,7 @@ class CaseStudySystem:
             appserver_endpoint=APPSERVER_ENDPOINT,
             cdn_fetch=cdn_fetch,
             trust_store=self.trust_store,
+            telemetry=self.telemetry,
         )
         self.clients.append(client)
         return client
@@ -115,6 +118,7 @@ def build_case_study(
     n_edges: int = 20,
     rho: float = 0.8,
     seed: int = 2005,
+    telemetry: Optional[Telemetry] = None,
 ) -> CaseStudySystem:
     """Assemble the full case-study system.
 
@@ -126,6 +130,9 @@ def build_case_study(
     negotiation crossovers land where the paper's 2005 testbed put them.
     """
     pad_ids = tuple(pad_ids)
+    # One shared bundle for the whole testbed: client spans and proxy
+    # spans land on the same tracer, counters in the same registry.
+    telemetry = telemetry or Telemetry()
     corpus = corpus or Corpus()
     key = generate_keypair(_RSA_BITS)
     signer = Signer(SIGNER_NAME, key)
@@ -142,19 +149,23 @@ def build_case_study(
     if era:
         overheads = era_overheads(overheads)
 
-    appserver = ApplicationServer(APP_ID, corpus, signer, proactive=proactive)
+    appserver = ApplicationServer(
+        APP_ID, corpus, signer, proactive=proactive, telemetry=telemetry
+    )
     for meta in case_study_app_meta_pads(overheads, pad_ids):
         appserver.deploy_pad(meta)
 
     a, b, r = paper_case_study_matrices()
     model = OverheadModel(cpu_matrix=a, os_matrix=b, net_matrix=r, rho=rho)
-    proxy = AdaptationProxy(model)
+    proxy = AdaptationProxy(model, telemetry=telemetry)
 
-    deployment = build_deployment(n_edges=n_edges, seed=seed)
+    deployment = build_deployment(
+        n_edges=n_edges, seed=seed, registry=telemetry.registry
+    )
     appserver.publish(proxy, deployment.origin)
     push_all(deployment.origin, deployment.edges)
 
-    transport = InProcessTransport()
+    transport = InProcessTransport(registry=telemetry.registry)
     transport.bind(PROXY_ENDPOINT, proxy.handle)
     transport.bind(APPSERVER_ENDPOINT, appserver.handle)
 
@@ -166,4 +177,5 @@ def build_case_study(
         transport=transport,
         trust_store=trust_store,
         overheads=overheads,
+        telemetry=telemetry,
     )

@@ -43,15 +43,13 @@ class ModuleLoader:
         self.require_signature = require_signature
         self.loaded: dict[str, LoadedModule] = {}
 
-    def load(
+    def verify(
         self,
         signed: SignedModule,
         *,
         expected_digest: Optional[str] = None,
-        init_args: tuple = (),
-        init_kwargs: Optional[dict] = None,
-    ) -> LoadedModule:
-        """Verify and deploy; returns the live entry-point instance.
+    ) -> MobileCodeModule:
+        """Verification half of the pipeline: signature + digest checks.
 
         ``expected_digest`` is the SHA-1 from the negotiated ``PADMeta`` —
         pass it whenever available so a CDN serving stale or tampered bytes
@@ -63,6 +61,16 @@ class ModuleLoader:
             module = signed.module
         if expected_digest is not None:
             module.verify_digest(expected_digest)
+        return module
+
+    def deploy(
+        self,
+        module: MobileCodeModule,
+        *,
+        init_args: tuple = (),
+        init_kwargs: Optional[dict] = None,
+    ) -> LoadedModule:
+        """Deployment half: sandbox-exec a *verified* module, instantiate it."""
         namespace = self.sandbox.execute(module.source, f"<pad:{module.name}>")
         entry = namespace.get(module.entry_point)
         if entry is None:
@@ -78,6 +86,18 @@ class ModuleLoader:
         loaded = LoadedModule(module=module, namespace=namespace, instance=instance)
         self.loaded[module.name] = loaded
         return loaded
+
+    def load(
+        self,
+        signed: SignedModule,
+        *,
+        expected_digest: Optional[str] = None,
+        init_args: tuple = (),
+        init_kwargs: Optional[dict] = None,
+    ) -> LoadedModule:
+        """Verify then deploy; returns the live entry-point instance."""
+        module = self.verify(signed, expected_digest=expected_digest)
+        return self.deploy(module, init_args=init_args, init_kwargs=init_kwargs)
 
     def unload(self, name: str) -> None:
         self.loaded.pop(name, None)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
+from ..telemetry import DEFAULT_TIME_BUCKETS_S, MetricsRegistry
 from .kernel import Simulator
 from .link import LinkSpec
 
@@ -60,11 +61,18 @@ class TrafficMeter:
 
 
 class InProcessTransport:
-    """Direct-call transport: request() invokes the handler synchronously."""
+    """Direct-call transport: request() invokes the handler synchronously.
 
-    def __init__(self) -> None:
+    With a ``registry``, aggregate traffic is mirrored into
+    ``transport.bytes``/``transport.requests`` counters and each
+    request's handler time lands in the ``transport.request_seconds``
+    histogram (per-endpoint byte truth stays on the meters).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._handlers: dict[str, Handler] = {}
         self.meters: dict[str, TrafficMeter] = {}
+        self._registry = registry
 
     def bind(self, endpoint: str, handler: Handler) -> None:
         if endpoint in self._handlers:
@@ -87,7 +95,11 @@ class InProcessTransport:
             raise TransportError(f"no handler bound for endpoint {dst!r}")
         self.meter(src).record_send(len(payload))
         self.meter(dst).record_receive(len(payload))
-        response = handler(payload)
+        if self._registry is not None:
+            with self._registry.timer("transport.request_seconds"):
+                response = handler(payload)
+        else:
+            response = handler(payload)
         if not isinstance(response, (bytes, bytearray)):
             raise TransportError(
                 f"handler for {dst!r} returned {type(response)!r}, expected bytes"
@@ -95,6 +107,11 @@ class InProcessTransport:
         response = bytes(response)
         self.meter(dst).record_send(len(response))
         self.meter(src).record_receive(len(response))
+        if self._registry is not None:
+            self._registry.counter("transport.requests").inc()
+            self._registry.counter("transport.bytes").inc(
+                len(payload) + len(response)
+            )
         return response
 
 
@@ -107,15 +124,36 @@ class SimChannel:
     response back.
     """
 
-    def __init__(self, sim: Simulator, link: LinkSpec):
+    def __init__(
+        self,
+        sim: Simulator,
+        link: LinkSpec,
+        *,
+        name: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.sim = sim
         self.link = link
+        self.name = name or link.network_type.value
+        # Per-link telemetry under *simulated* time: the registry's clock
+        # is ignored here — latency observations are sim.now deltas.
+        self._registry = registry
         self.meter = TrafficMeter()
+
+    def _record(self, nbytes: int, elapsed_s: float) -> None:
+        if self._registry is None:
+            return
+        self._registry.counter(f"simnet.link.{self.name}.bytes").inc(nbytes)
+        self._registry.histogram(
+            f"simnet.link.{self.name}.latency_s", DEFAULT_TIME_BUCKETS_S
+        ).observe(elapsed_s)
 
     def transfer(self, size_bytes: int) -> Generator:
         """Process: occupy the link while ``size_bytes`` serialize."""
         self.meter.record_send(size_bytes)
+        t0 = self.sim.now
         yield self.sim.timeout(self.link.transfer_time(size_bytes))
+        self._record(size_bytes, self.sim.now - t0)
 
     def round_trip(
         self,
@@ -134,9 +172,11 @@ class SimChannel:
         if not 0.0 < bandwidth_share <= 1.0:
             raise ValueError(f"bandwidth_share must be in (0,1], got {bandwidth_share}")
         link = self.link if bandwidth_share == 1.0 else self.link.scaled(bandwidth_share)
+        t0 = self.sim.now
         self.meter.record_send(request_bytes)
         yield self.sim.timeout(link.transfer_time(request_bytes))
         if service_time > 0.0:
             yield self.sim.timeout(service_time)
         self.meter.record_receive(response_bytes)
         yield self.sim.timeout(link.transfer_time(response_bytes))
+        self._record(request_bytes + response_bytes, self.sim.now - t0)

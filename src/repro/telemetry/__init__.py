@@ -1,0 +1,76 @@
+"""Zero-dependency observability: metrics registry + span tracing.
+
+The paper's evaluation is entirely about where time goes (negotiation
+vs. retrieval vs. deployment vs. adaptation — Figs. 9–11), so every
+component in this reproduction reports into one of two sinks:
+
+* :class:`MetricsRegistry` — named counters, gauges, and fixed-bucket
+  histograms, with ``timer()``/``timed()`` helpers;
+* :class:`Tracer` — nested spans per negotiation session, exportable as
+  JSON and aggregable into a per-stage breakdown table.
+
+Both read time through a pluggable clock (:func:`wall_clock` or
+:class:`SimClock`), so the same instrumentation works on the real system
+and on the discrete-event simulator.
+
+:class:`Telemetry` bundles one registry + one tracer behind one clock;
+components take an optional ``telemetry=`` argument and create a private
+bundle when none is supplied, while :func:`repro.core.system.build_case_study`
+shares a single bundle across the whole Fig.-1 testbed so client spans
+and proxy spans land in the same trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .clock import Clock, SimClock, wall_clock
+from .registry import (
+    DEFAULT_SIZE_BUCKETS_BYTES,
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+)
+from .tracing import Span, Tracer, stage_rows
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "wall_clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryError",
+    "Span",
+    "Tracer",
+    "stage_rows",
+    "Telemetry",
+    "DEFAULT_TIME_BUCKETS_S",
+    "DEFAULT_SIZE_BUCKETS_BYTES",
+]
+
+
+class Telemetry:
+    """One registry + one tracer sharing one clock."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock: Clock = clock or wall_clock
+        self.registry = MetricsRegistry(self.clock)
+        self.tracer = Tracer(self.clock)
+
+    @classmethod
+    def simulated(cls, sim) -> "Telemetry":
+        """A bundle driven by a simulator's virtual time."""
+        return cls(SimClock(sim))
+
+    def snapshot(self) -> dict:
+        """Combined JSON-ready snapshot: metrics + trace export."""
+        return {"metrics": self.registry.snapshot(), "traces": self.tracer.export()}
+
+    def reset(self) -> None:
+        self.registry.reset()
+        self.tracer.clear()

@@ -1,0 +1,41 @@
+"""Pluggable time sources for telemetry.
+
+Every telemetry primitive (timers, span start/end stamps) reads time
+through a zero-argument callable, so the same registry/tracer code runs
+under wall-clock time (the real proxy, the bench harness) and under
+simulated time (a :class:`~repro.simnet.kernel.Simulator` driving the
+capacity experiments).  Durations are always "whatever the clock says",
+in seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "wall_clock", "SimClock"]
+
+Clock = Callable[[], float]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+class SimClock:
+    """A clock that reads a discrete-event simulator's virtual time.
+
+    Works with any object exposing a ``now`` attribute in seconds —
+    in this repo, :class:`repro.simnet.kernel.Simulator`.  A timer or
+    span wrapped around ``yield sim.timeout(...)`` statements inside a
+    process generator therefore measures *simulated* elapsed time.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def __call__(self) -> float:
+        return self.sim.now

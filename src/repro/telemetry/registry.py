@@ -1,0 +1,269 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the single sink for every numeric measurement in the
+reproduction (proxy cache hits, CDN bytes served, per-link latency, …),
+replacing the ad-hoc counter dataclasses and ``perf_counter()`` pairs
+that used to live in each component.  Design constraints:
+
+* **Zero dependencies** — plain dicts and lists, JSON-serializable
+  snapshots.
+* **Pluggable time** — ``timer()``/``timed()`` read the registry clock
+  (:mod:`repro.telemetry.clock`), so the same instrumentation measures
+  wall time on the real system and virtual time on the simulator.
+* **Stable names** — metrics are flat dotted strings
+  (``"proxy.cache.hits"``); registering the same name as two different
+  kinds is an error, re-requesting it is a cheap lookup.
+
+Histogram buckets are *fixed at creation* (upper bounds, inclusive,
+plus an implicit +inf overflow bucket), so snapshots from different runs
+diff cleanly — the point of the bench trajectory.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import math
+from bisect import bisect_left
+from typing import Callable, Optional, Sequence
+
+from .clock import Clock, wall_clock
+
+__all__ = [
+    "TelemetryError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS_S",
+    "DEFAULT_SIZE_BUCKETS_BYTES",
+]
+
+
+class TelemetryError(Exception):
+    """Raised for metric kind collisions and malformed bucket specs."""
+
+
+# Latency-style buckets: 100 µs .. 10 s, roughly geometric.  Everything
+# in the paper's evaluation (negotiation, retrieval, deployment) lands
+# inside this range on both the 2005 testbed and a modern host.
+DEFAULT_TIME_BUCKETS_S: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+# Object-size buckets: 256 B .. 4 MiB (PADs, pages, INP packets).
+DEFAULT_SIZE_BUCKETS_BYTES: tuple[float, ...] = (
+    256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+)
+
+
+class Counter:
+    """A monotonically increasing integer-or-float counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (open sessions, cache bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing order;
+    an observation ``x`` lands in the first bucket whose bound is
+    ``>= x``.  Observations above the last bound land in the implicit
+    +inf overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise TelemetryError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise TelemetryError(
+                f"histogram {name!r} buckets must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # [-inf..b0], (b0..b1], ..., overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, x: float) -> None:
+        self.counts[bisect_left(self.bounds, x)] += 1
+        self.count += 1
+        self.total += x
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def bucket_rows(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) rows; last bound is +inf."""
+        rows = []
+        cum = 0
+        for bound, n in zip((*self.bounds, math.inf), self.counts):
+            cum += n
+            rows.append((bound, cum))
+        return rows
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "buckets": [
+                # inf serialized as string so the snapshot stays valid JSON
+                ["inf" if math.isinf(b) else b, c] for b, c in self.bucket_rows()
+            ],
+        }
+
+
+class _Timer:
+    """Context manager: observes elapsed clock time into a histogram."""
+
+    __slots__ = ("_clock", "_hist", "_start", "elapsed_s")
+
+    def __init__(self, clock: Clock, hist: Histogram) -> None:
+        self._clock = clock
+        self._hist = hist
+        self._start = 0.0
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_s = self._clock() - self._start
+        self._hist.observe(self.elapsed_s)
+
+
+class MetricsRegistry:
+    """Flat namespace of counters/gauges/histograms behind one clock."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock: Clock = clock or wall_clock
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory: Callable[[], object]):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TelemetryError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, buckets))
+
+    def timer(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S
+    ) -> _Timer:
+        """``with registry.timer("proxy.search_seconds"): ...``"""
+        return _Timer(self.clock, self.histogram(name, buckets))
+
+    def timed(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S
+    ) -> Callable:
+        """Decorator form of :meth:`timer`."""
+
+        def decorate(fn: Callable) -> Callable:
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.timer(name, buckets):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- export ------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot: ``{"counters": .., "gauges": .., "histograms": ..}``."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.snapshot()
+            else:
+                out["histograms"][name] = metric.snapshot()
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every metric in place (bench epoch boundaries)."""
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                metric.value = 0
+            elif isinstance(metric, Gauge):
+                metric.value = 0.0
+            else:
+                metric.counts = [0] * len(metric.counts)
+                metric.count = 0
+                metric.total = 0.0
+                metric.minimum = math.inf
+                metric.maximum = -math.inf

@@ -1,0 +1,233 @@
+"""Span-based tracing for negotiation/retrieval sessions.
+
+The paper's evaluation is a per-stage time breakdown (Figs. 9–11):
+*where* does a session spend its time — negotiation, PAD retrieval,
+verification, deployment, the adapted transfer itself?  A
+:class:`Tracer` answers that with nested spans:
+
+* a **span** is one named stage with a start/end stamp (from the
+  pluggable clock), a tag dict, and child spans;
+* a **trace** is the tree hanging off one root span, keyed by a trace id
+  (we use the INP session id, so one negotiation session = one trace);
+* the tracer keeps a stack of active spans — entering a span while
+  another is open makes it a child, which is exactly right for the
+  synchronous in-process call graph (the proxy's ``search`` span nests
+  inside the client's ``negotiate`` span when they share a tracer).
+
+Everything exports to plain JSON (:meth:`Tracer.export`), and
+:func:`stage_rows` aggregates any export into the Fig.-11-style
+per-stage table that ``bench/reporting.py`` renders.
+
+Finished traces are bounded (``max_traces``, oldest dropped first): the
+tracer must survive a 10k-session churn loop without becoming the very
+memory leak this PR fixes in the proxy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .clock import Clock, wall_clock
+
+__all__ = ["Span", "Tracer", "stage_rows"]
+
+
+class Span:
+    """One named stage of a trace."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "start_s", "end_s",
+        "tags", "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_s: float,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.tags: dict[str, object] = {}
+        self.children: list[Span] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def tag(self, **kv: object) -> "Span":
+        self.tags.update(kv)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "tags": dict(self.tags),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Records nested spans per session; bounded trace retention."""
+
+    DEFAULT_MAX_TRACES = 512
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        max_traces: int = DEFAULT_MAX_TRACES,
+    ) -> None:
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self.clock: Clock = clock or wall_clock
+        self.max_traces = max_traces
+        self._stack: list[Span] = []
+        # trace id -> finished root spans, insertion-ordered for FIFO drop.
+        self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self.traces_dropped = 0
+
+    # -- recording ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, *, trace: Optional[str] = None, **tags: object):
+        """Open a span; nests under the currently active span if any.
+
+        ``trace`` names the trace id for a *root* span (e.g. the INP
+        session id); child spans always inherit their parent's trace id.
+        """
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            trace_id = parent.trace_id
+        else:
+            trace_id = trace if trace is not None else f"trace-{next(self._ids)}"
+        sp = Span(name, trace_id, next(self._ids),
+                  parent.span_id if parent else None, self.clock())
+        if tags:
+            sp.tags.update(tags)
+        if parent is not None:
+            parent.children.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.end_s = self.clock()
+            self._stack.pop()
+            if parent is None:
+                self._keep_root(sp)
+
+    def _keep_root(self, root: Span) -> None:
+        self._traces.setdefault(root.trace_id, []).append(root)
+        while len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+            self.traces_dropped += 1
+
+    @property
+    def active_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- reading ------------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        return list(self._traces)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Finished root spans of one trace (empty list if unknown)."""
+        return list(self._traces.get(trace_id, ()))
+
+    def spans(self) -> Iterator[Span]:
+        """Every finished span across every retained trace."""
+        for roots in self._traces.values():
+            for root in roots:
+                yield from root.walk()
+
+    # -- export -------------------------------------------------------------
+
+    def export(self) -> dict:
+        """JSON-ready dict: ``{"traces": {trace_id: [root span dicts]}}``."""
+        return {
+            "traces": {
+                tid: [r.to_dict() for r in roots]
+                for tid, roots in self._traces.items()
+            },
+            "traces_dropped": self.traces_dropped,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.export(), indent=indent, sort_keys=True)
+
+    def stage_rows(self) -> list[dict]:
+        """Aggregate retained spans into Fig.-11-style stage rows."""
+        return stage_rows(self.export())
+
+    def clear(self) -> None:
+        """Drop retained traces (active spans are left alone)."""
+        self._traces.clear()
+
+
+def stage_rows(export: dict) -> list[dict]:
+    """Aggregate a :meth:`Tracer.export` dict into per-stage rows.
+
+    Works on the plain JSON export (not live ``Span`` objects), so a
+    snapshot written to disk by one process can be tabulated by another
+    — this is the form ``bench/reporting.py`` consumes.
+
+    Returns rows sorted by total time descending::
+
+        {"stage": name, "count": n, "total_s": t, "mean_s": t/n,
+         "share": t / sum-over-root-spans}
+    """
+    totals: dict[str, list[float]] = {}
+
+    def visit(span_dict: dict) -> None:
+        agg = totals.setdefault(span_dict["name"], [0, 0.0])
+        agg[0] += 1
+        agg[1] += span_dict.get("duration_s") or 0.0
+        for child in span_dict.get("children", ()):
+            visit(child)
+
+    root_total = 0.0
+    for roots in export.get("traces", {}).values():
+        for root in roots:
+            root_total += root.get("duration_s") or 0.0
+            visit(root)
+
+    rows = []
+    for name, (count, total) in totals.items():
+        rows.append(
+            {
+                "stage": name,
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+                "share": (total / root_total) if root_total > 0 else 0.0,
+            }
+        )
+    rows.sort(key=lambda r: (-r["total_s"], r["stage"]))
+    return rows

@@ -75,6 +75,43 @@ class TestLRUCache:
         c.clear()
         assert len(c) == 0 and c.used_bytes == 0
 
+    def test_clear_preserves_stat_counters(self):
+        # clear() drops contents only: hit/miss/eviction history is
+        # traffic served, not occupancy — it must survive a clear.
+        c = LRUCache(4)
+        c.put("a", b"1234")
+        c.get("a")
+        c.get("nope")
+        c.put("b", b"1234")  # evicts a
+        c.clear()
+        assert c.hits == 1 and c.misses == 1 and c.evictions == 1
+        assert len(c) == 0 and c.used_bytes == 0
+
+    def test_reset_stats_starts_fresh_epoch(self):
+        c = LRUCache(100)
+        c.put("a", b"1")
+        c.get("a")
+        c.get("nope")
+        c.reset_stats()
+        assert c.hits == 0 and c.misses == 0 and c.evictions == 0
+        assert c.hit_ratio == 0.0
+        # Contents untouched: the epoch boundary is about counters only.
+        assert c.get("a") == b"1"
+        assert c.hits == 1 and c.hit_ratio == 1.0
+
+    def test_registry_mirror_counts_hits_misses_evictions(self):
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        c = LRUCache(4, registry=reg)
+        c.put("a", b"1234")
+        c.get("a")
+        c.get("nope")
+        c.put("b", b"1234")  # evicts a
+        assert reg.counter("cdn.cache.hits").value == 1
+        assert reg.counter("cdn.cache.misses").value == 1
+        assert reg.counter("cdn.cache.evictions").value == 1
+
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             LRUCache(0)

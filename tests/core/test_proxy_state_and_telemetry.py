@@ -1,0 +1,189 @@
+"""Regression tests for the proxy state leaks + telemetry wiring.
+
+Covers the two bugs fixed in this PR:
+
+* ``AdaptationProxy._sessions`` used to grow without bound when clients
+  sent ``INIT_REQ`` and never followed up with ``CLI_META_REP``;
+* ``DistributionManager.register_distribution`` used to leave stale
+  finished ``PADMeta`` tuples in the adaptation cache after a PAD's
+  digest/URL was re-registered (a new code version).
+"""
+
+import pytest
+
+from repro.core import inp
+from repro.core.inp import INPMessage, MsgType
+from repro.core.metadata import AppMeta, DevMeta, NtwkMeta, PADMeta, PADOverhead
+from repro.core.overhead import OverheadModel
+from repro.core.proxy import AdaptationProxy
+
+DEV = DevMeta("FedoraCore2", "PentiumIV", 2000.0, 512.0)
+NTWK = NtwkMeta("LAN", 100_000.0)
+
+
+def pad(pad_id, cli):
+    return PADMeta(
+        pad_id=pad_id, size_bytes=100,
+        overhead=PADOverhead(traffic_std_bytes=0, client_comp_std_s=cli,
+                             server_comp_s=0),
+    )
+
+
+def make_proxy(**kwargs):
+    p = AdaptationProxy(OverheadModel(), **kwargs)
+    p.push_app_meta(AppMeta("app", (pad("cheap", 0.01), pad("dear", 1.0))))
+    p.register_distribution("cheap", "c" * 40, "cdn://cheap/1")
+    p.register_distribution("dear", "d" * 40, "cdn://dear/1")
+    return p
+
+
+class TestSessionBound:
+    def test_abandoned_init_reqs_stay_bounded(self):
+        proxy = make_proxy(max_sessions=64)
+        for i in range(10_000):
+            init = INPMessage(MsgType.INIT_REQ, f"ghost-{i}", 0, {"app_id": "app"})
+            rep = inp.decode(proxy.handle(inp.encode(init)))
+            assert rep.msg_type is MsgType.INIT_REP
+            # The client vanishes: CLI_META_REP never arrives.
+        assert proxy.pending_sessions <= 64
+        assert proxy.stats.sessions_dropped == 10_000 - 64
+        assert proxy.telemetry.registry.gauge("proxy.sessions.open").value == 64
+
+    def test_drop_is_oldest_first(self):
+        proxy = make_proxy(max_sessions=2)
+        for sid in ("s1", "s2", "s3"):
+            proxy.handle(inp.encode(
+                INPMessage(MsgType.INIT_REQ, sid, 0, {"app_id": "app"})
+            ))
+        # s1 was dropped; its CLI_META_REP is now an unknown session.
+        cli = INPMessage(
+            MsgType.CLI_META_REP, "s1", 2,
+            {"dev_meta": DEV.to_wire(), "ntwk_meta": NTWK.to_wire()},
+        )
+        rep = inp.decode(proxy.handle(inp.encode(cli)))
+        assert rep.msg_type is MsgType.INP_ERROR
+        # s3 survived and completes normally.
+        cli3 = INPMessage(
+            MsgType.CLI_META_REP, "s3", 2,
+            {"dev_meta": DEV.to_wire(), "ntwk_meta": NTWK.to_wire()},
+        )
+        rep3 = inp.decode(proxy.handle(inp.encode(cli3)))
+        assert rep3.msg_type is MsgType.PAD_META_REP
+
+    def test_completed_sessions_release_their_slot(self):
+        proxy = make_proxy(max_sessions=8)
+        for i in range(100):
+            sid = f"s{i}"
+            proxy.handle(inp.encode(
+                INPMessage(MsgType.INIT_REQ, sid, 0, {"app_id": "app"})
+            ))
+            proxy.handle(inp.encode(INPMessage(
+                MsgType.CLI_META_REP, sid, 2,
+                {"dev_meta": DEV.to_wire(), "ntwk_meta": NTWK.to_wire()},
+            )))
+        assert proxy.pending_sessions == 0
+        assert proxy.stats.sessions_dropped == 0
+
+
+class TestDistributionInvalidation:
+    def test_reregistration_invalidates_cached_pads(self):
+        proxy = make_proxy()
+        (before,) = proxy.negotiate("app", DEV, NTWK)
+        assert before.digest == "c" * 40
+        # New code version for the PAD the cached path contains.
+        proxy.register_distribution("cheap", "e" * 40, "cdn://cheap/2")
+        (after,) = proxy.negotiate("app", DEV, NTWK)
+        assert after.digest == "e" * 40
+        assert after.url == "cdn://cheap/2"
+        assert proxy.stats.cache_misses == 2  # the stale entry was dropped
+
+    def test_reregistration_of_unrelated_pad_keeps_cache(self):
+        proxy = make_proxy()
+        proxy.negotiate("app", DEV, NTWK)  # caches the 'cheap' path
+        proxy.register_distribution("dear", "f" * 40, "cdn://dear/2")
+        proxy.negotiate("app", DEV, NTWK)
+        assert proxy.stats.cache_hits == 1  # 'cheap' entry survived
+
+    def test_identical_reregistration_is_a_noop(self):
+        proxy = make_proxy()
+        proxy.negotiate("app", DEV, NTWK)
+        proxy.register_distribution("cheap", "c" * 40, "cdn://cheap/1")
+        proxy.negotiate("app", DEV, NTWK)
+        assert proxy.stats.cache_hits == 1
+        assert proxy.distribution.cache_invalidations == 0
+
+    def test_invalidation_counted_in_telemetry(self):
+        proxy = make_proxy()
+        proxy.negotiate("app", DEV, NTWK)
+        proxy.register_distribution("cheap", "e" * 40, "cdn://cheap/2")
+        assert proxy.distribution.cache_invalidations == 1
+        reg = proxy.telemetry.registry
+        assert reg.counter("proxy.dist.invalidations").value == 1
+
+
+class TestChurnLoop:
+    def test_300_client_churn_stays_bounded_and_fresh(self):
+        """300 clients churning; half abandon, PADs re-registered mid-run."""
+        proxy = make_proxy(max_sessions=32)
+        digests = {"cheap": "c" * 40}
+        version = 1
+        for i in range(300):
+            sid = f"churn-{i}"
+            proxy.handle(inp.encode(
+                INPMessage(MsgType.INIT_REQ, sid, 0, {"app_id": "app"})
+            ))
+            if i % 2 == 0:
+                continue  # abandoned session: INIT_REQ only
+            # Distinct bandwidth per client → every negotiation misses the
+            # adaptation cache, exercising search + finish under churn.
+            ntwk = NtwkMeta("LAN", 100_000.0 + i)
+            rep = inp.decode(proxy.handle(inp.encode(INPMessage(
+                MsgType.CLI_META_REP, sid, 2,
+                {"dev_meta": DEV.to_wire(), "ntwk_meta": ntwk.to_wire()},
+            ))))
+            assert rep.msg_type is MsgType.PAD_META_REP
+            assert rep.body["pads"][0]["digest"] == digests["cheap"]
+            if i % 50 == 1:
+                # Upgrade the PAD every 50 clients; later replies must
+                # carry the new digest, never a stale cached one.
+                version += 1
+                digests["cheap"] = f"{version:040d}"
+                proxy.register_distribution(
+                    "cheap", digests["cheap"], f"cdn://cheap/{version}"
+                )
+        assert proxy.pending_sessions <= 32
+        assert proxy.stats.sessions_dropped > 0
+        assert len(proxy.distribution) <= proxy.distribution.max_entries
+        # Telemetry observed the whole run.
+        reg = proxy.telemetry.registry
+        assert reg.counter("proxy.negotiations").value == 150
+        assert proxy.stats.total_search_time_s > 0.0
+
+
+class TestProxySpans:
+    def test_negotiation_records_span_chain(self):
+        proxy = make_proxy()
+        proxy.negotiate("app", DEV, NTWK, session_id="sess-1")
+        (root,) = proxy.telemetry.tracer.trace("sess-1")
+        assert root.name == "proxy.negotiate"
+        assert root.tags["cache"] == "miss"
+        assert [c.name for c in root.children] == ["proxy.search", "proxy.finish"]
+        assert all(c.duration_s >= 0.0 for c in root.walk())
+
+    def test_cache_hit_span_has_no_children(self):
+        proxy = make_proxy()
+        proxy.negotiate("app", DEV, NTWK, session_id="sess-1")
+        proxy.negotiate("app", DEV, NTWK, session_id="sess-2")
+        (root,) = proxy.telemetry.tracer.trace("sess-2")
+        assert root.tags["cache"] == "hit"
+        assert root.children == []
+
+    def test_stats_view_matches_registry(self):
+        proxy = make_proxy()
+        proxy.negotiate("app", DEV, NTWK)
+        proxy.negotiate("app", DEV, NTWK)
+        reg = proxy.telemetry.registry
+        assert proxy.stats.negotiations == reg.counter("proxy.negotiations").value == 2
+        assert proxy.stats.cache_hits == 1
+        assert proxy.stats.cache_misses == 1
+        assert proxy.stats.hit_ratio == pytest.approx(0.5)

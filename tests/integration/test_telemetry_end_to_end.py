@@ -1,0 +1,63 @@
+"""One negotiation+retrieval session must yield a full span tree and a
+telemetry snapshot that bench/reporting can render without massaging."""
+
+import json
+
+import pytest
+
+from repro.bench.reporting import render_metrics_counters, render_trace_stages
+from repro.core.system import APP_ID, build_case_study
+from repro.workload.profiles import PAPER_ENVIRONMENTS
+
+
+@pytest.fixture(scope="module")
+def system(small_corpus):
+    sys = build_case_study(corpus=small_corpus, calibrate=False)
+    client = sys.make_client(PAPER_ENVIRONMENTS[0])
+    old = sys.corpus.evolved(0, 0)
+    client.request_page(
+        APP_ID, 0, old_parts=[old.text, *old.images], old_version=0, new_version=1
+    )
+    return sys
+
+
+class TestSessionSpanTree:
+    def test_session_produces_nested_span_tree(self, system):
+        export = system.telemetry.tracer.export()
+        assert len(export["traces"]) >= 1
+        # The client's page request is the only root span; proxy and
+        # server spans must have nested under it via the shared tracer.
+        roots = [r for spans in export["traces"].values() for r in spans]
+        sessions = [r for r in roots if r["name"] == "session"]
+        assert len(sessions) == 1
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                collect(child)
+
+        collect(sessions[0])
+        # Acceptance: >= 4 named stages in a single session's tree.
+        assert {"session", "negotiate", "pad_retrieval", "app_exchange"} <= names
+        assert "proxy.negotiate" in names  # proxy side joined the same tree
+
+    def test_export_round_trips_through_json_into_report(self, system):
+        export = json.loads(system.telemetry.tracer.to_json())
+        table = render_trace_stages(export)
+        assert "Per-stage time breakdown" in table
+        assert "session" in table and "negotiate" in table
+        assert "% of session" in table
+
+    def test_metrics_snapshot_renders(self, system):
+        snap = json.loads(system.telemetry.registry.to_json())
+        table = render_metrics_counters(snap)
+        assert "proxy.negotiations" in table
+        assert "client.pad_download_bytes" in table
+
+    def test_session_result_times_come_from_spans(self, system):
+        export = system.telemetry.tracer.export()
+        roots = [r for spans in export["traces"].values() for r in spans]
+        (session,) = [r for r in roots if r["name"] == "session"]
+        child_total = sum(c["duration_s"] for c in session["children"])
+        assert 0.0 <= child_total <= session["duration_s"] + 1e-9

@@ -1,0 +1,165 @@
+"""Metrics registry tests: counters, gauges, histogram edges, timers."""
+
+import json
+import math
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.telemetry import (
+    MetricsRegistry,
+    SimClock,
+    Telemetry,
+    TelemetryError,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            reg.counter("a").inc(-1)
+
+    def test_gauge_up_down_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("open")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value == 1
+        g.set(42)
+        assert g.value == 42
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TelemetryError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(TelemetryError, match="already registered"):
+            reg.histogram("x")
+
+    def test_same_name_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("n") is reg.counter("n")
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)  # exactly on an edge -> that bucket, not the next
+        h.observe(1.5)
+        h.observe(2.0)
+        h.observe(4.0001)  # above the last bound -> overflow bucket
+        assert h.counts == [1, 2, 0, 1]
+
+    def test_cumulative_rows_end_at_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        for x in (0.5, 1.5, 99.0):
+            h.observe(x)
+        rows = h.bucket_rows()
+        assert rows == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_sum_count_min_max_mean(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(10.0,))
+        for x in (1.0, 2.0, 3.0):
+            h.observe(x)
+        assert h.count == 3
+        assert h.total == pytest.approx(6.0)
+        assert h.mean == pytest.approx(2.0)
+        assert h.minimum == 1.0 and h.maximum == 3.0
+
+    def test_buckets_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            reg.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(TelemetryError, match="at least one bucket"):
+            reg.histogram("empty", buckets=())
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(7.0)
+        text = reg.to_json()
+        snap = json.loads(text)
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["buckets"][-1][0] == "inf"
+
+
+class TestTimers:
+    def test_timer_uses_registry_clock(self):
+        ticks = iter([10.0, 13.5])
+        reg = MetricsRegistry(clock=lambda: next(ticks))
+        with reg.timer("op_seconds", buckets=(1.0, 5.0)) as t:
+            pass
+        assert t.elapsed_s == pytest.approx(3.5)
+        h = reg.histogram("op_seconds", buckets=(1.0, 5.0))
+        assert h.count == 1 and h.total == pytest.approx(3.5)
+
+    def test_timed_decorator(self):
+        ticks = iter([0.0, 2.0, 5.0, 6.0])
+        reg = MetricsRegistry(clock=lambda: next(ticks))
+
+        @reg.timed("fn_seconds", buckets=(1.0, 10.0))
+        def fn(x):
+            return x * 2
+
+        assert fn(3) == 6
+        assert fn(4) == 8
+        h = reg.histogram("fn_seconds", buckets=(1.0, 10.0))
+        assert h.count == 2 and h.total == pytest.approx(3.0)
+
+    def test_timer_observes_even_on_exception(self):
+        ticks = iter([1.0, 2.0])
+        reg = MetricsRegistry(clock=lambda: next(ticks))
+        with pytest.raises(RuntimeError):
+            with reg.timer("fail_seconds", buckets=(10.0,)):
+                raise RuntimeError("boom")
+        assert reg.histogram("fail_seconds", buckets=(10.0,)).count == 1
+
+    def test_simulated_clock_timer_measures_virtual_time(self):
+        sim = Simulator()
+        reg = MetricsRegistry(clock=SimClock(sim))
+
+        def proc():
+            with reg.timer("sim_op_seconds", buckets=(1.0, 10.0)) as t:
+                yield sim.timeout(2.5)
+            return t.elapsed_s
+
+        elapsed = sim.run_process(proc())
+        # Wall time was microseconds; the timer must report simulated time.
+        assert elapsed == pytest.approx(2.5)
+        h = reg.histogram("sim_op_seconds", buckets=(1.0, 10.0))
+        assert h.total == pytest.approx(2.5)
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(9)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        reg.reset()
+        assert reg.counter("c").value == 0
+        assert reg.gauge("g").value == 0.0
+        h = reg.histogram("h", buckets=(1.0,))
+        assert h.count == 0 and h.total == 0.0 and h.counts == [0, 0]
+
+    def test_telemetry_bundle_shares_clock(self):
+        sim = Simulator()
+        tel = Telemetry.simulated(sim)
+        assert tel.registry.clock is tel.clock
+        assert tel.tracer.clock is tel.clock
+        snap = tel.snapshot()
+        assert set(snap) == {"metrics", "traces"}

@@ -1,0 +1,137 @@
+"""Tracer tests: nested parenting, trace retention, export, stage rows."""
+
+import json
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.telemetry import SimClock, Tracer, stage_rows
+
+
+class TestSpanNesting:
+    def test_children_nest_under_active_span(self):
+        tr = Tracer()
+        with tr.span("negotiate", trace="s1") as root:
+            with tr.span("search") as search:
+                pass
+            with tr.span("finish") as finish:
+                pass
+        assert search.parent_id == root.span_id
+        assert finish.parent_id == root.span_id
+        assert root.parent_id is None
+        assert [c.name for c in root.children] == ["search", "finish"]
+
+    def test_children_inherit_trace_id(self):
+        tr = Tracer()
+        with tr.span("root", trace="session-9"):
+            with tr.span("child") as child:
+                with tr.span("grandchild") as grand:
+                    pass
+        assert child.trace_id == "session-9"
+        assert grand.trace_id == "session-9"
+
+    def test_root_without_trace_gets_generated_id(self):
+        tr = Tracer()
+        with tr.span("a") as a:
+            pass
+        with tr.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_span_closes_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("root", trace="t"):
+                raise ValueError("boom")
+        assert tr.active_span is None
+        (root,) = tr.trace("t")
+        assert root.finished
+
+    def test_tags_via_kwargs_and_tag_method(self):
+        tr = Tracer()
+        with tr.span("negotiate", trace="t", app="medical-web") as sp:
+            sp.tag(cache="miss")
+        assert sp.tags == {"app": "medical-web", "cache": "miss"}
+
+    def test_durations_from_injected_clock(self):
+        ticks = iter([0.0, 1.0, 4.0, 10.0])
+        tr = Tracer(clock=lambda: next(ticks))
+        with tr.span("outer", trace="t") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert inner.duration_s == pytest.approx(3.0)
+        assert outer.duration_s == pytest.approx(10.0)
+
+    def test_simulated_clock_spans(self):
+        sim = Simulator()
+        tr = Tracer(clock=SimClock(sim))
+
+        def proc():
+            with tr.span("transfer", trace="sim") as sp:
+                yield sim.timeout(7.0)
+            return sp.duration_s
+
+        assert sim.run_process(proc()) == pytest.approx(7.0)
+
+
+class TestRetention:
+    def test_traces_bounded_oldest_dropped(self):
+        tr = Tracer(max_traces=3)
+        for i in range(10):
+            with tr.span("root", trace=f"t{i}"):
+                pass
+        assert len(tr.trace_ids()) == 3
+        assert tr.trace_ids() == ["t7", "t8", "t9"]
+        assert tr.traces_dropped == 7
+
+    def test_clear_drops_retained_traces(self):
+        tr = Tracer()
+        with tr.span("root", trace="t"):
+            pass
+        tr.clear()
+        assert tr.trace_ids() == []
+
+
+class TestExport:
+    def _sample(self):
+        ticks = iter([0.0, 1.0, 3.0, 4.0, 9.0, 10.0, 10.0, 12.0, 14.0, 14.0])
+        tr = Tracer(clock=lambda: next(ticks))
+        with tr.span("session", trace="s1"):       # 0 .. 10
+            with tr.span("negotiate"):             # 1 .. 3
+                pass
+            with tr.span("retrieve"):              # 4 .. 9
+                pass
+        with tr.span("session", trace="s2"):       # 10 .. 14
+            with tr.span("negotiate"):             # 12 .. 14
+                pass
+        return tr
+
+    def test_export_json_round_trip(self):
+        tr = self._sample()
+        data = json.loads(tr.to_json())
+        assert set(data["traces"]) == {"s1", "s2"}
+        (root,) = data["traces"]["s1"]
+        assert root["name"] == "session"
+        assert [c["name"] for c in root["children"]] == ["negotiate", "retrieve"]
+        assert root["duration_s"] == pytest.approx(10.0)
+
+    def test_stage_rows_aggregate_across_traces(self):
+        tr = self._sample()
+        rows = {r["stage"]: r for r in stage_rows(json.loads(tr.to_json()))}
+        assert rows["session"]["count"] == 2
+        assert rows["session"]["total_s"] == pytest.approx(14.0)
+        assert rows["negotiate"]["count"] == 2
+        assert rows["negotiate"]["mean_s"] == pytest.approx(2.0)
+        # Shares are relative to total root-span time.
+        assert rows["session"]["share"] == pytest.approx(1.0)
+        assert rows["negotiate"]["share"] == pytest.approx(4.0 / 14.0)
+
+    def test_stage_rows_sorted_by_total_desc(self):
+        tr = self._sample()
+        rows = stage_rows(tr.export())
+        totals = [r["total_s"] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_empty_tracer_exports_cleanly(self):
+        tr = Tracer()
+        assert stage_rows(tr.export()) == []
