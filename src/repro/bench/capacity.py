@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..cdn.planetlab import build_deployment
 from ..simnet.kernel import Simulator
@@ -30,6 +31,7 @@ from ..workload.profiles import PAPER_ENVIRONMENTS
 
 __all__ = [
     "ProxyServiceTimes",
+    "derive_rng",
     "measure_proxy_service_times",
     "negotiation_time_experiment",
     "retrieval_time_experiment",
@@ -37,6 +39,17 @@ __all__ = [
 ]
 
 DEFAULT_CLIENT_COUNTS = (1, 25, 50, 75, 100, 150, 200, 250, 300)
+
+# Every experiment draws from an RNG derived per (seed, client count) so
+# each point on a capacity curve is independent of which other points were
+# requested.  The repr-of-tuple seed is stable across processes and
+# independent of PYTHONHASHSEED.
+RngFactory = Callable[[int], random.Random]
+
+
+def derive_rng(seed: int, n_clients: int) -> random.Random:
+    """The default per-point RNG for the capacity curves."""
+    return random.Random(repr((seed, n_clients)))
 
 
 @dataclass(frozen=True)
@@ -84,6 +97,7 @@ def negotiation_time_experiment(
     proxy_workers: int = 4,
     n_environment_kinds: int = 6,
     seed: int = 7,
+    rng_factory: Optional[RngFactory] = None,
 ) -> Series:
     """Fig. 9(a): mean negotiation time per client count.
 
@@ -93,9 +107,10 @@ def negotiation_time_experiment(
     queueing plus service — exactly the Fig. 4 window (INIT_REQ to
     PAD_META_REP).
     """
+    make_rng = rng_factory or (lambda n: derive_rng(seed, n))
     series = Series("negotiation")
     for n_clients in client_counts:
-        rng = random.Random(repr((seed, n_clients)))
+        rng = make_rng(n_clients)
         sim = Simulator()
         proxy = sim.resource(capacity=proxy_workers, name="proxy")
         seen_envs: set[int] = set()
@@ -135,6 +150,7 @@ def negotiation_time_experiment_real(
     proxy_workers: int = 4,
     rtt_s: float = 2.0e-3,
     seed: int = 13,
+    rng_factory: Optional[RngFactory] = None,
 ) -> Series:
     """Fig. 9(a) with the *real* proxy in the loop.
 
@@ -154,10 +170,11 @@ def negotiation_time_experiment_real(
     proxy_handle = system.proxy.handle
     env_cycle = list(PAPER_ENVIRONMENTS)
 
+    make_rng = rng_factory or (lambda n: derive_rng(seed, n))
     series = Series("negotiation (real proxy)")
     counter = itertools.count()
     for n_clients in client_counts:
-        rng = random.Random(repr((seed, n_clients)))
+        rng = make_rng(n_clients)
         sim = Simulator()
         workers = sim.resource(capacity=proxy_workers, name="proxy")
         stats = RunningStats()
@@ -219,6 +236,7 @@ def retrieval_time_experiment(
     burst_window_s: float = 0.5,
     wan_latency_s: float = 0.04,
     seed: int = 11,
+    rng_factory: Optional[RngFactory] = None,
 ) -> tuple[Series, Series]:
     """Fig. 9(b): mean PAD retrieval time, centralized vs distributed.
 
@@ -232,10 +250,11 @@ def retrieval_time_experiment(
     topo = deployment.topology
     edge_names = [e.name for e in deployment.edges]
 
+    make_rng = rng_factory or (lambda n: derive_rng(seed, n))
     centralized = Series("centralized")
     distributed = Series("distributed (CDN)")
     for n_clients in client_counts:
-        rng = random.Random(repr((seed, n_clients)))
+        rng = make_rng(n_clients)
         sites = [
             deployment.client_sites[rng.randrange(len(deployment.client_sites))]
             for _ in range(n_clients)

@@ -1,0 +1,199 @@
+"""Chaos experiment: session survival under injected faults.
+
+Not a paper figure — the paper assumes every link delivers and every
+edgeserver answers.  This experiment measures what the resilience layer
+(client retry, ranked CDN failover, graceful degradation to ``direct``)
+buys when they don't: a sweep over frame-loss rates on the wireless
+links, with a mid-run edge outage, PAD tampering proportional to the
+loss rate, and one proxy restart, all driven by one seeded
+:class:`~repro.faults.FaultInjector` so every row is reproducible.
+
+Per (fault rate × environment) the experiment reports sessions run,
+sessions completed, and degradations; per rate it reconciles the
+telemetry ledger — faults injected vs retries, failovers, and restarts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.retry import RetryPolicy
+from ..core.system import APP_ID, CaseStudySystem, build_case_study
+from ..faults import FaultInjector, FaultPlan, FaultRule
+from ..workload.pages import Corpus
+from ..workload.profiles import PAPER_ENVIRONMENTS
+
+__all__ = [
+    "DEFAULT_FAULT_RATES",
+    "DEFAULT_CHAOS_RETRY_POLICY",
+    "ChaosEnvRow",
+    "ChaosRateSummary",
+    "ChaosResult",
+    "chaos_plan",
+    "chaos_experiment",
+]
+
+DEFAULT_FAULT_RATES = (0.0, 0.05, 0.10, 0.20)
+
+# Generous attempts, tight (simulated) backoff: chaos sweeps push loss
+# rates far past what a production policy would be tuned for.
+DEFAULT_CHAOS_RETRY_POLICY = RetryPolicy(
+    max_attempts=6, base_delay_s=0.02, multiplier=2.0, max_delay_s=1.0
+)
+
+
+@dataclass
+class ChaosEnvRow:
+    """One (fault rate, environment) cell."""
+
+    fault_rate: float
+    env_label: str
+    sessions: int = 0
+    completed: int = 0
+    degraded: int = 0
+    unhandled_errors: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return self.completed / self.sessions if self.sessions else 0.0
+
+
+@dataclass
+class ChaosRateSummary:
+    """Telemetry reconciliation for one fault rate."""
+
+    fault_rate: float
+    sessions: int
+    completed: int
+    faults_injected: int
+    faults_by_kind: dict[str, int]
+    retries: int
+    failovers: int
+    degradations: int
+    proxy_restarts: int
+    unhandled_errors: int
+
+    @property
+    def success_rate(self) -> float:
+        return self.completed / self.sessions if self.sessions else 0.0
+
+
+@dataclass
+class ChaosResult:
+    env_rows: list[ChaosEnvRow] = field(default_factory=list)
+    summaries: list[ChaosRateSummary] = field(default_factory=list)
+
+
+def _busiest_edge(system: CaseStudySystem) -> str:
+    """The edge most client sites resolve to — a worthwhile outage target."""
+    redirector = system.deployment.redirector
+    tally: TallyCounter = TallyCounter()
+    for site in system.deployment.client_sites:
+        tally[redirector.resolve(site).name] += 1
+    return tally.most_common(1)[0][0]
+
+
+def chaos_plan(
+    fault_rate: float,
+    *,
+    outage_edge: str,
+    outage_after: int = 3,
+    outage_duration: int = 40,
+    restart_after: int = 30,
+) -> FaultPlan:
+    """The sweep's standard plan at one frame-loss rate.
+
+    Frame loss hits the Bluetooth link at the full rate and 802.11b at
+    half (the paper's lossy access networks); LAN stays clean.  Tampering
+    scales at a quarter of the rate, split between wrong-object (digest
+    mismatch) and bad-signature.  The edge outage and proxy restart are
+    schedule-driven, so they occur even in the ``fault_rate=0`` baseline
+    row — that row isolates what pure infrastructure faults cost.
+    """
+    return FaultPlan.of(
+        FaultRule.frame_loss("Bluetooth", probability=fault_rate),
+        FaultRule.frame_loss("WLAN", probability=fault_rate / 2.0),
+        FaultRule.frame_corrupt("Bluetooth", probability=fault_rate / 4.0),
+        FaultRule.edge_outage(
+            outage_edge, after=outage_after, duration=outage_duration
+        ),
+        FaultRule.tamper_digest(probability=fault_rate / 8.0),
+        FaultRule.tamper_signature(probability=fault_rate / 8.0),
+        FaultRule.proxy_restart(after=restart_after),
+    )
+
+
+def chaos_experiment(
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    *,
+    n_clients: int = 100,
+    seed: int = 2026,
+    retry_policy: Optional[RetryPolicy] = None,
+    corpus: Optional[Corpus] = None,
+) -> ChaosResult:
+    """Run the sweep; every row is deterministic in (args, seed).
+
+    Each fault rate gets a fresh case-study system and injector;
+    ``n_clients`` resilient clients (cycling through the paper's three
+    environments) each retrieve one page.  Sessions must complete via
+    retry/failover/degradation — an unhandled exception is counted, not
+    raised, so a regression shows up as a non-zero column instead of a
+    crashed bench.
+    """
+    retry_policy = retry_policy or DEFAULT_CHAOS_RETRY_POLICY
+    result = ChaosResult()
+    for rate in fault_rates:
+        system = build_case_study(
+            corpus=corpus or Corpus(n_pages=3), calibrate=False
+        )
+        plan = chaos_plan(rate, outage_edge=_busiest_edge(system))
+        FaultInjector(plan, seed=seed).install(system)
+        rows = {
+            env.label: ChaosEnvRow(fault_rate=rate, env_label=env.label)
+            for env in PAPER_ENVIRONMENTS
+        }
+        for i in range(n_clients):
+            env = PAPER_ENVIRONMENTS[i % len(PAPER_ENVIRONMENTS)]
+            client = system.make_client(
+                env,
+                retry_policy=retry_policy,
+                degrade_to_direct=True,
+                failover_fetch=True,
+            )
+            row = rows[env.label]
+            row.sessions += 1
+            try:
+                session = client.request_page(
+                    APP_ID, i % system.corpus.n_pages, new_version=0
+                )
+            except Exception:  # noqa: BLE001 - resilience failed: tally it
+                row.unhandled_errors += 1
+            else:
+                row.completed += 1
+                if session.degraded:
+                    row.degraded += 1
+        registry = system.telemetry.registry
+        counters = registry.snapshot()["counters"]
+        by_kind = {
+            name.removeprefix("faults.injected."): int(value)
+            for name, value in sorted(counters.items())
+            if name.startswith("faults.injected.")
+        }
+        result.env_rows.extend(rows[env.label] for env in PAPER_ENVIRONMENTS)
+        result.summaries.append(
+            ChaosRateSummary(
+                fault_rate=rate,
+                sessions=sum(r.sessions for r in rows.values()),
+                completed=sum(r.completed for r in rows.values()),
+                faults_injected=int(counters.get("faults.injected", 0)),
+                faults_by_kind=by_kind,
+                retries=int(counters.get("client.retries", 0)),
+                failovers=int(counters.get("cdn.failovers", 0)),
+                degradations=int(counters.get("client.degradations", 0)),
+                proxy_restarts=int(counters.get("proxy.restarts", 0)),
+                unhandled_errors=sum(r.unhandled_errors for r in rows.values()),
+            )
+        )
+    return result

@@ -28,7 +28,7 @@ from .reporting import (
 __all__ = ["main"]
 
 _EXPERIMENTS = ("table1", "fig9a", "fig9b", "fig10", "fig11", "headline",
-                "timeline", "stages")
+                "timeline", "stages", "chaos")
 
 
 def _build_system(era: bool = True):
@@ -216,6 +216,58 @@ def run_stages(system=None) -> str:
     return "\n\n".join(blocks)
 
 
+def run_chaos() -> str:
+    """Fault-rate sweep: session survival via retry/failover/degradation."""
+    from . import chaos
+
+    result = chaos.chaos_experiment()
+    env_rows = []
+    for row in result.env_rows:
+        env_rows.append(
+            [
+                f"{row.fault_rate * 100:.0f}%",
+                row.env_label,
+                row.sessions,
+                f"{row.success_rate * 100:.0f}%",
+                row.degraded,
+                row.unhandled_errors,
+            ]
+        )
+    blocks = [
+        render_table(
+            "Chaos: session outcome per environment "
+            "(frame loss + edge outage + tampering + proxy restart)",
+            ["fault rate", "environment", "sessions", "success", "degraded",
+             "errors"],
+            env_rows,
+        )
+    ]
+    summary_rows = []
+    for s in result.summaries:
+        summary_rows.append(
+            [
+                f"{s.fault_rate * 100:.0f}%",
+                s.sessions,
+                f"{s.success_rate * 100:.0f}%",
+                s.faults_injected,
+                s.retries,
+                s.failovers,
+                s.degradations,
+                s.proxy_restarts,
+                s.unhandled_errors,
+            ]
+        )
+    blocks.append(
+        render_table(
+            "Chaos: injected faults vs recovery actions per fault rate",
+            ["fault rate", "sessions", "success", "faults", "retries",
+             "failovers", "degraded", "restarts", "errors"],
+            summary_rows,
+        )
+    )
+    return "\n\n".join(blocks)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="fractal-bench",
@@ -243,6 +295,7 @@ def main(argv=None) -> int:
             "headline": lambda: run_headline(system),
             "timeline": lambda: run_timeline(system),
             "stages": lambda: run_stages(system),
+            "chaos": run_chaos,
         }[name]
         outputs.append(fn())
     print("\n\n".join(outputs))

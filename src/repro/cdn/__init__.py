@@ -4,7 +4,7 @@ from .cache import LRUCache
 from .edge import DEFAULT_EDGE_CACHE_BYTES, EdgeServer
 from .origin import OriginError, OriginServer
 from .planetlab import APPSERVER_SITE, ORIGIN_SITE, PROXY_SITE, Deployment, build_deployment
-from .redirector import RedirectError, Redirector
+from .redirector import FailoverFetcher, RedirectError, Redirector
 from .replication import (
     PopularityTracker,
     invalidate_everywhere,
@@ -23,6 +23,7 @@ __all__ = [
     "PROXY_SITE",
     "Deployment",
     "build_deployment",
+    "FailoverFetcher",
     "RedirectError",
     "Redirector",
     "PopularityTracker",

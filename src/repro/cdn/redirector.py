@@ -4,6 +4,12 @@ The paper: "it is the CDN's responsibility to find the closest edgeserver
 which holds the PAD, and to redirect the request to that edgeserver."  The
 redirector resolves a client's site to the nearest edge (by topology
 latency), optionally preferring an edge that already holds the object.
+
+Resilience: real CDNs route *around* dead or lying edges, so the
+redirector also exposes a ranked edge list (:meth:`Redirector.ranked`)
+and a stateful :class:`FailoverFetcher` that walks that ranking — next
+nearest edge on an outage, and (via :meth:`FailoverFetcher.mark_bad`)
+on a digest/signature mismatch the client detects after download.
 """
 
 from __future__ import annotations
@@ -11,9 +17,10 @@ from __future__ import annotations
 from typing import Optional
 
 from ..simnet.topology import Topology
+from ..telemetry import MetricsRegistry
 from .edge import EdgeServer
 
-__all__ = ["Redirector", "RedirectError"]
+__all__ = ["Redirector", "RedirectError", "FailoverFetcher"]
 
 
 class RedirectError(Exception):
@@ -33,6 +40,17 @@ class Redirector:
         if edge.name in self._edges:
             raise RedirectError(f"duplicate edge registration: {edge.name!r}")
         self._edges[edge.name] = edge
+
+    def replace_edge(self, edge: EdgeServer) -> EdgeServer:
+        """Swap the registered edge of the same name (fault wrappers).
+
+        Returns the previous instance so callers can restore it.
+        """
+        if edge.name not in self._edges:
+            raise RedirectError(f"no edge registered as {edge.name!r}")
+        previous = self._edges[edge.name]
+        self._edges[edge.name] = edge
+        return previous
 
     def edges(self) -> list[EdgeServer]:
         return [self._edges[n] for n in sorted(self._edges)]
@@ -58,7 +76,123 @@ class Redirector:
                 return self._edges[self.topology.nearest(client_site, warm)]
         return self._edges[self.topology.nearest(client_site, names)]
 
+    def ranked(
+        self, client_site: str, key: Optional[str] = None, *, prefer_cached: bool = True
+    ) -> list[EdgeServer]:
+        """All edges in failover order for ``client_site``.
+
+        Nearest first; with ``prefer_cached`` and a ``key``, every warm
+        edge (nearest-first) precedes every cold edge.  The first entry
+        is exactly what :meth:`resolve` returns.
+        """
+        if not self._edges:
+            raise RedirectError("no edges registered")
+        by_distance = sorted(
+            self._edges,
+            key=lambda n: (self.topology.latency_s(client_site, n), n),
+        )
+        if prefer_cached and key is not None:
+            warm = [n for n in by_distance if self._edges[n].has_cached(key)]
+            cold = [n for n in by_distance if not self._edges[n].has_cached(key)]
+            by_distance = warm + cold
+        return [self._edges[n] for n in by_distance]
+
     def fetch(self, client_site: str, key: str) -> tuple[bytes, EdgeServer]:
         """Resolve and serve in one step; returns (blob, serving edge)."""
         edge = self.resolve(client_site, key)
         return edge.serve(key), edge
+
+    def fetch_with_failover(
+        self,
+        client_site: str,
+        key: str,
+        *,
+        skip: frozenset[str] = frozenset(),
+        max_edges: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> tuple[bytes, EdgeServer]:
+        """Serve ``key``, walking the ranked edge list past failures.
+
+        Edges named in ``skip`` are not tried (the caller has evidence
+        they serve bad bytes); each edge that raises counts one
+        ``cdn.failovers``.  Raises :class:`RedirectError` only when every
+        candidate edge failed.
+        """
+        candidates = [e for e in self.ranked(client_site, key) if e.name not in skip]
+        if max_edges is not None:
+            candidates = candidates[:max_edges]
+        if not candidates:
+            raise RedirectError(
+                f"no candidate edges for {key!r} from {client_site!r}"
+            )
+        last_error: Optional[Exception] = None
+        for edge in candidates:
+            try:
+                return edge.serve(key), edge
+            except Exception as exc:  # noqa: BLE001 - any edge failure fails over
+                last_error = exc
+                if registry is not None:
+                    registry.counter("cdn.failovers").inc()
+        raise RedirectError(
+            f"all {len(candidates)} candidate edges failed for {key!r} "
+            f"from {client_site!r}: {last_error}"
+        ) from last_error
+
+
+class FailoverFetcher:
+    """A per-site CDN fetch function with memory of misbehaving edges.
+
+    Callable as ``fetcher(key) -> bytes`` so it drops into
+    :class:`~repro.core.client.FractalClient`'s ``cdn_fetch`` slot.  On a
+    serve failure it transparently advances to the next-ranked edge; when
+    the *caller* discovers the bytes were bad (digest or signature
+    mismatch after download), it calls :meth:`mark_bad` and the edge that
+    served that key is skipped on the re-download.  A key whose every
+    edge has been marked bad gets its slate wiped — outages end, and a
+    permanently empty candidate list would turn a transient fault into a
+    hard failure.
+    """
+
+    def __init__(
+        self,
+        redirector: Redirector,
+        client_site: str,
+        *,
+        max_edges: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.redirector = redirector
+        self.client_site = client_site
+        self.max_edges = max_edges
+        self._registry = registry
+        self._bad: dict[str, set[str]] = {}  # key -> edge names to avoid
+        self._last: dict[str, str] = {}  # key -> edge that served it last
+
+    def __call__(self, key: str) -> bytes:
+        bad = self._bad.get(key, set())
+        if bad and not any(
+            e.name not in bad for e in self.redirector.edges()
+        ):
+            bad = set()
+            self._bad.pop(key, None)
+        blob, edge = self.redirector.fetch_with_failover(
+            self.client_site,
+            key,
+            skip=frozenset(bad),
+            max_edges=self.max_edges,
+            registry=self._registry,
+        )
+        self._last[key] = edge.name
+        return blob
+
+    def mark_bad(self, key: str) -> None:
+        """Blacklist the edge that last served ``key`` (bad bytes)."""
+        edge_name = self._last.get(key)
+        if edge_name is None:
+            return
+        self._bad.setdefault(key, set()).add(edge_name)
+        if self._registry is not None:
+            self._registry.counter("cdn.edges_marked_bad").inc()
+
+    def last_edge(self, key: str) -> Optional[str]:
+        return self._last.get(key)

@@ -27,6 +27,7 @@ from .layered import build_layered_case_study
 from .pat import PAT, PATNode
 from .peer import FractalPeer
 from .proxy import AdaptationProxy, DistributionManager, NegotiationManager, ProxyStats
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .search import SearchResult, find_adaptation_path, mark_tree
 from .system import (
     APP_ID,
@@ -79,6 +80,8 @@ __all__ = [
     "DistributionManager",
     "NegotiationManager",
     "ProxyStats",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
     "SearchResult",
     "find_adaptation_path",
     "mark_tree",

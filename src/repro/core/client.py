@@ -26,18 +26,36 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..mobilecode import MobileCodeError, ModuleLoader, SignedModule, TrustStore
+from ..mobilecode import (
+    MobileCodeError,
+    ModuleLoader,
+    SignedModule,
+    SigningError,
+    TrustStore,
+)
 from ..protocols import CommProtocol
+from ..protocols.direct import DirectProtocol
 from ..protocols.stack import ProtocolStack
+from ..simnet.transport import TransportError
 from ..telemetry import Telemetry
 from ..workload.profiles import ClientEnvironment
 from . import inp
 from .appserver import url_key
-from .errors import NegotiationError, ProtocolMismatchError
+from .errors import FractalError, NegotiationError, ProtocolMismatchError
 from .inp import INPMessage, MsgType
 from .metadata import DevMeta, NtwkMeta, PADMeta
+from .retry import RetryPolicy
 
 __all__ = ["FractalClient", "SessionResult", "NegotiationOutcome"]
+
+DEGRADED_PAD_ID = "direct"
+
+# Errors worth a retry: the transport lost/garbled a frame, the peer
+# answered out-of-protocol (e.g. a proxy restart wiped our session), or
+# the negotiation reply was unusable.  Anything else is a local bug and
+# propagates immediately.
+_RETRYABLE_WIRE = (TransportError, ProtocolMismatchError, NegotiationError)
+_RETRYABLE_PAD = (MobileCodeError, SigningError)
 
 _session_counter = itertools.count(1)
 
@@ -69,6 +87,7 @@ class SessionResult:
     pad_retrieval_time_s: float
     client_compute_s: float
     negotiated_from_cache: bool
+    degraded: bool = False  # fell back to the direct protocol
 
     @property
     def app_traffic_bytes(self) -> int:
@@ -91,6 +110,8 @@ class FractalClient:
         cdn_fetch: CdnFetch,
         trust_store: TrustStore,
         telemetry: Optional[Telemetry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        degrade_to_direct: bool = False,
     ):
         self.name = name
         self.environment = environment
@@ -100,6 +121,12 @@ class FractalClient:
         self.cdn_fetch = cdn_fetch
         self.loader = ModuleLoader(trust_store)
         self.telemetry = telemetry or Telemetry()
+        # Resilience knobs.  Both default off: a client without a retry
+        # policy behaves exactly like the pre-faults implementation (one
+        # attempt, first error propagates), which the failure-injection
+        # tests and the byte-identical-baseline chaos check rely on.
+        self.retry_policy = retry_policy
+        self.degrade_to_direct = degrade_to_direct
         # Protocol cache: (app_id, dev key, ntwk key) -> PADMeta tuple.
         self._protocol_cache: dict[tuple, tuple[PADMeta, ...]] = {}
         # Deployed stacks: same key -> live protocol instance.
@@ -163,8 +190,18 @@ class FractalClient:
                 )
         return reply
 
+    def _count_retry(self, stage: str) -> None:
+        registry = self.telemetry.registry
+        registry.counter("client.retries").inc()
+        registry.counter(f"client.retries.{stage}").inc()
+
     def negotiate(self, app_id: str, *, force: bool = False) -> NegotiationOutcome:
-        """Protocol-cache-first negotiation with the adaptation proxy."""
+        """Protocol-cache-first negotiation with the adaptation proxy.
+
+        With a :class:`RetryPolicy`, a failed wire exchange is re-run
+        from ``INIT_REQ`` with a fresh session id (a restarted proxy has
+        forgotten the old one) under exponential backoff.
+        """
         registry = self.telemetry.registry
         key = self._cache_key(app_id)
         if not force:
@@ -173,6 +210,20 @@ class FractalClient:
                 registry.counter("client.protocol_cache.hits").inc()
                 return NegotiationOutcome(cached, 0.0, from_cache=True)
         registry.counter("client.negotiations").inc()
+        if self.retry_policy is None:
+            pads, duration_s = self._negotiate_once(app_id)
+        else:
+            pads, duration_s = self.retry_policy.call(
+                lambda: self._negotiate_once(app_id),
+                retryable=_RETRYABLE_WIRE,
+                key=f"{self.name}:negotiate:{app_id}",
+                on_retry=lambda *_: self._count_retry("negotiate"),
+            )
+        self._protocol_cache[key] = pads
+        return NegotiationOutcome(pads, duration_s, from_cache=False)
+
+    def _negotiate_once(self, app_id: str) -> tuple[tuple[PADMeta, ...], float]:
+        """One full INIT_REQ → PAD_META_REP exchange in its own session."""
         session_id = f"{self.name}-{next(_session_counter)}"
         with self.telemetry.tracer.span(
             "negotiate", trace=session_id, client=self.name, app=app_id
@@ -195,17 +246,61 @@ class FractalClient:
             if not isinstance(pads_wire, list) or not pads_wire:
                 raise NegotiationError("PAD_META_REP carried no PAD metadata")
             pads = tuple(PADMeta.from_wire(p) for p in pads_wire)
-            self._protocol_cache[key] = pads
-        return NegotiationOutcome(pads, span.duration_s, from_cache=False)
+        return pads, span.duration_s
 
     # -- PAD download + deployment ---------------------------------------------------
 
+    def _fetch_and_verify(self, meta: PADMeta):
+        """Download one PAD blob and verify signature + digest.
+
+        Returns ``(blob, module)``.  Download failures are normalized to
+        :class:`MobileCodeError`; verification failures keep their typed
+        errors (:class:`SigningError` vs digest :class:`MobileCodeError`)
+        so callers can distinguish tampering from a missing object.
+        """
+        registry = self.telemetry.registry
+        tracer = self.telemetry.tracer
+        with tracer.span("retrieve", pad=meta.resolved_id):
+            try:
+                blob = self.cdn_fetch(url_key(meta.url))
+            except Exception as exc:
+                # Normalize CDN failures (e.g. a withdrawn object
+                # after a PAD upgrade) so the caller's single retry
+                # path handles them uniformly.
+                raise MobileCodeError(
+                    f"download of {meta.url!r} failed: {exc}"
+                ) from exc
+        self._pad_bytes[meta.resolved_id] = len(blob)
+        registry.counter("client.pad_download_bytes").inc(len(blob))
+        with tracer.span("verify", pad=meta.resolved_id):
+            signed = SignedModule.from_wire(blob)
+            module = self.loader.verify(signed, expected_digest=meta.digest)
+        return blob, module
+
+    def _on_pad_retry(self, meta: PADMeta):
+        """Retry hook for one PAD: count it and poison the bad edge."""
+
+        def hook(attempt: int, delay_s: float, exc: BaseException) -> None:
+            self._count_retry("pad")
+            # A fetcher with failover memory (duck-typed) should avoid
+            # the edge that served unverifiable bytes on the re-download.
+            mark_bad = getattr(self.cdn_fetch, "mark_bad", None)
+            if mark_bad is not None and isinstance(exc, _RETRYABLE_PAD):
+                mark_bad(url_key(meta.url))
+
+        return hook
+
     def _deploy_stack(self, key: tuple, pads: tuple[PADMeta, ...]) -> tuple[CommProtocol, int, float]:
-        """Download/verify/deploy each PAD; returns (stack, bytes, seconds)."""
+        """Download/verify/deploy each PAD; returns (stack, bytes, seconds).
+
+        With a :class:`RetryPolicy`, an unverifiable download (edge
+        outage, digest mismatch, bad signature) is re-fetched — after
+        marking the serving edge bad so a failover-aware fetcher picks
+        the next-ranked edge — and re-verified from scratch.
+        """
         existing = self._stacks.get(key)
         if existing is not None:
             return existing, 0, 0.0
-        registry = self.telemetry.registry
         tracer = self.telemetry.tracer
         total_bytes = 0
         protocols: list[CommProtocol] = []
@@ -215,22 +310,16 @@ class FractalClient:
                     raise NegotiationError(
                         f"PADMeta for {meta.pad_id!r} lacks distribution info"
                     )
-                with tracer.span("retrieve", pad=meta.resolved_id):
-                    try:
-                        blob = self.cdn_fetch(url_key(meta.url))
-                    except Exception as exc:
-                        # Normalize CDN failures (e.g. a withdrawn object
-                        # after a PAD upgrade) so the caller's single retry
-                        # path handles them uniformly.
-                        raise MobileCodeError(
-                            f"download of {meta.url!r} failed: {exc}"
-                        ) from exc
+                if self.retry_policy is None:
+                    blob, module = self._fetch_and_verify(meta)
+                else:
+                    blob, module = self.retry_policy.call(
+                        lambda meta=meta: self._fetch_and_verify(meta),
+                        retryable=_RETRYABLE_PAD,
+                        key=f"{self.name}:pad:{meta.resolved_id}",
+                        on_retry=self._on_pad_retry(meta),
+                    )
                 total_bytes += len(blob)
-                self._pad_bytes[meta.resolved_id] = len(blob)
-                registry.counter("client.pad_download_bytes").inc(len(blob))
-                with tracer.span("verify", pad=meta.resolved_id):
-                    signed = SignedModule.from_wire(blob)
-                    module = self.loader.verify(signed, expected_digest=meta.digest)
                 with tracer.span("deploy", pad=meta.resolved_id):
                     init_kwargs = dict(module.metadata.get("init_kwargs", {}))
                     loaded = self.loader.deploy(module, init_kwargs=init_kwargs)
@@ -260,22 +349,43 @@ class FractalClient:
         """
         tracer = self.telemetry.tracer
         trace_id = f"{self.name}-p{next(_session_counter)}"
+        degraded = False
         with tracer.span(
             "session", trace=trace_id, client=self.name, app=app_id, page=page_id
-        ):
-            outcome = self.negotiate(app_id, force=force_negotiation)
-            key = self._cache_key(app_id)
+        ) as session_span:
             try:
-                stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
-            except MobileCodeError:
-                # Stale protocol-cache entry after a PAD upgrade: the CDN
-                # served a newer module than our cached digest.  Drop the
-                # cached negotiation and retry once against the proxy.
-                self._protocol_cache.pop(key, None)
-                self._stacks.pop(key, None)
-                outcome = self.negotiate(app_id, force=True)
-                stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
-            pad_ids = tuple(m.resolved_id for m in outcome.pads)
+                outcome = self.negotiate(app_id, force=force_negotiation)
+                key = self._cache_key(app_id)
+                try:
+                    stack, pad_bytes, retrieval_s = self._deploy_stack(
+                        key, outcome.pads
+                    )
+                except MobileCodeError:
+                    # Stale protocol-cache entry after a PAD upgrade: the CDN
+                    # served a newer module than our cached digest.  Drop the
+                    # cached negotiation and retry once against the proxy.
+                    self._protocol_cache.pop(key, None)
+                    self._stacks.pop(key, None)
+                    outcome = self.negotiate(app_id, force=True)
+                    stack, pad_bytes, retrieval_s = self._deploy_stack(
+                        key, outcome.pads
+                    )
+                pad_ids = tuple(m.resolved_id for m in outcome.pads)
+            except (TransportError, FractalError, MobileCodeError, SigningError):
+                if not self.degrade_to_direct:
+                    raise
+                # Graceful degradation: negotiation or deployment failed
+                # for good even after retries.  The session still
+                # completes over the null protocol, which every
+                # application server pre-deploys (the paper's baseline),
+                # at baseline traffic cost instead of an error.
+                degraded = True
+                self.telemetry.registry.counter("client.degradations").inc()
+                session_span.tag(degraded=DEGRADED_PAD_ID)
+                outcome = NegotiationOutcome((), 0.0, from_cache=False)
+                stack = DirectProtocol()
+                pad_bytes, retrieval_s = 0, 0.0
+                pad_ids = (DEGRADED_PAD_ID,)
 
             n_parts = (
                 len(old_parts)
@@ -302,7 +412,19 @@ class FractalClient:
                 },
             )
             with tracer.span("app_exchange"):
-                rep = self._rpc(self.appserver_endpoint, req).expect(MsgType.APP_REP)
+                if self.retry_policy is None:
+                    rep = self._rpc(self.appserver_endpoint, req).expect(
+                        MsgType.APP_REP
+                    )
+                else:
+                    rep = self.retry_policy.call(
+                        lambda: self._rpc(self.appserver_endpoint, req).expect(
+                            MsgType.APP_REP
+                        ),
+                        retryable=(TransportError, ProtocolMismatchError),
+                        key=f"{self.name}:app:{page_id}",
+                        on_retry=lambda *_: self._count_retry("app"),
+                    )
             responses = rep.body.get("part_responses")
             if not isinstance(responses, list):
                 raise ProtocolMismatchError("APP_REP carried no part responses")
@@ -338,6 +460,7 @@ class FractalClient:
             pad_retrieval_time_s=retrieval_s,
             client_compute_s=encode_span.duration_s + reconstruct_span.duration_s,
             negotiated_from_cache=outcome.from_cache,
+            degraded=degraded,
         )
 
     def _probe_part_count(self, app_id: str, page_id: int, version: int) -> int:

@@ -72,6 +72,10 @@ class ProxyStats:
         return self._registry.counter("proxy.sessions.dropped").value
 
     @property
+    def restarts(self) -> int:
+        return self._registry.counter("proxy.restarts").value
+
+    @property
     def total_search_time_s(self) -> float:
         return self._registry.histogram("proxy.search_seconds").total
 
@@ -262,6 +266,23 @@ class AdaptationProxy:
 
     def register_distribution(self, pad_id: str, digest: str, url: str) -> None:
         self.distribution.register_distribution(pad_id, digest, url)
+
+    def restart(self) -> int:
+        """Crash/restart: pending negotiation sessions do not survive.
+
+        The PATs and the adaptation cache are durable server-side state
+        and persist; only the in-flight session table is wiped (a client
+        mid-negotiation will get an unknown-session error on its next
+        message and must start over from ``INIT_REQ``).  Returns the
+        number of sessions dropped.
+        """
+        wiped = len(self._sessions)
+        self._sessions.clear()
+        registry = self.telemetry.registry
+        registry.counter("proxy.restarts").inc()
+        registry.counter("proxy.sessions.wiped_by_restart").inc(wiped)
+        registry.gauge("proxy.sessions.open").set(0)
+        return wiped
 
     # -- the negotiation core ---------------------------------------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..cdn import Deployment, build_deployment, push_all
+from ..cdn import Deployment, FailoverFetcher, build_deployment, push_all
 from ..mobilecode import Signer, TrustStore, generate_keypair
 from ..protocols.padlib import PAD_SPECS
 from ..simnet.transport import InProcessTransport
@@ -26,6 +26,7 @@ from .era import era_overheads
 from .metadata import PADMeta, PADOverhead
 from .overhead import OverheadModel, paper_case_study_matrices
 from .proxy import AdaptationProxy
+from .retry import RetryPolicy
 
 __all__ = ["CaseStudySystem", "build_case_study", "case_study_app_meta_pads"]
 
@@ -79,8 +80,21 @@ class CaseStudySystem:
         *,
         site: Optional[str] = None,
         name: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        degrade_to_direct: bool = False,
+        failover_fetch: bool = False,
     ) -> FractalClient:
-        """A new client host at ``site`` (defaults round-robin over sites)."""
+        """A new client host at ``site`` (defaults round-robin over sites).
+
+        The three resilience knobs all default off, preserving the exact
+        fault-free behaviour: ``retry_policy`` arms backoff-retry around
+        negotiation, PAD retrieval, and the app exchange;
+        ``degrade_to_direct`` lets a session that ultimately cannot
+        negotiate/deploy complete over the null protocol; and
+        ``failover_fetch`` swaps the single-edge CDN fetch for a
+        :class:`~repro.cdn.redirector.FailoverFetcher` that walks the
+        redirector's ranked edge list past outages and poisoned edges.
+        """
         sites = self.deployment.client_sites
         if site is None:
             site = sites[self._client_counter % len(sites)]
@@ -89,9 +103,15 @@ class CaseStudySystem:
         self._client_counter += 1
         redirector = self.deployment.redirector
 
-        def cdn_fetch(key: str, _site=site) -> bytes:
-            blob, _edge = redirector.fetch(_site, key)
-            return blob
+        if failover_fetch:
+            cdn_fetch = FailoverFetcher(
+                redirector, site, registry=self.telemetry.registry
+            )
+        else:
+
+            def cdn_fetch(key: str, _site=site) -> bytes:
+                blob, _edge = redirector.fetch(_site, key)
+                return blob
 
         client = FractalClient(
             name,
@@ -102,6 +122,8 @@ class CaseStudySystem:
             cdn_fetch=cdn_fetch,
             trust_store=self.trust_store,
             telemetry=self.telemetry,
+            retry_policy=retry_policy,
+            degrade_to_direct=degrade_to_direct,
         )
         self.clients.append(client)
         return client

@@ -1,0 +1,165 @@
+"""Declarative chaos plans: which faults, where, when, how often.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s.  Each rule names
+a *kind* (what breaks), a *target* (which link/endpoint/edge, ``"*"`` for
+all), a *probability* (stochastic faults, drawn from the injector's
+seeded RNG), and an optional *schedule window* counted in events observed
+on that (kind, target) — e.g. "the 50th through 150th request that
+crosses edge03" — so outages happen mid-run at a reproducible point
+without any wall-clock dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "FRAME_LOSS",
+    "FRAME_CORRUPT",
+    "EDGE_OUTAGE",
+    "EDGE_SLOW",
+    "PAD_TAMPER_DIGEST",
+    "PAD_TAMPER_SIGNATURE",
+    "PROXY_RESTART",
+    "RULE_KINDS",
+    "FaultRule",
+    "FaultPlan",
+]
+
+FRAME_LOSS = "frame_loss"  # transport/link: the frame never arrives
+FRAME_CORRUPT = "frame_corrupt"  # transport/link: response bytes flipped
+EDGE_OUTAGE = "edge_outage"  # CDN edge: serve() raises
+EDGE_SLOW = "edge_slow"  # CDN edge: latency spike (accounted, not slept)
+PAD_TAMPER_DIGEST = "pad_tamper_digest"  # edge serves the wrong (signed) object
+PAD_TAMPER_SIGNATURE = "pad_tamper_signature"  # edge serves a bad signature
+PROXY_RESTART = "proxy_restart"  # proxy wipes pending sessions
+
+RULE_KINDS = frozenset(
+    {
+        FRAME_LOSS,
+        FRAME_CORRUPT,
+        EDGE_OUTAGE,
+        EDGE_SLOW,
+        PAD_TAMPER_DIGEST,
+        PAD_TAMPER_SIGNATURE,
+        PROXY_RESTART,
+    }
+)
+
+MATCH_ANY = "*"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source.
+
+    ``after``/``duration`` bound the rule to an event-count window on its
+    (kind, target): the rule is armed once ``after`` matching events have
+    been observed, and disarms after ``duration`` more (``None`` = stays
+    armed forever).  Within the window, ``probability`` gates each event
+    (1.0 = deterministic).  ``extra_latency_s`` is only meaningful for
+    :data:`EDGE_SLOW`.
+    """
+
+    kind: str
+    target: str = MATCH_ANY
+    probability: float = 1.0
+    after: int = 0
+    duration: Optional[int] = None
+    extra_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError(f"duration must be >= 1, got {self.duration}")
+        if self.extra_latency_s < 0:
+            raise ValueError(
+                f"extra_latency_s must be >= 0, got {self.extra_latency_s}"
+            )
+
+    def matches(self, target: str) -> bool:
+        return self.target == MATCH_ANY or self.target == target
+
+    def in_window(self, event_index: int) -> bool:
+        """Is the 0-based ``event_index`` inside this rule's window?"""
+        if event_index < self.after:
+            return False
+        if self.duration is not None and event_index >= self.after + self.duration:
+            return False
+        return True
+
+    # -- readable constructors ------------------------------------------------
+
+    @classmethod
+    def frame_loss(cls, target: str = MATCH_ANY, probability: float = 1.0, **kw):
+        return cls(FRAME_LOSS, target, probability, **kw)
+
+    @classmethod
+    def frame_corrupt(cls, target: str = MATCH_ANY, probability: float = 1.0, **kw):
+        return cls(FRAME_CORRUPT, target, probability, **kw)
+
+    @classmethod
+    def edge_outage(cls, target: str, *, after: int = 0, duration: Optional[int] = None,
+                    probability: float = 1.0):
+        return cls(EDGE_OUTAGE, target, probability, after=after, duration=duration)
+
+    @classmethod
+    def edge_slow(cls, target: str, extra_latency_s: float, *,
+                  probability: float = 1.0, **kw):
+        return cls(EDGE_SLOW, target, probability,
+                   extra_latency_s=extra_latency_s, **kw)
+
+    @classmethod
+    def tamper_digest(cls, target: str = MATCH_ANY, probability: float = 1.0, **kw):
+        return cls(PAD_TAMPER_DIGEST, target, probability, **kw)
+
+    @classmethod
+    def tamper_signature(cls, target: str = MATCH_ANY, probability: float = 1.0, **kw):
+        return cls(PAD_TAMPER_SIGNATURE, target, probability, **kw)
+
+    @classmethod
+    def proxy_restart(cls, *, after: int, duration: int = 1, target: str = MATCH_ANY):
+        """Restart the proxy at the ``after``-th request it handles.
+
+        ``duration`` restarts it on that many *consecutive* requests;
+        the default fires exactly once.
+        """
+        return cls(PROXY_RESTART, target, 1.0, after=after, duration=duration)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of fault rules (order only matters for reporting)."""
+
+    rules: list[FaultRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.rules = list(self.rules)
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def for_kind(self, kind: str, target: str) -> Iterator[FaultRule]:
+        for rule in self.rules:
+            if rule.kind == kind and rule.matches(target):
+                yield rule
+
+    def kinds(self) -> set[str]:
+        return {rule.kind for rule in self.rules}
+
+    def __iter__(self) -> Iterator[FaultRule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    @classmethod
+    def of(cls, *rules: FaultRule) -> "FaultPlan":
+        return cls(list(rules))

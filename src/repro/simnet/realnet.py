@@ -52,11 +52,22 @@ def recv_frame(sock: socket.socket) -> bytes:
 
 
 class TcpEndpoint:
-    """A request/response server on 127.0.0.1 with an ephemeral port."""
+    """A request/response server on 127.0.0.1 with an ephemeral port.
 
-    def __init__(self, name: str, handler: Callable[[bytes], bytes]):
+    ``idle_timeout_s`` bounds how long a worker blocks reading the next
+    frame from a connected client before giving up on the connection.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        handler: Callable[[bytes], bytes],
+        *,
+        idle_timeout_s: float = 5.0,
+    ):
         self.name = name
         self.handler = handler
+        self.idle_timeout_s = idle_timeout_s
         self.meter = TrafficMeter()
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -91,7 +102,7 @@ class TcpEndpoint:
 
     def _serve_conn(self, conn: socket.socket) -> None:
         with conn:
-            conn.settimeout(5.0)
+            conn.settimeout(self.idle_timeout_s)
             while not self._stop.is_set():
                 try:
                     request = recv_frame(conn)
@@ -124,9 +135,23 @@ class TcpTransport:
 
     Endpoints live in the same process but all traffic crosses the kernel's
     loopback TCP stack.
+
+    ``connect_timeout_s`` bounds connection establishment and
+    ``request_timeout_s`` bounds each send/receive once connected; a dead
+    or wedged endpoint surfaces as :class:`TransportError` instead of
+    hanging the caller forever.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        connect_timeout_s: float = 5.0,
+        request_timeout_s: float = 5.0,
+    ) -> None:
+        if connect_timeout_s <= 0 or request_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
         self._endpoints: dict[str, TcpEndpoint] = {}
         self.meters: dict[str, TrafficMeter] = {}
         self._lock = threading.Lock()
@@ -157,9 +182,21 @@ class TcpTransport:
         if ep is None:
             raise TransportError(f"no handler bound for endpoint {dst!r}")
         self.meter(src).record_send(len(payload))
-        with socket.create_connection(ep.address, timeout=5.0) as sock:
-            send_frame(sock, payload)
-            framed = recv_frame(sock)
+        try:
+            with socket.create_connection(
+                ep.address, timeout=self.connect_timeout_s
+            ) as sock:
+                sock.settimeout(self.request_timeout_s)
+                send_frame(sock, payload)
+                framed = recv_frame(sock)
+        except socket.timeout as exc:
+            raise TransportError(
+                f"timed out talking to endpoint {dst!r} at {ep.address}: {exc}"
+            ) from exc
+        except ConnectionError as exc:
+            raise TransportError(
+                f"connection to endpoint {dst!r} at {ep.address} failed: {exc}"
+            ) from exc
         if not framed:
             raise TransportError("empty response frame")
         status, body = framed[0], framed[1:]

@@ -1,0 +1,53 @@
+"""Capacity-curve reproducibility: explicit, injectable randomness."""
+
+import random
+
+from repro.bench.capacity import (
+    derive_rng,
+    negotiation_time_experiment,
+    retrieval_time_experiment,
+)
+
+COUNTS = (1, 10)
+
+
+class TestReproducibility:
+    def test_negotiation_curve_is_a_pure_function_of_seed(self):
+        a = negotiation_time_experiment(COUNTS, seed=5)
+        b = negotiation_time_experiment(COUNTS, seed=5)
+        assert a.xs == b.xs and a.ys == b.ys
+        c = negotiation_time_experiment(COUNTS, seed=6)
+        assert a.ys != c.ys
+
+    def test_retrieval_curves_are_pure_functions_of_seed(self):
+        a_cen, a_dist = retrieval_time_experiment(COUNTS, seed=5)
+        b_cen, b_dist = retrieval_time_experiment(COUNTS, seed=5)
+        assert a_cen.ys == b_cen.ys
+        assert a_dist.ys == b_dist.ys
+
+    def test_points_are_independent_of_other_points(self):
+        """Each client count derives its own RNG, so dropping a point
+        from the sweep must not move the others."""
+        full = negotiation_time_experiment((1, 10, 25), seed=5)
+        partial = negotiation_time_experiment((10,), seed=5)
+        assert partial.ys[0] == full.ys[full.xs.index(10)]
+
+
+class TestRngFactory:
+    def test_default_factory_matches_derive_rng(self):
+        implicit = negotiation_time_experiment(COUNTS, seed=5)
+        explicit = negotiation_time_experiment(
+            COUNTS, seed=999, rng_factory=lambda n: derive_rng(5, n)
+        )
+        assert implicit.ys == explicit.ys
+
+    def test_custom_factory_changes_the_draws(self):
+        default = negotiation_time_experiment(COUNTS, seed=5)
+        custom = negotiation_time_experiment(
+            COUNTS, seed=5, rng_factory=lambda n: random.Random(n * 1_000_003)
+        )
+        assert default.ys != custom.ys
+
+    def test_derive_rng_is_deterministic(self):
+        assert derive_rng(7, 100).random() == derive_rng(7, 100).random()
+        assert derive_rng(7, 100).random() != derive_rng(7, 101).random()

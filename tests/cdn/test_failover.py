@@ -1,0 +1,139 @@
+"""Ranked redirection and failover fetching."""
+
+import pytest
+
+from repro.cdn.planetlab import build_deployment
+from repro.cdn.redirector import FailoverFetcher, RedirectError
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture()
+def deployment():
+    d = build_deployment(n_edges=4, n_client_sites=6, seed=3)
+    d.origin.publish("pad/1", b"signed-pad-bytes")
+    d.origin.publish("other/1", b"other-bytes")
+    return d
+
+
+class _BrokenEdge:
+    """Stands in for a registered edge; every serve raises."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def serve(self, key):
+        raise RuntimeError(f"edge {self.name} is down")
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestRanked:
+    def test_first_ranked_is_what_resolve_returns(self, deployment):
+        site = deployment.client_sites[0]
+        ranked = deployment.redirector.ranked(site, "pad/1")
+        assert ranked[0].name == deployment.redirector.resolve(site, "pad/1").name
+        assert len(ranked) == 4
+
+    def test_ranking_is_nearest_first(self, deployment):
+        site = deployment.client_sites[0]
+        topo = deployment.topology
+        ranked = deployment.redirector.ranked(site, key=None)
+        latencies = [topo.latency_s(site, e.name) for e in ranked]
+        assert latencies == sorted(latencies)
+
+    def test_warm_edges_precede_cold(self, deployment):
+        site = deployment.client_sites[0]
+        ranked_cold = deployment.redirector.ranked(site, "pad/1")
+        # Warm the farthest edge only.
+        farthest = ranked_cold[-1]
+        farthest.preload("pad/1")
+        ranked = deployment.redirector.ranked(site, "pad/1")
+        assert ranked[0].name == farthest.name
+
+    def test_replace_edge_swaps_and_returns_previous(self, deployment):
+        redirector = deployment.redirector
+        original = redirector.edges()[0]
+        wrapper = _BrokenEdge(original)
+        assert redirector.replace_edge(wrapper) is original
+        assert redirector.edges()[0] is wrapper
+        redirector.replace_edge(original)  # restore
+
+    def test_replace_unknown_edge_rejected(self, deployment):
+        class Ghost:
+            name = "edge99"
+
+        with pytest.raises(RedirectError, match="no edge registered"):
+            deployment.redirector.replace_edge(Ghost())
+
+
+class TestFetchWithFailover:
+    def test_walks_past_a_dead_edge(self, deployment):
+        registry = MetricsRegistry()
+        redirector = deployment.redirector
+        site = deployment.client_sites[0]
+        nearest = redirector.ranked(site, "pad/1")[0]
+        redirector.replace_edge(_BrokenEdge(nearest))
+        blob, edge = redirector.fetch_with_failover(
+            site, "pad/1", registry=registry
+        )
+        assert blob == b"signed-pad-bytes"
+        assert edge.name != nearest.name
+        assert registry.snapshot()["counters"]["cdn.failovers"] == 1
+
+    def test_skip_set_is_honored(self, deployment):
+        redirector = deployment.redirector
+        site = deployment.client_sites[0]
+        ranked = redirector.ranked(site, "pad/1")
+        _blob, edge = redirector.fetch_with_failover(
+            site, "pad/1", skip=frozenset({ranked[0].name})
+        )
+        assert edge.name == ranked[1].name
+
+    def test_all_edges_dead_raises_redirect_error(self, deployment):
+        redirector = deployment.redirector
+        for edge in list(redirector.edges()):
+            redirector.replace_edge(_BrokenEdge(edge))
+        with pytest.raises(RedirectError, match="all 4 candidate edges failed"):
+            redirector.fetch_with_failover(deployment.client_sites[0], "pad/1")
+
+    def test_everything_skipped_raises(self, deployment):
+        redirector = deployment.redirector
+        with pytest.raises(RedirectError, match="no candidate edges"):
+            redirector.fetch_with_failover(
+                deployment.client_sites[0],
+                "pad/1",
+                skip=frozenset(redirector.edge_names()),
+            )
+
+
+class TestFailoverFetcher:
+    def test_acts_as_cdn_fetch_callable(self, deployment):
+        fetcher = FailoverFetcher(deployment.redirector, deployment.client_sites[0])
+        assert fetcher("pad/1") == b"signed-pad-bytes"
+        assert fetcher.last_edge("pad/1") is not None
+
+    def test_mark_bad_moves_to_next_edge(self, deployment):
+        registry = MetricsRegistry()
+        fetcher = FailoverFetcher(
+            deployment.redirector, deployment.client_sites[0], registry=registry
+        )
+        fetcher("pad/1")
+        first = fetcher.last_edge("pad/1")
+        fetcher.mark_bad("pad/1")
+        fetcher("pad/1")
+        assert fetcher.last_edge("pad/1") != first
+        assert registry.snapshot()["counters"]["cdn.edges_marked_bad"] == 1
+
+    def test_mark_bad_before_any_fetch_is_a_noop(self, deployment):
+        fetcher = FailoverFetcher(deployment.redirector, deployment.client_sites[0])
+        fetcher.mark_bad("pad/1")  # nothing served yet: nothing to blame
+        assert fetcher("pad/1") == b"signed-pad-bytes"
+
+    def test_slate_wiped_when_every_edge_is_bad(self, deployment):
+        fetcher = FailoverFetcher(deployment.redirector, deployment.client_sites[0])
+        for _ in range(len(deployment.edges)):
+            fetcher("pad/1")
+            fetcher.mark_bad("pad/1")
+        # All four edges are blacklisted; the wipe must let this succeed.
+        assert fetcher("pad/1") == b"signed-pad-bytes"

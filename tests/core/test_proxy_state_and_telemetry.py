@@ -85,6 +85,44 @@ class TestSessionBound:
         assert proxy.stats.sessions_dropped == 0
 
 
+class TestRestart:
+    def test_restart_wipes_pending_sessions_only(self):
+        proxy = make_proxy()
+        for sid in ("s1", "s2"):
+            proxy.handle(inp.encode(
+                INPMessage(MsgType.INIT_REQ, sid, 0, {"app_id": "app"})
+            ))
+        (cached,) = proxy.negotiate("app", DEV, NTWK)
+        assert proxy.restart() == 2
+        assert proxy.pending_sessions == 0
+        assert proxy.stats.restarts == 1
+        registry = proxy.telemetry.registry
+        assert registry.counter("proxy.sessions.wiped_by_restart").value == 2
+        assert registry.gauge("proxy.sessions.open").value == 0
+        # Durable state survives: PATs and the adaptation cache answer
+        # the same negotiation without a fresh search.
+        (after,) = proxy.negotiate("app", DEV, NTWK)
+        assert after.pad_id == cached.pad_id
+        assert proxy.stats.cache_hits >= 1
+
+    def test_mid_negotiation_client_gets_unknown_session(self):
+        proxy = make_proxy()
+        proxy.handle(inp.encode(
+            INPMessage(MsgType.INIT_REQ, "s1", 0, {"app_id": "app"})
+        ))
+        proxy.restart()
+        rep = inp.decode(proxy.handle(inp.encode(INPMessage(
+            MsgType.CLI_META_REP, "s1", 2,
+            {"dev_meta": DEV.to_wire(), "ntwk_meta": NTWK.to_wire()},
+        ))))
+        assert rep.msg_type is MsgType.INP_ERROR
+
+    def test_restart_of_idle_proxy_wipes_nothing(self):
+        proxy = make_proxy()
+        assert proxy.restart() == 0
+        assert proxy.stats.restarts == 1
+
+
 class TestDistributionInvalidation:
     def test_reregistration_invalidates_cached_pads(self):
         proxy = make_proxy()

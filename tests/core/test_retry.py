@@ -1,0 +1,126 @@
+"""RetryPolicy: deterministic backoff, budget, and the call loop."""
+
+import pytest
+
+from repro.core.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+class Flaky:
+    """Fails ``failures`` times with ``exc_type``, then returns ``value``."""
+
+    def __init__(self, failures, exc_type=ValueError, value="ok"):
+        self.failures = failures
+        self.exc_type = exc_type
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_type(f"attempt {self.calls} failed")
+        return self.value
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestDelays:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0, max_delay_s=1.0,
+                             jitter=0.0)
+        assert policy.delay_s(1) == pytest.approx(0.1)
+        assert policy.delay_s(2) == pytest.approx(0.2)
+        assert policy.delay_s(3) == pytest.approx(0.4)
+        assert policy.delay_s(5) == pytest.approx(1.0)  # capped
+        assert policy.delay_s(9) == pytest.approx(1.0)
+
+    def test_jitter_is_deterministic_in_key_and_attempt(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5)
+        assert policy.delay_s(1, "a") == policy.delay_s(1, "a")
+        assert policy.delay_s(1, "a") != policy.delay_s(1, "b")
+        assert policy.delay_s(1, "a") != policy.delay_s(2, "a")
+
+    def test_jitter_stays_within_nominal_bounds(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=1.0, jitter=0.5)
+        for attempt in range(1, 50):
+            d = policy.delay_s(attempt, "key")
+            assert 0.05 <= d <= 0.1
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_RETRY_POLICY.delay_s(0)
+
+
+class TestCall:
+    def test_success_first_try_no_hooks(self):
+        hooks = []
+        policy = RetryPolicy(max_attempts=3)
+        result = policy.call(
+            Flaky(0), retryable=(ValueError,),
+            on_retry=lambda *a: hooks.append(a),
+        )
+        assert result == "ok"
+        assert hooks == []
+
+    def test_retries_until_success(self):
+        fn = Flaky(2)
+        hooks = []
+        policy = RetryPolicy(max_attempts=3, jitter=0.0, base_delay_s=0.01)
+        assert policy.call(
+            fn, retryable=(ValueError,), on_retry=lambda *a: hooks.append(a)
+        ) == "ok"
+        assert fn.calls == 3
+        assert [h[0] for h in hooks] == [1, 2]  # attempt numbers
+        assert all(isinstance(h[2], ValueError) for h in hooks)
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        fn = Flaky(10)
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        with pytest.raises(ValueError, match="attempt 3 failed"):
+            policy.call(fn, retryable=(ValueError,))
+        assert fn.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = Flaky(5, exc_type=KeyError)
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(KeyError):
+            policy.call(fn, retryable=(ValueError,))
+        assert fn.calls == 1
+
+    def test_budget_stops_before_attempts_do(self):
+        fn = Flaky(100)
+        policy = RetryPolicy(
+            max_attempts=100, base_delay_s=1.0, multiplier=1.0, jitter=0.0,
+            max_delay_s=1.0, budget_s=2.5,
+        )
+        with pytest.raises(ValueError):
+            policy.call(fn, retryable=(ValueError,))
+        # Two 1 s delays fit in 2.5 s; the third would overflow.
+        assert fn.calls == 3
+
+    def test_sleep_receives_each_delay(self):
+        slept = []
+        fn = Flaky(2)
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.1, multiplier=2.0,
+                             jitter=0.0)
+        policy.call(fn, retryable=(ValueError,), sleep=slept.append)
+        assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_decision_sequence_is_reproducible(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.05)
+        runs = []
+        for _ in range(2):
+            slept = []
+            policy.call(Flaky(3), retryable=(ValueError,), key="cli:negotiate",
+                        sleep=slept.append)
+            runs.append(slept)
+        assert runs[0] == runs[1]

@@ -1,0 +1,118 @@
+"""FaultRule / FaultPlan semantics: validation, matching, windows."""
+
+import pytest
+
+from repro.faults.plan import (
+    EDGE_OUTAGE,
+    EDGE_SLOW,
+    FRAME_CORRUPT,
+    FRAME_LOSS,
+    MATCH_ANY,
+    PAD_TAMPER_DIGEST,
+    PAD_TAMPER_SIGNATURE,
+    PROXY_RESTART,
+    FaultPlan,
+    FaultRule,
+)
+
+
+class TestFaultRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("meteor_strike")
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_probability_bounds(self, p):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(FRAME_LOSS, probability=p)
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ValueError, match="after"):
+            FaultRule(FRAME_LOSS, after=-1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultRule(FRAME_LOSS, duration=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="extra_latency_s"):
+            FaultRule(EDGE_SLOW, extra_latency_s=-0.5)
+
+    def test_boundary_probabilities_accepted(self):
+        FaultRule(FRAME_LOSS, probability=0.0)
+        FaultRule(FRAME_LOSS, probability=1.0)
+
+
+class TestFaultRuleMatching:
+    def test_wildcard_matches_everything(self):
+        rule = FaultRule(FRAME_LOSS)  # target defaults to "*"
+        assert rule.target == MATCH_ANY
+        assert rule.matches("Bluetooth")
+        assert rule.matches("anything")
+
+    def test_exact_target(self):
+        rule = FaultRule(FRAME_LOSS, "Bluetooth")
+        assert rule.matches("Bluetooth")
+        assert not rule.matches("LAN")
+
+
+class TestFaultRuleWindows:
+    def test_default_window_is_always_armed(self):
+        rule = FaultRule(EDGE_OUTAGE, "edge00")
+        assert rule.in_window(0)
+        assert rule.in_window(10_000)
+
+    def test_after_and_duration_bound_the_window(self):
+        rule = FaultRule(EDGE_OUTAGE, "edge00", after=3, duration=2)
+        fired = [i for i in range(10) if rule.in_window(i)]
+        assert fired == [3, 4]
+
+    def test_open_ended_window(self):
+        rule = FaultRule(EDGE_OUTAGE, "edge00", after=5)
+        assert not rule.in_window(4)
+        assert rule.in_window(5)
+        assert rule.in_window(500)
+
+
+class TestConstructors:
+    def test_kinds(self):
+        assert FaultRule.frame_loss("Bluetooth", 0.1).kind == FRAME_LOSS
+        assert FaultRule.frame_corrupt().kind == FRAME_CORRUPT
+        assert FaultRule.edge_outage("edge01", after=2).kind == EDGE_OUTAGE
+        assert FaultRule.edge_slow("edge01", 0.25).kind == EDGE_SLOW
+        assert FaultRule.tamper_digest().kind == PAD_TAMPER_DIGEST
+        assert FaultRule.tamper_signature().kind == PAD_TAMPER_SIGNATURE
+        assert FaultRule.proxy_restart(after=7).kind == PROXY_RESTART
+
+    def test_proxy_restart_defaults_to_firing_once(self):
+        rule = FaultRule.proxy_restart(after=7)
+        assert [i for i in range(20) if rule.in_window(i)] == [7]
+
+    def test_edge_slow_carries_latency(self):
+        rule = FaultRule.edge_slow("edge01", 0.25)
+        assert rule.extra_latency_s == 0.25
+
+
+class TestFaultPlan:
+    def test_for_kind_filters_kind_and_target(self):
+        plan = FaultPlan.of(
+            FaultRule.frame_loss("Bluetooth", 0.1),
+            FaultRule.frame_loss("WLAN", 0.05),
+            FaultRule.edge_outage("edge00"),
+        )
+        assert [r.target for r in plan.for_kind(FRAME_LOSS, "Bluetooth")] == [
+            "Bluetooth"
+        ]
+        assert list(plan.for_kind(FRAME_LOSS, "LAN")) == []
+        assert len(list(plan.for_kind(EDGE_OUTAGE, "edge00"))) == 1
+
+    def test_wildcard_rule_matches_any_target(self):
+        plan = FaultPlan.of(FaultRule.tamper_digest(probability=0.5))
+        assert len(list(plan.for_kind(PAD_TAMPER_DIGEST, "edge07"))) == 1
+
+    def test_add_chains_and_len_iter(self):
+        plan = FaultPlan()
+        plan.add(FaultRule.frame_loss()).add(FaultRule.frame_corrupt())
+        assert len(plan) == 2
+        assert {r.kind for r in plan} == {FRAME_LOSS, FRAME_CORRUPT}
+        assert plan.kinds() == {FRAME_LOSS, FRAME_CORRUPT}

@@ -73,6 +73,45 @@ class TestCdnFailures:
         assert any(e.origin_fetches > 0 for e in system.deployment.edges)
 
 
+class TestTamperedPADs:
+    def test_tampered_origin_blob_never_deploys(self, system):
+        """Corrupt the signed PAD at the origin: the client must reject it
+        with a typed error and keep its sandbox empty."""
+        from repro.mobilecode import MobileCodeError, SigningError
+
+        client = system.make_client(PDA_BLUETOOTH)
+        origin = system.deployment.origin
+        for key in list(origin.keys()):
+            blob = bytearray(origin.fetch(key))
+            blob[len(blob) // 2] ^= 0xFF
+            origin.publish(key, bytes(blob))
+        for edge in system.deployment.edges:
+            edge.cache.clear()
+        with pytest.raises((MobileCodeError, SigningError)):
+            client.request_page(APP_ID, 0, new_version=0)
+        assert client.loader.loaded == {}
+
+    def test_wrong_object_served_fails_digest_not_signature(self, system):
+        """Swap two validly-signed objects at the origin: signatures hold,
+        the negotiated digest check must still refuse to deploy."""
+        from repro.mobilecode import MobileCodeError, SigningError
+
+        client = system.make_client(PDA_BLUETOOTH)
+        origin = system.deployment.origin
+        keys = origin.keys()
+        assert len(keys) >= 2
+        a, b = keys[0], keys[1]
+        blob_a, blob_b = origin.fetch(a), origin.fetch(b)
+        origin.publish(a, blob_b)
+        origin.publish(b, blob_a)
+        for edge in system.deployment.edges:
+            edge.cache.clear()
+        with pytest.raises(MobileCodeError) as err:
+            client.request_page(APP_ID, 0, new_version=0)
+        assert not isinstance(err.value, SigningError)
+        assert client.loader.loaded == {}
+
+
 class TestServerSideFailures:
     def test_bad_page_id_travels_back_as_inp_error(self, system):
         client = system.make_client(DESKTOP_LAN)

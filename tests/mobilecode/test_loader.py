@@ -82,3 +82,57 @@ class TestLoader:
         assert loader.get("adder") is not None
         loader.unload("adder")
         assert loader.get("adder") is None
+
+
+class TestVerificationFailures:
+    """Tampered PADs must raise typed errors and never deploy.
+
+    This is the client half of the paper's §3.5 security argument: the
+    digest from the negotiated PADMeta catches a CDN serving the wrong
+    (or stale) object, and the trust-list signature check catches a
+    modified one.  Either way no mobile code may execute.
+    """
+
+    def test_tampered_digest_rejected_and_not_deployed(self, loader, signer):
+        signed = make_signed(signer)
+        with pytest.raises(MobileCodeError, match="digest mismatch"):
+            loader.load(signed, expected_digest="0" * 40)
+        assert loader.loaded == {}
+
+    def test_wrong_object_fails_digest_check(self, loader, signer):
+        """A *different* validly-signed module: signature passes, digest
+        must not — the wrong-object CDN failure mode."""
+        wanted = make_signed(signer)
+        served = make_signed(signer, source=SOURCE + "\n# v2", name="adder")
+        with pytest.raises(MobileCodeError, match="digest mismatch"):
+            loader.load(served, expected_digest=wanted.module.digest())
+        assert loader.loaded == {}
+
+    def test_flipped_signature_rejected_and_not_deployed(self, loader, signer):
+        from dataclasses import replace
+
+        signed = make_signed(signer)
+        bad = replace(
+            signed, signature=bytes([signed.signature[0] ^ 0xFF])
+            + signed.signature[1:]
+        )
+        with pytest.raises(SigningError, match="invalid signature"):
+            loader.load(bad)
+        assert loader.loaded == {}
+
+    def test_modified_source_fails_signature_before_digest(self, loader, signer):
+        """Signature is checked first, so edited code dies as SigningError
+        even when the caller forgot to pass an expected digest."""
+        from dataclasses import replace
+
+        signed = make_signed(signer)
+        evil = replace(signed.module, source=SOURCE + "\nEVIL = True")
+        with pytest.raises(SigningError):
+            loader.load(replace(signed, module=evil))
+        assert loader.loaded == {}
+
+    def test_verify_alone_does_not_deploy(self, loader, signer):
+        signed = make_signed(signer)
+        module = loader.verify(signed, expected_digest=signed.module.digest())
+        assert module is signed.module
+        assert loader.loaded == {}

@@ -70,3 +70,34 @@ class TestTcpTransport:
             t.bind("svc", lambda p: p)
             assert t.request("c", "svc", b"ok") == b"ok"
         assert t.endpoints() == []
+
+
+class TestTimeouts:
+    def test_invalid_timeouts_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            TcpTransport(request_timeout_s=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            TcpTransport(connect_timeout_s=-1.0)
+
+    def test_timeouts_are_configurable(self):
+        with TcpTransport(connect_timeout_s=1.5, request_timeout_s=2.5) as t:
+            assert t.connect_timeout_s == 1.5
+            assert t.request_timeout_s == 2.5
+
+    def test_wedged_handler_surfaces_as_transport_error(self):
+        """A handler that never answers must not hang the caller."""
+        import time
+
+        release = threading.Event()
+
+        def wedged(_p):
+            release.wait(5.0)
+            return b"too late"
+
+        with TcpTransport(request_timeout_s=0.2) as t:
+            t.bind("wedged", wedged)
+            t0 = time.monotonic()
+            with pytest.raises(TransportError, match="timed out"):
+                t.request("cli", "wedged", b"x")
+            assert time.monotonic() - t0 < 2.0
+            release.set()
