@@ -1,0 +1,330 @@
+"""Closed-loop multi-worker load harness (``fractal-bench load``).
+
+The capacity experiments in :mod:`repro.bench.capacity` replay a
+*serialized* arrival process on the discrete-event simulator; this
+harness instead drives **real threads** against one shared
+proxy + CDN + application-server instance, which is what the
+thread-safety work on the serving path exists for.  Each worker owns one
+:class:`~repro.core.client.FractalClient` and runs sessions back-to-back
+(closed loop: a worker's next session starts when its previous one
+finishes) until the deadline:
+
+1. forced negotiation with the adaptation proxy (so the proxy's
+   adaptation cache sees sustained traffic and the hit ratio means
+   something),
+2. PAD retrieval/verify/deploy on the first visit to an environment
+   (cached per client afterwards, exactly like a real device),
+3. one full page exchange through the negotiated protocol.
+
+Two transports are supported: ``simnet`` (the in-process transport) and
+``tcp`` (:class:`~repro.simnet.realnet.TcpTransport`, loopback sockets).
+The in-process transport completes a request in zero network time, which
+would make a *concurrency* benchmark measure nothing but the GIL — so
+the harness wraps whichever transport it uses in
+:class:`LatencyTransport`, which sleeps a configurable WAN round-trip
+per request the way a remote client would spend it on the wire.  Sleeps
+release the GIL, so worker overlap is real.
+
+Every run reports throughput, p50/p95/p99 negotiation latency, the
+proxy's adaptation-cache hit ratio, and a **ledger reconciliation**: the
+per-worker tallies (kept in plain thread-local lists, no shared state)
+must sum to exactly what the shared telemetry registry counted.  A lost
+update anywhere in the locked serving path shows up here as a mismatch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.system import CaseStudySystem, build_case_study
+from ..simnet.realnet import TcpTransport
+from ..simnet.stats import percentile
+from ..workload.pages import Corpus
+from ..workload.profiles import PAPER_ENVIRONMENTS
+
+__all__ = [
+    "LatencyTransport",
+    "WorkerTally",
+    "LoadPoint",
+    "run_load_point",
+    "run_load_sweep",
+    "sweep_worker_counts",
+]
+
+DEFAULT_RTT_MS = 4.0
+DEFAULT_DURATION_S = 2.0
+# Small pages keep per-session compute well under the emulated RTT so
+# the harness measures serving-path concurrency, not codec speed.
+LOAD_CORPUS_KWARGS = dict(
+    n_pages=2, text_bytes=600, image_bytes=2000, images_per_page=1
+)
+
+
+class LatencyTransport:
+    """Transport wrapper that charges a WAN round-trip per request.
+
+    ``request()`` sleeps ``rtt_s`` (half before the call, half after,
+    like propagation each way) and then delegates.  ``time.sleep``
+    releases the GIL, so N workers overlap their network time — the
+    in-process transport alone would serialize everything behind the
+    interpreter lock and report meaningless scaling.
+    """
+
+    def __init__(self, inner, rtt_s: float) -> None:
+        if rtt_s < 0:
+            raise ValueError(f"rtt_s must be >= 0, got {rtt_s}")
+        self.inner = inner
+        self.rtt_s = rtt_s
+
+    def request(self, src: str, dst: str, payload: bytes) -> bytes:
+        if self.rtt_s > 0:
+            time.sleep(self.rtt_s / 2)
+        response = self.inner.request(src, dst, payload)
+        if self.rtt_s > 0:
+            time.sleep(self.rtt_s / 2)
+        return response
+
+
+@dataclass
+class WorkerTally:
+    """One worker's private ledger (no shared mutable state)."""
+
+    worker: int
+    sessions: int = 0
+    errors: int = 0
+    negotiations: int = 0
+    pad_download_bytes: int = 0
+    app_bytes: int = 0
+    negotiation_times_s: list[float] = field(default_factory=list)
+    first_error: Optional[str] = None
+
+
+@dataclass
+class LoadPoint:
+    """Aggregate result of one (worker count, transport) run."""
+
+    workers: int
+    transport: str
+    duration_s: float          # requested run length
+    elapsed_s: float           # measured wall time, start barrier -> last exit
+    sessions: int
+    errors: int
+    throughput_rps: float
+    p50_negotiation_s: float
+    p95_negotiation_s: float
+    p99_negotiation_s: float
+    proxy_hit_ratio: float
+    per_worker: list[WorkerTally]
+    ledger: dict[str, tuple[float, float]]  # name -> (workers' sum, registry)
+    reconciled: bool
+
+    def speedup_vs(self, baseline: "LoadPoint") -> float:
+        if baseline.throughput_rps <= 0:
+            return float("nan")
+        return self.throughput_rps / baseline.throughput_rps
+
+
+def _build_load_system(corpus: Optional[Corpus] = None) -> CaseStudySystem:
+    corpus = corpus or Corpus(**LOAD_CORPUS_KWARGS)
+    return build_case_study(corpus=corpus, calibrate=False)
+
+
+def _worker_loop(
+    client,
+    app_id: str,
+    corpus: Corpus,
+    duration_s: float,
+    start: threading.Event,
+    tally: WorkerTally,
+) -> None:
+    environments = PAPER_ENVIRONMENTS
+    # Stagger environment order per worker so cold-cache misses spread
+    # across keys instead of stampeding the same one.
+    offset = tally.worker
+    old_pages = [corpus.evolved(p, 0) for p in range(corpus.n_pages)]
+    start.wait()
+    deadline = time.perf_counter() + duration_s
+    i = 0
+    while time.perf_counter() < deadline:
+        env = environments[(offset + i) % len(environments)]
+        page_id = i % corpus.n_pages
+        old = old_pages[page_id]
+        client.set_environment(env)
+        try:
+            result = client.request_page(
+                app_id,
+                page_id,
+                old_parts=[old.text, *old.images],
+                old_version=0,
+                new_version=1,
+                force_negotiation=True,
+            )
+        except Exception as exc:  # noqa: BLE001 - the harness must finish
+            tally.errors += 1
+            if tally.first_error is None:
+                tally.first_error = f"{type(exc).__name__}: {exc}"
+        else:
+            tally.sessions += 1
+            tally.negotiations += 1  # force_negotiation: one per session
+            tally.pad_download_bytes += result.pad_download_bytes
+            tally.app_bytes += result.app_traffic_bytes
+            tally.negotiation_times_s.append(result.negotiation_time_s)
+        i += 1
+
+
+def run_load_point(
+    workers: int,
+    duration_s: float = DEFAULT_DURATION_S,
+    *,
+    transport: str = "simnet",
+    rtt_ms: float = DEFAULT_RTT_MS,
+    corpus: Optional[Corpus] = None,
+    system: Optional[CaseStudySystem] = None,
+) -> LoadPoint:
+    """Drive ``workers`` concurrent clients against one fresh system.
+
+    A fresh system per point keeps the telemetry ledger attributable: at
+    the end, per-worker sums must equal the registry counters *exactly*.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if transport not in ("simnet", "tcp"):
+        raise ValueError(f"transport must be 'simnet' or 'tcp', got {transport!r}")
+    system = system or _build_load_system(corpus)
+    app_id = system.appserver.app_id
+
+    tcp: Optional[TcpTransport] = None
+    if transport == "tcp":
+        tcp = TcpTransport()
+        tcp.bind("proxy", system.proxy.handle)
+        tcp.bind("appserver", system.appserver.handle)
+        base = tcp
+    else:
+        base = system.transport
+    wire = LatencyTransport(base, rtt_ms / 1000.0)
+
+    clients = [
+        system.make_client(
+            PAPER_ENVIRONMENTS[i % len(PAPER_ENVIRONMENTS)],
+            name=f"load-w{i:02d}",
+            transport=wire,
+        )
+        for i in range(workers)
+    ]
+    tallies = [WorkerTally(worker=i) for i in range(workers)]
+    start = threading.Event()
+    threads = []
+    try:
+        for client, tally in zip(clients, tallies):
+            t = threading.Thread(
+                target=_worker_loop,
+                args=(client, app_id, system.corpus, duration_s, start, tally),
+                name=f"load-worker-{tally.worker}",
+                daemon=True,
+            )
+            t.start()
+            threads.append(t)
+        t0 = time.perf_counter()
+        start.set()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+    finally:
+        if tcp is not None:
+            tcp.close()
+
+    return _aggregate(system, transport, workers, duration_s, elapsed, tallies)
+
+
+def _aggregate(
+    system: CaseStudySystem,
+    transport: str,
+    workers: int,
+    duration_s: float,
+    elapsed_s: float,
+    tallies: list[WorkerTally],
+) -> LoadPoint:
+    registry = system.telemetry.registry
+    sessions = sum(t.sessions for t in tallies)
+    errors = sum(t.errors for t in tallies)
+    times = sorted(x for t in tallies for x in t.negotiation_times_s)
+
+    def ctr(name: str) -> float:
+        return registry.counter(name).value
+
+    # Exact cross-worker reconciliation: private per-worker sums on the
+    # left, the shared locked registry on the right.
+    ledger: dict[str, tuple[float, float]] = {
+        "negotiations (workers vs proxy)": (
+            sum(t.negotiations for t in tallies), ctr("proxy.negotiations")
+        ),
+        "negotiations (workers vs client ctr)": (
+            sum(t.negotiations for t in tallies), ctr("client.negotiations")
+        ),
+        "cache hits+misses vs negotiations": (
+            ctr("proxy.cache.hits") + ctr("proxy.cache.misses"),
+            ctr("proxy.negotiations"),
+        ),
+        "app sessions (workers vs appserver)": (
+            sessions, ctr("appserver.requests")
+        ),
+        "pad bytes (workers vs client ctr)": (
+            sum(t.pad_download_bytes for t in tallies),
+            ctr("client.pad_download_bytes"),
+        ),
+        "app bytes (workers vs client ctrs)": (
+            sum(t.app_bytes for t in tallies),
+            ctr("client.app_request_bytes") + ctr("client.app_response_bytes"),
+        ),
+    }
+    reconciled = errors == 0 and all(a == b for a, b in ledger.values())
+
+    return LoadPoint(
+        workers=workers,
+        transport=transport,
+        duration_s=duration_s,
+        elapsed_s=elapsed_s,
+        sessions=sessions,
+        errors=errors,
+        throughput_rps=sessions / elapsed_s if elapsed_s > 0 else 0.0,
+        p50_negotiation_s=percentile(times, 50) if times else 0.0,
+        p95_negotiation_s=percentile(times, 95) if times else 0.0,
+        p99_negotiation_s=percentile(times, 99) if times else 0.0,
+        proxy_hit_ratio=system.proxy.stats.hit_ratio,
+        per_worker=tallies,
+        ledger=ledger,
+        reconciled=reconciled,
+    )
+
+
+def sweep_worker_counts(max_workers: int) -> list[int]:
+    """1, 2, 4, ... doubling up to and always including ``max_workers``."""
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    counts = []
+    w = 1
+    while w < max_workers:
+        counts.append(w)
+        w *= 2
+    counts.append(max_workers)
+    return counts
+
+
+def run_load_sweep(
+    max_workers: int = 8,
+    duration_s: float = DEFAULT_DURATION_S,
+    *,
+    transport: str = "simnet",
+    rtt_ms: float = DEFAULT_RTT_MS,
+) -> list[LoadPoint]:
+    """One :func:`run_load_point` per worker count, shared corpus."""
+    corpus = Corpus(**LOAD_CORPUS_KWARGS)
+    return [
+        run_load_point(
+            w, duration_s, transport=transport, rtt_ms=rtt_ms, corpus=corpus
+        )
+        for w in sweep_worker_counts(max_workers)
+    ]

@@ -5,6 +5,7 @@ Usage::
     fractal-bench table1
     fractal-bench fig9a fig9b
     fractal-bench fig10 fig11 headline
+    fractal-bench load --workers 8 --duration 2
     fractal-bench all
 """
 
@@ -28,7 +29,7 @@ from .reporting import (
 __all__ = ["main"]
 
 _EXPERIMENTS = ("table1", "fig9a", "fig9b", "fig10", "fig11", "headline",
-                "timeline", "stages", "chaos")
+                "timeline", "stages", "chaos", "load")
 
 
 def _build_system(era: bool = True):
@@ -268,6 +269,51 @@ def run_chaos() -> str:
     return "\n\n".join(blocks)
 
 
+def run_load(
+    workers: int = 8,
+    duration_s: float = 2.0,
+    transport: str = "simnet",
+    rtt_ms: float = 4.0,
+) -> str:
+    """Closed-loop concurrent load sweep: 1..N workers on one shared system."""
+    from .load import run_load_sweep
+
+    points = run_load_sweep(
+        workers, duration_s, transport=transport, rtt_ms=rtt_ms
+    )
+    base = points[0]
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                p.workers,
+                p.sessions,
+                p.errors,
+                f"{p.throughput_rps:.1f}",
+                f"{p.speedup_vs(base):.2f}x",
+                fmt_ms(p.p50_negotiation_s),
+                fmt_ms(p.p95_negotiation_s),
+                fmt_ms(p.p99_negotiation_s),
+                f"{p.proxy_hit_ratio * 100:.1f}%",
+                "exact" if p.reconciled else "MISMATCH",
+            ]
+        )
+    table = render_table(
+        f"Load: closed-loop workers vs one shared proxy+CDN+appserver "
+        f"({transport}, {duration_s:.1f}s/point, {rtt_ms:.0f}ms emulated RTT)",
+        ["workers", "sessions", "errors", "rps", "speedup",
+         "p50 ms", "p95 ms", "p99 ms", "hit ratio", "ledger"],
+        rows,
+    )
+    last = points[-1]
+    summary = (
+        f"{last.workers} workers: {last.sessions} sessions, "
+        f"{last.errors} errors, {last.speedup_vs(base):.2f}x throughput of "
+        f"1 worker, ledger {'reconciled exactly' if last.reconciled else 'MISMATCH'}"
+    )
+    return f"{table}\n\n{summary}"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="fractal-bench",
@@ -277,6 +323,23 @@ def main(argv=None) -> int:
         "experiments", nargs="+",
         choices=[*_EXPERIMENTS, "all"],
         help="which table/figure to regenerate",
+    )
+    load_group = parser.add_argument_group("load", "options for `load`")
+    load_group.add_argument(
+        "--workers", type=int, default=8,
+        help="max worker count for the load sweep (default 8)",
+    )
+    load_group.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds per load point (default 2.0)",
+    )
+    load_group.add_argument(
+        "--transport", choices=("simnet", "tcp"), default="simnet",
+        help="serving path for the load sweep (default simnet)",
+    )
+    load_group.add_argument(
+        "--rtt-ms", type=float, default=4.0,
+        help="emulated WAN round-trip per request in ms (default 4)",
     )
     args = parser.parse_args(argv)
     wanted = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -296,6 +359,9 @@ def main(argv=None) -> int:
             "timeline": lambda: run_timeline(system),
             "stages": lambda: run_stages(system),
             "chaos": run_chaos,
+            "load": lambda: run_load(
+                args.workers, args.duration, args.transport, args.rtt_ms
+            ),
         }[name]
         outputs.append(fn())
     print("\n\n".join(outputs))

@@ -13,10 +13,16 @@ the exact bug this split fixes.
 When a :class:`~repro.telemetry.MetricsRegistry` is supplied, every
 hit/miss/eviction is also mirrored into the shared ``cdn.cache.*``
 counters (aggregated across all caches wired to that registry).
+
+The cache is thread-safe: one lock guards the item map, ``used_bytes``,
+and the hit/miss/eviction counters together, so a ``put`` racing its own
+eviction loop (the old lost-update bug on ``evictions``) and concurrent
+``get``/``invalidate`` calls always leave byte accounting exact.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional
 
@@ -36,6 +42,7 @@ class LRUCache:
             raise ValueError(f"capacity must be >= 1 byte, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
         self._registry = registry
+        self._lock = threading.RLock()
         self._items: OrderedDict[str, bytes] = OrderedDict()
         self.used_bytes = 0
         self.hits = 0
@@ -43,29 +50,32 @@ class LRUCache:
         self.evictions = 0
 
     def _count(self, name: str, amount: int = 1) -> None:
-        if self._registry is not None:
+        if self._registry is not None and amount:
             self._registry.counter(name).inc(amount)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._items
+        with self._lock:
+            return key in self._items
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)
 
     def get(self, key: str) -> Optional[bytes]:
-        value = self._items.get(key)
-        if value is None:
-            self.misses += 1
-            self._count("cdn.cache.misses")
-            return None
-        self._items.move_to_end(key)
-        self.hits += 1
-        self._count("cdn.cache.hits")
+        with self._lock:
+            value = self._items.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self._items.move_to_end(key)
+                self.hits += 1
+        self._count("cdn.cache.misses" if value is None else "cdn.cache.hits")
         return value
 
     def peek(self, key: str) -> Optional[bytes]:
         """Look without touching recency or counters."""
-        return self._items.get(key)
+        with self._lock:
+            return self._items.get(key)
 
     def put(self, key: str, value: bytes) -> None:
         if len(value) > self.capacity_bytes:
@@ -73,23 +83,27 @@ class LRUCache:
                 f"object {key!r} ({len(value)} B) exceeds cache capacity "
                 f"({self.capacity_bytes} B)"
             )
-        old = self._items.pop(key, None)
-        if old is not None:
-            self.used_bytes -= len(old)
-        self._items[key] = value
-        self.used_bytes += len(value)
-        while self.used_bytes > self.capacity_bytes:
-            evicted_key, evicted = self._items.popitem(last=False)
-            self.used_bytes -= len(evicted)
-            self.evictions += 1
-            self._count("cdn.cache.evictions")
+        evictions = 0
+        with self._lock:
+            old = self._items.pop(key, None)
+            if old is not None:
+                self.used_bytes -= len(old)
+            self._items[key] = value
+            self.used_bytes += len(value)
+            while self.used_bytes > self.capacity_bytes:
+                evicted_key, evicted = self._items.popitem(last=False)
+                self.used_bytes -= len(evicted)
+                self.evictions += 1
+                evictions += 1
+        self._count("cdn.cache.evictions", evictions)
 
     def invalidate(self, key: str) -> bool:
-        old = self._items.pop(key, None)
-        if old is None:
-            return False
-        self.used_bytes -= len(old)
-        return True
+        with self._lock:
+            old = self._items.pop(key, None)
+            if old is None:
+                return False
+            self.used_bytes -= len(old)
+            return True
 
     def clear(self) -> None:
         """Drop every cached object.  Counters are *preserved*.
@@ -98,19 +112,23 @@ class LRUCache:
         not current occupancy; use :meth:`reset_stats` to start a fresh
         counting epoch (e.g. between bench runs).
         """
-        self._items.clear()
-        self.used_bytes = 0
+        with self._lock:
+            self._items.clear()
+            self.used_bytes = 0
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters without touching contents."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def keys(self) -> list[str]:
-        return list(self._items)
+        with self._lock:
+            return list(self._items)

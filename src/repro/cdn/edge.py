@@ -11,6 +11,7 @@ served, origin fetches) while per-edge numbers stay on the instance.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from ..telemetry import MetricsRegistry
@@ -35,23 +36,31 @@ class EdgeServer:
         self.origin = origin
         self._registry = registry
         self.cache = LRUCache(cache_bytes, registry=registry)
+        self._lock = threading.Lock()  # guards the per-edge counters
         self.requests_served = 0
         self.bytes_served = 0
         self.origin_fetches = 0
 
     def _record_served(self, nbytes: int) -> None:
-        self.requests_served += 1
-        self.bytes_served += nbytes
+        with self._lock:
+            self.requests_served += 1
+            self.bytes_served += nbytes
         if self._registry is not None:
             self._registry.counter("cdn.edge.requests").inc()
             self._registry.counter("cdn.edge.bytes_served").inc(nbytes)
 
     def serve(self, key: str) -> bytes:
-        """Return the object, pulling through from origin on a miss."""
+        """Return the object, pulling through from origin on a miss.
+
+        Two workers missing the same cold key concurrently both pull from
+        origin (duplicate fetch, consistent result) — the usual CDN
+        thundering-herd trade; counters stay exact either way.
+        """
         blob = self.cache.get(key)
         if blob is None:
             blob = self.origin.fetch(key)  # raises OriginError if unknown
-            self.origin_fetches += 1
+            with self._lock:
+                self.origin_fetches += 1
             if self._registry is not None:
                 self._registry.counter("cdn.edge.origin_fetches").inc()
             self.cache.put(key, blob)

@@ -7,6 +7,7 @@ from here; in the CDN deployment edges pull from it on miss.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 __all__ = ["OriginServer", "OriginError"]
@@ -17,9 +18,12 @@ class OriginError(Exception):
 
 
 class OriginServer:
+    """Thread-safe: concurrent edge pull-throughs share one counter lock."""
+
     def __init__(self, name: str = "origin"):
         self.name = name
         self._objects: dict[str, bytes] = {}
+        self._lock = threading.Lock()
         self.requests_served = 0
         self.bytes_served = 0
 
@@ -27,23 +31,27 @@ class OriginServer:
         """Store (or replace) an object; replacement models a PAD upgrade."""
         if not key:
             raise OriginError("object key must be non-empty")
-        self._objects[key] = bytes(blob)
+        with self._lock:
+            self._objects[key] = bytes(blob)
 
     def withdraw(self, key: str) -> None:
-        self._objects.pop(key, None)
+        with self._lock:
+            self._objects.pop(key, None)
 
     def has(self, key: str) -> bool:
         return key in self._objects
 
     def keys(self) -> list[str]:
-        return sorted(self._objects)
+        with self._lock:
+            return sorted(self._objects)
 
     def fetch(self, key: str) -> bytes:
-        blob = self._objects.get(key)
-        if blob is None:
-            raise OriginError(f"origin has no object {key!r}")
-        self.requests_served += 1
-        self.bytes_served += len(blob)
+        with self._lock:
+            blob = self._objects.get(key)
+            if blob is None:
+                raise OriginError(f"origin has no object {key!r}")
+            self.requests_served += 1
+            self.bytes_served += len(blob)
         return blob
 
     def size_of(self, key: str) -> Optional[int]:

@@ -14,6 +14,7 @@ on a digest/signature mismatch the client detects after download.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from ..simnet.topology import Topology
@@ -31,32 +32,42 @@ class Redirector:
     def __init__(self, topology: Topology):
         self.topology = topology
         self._edges: dict[str, EdgeServer] = {}
+        self._lock = threading.Lock()
 
     def register_edge(self, edge: EdgeServer) -> None:
         if edge.name not in self.topology:
             raise RedirectError(
                 f"edge {edge.name!r} has no site in the topology; add it first"
             )
-        if edge.name in self._edges:
-            raise RedirectError(f"duplicate edge registration: {edge.name!r}")
-        self._edges[edge.name] = edge
+        with self._lock:
+            if edge.name in self._edges:
+                raise RedirectError(f"duplicate edge registration: {edge.name!r}")
+            self._edges[edge.name] = edge
 
     def replace_edge(self, edge: EdgeServer) -> EdgeServer:
         """Swap the registered edge of the same name (fault wrappers).
 
         Returns the previous instance so callers can restore it.
         """
-        if edge.name not in self._edges:
-            raise RedirectError(f"no edge registered as {edge.name!r}")
-        previous = self._edges[edge.name]
-        self._edges[edge.name] = edge
-        return previous
+        with self._lock:
+            if edge.name not in self._edges:
+                raise RedirectError(f"no edge registered as {edge.name!r}")
+            previous = self._edges[edge.name]
+            self._edges[edge.name] = edge
+            return previous
+
+    def _edge_map(self) -> dict[str, EdgeServer]:
+        """Point-in-time snapshot; resolve/ranked walk this, not the live dict."""
+        with self._lock:
+            return dict(self._edges)
 
     def edges(self) -> list[EdgeServer]:
-        return [self._edges[n] for n in sorted(self._edges)]
+        edges = self._edge_map()
+        return [edges[n] for n in sorted(edges)]
 
     def edge_names(self) -> list[str]:
-        return sorted(self._edges)
+        with self._lock:
+            return sorted(self._edges)
 
     def resolve(
         self, client_site: str, key: Optional[str] = None, *, prefer_cached: bool = True
@@ -67,14 +78,15 @@ class Redirector:
         object win over strictly-nearer cold edges — the standard CDN
         trade of locality for hit ratio.
         """
-        if not self._edges:
+        edges = self._edge_map()
+        if not edges:
             raise RedirectError("no edges registered")
-        names = list(self._edges)
+        names = list(edges)
         if prefer_cached and key is not None:
-            warm = [n for n in names if self._edges[n].has_cached(key)]
+            warm = [n for n in names if edges[n].has_cached(key)]
             if warm:
-                return self._edges[self.topology.nearest(client_site, warm)]
-        return self._edges[self.topology.nearest(client_site, names)]
+                return edges[self.topology.nearest(client_site, warm)]
+        return edges[self.topology.nearest(client_site, names)]
 
     def ranked(
         self, client_site: str, key: Optional[str] = None, *, prefer_cached: bool = True
@@ -85,17 +97,18 @@ class Redirector:
         edge (nearest-first) precedes every cold edge.  The first entry
         is exactly what :meth:`resolve` returns.
         """
-        if not self._edges:
+        edges = self._edge_map()
+        if not edges:
             raise RedirectError("no edges registered")
         by_distance = sorted(
-            self._edges,
+            edges,
             key=lambda n: (self.topology.latency_s(client_site, n), n),
         )
         if prefer_cached and key is not None:
-            warm = [n for n in by_distance if self._edges[n].has_cached(key)]
-            cold = [n for n in by_distance if not self._edges[n].has_cached(key)]
+            warm = [n for n in by_distance if edges[n].has_cached(key)]
+            cold = [n for n in by_distance if not edges[n].has_cached(key)]
             by_distance = warm + cold
-        return [self._edges[n] for n in by_distance]
+        return [edges[n] for n in by_distance]
 
     def fetch(self, client_site: str, key: str) -> tuple[bytes, EdgeServer]:
         """Resolve and serve in one step; returns (blob, serving edge)."""
@@ -165,34 +178,42 @@ class FailoverFetcher:
         self.client_site = client_site
         self.max_edges = max_edges
         self._registry = registry
+        self._lock = threading.Lock()  # guards the bad-edge slate + last map
         self._bad: dict[str, set[str]] = {}  # key -> edge names to avoid
         self._last: dict[str, str] = {}  # key -> edge that served it last
 
     def __call__(self, key: str) -> bytes:
-        bad = self._bad.get(key, set())
+        with self._lock:
+            bad = frozenset(self._bad.get(key, ()))
         if bad and not any(
             e.name not in bad for e in self.redirector.edges()
         ):
-            bad = set()
-            self._bad.pop(key, None)
+            # Slate wipe: every edge is poisoned for this key — outages
+            # end, so forget and start over rather than hard-fail.
+            with self._lock:
+                self._bad.pop(key, None)
+            bad = frozenset()
         blob, edge = self.redirector.fetch_with_failover(
             self.client_site,
             key,
-            skip=frozenset(bad),
+            skip=bad,
             max_edges=self.max_edges,
             registry=self._registry,
         )
-        self._last[key] = edge.name
+        with self._lock:
+            self._last[key] = edge.name
         return blob
 
     def mark_bad(self, key: str) -> None:
         """Blacklist the edge that last served ``key`` (bad bytes)."""
-        edge_name = self._last.get(key)
-        if edge_name is None:
-            return
-        self._bad.setdefault(key, set()).add(edge_name)
+        with self._lock:
+            edge_name = self._last.get(key)
+            if edge_name is None:
+                return
+            self._bad.setdefault(key, set()).add(edge_name)
         if self._registry is not None:
             self._registry.counter("cdn.edges_marked_bad").inc()
 
     def last_edge(self, key: str) -> Optional[str]:
-        return self._last.get(key)
+        with self._lock:
+            return self._last.get(key)

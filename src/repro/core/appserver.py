@@ -22,6 +22,7 @@ reactive with a cache keyed on the request digest.
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Optional
 
 from ..cdn.origin import OriginServer
@@ -108,7 +109,11 @@ class ApplicationServer:
         self._pad_meta: dict[str, PADMeta] = {}
         self._pad_order: list[str] = []
         # Proactive/response cache: (pad ids, page, oldv, newv, part, reqhash)
+        # Guarded by a lock: concurrent APP_REQ workers read and (in
+        # proactive mode) write it; protocol instances themselves are
+        # stateless per exchange and safe to share.
         self._response_cache: dict[tuple, bytes] = {}
+        self._cache_lock = threading.Lock()
 
     # -- PAD deployment ----------------------------------------------------------
 
@@ -228,8 +233,12 @@ class ApplicationServer:
             request = stack.client_request(old)
             key = self._cache_key(pad_ids, page_id, old_version, new_version,
                                   part_idx, request)
-            if key not in self._response_cache:
-                self._response_cache[key] = stack.server_respond(request, old, new)
+            with self._cache_lock:
+                cached = key in self._response_cache
+            if not cached:
+                response = stack.server_respond(request, old, new)
+                with self._cache_lock:
+                    self._response_cache[key] = response
                 count += 1
         return count
 
@@ -276,7 +285,8 @@ class ApplicationServer:
                 )
                 key = self._cache_key(pad_ids, page_id, old_version, new_version,
                                       part_idx, request)
-                cached = self._response_cache.get(key)
+                with self._cache_lock:
+                    cached = self._response_cache.get(key)
                 if cached is not None:
                     registry.counter("appserver.precompute_hits").inc()
                     response = cached
@@ -284,7 +294,8 @@ class ApplicationServer:
                     with registry.timer("appserver.encode_seconds"):
                         response = stack.server_respond(request, old, new)
                     if self.proactive:
-                        self._response_cache[key] = response
+                        with self._cache_lock:
+                            self._response_cache[key] = response
                 registry.counter("appserver.parts_encoded").inc()
                 registry.counter("appserver.bytes_out").inc(len(response))
                 responses.append(inp.b64e(response))

@@ -19,10 +19,19 @@ negotiation records a ``proxy.negotiate → proxy.search → proxy.finish``
 span chain on the tracer, keyed by the INP session id when the request
 came in over the wire.  :class:`ProxyStats` survives as a thin read-only
 view over the registry so existing callers keep their attribute API.
+
+Thread safety: the proxy serves concurrent transport workers.  The PAT
+map is copy-on-write (reads are lock-free snapshots; ``push_app_meta``
+swaps in a new dict), the distribution cache and the pending-session
+table each sit behind their own lock, and every check-then-act pair
+(session lookup → delete, cache probe → move-to-end) happens inside one
+critical section.  A concurrent cache miss may run the path search
+twice for the same key — duplicate work, never inconsistent state.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import replace
 from typing import Optional
@@ -90,12 +99,18 @@ class NegotiationManager:
 
     def __init__(self, model: OverheadModel):
         self.model = model
+        # Copy-on-write: negotiate() reads self._pats without a lock (one
+        # attribute load is atomic); writers build a new dict and swap it.
         self._pats: dict[str, PAT] = {}
+        self._write_lock = threading.Lock()
 
     def push_app_meta(self, app_meta: AppMeta) -> PAT:
         """(Re)build the PAT when the topology is created or changed."""
         pat = PAT.from_app_meta(app_meta)
-        self._pats[app_meta.app_id] = pat
+        with self._write_lock:
+            pats = dict(self._pats)
+            pats[app_meta.app_id] = pat
+            self._pats = pats
         return pat
 
     def pat(self, app_id: str) -> PAT:
@@ -136,6 +151,11 @@ class DistributionManager:
             raise NegotiationError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self._registry = registry
+        # One lock for the cache *and* the distribution maps: finish()
+        # reads digests/urls and writes the cache as a single atomic
+        # step, so a concurrent register_distribution() can never leave
+        # a cached entry carrying the digest of a withdrawn version.
+        self._lock = threading.RLock()
         # (dev key, app id, ntwk key) -> finished client-ready PADMeta list
         self._cache: OrderedDict[tuple, tuple[PADMeta, ...]] = OrderedDict()
         self.cache_evictions = 0
@@ -149,25 +169,29 @@ class DistributionManager:
             self._registry.counter(name).inc(amount)
 
     def register_distribution(self, pad_id: str, digest: str, url: str) -> None:
-        changed = (self._digests.get(pad_id), self._urls.get(pad_id)) != (digest, url)
-        self._digests[pad_id] = digest
-        self._urls[pad_id] = url
-        if changed:
-            # Cached finished tuples embed the old digest/URL; serving
-            # them after a re-registration would hand clients a PAD the
-            # CDN no longer stores (or worse, the wrong code version).
-            self.invalidate_pad(pad_id)
+        with self._lock:
+            changed = (
+                self._digests.get(pad_id), self._urls.get(pad_id)
+            ) != (digest, url)
+            self._digests[pad_id] = digest
+            self._urls[pad_id] = url
+            if changed:
+                # Cached finished tuples embed the old digest/URL; serving
+                # them after a re-registration would hand clients a PAD the
+                # CDN no longer stores (or worse, the wrong code version).
+                self.invalidate_pad(pad_id)
 
     def invalidate_pad(self, pad_id: str) -> int:
         """Drop cache entries whose adaptation path contains ``pad_id``."""
-        stale = [
-            key
-            for key, metas in self._cache.items()
-            if any(m.resolved_id == pad_id for m in metas)
-        ]
-        for key in stale:
-            del self._cache[key]
-        self.cache_invalidations += len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key, metas in self._cache.items()
+                if any(m.resolved_id == pad_id for m in metas)
+            ]
+            for key in stale:
+                del self._cache[key]
+            self.cache_invalidations += len(stale)
         self._count("proxy.dist.invalidations", len(stale))
         return len(stale)
 
@@ -178,9 +202,12 @@ class DistributionManager:
         self, dev: DevMeta, app_id: str, ntwk: NtwkMeta
     ) -> Optional[tuple[PADMeta, ...]]:
         key = self.cache_key(dev, app_id, ntwk)
-        hit = self._cache.get(key)
-        if hit is not None:
-            self._cache.move_to_end(key)
+        # get + move_to_end under one lock: with the old unlocked pair, a
+        # concurrent eviction/invalidation between the two raised KeyError.
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
         return hit
 
     def finish(
@@ -192,39 +219,44 @@ class DistributionManager:
         exist only to keep the PAT a tree, and "exposure to the client is
         unnecessary" (§3.2) — the client downloads the real module.
         """
-        finished = []
-        for meta in path:
-            real_id = meta.resolved_id
-            digest = self._digests.get(real_id)
-            url = self._urls.get(real_id)
-            if digest is None or url is None:
-                raise NegotiationError(
-                    f"PAD {real_id!r} has no registered distribution info"
-                )
-            if meta.alias_of is not None:
-                meta = replace(meta, pad_id=real_id, alias_of=None)
-            finished.append(meta.with_distribution(digest, url))
-        result = tuple(finished)
-        key = self.cache_key(dev, app_id, ntwk)
-        self._cache[key] = result
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
-            self.cache_evictions += 1
-            self._count("proxy.dist.evictions")
+        evictions = 0
+        with self._lock:
+            finished = []
+            for meta in path:
+                real_id = meta.resolved_id
+                digest = self._digests.get(real_id)
+                url = self._urls.get(real_id)
+                if digest is None or url is None:
+                    raise NegotiationError(
+                        f"PAD {real_id!r} has no registered distribution info"
+                    )
+                if meta.alias_of is not None:
+                    meta = replace(meta, pad_id=real_id, alias_of=None)
+                finished.append(meta.with_distribution(digest, url))
+            result = tuple(finished)
+            key = self.cache_key(dev, app_id, ntwk)
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.cache_evictions += 1
+                evictions += 1
+        self._count("proxy.dist.evictions", evictions)
         return result
 
     def invalidate_app(self, app_id: str) -> int:
         """Drop cache entries for one application (topology changed)."""
-        stale = [k for k in self._cache if k[1] == app_id]
-        for k in stale:
-            del self._cache[k]
-        self.cache_invalidations += len(stale)
+        with self._lock:
+            stale = [k for k in self._cache if k[1] == app_id]
+            for k in stale:
+                del self._cache[k]
+            self.cache_invalidations += len(stale)
         self._count("proxy.dist.invalidations", len(stale))
         return len(stale)
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
 
 class AdaptationProxy:
@@ -256,7 +288,11 @@ class AdaptationProxy:
         self.distribution = DistributionManager(registry=self.telemetry.registry)
         self.stats = ProxyStats(self.telemetry.registry)
         # Pending sessions: session id -> app_id from INIT_REQ, LRU-bounded.
+        # The lock covers every read-modify-write on the table (remember,
+        # claim, restart) so concurrent transport workers cannot lose or
+        # double-consume a session.
         self._sessions: OrderedDict[str, str] = OrderedDict()
+        self._sessions_lock = threading.Lock()
 
     # -- server-side registration ---------------------------------------------
 
@@ -276,8 +312,9 @@ class AdaptationProxy:
         message and must start over from ``INIT_REQ``).  Returns the
         number of sessions dropped.
         """
-        wiped = len(self._sessions)
-        self._sessions.clear()
+        with self._sessions_lock:
+            wiped = len(self._sessions)
+            self._sessions.clear()
         registry = self.telemetry.registry
         registry.counter("proxy.restarts").inc()
         registry.counter("proxy.sessions.wiped_by_restart").inc(wiped)
@@ -334,12 +371,30 @@ class AdaptationProxy:
         return inp.encode(reply)
 
     def _remember_session(self, session_id: str, app_id: str) -> None:
-        self._sessions[session_id] = app_id
-        self._sessions.move_to_end(session_id)
-        while len(self._sessions) > self.max_sessions:
-            self._sessions.popitem(last=False)
-            self.telemetry.registry.counter("proxy.sessions.dropped").inc()
-        self.telemetry.registry.gauge("proxy.sessions.open").set(len(self._sessions))
+        dropped = 0
+        with self._sessions_lock:
+            self._sessions[session_id] = app_id
+            self._sessions.move_to_end(session_id)
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                dropped += 1
+            open_now = len(self._sessions)
+        if dropped:
+            self.telemetry.registry.counter("proxy.sessions.dropped").inc(dropped)
+        self.telemetry.registry.gauge("proxy.sessions.open").set(open_now)
+
+    def _claim_session(self, session_id: str) -> Optional[str]:
+        """Atomically consume a pending session; None if unknown.
+
+        One pop under the lock replaces the old get-then-del pair, which
+        let two workers (or a worker racing restart()) both observe the
+        session and then crash on the second delete.
+        """
+        with self._sessions_lock:
+            app_id = self._sessions.pop(session_id, None)
+            open_now = len(self._sessions)
+        self.telemetry.registry.gauge("proxy.sessions.open").set(open_now)
+        return app_id
 
     def _dispatch(self, msg: INPMessage) -> INPMessage:
         if msg.msg_type is MsgType.INIT_REQ:
@@ -366,7 +421,7 @@ class AdaptationProxy:
                 },
             )
         if msg.msg_type is MsgType.CLI_META_REP:
-            app_id = self._sessions.get(msg.session_id)
+            app_id = self._claim_session(msg.session_id)
             if app_id is None:
                 raise NegotiationError(
                     f"CLI_META_REP for unknown session {msg.session_id!r}"
@@ -374,10 +429,6 @@ class AdaptationProxy:
             dev = DevMeta.from_wire(msg.body.get("dev_meta", {}))
             ntwk = NtwkMeta.from_wire(msg.body.get("ntwk_meta", {}))
             metas = self.negotiate(app_id, dev, ntwk, session_id=msg.session_id)
-            del self._sessions[msg.session_id]
-            self.telemetry.registry.gauge("proxy.sessions.open").set(
-                len(self._sessions)
-            )
             return msg.reply(
                 MsgType.PAD_META_REP,
                 {"pads": [m.to_client_wire() for m in metas]},
@@ -388,4 +439,5 @@ class AdaptationProxy:
 
     @property
     def pending_sessions(self) -> int:
-        return len(self._sessions)
+        with self._sessions_lock:
+            return len(self._sessions)

@@ -83,6 +83,7 @@ class CaseStudySystem:
         retry_policy: Optional[RetryPolicy] = None,
         degrade_to_direct: bool = False,
         failover_fetch: bool = False,
+        transport: Optional[object] = None,
     ) -> FractalClient:
         """A new client host at ``site`` (defaults round-robin over sites).
 
@@ -94,6 +95,11 @@ class CaseStudySystem:
         ``failover_fetch`` swaps the single-edge CDN fetch for a
         :class:`~repro.cdn.redirector.FailoverFetcher` that walks the
         redirector's ranked edge list past outages and poisoned edges.
+
+        ``transport`` overrides the system's in-process transport for
+        this client — the load harness uses it to route sessions over
+        real TCP or through a latency-emulating wrapper while the same
+        proxy/appserver/CDN instances stay shared.
         """
         sites = self.deployment.client_sites
         if site is None:
@@ -116,7 +122,7 @@ class CaseStudySystem:
         client = FractalClient(
             name,
             environment,
-            transport=self.transport,
+            transport=transport if transport is not None else self.transport,
             proxy_endpoint=PROXY_ENDPOINT,
             appserver_endpoint=APPSERVER_ENDPOINT,
             cdn_fetch=cdn_fetch,

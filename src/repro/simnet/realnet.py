@@ -174,7 +174,8 @@ class TcpTransport:
             return sorted(self._endpoints)
 
     def meter(self, endpoint: str) -> TrafficMeter:
-        return self.meters.setdefault(endpoint, TrafficMeter())
+        with self._lock:
+            return self.meters.setdefault(endpoint, TrafficMeter())
 
     def request(self, src: str, dst: str, payload: bytes) -> bytes:
         with self._lock:

@@ -18,6 +18,7 @@ Handlers are registered per *endpoint name*; a request is
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
@@ -36,28 +37,39 @@ class TransportError(Exception):
 
 @dataclass
 class TrafficMeter:
-    """Byte/message counters, the ground truth for Fig. 11(a)."""
+    """Byte/message counters, the ground truth for Fig. 11(a).
+
+    Thread-safe: a shared endpoint meter is updated by every transport
+    worker serving that endpoint, so the read-modify-write pairs sit
+    behind a lock (byte totals must reconcile exactly under load).
+    """
 
     bytes_sent: int = 0
     bytes_received: int = 0
     messages_sent: int = 0
     messages_received: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_send(self, n: int) -> None:
-        self.bytes_sent += n
-        self.messages_sent += 1
+        with self._lock:
+            self.bytes_sent += n
+            self.messages_sent += 1
 
     def record_receive(self, n: int) -> None:
-        self.bytes_received += n
-        self.messages_received += 1
+        with self._lock:
+            self.bytes_received += n
+            self.messages_received += 1
 
     @property
     def total_bytes(self) -> int:
         return self.bytes_sent + self.bytes_received
 
     def reset(self) -> None:
-        self.bytes_sent = self.bytes_received = 0
-        self.messages_sent = self.messages_received = 0
+        with self._lock:
+            self.bytes_sent = self.bytes_received = 0
+            self.messages_sent = self.messages_received = 0
 
 
 class InProcessTransport:
@@ -73,24 +85,30 @@ class InProcessTransport:
         self._handlers: dict[str, Handler] = {}
         self.meters: dict[str, TrafficMeter] = {}
         self._registry = registry
+        self._lock = threading.Lock()  # guards handler/meter maps, not requests
 
     def bind(self, endpoint: str, handler: Handler) -> None:
-        if endpoint in self._handlers:
-            raise TransportError(f"endpoint already bound: {endpoint!r}")
-        self._handlers[endpoint] = handler
-        self.meters.setdefault(endpoint, TrafficMeter())
+        with self._lock:
+            if endpoint in self._handlers:
+                raise TransportError(f"endpoint already bound: {endpoint!r}")
+            self._handlers[endpoint] = handler
+            self.meters.setdefault(endpoint, TrafficMeter())
 
     def unbind(self, endpoint: str) -> None:
-        self._handlers.pop(endpoint, None)
+        with self._lock:
+            self._handlers.pop(endpoint, None)
 
     def endpoints(self) -> list[str]:
-        return sorted(self._handlers)
+        with self._lock:
+            return sorted(self._handlers)
 
     def meter(self, endpoint: str) -> TrafficMeter:
-        return self.meters.setdefault(endpoint, TrafficMeter())
+        with self._lock:
+            return self.meters.setdefault(endpoint, TrafficMeter())
 
     def request(self, src: str, dst: str, payload: bytes) -> bytes:
-        handler = self._handlers.get(dst)
+        with self._lock:
+            handler = self._handlers.get(dst)
         if handler is None:
             raise TransportError(f"no handler bound for endpoint {dst!r}")
         self.meter(src).record_send(len(payload))

@@ -13,6 +13,10 @@ that used to live in each component.  Design constraints:
 * **Stable names** — metrics are flat dotted strings
   (``"proxy.cache.hits"``); registering the same name as two different
   kinds is an error, re-requesting it is a cheap lookup.
+* **Thread safety** — every mutation (``inc``/``set``/``observe``) holds
+  the metric's own lock, and metric creation holds the registry lock, so
+  8 proxy worker threads hammering one counter lose no updates and a
+  ``snapshot()`` taken mid-load is internally consistent per metric.
 
 Histogram buckets are *fixed at creation* (upper bounds, inclusive,
 plus an implicit +inf overflow bucket), so snapshots from different runs
@@ -24,6 +28,7 @@ from __future__ import annotations
 import functools
 import json
 import math
+import threading
 from bisect import bisect_left
 from typing import Callable, Optional, Sequence
 
@@ -59,45 +64,59 @@ DEFAULT_SIZE_BUCKETS_BYTES: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing integer-or-float counter."""
+    """A monotonically increasing integer-or-float counter (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise TelemetryError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         return self.value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
     """A value that can go up and down (open sessions, cache bytes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot(self) -> float:
         return self.value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
 
 
 class Histogram:
@@ -109,7 +128,10 @@ class Histogram:
     +inf overflow bucket.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total", "minimum", "maximum",
+        "_lock",
+    )
 
     def __init__(self, name: str, buckets: Sequence[float]) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -126,15 +148,25 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, x: float) -> None:
-        self.counts[bisect_left(self.bounds, x)] += 1
-        self.count += 1
-        self.total += x
-        if x < self.minimum:
-            self.minimum = x
-        if x > self.maximum:
-            self.maximum = x
+        with self._lock:
+            self.counts[bisect_left(self.bounds, x)] += 1
+            self.count += 1
+            self.total += x
+            if x < self.minimum:
+                self.minimum = x
+            if x > self.maximum:
+                self.maximum = x
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.counts = [0] * len(self.counts)
+            self.count = 0
+            self.total = 0.0
+            self.minimum = math.inf
+            self.maximum = -math.inf
 
     @property
     def mean(self) -> float:
@@ -150,16 +182,20 @@ class Histogram:
         return rows
 
     def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum if self.count else None,
-            "max": self.maximum if self.count else None,
-            "buckets": [
-                # inf serialized as string so the snapshot stays valid JSON
-                ["inf" if math.isinf(b) else b, c] for b, c in self.bucket_rows()
-            ],
-        }
+        # Under the lock so count/sum/buckets describe one moment even
+        # when observations land concurrently.
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.minimum if self.count else None,
+                "max": self.maximum if self.count else None,
+                "buckets": [
+                    # inf serialized as string so the snapshot stays valid JSON
+                    ["inf" if math.isinf(b) else b, c]
+                    for b, c in self.bucket_rows()
+                ],
+            }
 
 
 class _Timer:
@@ -188,13 +224,19 @@ class MetricsRegistry:
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock: Clock = clock or wall_clock
         self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, kind: type, factory: Callable[[], object]):
+        # Fast path without the lock: dict reads are safe under the GIL
+        # and metrics are never removed, only added.
         metric = self._metrics.get(name)
         if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        elif not isinstance(metric, kind):
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory()
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
             raise TelemetryError(
                 f"metric {name!r} already registered as "
                 f"{type(metric).__name__}, not {kind.__name__}"
@@ -236,7 +278,8 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def snapshot(self) -> dict:
         """Plain-dict snapshot: ``{"counters": .., "gauges": .., "histograms": ..}``."""
@@ -256,14 +299,7 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every metric in place (bench epoch boundaries)."""
-        for metric in self._metrics.values():
-            if isinstance(metric, Counter):
-                metric.value = 0
-            elif isinstance(metric, Gauge):
-                metric.value = 0.0
-            else:
-                metric.counts = [0] * len(metric.counts)
-                metric.count = 0
-                metric.total = 0.0
-                metric.minimum = math.inf
-                metric.maximum = -math.inf
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric._reset()

@@ -21,12 +21,19 @@ per-stage table that ``bench/reporting.py`` renders.
 Finished traces are bounded (``max_traces``, oldest dropped first): the
 tracer must survive a 10k-session churn loop without becoming the very
 memory leak this PR fixes in the proxy.
+
+Thread safety: the active-span stack is **per thread**
+(``threading.local``), so eight concurrent client sessions each build
+their own span tree instead of nesting into whichever span another
+thread happens to have open; the finished-trace table is guarded by a
+lock.  A single ``Span`` is still owned by the thread that opened it.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator, Optional
@@ -107,11 +114,21 @@ class Tracer:
             raise ValueError(f"max_traces must be >= 1, got {max_traces}")
         self.clock: Clock = clock or wall_clock
         self.max_traces = max_traces
-        self._stack: list[Span] = []
+        # Active spans nest per *thread*: concurrent sessions must not
+        # become children of each other's spans.
+        self._local = threading.local()
         # trace id -> finished root spans, insertion-ordered for FIFO drop.
         self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
-        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)  # itertools.count is GIL-atomic
         self.traces_dropped = 0
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording ----------------------------------------------------------
 
@@ -122,7 +139,8 @@ class Tracer:
         ``trace`` names the trace id for a *root* span (e.g. the INP
         session id); child spans always inherit their parent's trace id.
         """
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
         if parent is not None:
             trace_id = parent.trace_id
         else:
@@ -133,20 +151,21 @@ class Tracer:
             sp.tags.update(tags)
         if parent is not None:
             parent.children.append(sp)
-        self._stack.append(sp)
+        stack.append(sp)
         try:
             yield sp
         finally:
             sp.end_s = self.clock()
-            self._stack.pop()
+            stack.pop()
             if parent is None:
                 self._keep_root(sp)
 
     def _keep_root(self, root: Span) -> None:
-        self._traces.setdefault(root.trace_id, []).append(root)
-        while len(self._traces) > self.max_traces:
-            self._traces.popitem(last=False)
-            self.traces_dropped += 1
+        with self._lock:
+            self._traces.setdefault(root.trace_id, []).append(root)
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+                self.traces_dropped += 1
 
     @property
     def active_span(self) -> Optional[Span]:
@@ -155,28 +174,31 @@ class Tracer:
     # -- reading ------------------------------------------------------------
 
     def trace_ids(self) -> list[str]:
-        return list(self._traces)
+        with self._lock:
+            return list(self._traces)
 
     def trace(self, trace_id: str) -> list[Span]:
         """Finished root spans of one trace (empty list if unknown)."""
-        return list(self._traces.get(trace_id, ()))
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
 
     def spans(self) -> Iterator[Span]:
         """Every finished span across every retained trace."""
-        for roots in self._traces.values():
-            for root in roots:
-                yield from root.walk()
+        with self._lock:
+            roots = [r for rs in self._traces.values() for r in rs]
+        for root in roots:
+            yield from root.walk()
 
     # -- export -------------------------------------------------------------
 
     def export(self) -> dict:
         """JSON-ready dict: ``{"traces": {trace_id: [root span dicts]}}``."""
+        with self._lock:
+            items = [(tid, list(roots)) for tid, roots in self._traces.items()]
+            dropped = self.traces_dropped
         return {
-            "traces": {
-                tid: [r.to_dict() for r in roots]
-                for tid, roots in self._traces.items()
-            },
-            "traces_dropped": self.traces_dropped,
+            "traces": {tid: [r.to_dict() for r in roots] for tid, roots in items},
+            "traces_dropped": dropped,
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -188,7 +210,8 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop retained traces (active spans are left alone)."""
-        self._traces.clear()
+        with self._lock:
+            self._traces.clear()
 
 
 def stage_rows(export: dict) -> list[dict]:

@@ -1,0 +1,100 @@
+"""Unit tests for the closed-loop load harness (repro.bench.load)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.load import (
+    LatencyTransport,
+    LoadPoint,
+    WorkerTally,
+    run_load_point,
+    sweep_worker_counts,
+)
+from repro.bench.runner import main as bench_main
+
+
+class _RecordingTransport:
+    def __init__(self):
+        self.calls = []
+
+    def request(self, src, dst, payload):
+        self.calls.append((src, dst, payload))
+        return b"pong:" + payload
+
+
+class TestLatencyTransport:
+    def test_delegates_and_returns_inner_response(self):
+        inner = _RecordingTransport()
+        wire = LatencyTransport(inner, 0.0)
+        assert wire.request("a", "b", b"ping") == b"pong:ping"
+        assert inner.calls == [("a", "b", b"ping")]
+
+    def test_charges_round_trip(self):
+        import time
+
+        wire = LatencyTransport(_RecordingTransport(), 0.05)
+        t0 = time.perf_counter()
+        wire.request("a", "b", b"x")
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_rejects_negative_rtt(self):
+        with pytest.raises(ValueError):
+            LatencyTransport(_RecordingTransport(), -1.0)
+
+
+class TestSweepWorkerCounts:
+    def test_doubles_and_includes_max(self):
+        assert sweep_worker_counts(1) == [1]
+        assert sweep_worker_counts(2) == [1, 2]
+        assert sweep_worker_counts(8) == [1, 2, 4, 8]
+        assert sweep_worker_counts(6) == [1, 2, 4, 6]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            sweep_worker_counts(0)
+
+
+class TestRunLoadPoint:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_load_point(0)
+        with pytest.raises(ValueError):
+            run_load_point(1, transport="carrier-pigeon")
+
+    def test_single_worker_point_reconciles(self):
+        point = run_load_point(1, 0.3, rtt_ms=2.0)
+        assert isinstance(point, LoadPoint)
+        assert point.errors == 0
+        assert point.sessions > 0
+        assert point.reconciled
+        assert point.throughput_rps > 0
+        # Percentiles are ordered.
+        assert (
+            point.p50_negotiation_s
+            <= point.p95_negotiation_s
+            <= point.p99_negotiation_s
+        )
+        # Every ledger row balances exactly.
+        for name, (workers_sum, registry_sum) in point.ledger.items():
+            assert workers_sum == registry_sum, name
+
+    def test_two_workers_reconcile(self):
+        point = run_load_point(2, 0.3, rtt_ms=2.0)
+        assert point.errors == 0
+        assert point.reconciled
+        assert len(point.per_worker) == 2
+        assert all(isinstance(t, WorkerTally) for t in point.per_worker)
+        assert sum(t.sessions for t in point.per_worker) == point.sessions
+
+    def test_speedup_vs_self_is_one(self):
+        point = run_load_point(1, 0.2, rtt_ms=2.0)
+        assert point.speedup_vs(point) == pytest.approx(1.0)
+
+
+def test_cli_load_experiment(capsys):
+    assert bench_main(["load", "--workers", "2", "--duration", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "Load: closed-loop workers" in out
+    assert "ledger reconciled exactly" in out
+    assert "MISMATCH" not in out

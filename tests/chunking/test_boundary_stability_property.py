@@ -1,0 +1,132 @@
+"""Property tests: chunk boundaries are content-stable under edits.
+
+The whole point of Rabin/content-defined chunking (the Vary-sized
+blocking PAD's substrate) is that a breakpoint depends only on the
+``window`` bytes before it — so an insertion near the front of a file
+must leave the boundaries in the untouched tail where they were, merely
+shifted by the edit length.  Fixed-size chunking has the complementary
+contract: boundaries are pure arithmetic, so the same offsets always
+tile the same total.  Seeded ``random.Random`` only, no extra deps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chunking.cdc import ContentDefinedChunker, chunk_spans
+from repro.chunking.fixed import fixed_chunk_bytes, fixed_chunks
+
+SEED = 20050404
+
+
+def _chunker() -> ContentDefinedChunker:
+    # Small expected size (2**6 = 64 B) so a few-KB blob has many chunks.
+    return ContentDefinedChunker(mask_bits=6, window=16, min_size=16, max_size=512)
+
+
+def _random_blob(rng: random.Random, n: int) -> bytes:
+    return rng.randbytes(n)
+
+
+class TestContentDefinedProperties:
+    def test_chunks_tile_input_exactly(self):
+        rng = random.Random(SEED)
+        chunker = _chunker()
+        for _ in range(40):
+            blob = _random_blob(rng, rng.randrange(0, 8192))
+            chunks = chunker.chunk(blob)
+            chunk_spans(chunks, len(blob))  # raises on gap/overlap
+            assert b"".join(c.slice(blob) for c in chunks) == blob
+
+    def test_chunking_is_deterministic(self):
+        rng = random.Random(SEED + 1)
+        blob = _random_blob(rng, 4096)
+        chunker = _chunker()
+        assert chunker.chunk(blob) == _chunker().chunk(blob)
+
+    def test_boundaries_stable_under_prefix_insert(self):
+        """Insert near the front; tail boundaries shift but don't move."""
+        rng = random.Random(SEED + 2)
+        chunker = _chunker()
+        for _ in range(25):
+            blob = _random_blob(rng, 4096)
+            edit_at = rng.randrange(0, 256)
+            insert = rng.randbytes(rng.randrange(1, 64))
+            edited = blob[:edit_at] + insert + blob[edit_at:]
+            shift = len(insert)
+
+            before = set(chunker.boundaries(blob))
+            after = set(chunker.boundaries(edited))
+
+            # Any original boundary comfortably past the edit (beyond the
+            # rolling window and the min-size resynchronisation horizon)
+            # must reappear shifted by exactly the insert length.
+            horizon = edit_at + shift + chunker.window + chunker.max_size
+            tail_before = {b for b in before if b > horizon}
+            assert tail_before, "corpus too small for a meaningful tail"
+            missing = {b for b in tail_before if b + shift not in after}
+            assert not missing, (
+                f"{len(missing)}/{len(tail_before)} tail boundaries lost "
+                f"after a {shift}-byte insert at {edit_at}"
+            )
+
+    def test_boundaries_stable_under_prefix_delete(self):
+        rng = random.Random(SEED + 3)
+        chunker = _chunker()
+        for _ in range(25):
+            blob = _random_blob(rng, 4096)
+            del_at = rng.randrange(0, 256)
+            del_len = rng.randrange(1, 64)
+            edited = blob[:del_at] + blob[del_at + del_len:]
+
+            before = set(chunker.boundaries(blob))
+            after = set(chunker.boundaries(edited))
+            horizon = del_at + del_len + chunker.window + chunker.max_size
+            tail_before = {b for b in before if b > horizon}
+            assert tail_before
+            missing = {b for b in tail_before if b - del_len not in after}
+            assert not missing
+
+    def test_shared_suffix_chunks_are_shared(self):
+        """The dedup property the vary PAD monetises: identical tails
+        produce identical chunk payloads, so most chunks of the edited
+        version already exist on the client."""
+        rng = random.Random(SEED + 4)
+        chunker = _chunker()
+        blob = _random_blob(rng, 8192)
+        edited = rng.randbytes(40) + blob
+        old_chunks = set(chunker.chunk_bytes(blob))
+        new_chunks = chunker.chunk_bytes(edited)
+        shared = sum(1 for c in new_chunks if c in old_chunks)
+        assert shared / len(new_chunks) > 0.8
+
+
+class TestFixedChunkingProperties:
+    def test_tiles_exactly_for_random_sizes(self):
+        rng = random.Random(SEED + 5)
+        for _ in range(60):
+            total = rng.randrange(0, 10_000)
+            block = rng.randrange(1, 512)
+            chunks = fixed_chunks(total, block)
+            chunk_spans(chunks, total)
+            assert all(c.length == block for c in chunks[:-1])
+            if chunks:
+                assert 1 <= chunks[-1].length <= block
+
+    def test_reassembly_identity(self):
+        rng = random.Random(SEED + 6)
+        for _ in range(40):
+            blob = rng.randbytes(rng.randrange(0, 8192))
+            block = rng.randrange(1, 700)
+            assert b"".join(fixed_chunk_bytes(blob, block)) == blob
+
+    def test_fixed_boundaries_are_position_defined(self):
+        """The contrast property: a 1-byte prefix insert shifts *content*
+        through every downstream block — no boundary is content-stable."""
+        rng = random.Random(SEED + 7)
+        blob = rng.randbytes(4096)
+        shifted = b"X" + blob
+        a = fixed_chunk_bytes(blob, 64)
+        b = fixed_chunk_bytes(shifted, 64)
+        # All full blocks after the edit differ (bytes slid across them).
+        assert sum(x == y for x, y in zip(a, b[1:])) == 0

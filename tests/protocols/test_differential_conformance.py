@@ -1,0 +1,102 @@
+"""Differential conformance: every PAD delivers the same bytes.
+
+The case study's four protocols (direct, gzip, vary-sized blocking,
+bitmap) are interchangeable *by contract*: whatever path the negotiation
+picks, the client must end up holding the identical new version.  This
+suite runs all four over the same version pairs and cross-checks:
+
+1. reconstructed payloads are byte-identical across protocols (and equal
+   to the truth),
+2. measured traffic ranks the protocols the same way the negotiation
+   manager's :mod:`repro.core.overhead` inputs do — the Eq. 1 vectors
+   are calibrated from these very exchanges, so a rank disagreement
+   means the proxy would systematically pick the wrong PAD.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import calibrate_overheads
+from repro.protocols import run_exchange
+from repro.protocols.padlib import instantiate
+from repro.workload.pages import Corpus
+
+CASE_STUDY_PADS = ("direct", "gzip", "vary", "bitmap")
+
+
+@pytest.fixture(scope="module")
+def corpus() -> Corpus:
+    return Corpus(n_pages=2, text_bytes=3000, image_bytes=12_000, images_per_page=2)
+
+
+@pytest.fixture(scope="module")
+def exchanges(corpus):
+    """Every protocol over every (old, new) part pair of every page."""
+    results: dict[str, list] = {p: [] for p in CASE_STUDY_PADS}
+    for pad_id in CASE_STUDY_PADS:
+        protocol = instantiate(pad_id)
+        for page_id in range(corpus.n_pages):
+            old_page = corpus.evolved(page_id, 0)
+            new_page = corpus.evolved(page_id, 1)
+            for old, new in zip(
+                [old_page.text, *old_page.images],
+                [new_page.text, *new_page.images],
+            ):
+                results[pad_id].append((new, run_exchange(protocol, old, new)))
+    return results
+
+
+def test_all_protocols_deliver_identical_payloads(exchanges):
+    n = len(exchanges["direct"])
+    for i in range(n):
+        truth = exchanges["direct"][i][0]
+        delivered = {p: exchanges[p][i][1].data for p in CASE_STUDY_PADS}
+        for pad_id, data in delivered.items():
+            assert data == truth, f"{pad_id} diverged on exchange {i}"
+
+
+def test_traffic_never_exceeds_direct_plus_framing(exchanges):
+    """direct is the no-adaptation ceiling; the differencing/compression
+    PADs exist to beat it on evolved content (small framing overhead
+    aside, they must never balloon the transfer)."""
+    n = len(exchanges["direct"])
+    for i in range(n):
+        direct_bytes = exchanges["direct"][i][1].traffic_bytes
+        for pad_id in ("gzip", "vary", "bitmap"):
+            adapted = exchanges[pad_id][i][1].traffic_bytes
+            assert adapted < direct_bytes * 1.05, (
+                f"{pad_id} moved {adapted} bytes vs direct's {direct_bytes} "
+                f"on exchange {i}"
+            )
+
+
+def test_differencing_beats_compression_on_small_edits(exchanges):
+    """The corpus evolves by small edits, the regime the paper's vary /
+    bitmap PADs target: totals must rank direct > gzip > each differ."""
+    totals = {
+        p: sum(r.traffic_bytes for _, r in exchanges[p])
+        for p in CASE_STUDY_PADS
+    }
+    assert totals["gzip"] < totals["direct"]
+    assert totals["vary"] < totals["gzip"]
+    assert totals["bitmap"] < totals["gzip"]
+
+
+def test_measured_ranking_matches_overhead_model_inputs(exchanges, corpus):
+    """Cross-check against the negotiation model's calibrated Eq. 1
+    vectors: ranking PADs by measured traffic here must equal ranking
+    them by ``traffic_std_bytes`` as :func:`calibrate_overheads` feeds
+    the :class:`~repro.core.overhead.OverheadModel`."""
+    overheads = calibrate_overheads(
+        corpus, CASE_STUDY_PADS, n_pages=corpus.n_pages
+    )
+    measured = {
+        p: sum(r.traffic_bytes for _, r in exchanges[p])
+        for p in CASE_STUDY_PADS
+    }
+    by_measured = sorted(CASE_STUDY_PADS, key=lambda p: measured[p])
+    by_model = sorted(
+        CASE_STUDY_PADS, key=lambda p: overheads[p].traffic_std_bytes
+    )
+    assert by_measured == by_model
