@@ -1,0 +1,205 @@
+"""Data-plane kernel microbenchmarks (``fractal-bench kernels``).
+
+Measures steady-state throughput (MB/s) of the hot byte-level kernels the
+PADs are built from — CDC boundary scanning, LZSS tokenization, the pure
+deflate-lite coder, and the rsync-style rolling scan — on deterministic
+corpus pages, and compares each against the recorded throughput of the
+original (pre-fusion) implementations on the same inputs.
+
+The seed numbers in :data:`SEED_BASELINES` were captured on the reference
+container *before* the kernels were rewritten, with the same best-of-N
+methodology this module uses; the ``speedup`` column is therefore
+apples-to-apples on identical inputs.  Absolute MB/s varies with the host,
+so CI treats regressions as advisory (the committed ``BENCH_kernels.json``
+is the before/after record, not a gate).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "SEED_BASELINES",
+    "KernelResult",
+    "run_kernels",
+    "render_kernels",
+    "results_to_payload",
+    "write_json",
+]
+
+# Recorded seed (pre-optimization) kernel throughput, same inputs and
+# best-of-N timing as run_kernels() uses.  ``seconds`` is the seed wall
+# time for one pass over ``bytes`` input bytes.
+SEED_BASELINES: dict[str, dict[str, float]] = {
+    "cdc_scan":             {"bytes": 269754, "seconds": 0.14261, "mb_s": 1.892},
+    "cdc_scan_vary":        {"bytes": 131072, "seconds": 0.07666, "mb_s": 1.710},
+    "lz77_tokenize":        {"bytes": 134770, "seconds": 0.31729, "mb_s": 0.425},
+    "gzip_pure_compress":   {"bytes": 134770, "seconds": 0.60948, "mb_s": 0.221},
+    "gzip_pure_decompress": {"bytes": 134770, "seconds": 0.45140, "mb_s": 0.299},
+    "fixed_scan":           {"bytes": 134770, "seconds": 0.01524, "mb_s": 8.846},
+    "vary_respond":         {"bytes": 134770, "seconds": 0.14223, "mb_s": 0.948},
+}
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """One kernel's measured throughput next to its recorded seed number."""
+
+    name: str
+    n_bytes: int
+    seconds: float
+    mb_s: float
+    seed_mb_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.mb_s / self.seed_mb_s if self.seed_mb_s > 0 else float("inf")
+
+
+def _best_of(fn: Callable[[], object], repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_kernels(quick: bool = False) -> list[KernelResult]:
+    """Measure every kernel on the deterministic corpus pages.
+
+    ``quick`` runs a single warm pass per kernel instead of best-of-3 —
+    the CI smoke configuration.  Inputs are identical either way, so quick
+    numbers are comparable (just noisier).
+    """
+    from ..chunking.cdc import ContentDefinedChunker
+    from ..compression import gziplike
+    from ..compression.lz77 import tokenize
+    from ..protocols.padlib import instantiate
+    from ..workload.pages import Corpus
+
+    repeat = 1 if quick else 3
+    corpus = Corpus()
+    page0 = corpus.evolved(0, 0).encode()
+    page1 = corpus.evolved(0, 1).encode()
+    cdc_data = (page0 + page1)[: 512 * 1024]
+
+    results: list[KernelResult] = []
+
+    def record(name: str, n_bytes: int, fn: Callable[[], object]) -> None:
+        fn()  # warm: table caches, lazy imports, allocator
+        seconds = _best_of(fn, repeat)
+        results.append(
+            KernelResult(
+                name=name,
+                n_bytes=n_bytes,
+                seconds=seconds,
+                mb_s=n_bytes / seconds / 1e6 if seconds > 0 else float("inf"),
+                seed_mb_s=SEED_BASELINES[name]["mb_s"],
+            )
+        )
+
+    ch13 = ContentDefinedChunker(mask_bits=13)
+    record("cdc_scan", len(cdc_data), lambda: ch13.chunk(cdc_data))
+
+    ch10 = ContentDefinedChunker(mask_bits=10)
+    vary_data = cdc_data[: 128 * 1024]
+    record("cdc_scan_vary", len(vary_data), lambda: ch10.chunk(vary_data))
+
+    record("lz77_tokenize", len(page1), lambda: tokenize(page1))
+
+    blob = gziplike.compress(page1, backend="pure")
+    record(
+        "gzip_pure_compress",
+        len(page1),
+        lambda: gziplike.compress(page1, backend="pure"),
+    )
+    record("gzip_pure_decompress", len(page1), lambda: gziplike.decompress(blob))
+
+    fixed = instantiate("fixed")
+    sig = fixed.client_request(page0)
+    record("fixed_scan", len(page1), lambda: fixed.server_respond(sig, page0, page1))
+
+    vary = instantiate("vary")
+    record("vary_respond", len(page1), lambda: vary.server_respond(b"", page0, page1))
+
+    return results
+
+
+def render_kernels(results: list[KernelResult], quick: bool = False) -> str:
+    from .reporting import render_table
+
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.name,
+                f"{r.n_bytes / 1024:.0f} KiB",
+                f"{r.seconds * 1000:.1f}",
+                f"{r.mb_s:.2f}",
+                f"{r.seed_mb_s:.2f}",
+                f"{r.speedup:.1f}x",
+            ]
+        )
+    mode = "quick, 1 pass" if quick else "best of 3"
+    return render_table(
+        f"Data-plane kernel throughput vs recorded seed ({mode})",
+        ["kernel", "input", "ms", "MB/s", "seed MB/s", "speedup"],
+        rows,
+    )
+
+
+def results_to_payload(results: list[KernelResult], quick: bool = False) -> dict:
+    """JSON-serializable before/after record (``BENCH_kernels.json``)."""
+    return {
+        "quick": quick,
+        "kernels": {
+            r.name: {
+                "bytes": r.n_bytes,
+                "seconds": round(r.seconds, 6),
+                "mb_s": round(r.mb_s, 3),
+                "seed_seconds": SEED_BASELINES[r.name]["seconds"],
+                "seed_mb_s": SEED_BASELINES[r.name]["mb_s"],
+                "speedup": round(r.speedup, 2),
+            }
+            for r in results
+        },
+    }
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+
+def compare_to_baseline(
+    payload: dict, baseline_path: str, tolerance: float = 0.5
+) -> Optional[str]:
+    """Advisory drift check against a committed baseline JSON.
+
+    Returns a human-readable warning when any kernel runs slower than
+    ``tolerance`` times its committed MB/s (hosts differ, so CI prints the
+    warning instead of failing), or None when within bounds / no baseline.
+    """
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError):
+        return None
+    lines = []
+    for name, cell in payload.get("kernels", {}).items():
+        ref = baseline.get("kernels", {}).get(name)
+        if not ref:
+            continue
+        if cell["mb_s"] < ref["mb_s"] * tolerance:
+            lines.append(
+                f"  {name}: {cell['mb_s']:.2f} MB/s vs committed "
+                f"{ref['mb_s']:.2f} MB/s"
+            )
+    if lines:
+        return "kernel throughput drift vs committed baseline:\n" + "\n".join(lines)
+    return None

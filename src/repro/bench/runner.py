@@ -29,7 +29,7 @@ from .reporting import (
 __all__ = ["main"]
 
 _EXPERIMENTS = ("table1", "fig9a", "fig9b", "fig10", "fig11", "headline",
-                "timeline", "stages", "chaos", "load")
+                "timeline", "stages", "chaos", "load", "kernels")
 
 
 def _build_system(era: bool = True):
@@ -269,11 +269,22 @@ def run_chaos() -> str:
     return "\n\n".join(blocks)
 
 
+def run_kernels(quick: bool = False, json_sink: dict | None = None) -> str:
+    """Data-plane kernel throughput vs the recorded seed numbers."""
+    from . import kernels
+
+    results = kernels.run_kernels(quick=quick)
+    if json_sink is not None:
+        json_sink["kernels"] = kernels.results_to_payload(results, quick=quick)
+    return kernels.render_kernels(results, quick=quick)
+
+
 def run_load(
     workers: int = 8,
     duration_s: float = 2.0,
     transport: str = "simnet",
     rtt_ms: float = 4.0,
+    json_sink: dict | None = None,
 ) -> str:
     """Closed-loop concurrent load sweep: 1..N workers on one shared system."""
     from .load import run_load_sweep
@@ -282,6 +293,27 @@ def run_load(
         workers, duration_s, transport=transport, rtt_ms=rtt_ms
     )
     base = points[0]
+    if json_sink is not None:
+        json_sink["load"] = {
+            "transport": transport,
+            "duration_s": duration_s,
+            "rtt_ms": rtt_ms,
+            "points": [
+                {
+                    "workers": p.workers,
+                    "sessions": p.sessions,
+                    "errors": p.errors,
+                    "throughput_rps": round(p.throughput_rps, 3),
+                    "speedup_vs_1": round(p.speedup_vs(base), 3),
+                    "p50_negotiation_s": p.p50_negotiation_s,
+                    "p95_negotiation_s": p.p95_negotiation_s,
+                    "p99_negotiation_s": p.p99_negotiation_s,
+                    "proxy_hit_ratio": p.proxy_hit_ratio,
+                    "reconciled": p.reconciled,
+                }
+                for p in points
+            ],
+        }
     rows = []
     for p in points:
         rows.append(
@@ -341,9 +373,20 @@ def main(argv=None) -> int:
         "--rtt-ms", type=float, default=4.0,
         help="emulated WAN round-trip per request in ms (default 4)",
     )
+    kern_group = parser.add_argument_group("kernels", "options for `kernels`")
+    kern_group.add_argument(
+        "--quick", action="store_true",
+        help="single measurement pass per kernel (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="also write machine-readable results to OUT "
+             "(supported by `kernels` and `load`)",
+    )
     args = parser.parse_args(argv)
     wanted = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
 
+    json_sink: dict | None = {} if args.json else None
     system = None
     outputs = []
     for name in wanted:
@@ -360,11 +403,22 @@ def main(argv=None) -> int:
             "stages": lambda: run_stages(system),
             "chaos": run_chaos,
             "load": lambda: run_load(
-                args.workers, args.duration, args.transport, args.rtt_ms
+                args.workers, args.duration, args.transport, args.rtt_ms,
+                json_sink=json_sink,
             ),
+            "kernels": lambda: run_kernels(args.quick, json_sink=json_sink),
         }[name]
         outputs.append(fn())
     print("\n\n".join(outputs))
+    if args.json is not None:
+        from .kernels import write_json
+
+        payload = json_sink or {}
+        # A kernels-only run writes the flat kernels payload (the
+        # BENCH_kernels.json shape); mixed runs keep one section per command.
+        if set(payload) == {"kernels"}:
+            payload = payload["kernels"]
+        write_json(payload, args.json)
     return 0
 
 

@@ -14,10 +14,12 @@ update is two XORs and a shift per byte, the standard technique.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 __all__ = ["RabinFingerprint", "DEFAULT_POLYNOMIAL", "DEFAULT_WINDOW",
-           "polynomial_degree", "polymod", "polymulmod", "is_irreducible"]
+           "polynomial_degree", "polymod", "polymulmod", "is_irreducible",
+           "tables_for"]
 
 # A degree-53 irreducible polynomial over GF(2) (same one LBFS ships).
 DEFAULT_POLYNOMIAL = 0x3DA3358B4DC173
@@ -93,6 +95,45 @@ def is_irreducible(p: int) -> bool:
     return True
 
 
+_TABLE_LOCK = threading.Lock()
+_TABLE_CACHE: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
+
+
+def _build_tables(polynomial: int, window: int) -> tuple[list[int], list[int]]:
+    degree = polynomial_degree(polynomial)
+    # shift[b] = (b << degree) mod p, folding the high byte back in.
+    shift = [polymod(b << degree, polynomial) for b in range(256)]
+    # Contribution of the byte about to age out of the window.  It was
+    # appended ``window - 1`` rolls ago and multiplied by x^8 on each
+    # roll since, so it currently contributes (b * x^(8*(window-1))).
+    # We subtract it *before* the append shifts everything again.
+    x_pow = polymod(1 << (8 * (window - 1)), polynomial)
+    out = [polymulmod(b, x_pow, polynomial) for b in range(256)]
+    return shift, out
+
+
+def tables_for(polynomial: int, window: int) -> tuple[list[int], list[int]]:
+    """Cached ``(shift_table, out_table)`` for a ``(polynomial, window)`` pair.
+
+    Building the out-table costs 256 carry-less multiplications, which used
+    to be paid by every chunker instance; the tables depend only on the
+    parameters, so all fingerprints and scanners share one copy.
+    """
+    key = (polynomial, window)
+    tables = _TABLE_CACHE.get(key)
+    if tables is None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if polynomial_degree(polynomial) < 8:
+            raise ValueError("polynomial degree must be at least 8")
+        with _TABLE_LOCK:
+            tables = _TABLE_CACHE.get(key)
+            if tables is None:
+                tables = _build_tables(polynomial, window)
+                _TABLE_CACHE[key] = tables
+    return tables
+
+
 class RabinFingerprint:
     """Rolling Rabin fingerprint over a fixed-size byte window."""
 
@@ -108,21 +149,8 @@ class RabinFingerprint:
         self.polynomial = polynomial
         self.window = window
         self._degree = polynomial_degree(polynomial)
-        self._shift_table = self._build_shift_table()
-        self._out_table = self._build_out_table()
+        self._shift_table, self._out_table = tables_for(polynomial, window)
         self.reset()
-
-    def _build_shift_table(self) -> list[int]:
-        # table[b] = (b << degree) mod p, folding the high byte back in.
-        return [polymod(b << self._degree, self.polynomial) for b in range(256)]
-
-    def _build_out_table(self) -> list[int]:
-        # Contribution of the byte about to age out of the window.  It was
-        # appended ``window - 1`` rolls ago and multiplied by x^8 on each
-        # roll since, so it currently contributes (b * x^(8*(window-1))).
-        # We subtract it *before* the append shifts everything again.
-        x_pow = polymod(1 << (8 * (self.window - 1)), self.polynomial)
-        return [polymulmod(b, x_pow, self.polynomial) for b in range(256)]
 
     def reset(self) -> None:
         self.fingerprint = 0

@@ -4,6 +4,12 @@ LSB-first bit order (as in DEFLATE): the first bit written occupies the
 least-significant bit of the first byte.  Huffman codes are written
 MSB-of-code-first via :meth:`BitWriter.write_code` so canonical codes sort
 correctly.
+
+The writer accumulates into a single int and flushes 32-bit chunks (LSB
+first means little-endian byte order), so the per-call cost is a shift and
+an or rather than a byte loop.  The reader exposes :meth:`BitReader.peek_bits`
+/ :meth:`BitReader.skip_bits` so table-driven Huffman decoding can consume a
+whole code in one step.
 """
 
 from __future__ import annotations
@@ -13,6 +19,18 @@ __all__ = ["BitWriter", "BitReader", "BitstreamError"]
 
 class BitstreamError(Exception):
     """Raised on reads past the end of the stream."""
+
+
+def reverse_bits(code: int, length: int) -> int:
+    """The low ``length`` bits of ``code``, reversed.
+
+    Writing the reversed code LSB-first is identical to writing the
+    original code MSB-first, which is what lets :meth:`BitWriter.write_code`
+    collapse into a single :meth:`BitWriter.write_bits` call.
+    """
+    if length <= 0:
+        return 0
+    return int(format(code & ((1 << length) - 1), f"0{length}b")[::-1], 2)
 
 
 class BitWriter:
@@ -30,16 +48,21 @@ class BitWriter:
         if value < 0 or (count < value.bit_length()):
             raise ValueError(f"value {value} does not fit in {count} bits")
         self._acc |= value << self._nbits
-        self._nbits += count
-        while self._nbits >= 8:
-            self._buffer.append(self._acc & 0xFF)
-            self._acc >>= 8
-            self._nbits -= 8
+        nbits = self._nbits + count
+        if nbits >= 32:
+            acc = self._acc
+            buffer = self._buffer
+            while nbits >= 32:
+                buffer += (acc & 0xFFFFFFFF).to_bytes(4, "little")
+                acc >>= 32
+                nbits -= 32
+            self._acc = acc
+        self._nbits = nbits
 
     def write_code(self, code: int, length: int) -> None:
         """Write a Huffman code of ``length`` bits, MSB of the code first."""
-        for shift in range(length - 1, -1, -1):
-            self.write_bits((code >> shift) & 1, 1)
+        if length > 0:
+            self.write_bits(reverse_bits(code, length), length)
 
     @property
     def bit_length(self) -> int:
@@ -48,8 +71,12 @@ class BitWriter:
     def getvalue(self) -> bytes:
         """Flush (zero-padding the final partial byte) and return bytes."""
         out = bytearray(self._buffer)
-        if self._nbits:
-            out.append(self._acc & 0xFF)
+        acc = self._acc
+        nbits = self._nbits
+        while nbits > 0:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            nbits -= 8
         return bytes(out)
 
 
@@ -79,6 +106,22 @@ class BitReader:
 
     def read_bit(self) -> int:
         return self.read_bits(1)
+
+    def peek_bits(self, count: int) -> int | None:
+        """The next ``count`` bits without consuming, or None if the stream
+        holds fewer (a shorter symbol may still be decodable bit-by-bit)."""
+        while self._nbits < count:
+            if self._pos >= len(self._data):
+                return None
+            self._acc |= self._data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        return self._acc & ((1 << count) - 1)
+
+    def skip_bits(self, count: int) -> None:
+        """Consume ``count`` bits already buffered by :meth:`peek_bits`."""
+        self._acc >>= count
+        self._nbits -= count
 
     @property
     def bits_remaining(self) -> int:

@@ -16,23 +16,37 @@ Container layout::
     payload ...
 
 An empty input is legal and produces an empty payload.
+
+The pure-backend coder works on packed integer tokens end to end
+(``tokenize_raw``/``detokenize_raw``): match lengths and distances map to
+``(symbol, extra_value, extra_bits)`` through flat precomputed tables
+(``_LEN_SYM``/``_DIST_SYM``), symbols map to pre-reversed Huffman codes, and
+the bitstream is built in a single int accumulator flushed 32 bits at a
+time.  Decoding drives the one-shot lookup tables from
+:mod:`repro.compression.huffman` directly.  The wire format is byte-for-byte
+identical to the token-object/per-bit implementation it replaced.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib as _zlib
-from collections import Counter
 
-from .bitio import BitReader, BitWriter
+from .bitio import BitReader, BitWriter, BitstreamError
 
 # The container checksums with CRC-32.  Our from-scratch implementation in
 # .checksums is bit-identical to zlib's (the test suite proves it); the hot
 # path uses zlib's C implementation so container overhead doesn't distort
 # protocol timing measurements.
 from zlib import crc32
-from .huffman import CanonicalCode, HuffmanError
-from .lz77 import Literal, Match, Token, detokenize, tokenize
+from .huffman import CanonicalCode, HuffmanError, _decode_lut, _fast_encoder
+from .lz77 import (
+    Literal,
+    Match,
+    Token,
+    detokenize_raw,
+    tokenize_raw,
+)
 
 __all__ = ["compress", "decompress", "CompressionError", "MAGIC"]
 
@@ -73,6 +87,26 @@ def _build_dist_table() -> None:
 _build_dist_table()
 _DIST_ALPHABET = len(_DIST_TABLE)  # 30
 
+# Flat length/distance -> packed (symbol, extra_value, extra_bits) tables,
+# replacing the reverse range scans on the hot encode path.
+#   _LEN_SYM[length]    = symbol << 8 | extra_value << 3 | extra_bits
+#   _DIST_SYM[distance] = symbol << 17 | extra_value << 4 | extra_bits
+_LEN_SYM = [0] * 259
+_DIST_SYM = [0] * 32769
+
+
+def _build_sym_tables() -> None:
+    for i, (base, extra) in enumerate(_LENGTH_TABLE[:-1]):  # symbols 257..284
+        for l in range(base, min(base + (1 << extra), 259)):
+            _LEN_SYM[l] = ((257 + i) << 8) | ((l - base) << 3) | extra
+    _LEN_SYM[258] = 285 << 8  # symbol 285 encodes 258 with no extra bits
+    for i, (base, extra) in enumerate(_DIST_TABLE):
+        for d in range(base, min(base + (1 << extra), 32769)):
+            _DIST_SYM[d] = (i << 17) | ((d - base) << 4) | extra
+
+
+_build_sym_tables()
+
 
 class CompressionError(Exception):
     """Raised on malformed containers or internal inconsistencies."""
@@ -80,22 +114,18 @@ class CompressionError(Exception):
 
 def _length_symbol(length: int) -> tuple[int, int, int]:
     """(symbol, extra_value, extra_bits) for a match length."""
-    if length == 258:
-        return (257 + len(_LENGTH_TABLE) - 1, 0, 0)
-    for i in range(len(_LENGTH_TABLE) - 1, -1, -1):
-        base, extra = _LENGTH_TABLE[i]
-        if base <= length < base + (1 << extra):
-            return (257 + i, length - base, extra)
-    raise CompressionError(f"length {length} out of range")
+    if not 3 <= length <= 258:
+        raise CompressionError(f"length {length} out of range")
+    e = _LEN_SYM[length]
+    return (e >> 8, (e >> 3) & 31, e & 7)
 
 
 def _dist_symbol(distance: int) -> tuple[int, int, int]:
     """(symbol, extra_value, extra_bits) for a match distance."""
-    for i in range(len(_DIST_TABLE) - 1, -1, -1):
-        base, extra = _DIST_TABLE[i]
-        if base <= distance < base + (1 << extra):
-            return (i, distance - base, extra)
-    raise CompressionError(f"distance {distance} out of range")
+    if not 1 <= distance <= 32768:
+        raise CompressionError(f"distance {distance} out of range")
+    e = _DIST_SYM[distance]
+    return (e >> 17, (e >> 4) & 0x1FFF, e & 15)
 
 
 def _write_varint(out: bytearray, value: int) -> None:
@@ -138,85 +168,171 @@ def _read_lengths(reader: BitReader, count: int) -> tuple[int, ...]:
     return tuple(reader.read_bits(4) for _ in range(count))
 
 
-def _encode_tokens(tokens: list[Token]) -> bytes:
-    # Pass 1: symbol statistics.
-    lit_freqs: Counter[int] = Counter()
-    dist_freqs: Counter[int] = Counter()
-    for tok in tokens:
-        if isinstance(tok, Literal):
-            lit_freqs[tok.byte] += 1
+def _encode_tokens_raw(raw: list[int]) -> bytes:
+    """Entropy-code packed tokens (literal byte, or ``length<<16|distance``).
+
+    Single fused pass per stage: flat-table symbol stats, then one
+    accumulator loop emitting pre-reversed codes and extra bits, flushed 32
+    bits at a time.  The 316 header nibbles occupy exactly 158 bytes, so the
+    token bitstream starts byte-aligned and the header is written directly.
+    """
+    len_sym = _LEN_SYM
+    dist_sym = _DIST_SYM
+    # Pass 1: symbol statistics (and range validation).
+    lit_counts = [0] * _LITLEN_ALPHABET
+    dist_counts = [0] * _DIST_ALPHABET
+    for tok in raw:
+        if tok < 256:
+            lit_counts[tok] += 1
         else:
-            sym, _, _ = _length_symbol(tok.length)
-            lit_freqs[sym] += 1
-            dsym, _, _ = _dist_symbol(tok.distance)
-            dist_freqs[dsym] += 1
-    lit_freqs[_EOB] += 1
-    lit_code = CanonicalCode.from_freqs(dict(lit_freqs), _LITLEN_ALPHABET)
+            length = tok >> 16
+            distance = tok & 0xFFFF
+            if not 3 <= length <= 258:
+                raise CompressionError(f"length {length} out of range")
+            if not 1 <= distance <= 32768:
+                raise CompressionError(f"distance {distance} out of range")
+            lit_counts[len_sym[length] >> 8] += 1
+            dist_counts[dist_sym[distance] >> 17] += 1
+    lit_counts[_EOB] += 1
+    lit_freqs = {s: c for s, c in enumerate(lit_counts) if c}
+    dist_freqs = {s: c for s, c in enumerate(dist_counts) if c}
+    lit_code = CanonicalCode.from_freqs(lit_freqs, _LITLEN_ALPHABET)
     # The distance alphabet may be empty (no matches at all); reserve a
     # one-symbol placeholder code so the header stays fixed-shape.
-    if dist_freqs:
-        dist_code = CanonicalCode.from_freqs(dict(dist_freqs), _DIST_ALPHABET)
-    else:
-        dist_code = CanonicalCode.from_freqs({0: 1}, _DIST_ALPHABET)
+    dist_code = CanonicalCode.from_freqs(dist_freqs or {0: 1}, _DIST_ALPHABET)
 
-    writer = BitWriter()
-    _write_lengths(writer, lit_code.lengths)
-    _write_lengths(writer, dist_code.lengths)
+    lens = lit_code.lengths + dist_code.lengths
+    out = bytearray()
+    for i in range(0, len(lens), 2):
+        lo, hi = lens[i], lens[i + 1]
+        if lo > 15 or hi > 15:
+            raise CompressionError(
+                f"code length {lo if lo > 15 else hi} exceeds 15"
+            )
+        out.append(lo | (hi << 4))
 
-    lit_enc = lit_code.encoder()
-    dist_enc = dist_code.encoder()
-    for tok in tokens:
-        if isinstance(tok, Literal):
-            code, length = lit_enc[tok.byte]
-            writer.write_code(code, length)
+    lit_enc = _fast_encoder(lit_code.lengths)
+    dist_enc = _fast_encoder(dist_code.lengths)
+    acc = 0
+    nb = 0
+    for tok in raw:
+        if tok < 256:
+            code, clen = lit_enc[tok]
+            acc |= code << nb
+            nb += clen
         else:
-            sym, extra_val, extra_bits = _length_symbol(tok.length)
-            code, length = lit_enc[sym]
-            writer.write_code(code, length)
-            if extra_bits:
-                writer.write_bits(extra_val, extra_bits)
-            dsym, dextra_val, dextra_bits = _dist_symbol(tok.distance)
-            code, length = dist_enc[dsym]
-            writer.write_code(code, length)
-            if dextra_bits:
-                writer.write_bits(dextra_val, dextra_bits)
-    code, length = lit_enc[_EOB]
-    writer.write_code(code, length)
-    return writer.getvalue()
+            e = len_sym[tok >> 16]
+            code, clen = lit_enc[e >> 8]
+            acc |= code << nb
+            nb += clen
+            ebits = e & 7
+            if ebits:
+                acc |= ((e >> 3) & 31) << nb
+                nb += ebits
+            d = dist_sym[tok & 0xFFFF]
+            code, clen = dist_enc[d >> 17]
+            acc |= code << nb
+            nb += clen
+            debits = d & 15
+            if debits:
+                acc |= ((d >> 4) & 0x1FFF) << nb
+                nb += debits
+        # A match emits up to 48 bits (15+5+15+13), so drain every token.
+        while nb >= 32:
+            out += (acc & 0xFFFFFFFF).to_bytes(4, "little")
+            acc >>= 32
+            nb -= 32
+    code, clen = lit_enc[_EOB]
+    acc |= code << nb
+    nb += clen
+    while nb > 0:
+        out.append(acc & 0xFF)
+        acc >>= 8
+        nb -= 8
+    return bytes(out)
 
 
-def _decode_tokens(payload: bytes) -> list[Token]:
+def _decode_tokens_raw(payload: bytes) -> list[int]:
+    """Inverse of :func:`_encode_tokens_raw`: payload -> packed tokens."""
     reader = BitReader(payload)
     try:
         lit_code = CanonicalCode(_read_lengths(reader, _LITLEN_ALPHABET))
         dist_code = CanonicalCode(_read_lengths(reader, _DIST_ALPHABET))
     except HuffmanError as exc:
         raise CompressionError(f"bad code table: {exc}") from exc
+    except BitstreamError:
+        raise CompressionError("bad code table: truncated header") from None
+    lit_lut, lit_bits, lit_max = _decode_lut(lit_code.lengths)
+    dist_lut, dist_bits, dist_max = _decode_lut(dist_code.lengths)
     lit_dec = lit_code.decoder()
     dist_dec = dist_code.decoder()
-    tokens: list[Token] = []
+    peek = reader.peek_bits
+    skip = reader.skip_bits
+    read_bits = reader.read_bits
+    len_table = _LENGTH_TABLE
+    num_len = len(len_table)
+    d_table = _DIST_TABLE
+    raw: list[int] = []
+    append = raw.append
     while True:
-        try:
-            sym = lit_code.decode_symbol(reader, lit_dec)
-        except HuffmanError as exc:
-            raise CompressionError(f"corrupt stream: {exc}") from exc
-        if sym == _EOB:
-            return tokens
+        window = peek(lit_bits)
+        entry = lit_lut[window] if window is not None else 0
+        if entry:
+            skip(entry >> 16)
+            sym = entry & 0xFFFF
+        else:
+            # Long code or short tail: bit-at-a-time against the full map.
+            try:
+                sym = lit_code._decode_slow(reader, lit_dec, lit_max)
+            except HuffmanError as exc:
+                raise CompressionError(f"corrupt stream: {exc}") from exc
         if sym < 256:
-            tokens.append(Literal(sym))
+            append(sym)
             continue
+        if sym == _EOB:
+            return raw
         idx = sym - 257
-        if idx >= len(_LENGTH_TABLE):
+        if idx >= num_len:
             raise CompressionError(f"invalid length symbol {sym}")
-        base, extra = _LENGTH_TABLE[idx]
-        length = base + (reader.read_bits(extra) if extra else 0)
-        try:
-            dsym = dist_code.decode_symbol(reader, dist_dec)
-        except HuffmanError as exc:
-            raise CompressionError(f"corrupt distance: {exc}") from exc
-        dbase, dextra = _DIST_TABLE[dsym]
-        distance = dbase + (reader.read_bits(dextra) if dextra else 0)
-        tokens.append(Match(length, distance))
+        base, extra = len_table[idx]
+        length = base + (read_bits(extra) if extra else 0)
+        window = peek(dist_bits)
+        entry = dist_lut[window] if window is not None else 0
+        if entry:
+            skip(entry >> 16)
+            dsym = entry & 0xFFFF
+        else:
+            try:
+                dsym = dist_code._decode_slow(reader, dist_dec, dist_max)
+            except HuffmanError as exc:
+                raise CompressionError(f"corrupt distance: {exc}") from exc
+        dbase, dextra = d_table[dsym]
+        distance = dbase + (read_bits(dextra) if dextra else 0)
+        append((length << 16) | distance)
+
+
+def _encode_tokens(tokens: list[Token]) -> bytes:
+    """Token-object front end for :func:`_encode_tokens_raw`."""
+    raw: list[int] = []
+    append = raw.append
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            append(tok.byte)
+        else:
+            if not 3 <= tok.length <= 258:
+                raise CompressionError(f"length {tok.length} out of range")
+            if not 1 <= tok.distance <= 32768:
+                raise CompressionError(f"distance {tok.distance} out of range")
+            append((tok.length << 16) | tok.distance)
+    return _encode_tokens_raw(raw)
+
+
+def _decode_tokens(payload: bytes) -> list[Token]:
+    """Token-object front end for :func:`_decode_tokens_raw`."""
+    return [
+        Literal(t) if t < 256 else Match(t >> 16, t & 0xFFFF)
+        for t in _decode_tokens_raw(payload)
+    ]
 
 
 def compress(data: bytes, *, backend: str = "pure", max_chain: int = 64) -> bytes:
@@ -237,7 +353,7 @@ def compress(data: bytes, *, backend: str = "pure", max_chain: int = 64) -> byte
     if backend == "zlib":
         payload = _zlib.compress(data, 6)
     else:
-        payload = _encode_tokens(tokenize(data, max_chain=max_chain))
+        payload = _encode_tokens_raw(tokenize_raw(data, max_chain=max_chain))
     return bytes(header) + payload
 
 
@@ -261,7 +377,7 @@ def decompress(blob: bytes) -> bytes:
         except _zlib.error as exc:
             raise CompressionError(f"zlib payload corrupt: {exc}") from exc
     else:
-        data = detokenize(_decode_tokens(payload))
+        data = detokenize_raw(_decode_tokens_raw(payload))
     if len(data) != origlen:
         raise CompressionError(
             f"length mismatch: header says {origlen}, got {len(data)}"

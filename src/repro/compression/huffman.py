@@ -8,13 +8,19 @@ sequences against a :class:`BitWriter`/:class:`BitReader`.
 
 from __future__ import annotations
 
+import functools
 import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
-from .bitio import BitReader, BitWriter, BitstreamError
+from .bitio import BitReader, BitWriter, BitstreamError, reverse_bits
 
 __all__ = ["HuffmanError", "CanonicalCode", "code_lengths_from_freqs"]
+
+# Width of the one-shot decode lookup table.  Codes no longer than this
+# decode in a single peek+skip; longer ones fall back to the bit-at-a-time
+# walk (rare: canonical codes put frequent symbols in short codes).
+_LUT_MAX_BITS = 11
 
 
 class HuffmanError(Exception):
@@ -99,6 +105,62 @@ def code_lengths_from_freqs(
     return lengths
 
 
+@functools.lru_cache(maxsize=256)
+def _assignment(lengths: tuple[int, ...]) -> dict[int, tuple[int, int]]:
+    """symbol -> (code, length) in canonical order.  Treated as immutable."""
+    used = sorted((l, s) for s, l in enumerate(lengths) if l > 0)
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = used[0][0]
+    for length, sym in used:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+@functools.lru_cache(maxsize=256)
+def _decoder_map(lengths: tuple[int, ...]) -> dict[tuple[int, int], int]:
+    """(code, length) -> symbol, for the bit-at-a-time fallback."""
+    return {cl: sym for sym, cl in _assignment(lengths).items()}
+
+
+@functools.lru_cache(maxsize=256)
+def _fast_encoder(lengths: tuple[int, ...]):
+    """Per-symbol (bit-reversed code, length), or None for unused symbols.
+
+    LSB-first bit order means writing the reversed code with ``write_bits``
+    equals writing the canonical code MSB-first, so encoding one symbol is
+    a single accumulator update instead of a per-bit loop.
+    """
+    table: list[tuple[int, int] | None] = [None] * len(lengths)
+    for sym, (code, length) in _assignment(lengths).items():
+        table[sym] = (reverse_bits(code, length), length)
+    return tuple(table)
+
+
+@functools.lru_cache(maxsize=256)
+def _decode_lut(lengths: tuple[int, ...]):
+    """(table, table_bits, max_len) one-shot decode table.
+
+    ``table[next_bits]`` holds ``length << 16 | symbol`` for every
+    ``table_bits``-wide window whose prefix is a code of ``length`` bits
+    (0 marks codes longer than the table, resolved by the fallback walk).
+    """
+    max_len = max(lengths)
+    table_bits = min(max_len, _LUT_MAX_BITS)
+    table = [0] * (1 << table_bits)
+    step_total = 1 << table_bits
+    for sym, (code, length) in _assignment(lengths).items():
+        if length <= table_bits:
+            rev = reverse_bits(code, length)
+            packed = (length << 16) | sym
+            for idx in range(rev, step_total, 1 << length):
+                table[idx] = packed
+    return table, table_bits, max_len
+
+
 @dataclass(frozen=True)
 class CanonicalCode:
     """A canonical Huffman code over symbols ``0..alphabet_size-1``.
@@ -134,40 +196,30 @@ class CanonicalCode:
 
     def _assign(self) -> dict[int, tuple[int, int]]:
         """symbol -> (code, length), canonical order."""
-        used = sorted((l, s) for s, l in enumerate(self.lengths) if l > 0)
-        codes: dict[int, tuple[int, int]] = {}
-        code = 0
-        prev_len = used[0][0]
-        for length, sym in used:
-            code <<= length - prev_len
-            codes[sym] = (code, length)
-            code += 1
-            prev_len = length
-        return codes
+        return dict(_assignment(self.lengths))
 
     def encoder(self) -> dict[int, tuple[int, int]]:
-        return self._assign()
+        return dict(_assignment(self.lengths))
 
     def decoder(self) -> dict[tuple[int, int], int]:
         """(code, length) -> symbol map for bit-at-a-time decoding."""
-        return {cl: sym for sym, cl in self._assign().items()}
+        return dict(_decoder_map(self.lengths))
 
     # -- stream helpers ------------------------------------------------------
 
     def encode_symbols(self, symbols: Sequence[int], writer: BitWriter) -> None:
-        enc = self.encoder()
+        enc = _fast_encoder(self.lengths)
+        size = len(enc)
+        write = writer.write_bits
         for sym in symbols:
-            try:
-                code, length = enc[sym]
-            except KeyError:
-                raise HuffmanError(f"symbol {sym} has no code") from None
-            writer.write_code(code, length)
+            entry = enc[sym] if 0 <= sym < size else None
+            if entry is None:
+                raise HuffmanError(f"symbol {sym} has no code")
+            write(entry[0], entry[1])
 
-    def decode_symbol(self, reader: BitReader, _dec=None) -> int:
-        dec = _dec if _dec is not None else self.decoder()
+    def _decode_slow(self, reader: BitReader, dec, max_len: int) -> int:
         code = 0
         length = 0
-        max_len = max(self.lengths)
         while length <= max_len:
             try:
                 code = (code << 1) | reader.read_bit()
@@ -179,6 +231,37 @@ class CanonicalCode:
                 return sym
         raise HuffmanError("invalid Huffman code in stream")
 
+    def decode_symbol(self, reader: BitReader, _dec=None) -> int:
+        table, table_bits, max_len = _decode_lut(self.lengths)
+        peek = getattr(reader, "peek_bits", None)
+        if peek is not None:
+            window = peek(table_bits)
+            if window is not None:
+                entry = table[window]
+                if entry:
+                    reader.skip_bits(entry >> 16)
+                    return entry & 0xFFFF
+        # Long code, short tail, or a reader without peek support.
+        dec = _dec if _dec is not None else _decoder_map(self.lengths)
+        return self._decode_slow(reader, dec, max_len)
+
     def decode_symbols(self, reader: BitReader, count: int) -> list[int]:
-        dec = self.decoder()
-        return [self.decode_symbol(reader, dec) for _ in range(count)]
+        table, table_bits, max_len = _decode_lut(self.lengths)
+        peek = getattr(reader, "peek_bits", None)
+        if peek is None:
+            dec = _decoder_map(self.lengths)
+            return [self._decode_slow(reader, dec, max_len) for _ in range(count)]
+        skip = reader.skip_bits
+        dec = _decoder_map(self.lengths)
+        out: list[int] = []
+        append = out.append
+        for _ in range(count):
+            window = peek(table_bits)
+            if window is not None:
+                entry = table[window]
+                if entry:
+                    skip(entry >> 16)
+                    append(entry & 0xFFFF)
+                    continue
+            append(self._decode_slow(reader, dec, max_len))
+        return out

@@ -6,6 +6,36 @@ token stream of literals and (length, distance) copies, later entropy-coded
 by the Huffman stage.
 
 Parameters mirror deflate: window up to 32 KiB, match lengths 3..258.
+
+Tokenizer strategy
+------------------
+The public :func:`tokenize` parse is defined by the original hash-chain
+walker, but the hot path runs one of two fused kernels that produce the
+identical token stream:
+
+* ``_match_table_numpy`` — the key observation is that the parse's match
+  candidates do not depend on the parse itself: at every probe position
+  ``P`` the inserted dictionary is exactly ``{q < P}``, so the hash chains
+  are position-global and can be built up front (stable argsort on the
+  3-byte hashes).  From the chains the kernel materializes all
+  (position, candidate) pairs level by level (window-pruned, chain-capped),
+  filters them by a vectorized 3-byte probe, extends match lengths in bulk,
+  and picks each position's winner with a first-max score reduction that
+  reproduces the walker's tie-breaking (nearest candidate wins ties, stop
+  at the length limit).  The remaining greedy/lazy parse is a cheap scalar
+  pass over the precomputed (best_length, best_distance) table.  Degenerate
+  inputs whose chains explode (e.g. one repeated byte) bail out early to
+  the scalar walker, which handles them quickly via its early-exit on
+  limit-length matches.
+* ``_tokenize_walker`` — fused scalar walker: match finder inlined into the
+  parse loop with hoisted locals, a one-byte probe at the current best
+  length before any full comparison, 64-byte slice equality for the length
+  extension, and reuse of the lazy lookahead result after a deferral.
+
+Internally tokens travel as packed ints (:func:`tokenize_raw`): a literal
+is its byte value (< 256) and a match is ``length << 16 | distance``
+(>= ``MIN_MATCH << 16``, so the two ranges cannot collide).  The dataclass
+stream remains the public API boundary.
 """
 
 from __future__ import annotations
@@ -13,7 +43,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Union
 
+try:  # pragma: no cover - exercised via both paths in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["Literal", "Match", "Token", "tokenize", "detokenize", "LZError",
+           "tokenize_raw", "detokenize_raw",
            "MIN_MATCH", "MAX_MATCH", "WINDOW_SIZE"]
 
 MIN_MATCH = 3
@@ -22,6 +58,14 @@ WINDOW_SIZE = 32 * 1024
 _HASH_BITS = 15
 _HASH_SIZE = 1 << _HASH_BITS
 _HASH_MASK = _HASH_SIZE - 1
+
+# Below this size the scalar walker beats numpy setup overhead.
+_NUMPY_MIN_BYTES = 2048
+# Bail-out budgets for the vectorized match table (multiples of len(data)):
+# highly repetitive inputs make the candidate pair set quadratic, where the
+# scalar walker's early exits win anyway.
+_PAIR_BUDGET = 16
+_EXTEND_BUDGET = 12  # counted in 4-byte block compares
 
 
 class LZError(Exception):
@@ -56,6 +100,262 @@ def _hash3(data: bytes, pos: int) -> int:
     return ((data[pos] << 10) ^ (data[pos + 1] << 5) ^ data[pos + 2]) & _HASH_MASK
 
 
+def _chains_python(data: bytes) -> list[int]:
+    """prev[p] = nearest q < p sharing p's 3-byte hash, else -1."""
+    n = len(data)
+    head = [-1] * _HASH_SIZE
+    prev = [-1] * n
+    mask = _HASH_MASK
+    for p in range(n - 2):
+        h = ((data[p] << 10) ^ (data[p + 1] << 5) ^ data[p + 2]) & mask
+        prev[p] = head[h]
+        head[h] = p
+    return prev
+
+
+def _chains_numpy(data: bytes):
+    """Same chains as :func:`_chains_python`, built with a stable argsort."""
+    n = len(data)
+    a = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int32)
+    # The 15-bit hash fits uint16, where numpy's stable argsort is a cheap
+    # two-pass radix sort.
+    h = (((a[:-2] << 10) ^ (a[1:-1] << 5) ^ a[2:]) & _HASH_MASK).astype(_np.uint16)
+    order = _np.argsort(h, kind="stable")
+    hs = h[order]
+    same = hs[1:] == hs[:-1]
+    prev = _np.full(n - 2, -1, dtype=_np.int32)
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _match_table_numpy(data: bytes, max_chain: int):
+    """Per-position (best_length, best_distance) table, or None to bail.
+
+    Reproduces the walker's choice exactly: scan up to ``max_chain``
+    in-window chain candidates nearest-first, keep the first strictly
+    longer match, stop once a match reaches the per-position length limit.
+    """
+    n = len(data)
+    prev = _chains_numpy(data)
+    # w4[i] = bytes i..i+3 packed big-endian into one word; equality of
+    # words is equality of 4-byte blocks, and w4 >> 8 compares the 3-byte
+    # prefixes that decide minimum-match viability.  The zero padding lets
+    # the length extension run guard-free past every per-pair limit (the
+    # loop stops by MAX_MATCH + 4 and lengths are clamped afterwards).
+    m = n + MAX_MATCH + 4
+    b8 = _np.frombuffer(data + b"\x00" * (MAX_MATCH + 8), dtype=_np.uint8)
+    w4 = (
+        (b8[:m].astype(_np.uint32) << 24)
+        | (b8[1 : m + 1].astype(_np.uint32) << 16)
+        | (b8[2 : m + 2].astype(_np.uint32) << 8)
+        | b8[3 : m + 3]
+    )
+
+    # Materialize the chain walk level by level: level k holds, for every
+    # still-live position P, its (k+1)-th nearest same-hash candidate.
+    # Chains are strictly decreasing, so window pruning is final.  Only
+    # pairs whose first MIN_MATCH bytes really match are emitted (the hash
+    # is not injective) — non-matching candidates still advance the chain
+    # so the max_chain visit cap stays exact.  Pairs concatenate in level
+    # order, which the winner scatter below relies on.
+    P = _np.arange(n - 2, dtype=_np.int32)
+    lo = _np.maximum(P - WINDOW_SIZE, 0)
+    C = prev
+    key3 = w4 >> 8
+    pair_budget = _PAIR_BUDGET * n
+    p_parts, c_parts = [], []
+    total = 0
+    for _k in range(max_chain):
+        keep = C >= lo
+        if not keep.any():
+            break
+        P, C, lo = P[keep], C[keep], lo[keep]
+        total += len(P)
+        if total > pair_budget:
+            return None
+        m3 = key3[C] == key3[P]
+        p_parts.append(P[m3])
+        c_parts.append(C[m3])
+        C = prev[C]
+    if not p_parts:
+        return [0] * n
+    pp = _np.concatenate(p_parts)
+    cp = _np.concatenate(c_parts)
+    if not len(pp):
+        return [0] * n
+
+    # Bulk length extension, 4-byte blocks at a time.  A failing block's
+    # XOR pinpoints the mismatch byte (big-endian packing puts the earliest
+    # byte on top), so no scalar tail pass is needed.  Per-pair limits are
+    # ignored during the loop — the padding makes out-of-range compares
+    # safe — and clamped once at the end.
+    lengths = _np.full(len(pp), MIN_MATCH, dtype=_np.int32)
+    x0 = w4[cp] ^ w4[pp]  # top 3 bytes already known equal
+    act = _np.nonzero(x0 == 0)[0].astype(_np.int32)
+    lengths[act] = 4
+    off = 4
+    work = 0
+    work_budget = _EXTEND_BUDGET * n
+    while act.size and off <= MAX_MATCH:
+        work += act.size
+        if work > work_budget:
+            return None
+        x = w4[cp[act] + off] ^ w4[pp[act] + off]
+        eq = x == 0
+        neq = ~eq
+        failed = act[neq]
+        if failed.size:
+            xf = x[neq]
+            lengths[failed] = (
+                off + (xf <= 0xFFFFFF) + (xf <= 0xFFFF) + (xf <= 0xFF)
+            )
+        act = act[eq]
+        off += 4
+        lengths[act] = off
+    _np.minimum(lengths, _np.minimum(n - pp, MAX_MATCH).astype(_np.int32),
+                out=lengths)
+
+    # First-strict-max reduction per position, walking level slices in
+    # chain order: a later (farther) candidate only displaces the running
+    # best when strictly longer — identical to the walker's scan order,
+    # including its early exit at the limit (no later candidate can exceed
+    # it).  Positions are unique within a level, so plain scatter is safe.
+    # The result is packed like the raw token stream: length << 16 | dist.
+    bl = _np.zeros(n, dtype=_np.int32)
+    packed = _np.zeros(n, dtype=_np.int32)
+    start = 0
+    for part in p_parts:
+        stop = start + len(part)
+        if stop == start:
+            start = stop
+            continue
+        pk = pp[start:stop]
+        lk = lengths[start:stop]
+        better = lk > bl[pk]
+        idx = pk[better]
+        lb = lk[better]
+        bl[idx] = lb
+        packed[idx] = (lb << 16) | (idx - cp[start:stop][better])
+        start = stop
+    return packed.tolist()
+
+
+def _tokenize_precomputed(data: bytes, table: list[int], lazy: bool) -> list[int]:
+    """Greedy/lazy parse over a precomputed packed best-match table."""
+    out: list[int] = []
+    append = out.append
+    n = len(data)
+    pos = 0
+    while pos < n:
+        tok = table[pos]
+        if tok:
+            if lazy and pos + 1 < n and (table[pos + 1] >> 16) > (tok >> 16):
+                append(data[pos])
+                pos += 1
+                continue
+            append(tok)
+            pos += tok >> 16
+        else:
+            append(data[pos])
+            pos += 1
+    return out
+
+
+def _tokenize_walker(data: bytes, max_chain: int, lazy: bool) -> list[int]:
+    """Fused scalar tokenizer: match finder inlined, locals hoisted."""
+    n = len(data)
+    if _np is not None and n >= _NUMPY_MIN_BYTES:
+        prev = _chains_numpy(data).tolist()
+    else:
+        prev = _chains_python(data)
+    out: list[int] = []
+    append = out.append
+    n3 = n - MIN_MATCH
+
+    def find(p: int) -> tuple[int, int]:
+        if p > n3:
+            return 0, 0
+        limit = n - p
+        if limit > MAX_MATCH:
+            limit = MAX_MATCH
+        best_len = MIN_MATCH - 1
+        best_dist = 0
+        cand = prev[p]
+        low = p - WINDOW_SIZE
+        if low < 0:
+            low = 0
+        chain = max_chain
+        while cand >= low and chain > 0:
+            # One-byte probe: a candidate that cannot extend past the
+            # current best is rejected without a full comparison.
+            if data[cand + best_len] == data[p + best_len]:
+                length = 0
+                while length + 64 <= limit and \
+                        data[cand + length:cand + length + 64] == \
+                        data[p + length:p + length + 64]:
+                    length += 64
+                while length < limit and data[cand + length] == data[p + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = p - cand
+                    if length >= limit:
+                        break
+            cand = prev[cand]
+            chain -= 1
+        if best_dist == 0:
+            return 0, 0
+        return best_len, best_dist
+
+    pos = 0
+    cached_pos = -1
+    cached = (0, 0)
+    while pos < n:
+        if pos == cached_pos:
+            length, dist = cached
+        else:
+            length, dist = find(pos)
+        if length:
+            if lazy and pos + 1 < n:
+                nxt = find(pos + 1)
+                if nxt[0] > length:
+                    append(data[pos])
+                    pos += 1
+                    cached_pos = pos  # reuse the lookahead next iteration
+                    cached = nxt
+                    continue
+            append((length << 16) | dist)
+            pos += length
+        else:
+            append(data[pos])
+            pos += 1
+    return out
+
+
+def tokenize_raw(
+    data: bytes,
+    *,
+    max_chain: int = 64,
+    lazy: bool = True,
+) -> list[int]:
+    """:func:`tokenize`, but returning packed int tokens.
+
+    A literal is its byte value; a match packs as ``length << 16 |
+    distance``.  This is the representation the gzip-like encoder consumes
+    directly, skipping per-token dataclass construction on the hot path.
+    """
+    if max_chain < 1:
+        raise ValueError(f"max_chain must be >= 1, got {max_chain}")
+    n = len(data)
+    if n == 0:
+        return []
+    if _np is not None and n >= _NUMPY_MIN_BYTES:
+        table = _match_table_numpy(data, max_chain)
+        if table is not None:
+            return _tokenize_precomputed(data, table, lazy)
+    return _tokenize_walker(data, max_chain, lazy)
+
+
 def tokenize(
     data: bytes,
     *,
@@ -69,79 +369,21 @@ def tokenize(
     deflate levels).  ``lazy`` enables one-step lazy matching: defer a match
     if the next position offers a strictly longer one.
     """
-    if max_chain < 1:
-        raise ValueError(f"max_chain must be >= 1, got {max_chain}")
-    n = len(data)
-    tokens: list[Token] = []
-    if n == 0:
-        return tokens
+    return [
+        Literal(t) if t < 256 else Match(t >> 16, t & 0xFFFF)
+        for t in tokenize_raw(data, max_chain=max_chain, lazy=lazy)
+    ]
 
-    head = [-1] * _HASH_SIZE          # hash -> most recent position
-    prev = [-1] * n                   # position -> previous same-hash position
 
-    def insert(pos: int) -> None:
-        if pos + MIN_MATCH <= n:
-            h = _hash3(data, pos)
-            prev[pos] = head[h]
-            head[h] = pos
-
-    def find_match(pos: int) -> tuple[int, int]:
-        """Best (length, distance) at ``pos``, or (0, 0)."""
-        if pos + MIN_MATCH > n:
-            return (0, 0)
-        limit = min(MAX_MATCH, n - pos)
-        best_len = MIN_MATCH - 1
-        best_dist = 0
-        candidate = head[_hash3(data, pos)]
-        chain = max_chain
-        lo = pos - WINDOW_SIZE
-        while candidate >= 0 and candidate >= lo and chain > 0:
-            if candidate < pos:
-                length = 0
-                while (
-                    length < limit
-                    and data[candidate + length] == data[pos + length]
-                ):
-                    length += 1
-                if length > best_len:
-                    best_len = length
-                    best_dist = pos - candidate
-                    if length >= limit:
-                        break
-            candidate = prev[candidate]
-            chain -= 1
-        if best_dist == 0:
-            return (0, 0)
-        return (best_len, best_dist)
-
-    pos = 0
-    while pos < n:
-        length, dist = find_match(pos)
-        if length >= MIN_MATCH:
-            if lazy and pos + 1 < n:
-                insert(pos)
-                nlen, ndist = find_match(pos + 1)
-                if nlen > length:
-                    # Defer: emit a literal, take the better match next loop.
-                    tokens.append(Literal(data[pos]))
-                    pos += 1
-                    continue
-                # Keep current match; positions inside it still enter the
-                # dictionary so later matches can reference them.
-                tokens.append(Match(length, dist))
-                for p in range(pos + 1, pos + length):
-                    insert(p)
-                pos += length
-                continue
-            tokens.append(Match(length, dist))
-            for p in range(pos, pos + length):
-                insert(p)
-            pos += length
-        else:
-            insert(pos)
-            tokens.append(Literal(data[pos]))
-            pos += 1
-    return tokens
+def _extend_copy(out: bytearray, distance: int, length: int) -> None:
+    """Append a back-reference copy, slice-based even when overlapping."""
+    start = len(out) - distance
+    if distance >= length:
+        out += out[start : start + length]
+    else:
+        # Overlapping copy: the source repeats with period ``distance``.
+        reps = length // distance + 1
+        out += (out[start:] * reps)[:length]
 
 
 def detokenize(tokens: Iterable[Token]) -> bytes:
@@ -151,14 +393,28 @@ def detokenize(tokens: Iterable[Token]) -> bytes:
         if isinstance(tok, Literal):
             out.append(tok.byte)
         elif isinstance(tok, Match):
-            start = len(out) - tok.distance
-            if start < 0:
+            if tok.distance > len(out):
                 raise LZError(
                     f"match distance {tok.distance} exceeds output length {len(out)}"
                 )
-            # Overlapping copies (distance < length) must copy byte-by-byte.
-            for i in range(tok.length):
-                out.append(out[start + i])
+            _extend_copy(out, tok.distance, tok.length)
         else:
             raise LZError(f"unknown token type: {type(tok)!r}")
+    return bytes(out)
+
+
+def detokenize_raw(tokens: Iterable[int]) -> bytes:
+    """Reconstruct bytes from packed int tokens (see :func:`tokenize_raw`)."""
+    out = bytearray()
+    append = out.append
+    for tok in tokens:
+        if tok < 256:
+            append(tok)
+        else:
+            distance = tok & 0xFFFF
+            if distance > len(out):
+                raise LZError(
+                    f"match distance {distance} exceeds output length {len(out)}"
+                )
+            _extend_copy(out, distance, tok >> 16)
     return bytes(out)

@@ -13,6 +13,7 @@ scan on the server.
 from __future__ import annotations
 
 import struct
+from itertools import accumulate
 from typing import Optional
 
 from ..chunking import chunk_digest, fixed_chunk_bytes
@@ -33,14 +34,15 @@ _MOD = 1 << 16
 
 
 def rolling_checksum(block: bytes) -> int:
-    """rsync's weak checksum: a = sum(b), b = sum((L-i)*b_i), both mod 2^16."""
-    a = 0
-    b = 0
-    n = len(block)
-    for i, byte in enumerate(block):
-        a += byte
-        b += (n - i) * byte
-    return (a % _MOD) | ((b % _MOD) << 16)
+    """rsync's weak checksum: a = sum(b), b = sum((L-i)*b_i), both mod 2^16.
+
+    ``b`` equals the sum of all prefix sums of the block, so both halves
+    fall out of one :func:`itertools.accumulate` pass in C.
+    """
+    prefix = list(accumulate(block))
+    if not prefix:
+        return 0
+    return (prefix[-1] % _MOD) | ((sum(prefix) % _MOD) << 16)
 
 
 class RollingChecksum:
@@ -50,12 +52,14 @@ class RollingChecksum:
 
     def __init__(self, block: bytes):
         self.size = len(block)
-        self.a = sum(block) % _MOD
-        self.b = sum((self.size - i) * byte for i, byte in enumerate(block)) % _MOD
+        prefix = list(accumulate(block))
+        self.a = (prefix[-1] if prefix else 0) % _MOD
+        self.b = sum(prefix) % _MOD
 
     def roll(self, out_byte: int, in_byte: int) -> int:
-        self.a = (self.a - out_byte + in_byte) % _MOD
-        self.b = (self.b - self.size * out_byte + self.a) % _MOD
+        # ``& 0xFFFF`` is mod 2^16 even for the negative intermediates.
+        self.a = (self.a - out_byte + in_byte) & 0xFFFF
+        self.b = (self.b - self.size * out_byte + self.a) & 0xFFFF
         return self.value
 
     @property
@@ -106,39 +110,46 @@ class FixedBlockingProtocol(CommProtocol):
         bs = self.block_size
         n = len(new)
         ops: list[DeltaOp] = []
-        pending = bytearray()
+        append_op = ops.append
+        get = table.get
+        digest = chunk_digest
 
-        def flush() -> None:
-            if pending:
-                ops.append(DeltaOp(data=bytes(pending)))
-                pending.clear()
-
+        # Fused scan: the rolling a/b state lives in locals (masked adds, no
+        # method calls), and literal bytes are never copied per-position —
+        # the run between two COPY ops is sliced out of ``new`` in one go.
         pos = 0
-        roller: Optional[RollingChecksum] = None
+        lit_start = 0
+        a_ = b_ = 0
+        warm = False
         while pos + bs <= n:
-            if roller is None:
-                roller = RollingChecksum(new[pos : pos + bs])
-                weak = roller.value
-            candidates = table.get(weak)
-            matched_idx = None
-            if candidates:
-                strong = chunk_digest(new[pos : pos + bs], _DIGEST_TRUNCATE)
+            if not warm:
+                prefix = list(accumulate(new[pos : pos + bs]))
+                a_ = prefix[-1] & 0xFFFF
+                b_ = sum(prefix) & 0xFFFF
+                warm = True
+            candidates = get(a_ | (b_ << 16))
+            if candidates is not None:
+                strong = digest(new[pos : pos + bs], _DIGEST_TRUNCATE)
+                matched_idx = None
                 for cand_strong, idx in candidates:
                     if cand_strong == strong:
                         matched_idx = idx
                         break
-            if matched_idx is not None:
-                flush()
-                ops.append(DeltaOp(offset=matched_idx * bs, length=bs))
-                pos += bs
-                roller = None
-            else:
-                pending.append(new[pos])
-                if pos + bs < n:
-                    weak = roller.roll(new[pos], new[pos + bs])
-                pos += 1
-        pending += new[pos:]
-        flush()
+                if matched_idx is not None:
+                    if lit_start < pos:
+                        append_op(DeltaOp(data=new[lit_start:pos]))
+                    append_op(DeltaOp(offset=matched_idx * bs, length=bs))
+                    pos += bs
+                    lit_start = pos
+                    warm = False
+                    continue
+            if pos + bs < n:
+                out_byte = new[pos]
+                a_ = (a_ - out_byte + new[pos + bs]) & 0xFFFF
+                b_ = (b_ - bs * out_byte + a_) & 0xFFFF
+            pos += 1
+        if lit_start < n:
+            append_op(DeltaOp(data=new[lit_start:]))
         return encode_delta(ops)
 
     # -- phase 3: client rebuild ------------------------------------------------

@@ -1,0 +1,82 @@
+"""Kernel microbenchmark plumbing (payload shape, drift check, CLI)."""
+
+import json
+
+import pytest
+
+from repro.bench import kernels
+from repro.bench.kernels import (
+    SEED_BASELINES,
+    KernelResult,
+    compare_to_baseline,
+    render_kernels,
+    results_to_payload,
+)
+
+
+@pytest.fixture()
+def fake_results():
+    return [
+        KernelResult("cdc_scan", 269754, 0.01, 26.9754, SEED_BASELINES["cdc_scan"]["mb_s"]),
+        KernelResult("lz77_tokenize", 134770, 0.1, 1.3477, SEED_BASELINES["lz77_tokenize"]["mb_s"]),
+    ]
+
+
+class TestPayload:
+    def test_payload_shape(self, fake_results):
+        payload = results_to_payload(fake_results, quick=True)
+        assert payload["quick"] is True
+        cell = payload["kernels"]["cdc_scan"]
+        assert cell["bytes"] == 269754
+        assert cell["seed_mb_s"] == SEED_BASELINES["cdc_scan"]["mb_s"]
+        assert cell["speedup"] == pytest.approx(26.9754 / 1.892, abs=0.01)
+
+    def test_render_includes_speedup_column(self, fake_results):
+        table = render_kernels(fake_results)
+        assert "speedup" in table
+        assert "cdc_scan" in table
+
+    def test_baselines_cover_all_measured_kernels(self):
+        # run_kernels records these names; a rename must update the baselines.
+        for name in ("cdc_scan", "cdc_scan_vary", "lz77_tokenize",
+                     "gzip_pure_compress", "gzip_pure_decompress",
+                     "fixed_scan", "vary_respond"):
+            assert name in SEED_BASELINES
+
+
+class TestDriftCompare:
+    def test_within_tolerance_is_quiet(self, tmp_path, fake_results):
+        payload = results_to_payload(fake_results)
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(payload))
+        assert compare_to_baseline(payload, str(base)) is None
+
+    def test_large_regression_is_reported(self, tmp_path, fake_results):
+        payload = results_to_payload(fake_results)
+        base = tmp_path / "base.json"
+        inflated = json.loads(json.dumps(payload))
+        inflated["kernels"]["cdc_scan"]["mb_s"] *= 10
+        base.write_text(json.dumps(inflated))
+        warning = compare_to_baseline(payload, str(base))
+        assert warning is not None and "cdc_scan" in warning
+
+    def test_missing_baseline_is_quiet(self, tmp_path, fake_results):
+        payload = results_to_payload(fake_results)
+        assert compare_to_baseline(payload, str(tmp_path / "nope.json")) is None
+
+
+class TestKernelsCli:
+    def test_quick_run_writes_json(self, tmp_path, capsys):
+        from repro.bench import runner
+
+        out = tmp_path / "BENCH_kernels.json"
+        assert runner.main(["kernels", "--quick", "--json", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "Data-plane kernel throughput" in table
+        payload = json.loads(out.read_text())
+        assert payload["quick"] is True
+        measured = payload["kernels"]
+        assert set(measured) == set(SEED_BASELINES)
+        for cell in measured.values():
+            assert cell["mb_s"] > 0
+            assert cell["speedup"] > 0

@@ -1,0 +1,111 @@
+"""Fused/vectorized CDC kernels vs the retained per-byte reference.
+
+``ContentDefinedChunker`` now scans three ways (numpy pair-table gather,
+fused scalar loop, and the original ``boundaries_reference`` roll); these
+tests pin all of them to identical boundaries, including on corpora that a
+prefix edit has shifted — the insert/delete resilience the vary-sized
+blocking PAD exists for.  Also covers the shared Rabin table cache.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking import cdc
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.chunking.rabin import (
+    DEFAULT_POLYNOMIAL,
+    DEFAULT_WINDOW,
+    RabinFingerprint,
+    tables_for,
+)
+
+
+def _reference(chunker, data):
+    return list(chunker.boundaries_reference(data))
+
+
+def _all_kernels(chunker, data):
+    """(numpy-or-default, forced-python, reference) boundary lists."""
+    fused = chunker._scan(data)
+    python = chunker._scan_python(data) if len(data) >= chunker.min_size else []
+    return fused, python, _reference(chunker, data)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("mask_bits,min_size,max_size", [
+        (8, None, None),
+        (10, None, None),
+        (10, 64, 200),
+        (13, None, None),
+        (13, 48, 100),
+    ])
+    def test_all_kernels_agree_on_random_data(self, mask_bits, min_size, max_size):
+        rng = random.Random(mask_bits * 1000 + (min_size or 0))
+        chunker = ContentDefinedChunker(
+            mask_bits=mask_bits, min_size=min_size, max_size=max_size
+        )
+        for size in (0, 47, 48, 100, 4095, 4096, 20_000):
+            data = rng.randbytes(size)
+            fused, python, ref = _all_kernels(chunker, data)
+            assert fused == ref, (mask_bits, size)
+            assert python == ref, (mask_bits, size)
+
+    def test_prefix_mutation_shifts_boundaries_identically(self):
+        """Edits near the start must not change how the kernels agree."""
+        rng = random.Random(77)
+        base = rng.randbytes(30_000)
+        chunker = ContentDefinedChunker(mask_bits=10)
+        for mutated in (
+            b"x" + base,                      # one-byte insert at the front
+            base[100:],                       # prefix deletion
+            rng.randbytes(257) + base,        # large prefix insert
+            base[:500] + b"\xff" * 16 + base[500:],  # mid-prefix splice
+        ):
+            fused, python, ref = _all_kernels(chunker, mutated)
+            assert fused == ref
+            assert python == ref
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=6000), st.integers(0, 3))
+    def test_property_fused_equals_reference(self, data, variant):
+        chunker = ContentDefinedChunker(
+            mask_bits=(8, 9, 10, 11)[variant], window=16, min_size=16
+        )
+        fused, python, ref = _all_kernels(chunker, data)
+        assert fused == ref
+        assert python == ref
+
+    @pytest.mark.skipif(cdc._np is None, reason="numpy unavailable")
+    def test_numpy_and_python_paths_both_exercised(self):
+        data = random.Random(3).randbytes(10_000)
+        chunker = ContentDefinedChunker(mask_bits=9)
+        assert len(data) >= cdc._NUMPY_MIN_BYTES  # dispatch takes the numpy path
+        assert chunker._scan_numpy(data) == chunker._scan_python(data)
+
+
+class TestSharedTableCache:
+    def test_two_chunkers_share_rabin_tables(self):
+        a = ContentDefinedChunker(mask_bits=10)
+        b = ContentDefinedChunker(mask_bits=13, min_size=64, max_size=4096)
+        ta = tables_for(a.polynomial, a.window)
+        tb = tables_for(b.polynomial, b.window)
+        assert ta is tb  # same (polynomial, window) -> one cached build
+
+    def test_fingerprint_and_chunker_share_tables(self):
+        fp = RabinFingerprint(DEFAULT_POLYNOMIAL, DEFAULT_WINDOW)
+        shift, out = tables_for(DEFAULT_POLYNOMIAL, DEFAULT_WINDOW)
+        assert fp._shift_table is shift
+        assert fp._out_table is out
+
+    def test_distinct_parameters_get_distinct_tables(self):
+        t48 = tables_for(DEFAULT_POLYNOMIAL, 48)
+        t16 = tables_for(DEFAULT_POLYNOMIAL, 16)
+        assert t48 is not t16
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            tables_for(DEFAULT_POLYNOMIAL, 0)
+        with pytest.raises(ValueError):
+            tables_for(0x3, 48)

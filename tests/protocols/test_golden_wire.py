@@ -1,0 +1,108 @@
+"""Frozen wire-format vectors for every PAD and the deflate-lite container.
+
+The SHA-1 digests below were captured from the implementation *before* the
+data-plane kernels were rewritten (fused CDC scan, table-driven LZSS,
+accumulator Huffman coding).  Optimizations must keep every wire byte
+identical — a digest change here means the protocol format drifted, which
+breaks deployed client/server pairs mid-session.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.compression import gziplike
+from repro.protocols.padlib import instantiate
+from repro.workload.pages import Corpus
+
+# sha1 of (request, response, cold_response) per PAD on the seeded corpus.
+PAD_GOLDEN = {
+    "direct": (
+        "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+        "5ad9149b97eba512db731d79fbd33521e8d5f1f8",
+        "cba258497d6f2d50cd8fb63a288419dfec593eb2",
+    ),
+    "gzip": (
+        "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+        "5aa8492573a6e5290e42dc1e6594d5623a96931a",
+        "5edae331fc804f81e3dda0fc4c3ecc45af1ab148",
+    ),
+    "vary": (
+        "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+        "672015757173cac868e1f2db59000e76173b1760",
+        "9e2f4dab5d653626ed04a93539d45d27f1fad57c",
+    ),
+    "bitmap": (
+        "c98315eb1aa316936bc0dc3c164f30aa760a0f2c",
+        "3a3881a8c346618f44af3e6c777c69370f31c650",
+        "b53604e079987d646f7601216cec98a2fc066b6d",
+    ),
+    "fixed": (
+        "0f911d35aed2fcd2b50950833058c05b9f3fc715",
+        "55f8067b66900ed7de7e3b49f517a4fd8a67bf20",
+        "9e2f4dab5d653626ed04a93539d45d27f1fad57c",
+    ),
+}
+
+# sha1 of the pure-backend deflate-lite container per named input.
+GZIPLIKE_GOLDEN = {
+    "empty": "baae94d6623d74e9222007835dedc024c0cb47e0",
+    "text": "34a4de8c0e132f14270960b1a9a1fcecf7d0a4fb",
+    "runs": "dd71bb487ee1a57780a3df139fce9d99938bf6c7",
+    "random": "dd91f73cdf8e9ed2e653b5691b59141eba140cec",
+    "small_page": "5aa8492573a6e5290e42dc1e6594d5623a96931a",
+}
+
+
+def _sha1(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def pages():
+    corpus = Corpus(text_bytes=2048, image_bytes=4096, images_per_page=2)
+    return (
+        corpus.evolved(0, 0).encode(),
+        corpus.evolved(0, 1).encode(),
+        corpus.evolved(1, 1).encode(),
+    )
+
+
+class TestPadWireGolden:
+    @pytest.mark.parametrize("pad_id", sorted(PAD_GOLDEN))
+    def test_wire_bytes_unchanged(self, pad_id, pages):
+        old, new, cold_new = pages
+        kwargs = {"backend": "pure"} if pad_id == "gzip" else {}
+        proto = instantiate(pad_id, **kwargs)
+
+        req = proto.client_request(old)
+        resp = proto.server_respond(req, old, new)
+        assert proto.client_reconstruct(old, resp) == new
+
+        cold_resp = proto.server_respond(proto.client_request(None), None, cold_new)
+        assert proto.client_reconstruct(None, cold_resp) == cold_new
+
+        want_req, want_resp, want_cold = PAD_GOLDEN[pad_id]
+        assert _sha1(req) == want_req
+        assert _sha1(resp) == want_resp
+        assert _sha1(cold_resp) == want_cold
+
+
+class TestGziplikeContainerGolden:
+    @pytest.fixture(scope="class")
+    def inputs(self, pages):
+        rng = random.Random(1905)
+        return {
+            "empty": b"",
+            "text": b"the quick brown fox jumps over the lazy dog. " * 200,
+            "runs": b"A" * 5000 + b"B" * 5000,
+            "random": rng.randbytes(8192),
+            "small_page": pages[1],
+        }
+
+    @pytest.mark.parametrize("name", sorted(GZIPLIKE_GOLDEN))
+    def test_container_bytes_unchanged(self, name, inputs):
+        blob = gziplike.compress(inputs[name], backend="pure")
+        assert _sha1(blob) == GZIPLIKE_GOLDEN[name]
+        assert gziplike.decompress(blob) == inputs[name]
