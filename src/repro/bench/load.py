@@ -34,6 +34,7 @@ update anywhere in the locked serving path shows up here as a mismatch.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from dataclasses import dataclass, field
@@ -47,10 +48,13 @@ from ..workload.profiles import PAPER_ENVIRONMENTS
 
 __all__ = [
     "LatencyTransport",
+    "AsyncLatencyTransport",
     "WorkerTally",
     "LoadPoint",
     "run_load_point",
+    "run_async_load_point",
     "run_load_sweep",
+    "run_async_pool_sweep",
     "sweep_worker_counts",
 ]
 
@@ -88,6 +92,29 @@ class LatencyTransport:
         return response
 
 
+class AsyncLatencyTransport:
+    """Event-loop sibling of :class:`LatencyTransport`.
+
+    ``asyncio.sleep`` suspends only the calling task, so concurrent
+    client tasks overlap their emulated propagation time exactly like
+    the threaded workers overlap their ``time.sleep``.
+    """
+
+    def __init__(self, inner, rtt_s: float) -> None:
+        if rtt_s < 0:
+            raise ValueError(f"rtt_s must be >= 0, got {rtt_s}")
+        self.inner = inner
+        self.rtt_s = rtt_s
+
+    async def request(self, src: str, dst: str, payload: bytes) -> bytes:
+        if self.rtt_s > 0:
+            await asyncio.sleep(self.rtt_s / 2)
+        response = await self.inner.request(src, dst, payload)
+        if self.rtt_s > 0:
+            await asyncio.sleep(self.rtt_s / 2)
+        return response
+
+
 @dataclass
 class WorkerTally:
     """One worker's private ledger (no shared mutable state)."""
@@ -100,6 +127,18 @@ class WorkerTally:
     app_bytes: int = 0
     negotiation_times_s: list[float] = field(default_factory=list)
     first_error: Optional[str] = None
+
+    def record_success(self, result) -> None:
+        self.sessions += 1
+        self.negotiations += 1  # force_negotiation: one per session
+        self.pad_download_bytes += result.pad_download_bytes
+        self.app_bytes += result.app_traffic_bytes
+        self.negotiation_times_s.append(result.negotiation_time_s)
+
+    def record_error(self, exc: BaseException) -> None:
+        self.errors += 1
+        if self.first_error is None:
+            self.first_error = f"{type(exc).__name__}: {exc}"
 
 
 @dataclass
@@ -120,6 +159,8 @@ class LoadPoint:
     per_worker: list[WorkerTally]
     ledger: dict[str, tuple[float, float]]  # name -> (workers' sum, registry)
     reconciled: bool
+    mode: str = "threads"      # "threads" or "async"
+    pool_workers: int = 0      # kernel-pool processes (async mode only)
 
     def speedup_vs(self, baseline: "LoadPoint") -> float:
         if baseline.throughput_rps <= 0:
@@ -163,16 +204,110 @@ def _worker_loop(
                 force_negotiation=True,
             )
         except Exception as exc:  # noqa: BLE001 - the harness must finish
-            tally.errors += 1
-            if tally.first_error is None:
-                tally.first_error = f"{type(exc).__name__}: {exc}"
+            tally.record_error(exc)
         else:
-            tally.sessions += 1
-            tally.negotiations += 1  # force_negotiation: one per session
-            tally.pad_download_bytes += result.pad_download_bytes
-            tally.app_bytes += result.app_traffic_bytes
-            tally.negotiation_times_s.append(result.negotiation_time_s)
+            tally.record_success(result)
         i += 1
+
+
+async def _async_worker_loop(
+    client,
+    app_id: str,
+    corpus: Corpus,
+    duration_s: float,
+    start: asyncio.Event,
+    tally: WorkerTally,
+) -> None:
+    """Coroutine twin of :func:`_worker_loop`: same schedule, same tally."""
+    environments = PAPER_ENVIRONMENTS
+    offset = tally.worker
+    old_pages = [corpus.evolved(p, 0) for p in range(corpus.n_pages)]
+    await start.wait()
+    deadline = time.perf_counter() + duration_s
+    i = 0
+    while time.perf_counter() < deadline:
+        env = environments[(offset + i) % len(environments)]
+        page_id = i % corpus.n_pages
+        old = old_pages[page_id]
+        client.set_environment(env)
+        try:
+            result = await client.request_page(
+                app_id,
+                page_id,
+                old_parts=[old.text, *old.images],
+                old_version=0,
+                new_version=1,
+                force_negotiation=True,
+            )
+        except Exception as exc:  # noqa: BLE001 - the harness must finish
+            tally.record_error(exc)
+        else:
+            tally.record_success(result)
+        i += 1
+
+
+def _wire_symmetry_snapshot(transport, client_names: list[str]) -> dict:
+    """On-wire byte symmetry: what every client meter sent must equal
+    what the endpoint meters received, and vice versa.  Works for both
+    :class:`TcpTransport` and ``AsyncTcpTransport`` (same meter API);
+    holds exactly because both record only completed frames, at on-wire
+    (header-included) sizes — the metering fix this PR's tests pin down.
+    """
+    cli_sent = sum(transport.meter(n).bytes_sent for n in client_names)
+    cli_recv = sum(transport.meter(n).bytes_received for n in client_names)
+    ep_sent = sum(
+        transport.endpoint_meter(e).bytes_sent for e in transport.endpoints()
+    )
+    ep_recv = sum(
+        transport.endpoint_meter(e).bytes_received for e in transport.endpoints()
+    )
+    return {
+        "wire bytes (clients sent vs endpoints recv)": (cli_sent, ep_recv),
+        "wire bytes (endpoints sent vs clients recv)": (ep_sent, cli_recv),
+    }
+
+
+def _rows_balanced(rows: dict) -> bool:
+    return all(a == b for a, b in rows.values())
+
+
+def _wire_symmetry_rows(
+    transport, client_names: list[str], settle_s: float = 2.0
+) -> dict:
+    """Snapshot the symmetry rows, absorbing endpoint metering lag.
+
+    A threaded endpoint records its send-side meter just *after* the
+    response bytes hit the socket, so a client can observe the meters in
+    the instant before the worker thread's update lands (one GIL switch
+    wide).  The convention is right — a failed send must count nothing —
+    so the reader absorbs the lag: poll until the rows balance, bounded
+    by ``settle_s``.  A genuine asymmetry still surfaces as a stable
+    mismatch once the deadline passes.
+    """
+    deadline = time.perf_counter() + settle_s
+    rows = _wire_symmetry_snapshot(transport, client_names)
+    while not _rows_balanced(rows) and time.perf_counter() < deadline:
+        time.sleep(0.001)
+        rows = _wire_symmetry_snapshot(transport, client_names)
+    return rows
+
+
+async def _wire_symmetry_rows_async(
+    transport, client_names: list[str], settle_s: float = 2.0
+) -> dict:
+    """:func:`_wire_symmetry_rows` for the event-loop path.
+
+    The server coroutine's ``record_send`` runs in the continuation
+    after its ``drain()``, so a client task scheduled between the two
+    can observe early — and a blocking sleep here would starve that very
+    continuation.  Yield to the loop instead.
+    """
+    deadline = time.perf_counter() + settle_s
+    rows = _wire_symmetry_snapshot(transport, client_names)
+    while not _rows_balanced(rows) and time.perf_counter() < deadline:
+        await asyncio.sleep(0.001)
+        rows = _wire_symmetry_snapshot(transport, client_names)
+    return rows
 
 
 def run_load_point(
@@ -232,11 +367,19 @@ def run_load_point(
         for t in threads:
             t.join()
         elapsed = time.perf_counter() - t0
+        extra_ledger = (
+            _wire_symmetry_rows(tcp, [c.name for c in clients])
+            if tcp is not None
+            else None
+        )
     finally:
         if tcp is not None:
             tcp.close()
 
-    return _aggregate(system, transport, workers, duration_s, elapsed, tallies)
+    return _aggregate(
+        system, transport, workers, duration_s, elapsed, tallies,
+        extra_ledger=extra_ledger,
+    )
 
 
 def _aggregate(
@@ -246,6 +389,10 @@ def _aggregate(
     duration_s: float,
     elapsed_s: float,
     tallies: list[WorkerTally],
+    *,
+    extra_ledger: Optional[dict] = None,
+    mode: str = "threads",
+    pool_workers: int = 0,
 ) -> LoadPoint:
     registry = system.telemetry.registry
     sessions = sum(t.sessions for t in tallies)
@@ -280,6 +427,8 @@ def _aggregate(
             ctr("client.app_request_bytes") + ctr("client.app_response_bytes"),
         ),
     }
+    if extra_ledger:
+        ledger.update(extra_ledger)
     reconciled = errors == 0 and all(a == b for a, b in ledger.values())
 
     return LoadPoint(
@@ -297,6 +446,8 @@ def _aggregate(
         per_worker=tallies,
         ledger=ledger,
         reconciled=reconciled,
+        mode=mode,
+        pool_workers=pool_workers,
     )
 
 
@@ -327,4 +478,116 @@ def run_load_sweep(
             w, duration_s, transport=transport, rtt_ms=rtt_ms, corpus=corpus
         )
         for w in sweep_worker_counts(max_workers)
+    ]
+
+
+# -- async mode ----------------------------------------------------------------
+
+
+def run_async_load_point(
+    workers: int,
+    duration_s: float = DEFAULT_DURATION_S,
+    *,
+    pool_workers: int = 0,
+    rtt_ms: float = DEFAULT_RTT_MS,
+    corpus: Optional[Corpus] = None,
+) -> LoadPoint:
+    """Drive ``workers`` concurrent client *tasks* on one event loop.
+
+    The serving side is the asyncio TCP transport; the application
+    server's kernel work goes to a :class:`~repro.core.kernelpool
+    .KernelPool` with ``pool_workers`` processes (0 = inline on the
+    loop, the scaling baseline).  Same closed-loop schedule, same
+    6-way ledger as the threaded harness, plus the on-wire symmetry
+    rows — counters are shared between the sync and async paths, so
+    reconciliation is apples-to-apples.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if pool_workers < 0:
+        raise ValueError(f"pool_workers must be >= 0, got {pool_workers}")
+    return asyncio.run(
+        _async_load_point(workers, duration_s, pool_workers, rtt_ms, corpus)
+    )
+
+
+async def _async_load_point(
+    workers: int,
+    duration_s: float,
+    pool_workers: int,
+    rtt_ms: float,
+    corpus: Optional[Corpus],
+) -> LoadPoint:
+    from ..core.asyncclient import AsyncFractalClient
+    from ..core.kernelpool import KernelPool
+    from ..core.system import bind_async_endpoints
+    from ..simnet.asyncnet import AsyncTcpTransport
+
+    system = _build_load_system(corpus)
+    app_id = system.appserver.app_id
+    # Pool startup (spawn + warm-up pings) happens before the timed
+    # window so the scaling numbers measure serving, not process boot.
+    pool = KernelPool(workers=pool_workers)
+    try:
+        async with AsyncTcpTransport() as net:
+            await bind_async_endpoints(system, net, kernel_pool=pool)
+            wire = AsyncLatencyTransport(net, rtt_ms / 1000.0)
+            clients = [
+                system.make_client(
+                    PAPER_ENVIRONMENTS[i % len(PAPER_ENVIRONMENTS)],
+                    name=f"load-w{i:02d}",
+                    transport=wire,
+                    client_cls=AsyncFractalClient,
+                )
+                for i in range(workers)
+            ]
+            tallies = [WorkerTally(worker=i) for i in range(workers)]
+            start = asyncio.Event()
+            tasks = [
+                asyncio.create_task(
+                    _async_worker_loop(
+                        client, app_id, system.corpus, duration_s, start, tally
+                    )
+                )
+                for client, tally in zip(clients, tallies)
+            ]
+            t0 = time.perf_counter()
+            start.set()
+            await asyncio.gather(*tasks)
+            elapsed = time.perf_counter() - t0
+            extra_ledger = await _wire_symmetry_rows_async(
+                net, [c.name for c in clients]
+            )
+    finally:
+        pool.close()
+        system.appserver.kernel_pool = None
+    return _aggregate(
+        system, "async", workers, duration_s, elapsed, tallies,
+        extra_ledger=extra_ledger, mode="async", pool_workers=pool_workers,
+    )
+
+
+def run_async_pool_sweep(
+    max_pool_workers: int = 4,
+    workers: int = 8,
+    duration_s: float = DEFAULT_DURATION_S,
+    *,
+    rtt_ms: float = DEFAULT_RTT_MS,
+) -> list[LoadPoint]:
+    """The pool scaling curve: 0 (inline), 1, 2, ... pool processes.
+
+    ``workers`` concurrent client tasks stay fixed; only the kernel
+    pool grows.  Point 0 is the event-loop-only baseline every speedup
+    is quoted against.  Scaling beyond 1× needs real CPUs — on a
+    single-core host the curve is flat and says so honestly.
+    """
+    corpus = Corpus(**LOAD_CORPUS_KWARGS)
+    counts = [0]
+    if max_pool_workers >= 1:
+        counts.extend(sweep_worker_counts(max_pool_workers))
+    return [
+        run_async_load_point(
+            workers, duration_s, pool_workers=pw, rtt_ms=rtt_ms, corpus=corpus
+        )
+        for pw in counts
     ]

@@ -284,27 +284,51 @@ def run_load(
     duration_s: float = 2.0,
     transport: str = "simnet",
     rtt_ms: float = 4.0,
+    mode: str = "threads",
+    pool_workers: int = 4,
     json_sink: dict | None = None,
 ) -> str:
-    """Closed-loop concurrent load sweep: 1..N workers on one shared system."""
-    from .load import run_load_sweep
+    """Closed-loop load sweep on one shared system.
 
-    points = run_load_sweep(
-        workers, duration_s, transport=transport, rtt_ms=rtt_ms
-    )
+    ``mode="threads"`` sweeps worker-thread counts 1..N over the chosen
+    transport (the original harness).  ``mode="async"`` keeps ``workers``
+    client tasks fixed on one asyncio event loop and sweeps the **kernel
+    pool** instead: 0 (inline baseline), 1, 2, ... ``pool_workers``
+    processes — the scaling curve that shows kernel offload paying for
+    itself once real CPUs exist.
+    """
+    import os
+
+    from .load import run_async_pool_sweep, run_load_sweep
+
+    if mode == "async":
+        points = run_async_pool_sweep(
+            pool_workers, workers, duration_s, rtt_ms=rtt_ms
+        )
+        sweep_label, sweep_attr = "pool", "pool_workers"
+    else:
+        points = run_load_sweep(
+            workers, duration_s, transport=transport, rtt_ms=rtt_ms
+        )
+        sweep_label, sweep_attr = "workers", "workers"
     base = points[0]
     if json_sink is not None:
         json_sink["load"] = {
-            "transport": transport,
+            "mode": mode,
+            "transport": points[0].transport,
             "duration_s": duration_s,
             "rtt_ms": rtt_ms,
+            # Pool speedups are bounded by physical cores; record the
+            # host so a flat curve on a 1-CPU box reads as expected.
+            "host_cpus": os.cpu_count(),
             "points": [
                 {
                     "workers": p.workers,
+                    "pool_workers": p.pool_workers,
                     "sessions": p.sessions,
                     "errors": p.errors,
                     "throughput_rps": round(p.throughput_rps, 3),
-                    "speedup_vs_1": round(p.speedup_vs(base), 3),
+                    "speedup_vs_base": round(p.speedup_vs(base), 3),
                     "p50_negotiation_s": p.p50_negotiation_s,
                     "p95_negotiation_s": p.p95_negotiation_s,
                     "p99_negotiation_s": p.p99_negotiation_s,
@@ -318,7 +342,7 @@ def run_load(
     for p in points:
         rows.append(
             [
-                p.workers,
+                getattr(p, sweep_attr),
                 p.sessions,
                 p.errors,
                 f"{p.throughput_rps:.1f}",
@@ -330,18 +354,29 @@ def run_load(
                 "exact" if p.reconciled else "MISMATCH",
             ]
         )
+    if mode == "async":
+        title = (
+            f"Load: {workers} async client tasks, kernel-pool scaling "
+            f"({duration_s:.1f}s/point, {rtt_ms:.0f}ms emulated RTT, "
+            f"{os.cpu_count()} host CPUs)"
+        )
+    else:
+        title = (
+            f"Load: closed-loop workers vs one shared proxy+CDN+appserver "
+            f"({transport}, {duration_s:.1f}s/point, {rtt_ms:.0f}ms emulated RTT)"
+        )
     table = render_table(
-        f"Load: closed-loop workers vs one shared proxy+CDN+appserver "
-        f"({transport}, {duration_s:.1f}s/point, {rtt_ms:.0f}ms emulated RTT)",
-        ["workers", "sessions", "errors", "rps", "speedup",
+        title,
+        [sweep_label, "sessions", "errors", "rps", "speedup",
          "p50 ms", "p95 ms", "p99 ms", "hit ratio", "ledger"],
         rows,
     )
     last = points[-1]
     summary = (
-        f"{last.workers} workers: {last.sessions} sessions, "
+        f"{getattr(last, sweep_attr)} {sweep_label}: {last.sessions} sessions, "
         f"{last.errors} errors, {last.speedup_vs(base):.2f}x throughput of "
-        f"1 worker, ledger {'reconciled exactly' if last.reconciled else 'MISMATCH'}"
+        f"baseline, ledger "
+        f"{'reconciled exactly' if last.reconciled else 'MISMATCH'}"
     )
     return f"{table}\n\n{summary}"
 
@@ -372,6 +407,15 @@ def main(argv=None) -> int:
     load_group.add_argument(
         "--rtt-ms", type=float, default=4.0,
         help="emulated WAN round-trip per request in ms (default 4)",
+    )
+    load_group.add_argument(
+        "--mode", choices=("threads", "async"), default="threads",
+        help="threads: sweep worker threads; async: fixed client tasks "
+             "on one event loop, sweep kernel-pool processes",
+    )
+    load_group.add_argument(
+        "--pool-workers", type=int, default=4,
+        help="max kernel-pool processes for --mode async (default 4)",
     )
     kern_group = parser.add_argument_group("kernels", "options for `kernels`")
     kern_group.add_argument(
@@ -404,7 +448,7 @@ def main(argv=None) -> int:
             "chaos": run_chaos,
             "load": lambda: run_load(
                 args.workers, args.duration, args.transport, args.rtt_ms,
-                json_sink=json_sink,
+                args.mode, args.pool_workers, json_sink=json_sink,
             ),
             "kernels": lambda: run_kernels(args.quick, json_sink=json_sink),
         }[name]

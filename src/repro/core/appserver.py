@@ -34,12 +34,17 @@ from ..workload.pages import Corpus
 from . import inp
 from .errors import NegotiationError, ProtocolMismatchError
 from .inp import INPMessage, MsgType
+from .kernelpool import KernelPool, StackSpec, stack_spec
 from .metadata import AppMeta, PADMeta, PADOverhead
 from .proxy import AdaptationProxy
 
 __all__ = ["ApplicationServer", "ServerStats", "pad_url", "url_key"]
 
 _URL_SCHEME = "cdn://"
+
+# Degenerate pool for servers with no kernel_pool attached: kernels run
+# inline (on the calling thread / event loop), byte-identically.
+_INLINE_POOL = KernelPool(workers=0)
 
 
 def pad_url(pad_id: str, version: str) -> str:
@@ -98,12 +103,16 @@ class ApplicationServer:
         *,
         proactive: bool = False,
         telemetry: Optional[Telemetry] = None,
+        kernel_pool: Optional[KernelPool] = None,
     ):
         self.app_id = app_id
         self.corpus = corpus
         self.signer = signer
         self.proactive = proactive
         self.telemetry = telemetry or Telemetry()
+        # Only the async serving path consults the pool; None means the
+        # inline fallback (kernels run on the event loop).
+        self.kernel_pool = kernel_pool
         self.stats = ServerStats(self.telemetry.registry)
         self._protocols: dict[str, CommProtocol] = {}
         self._pad_meta: dict[str, PADMeta] = {}
@@ -248,10 +257,10 @@ class ApplicationServer:
         req_hash = hashlib.sha1(request).hexdigest() if request else ""
         return (tuple(pad_ids), page_id, old_version, new_version, part_idx, req_hash)
 
-    def serve_app_request(self, body: dict) -> dict:
-        """The server half of an APP_REQ: encode every requested part."""
-        registry = self.telemetry.registry
-        registry.counter("appserver.requests").inc()
+    def _parse_app_req(self, body: dict) -> tuple:
+        """Validate an APP_REQ body; returns the decoded request fields
+        plus the old/new page parts.  Shared by the sync and async
+        serving paths so both enforce identical wire discipline."""
         pad_ids = body.get("pad_ids")
         page_id = body.get("page_id")
         old_version = body.get("old_version", -1)
@@ -264,7 +273,6 @@ class ApplicationServer:
             or not isinstance(part_requests, list)
         ):
             raise ProtocolMismatchError("malformed APP_REQ body")
-        stack = self._stack_for(pad_ids)
         has_old = isinstance(old_version, int) and old_version >= 0
         old_parts = self._page_parts(page_id, old_version) if has_old else None
         new_parts = self._page_parts(page_id, new_version)
@@ -273,6 +281,22 @@ class ApplicationServer:
                 f"client sent {len(part_requests)} part requests, page has "
                 f"{len(new_parts)} parts"
             )
+        return pad_ids, page_id, old_version, new_version, part_requests, old_parts, new_parts
+
+    def serve_app_request(self, body: dict) -> dict:
+        """The server half of an APP_REQ: encode every requested part."""
+        registry = self.telemetry.registry
+        registry.counter("appserver.requests").inc()
+        (
+            pad_ids,
+            page_id,
+            old_version,
+            new_version,
+            part_requests,
+            old_parts,
+            new_parts,
+        ) = self._parse_app_req(body)
+        stack = self._stack_for(pad_ids)
         responses = []
         with self.telemetry.tracer.span("server.encode", app=self.app_id):
             for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
@@ -306,6 +330,83 @@ class ApplicationServer:
             "part_responses": responses,
         }
 
+    # -- async serving path ------------------------------------------------------
+
+    def _stack_spec_for(self, pad_ids: list[str]) -> StackSpec:
+        """The declarative (picklable) spec a kernel-pool worker needs to
+        rebuild this stack — mirrors :meth:`_stack_for`'s lookup rules."""
+        pads = []
+        for pid in pad_ids:
+            meta = self._pad_meta.get(pid)
+            if meta is None or pid not in self._protocols:
+                raise ProtocolMismatchError(
+                    f"client negotiated PAD {pid!r} which is not deployed here"
+                )
+            pads.append((meta.resolved_id, dict(meta.init_kwargs)))
+        return stack_spec(pads)
+
+    async def serve_app_request_async(
+        self, body: dict, *, shard_key: Optional[str] = None
+    ) -> dict:
+        """The APP_REQ server half without blocking the event loop.
+
+        Semantics and counters match :meth:`serve_app_request` exactly —
+        same cache keys, same response bytes — but each encode runs on
+        the kernel pool (``shard_key``, typically the INP session id,
+        pins a session to one worker process).  With no pool attached the
+        kernels run inline on the loop, the documented ``workers=0``
+        fallback.  Tracer spans are deliberately absent: span stacks are
+        thread-local and interleaved tasks on one loop would corrupt
+        them; the counters carry the ledger instead.
+        """
+        registry = self.telemetry.registry
+        registry.counter("appserver.requests").inc()
+        (
+            pad_ids,
+            page_id,
+            old_version,
+            new_version,
+            part_requests,
+            old_parts,
+            new_parts,
+        ) = self._parse_app_req(body)
+        spec = self._stack_spec_for(pad_ids)
+        pool = self.kernel_pool if self.kernel_pool is not None else _INLINE_POOL
+        responses = []
+        for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
+            request = inp.b64d(req_b64)
+            registry.counter("appserver.bytes_in").inc(len(request))
+            old = (
+                old_parts[part_idx]
+                if old_parts and part_idx < len(old_parts)
+                else None
+            )
+            key = self._cache_key(pad_ids, page_id, old_version, new_version,
+                                  part_idx, request)
+            with self._cache_lock:
+                cached = self._response_cache.get(key)
+            if cached is not None:
+                registry.counter("appserver.precompute_hits").inc()
+                response = cached
+            else:
+                with registry.timer("appserver.encode_seconds"):
+                    response = await pool.run_async(
+                        "stack.respond", spec, request, old, new,
+                        shard_key=shard_key,
+                    )
+                if self.proactive:
+                    with self._cache_lock:
+                        self._response_cache[key] = response
+            registry.counter("appserver.parts_encoded").inc()
+            registry.counter("appserver.bytes_out").inc(len(response))
+            responses.append(inp.b64e(response))
+        return {
+            "page_id": page_id,
+            "new_version": new_version,
+            "pad_ids": pad_ids,
+            "part_responses": responses,
+        }
+
     # -- INP transport handler ---------------------------------------------------
 
     def handle(self, request: bytes) -> bytes:
@@ -320,6 +421,27 @@ class ApplicationServer:
             )
         try:
             body = self.serve_app_request(msg.body)
+        except (ProtocolMismatchError, NegotiationError, IndexError, ValueError) as exc:
+            return inp.encode(inp.error_reply(msg, str(exc)))
+        return inp.encode(msg.reply(MsgType.APP_REP, body))
+
+    async def handle_async(self, request: bytes) -> bytes:
+        """INP handler for the asyncio transport (bind directly)."""
+        try:
+            msg = inp.decode(request)
+        except Exception as exc:
+            err = INPMessage(MsgType.INP_ERROR, "unknown", 0, {"error": str(exc)})
+            return inp.encode(err)
+        if msg.msg_type is not MsgType.APP_REQ:
+            return inp.encode(
+                inp.error_reply(msg, f"appserver cannot handle {msg.msg_type.value}")
+            )
+        try:
+            # The session id shards this session's kernel work onto one
+            # worker process (stable placement, warm stack cache there).
+            body = await self.serve_app_request_async(
+                msg.body, shard_key=msg.session_id
+            )
         except (ProtocolMismatchError, NegotiationError, IndexError, ValueError) as exc:
             return inp.encode(inp.error_reply(msg, str(exc)))
         return inp.encode(msg.reply(MsgType.APP_REP, body))

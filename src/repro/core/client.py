@@ -46,7 +46,7 @@ from .inp import INPMessage, MsgType
 from .metadata import DevMeta, NtwkMeta, PADMeta
 from .retry import RetryPolicy
 
-__all__ = ["FractalClient", "SessionResult", "NegotiationOutcome"]
+__all__ = ["FractalClient", "SessionResult", "NegotiationOutcome", "check_reply"]
 
 DEGRADED_PAD_ID = "direct"
 
@@ -61,6 +61,25 @@ _session_counter = itertools.count(1)
 
 Transport = Callable[[str, str, bytes], bytes]  # (src, dst, payload) -> reply
 CdnFetch = Callable[[str], bytes]  # object key -> blob
+
+
+def check_reply(request: INPMessage, reply: INPMessage) -> INPMessage:
+    """INP header integrity (Fig. 4): a reply must stay in our session
+    and advance the sequence number.  Error packets from handlers that
+    never saw a valid header are exempt.  Shared by the sync and async
+    clients so both enforce identical wire discipline.
+    """
+    if reply.msg_type is not MsgType.INP_ERROR:
+        if reply.session_id != request.session_id:
+            raise ProtocolMismatchError(
+                f"reply session {reply.session_id!r} does not match "
+                f"request session {request.session_id!r}"
+            )
+        if reply.seq != request.seq + 1:
+            raise ProtocolMismatchError(
+                f"reply seq {reply.seq} is not request seq {request.seq} + 1"
+            )
+    return reply
 
 
 @dataclass
@@ -174,21 +193,7 @@ class FractalClient:
 
     def _rpc(self, dst: str, msg: INPMessage) -> INPMessage:
         reply_bytes = self._transport.request(self.name, dst, inp.encode(msg))
-        reply = inp.decode(reply_bytes)
-        # INP header integrity (Fig. 4): a reply must stay in our session
-        # and advance the sequence number.  Error packets from handlers
-        # that never saw a valid header are exempt.
-        if reply.msg_type is not MsgType.INP_ERROR:
-            if reply.session_id != msg.session_id:
-                raise ProtocolMismatchError(
-                    f"reply session {reply.session_id!r} does not match "
-                    f"request session {msg.session_id!r}"
-                )
-            if reply.seq != msg.seq + 1:
-                raise ProtocolMismatchError(
-                    f"reply seq {reply.seq} is not request seq {msg.seq} + 1"
-                )
-        return reply
+        return check_reply(msg, inp.decode(reply_bytes))
 
     def _count_retry(self, stage: str) -> None:
         registry = self.telemetry.registry

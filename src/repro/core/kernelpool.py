@@ -1,0 +1,249 @@
+"""Multiprocess kernel pool: CPU-bound data-plane work off the event loop.
+
+The fused kernels (gziplike compress, CDC boundary scan, delta /
+vary-blocking encode) are pure Python and hold the GIL for their whole
+runtime, so an asyncio serving core — or the threaded load harness —
+gains nothing from concurrency while a kernel runs.  This facade ships
+kernel invocations to a pool of **worker processes** instead:
+
+* ``KernelPool(workers=0)`` (the default) executes every kernel inline
+  in the calling thread.  All existing synchronous callers and tests go
+  through this path and are byte-for-byte untouched.
+* ``KernelPool(workers=N)`` builds **N single-worker
+  ``ProcessPoolExecutor`` shards**.  Tasks carry a ``shard_key``
+  (typically the session id); the key is stably hashed (CRC32, not the
+  salted builtin ``hash``) to pick a shard, so one session's kernel work
+  always lands on the same worker process — per-session ordering is
+  preserved and the worker-side protocol-stack cache stays hot for that
+  session's PAD configuration.
+
+Kernels are registered by name and executed via :func:`run_kernel`,
+which is also the (picklable, module-level) entry point the worker
+processes call.  Worker processes instantiate protocol stacks from a
+declarative *spec* — ``((pad_id, ((kwarg, value), ...)), ...)`` — and
+memoize them per process, so only small argument tuples cross the
+process boundary, never live protocol objects.
+
+Determinism: a kernel must produce byte-identical output whether it ran
+inline or in any worker (the golden-wire-vector tests enforce this), so
+pool placement can never change what goes on the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = [
+    "KernelPool",
+    "KernelPoolError",
+    "run_kernel",
+    "stack_spec",
+    "KERNELS",
+]
+
+# ((pad_id, ((kwarg_name, value), ...)), ...) — hashable and picklable.
+StackSpec = tuple
+
+
+class KernelPoolError(Exception):
+    """Raised for misconfigured pools or unknown kernels."""
+
+
+def stack_spec(pads: list[tuple[str, dict]]) -> StackSpec:
+    """Build the declarative spec for a protocol stack.
+
+    ``pads`` is ``[(pad_id, init_kwargs), ...]`` in stack order; kwargs
+    are sorted by name so equal configurations produce equal specs.
+    """
+    return tuple(
+        (pad_id, tuple(sorted(kwargs.items()))) for pad_id, kwargs in pads
+    )
+
+
+# -- worker-side execution -----------------------------------------------------
+
+# Per-process memo of instantiated protocol stacks, keyed by spec.  Lives
+# at module level so every task a worker runs for the same PAD
+# configuration reuses one instance (protocols are stateless per
+# exchange; the sync serving path already shares instances across
+# threads the same way).
+_STACKS: dict[StackSpec, Any] = {}
+
+
+def _stack_for_spec(spec: StackSpec):
+    stack = _STACKS.get(spec)
+    if stack is None:
+        from ..protocols import instantiate
+        from ..protocols.stack import ProtocolStack
+
+        protocols = [instantiate(pad_id, **dict(kwargs)) for pad_id, kwargs in spec]
+        stack = protocols[0] if len(protocols) == 1 else ProtocolStack(protocols)
+        _STACKS[spec] = stack
+    return stack
+
+
+def _k_ping() -> bytes:
+    """No-op kernel used to warm worker processes."""
+    return b"pong"
+
+
+def _k_stack_respond(
+    spec: StackSpec, request: bytes, old: Optional[bytes], new: bytes
+) -> bytes:
+    """The server half of one part exchange through a protocol stack."""
+    return _stack_for_spec(spec).server_respond(request, old, new)
+
+
+def _k_gziplike_compress(
+    data: bytes, backend: str = "pure", max_chain: int = 64
+) -> bytes:
+    from ..compression import compress
+
+    return compress(data, backend=backend, max_chain=max_chain)
+
+
+def _k_cdc_boundaries(
+    data: bytes, mask_bits: int = 10, window: int = 48
+) -> list[tuple[int, int]]:
+    from ..chunking import ContentDefinedChunker
+
+    chunker = ContentDefinedChunker(mask_bits=mask_bits, window=window)
+    return [(c.offset, c.length) for c in chunker.chunk(data)]
+
+
+def _k_vary_encode(
+    old: Optional[bytes], new: bytes, mask_bits: int = 10, window: int = 48
+) -> bytes:
+    spec = stack_spec([("vary", {"mask_bits": mask_bits, "window": window})])
+    return _k_stack_respond(spec, b"", old, new)
+
+
+KERNELS = {
+    "ping": _k_ping,
+    "stack.respond": _k_stack_respond,
+    "gziplike.compress": _k_gziplike_compress,
+    "cdc.boundaries": _k_cdc_boundaries,
+    "vary.encode": _k_vary_encode,
+}
+
+
+def run_kernel(task: str, *args: Any) -> Any:
+    """Execute one registered kernel (in this process)."""
+    fn = KERNELS.get(task)
+    if fn is None:
+        raise KernelPoolError(f"unknown kernel {task!r}")
+    return fn(*args)
+
+
+def _ensure_child_import_path() -> None:
+    """Make ``repro`` importable in spawned children.
+
+    ``spawn`` children re-import :mod:`repro.core.kernelpool` from
+    scratch; if the parent found the package through ``sys.path`` alone
+    (no install, no ``PYTHONPATH``), the child would fail.  Prepending
+    the package root to ``PYTHONPATH`` (inherited via ``os.environ``)
+    makes pool creation work however the parent was launched.
+    """
+    pkg_root = str(Path(__file__).resolve().parents[2])
+    existing = os.environ.get("PYTHONPATH", "")
+    if pkg_root not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            pkg_root + (os.pathsep + existing if existing else "")
+        )
+
+
+class KernelPool:
+    """Sharded process pool with an inline fallback.
+
+    ``workers=0`` executes kernels inline (synchronously in the caller,
+    or on the event loop for :meth:`run_async`) — the degenerate pool
+    every existing synchronous caller gets.  ``workers=N`` creates N
+    single-worker executor shards; ``shard_key`` pins related work to
+    one worker process.
+
+    ``mp_context`` defaults to ``"spawn"``: fork would be faster to
+    start but is unsafe from a process that already runs threads (the
+    serving stack always does), and spawn behaves identically across
+    platforms.  Startup cost is paid once, in :meth:`warm`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        mp_context: str = "spawn",
+        warm: bool = True,
+    ) -> None:
+        if workers < 0:
+            raise KernelPoolError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self._rr = itertools.count()
+        self._shards: list[ProcessPoolExecutor] = []
+        if workers:
+            _ensure_child_import_path()
+            ctx = multiprocessing.get_context(mp_context)
+            self._shards = [
+                ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+                for _ in range(workers)
+            ]
+            if warm:
+                self.warm()
+
+    @property
+    def inline(self) -> bool:
+        return not self._shards
+
+    def warm(self) -> None:
+        """Spin every worker process up now, not on the first request."""
+        for fut in [shard.submit(run_kernel, "ping") for shard in self._shards]:
+            fut.result()
+
+    def shard_index(self, key: Any) -> int:
+        """Stable shard for ``key`` (CRC32; independent of hash seed)."""
+        if not self._shards:
+            return 0
+        raw = key if isinstance(key, bytes) else str(key).encode("utf-8")
+        return zlib.crc32(raw) % len(self._shards)
+
+    def _shard(self, key: Optional[Any]) -> ProcessPoolExecutor:
+        if key is None:
+            return self._shards[next(self._rr) % len(self._shards)]
+        return self._shards[self.shard_index(key)]
+
+    def run(self, task: str, *args: Any, shard_key: Optional[Any] = None) -> Any:
+        """Execute a kernel synchronously (inline or on its shard)."""
+        if not self._shards:
+            return run_kernel(task, *args)
+        return self._shard(shard_key).submit(run_kernel, task, *args).result()
+
+    async def run_async(
+        self, task: str, *args: Any, shard_key: Optional[Any] = None
+    ) -> Any:
+        """Execute a kernel without blocking the event loop.
+
+        With ``workers=0`` this runs inline *on the loop* — the
+        documented fallback, correct but serializing — which is exactly
+        what the pool-scaling benchmark uses as its baseline.
+        """
+        if not self._shards:
+            return run_kernel(task, *args)
+        future = self._shard(shard_key).submit(run_kernel, task, *args)
+        return await asyncio.wrap_future(future)
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.shutdown(wait=True, cancel_futures=True)
+        self._shards = []
+
+    def __enter__(self) -> "KernelPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -28,7 +28,12 @@ from .overhead import OverheadModel, paper_case_study_matrices
 from .proxy import AdaptationProxy
 from .retry import RetryPolicy
 
-__all__ = ["CaseStudySystem", "build_case_study", "case_study_app_meta_pads"]
+__all__ = [
+    "CaseStudySystem",
+    "bind_async_endpoints",
+    "build_case_study",
+    "case_study_app_meta_pads",
+]
 
 APP_ID = "medical-web"
 PROXY_ENDPOINT = "proxy"
@@ -84,6 +89,7 @@ class CaseStudySystem:
         degrade_to_direct: bool = False,
         failover_fetch: bool = False,
         transport: Optional[object] = None,
+        client_cls: type = FractalClient,
     ) -> FractalClient:
         """A new client host at ``site`` (defaults round-robin over sites).
 
@@ -99,7 +105,10 @@ class CaseStudySystem:
         ``transport`` overrides the system's in-process transport for
         this client — the load harness uses it to route sessions over
         real TCP or through a latency-emulating wrapper while the same
-        proxy/appserver/CDN instances stay shared.
+        proxy/appserver/CDN instances stay shared.  ``client_cls``
+        selects the client implementation (the async load path passes
+        :class:`~repro.core.asyncclient.AsyncFractalClient` together
+        with an asyncio transport).
         """
         sites = self.deployment.client_sites
         if site is None:
@@ -119,7 +128,7 @@ class CaseStudySystem:
                 blob, _edge = redirector.fetch(_site, key)
                 return blob
 
-        client = FractalClient(
+        client = client_cls(
             name,
             environment,
             transport=transport if transport is not None else self.transport,
@@ -133,6 +142,24 @@ class CaseStudySystem:
         )
         self.clients.append(client)
         return client
+
+
+async def bind_async_endpoints(
+    system: CaseStudySystem, transport, *, kernel_pool=None
+) -> None:
+    """Serve an existing case-study system over an asyncio transport.
+
+    The proxy handler is synchronous and cheap (pure negotiation logic),
+    so it binds as-is; the application server binds its coroutine
+    handler, optionally dispatching kernel work to ``kernel_pool``
+    (sharded by INP session id).  The in-process bindings from
+    :func:`build_case_study` stay live — the async transport serves the
+    same proxy/appserver instances to async clients.
+    """
+    if kernel_pool is not None:
+        system.appserver.kernel_pool = kernel_pool
+    await transport.bind(PROXY_ENDPOINT, system.proxy.handle)
+    await transport.bind(APPSERVER_ENDPOINT, system.appserver.handle_async)
 
 
 def build_case_study(

@@ -6,6 +6,15 @@ Frames are ``[4-byte big-endian length][payload]``.  One server thread per
 endpoint; requests are served sequentially per connection, which is all the
 integration tests need.
 
+Byte accounting convention (ledger truth): every meter on this transport
+counts **on-wire frame sizes** — the 4-byte length header plus the payload
+(for responses the payload includes the 1-byte status prefix) — and records
+a frame only *after* it was successfully sent or fully received.  A refused
+or timed-out connection therefore counts nothing, and the client-side
+meters reconcile exactly against the endpoint-side meters: client
+``bytes_sent`` == endpoint ``bytes_received`` and vice versa.  The load
+harness asserts this symmetry in its ledger.
+
 This module deliberately has no dependency on the rest of the package: it
 moves bytes, nothing more.
 """
@@ -15,6 +24,7 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 from typing import Callable, Optional
 
 from .transport import TrafficMeter, TransportError
@@ -65,10 +75,13 @@ class TcpEndpoint:
         *,
         idle_timeout_s: float = 5.0,
     ):
+        if idle_timeout_s <= 0:
+            raise ValueError(f"idle_timeout_s must be positive, got {idle_timeout_s}")
         self.name = name
         self.handler = handler
         self.idle_timeout_s = idle_timeout_s
         self.meter = TrafficMeter()
+        self._workers: list[threading.Thread] = []
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind(("127.0.0.1", 0))
@@ -84,8 +97,12 @@ class TcpEndpoint:
         self._thread.start()
 
     def _serve(self) -> None:
-        workers: list[threading.Thread] = []
+        # Reap finished workers on every accept-loop iteration (including
+        # idle timeouts): a long-lived endpoint serving many short-lived
+        # connections would otherwise grow the worker list without bound
+        # and pay an O(connections-ever) join at close.
         while not self._stop.is_set():
+            self._workers = [w for w in self._workers if w.is_alive()]
             try:
                 conn, _addr = self._server.accept()
             except socket.timeout:
@@ -96,9 +113,18 @@ class TcpEndpoint:
                 target=self._serve_conn, args=(conn,), daemon=True
             )
             worker.start()
-            workers.append(worker)
-        for w in workers:
-            w.join(timeout=1.0)
+            self._workers.append(worker)
+        # Bounded shutdown: only still-live workers remain, and the total
+        # join budget is capped rather than 1s per thread.
+        deadline = time.monotonic() + 1.0
+        for w in self._workers:
+            w.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._workers = [w for w in self._workers if w.is_alive()]
+
+    @property
+    def worker_count(self) -> int:
+        """Connection-worker threads not yet reaped (bounded under load)."""
+        return len(self._workers)
 
     def _serve_conn(self, conn: socket.socket) -> None:
         with conn:
@@ -108,18 +134,18 @@ class TcpEndpoint:
                     request = recv_frame(conn)
                 except (TransportError, socket.timeout, OSError):
                     return
-                self.meter.record_receive(len(request))
+                self.meter.record_receive(_LEN.size + len(request))
                 try:
                     response = self.handler(request)
                 except Exception as exc:  # noqa: BLE001 - report to caller
                     response = b"\x00ERR " + str(exc).encode("utf-8", "replace")
                 else:
                     response = b"\x01" + response
-                self.meter.record_send(len(response))
                 try:
                     send_frame(conn, response)
                 except OSError:
                     return
+                self.meter.record_send(_LEN.size + len(response))
 
     def close(self) -> None:
         self._stop.set()
@@ -139,7 +165,10 @@ class TcpTransport:
     ``connect_timeout_s`` bounds connection establishment and
     ``request_timeout_s`` bounds each send/receive once connected; a dead
     or wedged endpoint surfaces as :class:`TransportError` instead of
-    hanging the caller forever.
+    hanging the caller forever.  ``idle_timeout_s`` is how long a bound
+    endpoint's worker waits for the next frame on an open connection; it
+    defaults to ``request_timeout_s`` so a transport configured for slow
+    requests does not have its server side hang up early.
     """
 
     def __init__(
@@ -147,11 +176,17 @@ class TcpTransport:
         *,
         connect_timeout_s: float = 5.0,
         request_timeout_s: float = 5.0,
+        idle_timeout_s: Optional[float] = None,
     ) -> None:
         if connect_timeout_s <= 0 or request_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
         self.connect_timeout_s = connect_timeout_s
         self.request_timeout_s = request_timeout_s
+        self.idle_timeout_s = (
+            idle_timeout_s if idle_timeout_s is not None else request_timeout_s
+        )
         self._endpoints: dict[str, TcpEndpoint] = {}
         self.meters: dict[str, TrafficMeter] = {}
         self._lock = threading.Lock()
@@ -160,7 +195,9 @@ class TcpTransport:
         with self._lock:
             if endpoint in self._endpoints:
                 raise TransportError(f"endpoint already bound: {endpoint!r}")
-            self._endpoints[endpoint] = TcpEndpoint(endpoint, handler)
+            self._endpoints[endpoint] = TcpEndpoint(
+                endpoint, handler, idle_timeout_s=self.idle_timeout_s
+            )
             self.meters.setdefault(endpoint, TrafficMeter())
 
     def unbind(self, endpoint: str) -> None:
@@ -177,18 +214,29 @@ class TcpTransport:
         with self._lock:
             return self.meters.setdefault(endpoint, TrafficMeter())
 
+    def endpoint_meter(self, endpoint: str) -> TrafficMeter:
+        """The server-side meter of a bound endpoint (ledger symmetry)."""
+        with self._lock:
+            ep = self._endpoints.get(endpoint)
+        if ep is None:
+            raise TransportError(f"no handler bound for endpoint {endpoint!r}")
+        return ep.meter
+
     def request(self, src: str, dst: str, payload: bytes) -> bytes:
         with self._lock:
             ep = self._endpoints.get(dst)
         if ep is None:
             raise TransportError(f"no handler bound for endpoint {dst!r}")
-        self.meter(src).record_send(len(payload))
+        meter = self.meter(src)
         try:
             with socket.create_connection(
                 ep.address, timeout=self.connect_timeout_s
             ) as sock:
                 sock.settimeout(self.request_timeout_s)
                 send_frame(sock, payload)
+                # Only a frame that actually went out counts: a refused or
+                # timed-out connection must leave the ledger untouched.
+                meter.record_send(_LEN.size + len(payload))
                 framed = recv_frame(sock)
         except socket.timeout as exc:
             raise TransportError(
@@ -198,10 +246,10 @@ class TcpTransport:
             raise TransportError(
                 f"connection to endpoint {dst!r} at {ep.address} failed: {exc}"
             ) from exc
+        meter.record_receive(_LEN.size + len(framed))
         if not framed:
             raise TransportError("empty response frame")
         status, body = framed[0], framed[1:]
-        self.meter(src).record_receive(len(framed))
         if status != 1:
             raise TransportError(body.decode("utf-8", "replace"))
         return body

@@ -5,9 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.load import (
+    AsyncLatencyTransport,
     LatencyTransport,
     LoadPoint,
     WorkerTally,
+    run_async_load_point,
     run_load_point,
     sweep_worker_counts,
 )
@@ -91,6 +93,76 @@ class TestRunLoadPoint:
         point = run_load_point(1, 0.2, rtt_ms=2.0)
         assert point.speedup_vs(point) == pytest.approx(1.0)
 
+    def test_tcp_point_has_exact_wire_symmetry(self):
+        """After the metering fix, client and endpoint byte meters must
+        mirror each other exactly over real TCP — the ledger carries the
+        symmetry rows and they must balance to the byte."""
+        point = run_load_point(2, 0.3, transport="tcp", rtt_ms=2.0)
+        assert point.errors == 0
+        wire_rows = [k for k in point.ledger if k.startswith("wire bytes")]
+        assert len(wire_rows) == 2
+        for name in wire_rows:
+            a, b = point.ledger[name]
+            assert a == b, name
+            assert a > 0, name
+        assert point.reconciled
+
+
+class TestAsyncLatencyTransport:
+    def test_delegates_and_returns_inner_response(self):
+        import asyncio
+
+        class _AsyncRecording:
+            def __init__(self):
+                self.calls = []
+
+            async def request(self, src, dst, payload):
+                self.calls.append((src, dst, payload))
+                return b"pong:" + payload
+
+        inner = _AsyncRecording()
+        wire = AsyncLatencyTransport(inner, 0.0)
+        assert asyncio.run(wire.request("a", "b", b"ping")) == b"pong:ping"
+        assert inner.calls == [("a", "b", b"ping")]
+
+    def test_rejects_negative_rtt(self):
+        with pytest.raises(ValueError):
+            AsyncLatencyTransport(object(), -1.0)
+
+
+class TestRunAsyncLoadPoint:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_async_load_point(0)
+        with pytest.raises(ValueError):
+            run_async_load_point(1, pool_workers=-1)
+
+    def test_inline_async_point_reconciles(self):
+        """4 client tasks on one loop, kernels inline: the same 6-way
+        ledger as the threaded harness plus exact wire symmetry."""
+        point = run_async_load_point(4, 0.3, pool_workers=0, rtt_ms=2.0)
+        assert point.mode == "async"
+        assert point.pool_workers == 0
+        assert point.errors == 0, point.per_worker[0].first_error
+        assert point.sessions > 0
+        assert point.reconciled
+        for name, (a, b) in point.ledger.items():
+            assert a == b, name
+        wire_rows = [k for k in point.ledger if k.startswith("wire bytes")]
+        assert len(wire_rows) == 2
+
+    def test_pooled_async_point_reconciles(self):
+        """Kernel work through spawned worker processes must leave every
+        ledger row — bytes included — exactly balanced: pool placement
+        can never change what goes on the wire."""
+        point = run_async_load_point(2, 0.3, pool_workers=1, rtt_ms=2.0)
+        assert point.pool_workers == 1
+        assert point.errors == 0, point.per_worker[0].first_error
+        assert point.sessions > 0
+        assert point.reconciled
+        for name, (a, b) in point.ledger.items():
+            assert a == b, name
+
 
 def test_cli_load_experiment(capsys):
     assert bench_main(["load", "--workers", "2", "--duration", "0.2"]) == 0
@@ -98,3 +170,25 @@ def test_cli_load_experiment(capsys):
     assert "Load: closed-loop workers" in out
     assert "ledger reconciled exactly" in out
     assert "MISMATCH" not in out
+
+
+def test_cli_async_load_experiment(capsys, tmp_path):
+    out_json = tmp_path / "load.json"
+    assert (
+        bench_main(
+            ["load", "--mode", "async", "--pool-workers", "0",
+             "--workers", "2", "--duration", "0.2",
+             "--json", str(out_json)]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "kernel-pool scaling" in out
+    assert "ledger reconciled exactly" in out
+    assert "MISMATCH" not in out
+    import json
+
+    payload = json.loads(out_json.read_text())
+    assert payload["load"]["mode"] == "async"
+    assert payload["load"]["host_cpus"] >= 1
+    assert all(p["reconciled"] for p in payload["load"]["points"])

@@ -1,0 +1,186 @@
+"""Kernel-pool tests: inline fallback, sharding, and byte identity.
+
+The load-bearing guarantee is that a kernel produces **byte-identical**
+output inline and in any worker process — pool placement must never
+change what goes on the wire.  The pooled tests here re-check the frozen
+golden SHA-1 vectors from ``tests/protocols/test_golden_wire.py`` through
+spawned worker processes.
+"""
+
+import asyncio
+import hashlib
+import random
+
+import pytest
+
+from repro.compression import gziplike
+from repro.core.kernelpool import (
+    KERNELS,
+    KernelPool,
+    KernelPoolError,
+    run_kernel,
+    stack_spec,
+)
+from repro.workload.pages import Corpus
+from tests.protocols.test_golden_wire import GZIPLIKE_GOLDEN, PAD_GOLDEN
+
+
+def _sha1(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def pages():
+    corpus = Corpus(text_bytes=2048, image_bytes=4096, images_per_page=2)
+    return (
+        corpus.evolved(0, 0).encode(),
+        corpus.evolved(0, 1).encode(),
+        corpus.evolved(1, 1).encode(),
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One spawned 2-shard pool shared by every pooled test (startup is
+    the expensive part, ~1s per spawn worker)."""
+    with KernelPool(workers=2) as p:
+        yield p
+
+
+class TestInlineFallback:
+    def test_workers_zero_is_inline(self):
+        p = KernelPool(workers=0)
+        assert p.inline
+        assert p.workers == 0
+
+    def test_inline_matches_direct_call(self):
+        data = b"the quick brown fox " * 100
+        p = KernelPool()
+        assert p.run("gziplike.compress", data) == gziplike.compress(
+            data, backend="pure"
+        )
+
+    def test_inline_run_async(self):
+        data = b"abcabcabc" * 50
+
+        async def main():
+            return await KernelPool().run_async("gziplike.compress", data)
+
+        assert asyncio.run(main()) == gziplike.compress(data, backend="pure")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(KernelPoolError, match=">= 0"):
+            KernelPool(workers=-1)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KernelPoolError, match="unknown kernel"):
+            run_kernel("no.such.kernel")
+
+    def test_registry_contents(self):
+        assert {
+            "ping",
+            "stack.respond",
+            "gziplike.compress",
+            "cdc.boundaries",
+            "vary.encode",
+        } <= set(KERNELS)
+
+
+class TestStackSpec:
+    def test_kwarg_order_is_canonical(self):
+        a = stack_spec([("vary", {"mask_bits": 10, "window": 48})])
+        b = stack_spec([("vary", {"window": 48, "mask_bits": 10})])
+        assert a == b
+        assert a == (("vary", (("mask_bits", 10), ("window", 48))),)
+
+    def test_spec_is_hashable(self):
+        assert hash(stack_spec([("gzip", {"backend": "pure"})]))
+
+
+class TestSharding:
+    def test_shard_index_is_stable_and_in_range(self, pool):
+        for key in ("sess-1", "sess-2", b"raw-bytes", 42):
+            idx = pool.shard_index(key)
+            assert 0 <= idx < pool.workers
+            assert pool.shard_index(key) == idx  # deterministic
+
+    def test_distinct_keys_spread_across_shards(self, pool):
+        shards = {pool.shard_index(f"session-{i}") for i in range(32)}
+        assert shards == set(range(pool.workers))
+
+    def test_inline_pool_shards_to_zero(self):
+        assert KernelPool().shard_index("anything") == 0
+
+
+class TestPooledByteIdentity:
+    """Golden wire vectors must survive the process boundary unchanged."""
+
+    @pytest.mark.parametrize("name", sorted(GZIPLIKE_GOLDEN))
+    def test_gziplike_golden_through_pool(self, pool, pages, name):
+        rng = random.Random(1905)
+        inputs = {
+            "empty": b"",
+            "text": b"the quick brown fox jumps over the lazy dog. " * 200,
+            "runs": b"A" * 5000 + b"B" * 5000,
+            "random": rng.randbytes(8192),
+            "small_page": pages[1],
+        }
+        blob = pool.run("gziplike.compress", inputs[name], shard_key=name)
+        assert _sha1(blob) == GZIPLIKE_GOLDEN[name]
+
+    @pytest.mark.parametrize("pad_id", sorted(PAD_GOLDEN))
+    def test_pad_responses_golden_through_pool(self, pool, pages, pad_id):
+        from repro.protocols.padlib import instantiate
+
+        old, new, cold_new = pages
+        kwargs = {"backend": "pure"} if pad_id == "gzip" else {}
+        spec = stack_spec([(pad_id, kwargs)])
+        proto = instantiate(pad_id, **kwargs)
+
+        req = proto.client_request(old)
+        resp = pool.run("stack.respond", spec, req, old, new, shard_key=pad_id)
+        cold_req = proto.client_request(None)
+        cold = pool.run(
+            "stack.respond", spec, cold_req, None, cold_new, shard_key=pad_id
+        )
+
+        want_req, want_resp, want_cold = PAD_GOLDEN[pad_id]
+        assert _sha1(req) == want_req
+        assert _sha1(resp) == want_resp
+        assert _sha1(cold) == want_cold
+
+    def test_pool_equals_inline_on_every_shard(self, pool, pages):
+        """Same kernel, same bytes, regardless of which worker ran it."""
+        old, new, _ = pages
+        spec = stack_spec([("vary", {})])
+        want = KernelPool().run("stack.respond", spec, b"", old, new)
+        for shard in range(pool.workers):
+            # Find a key landing on this shard.
+            key = next(
+                f"k{i}" for i in range(64) if pool.shard_index(f"k{i}") == shard
+            )
+            assert pool.run("stack.respond", spec, b"", old, new, shard_key=key) == want
+
+    def test_cdc_boundaries_match_inline(self, pool, pages):
+        spans = pool.run("cdc.boundaries", pages[0], shard_key="s")
+        assert spans == KernelPool().run("cdc.boundaries", pages[0])
+        assert sum(length for _off, length in spans) == len(pages[0])
+
+
+class TestPooledExecution:
+    def test_run_async_through_pool(self, pool):
+        data = b"zxy" * 2000
+
+        async def main():
+            return await pool.run_async("gziplike.compress", data, shard_key="s1")
+
+        assert asyncio.run(main()) == gziplike.compress(data, backend="pure")
+
+    def test_worker_error_propagates(self, pool):
+        with pytest.raises(KernelPoolError, match="unknown kernel"):
+            pool.run("no.such.kernel", shard_key="s")
+        # Pool survives a failed task.
+        assert pool.run("ping", shard_key="s") == b"pong"
+
+    def test_warm_pings_all_shards(self, pool):
+        pool.warm()  # idempotent; must not raise

@@ -1,0 +1,178 @@
+"""The negotiation + session flow on the asyncio serving core.
+
+Covers the tentpole end to end: async TCP transport, coroutine client,
+async application server, and the kernel pool — with the pooled path
+required to produce byte-identical responses to the inline path.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.asyncclient import AsyncFractalClient
+from repro.core.errors import ProtocolMismatchError
+from repro.core.kernelpool import KernelPool
+from repro.core.retry import RetryPolicy
+from repro.core.system import APP_ID, bind_async_endpoints, build_case_study
+from repro.simnet.asyncnet import AsyncTcpTransport
+from repro.workload.profiles import DESKTOP_LAN, PAPER_ENVIRONMENTS, PDA_BLUETOOTH
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _make_system(small_corpus, *, kernel_pool=None):
+    system = build_case_study(corpus=small_corpus, calibrate=False)
+    transport = AsyncTcpTransport()
+    await bind_async_endpoints(system, transport, kernel_pool=kernel_pool)
+    return system, transport
+
+
+def _make_client(system, transport, env, name):
+    return system.make_client(
+        env, name=name, transport=transport, client_cls=AsyncFractalClient
+    )
+
+
+class TestAsyncEndToEnd:
+    def test_negotiation_over_async_sockets(self, small_corpus):
+        async def main():
+            system, t = await _make_system(small_corpus)
+            async with t:
+                client = _make_client(system, t, DESKTOP_LAN, "async-cli-1")
+                outcome = await client.negotiate(APP_ID)
+                assert outcome.pads
+                assert outcome.negotiation_time_s > 0
+                # Second negotiation hits the client's protocol cache.
+                again = await client.negotiate(APP_ID)
+                assert again.from_cache
+
+        run(main())
+
+    def test_full_session_over_async_sockets(self, small_corpus):
+        async def main():
+            system, t = await _make_system(small_corpus)
+            async with t:
+                client = _make_client(system, t, PDA_BLUETOOTH, "async-cli-2")
+                old_page = system.corpus.evolved(0, 0)
+                result = await client.request_page(
+                    APP_ID, 0,
+                    old_parts=[old_page.text, *old_page.images],
+                    old_version=0, new_version=1,
+                )
+                new_page = system.corpus.evolved(0, 1)
+                assert result.parts == [new_page.text, *new_page.images]
+                assert result.app_traffic_bytes > 0
+
+        run(main())
+
+    def test_inp_errors_cross_the_async_socket(self, small_corpus):
+        async def main():
+            system, t = await _make_system(small_corpus)
+            async with t:
+                client = _make_client(system, t, DESKTOP_LAN, "async-cli-3")
+                with pytest.raises(ProtocolMismatchError):
+                    await client.negotiate("no-such-application")
+
+        run(main())
+
+    def test_concurrent_sessions_share_one_loop(self, small_corpus):
+        async def main():
+            system, t = await _make_system(small_corpus)
+            async with t:
+                clients = [
+                    _make_client(
+                        system, t, PAPER_ENVIRONMENTS[i % 3], f"async-cc-{i}"
+                    )
+                    for i in range(6)
+                ]
+                old = system.corpus.evolved(0, 0)
+                results = await asyncio.gather(
+                    *(
+                        c.request_page(
+                            APP_ID, 0,
+                            old_parts=[old.text, *old.images],
+                            old_version=0, new_version=1,
+                        )
+                        for c in clients
+                    )
+                )
+                new_page = system.corpus.evolved(0, 1)
+                for r in results:
+                    assert r.parts == [new_page.text, *new_page.images]
+
+        run(main())
+
+    def test_wire_meters_reconcile(self, small_corpus):
+        async def main():
+            system, t = await _make_system(small_corpus)
+            async with t:
+                client = _make_client(system, t, DESKTOP_LAN, "async-cli-m")
+                old = system.corpus.evolved(0, 0)
+                await client.request_page(
+                    APP_ID, 0,
+                    old_parts=[old.text, *old.images],
+                    old_version=0, new_version=1,
+                )
+                cli = t.meter("async-cli-m")
+                # The endpoint records its send in the continuation after
+                # drain(); yield to the loop until the meters settle.
+                for _ in range(100):
+                    ep_sent = sum(
+                        t.endpoint_meter(e).bytes_sent for e in t.endpoints()
+                    )
+                    if ep_sent == cli.bytes_received:
+                        break
+                    await asyncio.sleep(0.001)
+                ep_recv = sum(
+                    t.endpoint_meter(e).bytes_received for e in t.endpoints()
+                )
+                assert cli.bytes_sent == ep_recv
+                assert cli.bytes_received == ep_sent
+
+        run(main())
+
+    def test_async_client_rejects_resilience_knobs(self, small_corpus):
+        async def main():
+            system, t = await _make_system(small_corpus)
+            async with t:
+                with pytest.raises(ValueError, match="retry_policy"):
+                    system.make_client(
+                        DESKTOP_LAN,
+                        transport=t,
+                        client_cls=AsyncFractalClient,
+                        retry_policy=RetryPolicy(),
+                    )
+
+        run(main())
+
+
+class TestPooledServingByteIdentity:
+    def test_pool_and_inline_sessions_are_byte_identical(self, small_corpus):
+        """The acceptance bar: APP_REP bytes with pool workers must equal
+        the inline (workers=0) bytes for identical requests."""
+
+        async def session(kernel_pool):
+            system, t = await _make_system(small_corpus, kernel_pool=kernel_pool)
+            async with t:
+                client = _make_client(system, t, PDA_BLUETOOTH, "async-golden")
+                old = system.corpus.evolved(0, 0)
+                cold = await client.request_page(APP_ID, 0, new_version=0)
+                warm = await client.request_page(
+                    APP_ID, 0,
+                    old_parts=[old.text, *old.images],
+                    old_version=0, new_version=1,
+                )
+                return cold, warm
+
+        inline_cold, inline_warm = run(session(None))
+        with KernelPool(workers=2) as pool:
+            pool_cold, pool_warm = run(session(pool))
+        assert pool_cold.parts == inline_cold.parts
+        assert pool_warm.parts == inline_warm.parts
+        # Byte identity on the wire, not just after reconstruction.
+        assert pool_cold.app_response_bytes == inline_cold.app_response_bytes
+        assert pool_warm.app_response_bytes == inline_warm.app_response_bytes
+        assert pool_cold.app_request_bytes == inline_cold.app_request_bytes
+        assert pool_warm.app_request_bytes == inline_warm.app_request_bytes

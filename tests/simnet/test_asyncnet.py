@@ -1,0 +1,195 @@
+"""Asyncio TCP transport tests (real sockets on one event loop)."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.simnet import realnet
+from repro.simnet.asyncnet import AsyncTcpEndpoint, AsyncTcpTransport
+from repro.simnet.transport import TransportError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncTcpTransport:
+    def test_request_response_sync_handler(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("echo", lambda p: b"re:" + p)
+                return await t.request("cli", "echo", b"hello")
+
+        assert run(main()) == b"re:hello"
+
+    def test_request_response_async_handler(self):
+        async def handler(payload):
+            await asyncio.sleep(0)  # prove awaitables are awaited
+            return payload[::-1]
+
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("rev", handler)
+                return await t.request("cli", "rev", b"abc")
+
+        assert run(main()) == b"cba"
+
+    def test_large_frame(self):
+        payload = bytes(range(256)) * 2048  # 512 KiB
+
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("big", lambda p: p * 2)
+                return await t.request("cli", "big", payload)
+
+        assert run(main()) == payload * 2
+
+    def test_handler_exception_surfaces_as_transport_error(self):
+        def boom(_p):
+            raise RuntimeError("server-side failure")
+
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("boom", boom)
+                await t.request("cli", "boom", b"")
+
+        with pytest.raises(TransportError, match="server-side failure"):
+            run(main())
+
+    def test_unknown_endpoint(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.request("cli", "ghost", b"")
+
+        with pytest.raises(TransportError, match="no handler"):
+            run(main())
+
+    def test_unbind_stops_service(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("tmp", lambda p: p)
+                await t.unbind("tmp")
+                assert t.endpoints() == []
+                await t.request("cli", "tmp", b"")
+
+        with pytest.raises(TransportError):
+            run(main())
+
+    def test_double_bind_rejected(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("svc", lambda p: p)
+                await t.bind("svc", lambda p: p)
+
+        with pytest.raises(TransportError, match="already bound"):
+            run(main())
+
+    def test_concurrent_clients_on_one_loop(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("sum", lambda p: bytes([sum(p) % 256]))
+                results = await asyncio.gather(
+                    *(t.request(f"cli{i}", "sum", bytes([i, i])) for i in range(32))
+                )
+                return results
+
+        results = run(main())
+        for i, result in enumerate(results):
+            assert result == bytes([(2 * i) % 256])
+
+
+class TestPersistentConnections:
+    def test_same_peer_reuses_connection(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("svc", lambda p: p)
+                for _ in range(5):
+                    await t.request("cli", "svc", b"x")
+                return t._endpoints["svc"].connections_served
+
+        assert run(main()) == 1
+
+    def test_distinct_peers_get_distinct_connections(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("svc", lambda p: p)
+                await t.request("cli-a", "svc", b"x")
+                await t.request("cli-b", "svc", b"x")
+                await t.request("cli-a", "svc", b"x")
+                return t._endpoints["svc"].connections_served
+
+        assert run(main()) == 2
+
+    def test_idle_closed_connection_is_transparently_reopened(self):
+        async def main():
+            async with AsyncTcpTransport(idle_timeout_s=0.2) as t:
+                await t.bind("svc", lambda p: p)
+                assert await t.request("cli", "svc", b"1") == b"1"
+                await asyncio.sleep(0.6)  # server idle-closes our conn
+                assert await t.request("cli", "svc", b"2") == b"2"
+                return t._endpoints["svc"].connections_served
+
+        assert run(main()) == 2
+
+
+class TestMeterSymmetry:
+    def test_client_and_endpoint_meters_mirror(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("svc", lambda p: p + p)
+                for payload in (b"", b"x", b"hello world"):
+                    await t.request("cli", "svc", payload)
+                cli = t.meter("cli")
+                svc = t.endpoint_meter("svc")
+                assert cli.bytes_sent == svc.bytes_received
+                assert cli.bytes_received == svc.bytes_sent
+                assert cli.messages_sent == svc.messages_received == 3
+                # On-wire framing: 4-byte header + payload each way.
+                assert cli.bytes_sent == 3 * 4 + len(b"x") + len(b"hello world")
+
+        run(main())
+
+    def test_failed_connect_counts_nothing(self):
+        async def main():
+            async with AsyncTcpTransport() as t:
+                await t.bind("svc", lambda p: p)
+                await t._endpoints["svc"].close()  # kill listener, keep entry
+                with pytest.raises(TransportError):
+                    await t.request("cli", "svc", b"payload")
+                meter = t.meter("cli")
+                assert meter.bytes_sent == 0
+                assert meter.messages_sent == 0
+                assert meter.bytes_received == 0
+
+        run(main())
+
+
+class TestWireCompatibility:
+    def test_blocking_realnet_client_talks_to_async_endpoint(self):
+        """The asyncio server speaks byte-identical realnet framing."""
+
+        def sync_roundtrip(address):
+            with socket.create_connection(address, timeout=2.0) as sock:
+                sock.settimeout(2.0)
+                realnet.send_frame(sock, b"ping")
+                return realnet.recv_frame(sock)
+
+        async def main():
+            ep = AsyncTcpEndpoint("svc", lambda p: b"pong:" + p)
+            await ep.start()
+            try:
+                return await asyncio.to_thread(sync_roundtrip, ep.address)
+            finally:
+                await ep.close()
+
+        framed = run(main())
+        assert framed == b"\x01pong:ping"
+
+    def test_timeout_validation_matches_realnet(self):
+        with pytest.raises(ValueError, match="positive"):
+            AsyncTcpTransport(request_timeout_s=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            AsyncTcpTransport(idle_timeout_s=-1.0)
+        t = AsyncTcpTransport(request_timeout_s=42.0)
+        assert t.idle_timeout_s == 42.0

@@ -61,15 +61,70 @@ class TestTcpTransport:
     def test_meters_count_frames(self, transport):
         transport.bind("svc", lambda p: b"xyz")
         transport.request("cli", "svc", b"ab")
-        assert transport.meter("cli").bytes_sent == 2
-        # Response meter includes the 1-byte status prefix.
-        assert transport.meter("cli").bytes_received == 4
+        # On-wire accounting: 4-byte length header + payload.
+        assert transport.meter("cli").bytes_sent == 4 + 2
+        # Response frame: header + 1-byte status prefix + 3 body bytes.
+        assert transport.meter("cli").bytes_received == 4 + 4
+
+    def test_meter_accounting_is_symmetric(self, transport):
+        """Client-side and endpoint-side meters must mirror each other."""
+        import time
+
+        transport.bind("svc", lambda p: p + p)
+        for payload in (b"", b"x", b"hello world"):
+            transport.request("cli", "svc", payload)
+        cli = transport.meter("cli")
+        # The endpoint worker records its send just after the bytes hit
+        # the socket, so the client can observe one GIL switch early —
+        # give the worker thread a bounded moment to settle.
+        deadline = time.perf_counter() + 2.0
+        while (
+            transport.endpoint_meter("svc").bytes_sent != cli.bytes_received
+            and time.perf_counter() < deadline
+        ):
+            time.sleep(0.001)
+        svc = transport.endpoint_meter("svc")
+        assert cli.bytes_sent == svc.bytes_received
+        assert cli.bytes_received == svc.bytes_sent
+        assert cli.messages_sent == svc.messages_received == 3
+
+    def test_failed_connect_counts_nothing(self, transport):
+        """Regression: a refused connection must not record sent bytes."""
+        transport.bind("svc", lambda p: p)
+        # Kill the endpoint's listener; the transport still knows the
+        # address, so the next request dies on connect.
+        transport._endpoints["svc"].close()
+        with pytest.raises(TransportError):
+            transport.request("cli", "svc", b"payload")
+        meter = transport.meter("cli")
+        assert meter.bytes_sent == 0
+        assert meter.messages_sent == 0
+        assert meter.bytes_received == 0
+        assert meter.messages_received == 0
 
     def test_context_manager_closes(self):
         with TcpTransport() as t:
             t.bind("svc", lambda p: p)
             assert t.request("c", "svc", b"ok") == b"ok"
         assert t.endpoints() == []
+
+
+class TestWorkerReaping:
+    def test_worker_threads_stay_bounded(self, transport):
+        """Regression: 100 short-lived connections must not leave 100
+        worker threads queued for join at close."""
+        import time
+
+        transport.bind("svc", lambda p: p)
+        ep = transport._endpoints["svc"]
+        for i in range(100):
+            assert transport.request("cli", "svc", b"%d" % i) == b"%d" % i
+        # Workers exit as soon as their connection closes; the accept
+        # loop reaps them on its next iteration (<= 0.1s accept timeout).
+        deadline = time.monotonic() + 3.0
+        while ep.worker_count > 4 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert ep.worker_count <= 4
 
 
 class TestTimeouts:
@@ -83,6 +138,36 @@ class TestTimeouts:
         with TcpTransport(connect_timeout_s=1.5, request_timeout_s=2.5) as t:
             assert t.connect_timeout_s == 1.5
             assert t.request_timeout_s == 2.5
+
+    def test_invalid_idle_timeout_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            TcpTransport(idle_timeout_s=0.0)
+
+    def test_bind_inherits_request_timeout_as_idle_timeout(self):
+        """Regression: bind() used to hard-code idle_timeout_s=5.0, so a
+        transport with long request timeouts hung up on its clients."""
+        with TcpTransport(request_timeout_s=42.0) as t:
+            t.bind("svc", lambda p: p)
+            assert t.idle_timeout_s == 42.0
+            assert t._endpoints["svc"].idle_timeout_s == 42.0
+
+    def test_explicit_idle_timeout_plumbed_to_endpoint(self):
+        with TcpTransport(request_timeout_s=5.0, idle_timeout_s=0.75) as t:
+            t.bind("svc", lambda p: p)
+            assert t._endpoints["svc"].idle_timeout_s == 0.75
+
+    def test_idle_connection_closed_after_configured_timeout(self):
+        """The server hangs up an idle connection at ~idle_timeout_s."""
+        import socket
+        import time
+
+        with TcpTransport(idle_timeout_s=0.3) as t:
+            t.bind("svc", lambda p: p)
+            addr = t._endpoints["svc"].address
+            with socket.create_connection(addr, timeout=2.0) as sock:
+                time.sleep(0.8)  # idle well past the 0.3s budget
+                sock.settimeout(2.0)
+                assert sock.recv(1) == b""  # server closed the connection
 
     def test_wedged_handler_surfaces_as_transport_error(self):
         """A handler that never answers must not hang the caller."""
