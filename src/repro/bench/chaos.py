@@ -33,6 +33,7 @@ __all__ = [
     "ChaosResult",
     "chaos_plan",
     "chaos_experiment",
+    "result_to_payload",
 ]
 
 DEFAULT_FAULT_RATES = (0.0, 0.05, 0.10, 0.20)
@@ -84,6 +85,40 @@ class ChaosRateSummary:
 class ChaosResult:
     env_rows: list[ChaosEnvRow] = field(default_factory=list)
     summaries: list[ChaosRateSummary] = field(default_factory=list)
+
+
+def result_to_payload(result: ChaosResult) -> dict:
+    """JSON-ready dict for ``fractal-bench chaos --json`` (no dataclasses)."""
+    return {
+        "env_rows": [
+            {
+                "fault_rate": r.fault_rate,
+                "env": r.env_label,
+                "sessions": r.sessions,
+                "completed": r.completed,
+                "success_rate": round(r.success_rate, 4),
+                "degraded": r.degraded,
+                "unhandled_errors": r.unhandled_errors,
+            }
+            for r in result.env_rows
+        ],
+        "summaries": [
+            {
+                "fault_rate": s.fault_rate,
+                "sessions": s.sessions,
+                "completed": s.completed,
+                "success_rate": round(s.success_rate, 4),
+                "faults_injected": s.faults_injected,
+                "faults_by_kind": dict(s.faults_by_kind),
+                "retries": s.retries,
+                "failovers": s.failovers,
+                "degradations": s.degradations,
+                "proxy_restarts": s.proxy_restarts,
+                "unhandled_errors": s.unhandled_errors,
+            }
+            for s in result.summaries
+        ],
+    }
 
 
 def _busiest_edge(system: CaseStudySystem) -> str:

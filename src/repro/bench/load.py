@@ -55,6 +55,7 @@ __all__ = [
     "run_async_load_point",
     "run_load_sweep",
     "run_async_pool_sweep",
+    "run_dedup_sweep",
     "sweep_worker_counts",
 ]
 
@@ -161,6 +162,8 @@ class LoadPoint:
     reconciled: bool
     mode: str = "threads"      # "threads" or "async"
     pool_workers: int = 0      # kernel-pool processes (async mode only)
+    dedup: str = ""            # "", "off", "cold", or "warm"
+    store: Optional[dict] = None  # fleet-store window deltas (dedup runs)
 
     def speedup_vs(self, baseline: "LoadPoint") -> float:
         if baseline.throughput_rps <= 0:
@@ -168,9 +171,19 @@ class LoadPoint:
         return self.throughput_rps / baseline.throughput_rps
 
 
-def _build_load_system(corpus: Optional[Corpus] = None) -> CaseStudySystem:
+def _build_load_system(
+    corpus: Optional[Corpus] = None, *, dedup: bool = False
+) -> CaseStudySystem:
     corpus = corpus or Corpus(**LOAD_CORPUS_KWARGS)
-    return build_case_study(corpus=corpus, calibrate=False)
+    overrides = None
+    if dedup:
+        # The fleet store makes per-message compression a one-time cost,
+        # and the shared pre-trained dictionary keeps even the cold path
+        # off per-message Huffman tree construction.
+        overrides = {"gzip": {"backend": "pure", "dictionary": "text"}}
+    return build_case_study(
+        corpus=corpus, calibrate=False, dedup=dedup, pad_init_overrides=overrides
+    )
 
 
 def _worker_loop(
@@ -318,11 +331,18 @@ def run_load_point(
     rtt_ms: float = DEFAULT_RTT_MS,
     corpus: Optional[Corpus] = None,
     system: Optional[CaseStudySystem] = None,
+    dedup: str = "",
+    expect_zero_computes: bool = False,
 ) -> LoadPoint:
     """Drive ``workers`` concurrent clients against one fresh system.
 
     A fresh system per point keeps the telemetry ledger attributable: at
     the end, per-worker sums must equal the registry counters *exactly*.
+    When a ``system`` is reused across points (the dedup warm pass), the
+    counter base is snapshotted before the run, so every ledger row
+    reconciles over *this run's window* only.  ``expect_zero_computes``
+    adds the warm-path gate: the store must have performed zero
+    chunk/compress computes during the window.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -330,6 +350,7 @@ def run_load_point(
         raise ValueError(f"transport must be 'simnet' or 'tcp', got {transport!r}")
     system = system or _build_load_system(corpus)
     app_id = system.appserver.app_id
+    base_counters = dict(system.telemetry.registry.snapshot()["counters"])
 
     tcp: Optional[TcpTransport] = None
     if transport == "tcp":
@@ -378,7 +399,8 @@ def run_load_point(
 
     return _aggregate(
         system, transport, workers, duration_s, elapsed, tallies,
-        extra_ledger=extra_ledger,
+        extra_ledger=extra_ledger, base_counters=base_counters,
+        dedup=dedup, expect_zero_computes=expect_zero_computes,
     )
 
 
@@ -393,14 +415,20 @@ def _aggregate(
     extra_ledger: Optional[dict] = None,
     mode: str = "threads",
     pool_workers: int = 0,
+    base_counters: Optional[dict[str, float]] = None,
+    dedup: str = "",
+    expect_zero_computes: bool = False,
 ) -> LoadPoint:
     registry = system.telemetry.registry
     sessions = sum(t.sessions for t in tallies)
     errors = sum(t.errors for t in tallies)
     times = sorted(x for t in tallies for x in t.negotiation_times_s)
+    base = base_counters or {}
 
     def ctr(name: str) -> float:
-        return registry.counter(name).value
+        # Window delta: counters accumulated before this run (a reused
+        # system's cold pass, prewarming) are subtracted out.
+        return registry.counter(name).value - base.get(name, 0.0)
 
     # Exact cross-worker reconciliation: private per-worker sums on the
     # left, the shared locked registry on the right.
@@ -427,6 +455,42 @@ def _aggregate(
             ctr("client.app_request_bytes") + ctr("client.app_response_bytes"),
         ),
     }
+    store_dict: Optional[dict] = None
+    if system.chunk_store is not None:
+        name = system.chunk_store.name
+        # The store's own invariants, over this run's window.  The
+        # warm-path gate pins the headline claim: a second pass over the
+        # same page versions performs zero CDC/compress computes.
+        ledger["store lookups vs hits+misses+coalesced"] = (
+            ctr(f"store.{name}.lookups"),
+            ctr(f"store.{name}.hits")
+            + ctr(f"store.{name}.misses")
+            + ctr(f"store.{name}.coalesced"),
+        )
+        ledger["store computes vs misses"] = (
+            ctr(f"store.{name}.computes"), ctr(f"store.{name}.misses")
+        )
+        ledger["parts via store (appserver vs responder)"] = (
+            ctr("appserver.store_requests"), ctr(f"store.{name}.responses")
+        )
+        if expect_zero_computes:
+            ledger["warm store computes vs zero"] = (
+                ctr(f"store.{name}.computes"), 0.0
+            )
+        stats = system.chunk_store.stats
+        store_dict = {
+            "name": name,
+            "lookups": ctr(f"store.{name}.lookups"),
+            "hits": ctr(f"store.{name}.hits"),
+            "misses": ctr(f"store.{name}.misses"),
+            "coalesced": ctr(f"store.{name}.coalesced"),
+            "computes": ctr(f"store.{name}.computes"),
+            "evictions": ctr(f"store.{name}.evictions"),
+            "bytes_saved": ctr(f"store.{name}.bytes_saved"),
+            "entries": len(system.chunk_store),
+            "bytes_cached": system.chunk_store.used_bytes,
+            "lifetime_hit_ratio": stats.hit_ratio,
+        }
     if extra_ledger:
         ledger.update(extra_ledger)
     reconciled = errors == 0 and all(a == b for a, b in ledger.values())
@@ -448,6 +512,8 @@ def _aggregate(
         reconciled=reconciled,
         mode=mode,
         pool_workers=pool_workers,
+        dedup=dedup,
+        store=store_dict,
     )
 
 
@@ -479,6 +545,67 @@ def run_load_sweep(
         )
         for w in sweep_worker_counts(max_workers)
     ]
+
+
+def _prewarm_store(system: CaseStudySystem) -> None:
+    """Deterministically touch every (environment, page) pair once.
+
+    The timed cold pass is closed-loop, so with a short duration it may
+    not visit every environment x page combination; this sweep fills the
+    store's remaining corners so the warm point's zero-compute gate is a
+    property of the store, not of scheduling luck.
+    """
+    client = system.make_client(PAPER_ENVIRONMENTS[0], name="prewarm")
+    app_id = system.appserver.app_id
+    for env in PAPER_ENVIRONMENTS:
+        client.set_environment(env)
+        for page_id in range(system.corpus.n_pages):
+            old = system.corpus.evolved(page_id, 0)
+            client.request_page(
+                app_id,
+                page_id,
+                old_parts=[old.text, *old.images],
+                old_version=0,
+                new_version=1,
+                force_negotiation=True,
+            )
+
+
+def run_dedup_sweep(
+    workers: int = 4,
+    duration_s: float = DEFAULT_DURATION_S,
+    *,
+    rtt_ms: float = DEFAULT_RTT_MS,
+) -> list[LoadPoint]:
+    """The warm-vs-cold fleet-dedup comparison (``fractal-bench load --dedup``).
+
+    Three points, same worker count and schedule:
+
+    * ``off``  — fresh system, no store: the baseline.
+    * ``cold`` — fresh system with the fleet store and the shared gzip
+      dictionary: every first sight of a page version computes (and
+      inserts); repeats within the run already hit.
+    * ``warm`` — the *same* system run again: every response comes from
+      the store.  The ledger gains a hard gate — zero store computes in
+      the warm window — plus the store's own lookups/computes
+      reconciliation rows, all measured as window deltas against a
+      counter snapshot taken between the passes.
+    """
+    corpus = Corpus(**LOAD_CORPUS_KWARGS)
+    off = run_load_point(
+        workers, duration_s, rtt_ms=rtt_ms,
+        system=_build_load_system(corpus), dedup="off",
+    )
+    dedup_system = _build_load_system(corpus, dedup=True)
+    cold = run_load_point(
+        workers, duration_s, rtt_ms=rtt_ms, system=dedup_system, dedup="cold",
+    )
+    _prewarm_store(dedup_system)
+    warm = run_load_point(
+        workers, duration_s, rtt_ms=rtt_ms, system=dedup_system,
+        dedup="warm", expect_zero_computes=True,
+    )
+    return [off, cold, warm]
 
 
 # -- async mode ----------------------------------------------------------------

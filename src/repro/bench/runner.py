@@ -217,11 +217,13 @@ def run_stages(system=None) -> str:
     return "\n\n".join(blocks)
 
 
-def run_chaos() -> str:
+def run_chaos(json_sink: dict | None = None) -> str:
     """Fault-rate sweep: session survival via retry/failover/degradation."""
     from . import chaos
 
     result = chaos.chaos_experiment()
+    if json_sink is not None:
+        json_sink["chaos"] = chaos.result_to_payload(result)
     env_rows = []
     for row in result.env_rows:
         env_rows.append(
@@ -287,6 +289,7 @@ def run_load(
     mode: str = "threads",
     pool_workers: int = 4,
     json_sink: dict | None = None,
+    dedup: bool = False,
 ) -> str:
     """Closed-loop load sweep on one shared system.
 
@@ -295,13 +298,19 @@ def run_load(
     client tasks fixed on one asyncio event loop and sweeps the **kernel
     pool** instead: 0 (inline baseline), 1, 2, ... ``pool_workers``
     processes — the scaling curve that shows kernel offload paying for
-    itself once real CPUs exist.
+    itself once real CPUs exist.  ``dedup=True`` runs the fleet-store
+    warm-vs-cold comparison instead (off/cold/warm at a fixed worker
+    count, with store bytes-saved and the zero-compute warm gate in the
+    ledger).
     """
     import os
 
-    from .load import run_async_pool_sweep, run_load_sweep
+    from .load import run_async_pool_sweep, run_dedup_sweep, run_load_sweep
 
-    if mode == "async":
+    if dedup:
+        points = run_dedup_sweep(workers, duration_s, rtt_ms=rtt_ms)
+        sweep_label, sweep_attr = "dedup", "dedup"
+    elif mode == "async":
         points = run_async_pool_sweep(
             pool_workers, workers, duration_s, rtt_ms=rtt_ms
         )
@@ -314,7 +323,7 @@ def run_load(
     base = points[0]
     if json_sink is not None:
         json_sink["load"] = {
-            "mode": mode,
+            "mode": "dedup" if dedup else mode,
             "transport": points[0].transport,
             "duration_s": duration_s,
             "rtt_ms": rtt_ms,
@@ -325,6 +334,7 @@ def run_load(
                 {
                     "workers": p.workers,
                     "pool_workers": p.pool_workers,
+                    "dedup": p.dedup,
                     "sessions": p.sessions,
                     "errors": p.errors,
                     "throughput_rps": round(p.throughput_rps, 3),
@@ -334,27 +344,41 @@ def run_load(
                     "p99_negotiation_s": p.p99_negotiation_s,
                     "proxy_hit_ratio": p.proxy_hit_ratio,
                     "reconciled": p.reconciled,
+                    **({"store": p.store} if p.store is not None else {}),
                 }
                 for p in points
             ],
         }
     rows = []
     for p in points:
-        rows.append(
-            [
-                getattr(p, sweep_attr),
-                p.sessions,
-                p.errors,
-                f"{p.throughput_rps:.1f}",
-                f"{p.speedup_vs(base):.2f}x",
-                fmt_ms(p.p50_negotiation_s),
-                fmt_ms(p.p95_negotiation_s),
-                fmt_ms(p.p99_negotiation_s),
-                f"{p.proxy_hit_ratio * 100:.1f}%",
-                "exact" if p.reconciled else "MISMATCH",
+        row = [
+            getattr(p, sweep_attr),
+            p.sessions,
+            p.errors,
+            f"{p.throughput_rps:.1f}",
+            f"{p.speedup_vs(base):.2f}x",
+            fmt_ms(p.p50_negotiation_s),
+            fmt_ms(p.p95_negotiation_s),
+            fmt_ms(p.p99_negotiation_s),
+            f"{p.proxy_hit_ratio * 100:.1f}%",
+            "exact" if p.reconciled else "MISMATCH",
+        ]
+        if dedup:
+            store = p.store or {}
+            row[9:9] = [
+                fmt_kb(store.get("bytes_saved", 0)),
+                int(store.get("computes", 0)),
             ]
+        rows.append(row)
+    headers = [sweep_label, "sessions", "errors", "rps", "speedup",
+               "p50 ms", "p95 ms", "p99 ms", "hit ratio", "ledger"]
+    if dedup:
+        headers[9:9] = ["saved", "computes"]
+        title = (
+            f"Load: fleet-dedup off/cold/warm, {workers} workers "
+            f"({duration_s:.1f}s/point, {rtt_ms:.0f}ms emulated RTT)"
         )
-    if mode == "async":
+    elif mode == "async":
         title = (
             f"Load: {workers} async client tasks, kernel-pool scaling "
             f"({duration_s:.1f}s/point, {rtt_ms:.0f}ms emulated RTT, "
@@ -365,12 +389,7 @@ def run_load(
             f"Load: closed-loop workers vs one shared proxy+CDN+appserver "
             f"({transport}, {duration_s:.1f}s/point, {rtt_ms:.0f}ms emulated RTT)"
         )
-    table = render_table(
-        title,
-        [sweep_label, "sessions", "errors", "rps", "speedup",
-         "p50 ms", "p95 ms", "p99 ms", "hit ratio", "ledger"],
-        rows,
-    )
+    table = render_table(title, headers, rows)
     last = points[-1]
     summary = (
         f"{getattr(last, sweep_attr)} {sweep_label}: {last.sessions} sessions, "
@@ -417,6 +436,11 @@ def main(argv=None) -> int:
         "--pool-workers", type=int, default=4,
         help="max kernel-pool processes for --mode async (default 4)",
     )
+    load_group.add_argument(
+        "--dedup", action="store_true",
+        help="run the fleet-store warm-vs-cold dedup comparison instead "
+             "of the scaling sweep",
+    )
     kern_group = parser.add_argument_group("kernels", "options for `kernels`")
     kern_group.add_argument(
         "--quick", action="store_true",
@@ -445,10 +469,11 @@ def main(argv=None) -> int:
             "headline": lambda: run_headline(system),
             "timeline": lambda: run_timeline(system),
             "stages": lambda: run_stages(system),
-            "chaos": run_chaos,
+            "chaos": lambda: run_chaos(json_sink=json_sink),
             "load": lambda: run_load(
                 args.workers, args.duration, args.transport, args.rtt_ms,
                 args.mode, args.pool_workers, json_sink=json_sink,
+                dedup=args.dedup,
             ),
             "kernels": lambda: run_kernels(args.quick, json_sink=json_sink),
         }[name]
@@ -462,8 +487,52 @@ def main(argv=None) -> int:
         # BENCH_kernels.json shape); mixed runs keep one section per command.
         if set(payload) == {"kernels"}:
             payload = payload["kernels"]
+        elif "load" in payload:
+            _roll_load_history(payload, args.json)
         write_json(payload, args.json)
     return 0
+
+
+_HISTORY_KEEP = 20
+
+
+def _roll_load_history(payload: dict, path: str) -> None:
+    """Fold the previous load result at ``path`` into ``payload["history"]``.
+
+    Rewriting BENCH_load.json across PRs would otherwise discard the
+    throughput trajectory; instead the outgoing "load" section (points
+    trimmed to the headline fields) is appended to a bounded history
+    list, so the committed file carries how the curve moved over time.
+    """
+    import os
+
+    if not os.path.exists(path):
+        return
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        return
+    if not isinstance(previous, dict) or "load" not in previous:
+        return
+    history = [h for h in previous.get("history", ()) if isinstance(h, dict)]
+    old = previous["load"]
+    if isinstance(old, dict):
+        entry = {k: v for k, v in old.items() if k != "points"}
+        entry["points"] = [
+            {
+                k: p.get(k)
+                for k in (
+                    "workers", "pool_workers", "dedup",
+                    "throughput_rps", "p99_negotiation_s", "reconciled",
+                )
+                if k in p
+            }
+            for p in old.get("points", ())
+            if isinstance(p, dict)
+        ]
+        history.append(entry)
+    payload["history"] = history[-_HISTORY_KEEP:]
 
 
 if __name__ == "__main__":  # pragma: no cover

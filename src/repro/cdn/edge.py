@@ -7,12 +7,19 @@ a PAD *is* a Web object.
 With a shared :class:`~repro.telemetry.MetricsRegistry`, every edge
 reports into the aggregate ``cdn.edge.*`` counters (requests, bytes
 served, origin fetches) while per-edge numbers stay on the instance.
+
+An edge may additionally carry an **edge-local chunk store**
+(:class:`~repro.store.ChunkStore`): content-addressed records — CDC
+chunk tables, finished adapted responses — served via
+:meth:`EdgeServer.serve_record` with an origin-fill callback.  Unlike
+the PAD cache's thundering-herd pull, the store is single-flight: two
+concurrent misses on one key fill from origin once.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Callable, Optional
 
 from ..telemetry import MetricsRegistry
 from .cache import LRUCache
@@ -31,11 +38,15 @@ class EdgeServer:
         cache_bytes: int = DEFAULT_EDGE_CACHE_BYTES,
         *,
         registry: Optional[MetricsRegistry] = None,
+        chunk_store=None,
     ):
         self.name = name
         self.origin = origin
         self._registry = registry
         self.cache = LRUCache(cache_bytes, registry=registry)
+        # Optional edge-local content-addressed record store
+        # (repro.store.ChunkStore); see serve_record.
+        self.chunk_store = chunk_store
         self._lock = threading.Lock()  # guards the per-edge counters
         self.requests_served = 0
         self.bytes_served = 0
@@ -75,6 +86,33 @@ class EdgeServer:
     def invalidate(self, key: str) -> bool:
         """Purge a stale object (PAD upgrade path)."""
         return self.cache.invalidate(key)
+
+    def serve_record(self, key: str, fill: Callable[[], bytes]) -> bytes:
+        """A content-addressed record from the edge-local chunk store.
+
+        ``fill`` is the origin-fill path — invoked at most once per key
+        per store residency even under concurrent misses (single-flight),
+        unlike :meth:`serve`'s duplicate-pull behaviour for PAD blobs.
+        The served bytes land in the edge's ``bytes_served`` ledger; the
+        fill shows up as an ``origin_fetch`` only when it actually ran.
+        """
+        if self.chunk_store is None:
+            raise ValueError(f"edge {self.name!r} has no chunk store attached")
+        fills = 0
+
+        def counted_fill() -> bytes:
+            nonlocal fills
+            fills += 1
+            return fill()
+
+        blob = self.chunk_store.get_or_compute(key, counted_fill)
+        if fills:
+            with self._lock:
+                self.origin_fetches += fills
+            if self._registry is not None:
+                self._registry.counter("cdn.edge.origin_fetches").inc(fills)
+        self._record_served(len(blob))
+        return blob
 
     def has_cached(self, key: str) -> bool:
         return key in self.cache

@@ -42,8 +42,18 @@ def build_deployment(
     seed: int = 2005,
     edge_cache_bytes: int = 16 * 1024 * 1024,
     registry=None,
+    edge_stores: bool = False,
 ) -> Deployment:
-    """Deterministic deployment: origin cluster + scattered edges + clients."""
+    """Deterministic deployment: origin cluster + scattered edges + clients.
+
+    ``edge_stores=True`` attaches an edge-local
+    :class:`~repro.store.ChunkStore` to every edge (all named ``edge``,
+    so a shared registry aggregates their hit/miss ledger under
+    ``store.edge.*`` the same way ``cdn.edge.*`` aggregates the PAD
+    caches) — :meth:`EdgeServer.serve_record` then serves
+    content-addressed chunk/response records with single-flight
+    origin fill.
+    """
     if n_edges < 1:
         raise ValueError(f"need at least one edge, got {n_edges}")
     if n_client_sites < 1:
@@ -64,8 +74,17 @@ def build_deployment(
     redirector = Redirector(topology)
     edges = []
     for i in range(n_edges):
+        store = None
+        if edge_stores:
+            from ..store.chunkstore import ChunkStore
+
+            store = ChunkStore(name="edge", registry=registry)
         edge = EdgeServer(
-            f"edge{i:02d}", origin, cache_bytes=edge_cache_bytes, registry=registry
+            f"edge{i:02d}",
+            origin,
+            cache_bytes=edge_cache_bytes,
+            registry=registry,
+            chunk_store=store,
         )
         redirector.register_edge(edge)
         edges.append(edge)

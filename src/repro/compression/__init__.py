@@ -7,6 +7,14 @@ bit I/O) for tests and for protocol authors.
 
 from .bitio import BitReader, BitWriter, BitstreamError
 from .checksums import adler32, crc32
+from .dictionaries import (
+    CONTENT_CLASSES,
+    DictionaryError,
+    HuffmanDictionary,
+    builtin_dictionary,
+    dictionary_by_id,
+    train_dictionary,
+)
 from .gziplike import CompressionError, compress, decompress
 from .huffman import CanonicalCode, HuffmanError, code_lengths_from_freqs
 from .lz77 import (
@@ -26,6 +34,12 @@ __all__ = [
     "BitstreamError",
     "adler32",
     "crc32",
+    "CONTENT_CLASSES",
+    "DictionaryError",
+    "HuffmanDictionary",
+    "builtin_dictionary",
+    "dictionary_by_id",
+    "train_dictionary",
     "CompressionError",
     "compress",
     "decompress",

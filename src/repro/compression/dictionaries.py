@@ -1,0 +1,235 @@
+"""Pre-trained canonical-Huffman dictionaries per content class.
+
+The deflate-lite container ships a 158-byte code-length header and
+builds a fresh Huffman tree for *every* message.  For the small
+responses the serving path mostly emits (delta ops, short text parts),
+that per-message tree construction dominates and the header can rival
+the payload.  A :class:`HuffmanDictionary` is a pair of canonical code
+tables trained **once** per content class on seeded sample corpora; a
+message compressed against one carries only a 1-byte dictionary id
+in-band (see :mod:`repro.compression.gziplike`), and both sides skip
+the tree build entirely.
+
+Determinism is load-bearing twice over: the same dictionary must
+materialize in every process (kernel-pool workers spawn fresh and
+re-train from scratch), and the cold path — ``dictionary=None`` — must
+remain byte-identical to the pre-dictionary wire format, which the
+golden wire vectors freeze.  Training therefore draws only on the
+seeded workload generators and applies +1 smoothing to every symbol of
+both alphabets, so any token stream is encodable regardless of how far
+it strays from the training sample.
+
+This module lives under ``repro.compression`` (not ``repro.store``)
+because the gzip PAD's mobile-code sandbox allowlists exactly this
+package; a dictionary id received over the wire must resolve inside the
+client's restricted import environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable
+
+from .huffman import CanonicalCode
+from .lz77 import tokenize_raw
+
+__all__ = [
+    "HuffmanDictionary",
+    "DictionaryError",
+    "CONTENT_CLASSES",
+    "train_dictionary",
+    "builtin_dictionary",
+    "dictionary_by_id",
+]
+
+# Alphabet sizes mirror gziplike's deflate-style tables (importing them
+# from gziplike would be circular: gziplike resolves dictionaries
+# lazily, this module must import cleanly first).
+_LITLEN_ALPHABET = 286
+_DIST_ALPHABET = 30
+_EOB = 256
+
+# Built-in classes and their wire ids.  Ids are part of the container
+# format: never renumber, only append.
+CONTENT_CLASSES = ("text", "image", "delta")
+_CLASS_IDS = {"text": 1, "image": 2, "delta": 3}
+
+_TRAIN_SEED = 7001  # private seed: training input never collides with tests
+
+
+class DictionaryError(Exception):
+    """Unknown dictionary id/class or untrainable sample set."""
+
+
+@dataclass(frozen=True)
+class HuffmanDictionary:
+    """One shared code pair: literal/length + distance tables."""
+
+    dict_id: int
+    content_class: str
+    lit_lengths: tuple[int, ...]
+    dist_lengths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.dict_id <= 255:
+            raise DictionaryError(
+                f"dict_id must fit one wire byte, got {self.dict_id}"
+            )
+        if len(self.lit_lengths) != _LITLEN_ALPHABET:
+            raise DictionaryError(
+                f"literal table has {len(self.lit_lengths)} entries, "
+                f"expected {_LITLEN_ALPHABET}"
+            )
+        if len(self.dist_lengths) != _DIST_ALPHABET:
+            raise DictionaryError(
+                f"distance table has {len(self.dist_lengths)} entries, "
+                f"expected {_DIST_ALPHABET}"
+            )
+        if 0 in self.lit_lengths or 0 in self.dist_lengths:
+            raise DictionaryError(
+                "dictionary must assign a code to every symbol "
+                "(smoothing guarantees encodability)"
+            )
+
+
+# Length/distance -> symbol maps, rebuilt here from the same deflate
+# tables gziplike uses (shape-frozen; gziplike's golden vectors pin it).
+def _length_symbol_table() -> list[int]:
+    table = [0] * 259
+    base, sym = 3, 257
+    for extra in (0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+                  3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5):
+        for l in range(base, min(base + (1 << extra), 259)):
+            table[l] = sym
+        base += 1 << extra
+        sym += 1
+    table[258] = 285
+    return table
+
+
+def _distance_symbol_table() -> list[int]:
+    table = [0] * 32769
+    base, sym = 1, 0
+    extras = [0, 0, 0, 0] + [e for e in range(1, 14) for _ in (0, 1)]
+    for extra in extras:
+        for d in range(base, min(base + (1 << extra), 32769)):
+            table[d] = sym
+        base += 1 << extra
+        sym += 1
+    return table
+
+
+_LEN_TO_SYM = _length_symbol_table()
+_DIST_TO_SYM = _distance_symbol_table()
+
+
+def train_dictionary(
+    samples: Iterable[bytes],
+    *,
+    dict_id: int,
+    content_class: str,
+    max_chain: int = 64,
+) -> HuffmanDictionary:
+    """Train one dictionary from sample payloads (deterministic in input).
+
+    Samples are tokenized exactly like the encoder tokenizes messages,
+    symbol frequencies accumulate across all samples (one EOB per
+    sample, like one per message), and every symbol of both alphabets
+    starts at count 1 so no future message is unencodable.
+    """
+    lit_counts = [1] * _LITLEN_ALPHABET
+    dist_counts = [1] * _DIST_ALPHABET
+    n_samples = 0
+    for sample in samples:
+        n_samples += 1
+        for tok in tokenize_raw(bytes(sample), max_chain=max_chain):
+            if tok < 256:
+                lit_counts[tok] += 1
+            else:
+                lit_counts[_LEN_TO_SYM[tok >> 16]] += 1
+                dist_counts[_DIST_TO_SYM[tok & 0xFFFF]] += 1
+        lit_counts[_EOB] += 1
+    if n_samples == 0:
+        raise DictionaryError("cannot train a dictionary from zero samples")
+    lit = CanonicalCode.from_freqs(
+        dict(enumerate(lit_counts)), _LITLEN_ALPHABET
+    )
+    dist = CanonicalCode.from_freqs(
+        dict(enumerate(dist_counts)), _DIST_ALPHABET
+    )
+    return HuffmanDictionary(
+        dict_id=dict_id,
+        content_class=content_class,
+        lit_lengths=lit.lengths,
+        dist_lengths=dist.lengths,
+    )
+
+
+# -- built-in per-class corpora ------------------------------------------------
+
+
+def _text_samples() -> list[bytes]:
+    from ..workload.text import TextGenerator
+
+    gen = TextGenerator(_TRAIN_SEED)
+    return [
+        gen.generate(1500, seed=(_TRAIN_SEED, "dict-text", i)) for i in range(6)
+    ]
+
+
+def _image_samples() -> list[bytes]:
+    from ..workload.images import generate_image
+
+    return [
+        generate_image(3000, seed=(_TRAIN_SEED + i) & 0x7FFFFFFF)
+        for i in range(4)
+    ]
+
+
+def _delta_samples() -> list[bytes]:
+    """COPY/DATA delta streams, like the vary/bitmap responses look."""
+    from ..protocols.vary_blocking import VaryBlockingProtocol
+    from ..workload.text import TextGenerator
+
+    gen = TextGenerator(_TRAIN_SEED + 1)
+    proto = VaryBlockingProtocol()
+    samples = []
+    for i in range(4):
+        old = gen.generate(2000, seed=(_TRAIN_SEED, "dict-delta", i, "old"))
+        new = old[:400] + gen.generate(
+            300, seed=(_TRAIN_SEED, "dict-delta", i, "edit")
+        ) + old[400:]
+        samples.append(proto.server_respond(b"", old, new))
+    return samples
+
+
+_CLASS_SAMPLES = {
+    "text": _text_samples,
+    "image": _image_samples,
+    "delta": _delta_samples,
+}
+
+
+@lru_cache(maxsize=None)
+def builtin_dictionary(content_class: str) -> HuffmanDictionary:
+    """The pre-trained dictionary for one built-in content class."""
+    if content_class not in _CLASS_IDS:
+        raise DictionaryError(
+            f"unknown content class {content_class!r}; "
+            f"known: {sorted(_CLASS_IDS)}"
+        )
+    return train_dictionary(
+        _CLASS_SAMPLES[content_class](),
+        dict_id=_CLASS_IDS[content_class],
+        content_class=content_class,
+    )
+
+
+@lru_cache(maxsize=None)
+def dictionary_by_id(dict_id: int) -> HuffmanDictionary:
+    """Resolve an in-band wire id to its dictionary (decode side)."""
+    for content_class, cid in _CLASS_IDS.items():
+        if cid == dict_id:
+            return builtin_dictionary(content_class)
+    raise DictionaryError(f"unknown dictionary id {dict_id}")

@@ -10,12 +10,22 @@ coding speed is not the object of study.
 Container layout::
 
     magic   4 bytes  b"FZL1"
-    flags   1 byte   bit0: 0=pure, 1=zlib payload
+    flags   1 byte   bit0: 0=pure, 1=zlib payload; bit1: shared dictionary
+    dictid  1 byte   only when bit1 is set: the shared-dictionary id
     origlen varint
     crc32   4 bytes  big-endian CRC-32 of the original data
     payload ...
 
 An empty input is legal and produces an empty payload.
+
+With ``dictionary=`` (a pre-trained
+:class:`~repro.compression.dictionaries.HuffmanDictionary`), the pure
+backend encodes tokens against the shared code tables instead of
+building a per-message Huffman tree: the 158-byte code-length header
+disappears and only the 1-byte dictionary id travels in-band.  The
+decoder resolves the id through the deterministic built-in registry.
+Without a dictionary the format is byte-for-byte the pre-dictionary one
+(the golden wire vectors pin this), so dictionaries are a pure opt-in.
 
 The pure-backend coder works on packed integer tokens end to end
 (``tokenize_raw``/``detokenize_raw``): match lengths and distances map to
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import struct
 import zlib as _zlib
+from typing import Optional
 
 from .bitio import BitReader, BitWriter, BitstreamError
 
@@ -52,6 +63,7 @@ __all__ = ["compress", "decompress", "CompressionError", "MAGIC"]
 
 MAGIC = b"FZL1"
 _FLAG_ZLIB = 0x01
+_FLAG_DICT = 0x02
 
 _EOB = 256  # end-of-block symbol in the literal/length alphabet
 
@@ -168,51 +180,72 @@ def _read_lengths(reader: BitReader, count: int) -> tuple[int, ...]:
     return tuple(reader.read_bits(4) for _ in range(count))
 
 
-def _encode_tokens_raw(raw: list[int]) -> bytes:
+def _encode_tokens_raw(
+    raw: list[int],
+    codes: Optional[tuple[tuple[int, ...], tuple[int, ...]]] = None,
+) -> bytes:
     """Entropy-code packed tokens (literal byte, or ``length<<16|distance``).
 
     Single fused pass per stage: flat-table symbol stats, then one
     accumulator loop emitting pre-reversed codes and extra bits, flushed 32
     bits at a time.  The 316 header nibbles occupy exactly 158 bytes, so the
     token bitstream starts byte-aligned and the header is written directly.
+
+    With ``codes`` (shared-dictionary ``(lit_lengths, dist_lengths)``),
+    the per-message statistics pass, tree construction, and code-length
+    header are all skipped: the bitstream starts at byte 0 and uses the
+    shared tables (every symbol has a code, so validation moves inline).
     """
     len_sym = _LEN_SYM
     dist_sym = _DIST_SYM
-    # Pass 1: symbol statistics (and range validation).
-    lit_counts = [0] * _LITLEN_ALPHABET
-    dist_counts = [0] * _DIST_ALPHABET
-    for tok in raw:
-        if tok < 256:
-            lit_counts[tok] += 1
-        else:
-            length = tok >> 16
-            distance = tok & 0xFFFF
-            if not 3 <= length <= 258:
-                raise CompressionError(f"length {length} out of range")
-            if not 1 <= distance <= 32768:
-                raise CompressionError(f"distance {distance} out of range")
-            lit_counts[len_sym[length] >> 8] += 1
-            dist_counts[dist_sym[distance] >> 17] += 1
-    lit_counts[_EOB] += 1
-    lit_freqs = {s: c for s, c in enumerate(lit_counts) if c}
-    dist_freqs = {s: c for s, c in enumerate(dist_counts) if c}
-    lit_code = CanonicalCode.from_freqs(lit_freqs, _LITLEN_ALPHABET)
-    # The distance alphabet may be empty (no matches at all); reserve a
-    # one-symbol placeholder code so the header stays fixed-shape.
-    dist_code = CanonicalCode.from_freqs(dist_freqs or {0: 1}, _DIST_ALPHABET)
+    if codes is not None:
+        lit_lengths, dist_lengths = codes
+        out = bytearray()
+        for tok in raw:
+            if tok >= 256:
+                length = tok >> 16
+                distance = tok & 0xFFFF
+                if not 3 <= length <= 258:
+                    raise CompressionError(f"length {length} out of range")
+                if not 1 <= distance <= 32768:
+                    raise CompressionError(f"distance {distance} out of range")
+    else:
+        # Pass 1: symbol statistics (and range validation).
+        lit_counts = [0] * _LITLEN_ALPHABET
+        dist_counts = [0] * _DIST_ALPHABET
+        for tok in raw:
+            if tok < 256:
+                lit_counts[tok] += 1
+            else:
+                length = tok >> 16
+                distance = tok & 0xFFFF
+                if not 3 <= length <= 258:
+                    raise CompressionError(f"length {length} out of range")
+                if not 1 <= distance <= 32768:
+                    raise CompressionError(f"distance {distance} out of range")
+                lit_counts[len_sym[length] >> 8] += 1
+                dist_counts[dist_sym[distance] >> 17] += 1
+        lit_counts[_EOB] += 1
+        lit_freqs = {s: c for s, c in enumerate(lit_counts) if c}
+        dist_freqs = {s: c for s, c in enumerate(dist_counts) if c}
+        lit_code = CanonicalCode.from_freqs(lit_freqs, _LITLEN_ALPHABET)
+        # The distance alphabet may be empty (no matches at all); reserve a
+        # one-symbol placeholder code so the header stays fixed-shape.
+        dist_code = CanonicalCode.from_freqs(dist_freqs or {0: 1}, _DIST_ALPHABET)
+        lit_lengths, dist_lengths = lit_code.lengths, dist_code.lengths
 
-    lens = lit_code.lengths + dist_code.lengths
-    out = bytearray()
-    for i in range(0, len(lens), 2):
-        lo, hi = lens[i], lens[i + 1]
-        if lo > 15 or hi > 15:
-            raise CompressionError(
-                f"code length {lo if lo > 15 else hi} exceeds 15"
-            )
-        out.append(lo | (hi << 4))
+        lens = lit_lengths + dist_lengths
+        out = bytearray()
+        for i in range(0, len(lens), 2):
+            lo, hi = lens[i], lens[i + 1]
+            if lo > 15 or hi > 15:
+                raise CompressionError(
+                    f"code length {lo if lo > 15 else hi} exceeds 15"
+                )
+            out.append(lo | (hi << 4))
 
-    lit_enc = _fast_encoder(lit_code.lengths)
-    dist_enc = _fast_encoder(dist_code.lengths)
+    lit_enc = _fast_encoder(lit_lengths)
+    dist_enc = _fast_encoder(dist_lengths)
     acc = 0
     nb = 0
     for tok in raw:
@@ -252,12 +285,23 @@ def _encode_tokens_raw(raw: list[int]) -> bytes:
     return bytes(out)
 
 
-def _decode_tokens_raw(payload: bytes) -> list[int]:
-    """Inverse of :func:`_encode_tokens_raw`: payload -> packed tokens."""
+def _decode_tokens_raw(
+    payload: bytes,
+    codes: Optional[tuple[tuple[int, ...], tuple[int, ...]]] = None,
+) -> list[int]:
+    """Inverse of :func:`_encode_tokens_raw`: payload -> packed tokens.
+
+    ``codes`` supplies shared-dictionary tables; without it the code
+    lengths come from the per-message header at the front of ``payload``.
+    """
     reader = BitReader(payload)
     try:
-        lit_code = CanonicalCode(_read_lengths(reader, _LITLEN_ALPHABET))
-        dist_code = CanonicalCode(_read_lengths(reader, _DIST_ALPHABET))
+        if codes is not None:
+            lit_code = CanonicalCode(codes[0])
+            dist_code = CanonicalCode(codes[1])
+        else:
+            lit_code = CanonicalCode(_read_lengths(reader, _LITLEN_ALPHABET))
+            dist_code = CanonicalCode(_read_lengths(reader, _DIST_ALPHABET))
     except HuffmanError as exc:
         raise CompressionError(f"bad code table: {exc}") from exc
     except BitstreamError:
@@ -335,26 +379,58 @@ def _decode_tokens(payload: bytes) -> list[Token]:
     ]
 
 
-def compress(data: bytes, *, backend: str = "pure", max_chain: int = 64) -> bytes:
+def compress(
+    data: bytes,
+    *,
+    backend: str = "pure",
+    max_chain: int = 64,
+    dictionary=None,
+) -> bytes:
     """Compress ``data`` into a deflate-lite container.
 
     ``backend="pure"`` uses the from-scratch LZSS+Huffman pipeline;
     ``backend="zlib"`` wraps a zlib stream in the same container (fast path
-    for large benchmark corpora).
+    for large benchmark corpora).  ``dictionary`` (a
+    :class:`~repro.compression.dictionaries.HuffmanDictionary`) switches
+    the pure backend to shared code tables: no per-message tree, no
+    158-byte header, 1-byte dictionary id in-band instead.
     """
     if backend not in ("pure", "zlib"):
         raise ValueError(f"unknown backend: {backend!r}")
+    if dictionary is not None and backend != "pure":
+        raise ValueError("shared dictionaries require the pure backend")
     header = bytearray(MAGIC)
-    header.append(_FLAG_ZLIB if backend == "zlib" else 0)
+    if dictionary is not None:
+        header.append(_FLAG_DICT)
+        header.append(dictionary.dict_id)
+    else:
+        header.append(_FLAG_ZLIB if backend == "zlib" else 0)
     _write_varint(header, len(data))
     header += struct.pack(">I", crc32(data))
     if not data:
         return bytes(header)
     if backend == "zlib":
         payload = _zlib.compress(data, 6)
+    elif dictionary is not None:
+        payload = _encode_tokens_raw(
+            tokenize_raw(data, max_chain=max_chain),
+            (dictionary.lit_lengths, dictionary.dist_lengths),
+        )
     else:
         payload = _encode_tokens_raw(tokenize_raw(data, max_chain=max_chain))
     return bytes(header) + payload
+
+
+def _resolve_wire_dictionary(dict_id: int):
+    """In-band id -> dictionary via the deterministic built-in registry."""
+    # Imported lazily: dictionaries trains from the workload generators,
+    # which must not load just to decompress a dictionary-less container.
+    from .dictionaries import DictionaryError, dictionary_by_id
+
+    try:
+        return dictionary_by_id(dict_id)
+    except DictionaryError as exc:
+        raise CompressionError(str(exc)) from exc
 
 
 def decompress(blob: bytes) -> bytes:
@@ -364,7 +440,16 @@ def decompress(blob: bytes) -> bytes:
     if blob[: len(MAGIC)] != MAGIC:
         raise CompressionError("bad magic")
     flags = blob[len(MAGIC)]
-    origlen, pos = _read_varint(blob, len(MAGIC) + 1)
+    pos = len(MAGIC) + 1
+    dictionary = None
+    if flags & _FLAG_DICT:
+        if flags & _FLAG_ZLIB:
+            raise CompressionError("dictionary flag on a zlib payload")
+        if pos >= len(blob):
+            raise CompressionError("truncated header")
+        dictionary = _resolve_wire_dictionary(blob[pos])
+        pos += 1
+    origlen, pos = _read_varint(blob, pos)
     if pos + 4 > len(blob):
         raise CompressionError("truncated header")
     (expected_crc,) = struct.unpack(">I", blob[pos : pos + 4])
@@ -376,6 +461,12 @@ def decompress(blob: bytes) -> bytes:
             data = _zlib.decompress(payload)
         except _zlib.error as exc:
             raise CompressionError(f"zlib payload corrupt: {exc}") from exc
+    elif dictionary is not None:
+        data = detokenize_raw(
+            _decode_tokens_raw(
+                payload, (dictionary.lit_lengths, dictionary.dist_lengths)
+            )
+        )
     else:
         data = detokenize_raw(_decode_tokens_raw(payload))
     if len(data) != origlen:

@@ -29,6 +29,7 @@ from ..cdn.origin import OriginServer
 from ..mobilecode import Signer
 from ..protocols import CommProtocol, build_pad_module, instantiate
 from ..protocols.stack import ProtocolStack
+from ..store.chunkstore import ChunkStore
 from ..telemetry import MetricsRegistry, Telemetry
 from ..workload.pages import Corpus
 from . import inp
@@ -104,6 +105,7 @@ class ApplicationServer:
         proactive: bool = False,
         telemetry: Optional[Telemetry] = None,
         kernel_pool: Optional[KernelPool] = None,
+        chunk_store: Optional[ChunkStore] = None,
     ):
         self.app_id = app_id
         self.corpus = corpus
@@ -113,6 +115,11 @@ class ApplicationServer:
         # Only the async serving path consults the pool; None means the
         # inline fallback (kernels run on the event loop).
         self.kernel_pool = kernel_pool
+        # Fleet-level content-addressed store: when set, both serving
+        # paths route part encoding through a StoreBackedResponder so
+        # equal content is chunked/compressed once across all sessions.
+        self.chunk_store = chunk_store
+        self._responder: Optional[StoreBackedResponder] = None
         self.stats = ServerStats(self.telemetry.registry)
         self._protocols: dict[str, CommProtocol] = {}
         self._pad_meta: dict[str, PADMeta] = {}
@@ -283,6 +290,31 @@ class ApplicationServer:
             )
         return pad_ids, page_id, old_version, new_version, part_requests, old_parts, new_parts
 
+    def _store_responder(self):
+        """The (pool-current) responder over this server's chunk store.
+
+        Rebuilt whenever :attr:`kernel_pool` changes, so cold-path
+        kernels always dispatch to whatever pool is attached right now
+        — sharded by content digest, not by session.
+        """
+        # Imported here, not at module top: repro.store.serving imports
+        # this package for the kernel pool, so a top-level import would
+        # be circular when ``repro.store`` loads first.
+        from ..store.serving import StoreBackedResponder
+
+        assert self.chunk_store is not None
+        pool = self.kernel_pool if self.kernel_pool is not None else _INLINE_POOL
+        responder = self._responder
+        if responder is None or responder.pool is not pool:
+            responder = StoreBackedResponder(
+                self.chunk_store,
+                pool=pool,
+                registry=self.telemetry.registry,
+                timer_name="appserver.encode_seconds",
+            )
+            self._responder = responder
+        return responder
+
     def serve_app_request(self, body: dict) -> dict:
         """The server half of an APP_REQ: encode every requested part."""
         registry = self.telemetry.registry
@@ -296,7 +328,11 @@ class ApplicationServer:
             old_parts,
             new_parts,
         ) = self._parse_app_req(body)
-        stack = self._stack_for(pad_ids)
+        if self.chunk_store is not None:
+            spec = self._stack_spec_for(pad_ids)
+            responder = self._store_responder()
+        else:
+            stack = self._stack_for(pad_ids)
         responses = []
         with self.telemetry.tracer.span("server.encode", app=self.app_id):
             for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
@@ -314,6 +350,14 @@ class ApplicationServer:
                 if cached is not None:
                     registry.counter("appserver.precompute_hits").inc()
                     response = cached
+                elif self.chunk_store is not None:
+                    # The responder wraps only real computes in the
+                    # encode timer; store hits cost no encode time.
+                    registry.counter("appserver.store_requests").inc()
+                    response = responder.respond(spec, request, old, new)
+                    if self.proactive:
+                        with self._cache_lock:
+                            self._response_cache[key] = response
                 else:
                     with registry.timer("appserver.encode_seconds"):
                         response = stack.server_respond(request, old, new)
@@ -353,11 +397,12 @@ class ApplicationServer:
         Semantics and counters match :meth:`serve_app_request` exactly —
         same cache keys, same response bytes — but each encode runs on
         the kernel pool (``shard_key``, typically the INP session id,
-        pins a session to one worker process).  With no pool attached the
-        kernels run inline on the loop, the documented ``workers=0``
-        fallback.  Tracer spans are deliberately absent: span stacks are
-        thread-local and interleaved tasks on one loop would corrupt
-        them; the counters carry the ledger instead.
+        pins a session to one worker process; with a chunk store
+        attached, cold-path kernels shard by content digest instead).
+        With no pool attached the kernels run inline on the loop, the
+        documented ``workers=0`` fallback.  Tracer spans are real here:
+        the span stack is a ``contextvars`` context variable, so each
+        interleaved task nests its own tree.
         """
         registry = self.telemetry.registry
         registry.counter("appserver.requests").inc()
@@ -371,35 +416,45 @@ class ApplicationServer:
             new_parts,
         ) = self._parse_app_req(body)
         spec = self._stack_spec_for(pad_ids)
+        responder = self._store_responder() if self.chunk_store is not None else None
         pool = self.kernel_pool if self.kernel_pool is not None else _INLINE_POOL
         responses = []
-        for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
-            request = inp.b64d(req_b64)
-            registry.counter("appserver.bytes_in").inc(len(request))
-            old = (
-                old_parts[part_idx]
-                if old_parts and part_idx < len(old_parts)
-                else None
-            )
-            key = self._cache_key(pad_ids, page_id, old_version, new_version,
-                                  part_idx, request)
-            with self._cache_lock:
-                cached = self._response_cache.get(key)
-            if cached is not None:
-                registry.counter("appserver.precompute_hits").inc()
-                response = cached
-            else:
-                with registry.timer("appserver.encode_seconds"):
-                    response = await pool.run_async(
-                        "stack.respond", spec, request, old, new,
-                        shard_key=shard_key,
+        with self.telemetry.tracer.span("server.encode", app=self.app_id):
+            for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
+                request = inp.b64d(req_b64)
+                registry.counter("appserver.bytes_in").inc(len(request))
+                old = (
+                    old_parts[part_idx]
+                    if old_parts and part_idx < len(old_parts)
+                    else None
+                )
+                key = self._cache_key(pad_ids, page_id, old_version, new_version,
+                                      part_idx, request)
+                with self._cache_lock:
+                    cached = self._response_cache.get(key)
+                if cached is not None:
+                    registry.counter("appserver.precompute_hits").inc()
+                    response = cached
+                elif responder is not None:
+                    registry.counter("appserver.store_requests").inc()
+                    response = await responder.respond_async(
+                        spec, request, old, new
                     )
-                if self.proactive:
-                    with self._cache_lock:
-                        self._response_cache[key] = response
-            registry.counter("appserver.parts_encoded").inc()
-            registry.counter("appserver.bytes_out").inc(len(response))
-            responses.append(inp.b64e(response))
+                    if self.proactive:
+                        with self._cache_lock:
+                            self._response_cache[key] = response
+                else:
+                    with registry.timer("appserver.encode_seconds"):
+                        response = await pool.run_async(
+                            "stack.respond", spec, request, old, new,
+                            shard_key=shard_key,
+                        )
+                    if self.proactive:
+                        with self._cache_lock:
+                            self._response_cache[key] = response
+                registry.counter("appserver.parts_encoded").inc()
+                registry.counter("appserver.bytes_out").inc(len(response))
+                responses.append(inp.b64e(response))
         return {
             "page_id": page_id,
             "new_version": new_version,

@@ -10,15 +10,16 @@ loop instead of one thread each.
 
 Deliberate differences from the sync client:
 
-* **No tracer spans around awaits.**  Span stacks are thread-local;
-  interleaved tasks on one loop would corrupt each other's trees.  The
-  synchronous sections (`PAD fetch/verify/deploy`) still span normally,
-  and timing fields come from ``perf_counter`` so
-  :class:`SessionResult` stays fully populated.
 * **No retry policy / degradation.**  Those knobs wrap blocking calls
   with backoff sleeps; the async load path measures the clean serving
   core.  Constructing with either enabled raises immediately rather
   than silently not retrying.
+
+Tracer spans are the same as the sync client's (``session`` →
+``negotiate`` / ``client.encode`` / ``app_exchange`` /
+``client.reconstruct``): the span stack is a ``contextvars`` variable,
+so spans stay correctly nested across ``await`` boundaries and
+interleaved tasks each build their own tree.
 """
 
 from __future__ import annotations
@@ -70,26 +71,29 @@ class AsyncFractalClient(FractalClient):
     async def _negotiate_once(self, app_id: str) -> tuple[tuple[PADMeta, ...], float]:
         session_id = f"{self.name}-{next(_session_counter)}"
         t0 = time.perf_counter()
-        init = INPMessage(MsgType.INIT_REQ, session_id, 0, {"app_id": app_id})
-        init_rep = (await self._rpc_async(self.proxy_endpoint, init)).expect(
-            MsgType.INIT_REP
-        )
-        if "cli_meta_req" not in init_rep.body:
-            raise ProtocolMismatchError("INIT_REP did not carry CLI_META_REQ")
-        cli_meta = init_rep.reply(
-            MsgType.CLI_META_REP,
-            {
-                "dev_meta": self.probe_dev_meta().to_wire(),
-                "ntwk_meta": self.probe_ntwk_meta().to_wire(),
-            },
-        )
-        pad_rep = (await self._rpc_async(self.proxy_endpoint, cli_meta)).expect(
-            MsgType.PAD_META_REP
-        )
-        pads_wire = pad_rep.body.get("pads")
-        if not isinstance(pads_wire, list) or not pads_wire:
-            raise NegotiationError("PAD_META_REP carried no PAD metadata")
-        pads = tuple(PADMeta.from_wire(p) for p in pads_wire)
+        with self.telemetry.tracer.span(
+            "negotiate", trace=session_id, client=self.name, app=app_id
+        ):
+            init = INPMessage(MsgType.INIT_REQ, session_id, 0, {"app_id": app_id})
+            init_rep = (await self._rpc_async(self.proxy_endpoint, init)).expect(
+                MsgType.INIT_REP
+            )
+            if "cli_meta_req" not in init_rep.body:
+                raise ProtocolMismatchError("INIT_REP did not carry CLI_META_REQ")
+            cli_meta = init_rep.reply(
+                MsgType.CLI_META_REP,
+                {
+                    "dev_meta": self.probe_dev_meta().to_wire(),
+                    "ntwk_meta": self.probe_ntwk_meta().to_wire(),
+                },
+            )
+            pad_rep = (await self._rpc_async(self.proxy_endpoint, cli_meta)).expect(
+                MsgType.PAD_META_REP
+            )
+            pads_wire = pad_rep.body.get("pads")
+            if not isinstance(pads_wire, list) or not pads_wire:
+                raise NegotiationError("PAD_META_REP carried no PAD metadata")
+            pads = tuple(PADMeta.from_wire(p) for p in pads_wire)
         return pads, time.perf_counter() - t0
 
     # -- the application session ---------------------------------------------------------
@@ -104,73 +108,79 @@ class AsyncFractalClient(FractalClient):
         new_version: int = 1,
         force_negotiation: bool = False,
     ) -> SessionResult:
-        outcome = await self.negotiate(app_id, force=force_negotiation)
-        key = self._cache_key(app_id)
-        try:
-            # PAD download/verify/deploy is synchronous CPU+memory work
-            # with no awaits inside, so the inherited implementation
-            # (spans included) is safe on the loop.
-            stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
-        except MobileCodeError:
-            # Stale protocol-cache entry after a PAD upgrade (same
-            # recovery as the sync client): renegotiate once.
-            self._protocol_cache.pop(key, None)
-            self._stacks.pop(key, None)
-            outcome = await self.negotiate(app_id, force=True)
-            stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
-        pad_ids = tuple(m.resolved_id for m in outcome.pads)
+        tracer = self.telemetry.tracer
+        trace_id = f"{self.name}-p{next(_session_counter)}"
+        with tracer.span(
+            "session", trace=trace_id, client=self.name, app=app_id, page=page_id
+        ):
+            outcome = await self.negotiate(app_id, force=force_negotiation)
+            key = self._cache_key(app_id)
+            try:
+                # PAD download/verify/deploy is synchronous CPU+memory work
+                # with no awaits inside, so the inherited implementation
+                # (spans included) is safe on the loop.
+                stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
+            except MobileCodeError:
+                # Stale protocol-cache entry after a PAD upgrade (same
+                # recovery as the sync client): renegotiate once.
+                self._protocol_cache.pop(key, None)
+                self._stacks.pop(key, None)
+                outcome = await self.negotiate(app_id, force=True)
+                stack, pad_bytes, retrieval_s = self._deploy_stack(key, outcome.pads)
+            pad_ids = tuple(m.resolved_id for m in outcome.pads)
 
-        n_parts = (
-            len(old_parts)
-            if old_parts is not None
-            else self._probe_part_count(app_id, page_id, new_version)
-        )
-        t_encode = time.perf_counter()
-        part_requests = []
-        for idx in range(n_parts):
-            old = old_parts[idx] if old_parts is not None else None
-            part_requests.append(inp.b64e(stack.client_request(old)))
-        encode_s = time.perf_counter() - t_encode
-
-        session_id = f"{self.name}-{next(_session_counter)}"
-        req = INPMessage(
-            MsgType.APP_REQ,
-            session_id,
-            0,
-            {
-                "pad_ids": list(pad_ids),
-                "page_id": page_id,
-                "old_version": old_version,
-                "new_version": new_version,
-                "part_requests": part_requests,
-            },
-        )
-        rep = (await self._rpc_async(self.appserver_endpoint, req)).expect(
-            MsgType.APP_REP
-        )
-        responses = rep.body.get("part_responses")
-        if not isinstance(responses, list):
-            raise ProtocolMismatchError("APP_REP carried no part responses")
-
-        parts: list[bytes] = []
-        req_bytes = 0
-        resp_bytes = 0
-        t_reconstruct = time.perf_counter()
-        for idx, resp_b64 in enumerate(responses):
-            response = inp.b64d(resp_b64)
-            resp_bytes += len(response)
-            old = (
-                old_parts[idx]
-                if old_parts is not None and idx < len(old_parts)
-                else None
+            n_parts = (
+                len(old_parts)
+                if old_parts is not None
+                else self._probe_part_count(app_id, page_id, new_version)
             )
-            parts.append(stack.client_reconstruct(old, response))
-        reconstruct_s = time.perf_counter() - t_reconstruct
-        for req_b64 in part_requests:
-            req_bytes += len(inp.b64d(req_b64))
-        registry = self.telemetry.registry
-        registry.counter("client.app_request_bytes").inc(req_bytes)
-        registry.counter("client.app_response_bytes").inc(resp_bytes)
+            part_requests = []
+            with tracer.span("client.encode") as encode_span:
+                for idx in range(n_parts):
+                    old = old_parts[idx] if old_parts is not None else None
+                    part_requests.append(inp.b64e(stack.client_request(old)))
+
+            session_id = f"{self.name}-{next(_session_counter)}"
+            req = INPMessage(
+                MsgType.APP_REQ,
+                session_id,
+                0,
+                {
+                    "pad_ids": list(pad_ids),
+                    "page_id": page_id,
+                    "old_version": old_version,
+                    "new_version": new_version,
+                    "part_requests": part_requests,
+                },
+            )
+            with tracer.span("app_exchange"):
+                rep = (await self._rpc_async(self.appserver_endpoint, req)).expect(
+                    MsgType.APP_REP
+                )
+            responses = rep.body.get("part_responses")
+            if not isinstance(responses, list):
+                raise ProtocolMismatchError("APP_REP carried no part responses")
+
+            parts: list[bytes] = []
+            req_bytes = 0
+            resp_bytes = 0
+            with tracer.span("client.reconstruct") as reconstruct_span:
+                for idx, resp_b64 in enumerate(responses):
+                    response = inp.b64d(resp_b64)
+                    resp_bytes += len(response)
+                    old = (
+                        old_parts[idx]
+                        if old_parts is not None and idx < len(old_parts)
+                        else None
+                    )
+                    parts.append(stack.client_reconstruct(old, response))
+            for req_b64 in part_requests:
+                req_bytes += len(inp.b64d(req_b64))
+            registry = self.telemetry.registry
+            registry.counter("client.app_request_bytes").inc(req_bytes)
+            registry.counter("client.app_response_bytes").inc(resp_bytes)
+            encode_s = encode_span.duration_s
+            reconstruct_s = reconstruct_span.duration_s
 
         return SessionResult(
             page_id=page_id,

@@ -102,11 +102,21 @@ def _k_stack_respond(
 
 
 def _k_gziplike_compress(
-    data: bytes, backend: str = "pure", max_chain: int = 64
+    data: bytes,
+    backend: str = "pure",
+    max_chain: int = 64,
+    dictionary: Optional[str] = None,
 ) -> bytes:
-    from ..compression import compress
+    from ..compression import builtin_dictionary, compress
 
-    return compress(data, backend=backend, max_chain=max_chain)
+    # The dictionary crosses the process boundary as its content-class
+    # name; workers re-train deterministically (memoized per process).
+    return compress(
+        data,
+        backend=backend,
+        max_chain=max_chain,
+        dictionary=builtin_dictionary(dictionary) if dictionary else None,
+    )
 
 
 def _k_cdc_boundaries(
@@ -116,6 +126,29 @@ def _k_cdc_boundaries(
 
     chunker = ContentDefinedChunker(mask_bits=mask_bits, window=window)
     return [(c.offset, c.length) for c in chunker.chunk(data)]
+
+
+def _k_cdc_record(
+    data: bytes, mask_bits: int = 10, window: int = 48, truncate: int = 16
+) -> bytes:
+    """CDC boundaries + per-chunk truncated SHA-1 digests, packed flat.
+
+    This is the chunk-store record format: ``<II`` offset/length pairs
+    each followed by ``truncate`` digest bytes — one preparation pass
+    per page version that every later delta assembly reuses.
+    """
+    import hashlib
+    import struct
+
+    from ..chunking import ContentDefinedChunker
+
+    chunker = ContentDefinedChunker(mask_bits=mask_bits, window=window)
+    pair = struct.Struct("<II")
+    out = bytearray()
+    for c in chunker.chunk(data):
+        out += pair.pack(c.offset, c.length)
+        out += hashlib.sha1(data[c.offset : c.offset + c.length]).digest()[:truncate]
+    return bytes(out)
 
 
 def _k_vary_encode(
@@ -130,6 +163,7 @@ KERNELS = {
     "stack.respond": _k_stack_respond,
     "gziplike.compress": _k_gziplike_compress,
     "cdc.boundaries": _k_cdc_boundaries,
+    "cdc.record": _k_cdc_record,
     "vary.encode": _k_vary_encode,
 }
 

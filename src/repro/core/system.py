@@ -16,6 +16,7 @@ from ..cdn import Deployment, FailoverFetcher, build_deployment, push_all
 from ..mobilecode import Signer, TrustStore, generate_keypair
 from ..protocols.padlib import PAD_SPECS
 from ..simnet.transport import InProcessTransport
+from ..store.chunkstore import ChunkStore
 from ..telemetry import Telemetry
 from ..workload.pages import Corpus
 from ..workload.profiles import ClientEnvironment
@@ -45,20 +46,30 @@ _RSA_BITS = 768  # plenty for a simulation; keygen stays fast
 def case_study_app_meta_pads(
     overheads: dict[str, PADOverhead],
     pad_ids: Iterable[str] = ("direct", "gzip", "vary", "bitmap"),
+    pad_init_overrides: Optional[dict[str, dict]] = None,
 ) -> list[PADMeta]:
-    """The one-level PAT of Fig. 8: every PAD a child of the root."""
+    """The one-level PAT of Fig. 8: every PAD a child of the root.
+
+    ``pad_init_overrides`` merges extra constructor kwargs into a PAD's
+    defaults (``{"gzip": {"backend": "pure", "dictionary": "text"}}``)
+    — the override reaches both the server-side stacks and the modules
+    pushed to the CDN, since everything downstream reads
+    ``PADMeta.init_kwargs``.
+    """
+    overrides = pad_init_overrides or {}
     pads = []
     for pad_id in pad_ids:
         spec = PAD_SPECS[pad_id]
         from ..protocols.padlib import build_pad_module
 
-        module = build_pad_module(pad_id)
+        init_kwargs = {**spec.init_kwargs, **overrides.get(pad_id, {})}
+        module = build_pad_module(pad_id, **overrides.get(pad_id, {}))
         pads.append(
             PADMeta(
                 pad_id=pad_id,
                 size_bytes=module.size,
                 overhead=overheads[pad_id],
-                init_kwargs=dict(spec.init_kwargs),
+                init_kwargs=init_kwargs,
             )
         )
     return pads
@@ -76,6 +87,7 @@ class CaseStudySystem:
     trust_store: TrustStore
     overheads: dict[str, PADOverhead]
     telemetry: Telemetry = field(default_factory=Telemetry)
+    chunk_store: Optional[ChunkStore] = None
     clients: list[FractalClient] = field(default_factory=list)
     _client_counter: int = 0
 
@@ -174,6 +186,8 @@ def build_case_study(
     rho: float = 0.8,
     seed: int = 2005,
     telemetry: Optional[Telemetry] = None,
+    dedup: bool = False,
+    pad_init_overrides: Optional[dict[str, dict]] = None,
 ) -> CaseStudySystem:
     """Assemble the full case-study system.
 
@@ -183,6 +197,15 @@ def build_case_study(
     replaces the compute terms with the era-calibrated model (see
     :mod:`repro.core.era`), which the figure reproductions use so
     negotiation crossovers land where the paper's 2005 testbed put them.
+
+    ``dedup=True`` attaches a fleet-level
+    :class:`~repro.store.ChunkStore` to the application server: each
+    page version is chunked/compressed once and later sessions are
+    served byte-identical responses straight from the store (the
+    ``store.fleet.*`` counters ledger every hit).
+    ``pad_init_overrides`` tweaks PAD constructor kwargs fleet-wide —
+    e.g. ``{"gzip": {"backend": "pure", "dictionary": "text"}}`` turns
+    on the shared pre-trained Huffman dictionary.
     """
     pad_ids = tuple(pad_ids)
     # One shared bundle for the whole testbed: client spans and proxy
@@ -204,10 +227,18 @@ def build_case_study(
     if era:
         overheads = era_overheads(overheads)
 
-    appserver = ApplicationServer(
-        APP_ID, corpus, signer, proactive=proactive, telemetry=telemetry
+    chunk_store = (
+        ChunkStore(name="fleet", registry=telemetry.registry) if dedup else None
     )
-    for meta in case_study_app_meta_pads(overheads, pad_ids):
+    appserver = ApplicationServer(
+        APP_ID,
+        corpus,
+        signer,
+        proactive=proactive,
+        telemetry=telemetry,
+        chunk_store=chunk_store,
+    )
+    for meta in case_study_app_meta_pads(overheads, pad_ids, pad_init_overrides):
         appserver.deploy_pad(meta)
 
     a, b, r = paper_case_study_matrices()
@@ -233,4 +264,5 @@ def build_case_study(
         trust_store=trust_store,
         overheads=overheads,
         telemetry=telemetry,
+        chunk_store=chunk_store,
     )

@@ -4,13 +4,21 @@ The algorithmic core is the deflate-lite substrate.  ``backend`` picks
 between the from-scratch pure-Python pipeline (used in correctness and
 property tests) and the zlib fast path (used in timing benchmarks, where
 the paper's Java gzip was similarly native-speed).
+
+``dictionary`` names a pre-trained shared-dictionary content class
+("text", "image", "delta"): responses then carry a 1-byte dictionary id
+instead of a per-message Huffman header, and both sides skip tree
+construction.  The client side needs no configuration at all — the id
+travels in-band and ``decompress`` resolves it through the deterministic
+built-in registry, so a dictionary-configured server interoperates with
+any client holding this PAD.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..compression import CompressionError, compress, decompress
+from ..compression import CompressionError, builtin_dictionary, compress, decompress
 from .base import CommProtocol, ProtocolError
 
 __all__ = ["GzipProtocol"]
@@ -19,16 +27,37 @@ __all__ = ["GzipProtocol"]
 class GzipProtocol(CommProtocol):
     name = "gzip"
 
-    def __init__(self, backend: str = "zlib", max_chain: int = 64):
+    def __init__(
+        self,
+        backend: str = "zlib",
+        max_chain: int = 64,
+        dictionary: Optional[str] = None,
+    ):
         if backend not in ("pure", "zlib"):
             raise ValueError(f"unknown backend: {backend!r}")
+        if dictionary is not None and backend != "pure":
+            raise ValueError(
+                "shared dictionaries require backend='pure' "
+                "(the zlib payload has no code tables to share)"
+            )
         self.backend = backend
         self.max_chain = max_chain
+        self.dictionary = dictionary
 
     def server_respond(
         self, request: bytes, old: Optional[bytes], new: bytes
     ) -> bytes:
-        return compress(new, backend=self.backend, max_chain=self.max_chain)
+        dictionary = (
+            builtin_dictionary(self.dictionary)
+            if self.dictionary is not None
+            else None
+        )
+        return compress(
+            new,
+            backend=self.backend,
+            max_chain=self.max_chain,
+            dictionary=dictionary,
+        )
 
     def client_reconstruct(self, old: Optional[bytes], response: bytes) -> bytes:
         try:

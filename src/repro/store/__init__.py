@@ -1,0 +1,31 @@
+"""Fleet-level content-addressed store (chunk records + finished responses).
+
+See :mod:`repro.store.chunkstore` for the bounded single-flight store and
+:mod:`repro.store.serving` for the serving-path integration.
+"""
+
+from .chunkstore import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    ChunkStore,
+    StoreStats,
+)
+from .serving import (
+    StoreBackedResponder,
+    chunk_record_key,
+    response_key,
+    unpack_chunk_record,
+    vary_delta_from_records,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_MAX_ENTRIES",
+    "ChunkStore",
+    "StoreStats",
+    "StoreBackedResponder",
+    "chunk_record_key",
+    "response_key",
+    "unpack_chunk_record",
+    "vary_delta_from_records",
+]

@@ -22,15 +22,22 @@ Finished traces are bounded (``max_traces``, oldest dropped first): the
 tracer must survive a 10k-session churn loop without becoming the very
 memory leak this PR fixes in the proxy.
 
-Thread safety: the active-span stack is **per thread**
-(``threading.local``), so eight concurrent client sessions each build
-their own span tree instead of nesting into whichever span another
-thread happens to have open; the finished-trace table is guarded by a
-lock.  A single ``Span`` is still owned by the thread that opened it.
+Concurrency: the active-span stack lives in a ``contextvars``
+context variable holding an **immutable tuple**, so it is isolated per
+thread *and* per asyncio task — eight worker threads or eight
+interleaved tasks on one event loop each build their own span tree
+instead of nesting into whichever span another execution context has
+open.  Entering a span sets the variable to ``stack + (span,)`` and
+records the token; exiting resets it, which restores correct LIFO
+nesting across ``await`` boundaries (the async client and
+``handle_async`` emit real spans through this).  The finished-trace
+table is guarded by a lock.  A single ``Span`` is still owned by the
+context that opened it.
 """
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
 import threading
@@ -114,9 +121,13 @@ class Tracer:
             raise ValueError(f"max_traces must be >= 1, got {max_traces}")
         self.clock: Clock = clock or wall_clock
         self.max_traces = max_traces
-        # Active spans nest per *thread*: concurrent sessions must not
-        # become children of each other's spans.
-        self._local = threading.local()
+        # Active spans nest per execution context (thread AND asyncio
+        # task): concurrent sessions must not become children of each
+        # other's spans.  The value is an immutable tuple; span() swaps
+        # it with set()/reset() tokens, never mutates it in place.
+        self._stack_var: contextvars.ContextVar[tuple[Span, ...]] = (
+            contextvars.ContextVar(f"tracer_stack_{id(self)}", default=())
+        )
         # trace id -> finished root spans, insertion-ordered for FIFO drop.
         self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
         self._lock = threading.Lock()
@@ -124,11 +135,8 @@ class Tracer:
         self.traces_dropped = 0
 
     @property
-    def _stack(self) -> list[Span]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    def _stack(self) -> tuple[Span, ...]:
+        return self._stack_var.get()
 
     # -- recording ----------------------------------------------------------
 
@@ -139,7 +147,7 @@ class Tracer:
         ``trace`` names the trace id for a *root* span (e.g. the INP
         session id); child spans always inherit their parent's trace id.
         """
-        stack = self._stack
+        stack = self._stack_var.get()
         parent = stack[-1] if stack else None
         if parent is not None:
             trace_id = parent.trace_id
@@ -151,12 +159,12 @@ class Tracer:
             sp.tags.update(tags)
         if parent is not None:
             parent.children.append(sp)
-        stack.append(sp)
+        token = self._stack_var.set(stack + (sp,))
         try:
             yield sp
         finally:
             sp.end_s = self.clock()
-            stack.pop()
+            self._stack_var.reset(token)
             if parent is None:
                 self._keep_root(sp)
 

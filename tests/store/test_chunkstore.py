@@ -1,0 +1,254 @@
+"""ChunkStore bounds, single-flight, and ledger invariants."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.store import ChunkStore
+from repro.telemetry import MetricsRegistry
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        store = ChunkStore(name="t")
+        assert store.get("k") is None
+        store.put("k", b"value")
+        assert store.get("k") == b"value"
+        assert "k" in store
+        assert len(store) == 1
+        assert store.used_bytes == 5
+
+    def test_get_or_compute_computes_once(self):
+        store = ChunkStore(name="t")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return b"abc"
+
+        assert store.get_or_compute("k", compute) == b"abc"
+        assert store.get_or_compute("k", compute) == b"abc"
+        assert len(calls) == 1
+        s = store.stats
+        assert (s.lookups, s.hits, s.misses, s.computes) == (2, 1, 1, 1)
+        assert s.bytes_saved == 3
+
+    def test_non_bytes_compute_result_rejected(self):
+        store = ChunkStore(name="t")
+        with pytest.raises(TypeError, match="expected bytes"):
+            store.get_or_compute("k", lambda: "not-bytes")
+        # Nothing cached; a later good compute succeeds.
+        assert store.get_or_compute("k", lambda: b"ok") == b"ok"
+
+    def test_compute_error_caches_nothing(self):
+        store = ChunkStore(name="t")
+        with pytest.raises(RuntimeError, match="boom"):
+            store.get_or_compute("k", self._boom)
+        assert "k" not in store
+        assert store.get_or_compute("k", lambda: b"ok") == b"ok"
+
+    @staticmethod
+    def _boom() -> bytes:
+        raise RuntimeError("boom")
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkStore(max_entries=0)
+        with pytest.raises(ValueError):
+            ChunkStore(max_bytes=0)
+
+
+class TestBounds:
+    def test_lru_entry_bound(self):
+        store = ChunkStore(name="t", max_entries=3)
+        for i in range(5):
+            store.put(f"k{i}", b"x")
+        assert len(store) == 3
+        assert store.get("k0") is None and store.get("k1") is None
+        assert store.get("k4") == b"x"
+        assert store.stats.evictions == 2
+
+    def test_lru_recency_refresh(self):
+        store = ChunkStore(name="t", max_entries=2)
+        store.put("a", b"1")
+        store.put("b", b"2")
+        assert store.get("a") == b"1"  # refresh: b becomes LRU
+        store.put("c", b"3")
+        assert store.get("b") is None
+        assert store.get("a") == b"1"
+
+    def test_byte_bound_evicts_lru(self):
+        store = ChunkStore(name="t", max_bytes=10)
+        store.put("a", b"x" * 4)
+        store.put("b", b"y" * 4)
+        store.put("c", b"z" * 4)  # 12 bytes > 10: "a" must go
+        assert store.get("a") is None
+        assert store.used_bytes == 8
+        assert store.stats.evictions == 1
+
+    def test_oversize_value_returned_not_cached(self):
+        store = ChunkStore(name="t", max_bytes=4)
+        store.put("small", b"ab")
+        value = store.get_or_compute("big", lambda: b"x" * 100)
+        assert value == b"x" * 100
+        assert "big" not in store
+        assert store.get("small") == b"ab"  # the store survived
+        assert store.stats.oversize == 1
+
+    def test_replace_updates_byte_accounting(self):
+        store = ChunkStore(name="t", max_bytes=100)
+        store.put("k", b"x" * 40)
+        store.put("k", b"y" * 10)
+        assert store.used_bytes == 10
+        assert len(store) == 1
+
+    def test_clear(self):
+        store = ChunkStore(name="t")
+        store.put("k", b"v")
+        store.clear()
+        assert len(store) == 0 and store.used_bytes == 0
+
+
+class TestSingleFlight:
+    def test_threaded_race_computes_once(self):
+        """Seeded herd: N threads race one cold key; one compute, exact ledger."""
+        store = ChunkStore(name="t", registry=MetricsRegistry())
+        n = 8
+        barrier = threading.Barrier(n)
+        release = threading.Event()
+        calls = []
+        results = [None] * n
+        errors = []
+
+        def compute():
+            calls.append(threading.get_ident())
+            release.wait(timeout=5)
+            return b"the-one-true-record"
+
+        def worker(i):
+            try:
+                barrier.wait(timeout=5)
+                results[i] = store.get_or_compute("hot", compute)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        # Let every non-leader reach the flight wait before the leader
+        # finishes, so the coalescing path is actually exercised.
+        while store.stats.lookups < n:
+            pass
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        assert len(calls) == 1, "key was computed more than once under a race"
+        assert all(r == b"the-one-true-record" for r in results)
+        s = store.stats
+        assert s.lookups == n
+        assert s.misses == s.computes == 1
+        assert s.hits + s.coalesced == n - 1
+        assert s.lookups == s.hits + s.misses + s.coalesced
+
+    def test_leader_error_propagates_to_waiters(self):
+        store = ChunkStore(name="t")
+        n = 4
+        barrier = threading.Barrier(n)
+        release = threading.Event()
+        outcomes = []
+
+        def compute():
+            release.wait(timeout=5)
+            raise RuntimeError("leader failed")
+
+        def worker():
+            barrier.wait(timeout=5)
+            try:
+                store.get_or_compute("hot", compute)
+            except RuntimeError as exc:
+                outcomes.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        while store.stats.lookups < n:
+            pass
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert outcomes == ["leader failed"] * n
+        assert "hot" not in store
+
+    def test_async_and_sync_callers_coalesce(self):
+        """An event-loop task and a thread share one flight."""
+        store = ChunkStore(name="t")
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            started.set()
+            release.wait(timeout=5)
+            return b"shared"
+
+        thread_result = []
+        leader = threading.Thread(
+            target=lambda: thread_result.append(store.get_or_compute("k", compute))
+        )
+        leader.start()
+        assert started.wait(timeout=5)
+
+        async def follower():
+            async def never_called():
+                raise AssertionError("follower must coalesce, not compute")
+
+            task = asyncio.ensure_future(store.get_or_compute_async("k", never_called))
+            await asyncio.sleep(0.05)  # let the task reach the flight wait
+            release.set()
+            return await task
+
+        value = asyncio.run(follower())
+        leader.join(timeout=10)
+        assert value == b"shared"
+        assert thread_result == [b"shared"]
+        assert len(calls) == 1
+        s = store.stats
+        assert s.coalesced >= 1
+
+    def test_async_get_or_compute_basics(self):
+        store = ChunkStore(name="t")
+
+        async def main():
+            async def compute():
+                return b"async-bytes"
+
+            first = await store.get_or_compute_async("k", compute)
+
+            async def never():
+                raise AssertionError("should be a hit")
+
+            second = await store.get_or_compute_async("k", never)
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first == second == b"async-bytes"
+        s = store.stats
+        assert (s.hits, s.misses, s.computes) == (1, 1, 1)
+
+
+class TestRegistryMirror:
+    def test_counters_and_gauges_mirrored(self):
+        registry = MetricsRegistry()
+        store = ChunkStore(name="m", registry=registry)
+        store.put("k", b"1234")
+        store.get("k")
+        store.get("absent")
+        assert registry.counter("store.m.lookups").value == 2
+        assert registry.counter("store.m.hits").value == 1
+        assert registry.counter("store.m.misses").value == 1
+        assert registry.counter("store.m.bytes_saved").value == 4
+        assert registry.gauge("store.m.entries").value == 1
+        assert registry.gauge("store.m.bytes").value == 4

@@ -1,0 +1,174 @@
+"""Fleet-dedup end to end: second client is free, and the bench proves it."""
+
+import json
+
+import pytest
+
+from repro.core.system import APP_ID, build_case_study
+from repro.workload.profiles import DESKTOP_LAN, PAPER_ENVIRONMENTS
+
+
+def _session(system, client, page_id=0):
+    old = system.corpus.evolved(page_id, 0)
+    return client.request_page(
+        APP_ID, page_id,
+        old_parts=[old.text, *old.images], old_version=0, new_version=1,
+    )
+
+
+class TestDedupEndToEnd:
+    def test_second_client_is_served_without_computes(self, small_corpus):
+        system = build_case_study(corpus=small_corpus, calibrate=False, dedup=True)
+        registry = system.telemetry.registry
+
+        first = _session(system, system.make_client(DESKTOP_LAN, name="c1"))
+        computes_cold = registry.counter("store.fleet.computes").value
+        assert computes_cold > 0
+
+        second = _session(system, system.make_client(DESKTOP_LAN, name="c2"))
+        assert registry.counter("store.fleet.computes").value == computes_cold, (
+            "second client for the same page version must be a pure store hit"
+        )
+        assert second.parts == first.parts
+        assert second.app_response_bytes == first.app_response_bytes
+
+    def test_wire_bytes_identical_with_and_without_store(self, small_corpus):
+        plain = build_case_study(corpus=small_corpus, calibrate=False)
+        dedup = build_case_study(corpus=small_corpus, calibrate=False, dedup=True)
+        for env in PAPER_ENVIRONMENTS:
+            rp = _session(plain, plain.make_client(env))
+            rd = _session(dedup, dedup.make_client(env))
+            assert rd.parts == rp.parts
+            assert rd.app_response_bytes == rp.app_response_bytes, env.label
+            assert rd.pad_ids == rp.pad_ids
+
+    def test_store_ledger_reconciles_exactly(self, small_corpus):
+        system = build_case_study(corpus=small_corpus, calibrate=False, dedup=True)
+        for i in range(3):
+            _session(system, system.make_client(DESKTOP_LAN, name=f"c{i}"))
+        s = system.chunk_store.stats
+        assert s.lookups == s.hits + s.misses + s.coalesced
+        assert s.computes == s.misses
+        registry = system.telemetry.registry
+        assert registry.counter("store.fleet.lookups").value == s.lookups
+        assert (
+            registry.counter("appserver.store_requests").value
+            == registry.counter("store.fleet.responses").value
+        )
+
+    def test_async_serving_uses_the_same_store(self, small_corpus):
+        import asyncio
+
+        from repro.core.asyncclient import AsyncFractalClient
+        from repro.core.system import bind_async_endpoints
+        from repro.simnet.asyncnet import AsyncTcpTransport
+
+        async def main():
+            system = build_case_study(
+                corpus=small_corpus, calibrate=False, dedup=True
+            )
+            registry = system.telemetry.registry
+            async with AsyncTcpTransport() as t:
+                await bind_async_endpoints(system, t)
+                old = system.corpus.evolved(0, 0)
+
+                async def go(name):
+                    cli = system.make_client(
+                        DESKTOP_LAN, name=name, transport=t,
+                        client_cls=AsyncFractalClient,
+                    )
+                    return await cli.request_page(
+                        APP_ID, 0,
+                        old_parts=[old.text, *old.images],
+                        old_version=0, new_version=1,
+                    )
+
+                r1 = await go("a1")
+                computes = registry.counter("store.fleet.computes").value
+                r2 = await go("a2")
+                assert registry.counter("store.fleet.computes").value == computes
+                assert r1.parts == r2.parts
+            return system
+
+        system = asyncio.run(main())
+        s = system.chunk_store.stats
+        assert s.lookups == s.hits + s.misses + s.coalesced
+
+
+class TestDedupSweep:
+    @pytest.mark.stress
+    def test_dedup_sweep_reconciles_and_warm_is_free(self):
+        from repro.bench.load import run_dedup_sweep
+
+        off, cold, warm = run_dedup_sweep(workers=2, duration_s=0.4)
+        assert (off.dedup, cold.dedup, warm.dedup) == ("off", "cold", "warm")
+        for point in (off, cold, warm):
+            assert point.errors == 0
+            assert point.reconciled, point.ledger
+        assert off.store is None
+        assert cold.store["computes"] > 0
+        assert warm.store["computes"] == 0
+        assert warm.store["misses"] == 0
+        assert warm.store["bytes_saved"] > 0
+        assert "warm store computes vs zero" in warm.ledger
+
+
+class TestCliJson:
+    @pytest.mark.stress
+    def test_load_dedup_json_and_history_roll(self, tmp_path):
+        from repro.bench.runner import main
+
+        out = tmp_path / "BENCH_load.json"
+        argv = ["load", "--dedup", "--workers", "2", "--duration", "0.3",
+                "--json", str(out)]
+        assert main(argv) == 0
+        payload = json.loads(out.read_text())
+        assert payload["load"]["mode"] == "dedup"
+        labels = [p["dedup"] for p in payload["load"]["points"]]
+        assert labels == ["off", "cold", "warm"]
+        warm = payload["load"]["points"][-1]
+        assert warm["reconciled"] and warm["store"]["computes"] == 0
+        assert "history" not in payload
+
+        # Second run folds the previous load section into history.
+        assert main(argv) == 0
+        payload2 = json.loads(out.read_text())
+        assert len(payload2["history"]) == 1
+        assert payload2["history"][0]["mode"] == "dedup"
+        assert [p["dedup"] for p in payload2["history"][0]["points"]] == labels
+
+    @pytest.mark.chaos
+    def test_chaos_json(self, tmp_path):
+        from repro.bench.runner import main
+
+        out = tmp_path / "BENCH_chaos.json"
+        assert main(["chaos", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"chaos"}
+        assert payload["chaos"]["summaries"], "chaos payload must carry summaries"
+        for row in payload["chaos"]["summaries"]:
+            assert 0.0 <= row["success_rate"] <= 1.0
+        assert payload["chaos"]["env_rows"]
+
+    def test_chaos_payload_shape(self):
+        from repro.bench.chaos import (
+            ChaosEnvRow,
+            ChaosRateSummary,
+            ChaosResult,
+            result_to_payload,
+        )
+
+        result = ChaosResult(
+            env_rows=[ChaosEnvRow(0.1, "Desktop/LAN", sessions=4, completed=3)],
+            summaries=[
+                ChaosRateSummary(
+                    fault_rate=0.1, sessions=4, completed=3, faults_injected=2,
+                    faults_by_kind={"frame_loss": 2}, retries=1, failovers=0,
+                    degradations=1, proxy_restarts=0, unhandled_errors=0,
+                )
+            ],
+        )
+        payload = result_to_payload(result)
+        assert payload["env_rows"][0]["success_rate"] == 0.75
+        assert payload["summaries"][0]["faults_by_kind"] == {"frame_loss": 2}
+        json.dumps(payload)  # must be JSON-serializable as-is

@@ -1,0 +1,129 @@
+"""Shared pre-trained Huffman dictionaries and their wire format."""
+
+import pytest
+
+from repro.compression import (
+    CONTENT_CLASSES,
+    CompressionError,
+    DictionaryError,
+    builtin_dictionary,
+    dictionary_by_id,
+    gziplike,
+    train_dictionary,
+)
+from repro.compression.gziplike import _FLAG_DICT, _FLAG_ZLIB, MAGIC
+
+
+class TestTraining:
+    def test_builtin_classes(self):
+        assert CONTENT_CLASSES == ("text", "image", "delta")
+        seen_ids = set()
+        for cls in CONTENT_CLASSES:
+            d = builtin_dictionary(cls)
+            assert d.content_class == cls
+            assert len(d.lit_lengths) == 286
+            assert len(d.dist_lengths) == 30
+            # Smoothing guarantees every symbol is encodable.
+            assert all(n > 0 for n in d.lit_lengths)
+            assert all(n > 0 for n in d.dist_lengths)
+            seen_ids.add(d.dict_id)
+        assert len(seen_ids) == len(CONTENT_CLASSES)
+
+    def test_training_is_deterministic(self):
+        samples = [b"alpha beta gamma " * 50, b"delta epsilon " * 80]
+        a = train_dictionary(samples, dict_id=9, content_class="text")
+        b = train_dictionary(samples, dict_id=9, content_class="text")
+        assert a.lit_lengths == b.lit_lengths
+        assert a.dist_lengths == b.dist_lengths
+
+    def test_builtin_lookup_by_id(self):
+        for cls in CONTENT_CLASSES:
+            d = builtin_dictionary(cls)
+            assert dictionary_by_id(d.dict_id) is d
+
+    def test_unknown_class_and_id_raise(self):
+        with pytest.raises(DictionaryError):
+            builtin_dictionary("video")
+        with pytest.raises(DictionaryError):
+            dictionary_by_id(200)
+
+    def test_invalid_dictionary_rejected(self):
+        from repro.compression.dictionaries import HuffmanDictionary
+
+        with pytest.raises(DictionaryError):
+            HuffmanDictionary(0, "text", (8,) * 286, (5,) * 30)
+        with pytest.raises(DictionaryError):
+            HuffmanDictionary(1, "text", (8,) * 285, (5,) * 30)
+        with pytest.raises(DictionaryError):
+            HuffmanDictionary(1, "text", (8,) * 285 + (0,), (5,) * 30)
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize("cls", CONTENT_CLASSES)
+    def test_roundtrip_with_in_band_id(self, cls):
+        data = b"some page content, repeated a bit. " * 40
+        blob = gziplike.compress(data, backend="pure",
+                                 dictionary=builtin_dictionary(cls))
+        # Decompressor resolves the dictionary from the id byte alone.
+        assert gziplike.decompress(blob) == data
+        assert blob[:4] == MAGIC
+        assert blob[4] & _FLAG_DICT
+        assert blob[5] == builtin_dictionary(cls).dict_id
+
+    def test_small_message_skips_tree_header(self):
+        """The 158-byte per-message code-length header disappears."""
+        data = b"tiny"
+        plain = gziplike.compress(data, backend="pure")
+        dicted = gziplike.compress(data, backend="pure",
+                                   dictionary=builtin_dictionary("text"))
+        assert gziplike.decompress(dicted) == data
+        assert len(dicted) < len(plain) - 100
+
+    def test_default_path_has_no_dict_flag(self):
+        blob = gziplike.compress(b"payload bytes", backend="pure")
+        assert not blob[4] & _FLAG_DICT
+
+    def test_dictionary_with_zlib_backend_rejected(self):
+        with pytest.raises(ValueError, match="pure"):
+            gziplike.compress(b"x", backend="zlib",
+                              dictionary=builtin_dictionary("text"))
+
+    def test_dict_flag_on_zlib_payload_rejected(self):
+        blob = bytearray(
+            gziplike.compress(b"x" * 100, backend="pure",
+                              dictionary=builtin_dictionary("text"))
+        )
+        blob[4] |= _FLAG_ZLIB
+        with pytest.raises(CompressionError):
+            gziplike.decompress(bytes(blob))
+
+    def test_unknown_wire_dict_id_rejected(self):
+        blob = bytearray(
+            gziplike.compress(b"x" * 100, backend="pure",
+                              dictionary=builtin_dictionary("text"))
+        )
+        blob[5] = 250  # no such dictionary registered
+        with pytest.raises(CompressionError):
+            gziplike.decompress(bytes(blob))
+
+    def test_truncated_dict_header_rejected(self):
+        blob = gziplike.compress(b"x", backend="pure",
+                                 dictionary=builtin_dictionary("text"))
+        with pytest.raises(CompressionError):
+            gziplike.decompress(blob[:5])
+
+
+class TestGzipProtocolIntegration:
+    def test_pad_with_dictionary_roundtrips(self):
+        from repro.protocols.padlib import instantiate
+
+        proto = instantiate("gzip", backend="pure", dictionary="text")
+        new = b"page part content " * 30
+        resp = proto.server_respond(proto.client_request(None), None, new)
+        assert proto.client_reconstruct(None, resp) == new
+
+    def test_pad_dictionary_needs_pure_backend(self):
+        from repro.protocols.padlib import instantiate
+
+        with pytest.raises(ValueError):
+            instantiate("gzip", backend="zlib", dictionary="text")

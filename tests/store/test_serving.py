@@ -1,0 +1,187 @@
+"""Store-backed response assembly: byte identity cold vs warm, golden vectors.
+
+The warm path must be invisible on the wire: a response assembled from
+cached chunk records (or replayed verbatim from a response record) has to
+match what the PAD stack itself would emit, byte for byte.  The frozen
+SHA-1 vectors from the data-plane kernel rewrite
+(``tests/protocols/test_golden_wire.py``) pin both paths to the exact
+deployed wire format.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.kernelpool import KernelPool, stack_spec
+from repro.protocols.padlib import instantiate
+from repro.store import ChunkStore, StoreBackedResponder
+from repro.telemetry import MetricsRegistry
+from repro.workload.pages import Corpus
+
+from ..protocols.test_golden_wire import PAD_GOLDEN
+
+
+def _sha1(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def pages():
+    corpus = Corpus(text_bytes=2048, image_bytes=4096, images_per_page=2)
+    return (
+        corpus.evolved(0, 0).encode(),
+        corpus.evolved(0, 1).encode(),
+        corpus.evolved(1, 1).encode(),
+    )
+
+
+def _spec(pad_id: str):
+    kwargs = {"backend": "pure"} if pad_id == "gzip" else {}
+    return stack_spec([(pad_id, kwargs)]), kwargs
+
+
+class TestGoldenVectorsThroughStore:
+    @pytest.mark.parametrize("pad_id", sorted(PAD_GOLDEN))
+    def test_cold_and_warm_match_golden(self, pad_id, pages):
+        old, new, cold_new = pages
+        spec, kwargs = _spec(pad_id)
+        proto = instantiate(pad_id, **kwargs)
+        store = ChunkStore(name="g")
+        responder = StoreBackedResponder(store)
+
+        req = proto.client_request(old)
+        want_req, want_resp, want_cold = PAD_GOLDEN[pad_id]
+        assert _sha1(req) == want_req
+
+        cold = responder.respond(spec, req, old, new)
+        assert _sha1(cold) == want_resp
+        computes_after_cold = store.stats.computes
+        warm = responder.respond(spec, req, old, new)
+        assert warm == cold
+        assert store.stats.computes == computes_after_cold, (
+            "warm response recomputed instead of hitting the store"
+        )
+
+        # Cold-start transfer (no old version) through the store too.
+        first_req = proto.client_request(None)
+        first = responder.respond(spec, first_req, None, cold_new)
+        assert _sha1(first) == want_cold
+
+        # Everything reconstructs through the real protocol object.
+        assert proto.client_reconstruct(old, warm) == new
+        assert proto.client_reconstruct(None, first) == cold_new
+
+    @pytest.mark.parametrize("pad_id", sorted(PAD_GOLDEN))
+    def test_matches_direct_protocol_bytes(self, pad_id, pages):
+        old, new, _ = pages
+        spec, kwargs = _spec(pad_id)
+        proto = instantiate(pad_id, **kwargs)
+        req = proto.client_request(old)
+        direct = proto.server_respond(req, old, new)
+        responder = StoreBackedResponder(ChunkStore(name="d"))
+        assert responder.respond(spec, req, old, new) == direct
+
+
+class TestVaryAssemblyFromRecords:
+    def test_chunk_records_shared_between_versions(self, pages):
+        """Two (old, new) pairs over one version chunk it exactly once."""
+        old, new, other = pages
+        spec, _ = _spec("vary")
+        store = ChunkStore(name="v")
+        responder = StoreBackedResponder(store)
+        proto = instantiate("vary")
+
+        r1 = responder.respond(spec, proto.client_request(old), old, new)
+        assert proto.client_reconstruct(old, r1) == new
+        # `new` was already chunked for r1: a second delta *onto* new
+        # reuses its record (only `other` is newly chunked).
+        records_before = store.stats.computes
+        r2 = responder.respond(spec, proto.client_request(new), new, other)
+        assert proto.client_reconstruct(new, r2) == other
+        # one new chunk record (other) + one new response record
+        assert store.stats.computes == records_before + 2
+
+    def test_vary_async_path_matches_sync(self, pages):
+        import asyncio
+
+        old, new, _ = pages
+        spec, _ = _spec("vary")
+        proto = instantiate("vary")
+        req = proto.client_request(old)
+
+        sync = StoreBackedResponder(ChunkStore(name="s")).respond(
+            spec, req, old, new
+        )
+        async_responder = StoreBackedResponder(ChunkStore(name="a"))
+        got = asyncio.run(async_responder.respond_async(spec, req, old, new))
+        assert got == sync
+
+
+class TestPooledWorkers:
+    @pytest.mark.stress
+    def test_pooled_byte_identity_and_single_compute(self, pages):
+        """A real worker process computes; bytes match inline exactly."""
+        old, new, _ = pages
+        registry = MetricsRegistry()
+        pool = KernelPool(workers=1)
+        try:
+            for pad_id in ("vary", "gzip", "bitmap"):
+                spec, kwargs = _spec(pad_id)
+                proto = instantiate(pad_id, **kwargs)
+                req = proto.client_request(old)
+                inline = StoreBackedResponder(
+                    ChunkStore(name=f"i-{pad_id}")
+                ).respond(spec, req, old, new)
+
+                store = ChunkStore(name=f"p-{pad_id}", registry=registry)
+                responder = StoreBackedResponder(store, pool=pool)
+                pooled = responder.respond(spec, req, old, new)
+                assert pooled == inline
+                again = responder.respond(spec, req, old, new)
+                assert again == inline
+                s = store.stats
+                assert s.lookups == s.hits + s.misses + s.coalesced
+                assert s.computes == s.misses
+        finally:
+            pool.close()
+
+    @pytest.mark.stress
+    def test_pooled_dictionary_compression_matches_inline(self, pages):
+        """The dictionary resolves identically in the worker process."""
+        _, new, _ = pages
+        spec = stack_spec(
+            [("gzip", {"backend": "pure", "dictionary": "text"})]
+        )
+        proto = instantiate("gzip", backend="pure", dictionary="text")
+        req = proto.client_request(None)
+        inline = StoreBackedResponder(ChunkStore(name="di")).respond(
+            spec, req, None, new
+        )
+        assert proto.client_reconstruct(None, inline) == new
+        pool = KernelPool(workers=1)
+        try:
+            pooled = StoreBackedResponder(
+                ChunkStore(name="dp"), pool=pool
+            ).respond(spec, req, None, new)
+        finally:
+            pool.close()
+        assert pooled == inline
+
+
+class TestResponderTelemetry:
+    def test_responses_counter_and_timer(self, pages):
+        old, new, _ = pages
+        registry = MetricsRegistry()
+        spec, _ = _spec("vary")
+        proto = instantiate("vary")
+        store = ChunkStore(name="t", registry=registry)
+        responder = StoreBackedResponder(
+            store, registry=registry, timer_name="t.encode_seconds"
+        )
+        req = proto.client_request(old)
+        responder.respond(spec, req, old, new)
+        responder.respond(spec, req, old, new)
+        assert registry.counter("store.t.responses").value == 2
+        # Only the cold pass spent encode time.
+        hist = registry.histogram("t.encode_seconds")
+        assert hist.snapshot()["count"] == 1

@@ -1,0 +1,171 @@
+"""Tracer span isolation across asyncio tasks, and real async-client spans.
+
+The span stack moved from ``threading.local`` to ``contextvars`` so that
+interleaved tasks on one event loop each build their own trace tree.
+These tests pin (a) the isolation property itself and (b) that the async
+client + async appserver now emit the same span names the synchronous
+path does, reconciling with the registry counters.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.asyncclient import AsyncFractalClient
+from repro.core.system import APP_ID, bind_async_endpoints, build_case_study
+from repro.simnet.asyncnet import AsyncTcpTransport
+from repro.telemetry import Tracer
+from repro.workload.profiles import DESKTOP_LAN, PDA_BLUETOOTH
+
+# Span names every full client session must produce, sync or async.
+SESSION_SPANS = {
+    "session", "negotiate", "client.encode", "app_exchange",
+    "client.reconstruct",
+}
+
+
+class TestTaskIsolation:
+    def test_interleaved_tasks_build_separate_trees(self):
+        tracer = Tracer()
+
+        async def session(name: str, gate: asyncio.Event, other: asyncio.Event):
+            with tracer.span("session", trace=name) as root:
+                with tracer.span("stage"):
+                    # Force an interleave mid-span: the other task opens
+                    # its own spans while ours is still active.
+                    other.set()
+                    await gate.wait()
+                return root
+
+        async def main():
+            g1, g2 = asyncio.Event(), asyncio.Event()
+            t1 = asyncio.create_task(session("trace-a", g1, g2))
+            t2 = asyncio.create_task(session("trace-b", g2, g1))
+            return await asyncio.gather(t1, t2)
+
+        root_a, root_b = asyncio.run(main())
+        assert root_a.trace_id == "trace-a"
+        assert root_b.trace_id == "trace-b"
+        for root in (root_a, root_b):
+            assert [c.name for c in root.children] == ["stage"]
+            assert root.children[0].trace_id == root.trace_id
+        assert sorted(tracer.trace_ids()) == ["trace-a", "trace-b"]
+
+    def test_nesting_survives_awaits(self):
+        tracer = Tracer()
+
+        async def main():
+            with tracer.span("outer", trace="t"):
+                await asyncio.sleep(0)
+                with tracer.span("inner"):
+                    await asyncio.sleep(0)
+                    assert tracer.active_span.name == "inner"
+                assert tracer.active_span.name == "outer"
+
+        asyncio.run(main())
+        (root,) = tracer.trace("t")
+        assert [c.name for c in root.children] == ["inner"]
+
+
+class TestAsyncClientSpans:
+    def test_async_session_emits_sync_span_names(self, small_corpus):
+        """Async sessions trace like sync ones, plus the server span."""
+
+        async def main():
+            system = build_case_study(corpus=small_corpus, calibrate=False)
+            async with AsyncTcpTransport() as t:
+                await bind_async_endpoints(system, t)
+                client = system.make_client(
+                    DESKTOP_LAN, name="trace-cli", transport=t,
+                    client_cls=AsyncFractalClient,
+                )
+                old = system.corpus.evolved(0, 0)
+                await client.request_page(
+                    APP_ID, 0,
+                    old_parts=[old.text, *old.images],
+                    old_version=0, new_version=1,
+                )
+            return system
+
+        system = asyncio.run(main())
+        names = {sp.name for sp in system.telemetry.tracer.spans()}
+        assert SESSION_SPANS <= names
+        assert "server.encode" in names
+
+    def test_sync_and_async_span_names_reconcile(self, small_corpus):
+        """Same testbed, both paths: async spans cover the sync set and
+        reconcile with the shared counter names."""
+        sync_system = build_case_study(corpus=small_corpus, calibrate=False)
+        client = sync_system.make_client(PDA_BLUETOOTH, name="sync-cli")
+        old = sync_system.corpus.evolved(0, 0)
+        client.request_page(
+            APP_ID, 0,
+            old_parts=[old.text, *old.images], old_version=0, new_version=1,
+        )
+        sync_names = {sp.name for sp in sync_system.telemetry.tracer.spans()}
+
+        async def main():
+            system = build_case_study(corpus=small_corpus, calibrate=False)
+            async with AsyncTcpTransport() as t:
+                await bind_async_endpoints(system, t)
+                cli = system.make_client(
+                    PDA_BLUETOOTH, name="async-cli", transport=t,
+                    client_cls=AsyncFractalClient,
+                )
+                o = system.corpus.evolved(0, 0)
+                await cli.request_page(
+                    APP_ID, 0,
+                    old_parts=[o.text, *o.images], old_version=0, new_version=1,
+                )
+            return system
+
+        async_system = asyncio.run(main())
+        async_names = {sp.name for sp in async_system.telemetry.tracer.spans()}
+        # Every client-side sync span appears in the async trace too; the
+        # async serving path adds the server.encode span on top.
+        assert sync_names <= async_names
+        assert async_names - sync_names <= {"server.encode"}
+
+        # Span counts reconcile with the counters both paths share: one
+        # server.encode span per appserver request handled.
+        registry = async_system.telemetry.registry
+        server_spans = [
+            sp for sp in async_system.telemetry.tracer.spans()
+            if sp.name == "server.encode"
+        ]
+        assert len(server_spans) == registry.counter("appserver.requests").value
+        negotiate_spans = [
+            sp for sp in async_system.telemetry.tracer.spans()
+            if sp.name == "negotiate"
+        ]
+        assert len(negotiate_spans) == registry.counter(
+            "client.negotiations"
+        ).value
+
+
+class TestThreadIsolationStillHolds:
+    def test_threads_do_not_nest_into_each_other(self):
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+        roots = {}
+
+        def run(name):
+            with tracer.span("root", trace=name) as root:
+                barrier.wait(timeout=5)
+                with tracer.span("child"):
+                    pass
+            roots[name] = root
+
+        threads = [
+            threading.Thread(target=run, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert set(roots) == {"t0", "t1"}
+        for name, root in roots.items():
+            assert root.trace_id == name
+            assert [c.name for c in root.children] == ["child"]
