@@ -1,0 +1,57 @@
+"""Seeded, declarative adversarial workloads for the Fractal testbed.
+
+Where :mod:`repro.faults` models *accidents* (links drop frames, edges
+go dark at random), this package models *adversaries*: workloads crafted
+to exhaust exactly the resources the system bounds and to poison exactly
+the caches the system verifies.  The five attack classes:
+
+* **negotiation_herd** — a metadata-scanning negotiation storm against
+  the proxy's LRU-bounded adaptation cache.
+* **slowloris** — half-open ``INIT_REQ`` floods against the proxy's
+  LRU-bounded pending-session table.
+* **cache_poison** — wrong-content-for-digest submissions against the
+  self-certifying :class:`~repro.store.ChunkStore`, plus malformed
+  metadata aimed at the adaptation cache.
+* **byzantine_pad** — a compromised edge replaying stale-but-validly-
+  signed PAD versions (signature passes, negotiated digest exposes it).
+* **targeted_outage** — a topology/load-aware edge outage under live
+  sessions.
+
+Attacks are declared in an :class:`AttackRegistry`, aimed by a
+:class:`VictimSelector` (random / hottest edge / highest topology
+centrality), and executed by an :class:`AttackScenario` that classifies
+every event *absorbed* or *degraded* and reconciles the exact identity
+``attacks.launched == attacks.absorbed + attacks.degraded`` per class
+against the shared telemetry registry.  Same seed, same ledger.
+"""
+
+from .registry import (
+    ATTACK_KINDS,
+    BYZANTINE_PAD,
+    CACHE_POISON,
+    KIND_ORDER,
+    NEGOTIATION_HERD,
+    SLOWLORIS,
+    TARGETED_OUTAGE,
+    AttackBehavior,
+    AttackRegistry,
+)
+from .scenario import AttackOutcome, AttackScenario, ScenarioResult
+from .victims import STRATEGIES, VictimSelector
+
+__all__ = [
+    "ATTACK_KINDS",
+    "KIND_ORDER",
+    "NEGOTIATION_HERD",
+    "SLOWLORIS",
+    "CACHE_POISON",
+    "BYZANTINE_PAD",
+    "TARGETED_OUTAGE",
+    "AttackBehavior",
+    "AttackRegistry",
+    "AttackOutcome",
+    "AttackScenario",
+    "ScenarioResult",
+    "STRATEGIES",
+    "VictimSelector",
+]

@@ -1,0 +1,132 @@
+"""The attack registry: which adversarial behaviours exist, with weights.
+
+Each :class:`AttackBehavior` names one attack *kind* (what the adversary
+does), carries a sampling *weight* (how often a mixed campaign draws
+it), and a ``params`` dict of kind-specific tuning.  The registry is the
+declarative catalogue the scenario runner executes from — adding a new
+attack means registering a behaviour and implementing its executor in
+:mod:`repro.attacks.scenario`, nothing else.
+
+All randomness flows through the caller's seeded ``random.Random``, so a
+campaign sampled from the same registry with the same seed is the same
+campaign.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+__all__ = [
+    "NEGOTIATION_HERD",
+    "SLOWLORIS",
+    "CACHE_POISON",
+    "BYZANTINE_PAD",
+    "TARGETED_OUTAGE",
+    "ATTACK_KINDS",
+    "AttackBehavior",
+    "AttackRegistry",
+]
+
+NEGOTIATION_HERD = "negotiation_herd"  # metadata-scanning negotiation storm
+SLOWLORIS = "slowloris"  # half-open INIT_REQ flood against the session table
+CACHE_POISON = "cache_poison"  # wrong-content-for-digest + malformed metadata
+BYZANTINE_PAD = "byzantine_pad"  # edge replays stale-but-validly-signed PADs
+TARGETED_OUTAGE = "targeted_outage"  # centrality/load-targeted edge outage
+
+ATTACK_KINDS = frozenset(
+    {NEGOTIATION_HERD, SLOWLORIS, CACHE_POISON, BYZANTINE_PAD, TARGETED_OUTAGE}
+)
+
+# Canonical execution order: ledger reports and mixed campaigns iterate
+# attacks in this order so two runs of the same seed see the same system
+# state at each attack's start.
+KIND_ORDER = (
+    NEGOTIATION_HERD,
+    SLOWLORIS,
+    CACHE_POISON,
+    BYZANTINE_PAD,
+    TARGETED_OUTAGE,
+)
+
+
+@dataclass(frozen=True)
+class AttackBehavior:
+    """One adversarial behaviour: kind + sampling weight + tuning knobs."""
+
+    kind: str
+    weight: float = 1.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ATTACK_KINDS:
+            raise ValueError(f"unknown attack kind: {self.kind!r}")
+        if self.weight < 0:
+            raise ValueError(f"weight must be >= 0, got {self.weight}")
+
+
+class AttackRegistry:
+    """An ordered catalogue of attack behaviours.
+
+    Registration order is preserved (and canonicalised to
+    :data:`KIND_ORDER` by :meth:`default`), which keeps campaign
+    execution — and therefore the attack ledger — deterministic for a
+    given seed.
+    """
+
+    def __init__(self) -> None:
+        self._behaviors: dict[str, AttackBehavior] = {}
+
+    def register(self, behavior: AttackBehavior) -> "AttackRegistry":
+        if behavior.kind in self._behaviors:
+            raise ValueError(f"attack kind already registered: {behavior.kind!r}")
+        self._behaviors[behavior.kind] = behavior
+        return self
+
+    def get(self, kind: str) -> AttackBehavior:
+        try:
+            return self._behaviors[kind]
+        except KeyError:
+            raise KeyError(f"attack kind not registered: {kind!r}") from None
+
+    def kinds(self) -> list[str]:
+        return list(self._behaviors)
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._behaviors
+
+    def __len__(self) -> int:
+        return len(self._behaviors)
+
+    def __iter__(self) -> Iterator[AttackBehavior]:
+        return iter(self._behaviors.values())
+
+    def sample(
+        self,
+        rng: random.Random,
+        n: int,
+        *,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> list[str]:
+        """``n`` weighted draws (with replacement) from the catalogue.
+
+        ``kinds`` restricts the draw to a subset.  Behaviours with zero
+        weight are never drawn.  Deterministic in (registry, rng state).
+        """
+        pool = [
+            b for b in self._behaviors.values()
+            if (kinds is None or b.kind in kinds) and b.weight > 0
+        ]
+        if not pool:
+            raise ValueError("no attack behaviours with positive weight to sample")
+        weights = [b.weight for b in pool]
+        return [b.kind for b in rng.choices(pool, weights=weights, k=n)]
+
+    @classmethod
+    def default(cls) -> "AttackRegistry":
+        """All five attack classes, equally weighted, canonical order."""
+        registry = cls()
+        for kind in KIND_ORDER:
+            registry.register(AttackBehavior(kind))
+        return registry

@@ -1,0 +1,671 @@
+"""The attack scenario runner: execute a campaign, keep an exact ledger.
+
+Every attack *event* (one storm negotiation, one half-open ``INIT_REQ``,
+one poison submission, one attacked session) is classified the moment it
+completes:
+
+* **absorbed** — a bound held, an input was rejected, or a resilience
+  mechanism (retry, digest check, CDN failover, single-flight) kept the
+  session on its negotiated protocol.  The attack cost the attacker a
+  request and the system nothing it wasn't designed to spend.
+* **degraded** — the event observably hurt a legitimate party: a real
+  client's cached negotiation or pending session was evicted, or a
+  session only completed by falling back to the direct protocol.
+
+The classification is exhaustive and exclusive, so the attack ledger
+carries exact identities — per attack class and in total::
+
+    attacks.launched == attacks.absorbed + attacks.degraded
+
+Determinism: attacks execute sequentially in :data:`~.registry.KIND_ORDER`
+and all randomness flows from one seeded RNG, so the same (system
+parameters, seed, event budget) produce the same ledger byte for byte.
+Real-thread herds live in the adversarial *tests*, not here — scheduling
+nondeterminism would break the same-seed-same-ledger contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core import inp
+from ..core.client import FractalClient
+from ..core.inp import INPMessage, MsgType
+from ..core.retry import RetryPolicy
+from ..core.system import APP_ID, PROXY_ENDPOINT, CaseStudySystem
+from ..faults import FaultInjector, FaultPlan, FaultRule
+from ..store.chunkstore import PoisonedRecordError, content_key
+from ..telemetry import MetricsRegistry
+from ..workload.profiles import DESKTOP_LAN
+from .registry import (
+    ATTACK_KINDS,
+    BYZANTINE_PAD,
+    CACHE_POISON,
+    KIND_ORDER,
+    NEGOTIATION_HERD,
+    SLOWLORIS,
+    TARGETED_OUTAGE,
+    AttackRegistry,
+)
+from .victims import VictimSelector
+
+__all__ = ["AttackOutcome", "ScenarioResult", "AttackScenario"]
+
+# Attack clients never sleep on retry backoff (RetryPolicy accounts the
+# delay without waiting), so campaigns are fast and their decision
+# sequence is a pure function of the retry key.
+_ATTACK_RETRY = RetryPolicy(max_attempts=3, budget_s=60.0)
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """The exact ledger for one attack class in one campaign."""
+
+    kind: str
+    target: str
+    launched: int
+    absorbed: int
+    degraded: int
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.launched != self.absorbed + self.degraded:
+            raise ValueError(
+                f"{self.kind}: launched ({self.launched}) != absorbed "
+                f"({self.absorbed}) + degraded ({self.degraded})"
+            )
+
+    @property
+    def survival(self) -> float:
+        """Fraction of attack events the system absorbed."""
+        return self.absorbed / self.launched if self.launched else 1.0
+
+
+@dataclass
+class ScenarioResult:
+    """One campaign: per-class outcomes + registry reconciliation."""
+
+    seed: int
+    outcomes: list[AttackOutcome]
+    ledger: dict[str, tuple[int, int]]  # counter -> (local tally, registry delta)
+    reconciled: bool
+
+    @property
+    def launched(self) -> int:
+        return sum(o.launched for o in self.outcomes)
+
+    @property
+    def absorbed(self) -> int:
+        return sum(o.absorbed for o in self.outcomes)
+
+    @property
+    def degraded(self) -> int:
+        return sum(o.degraded for o in self.outcomes)
+
+    def to_payload(self) -> dict:
+        return {
+            "seed": self.seed,
+            "reconciled": self.reconciled,
+            "totals": {
+                "launched": self.launched,
+                "absorbed": self.absorbed,
+                "degraded": self.degraded,
+            },
+            "outcomes": [
+                {
+                    "kind": o.kind,
+                    "target": o.target,
+                    "launched": o.launched,
+                    "absorbed": o.absorbed,
+                    "degraded": o.degraded,
+                    "survival": round(o.survival, 4),
+                    "detail": o.detail,
+                }
+                for o in self.outcomes
+            ],
+            "ledger": {
+                name: {"local": local, "registry": reg}
+                for name, (local, reg) in sorted(self.ledger.items())
+            },
+        }
+
+
+class AttackScenario:
+    """Run a declarative attack campaign against one live system.
+
+    The scenario installs a :class:`~repro.faults.FaultInjector` (with an
+    initially empty plan — byte-identical behaviour until an attack adds
+    a rule) over the system's transport and edges, then executes each
+    requested attack class sequentially.  Build the system with
+    ``dedup=True`` and small ``proxy_max_sessions`` /
+    ``proxy_dist_max_entries`` bounds so the floods hit the LRU bounds
+    at test scale.
+    """
+
+    def __init__(
+        self,
+        system: CaseStudySystem,
+        *,
+        seed: int = 0,
+        registry: Optional[AttackRegistry] = None,
+        victim_strategy: str = "hottest-edge",
+    ) -> None:
+        self.system = system
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.registry = registry or AttackRegistry.default()
+        self.victim_strategy = victim_strategy
+        self.metrics: MetricsRegistry = system.telemetry.registry
+        self._nonce = itertools.count(1).__next__
+        self._plan = FaultPlan()
+        self._injector = FaultInjector(
+            self._plan, seed=seed, registry=self.metrics
+        ).install(system)
+        self.victims = VictimSelector(
+            system.deployment, registry=self.metrics, rng=self.rng
+        )
+        self._executors = {
+            NEGOTIATION_HERD: self._attack_negotiation_herd,
+            SLOWLORIS: self._attack_slowloris,
+            CACHE_POISON: self._attack_cache_poison,
+            BYZANTINE_PAD: self._attack_byzantine_pad,
+            TARGETED_OUTAGE: self._attack_targeted_outage,
+        }
+
+    def uninstall(self) -> None:
+        """Restore the unwrapped transport/edges (for embedding in tests)."""
+        self._injector.uninstall()
+
+    # -- ledger plumbing -------------------------------------------------------
+
+    def _classify(self, kind: str, *, absorbed: bool) -> str:
+        """Count one attack event as launched + absorbed-or-degraded."""
+        verdict = "absorbed" if absorbed else "degraded"
+        for name in ("launched", verdict):
+            self.metrics.counter(f"attacks.{name}").inc()
+            self.metrics.counter(f"attacks.{name}.{kind}").inc()
+        return verdict
+
+    def _ledger_names(self, kinds: Sequence[str]) -> list[str]:
+        names = []
+        for stem in ("launched", "absorbed", "degraded"):
+            names.append(f"attacks.{stem}")
+            names.extend(f"attacks.{stem}.{kind}" for kind in kinds)
+        return names
+
+    # -- campaign entry point --------------------------------------------------
+
+    def run(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        *,
+        events_per_attack: int = 20,
+    ) -> ScenarioResult:
+        """Execute the campaign; returns the reconciled ledger.
+
+        ``kinds`` restricts the campaign (default: every registered
+        attack); execution always follows :data:`~.registry.KIND_ORDER`.
+        """
+        if events_per_attack < 1:
+            raise ValueError(
+                f"events_per_attack must be >= 1, got {events_per_attack}"
+            )
+        selected = [k for k in KIND_ORDER if k in self.registry]
+        if kinds is not None:
+            unknown = set(kinds) - ATTACK_KINDS
+            if unknown:
+                raise ValueError(f"unknown attack kinds: {sorted(unknown)}")
+            selected = [k for k in selected if k in set(kinds)]
+        names = self._ledger_names(selected)
+        base = {n: int(self.metrics.counter(n).value) for n in names}
+
+        outcomes = [
+            self._executors[kind](events_per_attack) for kind in selected
+        ]
+
+        # Reconcile: the outcomes' private tallies against the shared
+        # registry's window deltas — the same discipline the load bench
+        # applies to its worker tallies.
+        local: dict[str, int] = {}
+        for o in outcomes:
+            for stem, value in (
+                ("launched", o.launched),
+                ("absorbed", o.absorbed),
+                ("degraded", o.degraded),
+            ):
+                local[f"attacks.{stem}"] = local.get(f"attacks.{stem}", 0) + value
+                local[f"attacks.{stem}.{o.kind}"] = value
+        ledger = {
+            n: (
+                local.get(n, 0),
+                int(self.metrics.counter(n).value) - base[n],
+            )
+            for n in names
+        }
+        reconciled = all(a == b for a, b in ledger.values()) and all(
+            o.launched == o.absorbed + o.degraded for o in outcomes
+        )
+        return ScenarioResult(
+            seed=self.seed, outcomes=outcomes, ledger=ledger,
+            reconciled=reconciled,
+        )
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _raw_exchange(self, src: str, dst: str, msg: INPMessage) -> INPMessage:
+        """One attacker-crafted INP round trip (no client-side checks)."""
+        return inp.decode(
+            self.system.transport.request(src, dst, inp.encode(msg))
+        )
+
+    def _make_client(
+        self, site: Optional[str] = None, *, resilient: bool
+    ) -> FractalClient:
+        """A fresh legitimate client; resilient ones retry + fail over.
+
+        Both kinds degrade to the direct protocol rather than error, so
+        an attacked session always terminates with a classifiable result.
+        """
+        if resilient:
+            return self.system.make_client(
+                DESKTOP_LAN,
+                site=site,
+                retry_policy=_ATTACK_RETRY,
+                degrade_to_direct=True,
+                failover_fetch=True,
+            )
+        return self.system.make_client(
+            DESKTOP_LAN, site=site, degrade_to_direct=True
+        )
+
+    def _pick_victim_edge(self) -> tuple[str, str]:
+        """(edge name, client site it actually serves) for this campaign.
+
+        If the strategy's pick serves no client site directly, re-target
+        the edge that serves the site nearest the original pick, so the
+        attack always lands on a live client→edge path.
+        """
+        edge = self.victims.select_edge(self.victim_strategy)
+        sites = self.victims.sites_served_by(edge)
+        if sites:
+            return edge, sites[0]
+        site = self.victims.nearest_site(edge)
+        names = sorted(e.name for e in self.system.deployment.edges)
+        return self.system.deployment.topology.nearest(site, names), site
+
+    # -- attack 1: thundering-herd negotiation storm ---------------------------
+
+    def _attack_negotiation_herd(self, events: int) -> AttackOutcome:
+        """A metadata-scanning storm against the adaptation cache.
+
+        Every storm request negotiates with a *distinct* crafted
+        ``DevMeta``, so each one claims a fresh slot in the proxy's
+        LRU-bounded distribution cache.  The event is *degraded* exactly
+        when it evicted the legitimate victim's cached negotiation
+        (observed via the non-perturbing membership probe); otherwise the
+        bound absorbed it.
+        """
+        system = self.system
+        victim = self._make_client(resilient=False)
+        victim.negotiate(APP_ID)
+        v_dev, v_ntwk = victim.probe_dev_meta(), victim.probe_ntwk_meta()
+        dist = system.proxy.distribution
+
+        absorbed = degraded = storm_errors = 0
+        for i in range(events):
+            cached_before = dist.has(v_dev, APP_ID, v_ntwk)
+            session = f"herd-{self._nonce()}"
+            init = INPMessage(
+                MsgType.INIT_REQ, session, 0, {"app_id": APP_ID}
+            )
+            rep = self._raw_exchange("attacker-herd", PROXY_ENDPOINT, init)
+            if rep.msg_type is MsgType.INIT_REP:
+                cli_meta = rep.reply(
+                    MsgType.CLI_META_REP,
+                    {
+                        # Unique, *valid* metadata: the scan walks the
+                        # key space the cache is keyed on.
+                        "dev_meta": {
+                            "os_type": "scanOS",
+                            "cpu_type": "scan",
+                            "cpu_mhz": 100.0 + i,
+                            "memory_mb": 64.0,
+                        },
+                        "ntwk_meta": {
+                            "network_type": "wlan",
+                            "bandwidth_kbps": 1000.0,
+                        },
+                    },
+                )
+                rep = self._raw_exchange(
+                    "attacker-herd", PROXY_ENDPOINT, cli_meta
+                )
+            if rep.msg_type is MsgType.INP_ERROR:
+                storm_errors += 1
+            evicted_victim = cached_before and not dist.has(
+                v_dev, APP_ID, v_ntwk
+            )
+            if evicted_victim:
+                degraded += 1
+                self._classify(NEGOTIATION_HERD, absorbed=False)
+            else:
+                absorbed += 1
+                self._classify(NEGOTIATION_HERD, absorbed=True)
+        return AttackOutcome(
+            kind=NEGOTIATION_HERD,
+            target="proxy.distribution",
+            launched=events,
+            absorbed=absorbed,
+            degraded=degraded,
+            detail={
+                "storm_errors": storm_errors,
+                "cache_entries": len(dist),
+                "cache_max_entries": dist.max_entries,
+                "cache_evictions": dist.cache_evictions,
+            },
+        )
+
+    # -- attack 2: slowloris half-open sessions --------------------------------
+
+    def _attack_slowloris(self, events: int) -> AttackOutcome:
+        """Half-open ``INIT_REQ`` floods against the pending-session LRU.
+
+        Legitimate victims open sessions first (they are mid-negotiation
+        when the flood starts).  Each flood INIT that pushes a victim out
+        of the bounded table is *degraded*; one that only displaces other
+        attacker sessions — or fits under the bound — is *absorbed*.
+        """
+        system = self.system
+        proxy = system.proxy
+        n_victims = max(1, min(4, events // 4))
+        alive: list[str] = []
+        for _ in range(n_victims):
+            sid = f"loris-victim-{self._nonce()}"
+            rep = self._raw_exchange(
+                "victim-client",
+                PROXY_ENDPOINT,
+                INPMessage(MsgType.INIT_REQ, sid, 0, {"app_id": APP_ID}),
+            )
+            rep.expect(MsgType.INIT_REP)
+            alive.append(sid)
+
+        absorbed = degraded = 0
+        for _ in range(events):
+            sid = f"loris-{self._nonce()}"
+            self._raw_exchange(
+                "attacker-loris",
+                PROXY_ENDPOINT,
+                INPMessage(MsgType.INIT_REQ, sid, 0, {"app_id": APP_ID}),
+            )
+            # Never send CLI_META_REP: the session stays half-open.
+            evicted = [v for v in alive if not proxy.has_pending(v)]
+            if evicted:
+                for v in evicted:
+                    alive.remove(v)
+                degraded += 1
+                self._classify(SLOWLORIS, absorbed=False)
+            else:
+                absorbed += 1
+                self._classify(SLOWLORIS, absorbed=True)
+
+        # Epilogue: surviving victims complete their negotiation; starved
+        # ones get the unknown-session error the LRU drop implies.
+        survivors = 0
+        for sid in alive:
+            device = DESKTOP_LAN.device
+            cli_meta = INPMessage(
+                MsgType.CLI_META_REP,
+                sid,
+                2,
+                {
+                    "dev_meta": {
+                        "os_type": device.os_type,
+                        "cpu_type": device.cpu_type,
+                        "cpu_mhz": device.cpu_mhz,
+                        "memory_mb": device.memory_mb,
+                    },
+                    "ntwk_meta": {
+                        "network_type": DESKTOP_LAN.link.network_type.value,
+                        "bandwidth_kbps": DESKTOP_LAN.link.bandwidth_bps / 1000.0,
+                    },
+                },
+            )
+            rep = self._raw_exchange("victim-client", PROXY_ENDPOINT, cli_meta)
+            if rep.msg_type is MsgType.PAD_META_REP:
+                survivors += 1
+        return AttackOutcome(
+            kind=SLOWLORIS,
+            target="proxy.sessions",
+            launched=events,
+            absorbed=absorbed,
+            degraded=degraded,
+            detail={
+                "victims": n_victims,
+                "victims_starved": n_victims - len(alive),
+                "victims_completed": survivors,
+                "pending_sessions": proxy.pending_sessions,
+                "max_sessions": proxy.max_sessions,
+                "sessions_dropped": int(
+                    self.metrics.counter("proxy.sessions.dropped").value
+                ),
+            },
+        )
+
+    # -- attack 3: cache poisoning ---------------------------------------------
+
+    def _attack_cache_poison(self, events: int) -> AttackOutcome:
+        """Wrong-content-for-digest submissions + malformed metadata.
+
+        Even events attack the content-addressed :class:`ChunkStore`
+        with bytes that do not hash to the key they claim (direct ``put``
+        and a lying single-flight compute, alternating); odd events send
+        malformed ``CLI_META_REP`` metadata at the proxy's adaptation
+        cache.  Rejection (typed error, nothing cached) is *absorbed*; a
+        poisoned entry that lands — served bytes differing from the
+        claimed digest, or a cache entry for invalid metadata — is
+        *degraded*.  With self-certifying verification in place the
+        degraded count is structurally zero.
+        """
+        store = self.system.chunk_store
+        if store is None:
+            raise ValueError(
+                "cache_poison requires a system built with dedup=True "
+                "(no fleet chunk store attached)"
+            )
+        dist = self.system.proxy.distribution
+        rejected_before = store.stats.rejected
+
+        absorbed = degraded = 0
+        poisoned_entries = 0
+        for i in range(events):
+            if i % 2 == 0:
+                payload = f"poison-{self.seed}-{i}".encode()
+                target_key = content_key(f"legit-{self.seed}-{i}".encode())
+                landed = False
+                try:
+                    if (i // 2) % 2 == 0:
+                        store.put(target_key, payload)
+                    else:
+                        store.get_or_compute(target_key, lambda p=payload: p)
+                    landed = True  # verification failed open
+                except PoisonedRecordError:
+                    pass
+                if store.get(target_key) is not None:
+                    landed = True
+                if landed:
+                    poisoned_entries += 1
+                    degraded += 1
+                    self._classify(CACHE_POISON, absorbed=False)
+                else:
+                    absorbed += 1
+                    self._classify(CACHE_POISON, absorbed=True)
+            else:
+                entries_before = len(dist)
+                session = f"poison-{self._nonce()}"
+                init = INPMessage(
+                    MsgType.INIT_REQ, session, 0, {"app_id": APP_ID}
+                )
+                rep = self._raw_exchange(
+                    "attacker-poison", PROXY_ENDPOINT, init
+                )
+                if rep.msg_type is MsgType.INIT_REP:
+                    cli_meta = rep.reply(
+                        MsgType.CLI_META_REP,
+                        {
+                            # Malformed on purpose: negative clock,
+                            # wrong-typed memory.  Validation must
+                            # refuse it before it becomes a cache key.
+                            "dev_meta": {
+                                "os_type": "poisonOS",
+                                "cpu_type": "poison",
+                                "cpu_mhz": -1.0,
+                                "memory_mb": "lots",
+                            },
+                            "ntwk_meta": {
+                                "network_type": "wlan",
+                                "bandwidth_kbps": 0.0,
+                            },
+                        },
+                    )
+                    rep = self._raw_exchange(
+                        "attacker-poison", PROXY_ENDPOINT, cli_meta
+                    )
+                rejected = rep.msg_type is MsgType.INP_ERROR
+                if rejected and len(dist) == entries_before:
+                    absorbed += 1
+                    self._classify(CACHE_POISON, absorbed=True)
+                else:
+                    degraded += 1
+                    self._classify(CACHE_POISON, absorbed=False)
+        return AttackOutcome(
+            kind=CACHE_POISON,
+            target="store.fleet+proxy.distribution",
+            launched=events,
+            absorbed=absorbed,
+            degraded=degraded,
+            detail={
+                "poisoned_entries": poisoned_entries,
+                "store_rejected": store.stats.rejected - rejected_before,
+            },
+        )
+
+    # -- attack 4: byzantine PAD server ----------------------------------------
+
+    def _attack_byzantine_pad(self, events: int) -> AttackOutcome:
+        """A compromised edge replays stale-but-validly-signed PADs.
+
+        The campaign upgrades the PAD the victims actually negotiate
+        (new digest registered everywhere), then arms a
+        :data:`~repro.faults.PAD_STALE_REPLAY` rule on the victim edge: it serves the *old* version's blob —
+        signature still valid, digest no longer matching the negotiated
+        metadata.  Resilient clients detect the mismatch, mark the edge
+        bad, and fail over (*absorbed*); legacy clients fall back to the
+        direct protocol (*degraded*).
+        """
+        system = self.system
+        edge_name, site = self._pick_victim_edge()
+        behavior = self.registry.get(BYZANTINE_PAD)
+        fragile_every = int(behavior.params.get("fragile_every", 4))
+
+        # Warm phase: the victim edge serves the current (v1) blobs, so
+        # the byzantine facade has a stale snapshot to replay.
+        warm = self._make_client(site=site, resilient=True)
+        warm.request_page(APP_ID, 0)
+        # Attack the PAD the victims actually negotiate on this
+        # environment — replaying a module nobody downloads hurts nobody.
+        negotiated = warm.negotiate(APP_ID).pads
+        target_pad = next(
+            (m.resolved_id for m in negotiated if m.resolved_id != "direct"),
+            negotiated[0].resolved_id,
+        )
+
+        new_digest = system.appserver.upgrade_pad(
+            target_pad,
+            system.proxy,
+            system.deployment.origin,
+            system.deployment.edges,
+            version=f"adv{self._nonce()}",
+        )
+        rule = FaultRule.stale_replay(edge_name)
+        self._plan.add(rule)
+        absorbed = degraded = 0
+        try:
+            for i in range(events):
+                fragile = fragile_every > 0 and i % fragile_every == (
+                    fragile_every - 1
+                )
+                client = self._make_client(site=site, resilient=not fragile)
+                result = client.request_page(APP_ID, 0)
+                if result.degraded:
+                    degraded += 1
+                    self._classify(BYZANTINE_PAD, absorbed=False)
+                else:
+                    absorbed += 1
+                    self._classify(BYZANTINE_PAD, absorbed=True)
+        finally:
+            self._plan.rules.remove(rule)
+        return AttackOutcome(
+            kind=BYZANTINE_PAD,
+            target=edge_name,
+            launched=events,
+            absorbed=absorbed,
+            degraded=degraded,
+            detail={
+                "site": site,
+                "target_pad": target_pad,
+                "new_digest": new_digest[:12],
+                "stale_replays": self._injector.injected("pad_stale_replay"),
+                "edges_marked_bad": int(
+                    self.metrics.counter("cdn.edges_marked_bad").value
+                ),
+            },
+        )
+
+    # -- attack 5: topology-targeted edge outage -------------------------------
+
+    def _attack_targeted_outage(self, events: int) -> AttackOutcome:
+        """Knock out the victim-selected edge under live sessions.
+
+        The victim comes from the scenario's strategy (hottest edge,
+        highest topology centrality, or random); sessions are launched
+        from the site that edge serves.  Failover-equipped clients walk
+        the redirector's ranked list past the outage (*absorbed*);
+        legacy clients degrade to the direct protocol (*degraded*).
+        """
+        edge_name, site = self._pick_victim_edge()
+        behavior = self.registry.get(TARGETED_OUTAGE)
+        fragile_every = int(behavior.params.get("fragile_every", 4))
+        rule = FaultRule.edge_outage(edge_name)
+        self._plan.add(rule)
+        absorbed = degraded = 0
+        try:
+            for i in range(events):
+                fragile = fragile_every > 0 and i % fragile_every == (
+                    fragile_every - 1
+                )
+                client = self._make_client(site=site, resilient=not fragile)
+                result = client.request_page(APP_ID, 0)
+                if result.degraded:
+                    degraded += 1
+                    self._classify(TARGETED_OUTAGE, absorbed=False)
+                else:
+                    absorbed += 1
+                    self._classify(TARGETED_OUTAGE, absorbed=True)
+        finally:
+            self._plan.rules.remove(rule)
+        return AttackOutcome(
+            kind=TARGETED_OUTAGE,
+            target=edge_name,
+            launched=events,
+            absorbed=absorbed,
+            degraded=degraded,
+            detail={
+                "site": site,
+                "strategy": self.victim_strategy,
+                "outages_fired": self._injector.injected("edge_outage"),
+                "failovers": int(self.metrics.counter("cdn.failovers").value),
+            },
+        )

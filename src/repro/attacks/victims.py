@@ -1,0 +1,111 @@
+"""Victim selection: which component an attack targets, and why.
+
+A smart adversary does not pick targets uniformly — it knocks out the
+edge the most clients depend on, or the one carrying the most traffic.
+:class:`VictimSelector` implements three strategies over the *live*
+system state:
+
+* ``random`` — a seeded uniform draw over edge names (the baseline
+  adversary; deterministic for a given RNG).
+* ``hottest-edge`` — the edge with the highest per-edge request gauge
+  (``cdn.edge.<name>.requests``), i.e. the one currently serving the
+  most PAD traffic.  Requires a warmed system; falls back to ``random``
+  when no gauge has moved yet.
+* ``highest-degree`` — the most *central* edge in the latency topology:
+  the one with the smallest total latency to every client site.  On the
+  complete latency graph every node's plain degree is equal, so
+  centrality is the latency-weighted analogue (closeness): the edge
+  whose outage maximises expected client impact.
+
+All strategies break ties on name, so selection is a pure function of
+(system state, strategy, rng).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..telemetry import MetricsRegistry
+
+__all__ = ["STRATEGIES", "VictimSelector"]
+
+STRATEGIES = ("random", "hottest-edge", "highest-degree")
+
+
+class VictimSelector:
+    def __init__(
+        self,
+        deployment,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.registry = registry
+        self.rng = rng or random.Random(0)
+
+    def _edge_names(self) -> list[str]:
+        names = sorted(e.name for e in self.deployment.edges)
+        if not names:
+            raise ValueError("deployment has no edges to target")
+        return names
+
+    def select_edge(self, strategy: str) -> str:
+        """The edge name an attack of the given strategy targets."""
+        if strategy == "random":
+            return self.rng.choice(self._edge_names())
+        if strategy == "hottest-edge":
+            return self._hottest_edge()
+        if strategy == "highest-degree":
+            return self._highest_degree_edge()
+        raise ValueError(
+            f"unknown victim strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+
+    def _hottest_edge(self) -> str:
+        if self.registry is None:
+            return self.rng.choice(self._edge_names())
+        best: Optional[tuple[float, str]] = None
+        for name in self._edge_names():
+            served = self.registry.gauge(f"cdn.edge.{name}.requests").value
+            # Max load; ties (and the all-cold case) break on name.
+            key = (-served, name)
+            if best is None or key < best:
+                best = key
+        if best is None or best[0] == 0:
+            return self.rng.choice(self._edge_names())
+        return best[1]
+
+    def _highest_degree_edge(self) -> str:
+        topology = self.deployment.topology
+        sites = self.deployment.client_sites or self._edge_names()
+        best: Optional[tuple[float, str]] = None
+        for name in self._edge_names():
+            total = sum(topology.latency_s(site, name) for site in sites)
+            key = (total, name)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        return best[1]
+
+    def sites_served_by(self, edge_name: str) -> list[str]:
+        """Client sites whose nearest edge is ``edge_name`` (sorted).
+
+        These are the clients an outage of that edge actually hurts —
+        the scenario runner aims its attacked sessions from here.
+        """
+        names = self._edge_names()
+        return sorted(
+            site
+            for site in self.deployment.client_sites
+            if self.deployment.topology.nearest(site, names) == edge_name
+        )
+
+    def nearest_site(self, edge_name: str) -> str:
+        """The client site closest to ``edge_name`` (always non-empty)."""
+        sites = self.deployment.client_sites
+        if not sites:
+            raise ValueError("deployment has no client sites")
+        topology = self.deployment.topology
+        return min(sites, key=lambda s: (topology.latency_s(s, edge_name), s))

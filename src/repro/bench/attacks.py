@@ -1,0 +1,136 @@
+"""Bench harness for the adversarial workload suite (`fractal-bench attacks`).
+
+One campaign builds a fresh case-study system with *small* LRU bounds
+(sized from the event budget, so floods actually hit the bounds) and
+executes the requested attack classes through
+:class:`~repro.attacks.AttackScenario`.  ``duration`` is interpreted as
+a deterministic **event budget scalar**, never a wall-clock cutoff:
+``events_per_attack = max(1, round(duration * EVENTS_PER_SECOND *
+intensity))``, so the same arguments produce the same ledger on any
+machine — the property the CI smoke gate pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..attacks import KIND_ORDER, AttackScenario, ScenarioResult
+from ..core.system import build_case_study
+
+__all__ = [
+    "EVENTS_PER_SECOND",
+    "AttackCampaign",
+    "run_attack_campaign",
+    "campaign_to_payload",
+    "render_campaign",
+]
+
+# Event-budget scalar: `--duration 5` buys 20 events per attack class at
+# intensity 1.0.  A scalar, not a rate — nothing here sleeps or times out.
+EVENTS_PER_SECOND = 4
+
+# Floor for the shrunken proxy bounds; below this the victims themselves
+# would not fit before the flood starts.
+_MIN_BOUND = 8
+
+
+@dataclass
+class AttackCampaign:
+    """One `fractal-bench attacks` run: parameters + the scenario ledger."""
+
+    seed: int
+    intensity: float
+    duration_s: float
+    events_per_attack: int
+    bound: int  # proxy_max_sessions == proxy_dist_max_entries
+    strategy: str
+    result: ScenarioResult
+
+
+def run_attack_campaign(
+    *,
+    seed: int = 0,
+    duration_s: float = 5.0,
+    intensity: float = 1.0,
+    kinds: Optional[Sequence[str]] = None,
+    strategy: str = "hottest-edge",
+) -> AttackCampaign:
+    """Build a bounded system and run the campaign against it.
+
+    The LRU bounds scale with the event budget (half of it, floored at
+    :data:`_MIN_BOUND`) so every intensity exercises both the absorbing
+    regime (flood fits under the bound) and the degrading one (victims
+    get evicted) — the survival-vs-intensity curve in EXPERIMENTS.md
+    comes from sweeping ``intensity`` with everything else fixed.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if intensity <= 0:
+        raise ValueError(f"intensity must be positive, got {intensity}")
+    events = max(1, round(duration_s * EVENTS_PER_SECOND * intensity))
+    bound = max(_MIN_BOUND, events // 2)
+    system = build_case_study(
+        dedup=True,
+        proxy_max_sessions=bound,
+        proxy_dist_max_entries=bound,
+    )
+    scenario = AttackScenario(system, seed=seed, victim_strategy=strategy)
+    result = scenario.run(kinds, events_per_attack=events)
+    return AttackCampaign(
+        seed=seed,
+        intensity=intensity,
+        duration_s=duration_s,
+        events_per_attack=events,
+        bound=bound,
+        strategy=strategy,
+        result=result,
+    )
+
+
+def campaign_to_payload(campaign: AttackCampaign) -> dict:
+    return {
+        "seed": campaign.seed,
+        "intensity": campaign.intensity,
+        "duration_s": campaign.duration_s,
+        "events_per_attack": campaign.events_per_attack,
+        "bound": campaign.bound,
+        "strategy": campaign.strategy,
+        **campaign.result.to_payload(),
+    }
+
+
+def render_campaign(campaign: AttackCampaign) -> str:
+    from .reporting import render_table
+
+    result = campaign.result
+    rows = []
+    for o in result.outcomes:
+        rows.append(
+            [
+                o.kind,
+                o.target,
+                o.launched,
+                o.absorbed,
+                o.degraded,
+                f"{o.survival * 100:.0f}%",
+                "exact" if o.launched == o.absorbed + o.degraded else "MISMATCH",
+            ]
+        )
+    title = (
+        f"Attacks: seeded adversarial campaign (seed {campaign.seed}, "
+        f"intensity {campaign.intensity:g}, {campaign.events_per_attack} "
+        f"events/class, bounds {campaign.bound}, victim {campaign.strategy})"
+    )
+    table = render_table(
+        title,
+        ["attack", "target", "launched", "absorbed", "degraded", "survival",
+         "identity"],
+        rows,
+    )
+    summary = (
+        f"{result.launched} attack events: {result.absorbed} absorbed, "
+        f"{result.degraded} degraded; ledger "
+        f"{'reconciled exactly' if result.reconciled else 'MISMATCH'}"
+    )
+    return f"{table}\n\n{summary}"

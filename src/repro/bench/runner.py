@@ -29,7 +29,7 @@ from .reporting import (
 __all__ = ["main"]
 
 _EXPERIMENTS = ("table1", "fig9a", "fig9b", "fig10", "fig11", "headline",
-                "timeline", "stages", "chaos", "load", "kernels")
+                "timeline", "stages", "chaos", "load", "kernels", "attacks")
 
 
 def _build_system(era: bool = True):
@@ -400,6 +400,29 @@ def run_load(
     return f"{table}\n\n{summary}"
 
 
+def run_attacks(
+    duration_s: float = 5.0,
+    intensity: float = 1.0,
+    attack: list[str] | None = None,
+    strategy: str = "hottest-edge",
+    seed: int = 0,
+    json_sink: dict | None = None,
+) -> str:
+    """Seeded adversarial campaign with an exact absorbed/degraded ledger."""
+    from .attacks import campaign_to_payload, render_campaign, run_attack_campaign
+
+    campaign = run_attack_campaign(
+        seed=seed,
+        duration_s=duration_s,
+        intensity=intensity,
+        kinds=attack or None,
+        strategy=strategy,
+    )
+    if json_sink is not None:
+        json_sink["attacks"] = campaign_to_payload(campaign)
+    return render_campaign(campaign)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="fractal-bench",
@@ -446,10 +469,33 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="single measurement pass per kernel (CI smoke mode)",
     )
+    attack_group = parser.add_argument_group("attacks", "options for `attacks`")
+    attack_group.add_argument(
+        "--attack", action="append", default=None, metavar="KIND",
+        choices=("negotiation_herd", "slowloris", "cache_poison",
+                 "byzantine_pad", "targeted_outage"),
+        help="attack class to run (repeatable; default: all five). "
+             "`--duration` scales the per-class event budget "
+             "deterministically — no wall-clock dependence",
+    )
+    attack_group.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="attack intensity multiplier on the event budget (default 1.0)",
+    )
+    attack_group.add_argument(
+        "--strategy", choices=("random", "hottest-edge", "highest-degree"),
+        default="hottest-edge",
+        help="victim-selection strategy for targeted attacks "
+             "(default hottest-edge)",
+    )
+    attack_group.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed: same seed, same ledger (default 0)",
+    )
     parser.add_argument(
         "--json", metavar="OUT", default=None,
         help="also write machine-readable results to OUT "
-             "(supported by `kernels` and `load`)",
+             "(supported by `kernels`, `load`, `chaos`, and `attacks`)",
     )
     args = parser.parse_args(argv)
     wanted = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -476,6 +522,10 @@ def main(argv=None) -> int:
                 dedup=args.dedup,
             ),
             "kernels": lambda: run_kernels(args.quick, json_sink=json_sink),
+            "attacks": lambda: run_attacks(
+                args.duration, args.intensity, args.attack, args.strategy,
+                args.seed, json_sink=json_sink,
+            ),
         }[name]
         outputs.append(fn())
     print("\n\n".join(outputs))

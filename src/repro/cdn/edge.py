@@ -56,9 +56,14 @@ class EdgeServer:
         with self._lock:
             self.requests_served += 1
             self.bytes_served += nbytes
+            served = self.requests_served
         if self._registry is not None:
             self._registry.counter("cdn.edge.requests").inc()
             self._registry.counter("cdn.edge.bytes_served").inc(nbytes)
+            # Per-edge load gauge: victim-selection strategies (the
+            # "hottest edge" targeting in repro.attacks) read these to
+            # pick the edge whose outage hurts the most.
+            self._registry.gauge(f"cdn.edge.{self.name}.requests").set(served)
 
     def serve(self, key: str) -> bytes:
         """Return the object, pulling through from origin on a miss.

@@ -198,6 +198,16 @@ class DistributionManager:
     def cache_key(self, dev: DevMeta, app_id: str, ntwk: NtwkMeta) -> tuple:
         return (dev.cache_key(), app_id, ntwk.cache_key())
 
+    def has(self, dev: DevMeta, app_id: str, ntwk: NtwkMeta) -> bool:
+        """Non-perturbing membership probe (no LRU move-to-end).
+
+        The adversarial harness uses this to watch a victim's cached
+        negotiation get evicted by a storm *without* the observation
+        itself refreshing the entry's recency.
+        """
+        with self._lock:
+            return self.cache_key(dev, app_id, ntwk) in self._cache
+
     def lookup(
         self, dev: DevMeta, app_id: str, ntwk: NtwkMeta
     ) -> Optional[tuple[PADMeta, ...]]:
@@ -266,7 +276,10 @@ class AdaptationProxy:
     sends ``INIT_REQ`` and never follows with ``CLI_META_REP`` would
     otherwise leak its entry forever.  Overflow drops the oldest pending
     session (LRU, mirroring the distribution cache) and counts the drop
-    under ``proxy.sessions.dropped``.
+    under ``proxy.sessions.dropped``.  ``dist_max_entries`` sizes the
+    distribution manager's adaptation cache (attacker-controlled
+    metadata keys); the adversarial harness shrinks it so storms hit
+    the bound at test scale.
     """
 
     DEFAULT_MAX_SESSIONS = 1024
@@ -278,6 +291,7 @@ class AdaptationProxy:
         *,
         telemetry: Optional[Telemetry] = None,
         max_sessions: int = DEFAULT_MAX_SESSIONS,
+        dist_max_entries: int = DistributionManager.DEFAULT_MAX_ENTRIES,
     ):
         if max_sessions < 1:
             raise NegotiationError(f"max_sessions must be >= 1, got {max_sessions}")
@@ -285,7 +299,9 @@ class AdaptationProxy:
         self.telemetry = telemetry or Telemetry()
         self.max_sessions = max_sessions
         self.negotiation = NegotiationManager(model)
-        self.distribution = DistributionManager(registry=self.telemetry.registry)
+        self.distribution = DistributionManager(
+            max_entries=dist_max_entries, registry=self.telemetry.registry
+        )
         self.stats = ProxyStats(self.telemetry.registry)
         # Pending sessions: session id -> app_id from INIT_REQ, LRU-bounded.
         # The lock covers every read-modify-write on the table (remember,
@@ -441,3 +457,14 @@ class AdaptationProxy:
     def pending_sessions(self) -> int:
         with self._sessions_lock:
             return len(self._sessions)
+
+    def has_pending(self, session_id: str) -> bool:
+        """Is this session still awaiting its ``CLI_META_REP``?
+
+        ``False`` means the session was claimed, wiped by a restart, or
+        LRU-evicted by newer ``INIT_REQ`` arrivals — the observable the
+        adversarial harness uses to tell *whose* pending entry a
+        slowloris flood pushed out of the bounded table.
+        """
+        with self._sessions_lock:
+            return session_id in self._sessions

@@ -188,6 +188,8 @@ def build_case_study(
     telemetry: Optional[Telemetry] = None,
     dedup: bool = False,
     pad_init_overrides: Optional[dict[str, dict]] = None,
+    proxy_max_sessions: int = AdaptationProxy.DEFAULT_MAX_SESSIONS,
+    proxy_dist_max_entries: int = 4096,
 ) -> CaseStudySystem:
     """Assemble the full case-study system.
 
@@ -206,6 +208,11 @@ def build_case_study(
     ``pad_init_overrides`` tweaks PAD constructor kwargs fleet-wide —
     e.g. ``{"gzip": {"backend": "pure", "dictionary": "text"}}`` turns
     on the shared pre-trained Huffman dictionary.
+    ``proxy_max_sessions`` sizes the proxy's LRU-bounded pending-session
+    table; the adversarial harness shrinks it to make slowloris floods
+    observable at test scale.  ``proxy_dist_max_entries`` likewise sizes
+    the distribution manager's adaptation cache (attacker-controlled
+    metadata keys) so negotiation storms hit the LRU bound.
     """
     pad_ids = tuple(pad_ids)
     # One shared bundle for the whole testbed: client spans and proxy
@@ -243,7 +250,12 @@ def build_case_study(
 
     a, b, r = paper_case_study_matrices()
     model = OverheadModel(cpu_matrix=a, os_matrix=b, net_matrix=r, rho=rho)
-    proxy = AdaptationProxy(model, telemetry=telemetry)
+    proxy = AdaptationProxy(
+        model,
+        telemetry=telemetry,
+        max_sessions=proxy_max_sessions,
+        dist_max_entries=proxy_dist_max_entries,
+    )
 
     deployment = build_deployment(
         n_edges=n_edges, seed=seed, registry=telemetry.registry

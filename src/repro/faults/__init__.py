@@ -21,6 +21,7 @@ from .plan import (
     EDGE_SLOW,
     FRAME_CORRUPT,
     FRAME_LOSS,
+    PAD_STALE_REPLAY,
     PAD_TAMPER_DIGEST,
     PAD_TAMPER_SIGNATURE,
     PROXY_RESTART,
@@ -43,6 +44,7 @@ __all__ = [
     "EDGE_SLOW",
     "PAD_TAMPER_DIGEST",
     "PAD_TAMPER_SIGNATURE",
+    "PAD_STALE_REPLAY",
     "PROXY_RESTART",
     "RULE_KINDS",
     "FaultPlan",

@@ -25,6 +25,7 @@ from .plan import (
     EDGE_SLOW,
     FRAME_CORRUPT,
     FRAME_LOSS,
+    PAD_STALE_REPLAY,
     PAD_TAMPER_DIGEST,
     PAD_TAMPER_SIGNATURE,
     PROXY_RESTART,
@@ -257,12 +258,21 @@ class FaultingEdge:
       stale/wrong-object CDN failure mode.
     * :data:`PAD_TAMPER_SIGNATURE` — flips the signature on the wire, so
       the client's trust-list verification rejects it.
+    * :data:`PAD_STALE_REPLAY` — a byzantine edge replays the *first*
+      version it ever served of a PAD (keys look like ``pad_id/version``)
+      instead of the requested one.  The stale blob is still validly
+      signed — only the negotiated digest check exposes the swap, which
+      is the supply-chain threat the attack harness exercises.
     """
 
     def __init__(self, inner, injector: FaultInjector) -> None:
         self.inner = inner
         self._injector = injector
         self.injected_latency_s = 0.0
+        # First blob served per PAD prefix ("pad_id" of "pad_id/version"):
+        # the stale-replay rule serves this when a *newer* version of the
+        # same PAD is requested.
+        self._first_served: dict[str, tuple[str, bytes]] = {}
 
     @property
     def name(self) -> str:
@@ -278,11 +288,30 @@ class FaultingEdge:
         if slow is not None:
             self.injected_latency_s += slow.extra_latency_s
         blob = self.inner.serve(key)
+        stale = self._stale_snapshot(key, blob)
+        if stale is not None:
+            # Only count a stale-replay event when a replay is actually
+            # possible (an older version of this PAD was seen), so the
+            # faults.injected.pad_stale_replay counter equals the number
+            # of stale blobs really served.
+            if injector.fire(PAD_STALE_REPLAY, self.name) is not None:
+                blob = stale
         if injector.fire(PAD_TAMPER_DIGEST, self.name) is not None:
             blob = self._wrong_object(key, blob)
         if injector.fire(PAD_TAMPER_SIGNATURE, self.name) is not None:
             blob = self._break_signature(blob)
         return blob
+
+    def _stale_snapshot(self, key: str, blob: bytes) -> Optional[bytes]:
+        """Remember the first version of each PAD; return the stale blob
+        when ``key`` names a different (newer) version of it."""
+        prefix = key.split("/", 1)[0]
+        first_key, first_blob = self._first_served.setdefault(
+            prefix, (key, blob)
+        )
+        if first_key == key:
+            return None
+        return first_blob
 
     def _wrong_object(self, key: str, blob: bytes) -> bytes:
         """Another validly-signed blob from the same origin, if any."""

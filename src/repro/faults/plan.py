@@ -21,6 +21,7 @@ __all__ = [
     "EDGE_SLOW",
     "PAD_TAMPER_DIGEST",
     "PAD_TAMPER_SIGNATURE",
+    "PAD_STALE_REPLAY",
     "PROXY_RESTART",
     "RULE_KINDS",
     "FaultRule",
@@ -33,6 +34,7 @@ EDGE_OUTAGE = "edge_outage"  # CDN edge: serve() raises
 EDGE_SLOW = "edge_slow"  # CDN edge: latency spike (accounted, not slept)
 PAD_TAMPER_DIGEST = "pad_tamper_digest"  # edge serves the wrong (signed) object
 PAD_TAMPER_SIGNATURE = "pad_tamper_signature"  # edge serves a bad signature
+PAD_STALE_REPLAY = "pad_stale_replay"  # edge replays an old (validly signed) version
 PROXY_RESTART = "proxy_restart"  # proxy wipes pending sessions
 
 RULE_KINDS = frozenset(
@@ -43,6 +45,7 @@ RULE_KINDS = frozenset(
         EDGE_SLOW,
         PAD_TAMPER_DIGEST,
         PAD_TAMPER_SIGNATURE,
+        PAD_STALE_REPLAY,
         PROXY_RESTART,
     }
 )
@@ -122,6 +125,15 @@ class FaultRule:
     @classmethod
     def tamper_signature(cls, target: str = MATCH_ANY, probability: float = 1.0, **kw):
         return cls(PAD_TAMPER_SIGNATURE, target, probability, **kw)
+
+    @classmethod
+    def stale_replay(cls, target: str = MATCH_ANY, probability: float = 1.0, **kw):
+        """A byzantine edge replays a previously-served (old) PAD version.
+
+        The replayed blob is *validly signed* — only the negotiated
+        digest exposes it, the stale-code supply-chain failure mode.
+        """
+        return cls(PAD_STALE_REPLAY, target, probability, **kw)
 
     @classmethod
     def proxy_restart(cls, *, after: int, duration: int = 1, target: str = MATCH_ANY):

@@ -8,7 +8,9 @@ from .chunkstore import (
     DEFAULT_MAX_BYTES,
     DEFAULT_MAX_ENTRIES,
     ChunkStore,
+    PoisonedRecordError,
     StoreStats,
+    content_key,
 )
 from .serving import (
     StoreBackedResponder,
@@ -22,7 +24,9 @@ __all__ = [
     "DEFAULT_MAX_BYTES",
     "DEFAULT_MAX_ENTRIES",
     "ChunkStore",
+    "PoisonedRecordError",
     "StoreStats",
+    "content_key",
     "StoreBackedResponder",
     "chunk_record_key",
     "response_key",

@@ -22,14 +22,24 @@ Three properties carry the whole design:
 * **Bounded.**  Strict LRU over both an entry count and a byte budget.
   A record larger than the byte budget is returned but never cached
   (counted under ``oversize``) instead of wiping the whole store.
+* **Self-certifying.**  A key of the form ``blob:<40 hex>`` names raw
+  content by its SHA-1, and the store *verifies* that claim on every
+  insert: bytes whose digest does not match the key are rejected
+  (counted under ``rejected``, :class:`PoisonedRecordError` raised,
+  nothing cached) — the defense against cache-poisoning submissions
+  where an attacker supplies wrong content for a valid digest.  Keys in
+  other namespaces (``resp:``, ``cdc:``) hash the *inputs* of a compute,
+  not its output, so they cannot be self-verified; those records are
+  only ever produced by the serving path itself, never accepted from an
+  untrusted submitter.
 
 Telemetry (all under ``store.<name>.*`` in the shared registry, mirrored
 on the instance for registry-less use): ``lookups``, ``hits``,
 ``misses``, ``coalesced``, ``computes``, ``inserts``, ``evictions``,
-``oversize``, ``bytes_saved`` (bytes served from cache instead of
-recomputed), plus ``entries``/``bytes`` gauges.  The exact ledger the
-bench reconciles: ``lookups == hits + misses + coalesced`` and
-``computes == misses``.
+``oversize``, ``rejected`` (digest-mismatch submissions refused),
+``bytes_saved`` (bytes served from cache instead of recomputed), plus
+``entries``/``bytes`` gauges.  The exact ledger the bench reconciles:
+``lookups == hits + misses + coalesced`` and ``computes == misses``.
 
 Thread safety: one lock guards the LRU map and the in-flight table;
 computes run *outside* the lock, so a slow kernel never blocks hits on
@@ -40,16 +50,64 @@ table — sync threads and event-loop tasks coalesce against each other.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import string
 import threading
 from collections import OrderedDict
 from typing import Awaitable, Callable, Optional
 
 from ..telemetry import MetricsRegistry
 
-__all__ = ["ChunkStore", "StoreStats", "DEFAULT_MAX_ENTRIES", "DEFAULT_MAX_BYTES"]
+__all__ = [
+    "ChunkStore",
+    "PoisonedRecordError",
+    "StoreStats",
+    "content_key",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_MAX_BYTES",
+]
 
 DEFAULT_MAX_ENTRIES = 4096
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+_BLOB_PREFIX = "blob:"
+_SHA1_HEX_LEN = 40
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
+
+
+class PoisonedRecordError(ValueError):
+    """A self-certifying record's bytes did not match its claimed digest.
+
+    Raised instead of caching: a poisoned submission must never be
+    inserted, and every caller (the submitter, plus any coalesced
+    waiters on the same key) must learn the record was refused.
+    """
+
+
+def content_key(data: bytes) -> str:
+    """The self-certifying store key for raw content bytes."""
+    return f"{_BLOB_PREFIX}{hashlib.sha1(data).hexdigest()}"
+
+
+def _verify_self_certifying(key: str, value: bytes) -> Optional[str]:
+    """Why ``(key, value)`` must be refused, or None if it may be cached.
+
+    Only the ``blob:`` namespace is self-certifying.  A malformed claim
+    (wrong length, non-hex) is refused outright — accepting it would let
+    an attacker smuggle unverifiable content into the verified namespace.
+    """
+    if not key.startswith(_BLOB_PREFIX):
+        return None
+    digest = key[len(_BLOB_PREFIX):].lower()
+    if len(digest) != _SHA1_HEX_LEN or not set(digest) <= _HEX_DIGITS:
+        return f"malformed self-certifying key {key!r}"
+    actual = hashlib.sha1(value).hexdigest()
+    if actual != digest:
+        return (
+            f"content digest {actual} does not match the digest claimed "
+            f"by key {key!r}"
+        )
+    return None
 
 
 class StoreStats:
@@ -57,7 +115,8 @@ class StoreStats:
 
     __slots__ = (
         "lookups", "hits", "misses", "coalesced", "computes", "inserts",
-        "evictions", "oversize", "bytes_saved", "entries", "bytes_cached",
+        "evictions", "oversize", "rejected", "bytes_saved", "entries",
+        "bytes_cached",
     )
 
     def __init__(self, **kv: int) -> None:
@@ -113,7 +172,7 @@ class ChunkStore:
         self._counts = {
             "lookups": 0, "hits": 0, "misses": 0, "coalesced": 0,
             "computes": 0, "inserts": 0, "evictions": 0, "oversize": 0,
-            "bytes_saved": 0,
+            "rejected": 0, "bytes_saved": 0,
         }
 
     # -- counters ------------------------------------------------------------
@@ -165,7 +224,17 @@ class ChunkStore:
             return value
 
     def put(self, key: str, value: bytes) -> None:
-        """Insert (or refresh) a record, evicting LRU entries to fit."""
+        """Insert (or refresh) a record, evicting LRU entries to fit.
+
+        A self-certifying ``blob:`` key whose bytes do not hash to the
+        claimed digest raises :class:`PoisonedRecordError` and caches
+        nothing (counted under ``rejected``).
+        """
+        reason = _verify_self_certifying(key, value)
+        if reason is not None:
+            with self._lock:
+                self._count("rejected")
+            raise PoisonedRecordError(reason)
         with self._lock:
             self._insert_locked(key, value)
             self._set_gauges_locked()
@@ -241,6 +310,31 @@ class ChunkStore:
             self._count("bytes_saved", len(value))
         return value
 
+    def _settle(self, key: str, flight: _Flight, value) -> bytes:
+        """Validate a leader's compute result and finish the flight.
+
+        Non-bytes results and digest-mismatched self-certifying records
+        both fail the flight: the error propagates to the leader *and*
+        every coalesced waiter, and nothing is cached.
+        """
+        if not isinstance(value, (bytes, bytearray)):
+            exc: Exception = TypeError(
+                f"store compute for {key!r} returned "
+                f"{type(value).__name__}, expected bytes"
+            )
+            self._finish(key, flight, None, exc)
+            raise exc
+        value = bytes(value)
+        reason = _verify_self_certifying(key, value)
+        if reason is not None:
+            with self._lock:
+                self._count("rejected")
+            exc = PoisonedRecordError(reason)
+            self._finish(key, flight, None, exc)
+            raise exc
+        self._finish(key, flight, value, None)
+        return value
+
     def get_or_compute(self, key: str, compute: Callable[[], bytes]) -> bytes:
         """Return the record for ``key``, computing it at most once.
 
@@ -261,16 +355,7 @@ class ChunkStore:
         except BaseException as exc:
             self._finish(key, flight, None, exc)
             raise
-        if not isinstance(value, (bytes, bytearray)):
-            exc = TypeError(
-                f"store compute for {key!r} returned "
-                f"{type(value).__name__}, expected bytes"
-            )
-            self._finish(key, flight, None, exc)
-            raise exc
-        value = bytes(value)
-        self._finish(key, flight, value, None)
-        return value
+        return self._settle(key, flight, value)
 
     async def get_or_compute_async(
         self, key: str, compute: Callable[[], Awaitable[bytes]]
@@ -294,13 +379,4 @@ class ChunkStore:
         except BaseException as exc:
             self._finish(key, flight, None, exc)
             raise
-        if not isinstance(value, (bytes, bytearray)):
-            exc = TypeError(
-                f"store compute for {key!r} returned "
-                f"{type(value).__name__}, expected bytes"
-            )
-            self._finish(key, flight, None, exc)
-            raise exc
-        value = bytes(value)
-        self._finish(key, flight, value, None)
-        return value
+        return self._settle(key, flight, value)

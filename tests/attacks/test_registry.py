@@ -1,0 +1,101 @@
+"""AttackRegistry: the declarative catalogue and its seeded sampling."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    ATTACK_KINDS,
+    BYZANTINE_PAD,
+    CACHE_POISON,
+    KIND_ORDER,
+    NEGOTIATION_HERD,
+    SLOWLORIS,
+    TARGETED_OUTAGE,
+    AttackBehavior,
+    AttackRegistry,
+)
+
+
+class TestBehaviorValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown attack kind"):
+            AttackBehavior("dns_rebinding")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            AttackBehavior(SLOWLORIS, weight=-0.5)
+
+    def test_zero_weight_accepted(self):
+        assert AttackBehavior(SLOWLORIS, weight=0.0).weight == 0.0
+
+    def test_params_carried(self):
+        b = AttackBehavior(BYZANTINE_PAD, params={"fragile_every": 2})
+        assert b.params["fragile_every"] == 2
+
+
+class TestRegistry:
+    def test_default_registers_all_kinds_in_canonical_order(self):
+        registry = AttackRegistry.default()
+        assert registry.kinds() == list(KIND_ORDER)
+        assert len(registry) == len(ATTACK_KINDS) == 5
+        assert all(kind in registry for kind in ATTACK_KINDS)
+
+    def test_kind_order_covers_exactly_the_kind_set(self):
+        assert set(KIND_ORDER) == ATTACK_KINDS
+        assert len(KIND_ORDER) == len(ATTACK_KINDS)
+
+    def test_duplicate_registration_rejected(self):
+        registry = AttackRegistry().register(AttackBehavior(SLOWLORIS))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(AttackBehavior(SLOWLORIS, weight=2.0))
+
+    def test_get_unregistered_raises_keyerror(self):
+        with pytest.raises(KeyError, match="not registered"):
+            AttackRegistry().get(CACHE_POISON)
+
+    def test_iteration_preserves_registration_order(self):
+        registry = (
+            AttackRegistry()
+            .register(AttackBehavior(TARGETED_OUTAGE))
+            .register(AttackBehavior(NEGOTIATION_HERD))
+        )
+        assert [b.kind for b in registry] == [TARGETED_OUTAGE, NEGOTIATION_HERD]
+
+
+class TestSampling:
+    def test_same_seed_same_draws(self):
+        registry = AttackRegistry.default()
+        a = registry.sample(random.Random(7), 50)
+        b = registry.sample(random.Random(7), 50)
+        assert a == b
+        assert set(a) <= ATTACK_KINDS
+
+    def test_weights_bias_the_draw(self):
+        registry = (
+            AttackRegistry()
+            .register(AttackBehavior(SLOWLORIS, weight=100.0))
+            .register(AttackBehavior(CACHE_POISON, weight=1.0))
+        )
+        draws = registry.sample(random.Random(0), 200)
+        assert draws.count(SLOWLORIS) > draws.count(CACHE_POISON)
+
+    def test_zero_weight_never_drawn(self):
+        registry = (
+            AttackRegistry()
+            .register(AttackBehavior(SLOWLORIS, weight=0.0))
+            .register(AttackBehavior(CACHE_POISON, weight=1.0))
+        )
+        assert set(registry.sample(random.Random(3), 100)) == {CACHE_POISON}
+
+    def test_kinds_filter_restricts_the_pool(self):
+        registry = AttackRegistry.default()
+        draws = registry.sample(random.Random(1), 40, kinds=[BYZANTINE_PAD])
+        assert set(draws) == {BYZANTINE_PAD}
+
+    def test_empty_pool_rejected(self):
+        registry = AttackRegistry().register(
+            AttackBehavior(SLOWLORIS, weight=0.0)
+        )
+        with pytest.raises(ValueError, match="positive weight"):
+            registry.sample(random.Random(0), 1)

@@ -1,0 +1,259 @@
+"""AttackScenario: exact ledgers, seeded reproducibility, zero poisonings.
+
+These tests pin the acceptance criteria of the adversarial subsystem:
+
+* every attack class satisfies ``launched == absorbed + degraded`` and
+  the campaign reconciles its local tallies against the shared registry
+  exactly;
+* the same seed produces the same ledger, payload-for-payload, on a
+  fresh system;
+* cache poisoning never lands — and golden SHA-1 wire vectors are still
+  served byte-identical *warm* from a store that just survived a
+  poisoning campaign.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.attacks import (
+    BYZANTINE_PAD,
+    CACHE_POISON,
+    KIND_ORDER,
+    NEGOTIATION_HERD,
+    SLOWLORIS,
+    TARGETED_OUTAGE,
+    AttackBehavior,
+    AttackOutcome,
+    AttackRegistry,
+    AttackScenario,
+)
+from repro.compression import gziplike
+from repro.core.system import build_case_study
+from repro.faults.injector import FaultingTransport
+from repro.store.chunkstore import content_key
+from repro.workload.pages import Corpus
+
+from tests.protocols.test_golden_wire import GZIPLIKE_GOLDEN
+
+BOUND = 8
+
+
+def attacked_system(bound=BOUND):
+    """A fresh case-study system with adversarial-scale LRU bounds."""
+    return build_case_study(
+        dedup=True,
+        n_edges=6,
+        proxy_max_sessions=bound,
+        proxy_dist_max_entries=bound,
+    )
+
+
+class TestOutcomeIdentity:
+    def test_ledger_identity_enforced_at_construction(self):
+        with pytest.raises(ValueError, match="launched"):
+            AttackOutcome(
+                kind=SLOWLORIS, target="proxy.sessions",
+                launched=3, absorbed=1, degraded=1,
+            )
+
+    def test_survival_fraction(self):
+        o = AttackOutcome(
+            kind=SLOWLORIS, target="proxy.sessions",
+            launched=4, absorbed=3, degraded=1,
+        )
+        assert o.survival == pytest.approx(0.75)
+
+
+class TestScenarioValidation:
+    def test_unknown_kind_rejected(self):
+        scenario = AttackScenario(attacked_system())
+        try:
+            with pytest.raises(ValueError, match="unknown attack kinds"):
+                scenario.run(["ddos"])
+        finally:
+            scenario.uninstall()
+
+    def test_zero_event_budget_rejected(self):
+        scenario = AttackScenario(attacked_system())
+        try:
+            with pytest.raises(ValueError, match="events_per_attack"):
+                scenario.run(events_per_attack=0)
+        finally:
+            scenario.uninstall()
+
+    def test_cache_poison_requires_a_fleet_store(self):
+        system = build_case_study(n_edges=6)  # dedup=False: no store
+        scenario = AttackScenario(system)
+        try:
+            with pytest.raises(ValueError, match="dedup=True"):
+                scenario.run([CACHE_POISON])
+        finally:
+            scenario.uninstall()
+
+    def test_uninstall_restores_the_unwrapped_transport(self):
+        system = attacked_system()
+        scenario = AttackScenario(system)
+        assert isinstance(system.transport, FaultingTransport)
+        scenario.uninstall()
+        assert not isinstance(system.transport, FaultingTransport)
+
+
+@pytest.mark.attacks
+class TestFullCampaign:
+    def test_every_class_reconciles_exactly(self):
+        system = attacked_system()
+        result = AttackScenario(system, seed=5).run(events_per_attack=8)
+        assert [o.kind for o in result.outcomes] == list(KIND_ORDER)
+        assert result.reconciled
+        for o in result.outcomes:
+            assert o.launched == 8
+            assert o.launched == o.absorbed + o.degraded
+            assert 0.0 <= o.survival <= 1.0
+        assert result.launched == 8 * len(KIND_ORDER)
+        assert result.launched == result.absorbed + result.degraded
+        # Local tallies and registry window deltas agree, name by name.
+        assert all(local == reg for local, reg in result.ledger.values())
+        metrics = system.telemetry.registry
+        for kind in KIND_ORDER:
+            launched = metrics.counter(f"attacks.launched.{kind}").value
+            absorbed = metrics.counter(f"attacks.absorbed.{kind}").value
+            degraded = metrics.counter(f"attacks.degraded.{kind}").value
+            assert launched == absorbed + degraded == 8
+
+    def test_same_seed_same_ledger_on_a_fresh_system(self):
+        payloads = [
+            AttackScenario(attacked_system(), seed=13)
+            .run(events_per_attack=8)
+            .to_payload()
+            for _ in range(2)
+        ]
+        assert payloads[0] == payloads[1]
+        assert payloads[0]["reconciled"] is True
+
+    def test_kinds_subset_runs_in_canonical_order(self):
+        result = AttackScenario(attacked_system(), seed=2).run(
+            [TARGETED_OUTAGE, SLOWLORIS], events_per_attack=4
+        )
+        # Request order does not matter; KIND_ORDER does.
+        assert [o.kind for o in result.outcomes] == [SLOWLORIS, TARGETED_OUTAGE]
+        assert result.reconciled
+
+
+@pytest.mark.attacks
+class TestNegotiationHerd:
+    def test_storm_evicts_the_victim_exactly_once(self):
+        result = AttackScenario(attacked_system(), seed=1).run(
+            [NEGOTIATION_HERD], events_per_attack=12
+        )
+        (outcome,) = result.outcomes
+        # 12 unique crafted DevMetas against an 8-entry cache: the bound
+        # absorbs the flood; the victim's one entry is evicted once.
+        assert outcome.degraded == 1
+        assert outcome.detail["cache_entries"] <= BOUND
+        assert outcome.detail["cache_evictions"] >= 1
+        assert outcome.detail["storm_errors"] == 0
+
+
+@pytest.mark.attacks
+class TestSlowloris:
+    def test_flood_under_the_bound_is_fully_absorbed(self):
+        result = AttackScenario(attacked_system(bound=32), seed=4).run(
+            [SLOWLORIS], events_per_attack=4
+        )
+        (outcome,) = result.outcomes
+        assert outcome.degraded == 0
+        assert outcome.survival == 1.0
+        assert outcome.detail["victims_starved"] == 0
+        assert outcome.detail["victims_completed"] == outcome.detail["victims"]
+
+    def test_overflowing_flood_starves_every_victim(self):
+        result = AttackScenario(attacked_system(), seed=4).run(
+            [SLOWLORIS], events_per_attack=16
+        )
+        (outcome,) = result.outcomes
+        # 4 victims + 16 half-open INITs against an 8-slot table: each
+        # victim is pushed out exactly once → 4 degraded events.
+        assert outcome.detail["victims"] == 4
+        assert outcome.degraded == 4
+        assert outcome.detail["victims_starved"] == 4
+        assert outcome.detail["victims_completed"] == 0
+        assert outcome.detail["pending_sessions"] <= BOUND
+        assert outcome.detail["sessions_dropped"] >= 4
+
+
+@pytest.mark.attacks
+class TestCachePoison:
+    def test_no_poison_lands_and_golden_bytes_survive_warm(self):
+        system = attacked_system()
+        store = system.chunk_store
+        # Pre-seed the attacked store with the frozen wire vectors under
+        # their self-certifying keys (the digests pinned by the golden
+        # wire tests — any byte drift here is a protocol break).
+        pages = Corpus(text_bytes=2048, image_bytes=4096, images_per_page=2)
+        inputs = {
+            "text": b"the quick brown fox jumps over the lazy dog. " * 200,
+            "small_page": pages.evolved(0, 1).encode(),
+        }
+        keys = {}
+        for name, raw in inputs.items():
+            blob = gziplike.compress(raw, backend="pure")
+            assert hashlib.sha1(blob).hexdigest() == GZIPLIKE_GOLDEN[name]
+            keys[name] = content_key(blob)
+            store.put(keys[name], blob)
+
+        result = AttackScenario(system, seed=9).run(
+            [CACHE_POISON], events_per_attack=10
+        )
+        (outcome,) = result.outcomes
+        assert outcome.degraded == 0
+        assert outcome.survival == 1.0
+        assert outcome.detail["poisoned_entries"] == 0
+        # Half the events were store submissions, every one refused.
+        assert outcome.detail["store_rejected"] == 5
+
+        # Served *warm* from the attacked store: still the golden bytes.
+        for name, key in keys.items():
+            served = store.get(key)
+            assert served is not None
+            assert hashlib.sha1(served).hexdigest() == GZIPLIKE_GOLDEN[name]
+            assert gziplike.decompress(served) == inputs[name]
+
+
+@pytest.mark.attacks
+class TestByzantineAndOutage:
+    def test_resilient_clients_absorb_fragile_ones_degrade(self):
+        system = attacked_system()
+        result = AttackScenario(system, seed=6).run(
+            [BYZANTINE_PAD, TARGETED_OUTAGE], events_per_attack=8
+        )
+        byz, outage = result.outcomes
+        edge_names = {e.name for e in system.deployment.edges}
+
+        assert byz.kind == BYZANTINE_PAD
+        # fragile_every=4 → events 3 and 7 ran without failover.
+        assert byz.degraded == 2
+        assert byz.target in edge_names
+        assert byz.detail["stale_replays"] > 0
+        assert byz.detail["target_pad"] != "direct"
+
+        assert outage.kind == TARGETED_OUTAGE
+        assert outage.degraded == 2
+        assert outage.target in edge_names
+        assert outage.detail["outages_fired"] > 0
+        assert outage.detail["strategy"] == "hottest-edge"
+        assert result.reconciled
+
+    def test_all_fragile_clients_still_reconcile(self):
+        # Even a worst-case population (every client degrades to direct)
+        # keeps the ledger exact — degradation is counted, not crashed.
+        registry = AttackRegistry().register(
+            AttackBehavior(TARGETED_OUTAGE, params={"fragile_every": 1})
+        )
+        result = AttackScenario(
+            attacked_system(), seed=3, registry=registry
+        ).run([TARGETED_OUTAGE], events_per_attack=4)
+        (outcome,) = result.outcomes
+        assert outcome.degraded == 4
+        assert outcome.survival == 0.0
+        assert result.reconciled

@@ -1,0 +1,108 @@
+"""VictimSelector: strategies are deterministic functions of live state."""
+
+import random
+
+import pytest
+
+from repro.attacks import STRATEGIES, VictimSelector
+from repro.cdn.planetlab import build_deployment
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture()
+def deployment():
+    return build_deployment(n_edges=5, n_client_sites=4, seed=11)
+
+
+def selector(deployment, registry=None, seed=0):
+    return VictimSelector(
+        deployment, registry=registry, rng=random.Random(seed)
+    )
+
+
+class TestRandomStrategy:
+    def test_seeded_draws_are_reproducible(self, deployment):
+        a = [selector(deployment, seed=5).select_edge("random") for _ in range(1)]
+        b = [selector(deployment, seed=5).select_edge("random") for _ in range(1)]
+        assert a == b
+        assert a[0] in {e.name for e in deployment.edges}
+
+    def test_unknown_strategy_rejected(self, deployment):
+        with pytest.raises(ValueError, match="unknown victim strategy"):
+            selector(deployment).select_edge("nuke-from-orbit")
+
+    def test_strategies_tuple_is_the_cli_surface(self):
+        assert STRATEGIES == ("random", "hottest-edge", "highest-degree")
+
+
+class TestHottestEdge:
+    def test_picks_the_edge_with_the_highest_request_gauge(self, deployment):
+        registry = MetricsRegistry()
+        registry.gauge("cdn.edge.edge01.requests").set(3)
+        registry.gauge("cdn.edge.edge03.requests").set(9)
+        sel = selector(deployment, registry=registry)
+        assert sel.select_edge("hottest-edge") == "edge03"
+
+    def test_ties_break_on_name(self, deployment):
+        registry = MetricsRegistry()
+        registry.gauge("cdn.edge.edge04.requests").set(7)
+        registry.gauge("cdn.edge.edge02.requests").set(7)
+        assert (
+            selector(deployment, registry=registry).select_edge("hottest-edge")
+            == "edge02"
+        )
+
+    def test_cold_system_falls_back_to_seeded_random(self, deployment):
+        registry = MetricsRegistry()  # no gauge has moved
+        a = selector(deployment, registry=registry, seed=9)
+        b = selector(deployment, registry=registry, seed=9)
+        assert a.select_edge("hottest-edge") == b.select_edge("hottest-edge")
+
+
+class TestHighestDegree:
+    def test_pick_is_deterministic_and_a_real_edge(self, deployment):
+        names = {e.name for e in deployment.edges}
+        picks = {
+            selector(deployment, seed=s).select_edge("highest-degree")
+            for s in range(3)
+        }
+        # Centrality ignores the RNG entirely: every seed agrees.
+        assert len(picks) == 1
+        assert picks <= names
+
+    def test_pick_minimises_total_latency_to_client_sites(self, deployment):
+        pick = selector(deployment).select_edge("highest-degree")
+        topology = deployment.topology
+
+        def closeness(edge_name):
+            return sum(
+                topology.latency_s(site, edge_name)
+                for site in deployment.client_sites
+            )
+
+        best = min(closeness(e.name) for e in deployment.edges)
+        assert closeness(pick) == pytest.approx(best)
+
+
+class TestServingGeometry:
+    def test_sites_served_by_partitions_the_client_sites(self, deployment):
+        sel = selector(deployment)
+        covered = []
+        for edge in deployment.edges:
+            covered.extend(sel.sites_served_by(edge.name))
+        # Every client site is served by exactly one nearest edge.
+        assert sorted(covered) == sorted(deployment.client_sites)
+
+    def test_nearest_site_is_the_latency_argmin(self, deployment):
+        sel = selector(deployment)
+        site = sel.nearest_site("edge00")
+        topology = deployment.topology
+        best = min(
+            topology.latency_s(s, "edge00") for s in deployment.client_sites
+        )
+        assert topology.latency_s(site, "edge00") == pytest.approx(best)
+
+    def test_no_edges_rejected(self, deployment):
+        deployment.edges.clear()
+        with pytest.raises(ValueError, match="no edges"):
+            selector(deployment).select_edge("random")

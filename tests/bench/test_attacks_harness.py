@@ -1,0 +1,91 @@
+"""`fractal-bench attacks`: the campaign harness and its CLI surface."""
+
+import json
+
+import pytest
+
+from repro.attacks import KIND_ORDER, SLOWLORIS
+from repro.bench import runner
+from repro.bench.attacks import (
+    EVENTS_PER_SECOND,
+    campaign_to_payload,
+    render_campaign,
+    run_attack_campaign,
+)
+
+
+class TestCampaignHarness:
+    def test_event_budget_is_a_deterministic_scalar(self):
+        campaign = run_attack_campaign(
+            seed=3, duration_s=2.0, intensity=2.0, kinds=[SLOWLORIS]
+        )
+        assert campaign.events_per_attack == round(2.0 * EVENTS_PER_SECOND * 2.0)
+        assert campaign.bound == max(8, campaign.events_per_attack // 2)
+        assert campaign.result.reconciled
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            run_attack_campaign(duration_s=0.0)
+        with pytest.raises(ValueError, match="intensity"):
+            run_attack_campaign(intensity=-1.0)
+
+    @pytest.mark.attacks
+    def test_payload_carries_params_and_exact_ledger(self):
+        campaign = run_attack_campaign(seed=1, duration_s=2.0)
+        payload = campaign_to_payload(campaign)
+        assert payload["seed"] == 1
+        assert payload["strategy"] == "hottest-edge"
+        assert payload["reconciled"] is True
+        assert [o["kind"] for o in payload["outcomes"]] == list(KIND_ORDER)
+        totals = payload["totals"]
+        assert totals["launched"] == totals["absorbed"] + totals["degraded"]
+        for o in payload["outcomes"]:
+            assert o["launched"] == o["absorbed"] + o["degraded"]
+        json.dumps(payload)  # must be JSON-serialisable as-is
+
+    @pytest.mark.attacks
+    def test_render_reports_every_class_and_reconciliation(self):
+        campaign = run_attack_campaign(seed=0, duration_s=2.0)
+        text = render_campaign(campaign)
+        for kind in KIND_ORDER:
+            assert kind in text
+        assert "reconciled exactly" in text
+
+
+class TestAttacksCli:
+    @pytest.mark.attacks
+    def test_attacks_command_writes_reconciled_json(self, tmp_path, capsys):
+        out = tmp_path / "attacks.json"
+        assert (
+            runner.main(
+                ["attacks", "--duration", "2", "--seed", "2", "--json", str(out)]
+            )
+            == 0
+        )
+        assert "reconciled exactly" in capsys.readouterr().out
+        payload = json.loads(out.read_text())["attacks"]
+        assert payload["reconciled"] is True
+        assert len(payload["outcomes"]) == len(KIND_ORDER)
+
+    def test_attack_flag_restricts_the_campaign(self, tmp_path, capsys):
+        out = tmp_path / "attacks.json"
+        assert (
+            runner.main(
+                [
+                    "attacks",
+                    "--duration", "2",
+                    "--attack", "slowloris",
+                    "--strategy", "highest-degree",
+                    "--json", str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(out.read_text())["attacks"]
+        assert [o["kind"] for o in payload["outcomes"]] == [SLOWLORIS]
+        assert payload["strategy"] == "highest-degree"
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["attacks", "--attack", "teardrop"])

@@ -1,0 +1,167 @@
+"""Scripted-slowloris regressions for the proxy's session hardening.
+
+Two earlier fixes get pinned under explicit adversarial pressure here:
+
+* the abandoned-``INIT_REQ`` LRU bound (an unbounded ``_sessions`` table
+  was the original slowloris vector), and
+* the atomic ``_claim_session`` pop (a get-then-del pair used to crash
+  when a worker raced ``restart()`` — exactly the interleaving a
+  half-open flood plus a watchdog restart produces).
+"""
+
+import threading
+
+import pytest
+
+from repro.core import inp
+from repro.core.inp import INPMessage, MsgType
+from repro.core.metadata import AppMeta, DevMeta, NtwkMeta, PADMeta, PADOverhead
+from repro.core.overhead import OverheadModel
+from repro.core.proxy import AdaptationProxy
+
+DEV = DevMeta("FedoraCore2", "PentiumIV", 2000.0, 512.0)
+NTWK = NtwkMeta("LAN", 100_000.0)
+
+
+def make_proxy(**kwargs):
+    proxy = AdaptationProxy(OverheadModel(), **kwargs)
+    proxy.push_app_meta(AppMeta("app", (PADMeta(
+        pad_id="only", size_bytes=100,
+        overhead=PADOverhead(traffic_std_bytes=0, client_comp_std_s=0.01,
+                             server_comp_s=0),
+    ),)))
+    proxy.register_distribution("only", "a" * 40, "cdn://only/1")
+    return proxy
+
+
+def send_init(proxy, session_id):
+    msg = INPMessage(MsgType.INIT_REQ, session_id, 0, {"app_id": "app"})
+    return inp.decode(proxy.handle(inp.encode(msg)))
+
+
+def send_cli_meta(proxy, session_id):
+    msg = INPMessage(
+        MsgType.CLI_META_REP, session_id, 2,
+        {"dev_meta": DEV.to_wire(), "ntwk_meta": NTWK.to_wire()},
+    )
+    return inp.decode(proxy.handle(inp.encode(msg)))
+
+
+class TestSlowlorisBound:
+    def test_half_open_flood_evicts_oldest_first_and_stays_bounded(self):
+        proxy = make_proxy(max_sessions=4)
+        victims = [f"victim-{i}" for i in range(2)]
+        for sid in victims:
+            send_init(proxy, sid)
+        # 50 half-open INIT_REQs: never followed by CLI_META_REP.
+        for i in range(50):
+            assert send_init(proxy, f"loris-{i}").msg_type is MsgType.INIT_REP
+        assert proxy.pending_sessions == 4
+        assert proxy.stats.sessions_dropped == 50 + 2 - 4
+        # The victims went first (oldest-first eviction) ...
+        for sid in victims:
+            assert not proxy.has_pending(sid)
+            assert send_cli_meta(proxy, sid).msg_type is MsgType.INP_ERROR
+        # ... and only the newest attacker sessions survive.
+        assert all(proxy.has_pending(f"loris-{i}") for i in range(46, 50))
+        assert not proxy.has_pending("loris-45")
+
+    def test_victim_racing_ahead_of_the_flood_completes(self):
+        proxy = make_proxy(max_sessions=4)
+        send_init(proxy, "quick")
+        for i in range(3):
+            send_init(proxy, f"loris-{i}")
+        # Still within the bound: the victim's follow-up wins the race.
+        rep = send_cli_meta(proxy, "quick")
+        assert rep.msg_type is MsgType.PAD_META_REP
+        # The claimed slot is free again; the flood can't reclaim "quick".
+        assert not proxy.has_pending("quick")
+        assert proxy.stats.sessions_dropped == 0
+
+    def test_flood_then_legitimate_burst_interleaved(self):
+        proxy = make_proxy(max_sessions=8)
+        completed = 0
+        for i in range(100):
+            send_init(proxy, f"loris-{i}")
+            sid = f"real-{i}"
+            send_init(proxy, sid)
+            rep = send_cli_meta(proxy, sid)  # immediate follow-up
+            if rep.msg_type is MsgType.PAD_META_REP:
+                completed += 1
+        # Immediate completion always beats an LRU that evicts oldest
+        # first: the flood starves only sessions that dawdle.
+        assert completed == 100
+        assert proxy.pending_sessions <= 8
+
+
+@pytest.mark.stress
+class TestClaimRestartRace:
+    def test_concurrent_claims_and_restarts_never_crash(self):
+        """The PR-3 regression: claim vs restart must not double-delete.
+
+        8 claimer threads replay CLI_META_REPs for the same session IDs
+        while a restarter thread wipes the table; every reply must be a
+        well-formed PAD_META_REP or INP_ERROR — never an unhandled
+        KeyError escaping ``handle``.
+        """
+        proxy = make_proxy(max_sessions=64)
+        n_sessions, n_claimers = 40, 8
+        for i in range(n_sessions):
+            send_init(proxy, f"raced-{i}")
+        barrier = threading.Barrier(n_claimers + 1)
+        completions = [0] * n_claimers
+        failures: list = []
+
+        def claimer(slot):
+            barrier.wait()
+            for i in range(n_sessions):
+                try:
+                    rep = send_cli_meta(proxy, f"raced-{i}")
+                except Exception as exc:  # noqa: BLE001 - the regression
+                    failures.append(exc)
+                    continue
+                if rep.msg_type is MsgType.PAD_META_REP:
+                    completions[slot] += 1
+                else:
+                    assert rep.msg_type is MsgType.INP_ERROR
+
+        def restarter():
+            barrier.wait()
+            for _ in range(20):
+                proxy.restart()
+
+        threads = [
+            threading.Thread(target=claimer, args=(slot,))
+            for slot in range(n_claimers)
+        ] + [threading.Thread(target=restarter)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert failures == []
+        # A session is claimed at most once: no double completion.
+        assert sum(completions) <= n_sessions
+        assert proxy.stats.restarts == 20
+
+    def test_slowloris_flood_under_concurrent_restarts_stays_bounded(self):
+        proxy = make_proxy(max_sessions=16)
+        stop = threading.Event()
+
+        def restarter():
+            while not stop.is_set():
+                proxy.restart()
+
+        t = threading.Thread(target=restarter)
+        t.start()
+        try:
+            for i in range(500):
+                rep = send_init(proxy, f"loris-{i}")
+                assert rep.msg_type is MsgType.INIT_REP
+                assert proxy.pending_sessions <= 16
+        finally:
+            stop.set()
+            t.join()
+        # Every half-open session was either LRU-dropped or restart-wiped;
+        # the table never leaked past its bound.
+        assert proxy.pending_sessions <= 16

@@ -244,6 +244,44 @@ class TestFaultingEdge:
         assert not isinstance(err.value, MobileCodeError)
         assert envelope["signer"] == "pub"
 
+    def test_stale_replay_serves_first_version_validly_signed(self):
+        from repro.mobilecode.module import MobileCodeModule
+        from repro.mobilecode.signing import SignedModule, TrustStore
+
+        edge, signer = _edge_with_two_objects()
+        module = MobileCodeModule(
+            name="alpha", version="2", source="X = 'alpha2'\n", entry_point="str"
+        )
+        edge.origin.publish("alpha/2", signer.sign(module).to_wire())
+        inj = FaultInjector(
+            FaultPlan.of(FaultRule.stale_replay("edge00")),
+            registry=MetricsRegistry(),
+        )
+        wrapped = FaultingEdge(edge, inj)
+        v1 = wrapped.serve("alpha/1")  # snapshot: first version seen
+        assert v1 == edge.origin.fetch("alpha/1")
+        replayed = wrapped.serve("alpha/2")
+        assert replayed == v1  # the stale version, not the requested one
+        store = TrustStore()
+        store.trust("pub", signer.public_key)
+        signed = SignedModule.from_wire(replayed)
+        store.verify(signed)  # still validly signed — only the digest tells
+        assert signed.module.version == "1"
+        assert inj.injected("pad_stale_replay") == 1
+
+    def test_stale_replay_without_a_snapshot_never_counts(self):
+        edge, _ = _edge_with_two_objects()
+        inj = FaultInjector(
+            FaultPlan.of(FaultRule.stale_replay("edge00")),
+            registry=MetricsRegistry(),
+        )
+        wrapped = FaultingEdge(edge, inj)
+        # Different PADs, each seen once: nothing older to replay, so the
+        # counter must equal the number of stale blobs actually served (0).
+        assert wrapped.serve("alpha/1") == edge.origin.fetch("alpha/1")
+        assert wrapped.serve("beta/1") == edge.origin.fetch("beta/1")
+        assert inj.injected("pad_stale_replay") == 0
+
     def test_delegation_and_name(self):
         edge, _ = _edge_with_two_objects()
         wrapped = FaultingEdge(edge, FaultInjector(FaultPlan()))

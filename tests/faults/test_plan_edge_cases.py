@@ -1,0 +1,210 @@
+"""FaultPlan edge cases: degenerate probabilities, expiring windows,
+overlapping rules on one link.
+
+The scenario harness in :mod:`repro.attacks` arms and disarms rules
+mid-campaign, so the corner semantics of the plan language — what a
+zero-probability rule shadows, what happens when a window closes while
+a session is still running, which of two overlapping rules fires — are
+load-bearing and pinned here.
+"""
+
+import pytest
+
+from repro.faults.injector import (
+    FaultingEdge,
+    FaultingTransport,
+    FaultInjector,
+    InjectedFault,
+)
+from repro.faults.plan import (
+    EDGE_OUTAGE,
+    FRAME_CORRUPT,
+    FRAME_LOSS,
+    PAD_STALE_REPLAY,
+    RULE_KINDS,
+    FaultPlan,
+    FaultRule,
+)
+from repro.simnet.transport import TransportError
+from repro.telemetry import MetricsRegistry
+
+
+class _FakeTransport:
+    def __init__(self):
+        self.calls = []
+
+    def request(self, src, dst, payload):
+        self.calls.append((src, dst, payload))
+        return b"reply:" + payload
+
+
+class TestZeroProbability:
+    def test_zero_probability_rule_never_fires_in_its_window(self):
+        plan = FaultPlan.of(
+            FaultRule.frame_loss("lan", probability=0.0, after=0, duration=500)
+        )
+        registry = MetricsRegistry()
+        inj = FaultInjector(plan, seed=1, registry=registry)
+        assert all(inj.fire(FRAME_LOSS, "lan") is None for _ in range(500))
+        assert registry.counter("faults.injected").value == 0
+
+    def test_zero_probability_rule_does_not_shadow_an_overlapping_rule(self):
+        # Rule order matters for *firing*, but a rule that declines (p=0)
+        # must fall through to the next matching rule, not eat the event.
+        plan = FaultPlan.of(
+            FaultRule.frame_loss("lan", probability=0.0),
+            FaultRule.frame_loss("lan", probability=1.0),
+        )
+        inj = FaultInjector(plan, seed=1)
+        assert all(inj.fire(FRAME_LOSS, "lan") is not None for _ in range(50))
+
+    def test_zero_probability_still_counts_events_for_later_windows(self):
+        # The event stream belongs to (kind, target), not to any rule: a
+        # declining rule must not stall a second rule's `after` schedule.
+        plan = FaultPlan.of(
+            FaultRule.frame_loss("lan", probability=0.0),
+            FaultRule.frame_loss("lan", probability=1.0, after=3),
+        )
+        inj = FaultInjector(plan, seed=1)
+        fired = [
+            i for i in range(6) if inj.fire(FRAME_LOSS, "lan") is not None
+        ]
+        assert fired == [3, 4, 5]
+
+
+class TestWindowExpiryMidSession:
+    def test_frame_loss_window_opens_and_closes_mid_session(self):
+        """One client session outlives the fault window on its link."""
+        plan = FaultPlan.of(
+            FaultRule.frame_loss("lan", after=3, duration=4)
+        )
+        wrapped = FaultingTransport(
+            _FakeTransport(), FaultInjector(plan),
+            link_of=lambda src, dst: "lan",
+        )
+        outcomes = []
+        for i in range(12):
+            try:
+                wrapped.request("cli", "svc", str(i).encode())
+                outcomes.append("ok")
+            except TransportError:
+                outcomes.append("lost")
+        assert outcomes == ["ok"] * 3 + ["lost"] * 4 + ["ok"] * 5
+
+    def test_edge_outage_expires_and_service_recovers(self):
+        class _FakeEdge:
+            name = "edge00"
+
+            def serve(self, key):
+                return b"blob:" + key.encode()
+
+        plan = FaultPlan.of(FaultRule.edge_outage("edge00", duration=2))
+        edge = FaultingEdge(_FakeEdge(), FaultInjector(plan))
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                edge.serve("alpha/1")
+        # The window expired mid-session: the edge is healthy again.
+        assert edge.serve("alpha/1") == b"blob:alpha/1"
+
+    def test_expired_window_does_not_rearm(self):
+        plan = FaultPlan.of(FaultRule.frame_loss("lan", after=1, duration=1))
+        inj = FaultInjector(plan)
+        fired = [
+            i for i in range(50) if inj.fire(FRAME_LOSS, "lan") is not None
+        ]
+        assert fired == [1]
+
+    def test_single_event_window_boundaries(self):
+        rule = FaultRule.frame_loss("lan", after=0, duration=1)
+        assert rule.in_window(0)
+        assert not rule.in_window(1)
+        open_ended = FaultRule.frame_loss("lan", after=10)
+        assert not open_ended.in_window(9)
+        assert all(open_ended.in_window(i) for i in (10, 10_000))
+
+
+class TestOverlappingRulesOnOneLink:
+    def test_overlapping_windows_cover_their_union(self):
+        plan = FaultPlan.of(
+            FaultRule.frame_loss("lan", after=0, duration=4),
+            FaultRule.frame_loss("lan", after=2, duration=4),
+        )
+        inj = FaultInjector(plan)
+        fired = [
+            i for i in range(10) if inj.fire(FRAME_LOSS, "lan") is not None
+        ]
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_at_most_one_rule_fires_per_event(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan.of(
+            FaultRule.frame_loss("lan"),
+            FaultRule.frame_loss("lan"),  # fully shadowed duplicate
+        )
+        inj = FaultInjector(plan, registry=registry)
+        for _ in range(20):
+            inj.fire(FRAME_LOSS, "lan")
+        # 20 events, 20 firings — the duplicate never double-counts.
+        assert registry.counter("faults.injected").value == 20
+
+    def test_wildcard_and_exact_rules_overlap_first_match_wins(self):
+        wildcard = FaultRule.frame_loss("*", after=5)
+        exact = FaultRule.frame_loss("lan", duration=2)
+        inj = FaultInjector(FaultPlan.of(wildcard, exact))
+        fired_rules = [inj.fire(FRAME_LOSS, "lan") for _ in range(8)]
+        # Events 0-1: only the exact rule is armed.  2-4: nothing.  5+:
+        # the wildcard (listed first) takes over.
+        assert fired_rules[0] is exact and fired_rules[1] is exact
+        assert fired_rules[2:5] == [None, None, None]
+        assert all(r is wildcard for r in fired_rules[5:])
+
+    def test_lost_frames_do_not_advance_the_corrupt_stream(self):
+        # Loss and corruption overlap on one link but count separate
+        # event streams — and a lost frame never reaches the corruption
+        # hook, so the corrupt window indices count *delivered* frames.
+        plan = FaultPlan.of(
+            FaultRule.frame_loss("lan", after=0, duration=3),
+            FaultRule.frame_corrupt("lan", after=0, duration=2),
+        )
+        inj = FaultInjector(plan)
+        wrapped = FaultingTransport(
+            _FakeTransport(), inj, link_of=lambda src, dst: "lan"
+        )
+        outcomes = []
+        for i in range(6):
+            try:
+                reply = wrapped.request("cli", "svc", b"x")
+                outcomes.append("mangled" if reply != b"reply:x" else "ok")
+            except TransportError:
+                outcomes.append("lost")
+        assert outcomes == ["lost"] * 3 + ["mangled"] * 2 + ["ok"]
+        assert inj.events_observed(FRAME_LOSS, "lan") == 6
+        assert inj.events_observed(FRAME_CORRUPT, "lan") == 3
+
+
+class TestStaleReplayRule:
+    def test_constructor_and_kind_registered(self):
+        rule = FaultRule.stale_replay("edge03", probability=0.5)
+        assert rule.kind == PAD_STALE_REPLAY
+        assert PAD_STALE_REPLAY in RULE_KINDS
+        assert rule.target == "edge03"
+        assert rule.probability == 0.5
+
+    def test_overlapping_outage_and_stale_replay_outage_wins(self):
+        class _FakeEdge:
+            name = "edge00"
+
+            def serve(self, key):
+                return key.encode()
+
+        plan = FaultPlan.of(
+            FaultRule.edge_outage("edge00", duration=1),
+            FaultRule.stale_replay("edge00"),
+        )
+        edge = FaultingEdge(_FakeEdge(), FaultInjector(plan))
+        # While the outage window is open nothing is served at all; the
+        # stale-replay hook never sees the blob.
+        with pytest.raises(InjectedFault):
+            edge.serve("pad/1")
+        assert edge.serve("pad/1") == b"pad/1"  # outage expired; v1 snapshot
+        assert edge.serve("pad/2") == b"pad/1"  # stale replay takes over

@@ -1,0 +1,191 @@
+"""Seeded property tests for the ChunkStore under adversarial inputs.
+
+The store's self-certifying namespace (``blob:<sha1>``) is the defense
+the cache-poisoning attack class leans on; these tests pin its
+properties directly, without the scenario runner in the way:
+
+* a digest-mismatched submission is never cached and never served, for
+  any fuzzed (key, payload) pair — ``put`` and lying single-flight
+  leaders alike;
+* LRU entry/byte bounds hold under floods of valid oversize and
+  mixed-size adversarial records;
+* an 8-thread herd on one cold key runs exactly one compute, and an
+  8-thread herd behind a *lying* leader all see the poisoning refused.
+"""
+
+import hashlib
+import random
+import threading
+
+import pytest
+
+from repro.store.chunkstore import (
+    ChunkStore,
+    PoisonedRecordError,
+    content_key,
+)
+
+SEED = 20260807
+
+
+def sha1(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+class TestPoisonedSubmissions:
+    def test_fuzzed_mismatches_never_cached_or_served(self):
+        rng = random.Random(SEED)
+        store = ChunkStore(max_entries=256)
+        for i in range(200):
+            legit = rng.randbytes(rng.randrange(1, 512))
+            poison = rng.randbytes(rng.randrange(1, 512))
+            if sha1(poison) == sha1(legit):  # pragma: no cover
+                continue
+            key = content_key(legit)
+            with pytest.raises(PoisonedRecordError):
+                store.put(key, poison)
+            assert key not in store
+            assert store.get(key) is None
+        stats = store.stats
+        assert stats.rejected == 200
+        assert stats.entries == 0
+        assert stats.inserts == 0
+
+    def test_lying_compute_leader_caches_nothing(self):
+        rng = random.Random(SEED + 1)
+        store = ChunkStore()
+        for _ in range(50):
+            legit = rng.randbytes(64)
+            poison = legit + b"!"
+            key = content_key(legit)
+            with pytest.raises(PoisonedRecordError):
+                store.get_or_compute(key, lambda p=poison: p)
+            assert store.get(key) is None
+            # The key is not wedged: an honest compute still lands.
+            assert store.get_or_compute(key, lambda p=legit: p) == legit
+            assert store.get(key) == legit
+            store.clear()
+
+    def test_malformed_blob_keys_refused(self):
+        store = ChunkStore()
+        payload = b"payload"
+        for key in (
+            "blob:",  # empty digest
+            "blob:deadbeef",  # wrong length
+            "blob:" + "g" * 40,  # non-hex
+            "blob:" + sha1(payload)[:-1] + "x",  # hex-length but invalid
+        ):
+            with pytest.raises(PoisonedRecordError):
+                store.put(key, payload)
+            assert store.get(key) is None
+        assert store.stats.rejected == 4
+
+    def test_case_insensitive_digest_accepted(self):
+        store = ChunkStore()
+        payload = b"mixed case claim"
+        key = "blob:" + sha1(payload).upper()
+        store.put(key, payload)
+        assert store.get(key) == payload
+
+    def test_unverifiable_namespaces_bypass_the_check(self):
+        # resp:/cdc: keys hash compute *inputs*, not outputs — they are
+        # only produced by the serving path, never verified here.
+        store = ChunkStore()
+        store.put("resp:" + "0" * 40, b"whatever")
+        assert store.get("resp:" + "0" * 40) == b"whatever"
+        assert store.stats.rejected == 0
+
+
+class TestBoundsUnderFlood:
+    def test_oversize_flood_never_caches_or_evicts(self):
+        rng = random.Random(SEED + 2)
+        store = ChunkStore(max_entries=8, max_bytes=1024)
+        store.put(content_key(b"resident"), b"resident")
+        for _ in range(50):
+            huge = rng.randbytes(2048)  # valid digest, over the byte budget
+            store.put(content_key(huge), huge)
+        stats = store.stats
+        assert stats.oversize == 50
+        assert stats.entries == 1  # the resident survived every flood wave
+        assert store.get(content_key(b"resident")) == b"resident"
+        assert store.used_bytes <= 1024
+
+    def test_mixed_size_flood_respects_both_bounds(self):
+        rng = random.Random(SEED + 3)
+        store = ChunkStore(max_entries=16, max_bytes=4096)
+        for _ in range(300):
+            blob = rng.randbytes(rng.randrange(1, 1024))
+            store.put(content_key(blob), blob)
+            assert len(store) <= 16
+            assert store.used_bytes <= 4096
+        assert store.stats.evictions > 0
+
+    def test_poison_flood_does_not_perturb_lru_state(self):
+        rng = random.Random(SEED + 4)
+        store = ChunkStore(max_entries=4)
+        residents = [f"resident-{i}".encode() for i in range(4)]
+        for blob in residents:
+            store.put(content_key(blob), blob)
+        for _ in range(100):
+            poison = rng.randbytes(32)
+            with pytest.raises(PoisonedRecordError):
+                store.put(content_key(rng.randbytes(32)), poison)
+        # Rejected submissions consumed no capacity: all residents warm.
+        for blob in residents:
+            assert store.get(content_key(blob)) == blob
+        assert store.stats.evictions == 0
+
+
+@pytest.mark.stress
+class TestHerds:
+    N_THREADS = 8
+
+    def _herd(self, fn):
+        barrier = threading.Barrier(self.N_THREADS)
+        results: list = [None] * self.N_THREADS
+        def worker(slot):
+            barrier.wait()
+            try:
+                results[slot] = ("ok", fn())
+            except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+                results[slot] = ("err", exc)
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results
+
+    def test_eight_thread_herd_computes_once(self):
+        store = ChunkStore()
+        payload = b"computed exactly once"
+        key = content_key(payload)
+        computes = []
+        def compute():
+            computes.append(1)
+            return payload
+        results = self._herd(lambda: store.get_or_compute(key, compute))
+        assert all(tag == "ok" and value == payload for tag, value in results)
+        assert len(computes) == 1
+        stats = store.stats
+        assert stats.computes == 1
+        assert stats.lookups == stats.hits + stats.misses + stats.coalesced
+
+    def test_eight_thread_herd_behind_a_lying_leader_all_refused(self):
+        store = ChunkStore()
+        legit = b"the bytes this key names"
+        key = content_key(legit)
+        results = self._herd(
+            lambda: store.get_or_compute(key, lambda: b"poisoned bytes")
+        )
+        # Whoever led, the poisoning was refused — and every coalesced
+        # waiter saw the refusal rather than poisoned bytes.
+        assert all(tag == "err" for tag, _ in results)
+        assert all(
+            isinstance(exc, PoisonedRecordError) for _, exc in results
+        )
+        assert store.get(key) is None
+        assert len(store) == 0
