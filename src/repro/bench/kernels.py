@@ -9,9 +9,23 @@ original (pre-fusion) implementations on the same inputs.
 The seed numbers in :data:`SEED_BASELINES` were captured on the reference
 container *before* the kernels were rewritten, with the same best-of-N
 methodology this module uses; the ``speedup`` column is therefore
-apples-to-apples on identical inputs.  Absolute MB/s varies with the host,
-so CI treats regressions as advisory (the committed ``BENCH_kernels.json``
-is the before/after record, not a gate).
+apples-to-apples on identical inputs.  Batch-granularity kernels
+(``*_batch``) and the zlib fast path carry the *per-message pure kernel's*
+seed as their class comparator, so their speedup column reads "vs doing
+this work one message at a time in seed-era Python".
+
+Regression gating
+-----------------
+``compare_to_baseline`` is a **gating** drift check against the committed
+``BENCH_kernels.json``: each kernel has an explicit tolerance band
+(:data:`TOLERANCE_BANDS`, a fraction of the committed MB/s it must
+retain), and raw throughput is first normalized by the
+``host_calibration`` kernel — a fixed pure-Python workload whose
+committed-vs-measured ratio captures how fast *this* host runs the
+interpreter, so a slow CI container shifts every expectation down instead
+of tripping the gate.  ``python -m repro.bench.kernels`` is the CI entry
+point (exit 1 on regression); the documented escape hatch for a known
+host-speed flake is the ``bench-flake`` PR label, which skips the step.
 """
 
 from __future__ import annotations
@@ -23,25 +37,72 @@ from typing import Callable, Optional
 
 __all__ = [
     "SEED_BASELINES",
+    "TOLERANCE_BANDS",
+    "CALIBRATION_KERNEL",
     "KernelResult",
     "run_kernels",
     "render_kernels",
     "results_to_payload",
     "write_json",
+    "compare_to_baseline",
+    "main",
 ]
 
 # Recorded seed (pre-optimization) kernel throughput, same inputs and
 # best-of-N timing as run_kernels() uses.  ``seconds`` is the seed wall
-# time for one pass over ``bytes`` input bytes.
+# time for one pass over ``bytes`` input bytes.  Batch kernels and the
+# zlib backend did not exist at seed time: their entries reuse the
+# per-message pure kernel's seed MB/s (the work *class* they replace),
+# with ``seconds`` derived for the batch input size.  host_calibration's
+# "seed" is simply its first recorded measurement (speedup ~1 by
+# construction — it is the normalizer, not an optimization target).
 SEED_BASELINES: dict[str, dict[str, float]] = {
     "cdc_scan":             {"bytes": 269754, "seconds": 0.14261, "mb_s": 1.892},
     "cdc_scan_vary":        {"bytes": 131072, "seconds": 0.07666, "mb_s": 1.710},
+    "cdc_scan_batch":       {"bytes": 1080402, "seconds": 0.57103, "mb_s": 1.892},
     "lz77_tokenize":        {"bytes": 134770, "seconds": 0.31729, "mb_s": 0.425},
+    "lz77_tokenize_batch":  {"bytes": 262144, "seconds": 0.61681, "mb_s": 0.425},
     "gzip_pure_compress":   {"bytes": 134770, "seconds": 0.60948, "mb_s": 0.221},
+    "gzip_batch_compress":  {"bytes": 134770, "seconds": 0.60948, "mb_s": 0.221},
+    "gzip_zlib_compress":   {"bytes": 134770, "seconds": 0.60948, "mb_s": 0.221},
     "gzip_pure_decompress": {"bytes": 134770, "seconds": 0.45140, "mb_s": 0.299},
     "fixed_scan":           {"bytes": 134770, "seconds": 0.01524, "mb_s": 8.846},
     "vary_respond":         {"bytes": 134770, "seconds": 0.14223, "mb_s": 0.948},
+    "host_calibration":     {"bytes": 65536, "seconds": 0.00515, "mb_s": 12.735},
 }
+
+# The kernel whose committed-vs-measured ratio normalizes host speed for
+# the gating drift check.  A fixed pure-Python byte loop: no numpy, no C
+# fast paths, no caches — it tracks raw interpreter speed, which is what
+# dominates the pure kernels this suite guards.
+CALIBRATION_KERNEL = "host_calibration"
+
+# Gating tolerance bands: after host-speed normalization, a kernel must
+# retain at least this fraction of its committed BENCH_kernels.json MB/s
+# or the CI drift step fails.  Bands are per-kernel because variance
+# differs by implementation class: pure-Python loops track the
+# calibration kernel tightly; numpy-vectorized kernels depend on BLAS/
+# allocator behaviour the calibration loop can't see; zlib is C-speed
+# and nearly host-independent but cold containers jitter its small
+# timings.  The calibration kernel itself is never gated.
+TOLERANCE_BANDS: dict[str, float] = {
+    "default":              0.50,
+    "cdc_scan":             0.45,   # numpy scan
+    "cdc_scan_vary":        0.45,   # numpy scan
+    "cdc_scan_batch":       0.45,   # numpy scan, batched
+    "lz77_tokenize":        0.50,   # numpy table + scalar parse
+    "lz77_tokenize_batch":  0.50,
+    "gzip_pure_compress":   0.55,   # mostly pure-Python coding loop
+    "gzip_batch_compress":  0.55,
+    "gzip_zlib_compress":   0.40,   # tiny wall time, relatively noisy
+    "gzip_pure_decompress": 0.55,
+    "fixed_scan":           0.45,   # numpy rolling scan
+    "vary_respond":         0.45,
+}
+
+# Quick (single-pass) smoke numbers are noisier than best-of-3; the gate
+# widens every band by this much when the measured payload is quick.
+_QUICK_EXTRA_SLACK = 0.15
 
 
 @dataclass(frozen=True)
@@ -68,6 +129,17 @@ def _best_of(fn: Callable[[], object], repeat: int) -> float:
     return best
 
 
+_CALIBRATION_DATA = bytes(range(256)) * 256  # 64 KiB, fixed content
+
+
+def _calibration_pass(data: bytes = _CALIBRATION_DATA) -> int:
+    """The host-calibration workload: a pure-Python byte-mix loop."""
+    acc = 0
+    for b in data:
+        acc = (acc * 31 + b) & 0xFFFFFFFF
+    return acc
+
+
 def run_kernels(quick: bool = False) -> list[KernelResult]:
     """Measure every kernel on the deterministic corpus pages.
 
@@ -77,7 +149,7 @@ def run_kernels(quick: bool = False) -> list[KernelResult]:
     """
     from ..chunking.cdc import ContentDefinedChunker
     from ..compression import gziplike
-    from ..compression.lz77 import tokenize
+    from ..compression.lz77 import tokenize, tokenize_batch
     from ..protocols.padlib import instantiate
     from ..workload.pages import Corpus
 
@@ -86,6 +158,16 @@ def run_kernels(quick: bool = False) -> list[KernelResult]:
     page0 = corpus.evolved(0, 0).encode()
     page1 = corpus.evolved(0, 1).encode()
     cdc_data = (page0 + page1)[: 512 * 1024]
+    # Batch-kernel corpora: several distinct pages (the fleet-store cold
+    # path), several session buffers, and a stream of per-message
+    # payloads cut from one page.
+    batch_pages = [
+        corpus.evolved(p, v).encode() for p in range(4) for v in (0, 1)
+    ]
+    batch_buffers = [p[: 32 * 1024] for p in batch_pages]
+    batch_messages = [
+        page1[i : i + 4096] for i in range(0, len(page1), 4096)
+    ]
 
     results: list[KernelResult] = []
 
@@ -102,6 +184,10 @@ def run_kernels(quick: bool = False) -> list[KernelResult]:
             )
         )
 
+    record(
+        "host_calibration", len(_CALIBRATION_DATA), lambda: _calibration_pass()
+    )
+
     ch13 = ContentDefinedChunker(mask_bits=13)
     record("cdc_scan", len(cdc_data), lambda: ch13.chunk(cdc_data))
 
@@ -109,13 +195,35 @@ def run_kernels(quick: bool = False) -> list[KernelResult]:
     vary_data = cdc_data[: 128 * 1024]
     record("cdc_scan_vary", len(vary_data), lambda: ch10.chunk(vary_data))
 
+    record(
+        "cdc_scan_batch",
+        sum(len(p) for p in batch_pages),
+        lambda: ch13.chunk_batch(batch_pages),
+    )
+
     record("lz77_tokenize", len(page1), lambda: tokenize(page1))
+
+    record(
+        "lz77_tokenize_batch",
+        sum(len(b) for b in batch_buffers),
+        lambda: tokenize_batch(batch_buffers),
+    )
 
     blob = gziplike.compress(page1, backend="pure")
     record(
         "gzip_pure_compress",
         len(page1),
         lambda: gziplike.compress(page1, backend="pure"),
+    )
+    record(
+        "gzip_batch_compress",
+        sum(len(m) for m in batch_messages),
+        lambda: gziplike.compress_batch(batch_messages, backend="pure"),
+    )
+    record(
+        "gzip_zlib_compress",
+        len(page1),
+        lambda: gziplike.compress(page1, backend="zlib"),
     )
     record("gzip_pure_decompress", len(page1), lambda: gziplike.decompress(blob))
 
@@ -177,29 +285,101 @@ def write_json(payload: dict, path: str) -> None:
 
 
 def compare_to_baseline(
-    payload: dict, baseline_path: str, tolerance: float = 0.5
+    payload: dict, baseline_path: str, *, quick: Optional[bool] = None
 ) -> Optional[str]:
-    """Advisory drift check against a committed baseline JSON.
+    """Gating drift check against the committed baseline JSON.
 
-    Returns a human-readable warning when any kernel runs slower than
-    ``tolerance`` times its committed MB/s (hosts differ, so CI prints the
-    warning instead of failing), or None when within bounds / no baseline.
+    Host speed is normalized first: the measured-vs-committed ratio of
+    the :data:`CALIBRATION_KERNEL` scales every expectation, so the gate
+    compares "how this host should run the kernel" against how it did.
+    A kernel fails when its measured MB/s falls below ``committed * scale
+    * band`` with ``band`` from :data:`TOLERANCE_BANDS` (widened by
+    ``_QUICK_EXTRA_SLACK`` for single-pass quick payloads).  Returns the
+    failure report (one line per regressed kernel) or None when every
+    kernel is within its band / there is no baseline to compare against.
     """
     try:
         with open(baseline_path) as f:
             baseline = json.load(f)
     except (OSError, ValueError):
         return None
+    measured = payload.get("kernels", {})
+    committed = baseline.get("kernels", {})
+    if quick is None:
+        quick = bool(payload.get("quick"))
+    scale = 1.0
+    cal_now = measured.get(CALIBRATION_KERNEL)
+    cal_ref = committed.get(CALIBRATION_KERNEL)
+    if cal_now and cal_ref and cal_ref.get("mb_s", 0) > 0:
+        scale = cal_now["mb_s"] / cal_ref["mb_s"]
+    slack = _QUICK_EXTRA_SLACK if quick else 0.0
     lines = []
-    for name, cell in payload.get("kernels", {}).items():
-        ref = baseline.get("kernels", {}).get(name)
+    for name, cell in measured.items():
+        if name == CALIBRATION_KERNEL:
+            continue
+        ref = committed.get(name)
         if not ref:
             continue
-        if cell["mb_s"] < ref["mb_s"] * tolerance:
+        band = max(
+            TOLERANCE_BANDS.get(name, TOLERANCE_BANDS["default"]) - slack, 0.0
+        )
+        floor = ref["mb_s"] * scale * band
+        if cell["mb_s"] < floor:
             lines.append(
-                f"  {name}: {cell['mb_s']:.2f} MB/s vs committed "
-                f"{ref['mb_s']:.2f} MB/s"
+                f"  {name}: {cell['mb_s']:.2f} MB/s < floor {floor:.2f} "
+                f"(committed {ref['mb_s']:.2f} x host scale {scale:.2f} "
+                f"x band {band:.2f})"
             )
     if lines:
-        return "kernel throughput drift vs committed baseline:\n" + "\n".join(lines)
+        return (
+            f"kernel throughput regression vs committed baseline "
+            f"(host scale {scale:.2f}):\n" + "\n".join(lines)
+        )
     return None
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CI gate: ``python -m repro.bench.kernels --measured X --baseline Y``.
+
+    Exits 1 (after printing the per-kernel report) when any kernel
+    regresses beyond its tolerance band, 0 otherwise.  A missing or
+    unreadable baseline passes — a brand-new checkout has nothing to
+    regress against.  The documented escape hatch for a known host-speed
+    flake is the ``bench-flake`` PR label, which skips the CI step that
+    invokes this (see .github/workflows/ci.yml).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.kernels",
+        description="Gating kernel-throughput drift check.",
+    )
+    parser.add_argument(
+        "--measured", required=True,
+        help="freshly measured kernels JSON (fractal-bench kernels --json)",
+    )
+    parser.add_argument(
+        "--baseline", default="BENCH_kernels.json",
+        help="committed baseline JSON (default BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.measured) as f:
+        payload = json.load(f)
+    report = compare_to_baseline(payload, args.baseline)
+    if report is not None:
+        print(report)
+        print(
+            "\nGate failed: declared tolerance bands exceeded. If this is a "
+            "known host-speed flake, apply the 'bench-flake' PR label to "
+            "skip this step; otherwise fix the regression or update the "
+            "committed BENCH_kernels.json with justification."
+        )
+        return 1
+    print("kernel drift gate: all kernels within tolerance bands")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

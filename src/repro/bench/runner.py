@@ -537,6 +537,7 @@ def main(argv=None) -> int:
         # BENCH_kernels.json shape); mixed runs keep one section per command.
         if set(payload) == {"kernels"}:
             payload = payload["kernels"]
+            _roll_kernel_history(payload, args.json)
         elif "load" in payload:
             _roll_load_history(payload, args.json)
         write_json(payload, args.json)
@@ -581,6 +582,43 @@ def _roll_load_history(payload: dict, path: str) -> None:
             for p in old.get("points", ())
             if isinstance(p, dict)
         ]
+        history.append(entry)
+    payload["history"] = history[-_HISTORY_KEEP:]
+
+
+def _roll_kernel_history(payload: dict, path: str) -> None:
+    """Fold the previous kernels result at ``path`` into a bounded history.
+
+    The BENCH_kernels.json counterpart of :func:`_roll_load_history`:
+    the outgoing run's per-kernel headline numbers (MB/s and speedup)
+    are appended to ``payload["history"]``, bounded to the last
+    ``_HISTORY_KEEP`` runs, so the committed file tracks the kernel
+    throughput *trajectory* across PRs rather than only the latest run.
+    """
+    import os
+
+    if not os.path.exists(path):
+        return
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        return
+    if not isinstance(previous, dict) or "kernels" not in previous:
+        return
+    history = [h for h in previous.get("history", ()) if isinstance(h, dict)]
+    old = previous["kernels"]
+    if isinstance(old, dict):
+        entry = {
+            "quick": previous.get("quick", False),
+            "kernels": {
+                name: {
+                    k: cell.get(k) for k in ("mb_s", "speedup") if k in cell
+                }
+                for name, cell in old.items()
+                if isinstance(cell, dict)
+            },
+        }
         history.append(entry)
     payload["history"] = history[-_HISTORY_KEEP:]
 

@@ -25,6 +25,22 @@ is implemented three ways, all byte-identical:
   on the trailing window and ``min_size >= window`` is enforced).
 * ``boundaries_reference`` — the original per-byte ``RabinFingerprint``
   roll, retained as the oracle for property tests and benchmarks.
+
+Corpus-granularity batching
+---------------------------
+``boundaries_batch(pages)`` runs the vectorized candidate gather across a
+whole page corpus in **one** numpy pass: the pages are concatenated into a
+single buffer, the pair-table XOR reduction runs once over the whole
+thing, and the global candidate list is split per page afterwards.  A
+candidate at global position ``q`` belongs to the page covering ``q``
+only when its whole window lies inside that page (``q >= page_offset +
+window - 1``); positions whose window straddles a page edge mix two
+pages' bytes and are discarded.  The first position the min/max walk can
+ever use is ``min_size - 1 >= window - 1``, so the surviving candidates
+are exactly the per-page ones and the per-page output is byte-identical
+to ``boundaries()`` (the property suite proves it, straddling pages
+included).  The win is amortization: one table load, one buffer
+materialization, one XOR reduction per *corpus* instead of per page.
 """
 
 from __future__ import annotations
@@ -154,8 +170,8 @@ class ContentDefinedChunker:
             return self._scan_numpy(data)
         return self._scan_python(data)
 
-    def _scan_numpy(self, data: bytes) -> list[int]:
-        """Vectorized candidate scan + Python boundary walk."""
+    def _candidates_numpy(self, data: bytes):
+        """Sorted array of magic-match positions ``q >= window - 1``."""
         w = self.window
         n = len(data)
         tables = _pair_tables(self.polynomial, w, self.mask_bits)
@@ -171,8 +187,12 @@ class ContentDefinedChunker:
             acc ^= tmp
         # acc[i] == low bits of fp at q = i + w - 1
         hits = _np.nonzero((acc & dtype.type(self.mask)) == dtype.type(self.magic))[0]
-        cand = (hits + (w - 1)).tolist()
-        return self._walk_candidates(cand, n)
+        return hits + (w - 1)
+
+    def _scan_numpy(self, data: bytes) -> list[int]:
+        """Vectorized candidate scan + Python boundary walk."""
+        cand = self._candidates_numpy(data).tolist()
+        return self._walk_candidates(cand, len(data))
 
     def _walk_candidates(self, cand: list[int], n: int) -> list[int]:
         """Turn sorted magic-match positions into min/max-bounded boundaries."""
@@ -264,6 +284,59 @@ class ContentDefinedChunker:
 
     def chunk_bytes(self, data: bytes) -> list[bytes]:
         return [c.slice(data) for c in self.chunk(data)]
+
+    # -- corpus-granularity batching ----------------------------------------
+
+    def boundaries_batch(self, pages: list[bytes]) -> list[list[int]]:
+        """Per-page boundary lists, the whole corpus scanned in one pass.
+
+        ``boundaries_batch(pages)[i] == list(self.boundaries(pages[i]))``
+        for every page — the batch is purely an amortization of the numpy
+        candidate gather (see the module docstring), never a semantic
+        change.  Falls back to the per-page scan when numpy is missing or
+        the corpus is too small to pay for buffer assembly.
+        """
+        sizable = [
+            (i, page) for i, page in enumerate(pages)
+            if len(page) >= self.min_size
+        ]
+        total = sum(len(page) for _, page in sizable)
+        if (
+            _np is None
+            or self.window % 2
+            or total < _NUMPY_MIN_BYTES
+            or len(sizable) < 2
+        ):
+            return [self._scan(page) for page in pages]
+        out: list[list[int]] = [[] for _ in pages]
+        cand = self._candidates_numpy(b"".join(page for _, page in sizable))
+        w = self.window
+        offset = 0
+        for i, page in sizable:
+            n = len(page)
+            # Keep only candidates whose window is entirely inside this
+            # page; a window straddling the previous page's tail is a
+            # fingerprint of the *concatenation*, not of either page.
+            lo = int(_np.searchsorted(cand, offset + w - 1))
+            hi = int(_np.searchsorted(cand, offset + n))
+            local = (cand[lo:hi] - offset).tolist()
+            out[i] = self._walk_candidates(local, n)
+            offset += n
+        return out
+
+    def chunk_batch(self, pages: list[bytes]) -> list[list[Chunk]]:
+        """:meth:`chunk` for a whole corpus via :meth:`boundaries_batch`."""
+        out: list[list[Chunk]] = []
+        for page, bounds in zip(pages, self.boundaries_batch(pages)):
+            chunks: list[Chunk] = []
+            start = 0
+            for end in bounds:
+                chunks.append(Chunk(start, end - start))
+                start = end
+            if start < len(page):
+                chunks.append(Chunk(start, len(page) - start))
+            out.append(chunks)
+        return out
 
 
 def chunk_spans(chunks: list[Chunk], total: int) -> None:

@@ -15,7 +15,7 @@ from .dictionaries import (
     dictionary_by_id,
     train_dictionary,
 )
-from .gziplike import CompressionError, compress, decompress
+from .gziplike import CompressionError, compress, compress_batch, decompress
 from .huffman import CanonicalCode, HuffmanError, code_lengths_from_freqs
 from .lz77 import (
     MAX_MATCH,
@@ -42,6 +42,7 @@ __all__ = [
     "train_dictionary",
     "CompressionError",
     "compress",
+    "compress_batch",
     "decompress",
     "CanonicalCode",
     "HuffmanError",

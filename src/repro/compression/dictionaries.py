@@ -211,7 +211,12 @@ _CLASS_SAMPLES = {
 }
 
 
-@lru_cache(maxsize=None)
+# Bounded: lookup keys are attacker-influenceable (content-class names
+# arrive via PAD configuration, wire ids via in-band bytes), so these
+# caches must have a hard cap — adversarial key churn may cost retrains
+# but can never grow memory without limit.  16 slots cover the built-in
+# classes many times over.
+@lru_cache(maxsize=16)
 def builtin_dictionary(content_class: str) -> HuffmanDictionary:
     """The pre-trained dictionary for one built-in content class."""
     if content_class not in _CLASS_IDS:
@@ -226,7 +231,7 @@ def builtin_dictionary(content_class: str) -> HuffmanDictionary:
     )
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=16)
 def dictionary_by_id(dict_id: int) -> HuffmanDictionary:
     """Resolve an in-band wire id to its dictionary (decode side)."""
     for content_class, cid in _CLASS_IDS.items():

@@ -56,10 +56,12 @@ from .lz77 import (
     Match,
     Token,
     detokenize_raw,
+    tokenize_batch,
     tokenize_raw,
 )
 
-__all__ = ["compress", "decompress", "CompressionError", "MAGIC"]
+__all__ = ["compress", "compress_batch", "decompress", "CompressionError",
+           "MAGIC"]
 
 MAGIC = b"FZL1"
 _FLAG_ZLIB = 0x01
@@ -395,18 +397,8 @@ def compress(
     the pure backend to shared code tables: no per-message tree, no
     158-byte header, 1-byte dictionary id in-band instead.
     """
-    if backend not in ("pure", "zlib"):
-        raise ValueError(f"unknown backend: {backend!r}")
-    if dictionary is not None and backend != "pure":
-        raise ValueError("shared dictionaries require the pure backend")
-    header = bytearray(MAGIC)
-    if dictionary is not None:
-        header.append(_FLAG_DICT)
-        header.append(dictionary.dict_id)
-    else:
-        header.append(_FLAG_ZLIB if backend == "zlib" else 0)
-    _write_varint(header, len(data))
-    header += struct.pack(">I", crc32(data))
+    _check_backend(backend, dictionary)
+    header = _container_header(data, backend, dictionary)
     if not data:
         return bytes(header)
     if backend == "zlib":
@@ -419,6 +411,60 @@ def compress(
     else:
         payload = _encode_tokens_raw(tokenize_raw(data, max_chain=max_chain))
     return bytes(header) + payload
+
+
+def _check_backend(backend: str, dictionary) -> None:
+    if backend not in ("pure", "zlib"):
+        raise ValueError(f"unknown backend: {backend!r}")
+    if dictionary is not None and backend != "pure":
+        raise ValueError("shared dictionaries require the pure backend")
+
+
+def _container_header(data: bytes, backend: str, dictionary) -> bytearray:
+    header = bytearray(MAGIC)
+    if dictionary is not None:
+        header.append(_FLAG_DICT)
+        header.append(dictionary.dict_id)
+    else:
+        header.append(_FLAG_ZLIB if backend == "zlib" else 0)
+    _write_varint(header, len(data))
+    header += struct.pack(">I", crc32(data))
+    return header
+
+
+def compress_batch(
+    datas: list[bytes],
+    *,
+    backend: str = "pure",
+    max_chain: int = 64,
+    dictionary=None,
+) -> list[bytes]:
+    """:func:`compress` for several payloads in one batched pass.
+
+    The pure backend tokenizes every non-empty payload through
+    :func:`~repro.compression.lz77.tokenize_batch`, amortizing the
+    vectorized match-table build across the whole batch; entropy coding
+    and container framing stay per-payload.  Every container is
+    byte-identical to calling :func:`compress` on that payload alone.
+    """
+    _check_backend(backend, dictionary)
+    datas = list(datas)
+    out = [bytes(_container_header(d, backend, dictionary)) for d in datas]
+    if backend == "zlib":
+        return [
+            h + _zlib.compress(d, 6) if d else h
+            for h, d in zip(out, datas)
+        ]
+    codes = (
+        (dictionary.lit_lengths, dictionary.dist_lengths)
+        if dictionary is not None
+        else None
+    )
+    live = [i for i, d in enumerate(datas) if d]
+    tokens = tokenize_batch([datas[i] for i in live], max_chain=max_chain)
+    for i, raw in zip(live, tokens):
+        out[i] += _encode_tokens_raw(raw, codes)
+    return out
 
 
 def _resolve_wire_dictionary(dict_id: int):

@@ -36,6 +36,22 @@ Internally tokens travel as packed ints (:func:`tokenize_raw`): a literal
 is its byte value (< 256) and a match is ``length << 16 | distance``
 (>= ``MIN_MATCH << 16``, so the two ranges cannot collide).  The dataclass
 stream remains the public API boundary.
+
+Session-granularity batching
+----------------------------
+:func:`tokenize_batch` builds the match tables for *several* independent
+buffers (concurrent sessions' payloads) in one vectorized pass.  The
+buffers concatenate into a single working buffer; hash chains are built
+with one stable argsort over ``buffer_id * HASH_SIZE + hash`` keys, so a
+chain can never cross a buffer edge (equal key implies same buffer *and*
+same 3-byte hash), and positions whose 3-byte probe would straddle an
+edge are excluded up front.  Window pruning clamps against each
+position's own buffer start, and match lengths clamp against the owning
+buffer's end — the bulk 4-byte extension may momentarily compare bytes
+across an edge, but every byte below the clamp is in-buffer for both
+sides, so the clamped result is exact (same argument as the single-buffer
+zero padding).  Each buffer's token stream is byte-identical to
+:func:`tokenize_raw` run on it alone.
 """
 
 from __future__ import annotations
@@ -49,7 +65,7 @@ except ImportError:  # pragma: no cover
     _np = None
 
 __all__ = ["Literal", "Match", "Token", "tokenize", "detokenize", "LZError",
-           "tokenize_raw", "detokenize_raw",
+           "tokenize_raw", "detokenize_raw", "tokenize_batch",
            "MIN_MATCH", "MAX_MATCH", "WINDOW_SIZE"]
 
 MIN_MATCH = 3
@@ -240,6 +256,133 @@ def _match_table_numpy(data: bytes, max_chain: int):
     return packed.tolist()
 
 
+def _match_tables_batch(buffers: list[bytes], max_chain: int):
+    """Per-buffer packed best-match tables, or None to bail out.
+
+    :func:`_match_table_numpy` over the concatenation of ``buffers``:
+    chains are keyed by ``(buffer start, hash)`` so equal keys imply the
+    same buffer, the window floor clamps to each position's buffer start,
+    and lengths clamp to the owning buffer's end.  Each returned table is
+    exactly what the single-buffer kernel would produce for that buffer.
+    """
+    sizes = [len(b) for b in buffers]
+    n = sum(sizes)
+    if n < MIN_MATCH:
+        return [[0] * s for s in sizes]
+    data = b"".join(buffers)
+    sz = _np.asarray(sizes, dtype=_np.int64)
+    off = _np.zeros(len(buffers) + 1, dtype=_np.int64)
+    _np.cumsum(sz, out=off[1:])
+    # Owning buffer's [start, end) offsets, per byte of the concatenation.
+    starts = _np.repeat(off[:-1], sz)
+    ends = _np.repeat(off[1:], sz)
+
+    a = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int32)
+    h = ((a[:-2] << 10) ^ (a[1:-1] << 5) ^ a[2:]) & _HASH_MASK
+    pos = _np.arange(n - 2, dtype=_np.int64)
+    # Only positions whose 3-byte probe stays inside their buffer take
+    # part; the excluded tail positions tokenize as literals, exactly as
+    # the per-buffer kernel treats its last two positions.
+    idx = pos[pos + 2 < ends[: n - 2]]
+    if not len(idx):
+        return [[0] * s for s in sizes]
+    # Buffer starts are distinct per buffer, so this composite key is
+    # equal iff both the buffer and the 3-byte hash agree — one stable
+    # argsort builds every buffer's chains without any cross-edge link.
+    key = starts[idx] * _HASH_SIZE + h[idx]
+    order = _np.argsort(key, kind="stable")
+    si = idx[order]
+    ks = key[order]
+    same = ks[1:] == ks[:-1]
+    prev = _np.full(n - 2, -1, dtype=_np.int64)
+    prev[si[1:][same]] = si[:-1][same]
+
+    m = n + MAX_MATCH + 4
+    b8 = _np.frombuffer(data + b"\x00" * (MAX_MATCH + 8), dtype=_np.uint8)
+    w4 = (
+        (b8[:m].astype(_np.uint32) << 24)
+        | (b8[1 : m + 1].astype(_np.uint32) << 16)
+        | (b8[2 : m + 2].astype(_np.uint32) << 8)
+        | b8[3 : m + 3]
+    )
+
+    P = idx
+    lo = _np.maximum(P - WINDOW_SIZE, starts[P])
+    C = prev[P]
+    key3 = w4 >> 8
+    pair_budget = _PAIR_BUDGET * n
+    p_parts, c_parts = [], []
+    total = 0
+    for _k in range(max_chain):
+        keep = C >= lo
+        if not keep.any():
+            break
+        P, C, lo = P[keep], C[keep], lo[keep]
+        total += len(P)
+        if total > pair_budget:
+            return None
+        m3 = key3[C] == key3[P]
+        p_parts.append(P[m3])
+        c_parts.append(C[m3])
+        C = prev[C]
+    if not p_parts:
+        return [[0] * s for s in sizes]
+    pp = _np.concatenate(p_parts)
+    cp = _np.concatenate(c_parts)
+    if not len(pp):
+        return [[0] * s for s in sizes]
+
+    # Bulk extension as in the single-buffer kernel.  Compares beyond a
+    # buffer's end read the next buffer's bytes rather than zero padding,
+    # but every byte below the end clamp is in-buffer for both sides of a
+    # pair (cp < pp, same buffer), so the clamped lengths are exact.
+    lengths = _np.full(len(pp), MIN_MATCH, dtype=_np.int64)
+    x0 = w4[cp] ^ w4[pp]
+    act = _np.nonzero(x0 == 0)[0]
+    lengths[act] = 4
+    step = 4
+    work = 0
+    work_budget = _EXTEND_BUDGET * n
+    while act.size and step <= MAX_MATCH:
+        work += act.size
+        if work > work_budget:
+            return None
+        x = w4[cp[act] + step] ^ w4[pp[act] + step]
+        eq = x == 0
+        neq = ~eq
+        failed = act[neq]
+        if failed.size:
+            xf = x[neq]
+            lengths[failed] = (
+                step + (xf <= 0xFFFFFF) + (xf <= 0xFFFF) + (xf <= 0xFF)
+            )
+        act = act[eq]
+        step += 4
+        lengths[act] = step
+    _np.minimum(lengths, _np.minimum(ends[pp] - pp, MAX_MATCH), out=lengths)
+
+    bl = _np.zeros(n, dtype=_np.int64)
+    packed = _np.zeros(n, dtype=_np.int64)
+    start = 0
+    for part in p_parts:
+        stop = start + len(part)
+        if stop == start:
+            start = stop
+            continue
+        pk = pp[start:stop]
+        lk = lengths[start:stop]
+        better = lk > bl[pk]
+        widx = pk[better]
+        lb = lk[better]
+        bl[widx] = lb
+        packed[widx] = (lb << 16) | (widx - cp[start:stop][better])
+        start = stop
+    return [
+        packed[off[i] : off[i + 1]].astype(_np.int32).tolist()
+        for i in range(len(buffers))
+    ]
+
+
 def _tokenize_precomputed(data: bytes, table: list[int], lazy: bool) -> list[int]:
     """Greedy/lazy parse over a precomputed packed best-match table."""
     out: list[int] = []
@@ -354,6 +497,34 @@ def tokenize_raw(
         if table is not None:
             return _tokenize_precomputed(data, table, lazy)
     return _tokenize_walker(data, max_chain, lazy)
+
+
+def tokenize_batch(
+    buffers: list[bytes],
+    *,
+    max_chain: int = 64,
+    lazy: bool = True,
+) -> list[list[int]]:
+    """:func:`tokenize_raw` for several independent buffers in one pass.
+
+    All match tables are built with one vectorized pass over the
+    concatenated corpus (see the module docstring).  Falls back to the
+    per-buffer kernels when numpy is unavailable, the corpus is small,
+    or the batched table builder bails out — every path produces the
+    identical per-buffer token streams.
+    """
+    if max_chain < 1:
+        raise ValueError(f"max_chain must be >= 1, got {max_chain}")
+    buffers = list(buffers)
+    total = sum(len(b) for b in buffers)
+    if _np is None or len(buffers) < 2 or total < _NUMPY_MIN_BYTES:
+        return [tokenize_raw(b, max_chain=max_chain, lazy=lazy) for b in buffers]
+    tables = _match_tables_batch(buffers, max_chain)
+    if tables is None:
+        return [tokenize_raw(b, max_chain=max_chain, lazy=lazy) for b in buffers]
+    return [
+        _tokenize_precomputed(b, t, lazy) for b, t in zip(buffers, tables)
+    ]
 
 
 def tokenize(

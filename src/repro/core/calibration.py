@@ -48,18 +48,24 @@ def calibrate_pad(
     old_version: int = 0,
     new_version: int = 1,
     repeats: int = 1,
+    init_kwargs: Optional[dict] = None,
 ) -> tuple[PADOverhead, list[CalibrationSample]]:
     """Measure one PAD over the given pages; returns (overhead, samples).
 
     Traffic and times are per *page* (summed over the page's parts),
     averaged over pages and repeats.  The minimum over repeats is used per
     page — standard practice to suppress scheduler noise.
+
+    ``init_kwargs`` configures the measured protocol instance exactly
+    like the served stacks (``PADMeta.init_kwargs``), so calibration
+    measures the configuration that will actually run — e.g. a gzip PAD
+    pinned to the pure backend measures pure-backend traffic and time.
     """
     if pad_id not in PAD_SPECS:
         raise KeyError(f"unknown PAD {pad_id!r}")
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    protocol = instantiate(pad_id)
+    protocol = instantiate(pad_id, **(init_kwargs or {}))
     samples: list[CalibrationSample] = []
     for page_id in page_ids:
         old_page = corpus.evolved(page_id, old_version)
@@ -103,9 +109,16 @@ def calibrate_overheads(
     old_version: int = 0,
     new_version: int = 1,
     repeats: int = 1,
+    pad_init_overrides: Optional[dict[str, dict]] = None,
 ) -> dict[str, PADOverhead]:
-    """Calibrate several PADs on the first ``n_pages`` of the corpus."""
+    """Calibrate several PADs on the first ``n_pages`` of the corpus.
+
+    ``pad_init_overrides`` mirrors
+    :func:`~repro.core.system.build_case_study`'s parameter of the same
+    name, so the measured instances match the served ones.
+    """
     page_ids = list(range(min(n_pages, corpus.n_pages)))
+    overrides = pad_init_overrides or {}
     out: dict[str, PADOverhead] = {}
     for pad_id in pad_ids:
         overhead, _ = calibrate_pad(
@@ -115,6 +128,7 @@ def calibrate_overheads(
             old_version=old_version,
             new_version=new_version,
             repeats=repeats,
+            init_kwargs=overrides.get(pad_id),
         )
         out[pad_id] = overhead
     return out

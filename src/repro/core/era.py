@@ -35,12 +35,19 @@ ROLLING_SCAN           0.45    fixed (rsync) server-side rolling scan
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .calibration import HOST_CPU_MHZ
 from .metadata import PADOverhead
 from .overhead import STD_CPU_MHZ
 
-__all__ = ["EraAnchors", "DEFAULT_ANCHORS", "era_overheads", "PAGE_BYTES"]
+__all__ = [
+    "EraAnchors",
+    "DEFAULT_ANCHORS",
+    "era_overheads",
+    "era_pad_init_overrides",
+    "PAGE_BYTES",
+]
 
 PAGE_BYTES = 135_000  # the corpus page size the paper quotes (~135 KB)
 
@@ -64,6 +71,32 @@ class EraAnchors:
 
 
 DEFAULT_ANCHORS = EraAnchors()
+
+
+def era_pad_init_overrides(
+    pad_init_overrides: Optional[dict[str, dict]] = None,
+) -> dict[str, dict]:
+    """PAD overrides for an era-modeled system: pure backend, enforced.
+
+    The era model's compute anchors are the paper's 2005 Java-testbed
+    throughputs, and its *traffic* terms must come from the paper-shaped
+    pure-Python pipeline: a zlib-backed gzip PAD produces equivalent but
+    not byte-identical containers, so its payload sizes would silently
+    shift every Eq. 3 crossover the figures reproduce.  An explicit
+    ``{"gzip": {"backend": "zlib"}}`` override is therefore rejected
+    outright, and the gzip PAD's benchmark-oriented zlib default is
+    pinned back to ``"pure"``.
+    """
+    overrides = {k: dict(v) for k, v in (pad_init_overrides or {}).items()}
+    gzip_over = overrides.setdefault("gzip", {})
+    if gzip_over.get("backend", "pure") == "zlib":
+        raise ValueError(
+            "the era cost model rejects backend='zlib': pure-Python wire "
+            "output is the paper's timing/traffic ground truth "
+            "(zlib is benchmark-only; see DESIGN.md)"
+        )
+    gzip_over["backend"] = "pure"
+    return overrides
 
 
 def era_overheads(

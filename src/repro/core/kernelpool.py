@@ -46,6 +46,7 @@ __all__ = [
     "run_kernel",
     "stack_spec",
     "KERNELS",
+    "BATCH_KERNELS",
 ]
 
 # ((pad_id, ((kwarg_name, value), ...)), ...) — hashable and picklable.
@@ -119,6 +120,23 @@ def _k_gziplike_compress(
     )
 
 
+def _k_gziplike_compress_batch(
+    datas: list[bytes],
+    backend: str = "pure",
+    max_chain: int = 64,
+    dictionary: Optional[str] = None,
+) -> list[bytes]:
+    """Batched :func:`_k_gziplike_compress`: one LZSS table pass per shard."""
+    from ..compression import builtin_dictionary, compress_batch
+
+    return compress_batch(
+        datas,
+        backend=backend,
+        max_chain=max_chain,
+        dictionary=builtin_dictionary(dictionary) if dictionary else None,
+    )
+
+
 def _k_cdc_boundaries(
     data: bytes, mask_bits: int = 10, window: int = 48
 ) -> list[tuple[int, int]]:
@@ -151,6 +169,37 @@ def _k_cdc_record(
     return bytes(out)
 
 
+def _k_cdc_record_batch(
+    pages: list[bytes],
+    mask_bits: int = 10,
+    window: int = 48,
+    truncate: int = 16,
+) -> list[bytes]:
+    """Batched :func:`_k_cdc_record`: one corpus-wide candidate scan.
+
+    The boundary gather for every page runs in a single vectorized pass
+    (:meth:`ContentDefinedChunker.chunk_batch`); records are identical to
+    calling ``cdc.record`` per page.
+    """
+    import hashlib
+    import struct
+
+    from ..chunking import ContentDefinedChunker
+
+    chunker = ContentDefinedChunker(mask_bits=mask_bits, window=window)
+    pair = struct.Struct("<II")
+    records: list[bytes] = []
+    for data, chunks in zip(pages, chunker.chunk_batch(pages)):
+        out = bytearray()
+        for c in chunks:
+            out += pair.pack(c.offset, c.length)
+            out += hashlib.sha1(
+                data[c.offset : c.offset + c.length]
+            ).digest()[:truncate]
+        records.append(bytes(out))
+    return records
+
+
 def _k_vary_encode(
     old: Optional[bytes], new: bytes, mask_bits: int = 10, window: int = 48
 ) -> bytes:
@@ -162,10 +211,17 @@ KERNELS = {
     "ping": _k_ping,
     "stack.respond": _k_stack_respond,
     "gziplike.compress": _k_gziplike_compress,
+    "gziplike.compress_batch": _k_gziplike_compress_batch,
     "cdc.boundaries": _k_cdc_boundaries,
     "cdc.record": _k_cdc_record,
+    "cdc.record_batch": _k_cdc_record_batch,
     "vary.encode": _k_vary_encode,
 }
+
+# Batch kernels take a list of payloads as their first argument and
+# return one result per payload, in order.  ``KernelPool.run_batch``
+# shards the *items* of such a call, not the call itself.
+BATCH_KERNELS = frozenset({"gziplike.compress_batch", "cdc.record_batch"})
 
 
 def run_kernel(task: str, *args: Any) -> Any:
@@ -270,6 +326,85 @@ class KernelPool:
             return run_kernel(task, *args)
         future = self._shard(shard_key).submit(run_kernel, task, *args)
         return await asyncio.wrap_future(future)
+
+    def _batch_groups(
+        self, task: str, items: list, shard_keys: Optional[list]
+    ) -> dict[int, list[int]]:
+        """Item indices grouped by destination shard, insertion-ordered."""
+        if task not in BATCH_KERNELS:
+            raise KernelPoolError(f"{task!r} is not a batch kernel")
+        if shard_keys is not None and len(shard_keys) != len(items):
+            raise KernelPoolError(
+                f"{len(shard_keys)} shard keys for {len(items)} items"
+            )
+        groups: dict[int, list[int]] = {}
+        for i in range(len(items)):
+            if shard_keys is None:
+                shard = next(self._rr) % len(self._shards)
+            else:
+                shard = self.shard_index(shard_keys[i])
+            groups.setdefault(shard, []).append(i)
+        return groups
+
+    def run_batch(
+        self,
+        task: str,
+        items: list,
+        *args: Any,
+        shard_keys: Optional[list] = None,
+    ) -> list:
+        """Execute a batch kernel over ``items``, sharded by item.
+
+        Inline pools make one batched call (the whole corpus in one
+        vectorized pass).  Sharded pools group items by
+        ``shard_index(shard_keys[i])`` — the same placement the per-item
+        :meth:`run` would pick — submit one batched call per shard
+        concurrently, and reassemble results in input order, so batching
+        never changes which worker sees which content.
+        """
+        if not items:
+            return []
+        if not self._shards:
+            return run_kernel(task, list(items), *args)
+        groups = self._batch_groups(task, items, shard_keys)
+        futures = {
+            shard: self._shards[shard].submit(
+                run_kernel, task, [items[i] for i in idxs], *args
+            )
+            for shard, idxs in groups.items()
+        }
+        out: list = [None] * len(items)
+        for shard, idxs in groups.items():
+            for i, result in zip(idxs, futures[shard].result()):
+                out[i] = result
+        return out
+
+    async def run_batch_async(
+        self,
+        task: str,
+        items: list,
+        *args: Any,
+        shard_keys: Optional[list] = None,
+    ) -> list:
+        """:meth:`run_batch` without blocking the event loop."""
+        if not items:
+            return []
+        if not self._shards:
+            return run_kernel(task, list(items), *args)
+        groups = self._batch_groups(task, items, shard_keys)
+        futures = {
+            shard: asyncio.wrap_future(
+                self._shards[shard].submit(
+                    run_kernel, task, [items[i] for i in idxs], *args
+                )
+            )
+            for shard, idxs in groups.items()
+        }
+        out: list = [None] * len(items)
+        for shard, idxs in groups.items():
+            for i, result in zip(idxs, await futures[shard]):
+                out[i] = result
+        return out
 
     def close(self) -> None:
         for shard in self._shards:

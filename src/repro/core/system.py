@@ -23,7 +23,7 @@ from ..workload.profiles import ClientEnvironment
 from .appserver import ApplicationServer, default_pad_overheads
 from .calibration import calibrate_overheads
 from .client import FractalClient
-from .era import era_overheads
+from .era import era_overheads, era_pad_init_overrides
 from .metadata import PADMeta, PADOverhead
 from .overhead import OverheadModel, paper_case_study_matrices
 from .proxy import AdaptationProxy
@@ -199,6 +199,10 @@ def build_case_study(
     replaces the compute terms with the era-calibrated model (see
     :mod:`repro.core.era`), which the figure reproductions use so
     negotiation crossovers land where the paper's 2005 testbed put them.
+    ``era=True`` also pins the gzip PAD to the pure-Python backend and
+    raises on an explicit ``{"gzip": {"backend": "zlib"}}`` override —
+    the zlib fast path is benchmark-only and its payloads are equivalent
+    but not byte-identical, so it may not feed the paper-shape model.
 
     ``dedup=True`` attaches a fleet-level
     :class:`~repro.store.ChunkStore` to the application server: each
@@ -224,9 +228,18 @@ def build_case_study(
     trust_store = TrustStore()
     trust_store.trust(SIGNER_NAME, key.public)
 
+    if era:
+        # The era model is pure-python ground truth: reject an explicit
+        # zlib gzip backend and pin the PAD's default back to pure so
+        # both the served stacks and the calibration pass below measure
+        # the paper-shaped pipeline.
+        pad_init_overrides = era_pad_init_overrides(pad_init_overrides)
     if calibrate:
         overheads = calibrate_overheads(
-            corpus, pad_ids, n_pages=calibration_pages
+            corpus,
+            pad_ids,
+            n_pages=calibration_pages,
+            pad_init_overrides=pad_init_overrides,
         )
     else:
         defaults = default_pad_overheads()

@@ -21,7 +21,13 @@ threads or the asyncio handler) and the :class:`~repro.store.ChunkStore`:
 Cold-path kernels (full ``stack.respond`` for non-vary stacks, the
 ``cdc.record`` preparation pass) dispatch through the pool with
 ``shard_key=<content digest>``, so equal content lands on the same
-worker process fleet-wide, no matter which session triggered it.
+worker process fleet-wide, no matter which session triggered it.  When
+several blobs need records at once (a vary delta's old+new pair, a
+corpus prewarm), :meth:`StoreBackedResponder.chunk_records_batch` probes
+the store first and ships every absent blob to **one** batched
+``cdc.record_batch`` kernel call — the corpus-granularity scan — while
+publishing results through the same single-flight ``get_or_compute`` so
+the store's exact ledger (``computes == misses``) is unchanged.
 """
 
 from __future__ import annotations
@@ -212,6 +218,102 @@ class StoreBackedResponder:
         blob = await self.store.get_or_compute_async(key, compute)
         return unpack_chunk_record(blob, _DIGEST_TRUNCATE)
 
+    def _batch_plan(
+        self, datas: list, mask_bits: int, window: int
+    ) -> tuple[list[tuple[str, str]], list[int], dict[str, bytes]]:
+        """Shared cold-path planning for the batched chunk-record entry.
+
+        Returns per-item ``(digest, key)`` pairs, the (deduplicated)
+        indices whose records are absent from the store, and an empty
+        per-key result dict the batched kernel call fills in.  The store
+        probe uses ``in`` (no counter side effects): ledger-visible
+        lookups/hits/misses/computes all happen inside the per-key
+        ``get_or_compute`` afterwards, so the exact ``computes ==
+        misses`` reconciliation is preserved — the batch pass only
+        *pre-stages* bytes for keys expected to miss.
+        """
+        keyed = [
+            (
+                digest := _digest_hex(data),
+                chunk_record_key(digest, mask_bits, window, _DIGEST_TRUNCATE),
+            )
+            for data in datas
+        ]
+        seen: set[str] = set()
+        missing = [
+            i
+            for i, (_, key) in enumerate(keyed)
+            if key not in self.store and not (key in seen or seen.add(key))
+        ]
+        return keyed, missing, {}
+
+    def chunk_records_batch(
+        self, datas: list, *, mask_bits: int = 10, window: int = 48
+    ) -> list[list[tuple[int, int, bytes]]]:
+        """Cached CDC records for several blobs, cold ones batched.
+
+        Records absent from the store are computed by **one**
+        ``cdc.record_batch`` kernel call (sharded by content digest, the
+        same placement the per-blob path uses), then published through
+        the normal single-flight ``get_or_compute`` so store ledger
+        counters and concurrent-writer semantics are untouched.
+        """
+        keyed, missing, staged = self._batch_plan(datas, mask_bits, window)
+        if missing:
+            blobs = self.pool.run_batch(
+                "cdc.record_batch",
+                [datas[i] for i in missing],
+                mask_bits, window, _DIGEST_TRUNCATE,
+                shard_keys=[keyed[i][0] for i in missing],
+            )
+            staged.update((keyed[i][1], blob) for i, blob in zip(missing, blobs))
+        out = []
+        for data, (digest, key) in zip(datas, keyed):
+
+            def compute(d=data, g=digest, k=key) -> bytes:
+                # Staged bytes when the probe saw a miss; a real kernel
+                # call covers the probe-said-present-then-evicted race.
+                blob = staged.get(k)
+                if blob is not None:
+                    return blob
+                return self.pool.run(
+                    "cdc.record", d, mask_bits, window, _DIGEST_TRUNCATE,
+                    shard_key=g,
+                )
+
+            blob = self.store.get_or_compute(key, compute)
+            out.append(unpack_chunk_record(blob, _DIGEST_TRUNCATE))
+        return out
+
+    async def chunk_records_batch_async(
+        self, datas: list, *, mask_bits: int = 10, window: int = 48
+    ) -> list[list[tuple[int, int, bytes]]]:
+        """:meth:`chunk_records_batch` off the event loop."""
+        keyed, missing, staged = self._batch_plan(datas, mask_bits, window)
+        if missing:
+            blobs = await self.pool.run_batch_async(
+                "cdc.record_batch",
+                [datas[i] for i in missing],
+                mask_bits, window, _DIGEST_TRUNCATE,
+                shard_keys=[keyed[i][0] for i in missing],
+            )
+            staged.update((keyed[i][1], blob) for i, blob in zip(missing, blobs))
+        out = []
+        for data, (digest, key) in zip(datas, keyed):
+
+            async def compute(d=data, g=digest, k=key) -> bytes:
+                blob = staged.get(k)
+                if blob is not None:
+                    return blob
+                return await self.pool.run_async(
+                    "cdc.record", d, mask_bits, window, _DIGEST_TRUNCATE,
+                    shard_key=g,
+                )
+
+            blob = await self.store.get_or_compute_async(key, compute)
+            out.append(unpack_chunk_record(blob, _DIGEST_TRUNCATE))
+        return out
+
     # -- responses -----------------------------------------------------------
 
     def respond(
@@ -234,11 +336,8 @@ class StoreBackedResponder:
             vary = self._vary_params(spec)
             if vary is not None and old is not None:
                 mask_bits, window = vary
-                old_rec = await self.chunk_record_async(
-                    old, mask_bits=mask_bits, window=window
-                )
-                new_rec = await self.chunk_record_async(
-                    new, mask_bits=mask_bits, window=window
+                old_rec, new_rec = await self.chunk_records_batch_async(
+                    [old, new], mask_bits=mask_bits, window=window
                 )
                 with self._timer():
                     payload = vary_delta_from_records(old, old_rec, new, new_rec)
@@ -257,8 +356,9 @@ class StoreBackedResponder:
         vary = self._vary_params(spec)
         if vary is not None and old is not None:
             mask_bits, window = vary
-            old_rec = self.chunk_record(old, mask_bits=mask_bits, window=window)
-            new_rec = self.chunk_record(new, mask_bits=mask_bits, window=window)
+            old_rec, new_rec = self.chunk_records_batch(
+                [old, new], mask_bits=mask_bits, window=window
+            )
             with self._timer():
                 payload = vary_delta_from_records(old, old_rec, new, new_rec)
                 return self._apply_outer_layers(spec, payload)

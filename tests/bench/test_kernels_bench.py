@@ -6,7 +6,9 @@ import pytest
 
 from repro.bench import kernels
 from repro.bench.kernels import (
+    CALIBRATION_KERNEL,
     SEED_BASELINES,
+    TOLERANCE_BANDS,
     KernelResult,
     compare_to_baseline,
     render_kernels,
@@ -38,10 +40,22 @@ class TestPayload:
 
     def test_baselines_cover_all_measured_kernels(self):
         # run_kernels records these names; a rename must update the baselines.
-        for name in ("cdc_scan", "cdc_scan_vary", "lz77_tokenize",
-                     "gzip_pure_compress", "gzip_pure_decompress",
-                     "fixed_scan", "vary_respond"):
+        for name in ("cdc_scan", "cdc_scan_vary", "cdc_scan_batch",
+                     "lz77_tokenize", "lz77_tokenize_batch",
+                     "gzip_pure_compress", "gzip_batch_compress",
+                     "gzip_zlib_compress", "gzip_pure_decompress",
+                     "fixed_scan", "vary_respond", "host_calibration"):
             assert name in SEED_BASELINES
+
+    def test_every_gated_kernel_has_a_band(self):
+        # Every baseline except the calibration normalizer must resolve
+        # to an explicit tolerance band (or the default).
+        assert "default" in TOLERANCE_BANDS
+        for name in SEED_BASELINES:
+            if name == CALIBRATION_KERNEL:
+                continue
+            band = TOLERANCE_BANDS.get(name, TOLERANCE_BANDS["default"])
+            assert 0.0 < band < 1.0
 
 
 class TestDriftCompare:
@@ -63,6 +77,127 @@ class TestDriftCompare:
     def test_missing_baseline_is_quiet(self, tmp_path, fake_results):
         payload = results_to_payload(fake_results)
         assert compare_to_baseline(payload, str(tmp_path / "nope.json")) is None
+
+    def _payload_with_calibration(self, mb_s, cal_mb_s):
+        return {
+            "quick": False,
+            "kernels": {
+                "cdc_scan": {"bytes": 269754, "mb_s": mb_s},
+                CALIBRATION_KERNEL: {"bytes": 65536, "mb_s": cal_mb_s},
+            },
+        }
+
+    def test_slow_host_scales_expectation_down(self, tmp_path):
+        # Half-speed host (calibration 6 vs committed 12): a kernel at
+        # half the committed MB/s is exactly on trend, not a regression.
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(self._payload_with_calibration(20.0, 12.0)))
+        measured = self._payload_with_calibration(10.0, 6.0)
+        assert compare_to_baseline(measured, str(base)) is None
+        # ...but the same absolute drop WITHOUT the host slowdown gates:
+        # 10 < 20 * 1.0 * 0.45.
+        measured_fast_host = self._payload_with_calibration(8.0, 12.0)
+        report = compare_to_baseline(measured_fast_host, str(base))
+        assert report is not None and "cdc_scan" in report
+        assert "host scale 1.00" in report
+
+    def test_calibration_kernel_itself_never_gated(self, tmp_path):
+        # Only the calibration kernel moved (10x slower) — nothing to
+        # report, because it IS the normalizer.
+        base = tmp_path / "base.json"
+        payload = {
+            "quick": False,
+            "kernels": {CALIBRATION_KERNEL: {"bytes": 65536, "mb_s": 12.0}},
+        }
+        base.write_text(json.dumps(payload))
+        slow = {
+            "quick": False,
+            "kernels": {CALIBRATION_KERNEL: {"bytes": 65536, "mb_s": 1.2}},
+        }
+        assert compare_to_baseline(slow, str(base)) is None
+
+    def test_quick_payload_gets_extra_slack(self, tmp_path):
+        # Just under the full-run floor (0.45) but inside the widened
+        # quick band (0.30): gates in full mode, passes in quick mode.
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(self._payload_with_calibration(20.0, 12.0)))
+        borderline = self._payload_with_calibration(20.0 * 0.40, 12.0)
+        assert compare_to_baseline(borderline, str(base)) is not None
+        borderline["quick"] = True
+        assert compare_to_baseline(borderline, str(base)) is None
+
+
+class TestGateCli:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_within_bands(self, tmp_path, capsys, fake_results):
+        payload = results_to_payload(fake_results)
+        measured = self._write(tmp_path / "m.json", payload)
+        baseline = self._write(tmp_path / "b.json", payload)
+        assert kernels.main(["--measured", measured, "--baseline", baseline]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys, fake_results):
+        payload = results_to_payload(fake_results)
+        inflated = json.loads(json.dumps(payload))
+        inflated["kernels"]["cdc_scan"]["mb_s"] *= 10
+        measured = self._write(tmp_path / "m.json", payload)
+        baseline = self._write(tmp_path / "b.json", inflated)
+        assert kernels.main(["--measured", measured, "--baseline", baseline]) == 1
+        out = capsys.readouterr().out
+        assert "cdc_scan" in out
+        assert "bench-flake" in out  # the escape hatch is documented
+
+    def test_missing_baseline_passes(self, tmp_path, fake_results):
+        measured = self._write(
+            tmp_path / "m.json", results_to_payload(fake_results)
+        )
+        assert kernels.main(
+            ["--measured", measured, "--baseline", str(tmp_path / "no.json")]
+        ) == 0
+
+
+class TestKernelHistoryRoll:
+    def _roll(self):
+        from repro.bench.runner import _roll_kernel_history
+
+        return _roll_kernel_history
+
+    def test_previous_run_folds_into_history(self, tmp_path, fake_results):
+        from repro.bench.kernels import write_json
+
+        path = tmp_path / "BENCH_kernels.json"
+        old = results_to_payload(fake_results, quick=True)
+        write_json(old, str(path))
+        new = results_to_payload(fake_results)
+        self._roll()(new, str(path))
+        assert len(new["history"]) == 1
+        entry = new["history"][0]
+        assert entry["quick"] is True
+        assert entry["kernels"]["cdc_scan"] == {
+            "mb_s": old["kernels"]["cdc_scan"]["mb_s"],
+            "speedup": old["kernels"]["cdc_scan"]["speedup"],
+        }
+
+    def test_history_is_bounded(self, tmp_path, fake_results):
+        from repro.bench.runner import _HISTORY_KEEP
+        from repro.bench.kernels import write_json
+
+        path = tmp_path / "BENCH_kernels.json"
+        payload = results_to_payload(fake_results)
+        write_json(payload, str(path))
+        for _ in range(_HISTORY_KEEP + 5):
+            nxt = results_to_payload(fake_results)
+            self._roll()(nxt, str(path))
+            write_json(nxt, str(path))
+        assert len(nxt["history"]) == _HISTORY_KEEP
+
+    def test_no_previous_file_leaves_payload_alone(self, tmp_path, fake_results):
+        payload = results_to_payload(fake_results)
+        self._roll()(payload, str(tmp_path / "absent.json"))
+        assert "history" not in payload
 
 
 class TestKernelsCli:

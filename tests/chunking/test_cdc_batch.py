@@ -1,0 +1,99 @@
+"""Batched CDC equivalence: one corpus-wide scan, per-page boundaries.
+
+``boundaries_batch`` concatenates every page into a single numpy scan, so
+the dangerous candidates are positions whose Rabin window *straddles* a
+page seam — those fingerprint the concatenation, not either page, and
+must be filtered out.  These suites build corpora whose pages are
+adjacent slices of one continuous buffer (every seam byte-compatible, so
+a straddling window that leaks through WOULD fire) and require exact
+equality with the per-page scan.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.cdc import ContentDefinedChunker, chunk_spans
+
+
+@pytest.fixture(scope="module")
+def chunker():
+    return ContentDefinedChunker(mask_bits=10)
+
+
+@pytest.fixture(scope="module")
+def pages():
+    rng = random.Random(20)
+    return [rng.randbytes(rng.randrange(2_000, 20_000)) for _ in range(8)]
+
+
+class TestBoundariesBatchEquivalence:
+    def test_seeded_pages_match_per_page(self, chunker, pages):
+        want = [list(chunker.boundaries(p)) for p in pages]
+        assert chunker.boundaries_batch(pages) == want
+
+    def test_pages_cut_from_one_continuous_buffer(self, chunker):
+        # Adjacent slices of one buffer: every batch seam is between
+        # bytes that were contiguous in the source, so any window
+        # straddling a seam computes a fingerprint that DID fire in the
+        # uncut buffer — the filter must still drop it.
+        data = random.Random(21).randbytes(60_000)
+        cuts = [0, 7_001, 7_013, 19_777, 40_000, 60_000]
+        pieces = [data[a:b] for a, b in zip(cuts, cuts[1:])]
+        want = [list(chunker.boundaries(p)) for p in pieces]
+        assert chunker.boundaries_batch(pieces) == want
+
+    def test_repeated_identical_pages(self, chunker):
+        page = random.Random(22).randbytes(9_000)
+        batch = chunker.boundaries_batch([page] * 4)
+        want = list(chunker.boundaries(page))
+        assert batch == [want] * 4
+
+    def test_mixed_tiny_and_large_pages(self, chunker):
+        rng = random.Random(23)
+        mixed = [b"", b"xy", rng.randbytes(30_000), b"z" * 10,
+                 rng.randbytes(5_000), b""]
+        want = [list(chunker.boundaries(p)) for p in mixed]
+        assert chunker.boundaries_batch(mixed) == want
+
+    def test_single_page_falls_back(self, chunker):
+        page = random.Random(24).randbytes(12_000)
+        assert chunker.boundaries_batch([page]) == [
+            list(chunker.boundaries(page))
+        ]
+
+    def test_empty_corpus(self, chunker):
+        assert chunker.boundaries_batch([]) == []
+
+    def test_odd_window_falls_back_identically(self):
+        ch = ContentDefinedChunker(mask_bits=8, window=49)
+        pgs = [random.Random(s).randbytes(6_000) for s in range(3)]
+        assert ch.boundaries_batch(pgs) == [list(ch.boundaries(p)) for p in pgs]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.lists(st.integers(min_value=0, max_value=8_000), min_size=2, max_size=6),
+    )
+    def test_property_arbitrary_slicings(self, seed, sizes):
+        # Random page sizes sliced out of one continuous random buffer —
+        # straddling candidates abound; equality must be exact.
+        ch = ContentDefinedChunker(mask_bits=9)
+        data = random.Random(seed).randbytes(sum(sizes))
+        pieces, pos = [], 0
+        for s in sizes:
+            pieces.append(data[pos : pos + s])
+            pos += s
+        assert ch.boundaries_batch(pieces) == [
+            list(ch.boundaries(p)) for p in pieces
+        ]
+
+
+class TestChunkBatch:
+    def test_chunk_batch_matches_per_page(self, chunker, pages):
+        assert chunker.chunk_batch(pages) == [chunker.chunk(p) for p in pages]
+
+    def test_chunk_batch_tiles_every_page(self, chunker, pages):
+        for page, chunks in zip(pages, chunker.chunk_batch(pages)):
+            chunk_spans(chunks, len(page))  # raises on gap/overlap

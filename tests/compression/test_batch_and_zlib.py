@@ -1,0 +1,239 @@
+"""Batched-kernel equivalence and the zlib fast path.
+
+Two invariants guard the corpus-granularity batch APIs:
+
+* **Batching is invisible.** ``tokenize_batch`` must return exactly the
+  per-buffer ``tokenize_raw`` tables, and ``compress_batch`` exactly the
+  per-message ``compress`` containers — byte for byte, so the golden
+  wire vectors hold no matter how messages are grouped.  The batched
+  scan concatenates every buffer into one array; the dangerous inputs
+  are therefore *adjacent* buffers whose bytes would match across the
+  seam, which these suites construct deliberately.
+* **zlib is equivalent, never identical.** The ``backend="zlib"``
+  container must round-trip through the one shared ``decompress`` (which
+  dispatches on the container flag — that IS the pure-decodes-zlib cross
+  path) and produce the same plaintext as the pure container on every
+  golden corpus, while the wire bytes differ (the golden SHA-1s pin the
+  pure backend only).
+"""
+
+import hashlib
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import gziplike
+from repro.compression.dictionaries import builtin_dictionary
+from repro.compression.lz77 import tokenize_batch, tokenize_raw
+from repro.workload.pages import Corpus
+
+from ..protocols.test_golden_wire import GZIPLIKE_GOLDEN
+
+
+def _sha1(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+def golden_inputs() -> dict[str, bytes]:
+    """The exact inputs behind the frozen GZIPLIKE_GOLDEN digests."""
+    corpus = Corpus(text_bytes=2048, image_bytes=4096, images_per_page=2)
+    rng = random.Random(1905)
+    return {
+        "empty": b"",
+        "text": b"the quick brown fox jumps over the lazy dog. " * 200,
+        "runs": b"A" * 5000 + b"B" * 5000,
+        "random": rng.randbytes(8192),
+        "small_page": corpus.evolved(0, 1).encode(),
+    }
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return golden_inputs()
+
+
+def _seeded_buffers(seed: int, count: int, size: int) -> list[bytes]:
+    """Repetitive-but-distinct buffers: worst case for match confusion."""
+    rng = random.Random(seed)
+    alphabet = bytes(rng.randrange(256) for _ in range(8))
+    out = []
+    for i in range(count):
+        body = bytearray()
+        while len(body) < size:
+            run = alphabet[rng.randrange(8) : rng.randrange(1, 9)]
+            body += run * rng.randrange(1, 20)
+        out.append(bytes(body[:size]))
+    return out
+
+
+class TestTokenizeBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seeded_corpora_match_per_buffer(self, seed):
+        buffers = _seeded_buffers(seed, count=5, size=4096)
+        assert tokenize_batch(buffers) == [tokenize_raw(b) for b in buffers]
+
+    def test_identical_adjacent_buffers(self):
+        # Equal content side by side in the concatenated scan: a match
+        # found in buffer k must never reference buffer k-1's copy.
+        page = _seeded_buffers(99, count=1, size=3000)[0]
+        buffers = [page, page, page]
+        assert tokenize_batch(buffers) == [tokenize_raw(b) for b in buffers]
+
+    def test_shared_prefix_suffix_seam(self):
+        # b ends with the exact bytes a begins with — a cross-seam match
+        # would be found by a naive concatenated scan.
+        a = b"SEAMSEAMSEAM" * 300
+        b = (b"x" * 2000) + b"SEAMSEAMSEAM" * 100
+        buffers = [b, a, b]
+        assert tokenize_batch(buffers) == [tokenize_raw(x) for x in buffers]
+
+    def test_mixed_sizes_and_empties(self):
+        buffers = [b"", b"ab", _seeded_buffers(3, 1, 5000)[0], b"q" * 2, b""]
+        assert tokenize_batch(buffers) == [tokenize_raw(b) for b in buffers]
+
+    def test_small_total_falls_back_identically(self):
+        buffers = [b"abcabcabc", b"xyzxyzxyz"]
+        assert tokenize_batch(buffers) == [tokenize_raw(b) for b in buffers]
+
+    def test_corpus_pages(self):
+        corpus = Corpus(text_bytes=2048, image_bytes=4096, images_per_page=2)
+        pages = [corpus.evolved(p, v).encode() for p in range(3) for v in (0, 1)]
+        assert tokenize_batch(pages) == [tokenize_raw(p) for p in pages]
+
+    def test_max_chain_threads_through(self):
+        buffers = _seeded_buffers(7, count=3, size=4096)
+        assert tokenize_batch(buffers, max_chain=4) == [
+            tokenize_raw(b, max_chain=4) for b in buffers
+        ]
+
+    def test_lazy_off_threads_through(self):
+        buffers = _seeded_buffers(11, count=3, size=4096)
+        assert tokenize_batch(buffers, lazy=False) == [
+            tokenize_raw(b, lazy=False) for b in buffers
+        ]
+
+    def test_bad_max_chain_rejected(self):
+        with pytest.raises(ValueError):
+            tokenize_batch([b"abc"], max_chain=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.binary(min_size=0, max_size=2000)
+            | st.builds(
+                lambda pat, n: pat * n,
+                st.binary(min_size=1, max_size=8),
+                st.integers(min_value=1, max_value=400),
+            ),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_property_batch_equals_per_buffer(self, buffers):
+        assert tokenize_batch(buffers) == [tokenize_raw(b) for b in buffers]
+
+
+class TestCompressBatchIdentity:
+    def test_batch_matches_per_message_pure(self, goldens):
+        datas = list(goldens.values())
+        batch = gziplike.compress_batch(datas, backend="pure")
+        assert batch == [gziplike.compress(d, backend="pure") for d in datas]
+
+    def test_batch_matches_golden_sha1(self, goldens):
+        names = sorted(goldens)
+        batch = gziplike.compress_batch([goldens[n] for n in names])
+        for name, blob in zip(names, batch):
+            assert _sha1(blob) == GZIPLIKE_GOLDEN[name]
+
+    def test_batch_matches_per_message_zlib(self, goldens):
+        datas = list(goldens.values())
+        batch = gziplike.compress_batch(datas, backend="zlib")
+        assert batch == [gziplike.compress(d, backend="zlib") for d in datas]
+
+    def test_batch_matches_per_message_with_dictionary(self, goldens):
+        d = builtin_dictionary("text")
+        datas = [goldens["text"], goldens["runs"], b""]
+        batch = gziplike.compress_batch(datas, dictionary=d)
+        assert batch == [gziplike.compress(x, dictionary=d) for x in datas]
+
+    def test_empty_batch(self):
+        assert gziplike.compress_batch([]) == []
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            gziplike.compress_batch([b"x"], backend="snappy")
+
+    def test_dictionary_requires_pure(self):
+        with pytest.raises(ValueError):
+            gziplike.compress_batch(
+                [b"x"], backend="zlib", dictionary=builtin_dictionary("text")
+            )
+
+
+class TestZlibBackend:
+    @pytest.mark.parametrize("name", sorted(GZIPLIKE_GOLDEN))
+    def test_roundtrip_every_golden_corpus(self, goldens, name):
+        data = goldens[name]
+        blob = gziplike.compress(data, backend="zlib")
+        assert gziplike.decompress(blob) == data
+
+    @pytest.mark.parametrize("name", sorted(GZIPLIKE_GOLDEN))
+    def test_cross_decode_pure_and_zlib_agree(self, goldens, name):
+        # One decompress() serves both containers (flag dispatch): the
+        # pure-side decoder reading a zlib container IS the cross path,
+        # and both must yield the same plaintext.
+        data = goldens[name]
+        pure = gziplike.compress(data, backend="pure")
+        zl = gziplike.compress(data, backend="zlib")
+        assert gziplike.decompress(pure) == gziplike.decompress(zl) == data
+
+    @pytest.mark.parametrize("name", sorted(GZIPLIKE_GOLDEN))
+    def test_zlib_container_never_byte_identical_to_golden(self, goldens, name):
+        # Equivalent, not identical: the golden SHA-1s pin ONLY the pure
+        # backend.  (The empty container is header-only either way, but
+        # the flag byte still differs.)
+        blob = gziplike.compress(goldens[name], backend="zlib")
+        assert _sha1(blob) != GZIPLIKE_GOLDEN[name]
+
+    def test_pure_wire_bytes_unchanged_by_backend_existence(self, goldens):
+        # The default path stays byte-identical to the frozen vectors.
+        for name, data in goldens.items():
+            assert _sha1(gziplike.compress(data)) == GZIPLIKE_GOLDEN[name]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=5000))
+    def test_property_zlib_roundtrip(self, data):
+        blob = gziplike.compress(data, backend="zlib")
+        assert gziplike.decompress(blob) == data
+
+
+class TestCompressionCacheBounds:
+    def test_no_unbounded_lru_caches_in_compression_package(self):
+        # Cache keys in this package are attacker-influenceable (wire
+        # dictionary ids, configured content-class names): every
+        # lru_cache must declare a finite maxsize.
+        import functools
+        import inspect
+
+        import repro.compression.dictionaries as dmod
+        import repro.compression.huffman as hmod
+
+        for mod in (dmod, hmod):
+            for name, obj in vars(mod).items():
+                if isinstance(obj, functools._lru_cache_wrapper):
+                    maxsize = obj.cache_info().maxsize
+                    assert maxsize is not None, (
+                        f"{mod.__name__}.{name} has an unbounded lru_cache"
+                    )
+                    assert maxsize <= 1024
+
+    def test_dictionary_caches_still_serve_all_classes(self):
+        from repro.compression.dictionaries import (
+            CONTENT_CLASSES,
+            dictionary_by_id,
+        )
+
+        for cls in CONTENT_CLASSES:
+            d = builtin_dictionary(cls)
+            assert dictionary_by_id(d.dict_id) is d

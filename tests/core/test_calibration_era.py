@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.calibration import HOST_CPU_MHZ, calibrate_overheads, calibrate_pad
-from repro.core.era import DEFAULT_ANCHORS, EraAnchors, era_overheads
+from repro.core.era import (
+    DEFAULT_ANCHORS,
+    EraAnchors,
+    era_overheads,
+    era_pad_init_overrides,
+)
 from repro.core.metadata import PADOverhead
 from repro.core.overhead import STD_CPU_MHZ
 
@@ -85,3 +90,70 @@ class TestEraModel:
         a = DEFAULT_ANCHORS
         # Decompression faster than compression; CDC slowest of all.
         assert a.gzip_decompress > a.gzip_compress > a.block_digest > a.cdc_fingerprint
+
+
+class TestEraBackendPolicy:
+    """The era model is pure-Python ground truth: zlib never feeds it."""
+
+    def test_explicit_zlib_override_rejected(self):
+        with pytest.raises(ValueError, match="zlib"):
+            era_pad_init_overrides({"gzip": {"backend": "zlib"}})
+
+    def test_gzip_pinned_to_pure_by_default(self):
+        overrides = era_pad_init_overrides(None)
+        assert overrides["gzip"]["backend"] == "pure"
+
+    def test_other_overrides_preserved(self):
+        overrides = era_pad_init_overrides(
+            {"gzip": {"dictionary": "text"}, "vary": {"mask_bits": 9}}
+        )
+        assert overrides["gzip"] == {"dictionary": "text", "backend": "pure"}
+        assert overrides["vary"] == {"mask_bits": 9}
+
+    def test_input_dict_not_mutated(self):
+        given = {"gzip": {"dictionary": "text"}}
+        era_pad_init_overrides(given)
+        assert given == {"gzip": {"dictionary": "text"}}
+
+    def test_build_case_study_era_rejects_zlib(self, small_corpus):
+        from repro.core.system import build_case_study
+
+        with pytest.raises(ValueError, match="zlib"):
+            build_case_study(
+                corpus=small_corpus,
+                era=True,
+                pad_init_overrides={"gzip": {"backend": "zlib"}},
+            )
+
+    def test_build_case_study_era_pins_gzip_pure(self, small_corpus):
+        from repro.core.system import build_case_study
+
+        system = build_case_study(corpus=small_corpus, era=True)
+        meta = system.appserver._pad_meta["gzip"]
+        assert meta.init_kwargs.get("backend") == "pure"
+
+    def test_calibration_measures_overridden_instance(self, small_corpus):
+        # The pinned backend must reach the measured protocol instance,
+        # not just the served stacks: pure-backend gzip is far slower
+        # than zlib-backend gzip on the same page.
+        pure = calibrate_pad(
+            "gzip", small_corpus, page_ids=[0],
+            init_kwargs={"backend": "pure"},
+        )[0]
+        fast = calibrate_pad(
+            "gzip", small_corpus, page_ids=[0],
+            init_kwargs={"backend": "zlib"},
+        )[0]
+        assert pure.traffic_std_bytes > 0 and fast.traffic_std_bytes > 0
+        assert pure.server_comp_s > 3 * fast.server_comp_s
+
+    def test_calibrate_overheads_threads_overrides(self, small_corpus):
+        slow = calibrate_overheads(
+            small_corpus, ("gzip",), n_pages=1,
+            pad_init_overrides={"gzip": {"backend": "pure"}},
+        )["gzip"]
+        fast = calibrate_overheads(
+            small_corpus, ("gzip",), n_pages=1,
+            pad_init_overrides={"gzip": {"backend": "zlib"}},
+        )["gzip"]
+        assert slow.server_comp_s > 3 * fast.server_comp_s

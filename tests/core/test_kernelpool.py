@@ -15,6 +15,7 @@ import pytest
 
 from repro.compression import gziplike
 from repro.core.kernelpool import (
+    BATCH_KERNELS,
     KERNELS,
     KernelPool,
     KernelPoolError,
@@ -165,6 +166,68 @@ class TestPooledByteIdentity:
         spans = pool.run("cdc.boundaries", pages[0], shard_key="s")
         assert spans == KernelPool().run("cdc.boundaries", pages[0])
         assert sum(length for _off, length in spans) == len(pages[0])
+
+
+class TestBatchKernels:
+    """run_batch shards *items*; results must equal per-item run()."""
+
+    def test_batch_registry(self):
+        assert BATCH_KERNELS <= set(KERNELS)
+        assert "gziplike.compress_batch" in BATCH_KERNELS
+        assert "cdc.record_batch" in BATCH_KERNELS
+
+    def test_non_batch_kernel_rejected(self, pool):
+        with pytest.raises(KernelPoolError, match="not a batch kernel"):
+            pool.run_batch("gziplike.compress", [b"x"])
+
+    def test_shard_key_count_mismatch_rejected(self, pool):
+        with pytest.raises(KernelPoolError, match="shard keys"):
+            pool.run_batch(
+                "gziplike.compress_batch", [b"a", b"b"], shard_keys=["only-one"]
+            )
+
+    def test_empty_batch(self, pool):
+        assert pool.run_batch("gziplike.compress_batch", []) == []
+
+    def test_inline_batch_matches_per_item(self, pages):
+        inline = KernelPool()
+        want = [inline.run("gziplike.compress", p) for p in pages]
+        assert inline.run_batch("gziplike.compress_batch", list(pages)) == want
+
+    def test_pooled_compress_batch_matches_inline(self, pool, pages):
+        msgs = [pages[0][i : i + 4096] for i in range(0, len(pages[0]), 4096)]
+        keys = [f"m{i}" for i in range(len(msgs))]
+        got = pool.run_batch("gziplike.compress_batch", msgs, shard_keys=keys)
+        want = [gziplike.compress(m, backend="pure") for m in msgs]
+        assert got == want
+
+    def test_pooled_cdc_record_batch_matches_per_item(self, pool, pages):
+        keys = [hashlib.sha1(p).hexdigest() for p in pages]
+        got = pool.run_batch(
+            "cdc.record_batch", list(pages), 10, 48, 16, shard_keys=keys
+        )
+        want = [pool.run("cdc.record", p, 10, 48, 16, shard_key=k)
+                for p, k in zip(pages, keys)]
+        assert got == want
+
+    def test_round_robin_when_no_keys(self, pool, pages):
+        # Without shard keys items spread round-robin; bytes unchanged.
+        got = pool.run_batch("gziplike.compress_batch", list(pages))
+        assert got == [gziplike.compress(p, backend="pure") for p in pages]
+
+    def test_run_batch_async_matches_sync(self, pool, pages):
+        msgs = [pages[1][:4096], pages[2][:4096], pages[0][:4096]]
+        keys = ["a", "b", "c"]
+
+        async def main():
+            return await pool.run_batch_async(
+                "gziplike.compress_batch", msgs, shard_keys=keys
+            )
+
+        got = asyncio.run(main())
+        assert got == pool.run_batch(
+            "gziplike.compress_batch", msgs, shard_keys=keys
+        )
 
 
 class TestPooledExecution:

@@ -117,6 +117,92 @@ class TestVaryAssemblyFromRecords:
         assert got == sync
 
 
+class TestChunkRecordsBatch:
+    """The batched cold path must keep the store ledger exact."""
+
+    def test_batch_matches_per_blob_records(self, pages):
+        responder = StoreBackedResponder(ChunkStore(name="b1"))
+        single = StoreBackedResponder(ChunkStore(name="b2"))
+        batch = responder.chunk_records_batch(list(pages))
+        assert batch == [single.chunk_record(p) for p in pages]
+
+    def test_cold_batch_ledger_is_exact(self, pages):
+        store = ChunkStore(name="b3")
+        responder = StoreBackedResponder(store)
+        responder.chunk_records_batch(list(pages))
+        s = store.stats
+        assert s.misses == len(pages)
+        assert s.computes == s.misses
+        assert s.lookups == s.hits + s.misses + s.coalesced
+
+    def test_warm_batch_computes_nothing(self, pages):
+        store = ChunkStore(name="b4")
+        responder = StoreBackedResponder(store)
+        cold = responder.chunk_records_batch(list(pages))
+        computes = store.stats.computes
+        warm = responder.chunk_records_batch(list(pages))
+        assert warm == cold
+        assert store.stats.computes == computes
+        s = store.stats
+        assert s.lookups == s.hits + s.misses + s.coalesced
+
+    def test_duplicate_blobs_compute_once(self, pages):
+        store = ChunkStore(name="b5")
+        responder = StoreBackedResponder(store)
+        datas = [pages[0], pages[1], pages[0], pages[0]]
+        records = responder.chunk_records_batch(datas)
+        assert records[0] == records[2] == records[3]
+        assert store.stats.computes == 2  # two distinct blobs
+
+    def test_partially_warm_batch(self, pages):
+        store = ChunkStore(name="b6")
+        responder = StoreBackedResponder(store)
+        responder.chunk_records_batch([pages[0]])
+        computes = store.stats.computes
+        responder.chunk_records_batch(list(pages))
+        # Only the two absent blobs were computed.
+        assert store.stats.computes == computes + 2
+        s = store.stats
+        assert s.computes == s.misses
+
+    def test_batch_params_key_separately(self, pages):
+        store = ChunkStore(name="b7")
+        responder = StoreBackedResponder(store)
+        a = responder.chunk_records_batch([pages[0]], mask_bits=10)
+        b = responder.chunk_records_batch([pages[0]], mask_bits=8)
+        assert a != b
+        assert store.stats.computes == 2
+
+    def test_async_batch_matches_sync(self, pages):
+        import asyncio
+
+        sync_store = ChunkStore(name="b8")
+        want = StoreBackedResponder(sync_store).chunk_records_batch(
+            list(pages)
+        )
+        store = ChunkStore(name="b9")
+        responder = StoreBackedResponder(store)
+        got = asyncio.run(responder.chunk_records_batch_async(list(pages)))
+        assert got == want
+        s = store.stats
+        assert s.computes == s.misses == len(pages)
+        assert s.lookups == s.hits + s.misses + s.coalesced
+
+    @pytest.mark.stress
+    def test_pooled_batch_matches_inline(self, pages):
+        inline = StoreBackedResponder(ChunkStore(name="bi"))
+        want = inline.chunk_records_batch(list(pages))
+        pool = KernelPool(workers=2)
+        try:
+            store = ChunkStore(name="bp")
+            responder = StoreBackedResponder(store, pool=pool)
+            got = responder.chunk_records_batch(list(pages))
+        finally:
+            pool.close()
+        assert got == want
+        assert store.stats.computes == store.stats.misses
+
+
 class TestPooledWorkers:
     @pytest.mark.stress
     def test_pooled_byte_identity_and_single_compute(self, pages):
