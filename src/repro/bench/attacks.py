@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..attacks import KIND_ORDER, AttackScenario, ScenarioResult
-from ..core.system import build_case_study
+from ..core.system import APPSERVER_ENDPOINT, PROXY_ENDPOINT, build_case_study
 
 __all__ = [
     "EVENTS_PER_SECOND",
@@ -45,6 +45,7 @@ class AttackCampaign:
     events_per_attack: int
     bound: int  # proxy_max_sessions == proxy_dist_max_entries
     strategy: str
+    transport: str  # "inproc" or "tcp"
     result: ScenarioResult
 
 
@@ -55,6 +56,7 @@ def run_attack_campaign(
     intensity: float = 1.0,
     kinds: Optional[Sequence[str]] = None,
     strategy: str = "hottest-edge",
+    transport: str = "inproc",
 ) -> AttackCampaign:
     """Build a bounded system and run the campaign against it.
 
@@ -63,11 +65,21 @@ def run_attack_campaign(
     regime (flood fits under the bound) and the degrading one (victims
     get evicted) — the survival-vs-intensity curve in EXPERIMENTS.md
     comes from sweeping ``intensity`` with everything else fixed.
+
+    ``transport="tcp"`` reruns the identical campaign over real loopback
+    sockets: the proxy and appserver handlers are re-bound on a
+    :class:`~repro.simnet.realnet.TcpTransport` and ``system.transport``
+    is swapped before the scenario installs its fault injector, so every
+    attack event — and every legitimate victim session — crosses the
+    kernel TCP stack.  The ledger is event-counted, so it reconciles
+    exactly on both transports.
     """
     if duration_s <= 0:
         raise ValueError(f"duration_s must be positive, got {duration_s}")
     if intensity <= 0:
         raise ValueError(f"intensity must be positive, got {intensity}")
+    if transport not in ("inproc", "tcp"):
+        raise ValueError(f"transport must be 'inproc' or 'tcp', got {transport!r}")
     events = max(1, round(duration_s * EVENTS_PER_SECOND * intensity))
     bound = max(_MIN_BOUND, events // 2)
     system = build_case_study(
@@ -75,8 +87,20 @@ def run_attack_campaign(
         proxy_max_sessions=bound,
         proxy_dist_max_entries=bound,
     )
-    scenario = AttackScenario(system, seed=seed, victim_strategy=strategy)
-    result = scenario.run(kinds, events_per_attack=events)
+    tcp = None
+    if transport == "tcp":
+        from ..simnet.realnet import TcpTransport
+
+        tcp = TcpTransport(idle_timeout_s=1.0)
+        tcp.bind(PROXY_ENDPOINT, system.proxy.handle)
+        tcp.bind(APPSERVER_ENDPOINT, system.appserver.handle)
+        system.transport = tcp
+    try:
+        scenario = AttackScenario(system, seed=seed, victim_strategy=strategy)
+        result = scenario.run(kinds, events_per_attack=events)
+    finally:
+        if tcp is not None:
+            tcp.close()
     return AttackCampaign(
         seed=seed,
         intensity=intensity,
@@ -84,6 +108,7 @@ def run_attack_campaign(
         events_per_attack=events,
         bound=bound,
         strategy=strategy,
+        transport=transport,
         result=result,
     )
 
@@ -96,6 +121,7 @@ def campaign_to_payload(campaign: AttackCampaign) -> dict:
         "events_per_attack": campaign.events_per_attack,
         "bound": campaign.bound,
         "strategy": campaign.strategy,
+        "transport": campaign.transport,
         **campaign.result.to_payload(),
     }
 
@@ -120,7 +146,8 @@ def render_campaign(campaign: AttackCampaign) -> str:
     title = (
         f"Attacks: seeded adversarial campaign (seed {campaign.seed}, "
         f"intensity {campaign.intensity:g}, {campaign.events_per_attack} "
-        f"events/class, bounds {campaign.bound}, victim {campaign.strategy})"
+        f"events/class, bounds {campaign.bound}, victim {campaign.strategy}, "
+        f"transport {campaign.transport})"
     )
     table = render_table(
         title,

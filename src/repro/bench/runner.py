@@ -29,7 +29,8 @@ from .reporting import (
 __all__ = ["main"]
 
 _EXPERIMENTS = ("table1", "fig9a", "fig9b", "fig10", "fig11", "headline",
-                "timeline", "stages", "chaos", "load", "kernels", "attacks")
+                "timeline", "stages", "chaos", "load", "kernels", "attacks",
+                "overload")
 
 
 def _build_system(era: bool = True):
@@ -406,6 +407,7 @@ def run_attacks(
     attack: list[str] | None = None,
     strategy: str = "hottest-edge",
     seed: int = 0,
+    transport: str = "inproc",
     json_sink: dict | None = None,
 ) -> str:
     """Seeded adversarial campaign with an exact absorbed/degraded ledger."""
@@ -417,10 +419,28 @@ def run_attacks(
         intensity=intensity,
         kinds=attack or None,
         strategy=strategy,
+        transport=transport,
     )
     if json_sink is not None:
         json_sink["attacks"] = campaign_to_payload(campaign)
     return render_campaign(campaign)
+
+
+def run_overload(
+    seed: int = 0,
+    transport: str = "inproc",
+    events: int = 12,
+    json_sink: dict | None = None,
+) -> str:
+    """Overload-control proof: four phases, four exact ledgers."""
+    from .overload import render_report, report_to_payload, run_overload_experiment
+
+    report = run_overload_experiment(
+        seed=seed, transport=transport, events=events
+    )
+    if json_sink is not None:
+        json_sink["overload"] = report_to_payload(report)
+    return render_report(report)
 
 
 def main(argv=None) -> int:
@@ -490,7 +510,23 @@ def main(argv=None) -> int:
     )
     attack_group.add_argument(
         "--seed", type=int, default=0,
-        help="campaign seed: same seed, same ledger (default 0)",
+        help="campaign seed: same seed, same ledger (default 0); "
+             "also seeds `overload`",
+    )
+    attack_group.add_argument(
+        "--attack-transport", choices=("inproc", "tcp"), default="inproc",
+        help="serving path for the attack campaign: in-process handlers "
+             "or real loopback TCP (default inproc)",
+    )
+    over_group = parser.add_argument_group("overload", "options for `overload`")
+    over_group.add_argument(
+        "--overload-transport", choices=("inproc", "tcp"), default="inproc",
+        help="serving path for the overload phases (default inproc)",
+    )
+    over_group.add_argument(
+        "--overload-events", type=int, default=12,
+        help="event budget: admission burst size and breaker-outage "
+             "session count both scale from this (default 12)",
     )
     parser.add_argument(
         "--json", metavar="OUT", default=None,
@@ -524,7 +560,11 @@ def main(argv=None) -> int:
             "kernels": lambda: run_kernels(args.quick, json_sink=json_sink),
             "attacks": lambda: run_attacks(
                 args.duration, args.intensity, args.attack, args.strategy,
-                args.seed, json_sink=json_sink,
+                args.seed, args.attack_transport, json_sink=json_sink,
+            ),
+            "overload": lambda: run_overload(
+                args.seed, args.overload_transport, args.overload_events,
+                json_sink=json_sink,
             ),
         }[name]
         outputs.append(fn())

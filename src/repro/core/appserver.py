@@ -23,17 +23,24 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 from ..cdn.origin import OriginServer
 from ..mobilecode import Signer
+from ..overload import Deadline, deadline_error_text, overload_reply
 from ..protocols import CommProtocol, build_pad_module, instantiate
 from ..protocols.stack import ProtocolStack
 from ..store.chunkstore import ChunkStore
 from ..telemetry import MetricsRegistry, Telemetry
 from ..workload.pages import Corpus
 from . import inp
-from .errors import NegotiationError, ProtocolMismatchError
+from .errors import (
+    DeadlineExceededError,
+    NegotiationError,
+    ProtocolMismatchError,
+    ServerOverloadedError,
+)
 from .inp import INPMessage, MsgType
 from .kernelpool import KernelPool, StackSpec, stack_spec
 from .metadata import AppMeta, PADMeta, PADOverhead
@@ -46,6 +53,19 @@ _URL_SCHEME = "cdn://"
 # Degenerate pool for servers with no kernel_pool attached: kernels run
 # inline (on the calling thread / event loop), byte-identically.
 _INLINE_POOL = KernelPool(workers=0)
+
+
+class _NullToken:
+    """Stand-in admission token when no controller is configured."""
+
+    def __enter__(self) -> "_NullToken":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_TOKEN = _NullToken()
 
 
 def pad_url(pad_id: str, version: str) -> str:
@@ -106,6 +126,8 @@ class ApplicationServer:
         telemetry: Optional[Telemetry] = None,
         kernel_pool: Optional[KernelPool] = None,
         chunk_store: Optional[ChunkStore] = None,
+        admission=None,
+        deadline_clock: Callable[[], float] = time.monotonic,
     ):
         self.app_id = app_id
         self.corpus = corpus
@@ -119,6 +141,12 @@ class ApplicationServer:
         # paths route part encoding through a StoreBackedResponder so
         # equal content is chunked/compressed once across all sessions.
         self.chunk_store = chunk_store
+        # Optional AdmissionController consulted before any encode work;
+        # None (the default) admits everything.  ``deadline_clock`` is
+        # the monotonic clock propagated ``"dl"`` budgets anchor to —
+        # injectable so tests make mid-request expiry deterministic.
+        self.admission = admission
+        self.deadline_clock = deadline_clock
         self._responder: Optional[StoreBackedResponder] = None
         self.stats = ServerStats(self.telemetry.registry)
         self._protocols: dict[str, CommProtocol] = {}
@@ -315,7 +343,30 @@ class ApplicationServer:
             self._responder = responder
         return responder
 
-    def serve_app_request(self, body: dict) -> dict:
+    def _check_part_deadline(
+        self, deadline: Optional[Deadline], part_idx: int, total_parts: int
+    ) -> None:
+        """Shed the remaining parts when the propagated budget is gone.
+
+        Encoding work already done is sunk cost; everything after this
+        check would be wasted on a client that has stopped waiting, so
+        the request fails here with an exact count of the parts shed.
+        """
+        if deadline is None or not deadline.expired:
+            return
+        remaining = total_parts - part_idx
+        registry = self.telemetry.registry
+        registry.counter("appserver.overload.parts_shed").inc(remaining)
+        registry.counter("appserver.overload.deadline_midrequest").inc()
+        raise DeadlineExceededError(
+            deadline_error_text(
+                f"shed {remaining} of {total_parts} parts mid-request"
+            )
+        )
+
+    def serve_app_request(
+        self, body: dict, *, deadline: Optional[Deadline] = None
+    ) -> dict:
         """The server half of an APP_REQ: encode every requested part."""
         registry = self.telemetry.registry
         registry.counter("appserver.requests").inc()
@@ -336,6 +387,7 @@ class ApplicationServer:
         responses = []
         with self.telemetry.tracer.span("server.encode", app=self.app_id):
             for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
+                self._check_part_deadline(deadline, part_idx, len(new_parts))
                 request = inp.b64d(req_b64)
                 registry.counter("appserver.bytes_in").inc(len(request))
                 old = (
@@ -390,7 +442,11 @@ class ApplicationServer:
         return stack_spec(pads)
 
     async def serve_app_request_async(
-        self, body: dict, *, shard_key: Optional[str] = None
+        self,
+        body: dict,
+        *,
+        shard_key: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
     ) -> dict:
         """The APP_REQ server half without blocking the event loop.
 
@@ -421,6 +477,7 @@ class ApplicationServer:
         responses = []
         with self.telemetry.tracer.span("server.encode", app=self.app_id):
             for part_idx, (req_b64, new) in enumerate(zip(part_requests, new_parts)):
+                self._check_part_deadline(deadline, part_idx, len(new_parts))
                 request = inp.b64d(req_b64)
                 registry.counter("appserver.bytes_in").inc(len(request))
                 old = (
@@ -464,6 +521,31 @@ class ApplicationServer:
 
     # -- INP transport handler ---------------------------------------------------
 
+    def _admission_gate(self, msg: INPMessage):
+        """Entry overload checks, cheapest first: expired propagated
+        deadline (nobody is waiting), then admission.  Returns
+        ``(reject_bytes, None, None)`` on a shed, else
+        ``(None, token, deadline)`` where ``token`` releases the
+        inflight slot (a no-op context when admission is off) and the
+        caller serves inside ``with token:``."""
+        deadline = Deadline.from_wire_ms(msg.deadline_ms, clock=self.deadline_clock)
+        if deadline is not None and deadline.expired:
+            self.telemetry.registry.counter(
+                "appserver.overload.deadline_entry"
+            ).inc()
+            return (
+                inp.encode(inp.error_reply(msg, deadline_error_text("appserver entry"))),
+                None,
+                None,
+            )
+        if self.admission is not None:
+            try:
+                token = self.admission.admit()
+            except ServerOverloadedError as exc:
+                return inp.encode(overload_reply(msg, exc)), None, None
+            return None, token, deadline
+        return None, _NULL_TOKEN, deadline
+
     def handle(self, request: bytes) -> bytes:
         try:
             msg = inp.decode(request)
@@ -474,9 +556,14 @@ class ApplicationServer:
             return inp.encode(
                 inp.error_reply(msg, f"appserver cannot handle {msg.msg_type.value}")
             )
+        rejected, token, deadline = self._admission_gate(msg)
+        if rejected is not None:
+            return rejected
         try:
-            body = self.serve_app_request(msg.body)
-        except (ProtocolMismatchError, NegotiationError, IndexError, ValueError) as exc:
+            with token:
+                body = self.serve_app_request(msg.body, deadline=deadline)
+        except (ProtocolMismatchError, NegotiationError, DeadlineExceededError,
+                IndexError, ValueError) as exc:
             return inp.encode(inp.error_reply(msg, str(exc)))
         return inp.encode(msg.reply(MsgType.APP_REP, body))
 
@@ -491,13 +578,18 @@ class ApplicationServer:
             return inp.encode(
                 inp.error_reply(msg, f"appserver cannot handle {msg.msg_type.value}")
             )
+        rejected, token, deadline = self._admission_gate(msg)
+        if rejected is not None:
+            return rejected
         try:
             # The session id shards this session's kernel work onto one
             # worker process (stable placement, warm stack cache there).
-            body = await self.serve_app_request_async(
-                msg.body, shard_key=msg.session_id
-            )
-        except (ProtocolMismatchError, NegotiationError, IndexError, ValueError) as exc:
+            with token:
+                body = await self.serve_app_request_async(
+                    msg.body, shard_key=msg.session_id, deadline=deadline
+                )
+        except (ProtocolMismatchError, NegotiationError, DeadlineExceededError,
+                IndexError, ValueError) as exc:
             return inp.encode(inp.error_reply(msg, str(exc)))
         return inp.encode(msg.reply(MsgType.APP_REP, body))
 

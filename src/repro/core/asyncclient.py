@@ -48,6 +48,13 @@ class AsyncFractalClient(FractalClient):
                 "degrade_to_direct; use the synchronous client for "
                 "resilience experiments"
             )
+        if self.breaker_board is not None or self.deadline_s is not None:
+            raise ValueError(
+                "AsyncFractalClient does not support breaker_board or "
+                "deadline_s; use the synchronous client for overload "
+                "experiments (server-side admission and deadline "
+                "enforcement still apply to async traffic)"
+            )
 
     async def _rpc_async(self, dst: str, msg: INPMessage) -> INPMessage:
         reply_bytes = await self._transport.request(self.name, dst, inp.encode(msg))

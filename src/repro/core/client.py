@@ -33,6 +33,8 @@ from ..mobilecode import (
     SigningError,
     TrustStore,
 )
+from ..overload import DEADLINE_PREFIX, OVERLOADED_PREFIX, Deadline, deadline_error_text
+from ..overload.breaker import BreakerBoard
 from ..protocols import CommProtocol
 from ..protocols.direct import DirectProtocol
 from ..protocols.stack import ProtocolStack
@@ -41,7 +43,13 @@ from ..telemetry import Telemetry
 from ..workload.profiles import ClientEnvironment
 from . import inp
 from .appserver import url_key
-from .errors import FractalError, NegotiationError, ProtocolMismatchError
+from .errors import (
+    DeadlineExceededError,
+    FractalError,
+    NegotiationError,
+    ProtocolMismatchError,
+    ServerOverloadedError,
+)
 from .inp import INPMessage, MsgType
 from .metadata import DevMeta, NtwkMeta, PADMeta
 from .retry import RetryPolicy
@@ -51,10 +59,19 @@ __all__ = ["FractalClient", "SessionResult", "NegotiationOutcome", "check_reply"
 DEGRADED_PAD_ID = "direct"
 
 # Errors worth a retry: the transport lost/garbled a frame, the peer
-# answered out-of-protocol (e.g. a proxy restart wiped our session), or
-# the negotiation reply was unusable.  Anything else is a local bug and
+# answered out-of-protocol (e.g. a proxy restart wiped our session), the
+# negotiation reply was unusable, or the server shed us at admission
+# (retryable by design — the rejection carries a retry_after hint).
+# DeadlineExceededError and BreakerOpenError are deliberately absent:
+# an exhausted budget cannot be retried into existence, and an open
+# breaker exists to *stop* traffic.  Anything else is a local bug and
 # propagates immediately.
-_RETRYABLE_WIRE = (TransportError, ProtocolMismatchError, NegotiationError)
+_RETRYABLE_WIRE = (
+    TransportError,
+    ProtocolMismatchError,
+    NegotiationError,
+    ServerOverloadedError,
+)
 _RETRYABLE_PAD = (MobileCodeError, SigningError)
 
 _session_counter = itertools.count(1)
@@ -68,17 +85,38 @@ def check_reply(request: INPMessage, reply: INPMessage) -> INPMessage:
     and advance the sequence number.  Error packets from handlers that
     never saw a valid header are exempt.  Shared by the sync and async
     clients so both enforce identical wire discipline.
+
+    Overload rejections are re-raised as their typed errors here — an
+    admission shed becomes :class:`ServerOverloadedError` (retryable,
+    carrying the server's ``retry_after_ms`` hint) and a deadline shed
+    becomes :class:`DeadlineExceededError` (not retryable) — so every
+    caller sees one vocabulary whether the budget died locally or at
+    the server.  Other error replies pass through for ``expect()`` to
+    report as before.
     """
-    if reply.msg_type is not MsgType.INP_ERROR:
-        if reply.session_id != request.session_id:
-            raise ProtocolMismatchError(
-                f"reply session {reply.session_id!r} does not match "
-                f"request session {request.session_id!r}"
-            )
-        if reply.seq != request.seq + 1:
-            raise ProtocolMismatchError(
-                f"reply seq {reply.seq} is not request seq {request.seq} + 1"
-            )
+    if reply.msg_type is MsgType.INP_ERROR:
+        err = reply.body.get("error")
+        if isinstance(err, str):
+            if err.startswith(OVERLOADED_PREFIX):
+                hint = reply.body.get("retry_after_ms")
+                retry_after_s = (
+                    hint / 1000.0
+                    if isinstance(hint, (int, float)) and not isinstance(hint, bool)
+                    else None
+                )
+                raise ServerOverloadedError(err, retry_after_s=retry_after_s)
+            if err.startswith(DEADLINE_PREFIX):
+                raise DeadlineExceededError(err)
+        return reply
+    if reply.session_id != request.session_id:
+        raise ProtocolMismatchError(
+            f"reply session {reply.session_id!r} does not match "
+            f"request session {request.session_id!r}"
+        )
+    if reply.seq != request.seq + 1:
+        raise ProtocolMismatchError(
+            f"reply seq {reply.seq} is not request seq {request.seq} + 1"
+        )
     return reply
 
 
@@ -131,6 +169,8 @@ class FractalClient:
         telemetry: Optional[Telemetry] = None,
         retry_policy: Optional[RetryPolicy] = None,
         degrade_to_direct: bool = False,
+        breaker_board: Optional[BreakerBoard] = None,
+        deadline_s: Optional[float] = None,
     ):
         self.name = name
         self.environment = environment
@@ -146,6 +186,16 @@ class FractalClient:
         # tests and the byte-identical-baseline chaos check rely on.
         self.retry_policy = retry_policy
         self.degrade_to_direct = degrade_to_direct
+        # Overload-control knobs, also both off by default.  A breaker
+        # board trips per-destination circuit breakers on transport and
+        # overload failures (an open breaker fails sessions fast — and
+        # with degrade_to_direct, degrades them — without touching the
+        # wire).  ``deadline_s`` gives every request_page() call a total
+        # budget, stamped on each RPC as the INP ``"dl"`` field so the
+        # proxy and appserver can shed work the client stopped waiting
+        # for.
+        self.breaker_board = breaker_board
+        self.deadline_s = deadline_s
         # Protocol cache: (app_id, dev key, ntwk key) -> PADMeta tuple.
         self._protocol_cache: dict[tuple, tuple[PADMeta, ...]] = {}
         # Deployed stacks: same key -> live protocol instance.
@@ -191,16 +241,64 @@ class FractalClient:
 
     # -- negotiation --------------------------------------------------------------
 
-    def _rpc(self, dst: str, msg: INPMessage) -> INPMessage:
-        reply_bytes = self._transport.request(self.name, dst, inp.encode(msg))
-        return check_reply(msg, inp.decode(reply_bytes))
+    def _rpc(
+        self, dst: str, msg: INPMessage, *, deadline: Optional[Deadline] = None
+    ) -> INPMessage:
+        """One wire exchange, through the overload-control gauntlet.
+
+        Order matters: the local deadline check is free and means an
+        exhausted budget never consumes a breaker probe; the breaker
+        check is next so an open breaker costs no wire traffic; only
+        then does the request (stamped with the remaining budget) go
+        out.  Transport failures and admission sheds feed the breaker;
+        other errors are neutral for it.
+        """
+        registry = self.telemetry.registry
+        if deadline is not None:
+            remaining_s = deadline.remaining_s()
+            if remaining_s <= 0:
+                registry.counter("client.deadline.expired_local").inc()
+                raise DeadlineExceededError(
+                    deadline_error_text(f"client budget before RPC to {dst}")
+                )
+            msg = msg.with_deadline(remaining_s * 1000.0)
+        breaker = (
+            self.breaker_board.breaker(dst)
+            if self.breaker_board is not None
+            else None
+        )
+        if breaker is not None and not breaker.allow():
+            registry.counter("client.breaker.fast_fail").inc()
+            raise breaker.reject()
+        try:
+            reply_bytes = self._transport.request(self.name, dst, inp.encode(msg))
+            reply = check_reply(msg, inp.decode(reply_bytes))
+        except (TransportError, ServerOverloadedError) as exc:
+            if isinstance(exc, ServerOverloadedError):
+                registry.counter("client.overload.rejections").inc()
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        except BaseException:
+            if breaker is not None:
+                breaker.release_probe()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return reply
 
     def _count_retry(self, stage: str) -> None:
         registry = self.telemetry.registry
         registry.counter("client.retries").inc()
         registry.counter(f"client.retries.{stage}").inc()
 
-    def negotiate(self, app_id: str, *, force: bool = False) -> NegotiationOutcome:
+    def negotiate(
+        self,
+        app_id: str,
+        *,
+        force: bool = False,
+        deadline: Optional[Deadline] = None,
+    ) -> NegotiationOutcome:
         """Protocol-cache-first negotiation with the adaptation proxy.
 
         With a :class:`RetryPolicy`, a failed wire exchange is re-run
@@ -216,10 +314,10 @@ class FractalClient:
                 return NegotiationOutcome(cached, 0.0, from_cache=True)
         registry.counter("client.negotiations").inc()
         if self.retry_policy is None:
-            pads, duration_s = self._negotiate_once(app_id)
+            pads, duration_s = self._negotiate_once(app_id, deadline=deadline)
         else:
             pads, duration_s = self.retry_policy.call(
-                lambda: self._negotiate_once(app_id),
+                lambda: self._negotiate_once(app_id, deadline=deadline),
                 retryable=_RETRYABLE_WIRE,
                 key=f"{self.name}:negotiate:{app_id}",
                 on_retry=lambda *_: self._count_retry("negotiate"),
@@ -227,14 +325,18 @@ class FractalClient:
         self._protocol_cache[key] = pads
         return NegotiationOutcome(pads, duration_s, from_cache=False)
 
-    def _negotiate_once(self, app_id: str) -> tuple[tuple[PADMeta, ...], float]:
+    def _negotiate_once(
+        self, app_id: str, *, deadline: Optional[Deadline] = None
+    ) -> tuple[tuple[PADMeta, ...], float]:
         """One full INIT_REQ → PAD_META_REP exchange in its own session."""
         session_id = f"{self.name}-{next(_session_counter)}"
         with self.telemetry.tracer.span(
             "negotiate", trace=session_id, client=self.name, app=app_id
         ) as span:
             init = INPMessage(MsgType.INIT_REQ, session_id, 0, {"app_id": app_id})
-            init_rep = self._rpc(self.proxy_endpoint, init).expect(MsgType.INIT_REP)
+            init_rep = self._rpc(
+                self.proxy_endpoint, init, deadline=deadline
+            ).expect(MsgType.INIT_REP)
             if "cli_meta_req" not in init_rep.body:
                 raise ProtocolMismatchError("INIT_REP did not carry CLI_META_REQ")
             cli_meta = init_rep.reply(
@@ -244,9 +346,9 @@ class FractalClient:
                     "ntwk_meta": self.probe_ntwk_meta().to_wire(),
                 },
             )
-            pad_rep = self._rpc(self.proxy_endpoint, cli_meta).expect(
-                MsgType.PAD_META_REP
-            )
+            pad_rep = self._rpc(
+                self.proxy_endpoint, cli_meta, deadline=deadline
+            ).expect(MsgType.PAD_META_REP)
             pads_wire = pad_rep.body.get("pads")
             if not isinstance(pads_wire, list) or not pads_wire:
                 raise NegotiationError("PAD_META_REP carried no PAD metadata")
@@ -355,11 +457,16 @@ class FractalClient:
         tracer = self.telemetry.tracer
         trace_id = f"{self.name}-p{next(_session_counter)}"
         degraded = False
+        deadline = (
+            Deadline.after(self.deadline_s) if self.deadline_s is not None else None
+        )
         with tracer.span(
             "session", trace=trace_id, client=self.name, app=app_id, page=page_id
         ) as session_span:
             try:
-                outcome = self.negotiate(app_id, force=force_negotiation)
+                outcome = self.negotiate(
+                    app_id, force=force_negotiation, deadline=deadline
+                )
                 key = self._cache_key(app_id)
                 try:
                     stack, pad_bytes, retrieval_s = self._deploy_stack(
@@ -371,7 +478,7 @@ class FractalClient:
                     # cached negotiation and retry once against the proxy.
                     self._protocol_cache.pop(key, None)
                     self._stacks.pop(key, None)
-                    outcome = self.negotiate(app_id, force=True)
+                    outcome = self.negotiate(app_id, force=True, deadline=deadline)
                     stack, pad_bytes, retrieval_s = self._deploy_stack(
                         key, outcome.pads
                     )
@@ -418,15 +525,19 @@ class FractalClient:
             )
             with tracer.span("app_exchange"):
                 if self.retry_policy is None:
-                    rep = self._rpc(self.appserver_endpoint, req).expect(
-                        MsgType.APP_REP
-                    )
+                    rep = self._rpc(
+                        self.appserver_endpoint, req, deadline=deadline
+                    ).expect(MsgType.APP_REP)
                 else:
                     rep = self.retry_policy.call(
-                        lambda: self._rpc(self.appserver_endpoint, req).expect(
-                            MsgType.APP_REP
+                        lambda: self._rpc(
+                            self.appserver_endpoint, req, deadline=deadline
+                        ).expect(MsgType.APP_REP),
+                        retryable=(
+                            TransportError,
+                            ProtocolMismatchError,
+                            ServerOverloadedError,
                         ),
-                        retryable=(TransportError, ProtocolMismatchError),
                         key=f"{self.name}:app:{page_id}",
                         on_retry=lambda *_: self._count_retry("app"),
                     )

@@ -8,6 +8,10 @@ __all__ = [
     "PATError",
     "NegotiationError",
     "ProtocolMismatchError",
+    "OverloadError",
+    "ServerOverloadedError",
+    "DeadlineExceededError",
+    "BreakerOpenError",
 ]
 
 
@@ -29,3 +33,33 @@ class NegotiationError(FractalError):
 
 class ProtocolMismatchError(FractalError):
     """Client and server disagree about the negotiated protocol."""
+
+
+class OverloadError(FractalError):
+    """Base class for overload-control signals (admission, deadlines,
+    breakers).  Subclass of :class:`FractalError` so the client's
+    ``degrade_to_direct`` path catches every overload outcome without
+    new plumbing."""
+
+
+class ServerOverloadedError(OverloadError):
+    """The server shed this request at admission.
+
+    Retryable: carries the server's ``retry_after_s`` hint (seconds,
+    or ``None``) which :class:`~repro.core.retry.RetryPolicy` folds
+    into its backoff schedule.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(OverloadError):
+    """The request's propagated deadline expired (locally or at the
+    server).  Not retryable — the budget is gone by definition."""
+
+
+class BreakerOpenError(OverloadError):
+    """A client-side circuit breaker is open: fail fast, no wire
+    traffic.  Not retryable through the same breaker."""

@@ -17,6 +17,14 @@ Every packet carries an INP header (protocol version, message type,
 session id, sequence number) for protocol integrity; the body is a JSON
 object, with binary fields base64-armored.  The codec is deliberately
 self-describing so it can cross the real TCP transport unchanged.
+
+Requests may additionally carry a deadline in the optional ``"dl"``
+envelope key: the sender's *remaining budget in milliseconds*.  The
+budget is relative, not an absolute timestamp, so clock skew between
+hosts is irrelevant — each hop re-derives an absolute expiry against
+its own monotonic clock.  The key is omitted entirely when no deadline
+is set, keeping the wire bytes of deadline-free traffic (and the
+frozen golden vectors) identical to every prior version.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 import base64
 import enum
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -67,14 +76,30 @@ class INPMessage:
     seq: int
     body: dict = field(default_factory=dict)
     version: int = INP_VERSION
+    deadline_ms: float | None = None
 
     def reply(self, msg_type: MsgType, body: dict | None = None) -> "INPMessage":
-        """A response in the same session with the next sequence number."""
+        """A response in the same session with the next sequence number.
+
+        Replies never carry a deadline — the budget travels with
+        requests only.
+        """
         return INPMessage(
             msg_type=msg_type,
             session_id=self.session_id,
             seq=self.seq + 1,
             body=body or {},
+        )
+
+    def with_deadline(self, remaining_ms: float | None) -> "INPMessage":
+        """This message stamped with a remaining budget (or stripped)."""
+        return INPMessage(
+            msg_type=self.msg_type,
+            session_id=self.session_id,
+            seq=self.seq,
+            body=self.body,
+            version=self.version,
+            deadline_ms=remaining_ms,
         )
 
     def expect(self, msg_type: MsgType) -> "INPMessage":
@@ -98,6 +123,8 @@ def encode(msg: INPMessage) -> bytes:
         "seq": msg.seq,
         "body": msg.body,
     }
+    if msg.deadline_ms is not None:
+        envelope["dl"] = msg.deadline_ms
     return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
 
@@ -122,7 +149,20 @@ def decode(blob: bytes) -> INPMessage:
         raise ProtocolMismatchError("INP header fields malformed")
     if not isinstance(body, dict):
         raise ProtocolMismatchError("INP body must be an object")
-    return INPMessage(msg_type=msg_type, session_id=session, seq=seq, body=body)
+    deadline_ms = envelope.get("dl")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise ProtocolMismatchError("INP deadline must be a number")
+        deadline_ms = float(deadline_ms)
+        if not math.isfinite(deadline_ms):
+            raise ProtocolMismatchError("INP deadline must be finite")
+    return INPMessage(
+        msg_type=msg_type,
+        session_id=session,
+        seq=seq,
+        body=body,
+        deadline_ms=deadline_ms,
+    )
 
 
 def error_reply(msg: INPMessage, text: str) -> INPMessage:

@@ -35,8 +35,11 @@ import asyncio
 import itertools
 import multiprocessing
 import os
+import threading
+import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from pathlib import Path
 from typing import Any, Optional
 
@@ -207,6 +210,30 @@ def _k_vary_encode(
     return _k_stack_respond(spec, b"", old, new)
 
 
+# -- chaos kernels -------------------------------------------------------------
+#
+# Deliberate failure injectors for the supervision tests and the
+# overload bench: a worker that dies mid-task (``chaos.exit``), a worker
+# that hangs (``chaos.sleep``), and a kernel that raises an ordinary
+# exception (``chaos.boom`` — which must propagate as an application
+# error, *not* trigger a shard restart).  Never run ``chaos.exit`` on an
+# inline (``workers=0``) pool: there is no worker process to kill, only
+# the caller.
+
+
+def _k_chaos_exit(code: int = 3) -> None:
+    os._exit(int(code))
+
+
+def _k_chaos_sleep(seconds: float) -> bytes:
+    time.sleep(float(seconds))
+    return b"slept"
+
+
+def _k_chaos_boom(message: str = "boom") -> None:
+    raise RuntimeError(message)
+
+
 KERNELS = {
     "ping": _k_ping,
     "stack.respond": _k_stack_respond,
@@ -216,6 +243,9 @@ KERNELS = {
     "cdc.record": _k_cdc_record,
     "cdc.record_batch": _k_cdc_record_batch,
     "vary.encode": _k_vary_encode,
+    "chaos.exit": _k_chaos_exit,
+    "chaos.sleep": _k_chaos_sleep,
+    "chaos.boom": _k_chaos_boom,
 }
 
 # Batch kernels take a list of payloads as their first argument and
@@ -262,6 +292,20 @@ class KernelPool:
     start but is unsafe from a process that already runs threads (the
     serving stack always does), and spawn behaves identically across
     platforms.  Startup cost is paid once, in :meth:`warm`.
+
+    **Supervision** (on by default for sharded pools): a worker that
+    dies mid-task (``BrokenProcessPool``) or exceeds ``task_timeout_s``
+    gets its shard's executor shut down and replaced, and the task is
+    retried once on the fresh worker.  A second failure raises
+    :class:`KernelPoolError` — a task that kills two workers in a row
+    is treated as poison and is deliberately *never* executed inline in
+    the serving process.  A shard that exhausts ``max_shard_restarts``
+    is disabled and its traffic reroutes to the next live shard (losing
+    only cache affinity, never correctness — kernels are deterministic
+    and byte-identical on any worker).  Ordinary kernel exceptions
+    propagate untouched: an application error is not a worker failure.
+    ``supervised=False`` restores the raw pre-supervision behaviour
+    (first ``BrokenProcessPool`` propagates, shard stays poisoned).
     """
 
     def __init__(
@@ -270,12 +314,33 @@ class KernelPool:
         *,
         mp_context: str = "spawn",
         warm: bool = True,
+        supervised: bool = True,
+        task_timeout_s: Optional[float] = None,
+        max_shard_restarts: int = 3,
+        registry=None,
     ) -> None:
         if workers < 0:
             raise KernelPoolError(f"workers must be >= 0, got {workers}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise KernelPoolError(
+                f"task_timeout_s must be positive, got {task_timeout_s}"
+            )
+        if max_shard_restarts < 0:
+            raise KernelPoolError(
+                f"max_shard_restarts must be >= 0, got {max_shard_restarts}"
+            )
         self.workers = workers
+        self.supervised = supervised
+        self.task_timeout_s = task_timeout_s
+        self.max_shard_restarts = max_shard_restarts
+        self._registry = registry
+        self._mp_context = mp_context
         self._rr = itertools.count()
-        self._shards: list[ProcessPoolExecutor] = []
+        # ``None`` entries are disabled shards (restart budget spent);
+        # list length stays == workers so placement hashing is stable.
+        self._shards: list[Optional[ProcessPoolExecutor]] = []
+        self._restarts: list[int] = []
+        self._sup_lock = threading.Lock()
         if workers:
             _ensure_child_import_path()
             ctx = multiprocessing.get_context(mp_context)
@@ -283,6 +348,7 @@ class KernelPool:
                 ProcessPoolExecutor(max_workers=1, mp_context=ctx)
                 for _ in range(workers)
             ]
+            self._restarts = [0] * workers
             if warm:
                 self.warm()
 
@@ -290,9 +356,18 @@ class KernelPool:
     def inline(self) -> bool:
         return not self._shards
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._registry is not None and amount:
+            self._registry.counter(name).inc(amount)
+
     def warm(self) -> None:
         """Spin every worker process up now, not on the first request."""
-        for fut in [shard.submit(run_kernel, "ping") for shard in self._shards]:
+        futures = [
+            shard.submit(run_kernel, "ping")
+            for shard in self._shards
+            if shard is not None
+        ]
+        for fut in futures:
             fut.result()
 
     def shard_index(self, key: Any) -> int:
@@ -302,16 +377,179 @@ class KernelPool:
         raw = key if isinstance(key, bytes) else str(key).encode("utf-8")
         return zlib.crc32(raw) % len(self._shards)
 
-    def _shard(self, key: Optional[Any]) -> ProcessPoolExecutor:
+    def _placement(self, key: Optional[Any]) -> int:
         if key is None:
-            return self._shards[next(self._rr) % len(self._shards)]
-        return self._shards[self.shard_index(key)]
+            return next(self._rr) % len(self._shards)
+        return self.shard_index(key)
+
+    def _shard(self, key: Optional[Any]) -> ProcessPoolExecutor:
+        shard = self._shards[self._placement(key)]
+        if shard is None:
+            raise KernelPoolError("shard disabled (restart budget exhausted)")
+        return shard
+
+    # -- supervision ------------------------------------------------------------
+
+    def _alive_index(self, idx: int) -> int:
+        """``idx`` if its shard is live, else the next live shard.
+
+        Rerouting costs only worker-side cache affinity; correctness is
+        untouched because every kernel is deterministic on any worker.
+        """
+        n = len(self._shards)
+        for probe in range(n):
+            j = (idx + probe) % n
+            if self._shards[j] is not None:
+                if probe:
+                    self._count("kernelpool.rerouted")
+                return j
+        raise KernelPoolError(
+            "all kernel-pool shards disabled (restart budgets exhausted)"
+        )
+
+    def _revive(self, idx: int, old_ex: ProcessPoolExecutor, reason: str) -> None:
+        """Replace a failed shard's executor (or disable the shard).
+
+        Identity-checked under the lock so concurrent callers observing
+        the same broken executor trigger exactly one restart.
+        """
+        with self._sup_lock:
+            if idx >= len(self._shards) or self._shards[idx] is not old_ex:
+                return
+            self._restarts[idx] += 1
+            self._count("kernelpool.restarts")
+            self._count(f"kernelpool.restarts.{reason}")
+            if reason == "timeout":
+                # shutdown() alone waits politely for the running task;
+                # a hung worker needs the process killed.  Best-effort:
+                # _processes is executor-private but stable across the
+                # supported CPythons, and a miss only means the stuck
+                # process lingers until its task finishes.
+                procs = getattr(old_ex, "_processes", None) or {}
+                for proc in list(procs.values()):
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass
+            try:
+                old_ex.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            if self._restarts[idx] > self.max_shard_restarts:
+                self._shards[idx] = None
+                self._count("kernelpool.shards_disabled")
+                return
+            ctx = multiprocessing.get_context(self._mp_context)
+            new_ex = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+            self._shards[idx] = new_ex
+        # Pre-warm the replacement outside the lock (same contract as
+        # ``warm=True`` at construction): process-spawn cost must not be
+        # billed against the retried task's ``task_timeout_s``.
+        try:
+            new_ex.submit(run_kernel, "ping").result()
+        except Exception:
+            pass  # next use will observe the breakage and revive again
+
+    def _submit(self, task: str, args: tuple, idx: int):
+        """Submit to a live shard, reviving through submit-time breakage.
+
+        Returns ``(idx, executor, future)``; the executor is captured so
+        result-time failures revive exactly the instance that ran the
+        task (not a replacement installed meanwhile).
+        """
+        while True:
+            idx = self._alive_index(idx)
+            ex = self._shards[idx]
+            if ex is None:  # raced a disable; reroute again
+                continue
+            try:
+                return idx, ex, ex.submit(run_kernel, task, *args)
+            except BrokenExecutor:
+                self._count("kernelpool.crashes")
+                self._revive(idx, ex, "crash")
+
+    def _finish(self, idx: int, ex, fut, task: str, args: tuple) -> Any:
+        try:
+            return fut.result(self.task_timeout_s)
+        except FuturesTimeout:
+            self._count("kernelpool.timeouts")
+            self._revive(idx, ex, "timeout")
+        except BrokenExecutor:
+            self._count("kernelpool.crashes")
+            self._revive(idx, ex, "crash")
+        idx2, ex2, fut2 = self._submit(task, args, idx)
+        try:
+            return fut2.result(self.task_timeout_s)
+        except FuturesTimeout:
+            self._count("kernelpool.timeouts")
+            self._revive(idx2, ex2, "timeout")
+            raise KernelPoolError(
+                f"kernel {task!r} timed out twice (>{self.task_timeout_s}s); "
+                "giving up"
+            ) from None
+        except BrokenExecutor as exc:
+            self._count("kernelpool.crashes")
+            self._revive(idx2, ex2, "crash")
+            raise KernelPoolError(
+                f"kernel {task!r} crashed two workers in a row; treating it "
+                "as poison (never executed inline in the serving process)"
+            ) from exc
+
+    async def _finish_async(self, idx: int, ex, fut, task: str, args: tuple) -> Any:
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(fut), self.task_timeout_s
+            )
+        except (FuturesTimeout, asyncio.TimeoutError):
+            self._count("kernelpool.timeouts")
+            self._revive(idx, ex, "timeout")
+        except BrokenExecutor:
+            self._count("kernelpool.crashes")
+            self._revive(idx, ex, "crash")
+        idx2, ex2, fut2 = self._submit(task, args, idx)
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(fut2), self.task_timeout_s
+            )
+        except (FuturesTimeout, asyncio.TimeoutError):
+            self._count("kernelpool.timeouts")
+            self._revive(idx2, ex2, "timeout")
+            raise KernelPoolError(
+                f"kernel {task!r} timed out twice (>{self.task_timeout_s}s); "
+                "giving up"
+            ) from None
+        except BrokenExecutor as exc:
+            self._count("kernelpool.crashes")
+            self._revive(idx2, ex2, "crash")
+            raise KernelPoolError(
+                f"kernel {task!r} crashed two workers in a row; treating it "
+                "as poison (never executed inline in the serving process)"
+            ) from exc
+
+    def health(self) -> dict:
+        """Supervision snapshot: restarts and disabled shards per index."""
+        with self._sup_lock:
+            return {
+                "workers": self.workers,
+                "supervised": self.supervised,
+                "task_timeout_s": self.task_timeout_s,
+                "restarts": list(self._restarts),
+                "restarts_total": sum(self._restarts),
+                "disabled": [
+                    i for i, s in enumerate(self._shards) if s is None
+                ],
+            }
+
+    # -- execution --------------------------------------------------------------
 
     def run(self, task: str, *args: Any, shard_key: Optional[Any] = None) -> Any:
         """Execute a kernel synchronously (inline or on its shard)."""
         if not self._shards:
             return run_kernel(task, *args)
-        return self._shard(shard_key).submit(run_kernel, task, *args).result()
+        if not self.supervised:
+            return self._shard(shard_key).submit(run_kernel, task, *args).result()
+        idx, ex, fut = self._submit(task, args, self._placement(shard_key))
+        return self._finish(idx, ex, fut, task, args)
 
     async def run_async(
         self, task: str, *args: Any, shard_key: Optional[Any] = None
@@ -324,8 +562,11 @@ class KernelPool:
         """
         if not self._shards:
             return run_kernel(task, *args)
-        future = self._shard(shard_key).submit(run_kernel, task, *args)
-        return await asyncio.wrap_future(future)
+        if not self.supervised:
+            future = self._shard(shard_key).submit(run_kernel, task, *args)
+            return await asyncio.wrap_future(future)
+        idx, ex, fut = self._submit(task, args, self._placement(shard_key))
+        return await self._finish_async(idx, ex, fut, task, args)
 
     def _batch_groups(
         self, task: str, items: list, shard_keys: Optional[list]
@@ -367,15 +608,29 @@ class KernelPool:
         if not self._shards:
             return run_kernel(task, list(items), *args)
         groups = self._batch_groups(task, items, shard_keys)
-        futures = {
-            shard: self._shards[shard].submit(
-                run_kernel, task, [items[i] for i in idxs], *args
+        if not self.supervised:
+            futures = {
+                shard: self._shards[shard].submit(
+                    run_kernel, task, [items[i] for i in idxs], *args
+                )
+                for shard, idxs in groups.items()
+            }
+            out: list = [None] * len(items)
+            for shard, idxs in groups.items():
+                for i, result in zip(idxs, futures[shard].result()):
+                    out[i] = result
+            return out
+        submitted = {
+            shard: self._submit(
+                task, ([items[i] for i in idxs], *args), shard
             )
             for shard, idxs in groups.items()
         }
-        out: list = [None] * len(items)
+        out = [None] * len(items)
         for shard, idxs in groups.items():
-            for i, result in zip(idxs, futures[shard].result()):
+            idx, ex, fut = submitted[shard]
+            group_args = ([items[i] for i in idxs], *args)
+            for i, result in zip(idxs, self._finish(idx, ex, fut, task, group_args)):
                 out[i] = result
         return out
 
@@ -392,24 +647,41 @@ class KernelPool:
         if not self._shards:
             return run_kernel(task, list(items), *args)
         groups = self._batch_groups(task, items, shard_keys)
-        futures = {
-            shard: asyncio.wrap_future(
-                self._shards[shard].submit(
-                    run_kernel, task, [items[i] for i in idxs], *args
+        if not self.supervised:
+            futures = {
+                shard: asyncio.wrap_future(
+                    self._shards[shard].submit(
+                        run_kernel, task, [items[i] for i in idxs], *args
+                    )
                 )
+                for shard, idxs in groups.items()
+            }
+            out: list = [None] * len(items)
+            for shard, idxs in groups.items():
+                for i, result in zip(idxs, await futures[shard]):
+                    out[i] = result
+            return out
+        submitted = {
+            shard: self._submit(
+                task, ([items[i] for i in idxs], *args), shard
             )
             for shard, idxs in groups.items()
         }
-        out: list = [None] * len(items)
+        out = [None] * len(items)
         for shard, idxs in groups.items():
-            for i, result in zip(idxs, await futures[shard]):
+            idx, ex, fut = submitted[shard]
+            group_args = ([items[i] for i in idxs], *args)
+            results = await self._finish_async(idx, ex, fut, task, group_args)
+            for i, result in zip(idxs, results):
                 out[i] = result
         return out
 
     def close(self) -> None:
         for shard in self._shards:
-            shard.shutdown(wait=True, cancel_futures=True)
+            if shard is not None:
+                shard.shutdown(wait=True, cancel_futures=True)
         self._shards = []
+        self._restarts = []
 
     def __enter__(self) -> "KernelPool":
         return self

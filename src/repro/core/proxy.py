@@ -36,9 +36,10 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import Optional
 
+from ..overload import Deadline, deadline_error_text, overload_reply
 from ..telemetry import MetricsRegistry, Telemetry
 from . import inp
-from .errors import FractalError, NegotiationError
+from .errors import FractalError, NegotiationError, ServerOverloadedError
 from .inp import INPMessage, MsgType
 from .metadata import AppMeta, DevMeta, NtwkMeta, PADMeta
 from .overhead import OverheadModel
@@ -292,12 +293,16 @@ class AdaptationProxy:
         telemetry: Optional[Telemetry] = None,
         max_sessions: int = DEFAULT_MAX_SESSIONS,
         dist_max_entries: int = DistributionManager.DEFAULT_MAX_ENTRIES,
+        admission=None,
     ):
         if max_sessions < 1:
             raise NegotiationError(f"max_sessions must be >= 1, got {max_sessions}")
         self.name = name
         self.telemetry = telemetry or Telemetry()
         self.max_sessions = max_sessions
+        # Optional AdmissionController consulted before any negotiation
+        # work; None (the default) preserves admit-everything behaviour.
+        self.admission = admission
         self.negotiation = NegotiationManager(model)
         self.distribution = DistributionManager(
             max_entries=dist_max_entries, registry=self.telemetry.registry
@@ -372,13 +377,36 @@ class AdaptationProxy:
     # -- INP transport handler ----------------------------------------------------
 
     def handle(self, request: bytes) -> bytes:
-        """One INP request/response step."""
+        """One INP request/response step.
+
+        Overload checks run before any negotiation work, in cost
+        order: an already-expired propagated deadline is the cheapest
+        shed (the client has given up — nobody is waiting for this
+        reply), then admission.  Both rejections are ordinary typed
+        ``INP_ERROR`` replies, not protocol violations.
+        """
         try:
             msg = inp.decode(request)
         except Exception as exc:  # malformed packet: no session to reply into
             self.telemetry.registry.counter("proxy.errors").inc()
             err = INPMessage(MsgType.INP_ERROR, "unknown", 0, {"error": str(exc)})
             return inp.encode(err)
+        deadline = Deadline.from_wire_ms(msg.deadline_ms)
+        if deadline is not None and deadline.expired:
+            self.telemetry.registry.counter("proxy.overload.deadline_expired").inc()
+            return inp.encode(
+                inp.error_reply(msg, deadline_error_text("proxy entry"))
+            )
+        if self.admission is not None:
+            try:
+                token = self.admission.admit()
+            except ServerOverloadedError as exc:
+                return inp.encode(overload_reply(msg, exc))
+            with token:
+                return self._handle_admitted(msg)
+        return self._handle_admitted(msg)
+
+    def _handle_admitted(self, msg: INPMessage) -> bytes:
         try:
             reply = self._dispatch(msg)
         except (FractalError, KeyError, ValueError) as exc:

@@ -89,6 +89,14 @@ class RetryPolicy:
         ``on_retry(attempt, delay_s, exc)`` fires before each retry —
         the client uses it to bump telemetry counters and poison bad
         CDN edges.  Non-``retryable`` exceptions propagate immediately.
+
+        Exceptions carrying a positive ``retry_after_s`` attribute (the
+        server-side hint on
+        :class:`~repro.core.errors.ServerOverloadedError`) raise the
+        computed backoff to at least that value, capped at
+        ``max_delay_s`` — an overloaded server's explicit "come back in
+        X" beats the client's own schedule, but cannot stretch a delay
+        past the policy's ceiling.
         """
         spent = 0.0
         attempt = 1
@@ -99,6 +107,9 @@ class RetryPolicy:
                 if attempt >= self.max_attempts:
                     raise
                 delay = self.delay_s(attempt, key)
+                hint = getattr(exc, "retry_after_s", None)
+                if isinstance(hint, (int, float)) and hint > 0:
+                    delay = max(delay, min(float(hint), self.max_delay_s))
                 if spent + delay > self.budget_s:
                     raise
                 spent += delay

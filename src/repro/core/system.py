@@ -102,6 +102,8 @@ class CaseStudySystem:
         failover_fetch: bool = False,
         transport: Optional[object] = None,
         client_cls: type = FractalClient,
+        breaker_board=None,
+        deadline_s: Optional[float] = None,
     ) -> FractalClient:
         """A new client host at ``site`` (defaults round-robin over sites).
 
@@ -121,6 +123,12 @@ class CaseStudySystem:
         selects the client implementation (the async load path passes
         :class:`~repro.core.asyncclient.AsyncFractalClient` together
         with an asyncio transport).
+
+        The overload knobs also default off: ``breaker_board`` arms
+        per-destination circuit breakers (share one board across
+        clients to model a host-wide view of dependency health) and
+        ``deadline_s`` gives each session a total budget propagated on
+        the INP ``"dl"`` field (see :mod:`repro.overload`).
         """
         sites = self.deployment.client_sites
         if site is None:
@@ -151,6 +159,8 @@ class CaseStudySystem:
             telemetry=self.telemetry,
             retry_policy=retry_policy,
             degrade_to_direct=degrade_to_direct,
+            breaker_board=breaker_board,
+            deadline_s=deadline_s,
         )
         self.clients.append(client)
         return client
@@ -190,6 +200,8 @@ def build_case_study(
     pad_init_overrides: Optional[dict[str, dict]] = None,
     proxy_max_sessions: int = AdaptationProxy.DEFAULT_MAX_SESSIONS,
     proxy_dist_max_entries: int = 4096,
+    proxy_admission=None,
+    appserver_admission=None,
 ) -> CaseStudySystem:
     """Assemble the full case-study system.
 
@@ -217,6 +229,12 @@ def build_case_study(
     observable at test scale.  ``proxy_dist_max_entries`` likewise sizes
     the distribution manager's adaptation cache (attacker-controlled
     metadata keys) so negotiation storms hit the LRU bound.
+
+    ``proxy_admission`` / ``appserver_admission`` attach optional
+    :class:`~repro.overload.AdmissionController` instances (token
+    bucket + max-inflight) consulted before any negotiation or encode
+    work; ``None`` (the default) admits everything, preserving
+    pre-overload-control behaviour exactly.
     """
     pad_ids = tuple(pad_ids)
     # One shared bundle for the whole testbed: client spans and proxy
@@ -257,6 +275,7 @@ def build_case_study(
         proactive=proactive,
         telemetry=telemetry,
         chunk_store=chunk_store,
+        admission=appserver_admission,
     )
     for meta in case_study_app_meta_pads(overheads, pad_ids, pad_init_overrides):
         appserver.deploy_pad(meta)
@@ -268,6 +287,7 @@ def build_case_study(
         telemetry=telemetry,
         max_sessions=proxy_max_sessions,
         dist_max_entries=proxy_dist_max_entries,
+        admission=proxy_admission,
     )
 
     deployment = build_deployment(

@@ -1,0 +1,57 @@
+"""Overload control for the Fractal serving core (DESIGN.md §15).
+
+Four cooperating mechanisms, all deterministic under injectable
+clocks so every behaviour is provable in tests and benches:
+
+- :class:`~repro.overload.deadline.Deadline` — propagated
+  remaining-budget deadlines (the INP ``"dl"`` envelope key), checked
+  at server entry and between response parts.
+- :class:`~repro.overload.admission.AdmissionController` — token
+  bucket + max-inflight admission at the proxy and application
+  server; rejections are cheap typed replies with a retry hint.
+- :class:`~repro.overload.breaker.CircuitBreaker` /
+  :class:`~repro.overload.breaker.BreakerBoard` — client-side
+  per-destination fail-fast when a dependency keeps failing.
+- kernel-pool supervision lives in
+  :mod:`repro.core.kernelpool` (restart/reroute of crashed or hung
+  worker shards) and reuses this package's error types.
+
+The error vocabulary (:class:`~repro.core.errors.OverloadError` and
+friends) lives in :mod:`repro.core.errors`; the wire-text prefixes
+below are the contract between server rejections and client-side
+typed re-raising in ``check_reply``.
+"""
+
+from __future__ import annotations
+
+from .admission import OVERLOADED_PREFIX, AdmissionController, overload_reply
+from .breaker import (
+    BreakerBoard,
+    CircuitBreaker,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+from .deadline import (
+    DEADLINE_PREFIX,
+    Deadline,
+    ManualClock,
+    TickingClock,
+    deadline_error_text,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "DEADLINE_PREFIX",
+    "ManualClock",
+    "OVERLOADED_PREFIX",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "TickingClock",
+    "deadline_error_text",
+    "overload_reply",
+]

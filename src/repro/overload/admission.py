@@ -1,0 +1,204 @@
+"""Admission control: shed overload at the front door, cheaply.
+
+:class:`AdmissionController` combines two classic limiters behind one
+``admit()`` call:
+
+- a **token bucket** (``rate_per_s`` / ``burst``) bounding sustained
+  request rate while absorbing bursts, and
+- a **max-inflight** cap bounding concurrency (and therefore queueing
+  and memory) regardless of rate.
+
+Either limiter may be disabled by passing ``None``.  Rejections raise
+:class:`~repro.core.errors.ServerOverloadedError` *before any work is
+done* — the server's only cost for an over-limit request is decoding
+its envelope and building a small typed error reply.  Rate rejections
+carry a ``retry_after_s`` hint (time until a token accrues) which the
+client's :class:`~repro.core.retry.RetryPolicy` folds into backoff.
+
+The ledger discipline matches the rest of the repo: every offered
+request lands in exactly one of ``admitted``, ``rejected.rate``, or
+``rejected.concurrency``, both in local integers (for clock-free
+asserts) and in the telemetry registry (``overload.<name>.*``), so
+``offered == admitted + rejected`` reconciles exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..core.errors import ServerOverloadedError
+from ..core.inp import INPMessage, MsgType
+
+__all__ = ["AdmissionController", "OVERLOADED_PREFIX", "overload_reply"]
+
+# INP_ERROR bodies for admission rejections start with this text;
+# ``check_reply`` matches on it to raise ServerOverloadedError
+# client-side.  Keep stable.
+OVERLOADED_PREFIX = "overloaded: "
+
+
+class _AdmissionToken:
+    """Context manager releasing one inflight slot on exit."""
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController"):
+        self._controller = controller
+        self._released = False
+
+    def __enter__(self) -> "_AdmissionToken":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+
+class AdmissionController:
+    """Token-bucket + max-inflight admission with an injectable clock."""
+
+    def __init__(
+        self,
+        name: str = "serving",
+        *,
+        max_inflight: Optional[int] = None,
+        rate_per_s: Optional[float] = None,
+        burst: Optional[int] = None,
+        registry=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_inflight is None and rate_per_s is None:
+            raise ValueError("enable at least one limiter")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if rate_per_s is not None and rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst is not None and rate_per_s is None:
+            raise ValueError("burst requires rate_per_s")
+        self.name = name
+        self.max_inflight = max_inflight
+        self.rate_per_s = rate_per_s
+        if rate_per_s is not None:
+            self.burst = burst if burst is not None else max(1, int(rate_per_s))
+            if self.burst < 1:
+                raise ValueError("burst must be >= 1")
+        else:
+            self.burst = None
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(self.burst) if self.burst is not None else 0.0
+        self._last_refill = clock()
+        self._inflight = 0
+        self.admitted = 0
+        self.rejected_rate = 0
+        self.rejected_concurrency = 0
+        self._registry = registry
+        if registry is not None:
+            prefix = f"overload.{name}"
+            self._c_admitted = registry.counter(f"{prefix}.admitted")
+            self._c_rej_rate = registry.counter(f"{prefix}.rejected.rate")
+            self._c_rej_conc = registry.counter(f"{prefix}.rejected.concurrency")
+            self._g_inflight = registry.gauge(f"{prefix}.inflight")
+        else:
+            self._c_admitted = self._c_rej_rate = self._c_rej_conc = None
+            self._g_inflight = None
+
+    @property
+    def offered(self) -> int:
+        return self.admitted + self.rejected_rate + self.rejected_concurrency
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_rate + self.rejected_concurrency
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def _refill_locked(self, now: float) -> None:
+        if self.rate_per_s is None:
+            return
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(
+                float(self.burst), self._tokens + elapsed * self.rate_per_s
+            )
+        self._last_refill = now
+
+    def admit(self) -> _AdmissionToken:
+        """Admit one request or raise :class:`ServerOverloadedError`.
+
+        Use as a context manager so the inflight slot is always
+        released::
+
+            with controller.admit():
+                ... serve ...
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill_locked(now)
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self.rejected_concurrency += 1
+                if self._c_rej_conc is not None:
+                    self._c_rej_conc.inc()
+                raise ServerOverloadedError(
+                    f"{OVERLOADED_PREFIX}{self.name} at max inflight "
+                    f"({self.max_inflight})"
+                )
+            if self.rate_per_s is not None and self._tokens < 1.0:
+                self.rejected_rate += 1
+                if self._c_rej_rate is not None:
+                    self._c_rej_rate.inc()
+                retry_after = (1.0 - self._tokens) / self.rate_per_s
+                raise ServerOverloadedError(
+                    f"{OVERLOADED_PREFIX}{self.name} rate limit "
+                    f"({self.rate_per_s:g}/s)",
+                    retry_after_s=retry_after,
+                )
+            if self.rate_per_s is not None:
+                self._tokens -= 1.0
+            self._inflight += 1
+            self.admitted += 1
+            if self._c_admitted is not None:
+                self._c_admitted.inc()
+            if self._g_inflight is not None:
+                self._g_inflight.set(self._inflight)
+        return _AdmissionToken(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if self._g_inflight is not None:
+                self._g_inflight.set(self._inflight)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "admitted": self.admitted,
+                "rejected_rate": self.rejected_rate,
+                "rejected_concurrency": self.rejected_concurrency,
+                "inflight": self._inflight,
+            }
+
+
+def overload_reply(msg: INPMessage, exc: ServerOverloadedError) -> INPMessage:
+    """The cheap INP_ERROR reply for an admission rejection.
+
+    Carries ``retry_after_ms`` when the limiter offered a hint, so the
+    client's retry policy can wait exactly as long as the server asks.
+    """
+    body = {"error": str(exc)}
+    if exc.retry_after_s is not None:
+        body["retry_after_ms"] = round(exc.retry_after_s * 1000.0, 3)
+    return msg.reply(MsgType.INP_ERROR, body)

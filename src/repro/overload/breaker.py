@@ -1,0 +1,270 @@
+"""Client-side circuit breakers: fail fast when a dependency is down.
+
+The classic three-state machine, deterministic under an injectable
+clock:
+
+- **CLOSED** — traffic flows; consecutive failures are counted and
+  any success resets the count.  ``failure_threshold`` consecutive
+  failures trip the breaker.
+- **OPEN** — every call is rejected locally
+  (:class:`~repro.core.errors.BreakerOpenError`) without touching the
+  wire, until ``recovery_timeout_s`` elapses.
+- **HALF_OPEN** — up to ``half_open_probes`` trial calls are let
+  through; one success re-closes the breaker, one failure re-opens it
+  (with a fresh recovery window).
+
+:meth:`CircuitBreaker.call` is the safe entry point: it guarantees
+every admitted call records exactly one success or failure, which is
+what keeps HALF_OPEN from wedging.  The lower-level
+``allow``/``record_success``/``record_failure`` triple exists for
+callers (like the Fractal client) whose try/except structure doesn't
+fit a closure.
+
+A :class:`BreakerBoard` lazily builds one breaker per destination
+endpoint so a dead proxy doesn't poison calls to a healthy CDN.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..core.errors import BreakerOpenError
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One dependency's failure-detection state machine."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 5,
+        recovery_timeout_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        registry=None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_timeout_s <= 0:
+            raise ValueError("recovery_timeout_s must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout_s = recovery_timeout_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self.opened = 0
+        self.reclosed = 0
+        self.rejected = 0
+        self.probes = 0
+        if registry is not None:
+            prefix = f"breaker.{name}"
+            self._c_opened = registry.counter(f"{prefix}.opened")
+            self._c_reclosed = registry.counter(f"{prefix}.reclosed")
+            self._c_rejected = registry.counter(f"{prefix}.rejected")
+            self._c_probes = registry.counter(f"{prefix}.probes")
+        else:
+            self._c_opened = self._c_reclosed = None
+            self._c_rejected = self._c_probes = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self.recovery_timeout_s
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probes_inflight = 0
+
+    def _open_locked(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._probes_inflight = 0
+        self.opened += 1
+        if self._c_opened is not None:
+            self._c_opened.inc()
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In HALF_OPEN this *claims a probe slot* — the caller must
+        follow up with ``record_success`` or ``record_failure`` or the
+        slot stays occupied (use :meth:`call` to make that automatic).
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_HALF_OPEN:
+                if self._probes_inflight < self.half_open_probes:
+                    self._probes_inflight += 1
+                    self.probes += 1
+                    if self._c_probes is not None:
+                        self._c_probes.inc()
+                    return True
+                self.rejected += 1
+                if self._c_rejected is not None:
+                    self._c_rejected.inc()
+                return False
+            self.rejected += 1
+            if self._c_rejected is not None:
+                self._c_rejected.inc()
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._state = STATE_CLOSED
+                self._probes_inflight = 0
+                self.reclosed += 1
+                if self._c_reclosed is not None:
+                    self._c_reclosed.inc()
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._open_locked()
+                return
+            if self._state == STATE_OPEN:
+                # Straggler from before the trip; the window is already
+                # ticking, don't extend it.
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._open_locked()
+
+    def retry_in_s(self) -> float:
+        """Seconds until the next state change could admit a call."""
+        with self._lock:
+            if self._state != STATE_OPEN:
+                return 0.0
+            return max(
+                0.0,
+                self._opened_at + self.recovery_timeout_s - self._clock(),
+            )
+
+    def reject(self) -> BreakerOpenError:
+        """The typed error for a rejected call."""
+        return BreakerOpenError(
+            f"breaker '{self.name}' open; retry in {self.retry_in_s():.3f}s"
+        )
+
+    def call(self, fn: Callable[[], object], *, failures=(Exception,)):
+        """Run ``fn`` through the breaker.
+
+        Exceptions in ``failures`` count as dependency failures (and
+        re-raise); anything else propagates without touching breaker
+        state.  Every admitted call records exactly one outcome.
+        """
+        if not self.allow():
+            raise self.reject()
+        try:
+            result = fn()
+        except failures:
+            self.record_failure()
+            raise
+        except BaseException:
+            # Not a dependency failure — neutral outcome.  Release the
+            # probe claim so HALF_OPEN cannot wedge.
+            self.release_probe()
+            raise
+        self.record_success()
+        return result
+
+    def release_probe(self) -> None:
+        """Return a probe slot claimed by :meth:`allow` without recording
+        an outcome — for admitted calls that end *neutrally* (an error
+        that says nothing about the dependency's health)."""
+        with self._lock:
+            if self._state == STATE_HALF_OPEN and self._probes_inflight > 0:
+                self._probes_inflight -= 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opened": self.opened,
+                "reclosed": self.reclosed,
+                "rejected": self.rejected,
+                "probes": self.probes,
+            }
+
+
+class BreakerBoard:
+    """Per-destination breakers, built lazily with shared defaults."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        recovery_timeout_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        registry=None,
+    ):
+        self._defaults = dict(
+            failure_threshold=failure_threshold,
+            recovery_timeout_s=recovery_timeout_s,
+            half_open_probes=half_open_probes,
+            clock=clock,
+            registry=registry,
+        )
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        with self._lock:
+            b = self._breakers.get(name)
+            if b is None:
+                b = CircuitBreaker(name, **self._defaults)
+                self._breakers[name] = b
+            return b
+
+    def get(self, name: str) -> Optional[CircuitBreaker]:
+        with self._lock:
+            return self._breakers.get(name)
+
+    def states(self) -> dict[str, str]:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return {b.name: b.state for b in breakers}
+
+    def snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return {b.name: b.snapshot() for b in breakers}

@@ -1,0 +1,139 @@
+"""Propagated deadlines: relative remaining budgets on the INP wire.
+
+A :class:`Deadline` is an absolute expiry against a *local* monotonic
+clock.  It crosses the wire as the remaining budget in milliseconds
+(the INP ``"dl"`` envelope key) — relative, never an absolute
+timestamp — so clock skew between client, proxy, and application
+server cannot corrupt it.  Each hop re-anchors the budget against its
+own clock via :meth:`Deadline.from_wire_ms`.
+
+The clock is injectable everywhere (``time.monotonic`` by default),
+and two deterministic fakes ship here:
+
+- :class:`ManualClock` — advances only when told; admission and
+  breaker tests script time explicitly.
+- :class:`TickingClock` — advances a fixed step on *every read*; the
+  appserver's mid-request shedding tests use it so the deadline
+  provably expires after an exact number of per-part checks, with no
+  sleeping and no wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..core.errors import DeadlineExceededError
+
+__all__ = [
+    "DEADLINE_PREFIX",
+    "Deadline",
+    "ManualClock",
+    "TickingClock",
+    "deadline_error_text",
+]
+
+# INP_ERROR bodies for deadline rejections start with this text;
+# ``check_reply`` matches on it to raise DeadlineExceededError
+# client-side.  Keep stable.
+DEADLINE_PREFIX = "deadline exceeded"
+
+
+def deadline_error_text(stage: str) -> str:
+    """The wire text for a deadline rejection at ``stage``."""
+    return f"{DEADLINE_PREFIX}: {stage}"
+
+
+class ManualClock:
+    """A monotonic clock that moves only when the test says so."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("clocks run forward")
+        self.now += dt
+
+
+class TickingClock:
+    """A monotonic clock that advances ``step`` seconds per read.
+
+    Reads are the only events, so a deadline constructed from this
+    clock expires after a *provable number of checks* — exactly how
+    the mid-request part-shedding tests pin down "the budget ran out
+    between part 2 and part 3" without sleeping.
+    """
+
+    def __init__(self, step: float, start: float = 0.0):
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.step = float(step)
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class Deadline:
+    """An absolute expiry on a local monotonic clock."""
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(
+        self, expires_at: float, clock: Callable[[], float] = time.monotonic
+    ):
+        self._expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, budget_s: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``budget_s`` seconds from now."""
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        return cls(clock() + budget_s, clock)
+
+    @classmethod
+    def from_wire_ms(
+        cls,
+        remaining_ms: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Optional["Deadline"]:
+        """Re-anchor a wire budget against the local clock.
+
+        ``None`` stays ``None`` (no deadline).  A zero or negative
+        budget yields an already-expired deadline — the server sheds
+        it at entry rather than erroring on decode, so the rejection
+        is a protocol-level reply, not a protocol violation.
+        """
+        if remaining_ms is None:
+            return None
+        return cls(clock() + remaining_ms / 1000.0, clock)
+
+    @property
+    def expires_at(self) -> float:
+        return self._expires_at
+
+    def remaining_s(self) -> float:
+        return self._expires_at - self._clock()
+
+    def remaining_ms(self) -> float:
+        return self.remaining_s() * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0
+
+    def check(self, what: str) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is gone."""
+        remaining = self.remaining_s()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                deadline_error_text(f"{what} ({-remaining * 1000.0:.1f}ms late)")
+            )

@@ -66,6 +66,14 @@ class TcpEndpoint:
 
     ``idle_timeout_s`` bounds how long a worker blocks reading the next
     frame from a connected client before giving up on the connection.
+
+    ``max_conns`` caps concurrent connection workers.  A connection
+    accepted past the cap is *shed*, not silently dropped: the endpoint
+    reads its first request frame (short timeout), replies with a framed
+    ``overloaded: connection limit reached`` error, and closes — so the
+    client sees a typed rejection instead of a hang, and the byte meters
+    stay symmetric (both the request and the rejection frame are
+    recorded).  ``conns_shed`` ledgers every shed connection.
     """
 
     def __init__(
@@ -74,12 +82,17 @@ class TcpEndpoint:
         handler: Callable[[bytes], bytes],
         *,
         idle_timeout_s: float = 5.0,
+        max_conns: Optional[int] = None,
     ):
         if idle_timeout_s <= 0:
             raise ValueError(f"idle_timeout_s must be positive, got {idle_timeout_s}")
+        if max_conns is not None and max_conns < 1:
+            raise ValueError(f"max_conns must be >= 1, got {max_conns}")
         self.name = name
         self.handler = handler
         self.idle_timeout_s = idle_timeout_s
+        self.max_conns = max_conns
+        self.conns_shed = 0
         self.meter = TrafficMeter()
         self._workers: list[threading.Thread] = []
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -109,6 +122,13 @@ class TcpEndpoint:
                 continue
             except OSError:
                 break
+            if (
+                self.max_conns is not None
+                and len(self._workers) >= self.max_conns
+            ):
+                self.conns_shed += 1
+                self._shed_conn(conn)
+                continue
             worker = threading.Thread(
                 target=self._serve_conn, args=(conn,), daemon=True
             )
@@ -125,6 +145,30 @@ class TcpEndpoint:
     def worker_count(self) -> int:
         """Connection-worker threads not yet reaped (bounded under load)."""
         return len(self._workers)
+
+    def _shed_conn(self, conn: socket.socket) -> None:
+        """Reject one over-cap connection with a framed overload error.
+
+        Runs inline in the accept loop, so the read timeout is short: a
+        client that connected but sends nothing (slowloris) may stall
+        accepts only briefly, and a well-formed client gets a typed
+        error it can map to backoff.  Meter symmetry is preserved — the
+        request frame is recorded received and the rejection recorded
+        sent, exactly like a served exchange.
+        """
+        with conn:
+            conn.settimeout(min(self.idle_timeout_s, 0.5))
+            try:
+                request = recv_frame(conn)
+            except (TransportError, socket.timeout, OSError):
+                return
+            self.meter.record_receive(_LEN.size + len(request))
+            response = b"\x00ERR overloaded: connection limit reached"
+            try:
+                send_frame(conn, response)
+            except OSError:
+                return
+            self.meter.record_send(_LEN.size + len(response))
 
     def _serve_conn(self, conn: socket.socket) -> None:
         with conn:
@@ -169,6 +213,9 @@ class TcpTransport:
     endpoint's worker waits for the next frame on an open connection; it
     defaults to ``request_timeout_s`` so a transport configured for slow
     requests does not have its server side hang up early.
+    ``max_conns`` caps concurrent connections per bound endpoint (see
+    :class:`TcpEndpoint`); ``None`` (the default) keeps the historical
+    unbounded behaviour.
     """
 
     def __init__(
@@ -177,16 +224,20 @@ class TcpTransport:
         connect_timeout_s: float = 5.0,
         request_timeout_s: float = 5.0,
         idle_timeout_s: Optional[float] = None,
+        max_conns: Optional[int] = None,
     ) -> None:
         if connect_timeout_s <= 0 or request_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
         if idle_timeout_s is not None and idle_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
+        if max_conns is not None and max_conns < 1:
+            raise ValueError(f"max_conns must be >= 1, got {max_conns}")
         self.connect_timeout_s = connect_timeout_s
         self.request_timeout_s = request_timeout_s
         self.idle_timeout_s = (
             idle_timeout_s if idle_timeout_s is not None else request_timeout_s
         )
+        self.max_conns = max_conns
         self._endpoints: dict[str, TcpEndpoint] = {}
         self.meters: dict[str, TrafficMeter] = {}
         self._lock = threading.Lock()
@@ -196,7 +247,10 @@ class TcpTransport:
             if endpoint in self._endpoints:
                 raise TransportError(f"endpoint already bound: {endpoint!r}")
             self._endpoints[endpoint] = TcpEndpoint(
-                endpoint, handler, idle_timeout_s=self.idle_timeout_s
+                endpoint,
+                handler,
+                idle_timeout_s=self.idle_timeout_s,
+                max_conns=self.max_conns,
             )
             self.meters.setdefault(endpoint, TrafficMeter())
 

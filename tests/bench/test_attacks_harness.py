@@ -89,3 +89,38 @@ class TestAttacksCli:
     def test_unknown_attack_rejected(self):
         with pytest.raises(SystemExit):
             runner.main(["attacks", "--attack", "teardrop"])
+
+
+class TestTcpCampaign:
+    @pytest.mark.attacks
+    def test_campaign_reconciles_over_real_sockets(self):
+        campaign = run_attack_campaign(
+            seed=2, duration_s=2.0, transport="tcp", kinds=[SLOWLORIS]
+        )
+        assert campaign.transport == "tcp"
+        assert campaign.result.reconciled
+        assert campaign_to_payload(campaign)["transport"] == "tcp"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            run_attack_campaign(transport="carrier-pigeon")
+
+    @pytest.mark.attacks
+    def test_cli_attack_transport_flag(self, tmp_path, capsys):
+        out = tmp_path / "attacks.json"
+        assert (
+            runner.main(
+                [
+                    "attacks",
+                    "--duration", "2",
+                    "--attack", "slowloris",
+                    "--attack-transport", "tcp",
+                    "--json", str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(out.read_text())["attacks"]
+        assert payload["transport"] == "tcp"
+        assert payload["reconciled"] is True

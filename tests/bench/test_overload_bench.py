@@ -1,0 +1,77 @@
+"""`fractal-bench overload`: the four-phase proof harness and its CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.overload import (
+    render_report,
+    report_to_payload,
+    run_overload_experiment,
+)
+
+
+class TestHarness:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            run_overload_experiment(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="events"):
+            run_overload_experiment(events=2)
+
+    @pytest.mark.attacks
+    def test_all_four_ledgers_reconcile_exactly(self):
+        report = run_overload_experiment(seed=0, events=8)
+        assert report.reconciled
+        for phase in (report.admission, report.deadline, report.breaker,
+                      report.pool):
+            assert phase["ledger_exact"]
+        # Phase arithmetic is event-counted, not timed.
+        assert report.admission["admitted"] == report.admission["burst"] + 1
+        assert report.breaker["degraded"] == 8
+        assert report.breaker["fast_failed"] == 8 - 3
+        assert report.pool["restarts_total"] == 4
+
+    @pytest.mark.attacks
+    def test_payload_is_a_pure_function_of_the_arguments(self):
+        a = report_to_payload(run_overload_experiment(seed=5, events=6))
+        b = report_to_payload(run_overload_experiment(seed=5, events=6))
+        assert a == b
+        json.dumps(a)  # must be JSON-serialisable as-is
+
+    @pytest.mark.attacks
+    def test_render_reports_every_phase_and_reconciliation(self):
+        text = render_report(run_overload_experiment(seed=0, events=8))
+        for phase in ("admission", "deadline", "breaker", "pool"):
+            assert phase in text
+        assert "all four ledgers reconciled exactly" in text
+
+
+class TestTcpTransport:
+    @pytest.mark.attacks
+    def test_ledgers_reconcile_over_real_sockets(self):
+        report = run_overload_experiment(seed=1, transport="tcp", events=6)
+        assert report.transport == "tcp"
+        assert report.reconciled
+
+
+class TestCli:
+    @pytest.mark.attacks
+    def test_overload_command_writes_reconciled_json(self, tmp_path, capsys):
+        out = tmp_path / "overload.json"
+        assert (
+            runner.main(
+                [
+                    "overload",
+                    "--seed", "0",
+                    "--overload-events", "8",
+                    "--json", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "all four ledgers reconciled exactly" in capsys.readouterr().out
+        payload = json.loads(out.read_text())["overload"]
+        assert payload["reconciled"] is True
+        assert payload["events"] == 8
+        assert payload["transport"] == "inproc"

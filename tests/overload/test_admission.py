@@ -1,0 +1,188 @@
+"""Admission control: token bucket, inflight cap, exact ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import inp
+from repro.core.errors import ServerOverloadedError
+from repro.core.inp import INPMessage, MsgType
+from repro.core.retry import RetryPolicy
+from repro.overload import (
+    OVERLOADED_PREFIX,
+    AdmissionController,
+    ManualClock,
+    overload_reply,
+)
+from repro.telemetry import MetricsRegistry
+
+
+class TestValidation:
+    def test_requires_at_least_one_limiter(self):
+        with pytest.raises(ValueError):
+            AdmissionController("x")
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            AdmissionController("x", max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController("x", rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController("x", max_inflight=1, burst=4)  # burst w/o rate
+
+
+class TestTokenBucket:
+    def test_burst_admits_then_rate_rejects_with_hint(self):
+        clock = ManualClock()
+        ctrl = AdmissionController("t", rate_per_s=2.0, burst=3, clock=clock)
+        for _ in range(3):
+            ctrl.admit().release()
+        with pytest.raises(ServerOverloadedError) as exc_info:
+            ctrl.admit()
+        err = exc_info.value
+        assert str(err).startswith(OVERLOADED_PREFIX)
+        # Bucket empty: one token accrues in 1/rate seconds.
+        assert err.retry_after_s == pytest.approx(0.5)
+        assert ctrl.rejected_rate == 1
+
+    def test_refill_is_proportional_and_capped_at_burst(self):
+        clock = ManualClock()
+        ctrl = AdmissionController("t", rate_per_s=2.0, burst=3, clock=clock)
+        for _ in range(3):
+            ctrl.admit().release()
+        clock.advance(0.5)  # one token back
+        ctrl.admit().release()
+        with pytest.raises(ServerOverloadedError):
+            ctrl.admit()
+        clock.advance(1000.0)  # refill far past burst; cap applies
+        for _ in range(3):
+            ctrl.admit().release()
+        with pytest.raises(ServerOverloadedError):
+            ctrl.admit()
+
+    def test_burst_defaults_to_int_rate(self):
+        ctrl = AdmissionController("t", rate_per_s=5.0)
+        assert ctrl.burst == 5
+        assert AdmissionController("t", rate_per_s=0.25).burst == 1
+
+
+class TestInflightCap:
+    def test_cap_rejects_until_release(self):
+        ctrl = AdmissionController("t", max_inflight=2)
+        t1 = ctrl.admit()
+        t2 = ctrl.admit()
+        assert ctrl.inflight == 2
+        with pytest.raises(ServerOverloadedError) as exc_info:
+            ctrl.admit()
+        assert "max inflight" in str(exc_info.value)
+        assert exc_info.value.retry_after_s is None  # no time-based hint
+        t1.release()
+        ctrl.admit().release()
+        t2.release()
+        assert ctrl.inflight == 0
+
+    def test_token_is_a_context_manager_and_release_idempotent(self):
+        ctrl = AdmissionController("t", max_inflight=1)
+        with ctrl.admit():
+            assert ctrl.inflight == 1
+        assert ctrl.inflight == 0
+        token = ctrl.admit()
+        token.release()
+        token.release()  # double release must not go negative
+        assert ctrl.inflight == 0
+
+
+class TestLedger:
+    def test_offered_equals_admitted_plus_rejected_and_registry_agrees(self):
+        registry = MetricsRegistry()
+        clock = ManualClock()
+        ctrl = AdmissionController(
+            "front", rate_per_s=4.0, burst=2, max_inflight=8,
+            registry=registry, clock=clock,
+        )
+        outcomes = []
+        for _ in range(5):
+            try:
+                ctrl.admit().release()
+                outcomes.append("ok")
+            except ServerOverloadedError:
+                outcomes.append("shed")
+        assert outcomes == ["ok", "ok", "shed", "shed", "shed"]
+        assert ctrl.offered == ctrl.admitted + ctrl.rejected == 5
+        assert registry.counter("overload.front.admitted").value == 2
+        assert registry.counter("overload.front.rejected.rate").value == 3
+        assert registry.counter("overload.front.rejected.concurrency").value == 0
+        snap = ctrl.snapshot()
+        assert snap == {
+            "name": "front",
+            "admitted": 2,
+            "rejected_rate": 3,
+            "rejected_concurrency": 0,
+            "inflight": 0,
+        }
+
+
+class TestOverloadReply:
+    def test_reply_carries_error_and_hint(self):
+        msg = INPMessage(MsgType.INIT_REQ, "s1", 0, {"app_id": "a"})
+        exc = ServerOverloadedError(
+            f"{OVERLOADED_PREFIX}front rate limit", retry_after_s=0.1239
+        )
+        rep = overload_reply(msg, exc)
+        assert rep.msg_type is MsgType.INP_ERROR
+        assert rep.session_id == "s1" and rep.seq == 1
+        assert rep.body["error"].startswith(OVERLOADED_PREFIX)
+        assert rep.body["retry_after_ms"] == pytest.approx(123.9)
+        # Round-trips through the codec (it is what goes on the wire).
+        decoded = inp.decode(inp.encode(rep))
+        assert decoded.body == rep.body
+
+    def test_reply_omits_hint_when_absent(self):
+        msg = INPMessage(MsgType.APP_REQ, "s2", 0, {})
+        rep = overload_reply(
+            msg, ServerOverloadedError(f"{OVERLOADED_PREFIX}at max inflight")
+        )
+        assert "retry_after_ms" not in rep.body
+
+
+class TestRetryHonorsHint:
+    def test_retry_delay_is_raised_to_server_hint(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.01, jitter=0.0, max_delay_s=2.0
+        )
+        delays = []
+        calls = []
+
+        def fn():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ServerOverloadedError("overloaded: x", retry_after_s=1.5)
+            return "done"
+
+        result = policy.call(
+            fn,
+            retryable=(ServerOverloadedError,),
+            on_retry=lambda attempt, delay, exc: delays.append(delay),
+        )
+        assert result == "done"
+        assert delays == [1.5]  # hint beat the 0.01s schedule
+
+    def test_hint_is_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.01, jitter=0.0, max_delay_s=0.5
+        )
+        delays = []
+        calls = []
+
+        def fn():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ServerOverloadedError("overloaded: x", retry_after_s=60.0)
+            return "done"
+
+        policy.call(
+            fn,
+            retryable=(ServerOverloadedError,),
+            on_retry=lambda attempt, delay, exc: delays.append(delay),
+        )
+        assert delays == [0.5]

@@ -1,0 +1,177 @@
+"""Circuit breaker state machine under a scripted clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import BreakerOpenError, FractalError, OverloadError
+from repro.overload import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+    ManualClock,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def make_breaker(clock, *, threshold=3, recovery=10.0, probes=1, registry=None):
+    return CircuitBreaker(
+        "dep",
+        failure_threshold=threshold,
+        recovery_timeout_s=recovery,
+        half_open_probes=probes,
+        clock=clock,
+        registry=registry,
+    )
+
+
+class TestStateMachine:
+    def test_trips_after_threshold_consecutive_failures(self):
+        b = make_breaker(ManualClock())
+        for _ in range(2):
+            b.record_failure()
+        assert b.state == STATE_CLOSED
+        b.record_failure()
+        assert b.state == STATE_OPEN
+        assert b.opened == 1
+
+    def test_success_resets_the_failure_streak(self):
+        b = make_breaker(ManualClock())
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == STATE_CLOSED
+
+    def test_open_rejects_without_wire_and_reports_retry_in(self):
+        clock = ManualClock()
+        b = make_breaker(clock, recovery=10.0)
+        for _ in range(3):
+            b.record_failure()
+        assert not b.allow()
+        assert b.rejected == 1
+        clock.advance(4.0)
+        assert b.retry_in_s() == pytest.approx(6.0)
+        err = b.reject()
+        assert isinstance(err, BreakerOpenError)
+        assert isinstance(err, OverloadError) and isinstance(err, FractalError)
+
+    def test_half_open_probe_success_recloses(self):
+        clock = ManualClock()
+        b = make_breaker(clock, recovery=10.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.state == STATE_HALF_OPEN
+        assert b.allow()  # claims the single probe slot
+        assert not b.allow()  # second caller rejected while probing
+        b.record_success()
+        assert b.state == STATE_CLOSED
+        assert b.reclosed == 1
+        assert b.allow()
+
+    def test_half_open_probe_failure_reopens_with_fresh_window(self):
+        clock = ManualClock()
+        b = make_breaker(clock, recovery=10.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == STATE_OPEN
+        assert b.opened == 2
+        assert b.retry_in_s() == pytest.approx(10.0)
+
+    def test_release_probe_frees_the_slot_on_neutral_outcome(self):
+        clock = ManualClock()
+        b = make_breaker(clock, recovery=10.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.release_probe()  # e.g. a local, non-dependency error
+        assert b.allow()  # slot is available again; no wedge
+
+    def test_straggler_failure_while_open_does_not_extend_window(self):
+        clock = ManualClock()
+        b = make_breaker(clock, recovery=10.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(6.0)
+        b.record_failure()  # straggler from before the trip
+        assert b.retry_in_s() == pytest.approx(4.0)
+        assert b.opened == 1
+
+
+class TestCall:
+    def test_call_records_exactly_one_outcome_per_admitted_call(self):
+        clock = ManualClock()
+        b = make_breaker(clock, threshold=2)
+
+        def boom():
+            raise ValueError("dependency down")
+
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                b.call(boom, failures=(ValueError,))
+        assert b.state == STATE_OPEN
+        with pytest.raises(BreakerOpenError):
+            b.call(lambda: "never runs")
+
+    def test_call_neutral_exception_releases_probe(self):
+        clock = ManualClock()
+        b = make_breaker(clock, threshold=1, recovery=5.0)
+        with pytest.raises(RuntimeError):
+            b.call(lambda: (_ for _ in ()).throw(RuntimeError("dep down")))
+        clock.advance(5.0)
+
+        def neutral():
+            raise KeyError("local bug, not the dependency")
+
+        with pytest.raises(KeyError):
+            b.call(neutral, failures=(RuntimeError,))
+        # Probe slot was released, so a second probe may run and reclose.
+        assert b.call(lambda: "ok", failures=(RuntimeError,)) == "ok"
+        assert b.state == STATE_CLOSED
+
+
+class TestBoardAndTelemetry:
+    def test_board_builds_one_breaker_per_destination(self):
+        board = BreakerBoard(failure_threshold=1, clock=ManualClock())
+        proxy = board.breaker("proxy")
+        assert board.breaker("proxy") is proxy
+        proxy.record_failure()
+        assert board.states() == {"proxy": STATE_OPEN}
+        cdn = board.breaker("cdn")
+        assert cdn.state == STATE_CLOSED  # isolated from the proxy's trip
+        assert board.get("nope") is None
+        snap = board.snapshot()
+        assert snap["proxy"]["opened"] == 1 and snap["cdn"]["opened"] == 0
+
+    def test_registry_counters_mirror_local_tallies(self):
+        registry = MetricsRegistry()
+        clock = ManualClock()
+        b = make_breaker(clock, threshold=1, recovery=5.0, registry=registry)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(5.0)
+        assert b.allow()  # probe
+        b.record_success()
+        assert registry.counter("breaker.dep.opened").value == b.opened == 1
+        assert registry.counter("breaker.dep.rejected").value == b.rejected == 1
+        assert registry.counter("breaker.dep.probes").value == b.probes == 1
+        assert registry.counter("breaker.dep.reclosed").value == b.reclosed == 1
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        for kwargs in (
+            {"failure_threshold": 0},
+            {"recovery_timeout_s": 0.0},
+            {"half_open_probes": 0},
+        ):
+            with pytest.raises(ValueError):
+                CircuitBreaker("x", **kwargs)

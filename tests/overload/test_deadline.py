@@ -1,0 +1,98 @@
+"""Deadline propagation primitives: clocks, wire budgets, expiry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DeadlineExceededError, FractalError, OverloadError
+from repro.overload import (
+    DEADLINE_PREFIX,
+    Deadline,
+    ManualClock,
+    TickingClock,
+    deadline_error_text,
+)
+
+
+class TestClocks:
+    def test_manual_clock_moves_only_on_advance(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        assert clock() == 0.0
+        clock.advance(2.5)
+        assert clock() == 2.5
+
+    def test_manual_clock_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+    def test_ticking_clock_advances_per_read(self):
+        clock = TickingClock(1.0)
+        assert [clock(), clock(), clock()] == [1.0, 2.0, 3.0]
+
+    def test_ticking_clock_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            TickingClock(0.0)
+
+
+class TestDeadline:
+    def test_after_counts_down_on_injected_clock(self):
+        clock = ManualClock()
+        dl = Deadline.after(5.0, clock)
+        assert dl.remaining_s() == 5.0
+        clock.advance(3.0)
+        assert dl.remaining_s() == 2.0
+        assert not dl.expired
+        clock.advance(2.0)
+        assert dl.expired
+
+    def test_after_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0, ManualClock())
+
+    def test_from_wire_none_means_no_deadline(self):
+        assert Deadline.from_wire_ms(None, ManualClock()) is None
+
+    def test_from_wire_zero_or_negative_is_already_expired(self):
+        clock = ManualClock()
+        assert Deadline.from_wire_ms(0.0, clock).expired
+        assert Deadline.from_wire_ms(-250.0, clock).expired
+
+    def test_from_wire_reanchors_against_local_clock(self):
+        clock = ManualClock(start=100.0)
+        dl = Deadline.from_wire_ms(1500.0, clock)
+        assert dl.remaining_ms() == pytest.approx(1500.0)
+        clock.advance(1.0)
+        assert dl.remaining_ms() == pytest.approx(500.0)
+
+    def test_check_raises_typed_error_with_wire_prefix(self):
+        clock = ManualClock()
+        dl = Deadline.after(1.0, clock)
+        dl.check("stage-x")  # within budget: no-op
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            dl.check("stage-x")
+        assert str(exc_info.value).startswith(DEADLINE_PREFIX)
+        assert "stage-x" in str(exc_info.value)
+
+    def test_error_text_shape(self):
+        assert deadline_error_text("appserver entry") == (
+            f"{DEADLINE_PREFIX}: appserver entry"
+        )
+
+    def test_error_is_an_overload_and_fractal_error(self):
+        # degrade_to_direct catches FractalError; the typed hierarchy
+        # must keep deadline sheds inside it.
+        err = DeadlineExceededError("x")
+        assert isinstance(err, OverloadError)
+        assert isinstance(err, FractalError)
+
+    def test_ticking_clock_expires_after_exact_read_count(self):
+        # The mid-request-shedding proof in miniature: budget 2.5 steps,
+        # constructed on read 1, so checks at reads 2 and 3 pass and the
+        # read-4 check fails.
+        clock = TickingClock(1.0)
+        dl = Deadline.from_wire_ms(2500.0, clock)  # read 1 -> expires 3.5
+        assert not dl.expired  # read 2: t=2.0
+        assert not dl.expired  # read 3: t=3.0
+        assert dl.expired  # read 4: t=4.0
